@@ -1,0 +1,123 @@
+//! Micro and component benchmarks: detector throughput, the parallel
+//! driver, the DNS codec, and the interval algebra — the hot paths a
+//! production deployment of this pipeline would care about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use outage_core::{detect_parallel, DetectorConfig, PassiveDetector};
+use outage_dnswire::{DnsName, Message, RecordType, Telescope};
+use outage_netsim::{PacketFeed, Scenario};
+use outage_types::{Interval, IntervalSet, Observation};
+use std::hint::black_box;
+
+fn bench_detector_throughput(c: &mut Criterion) {
+    let scenario = Scenario::quick(42);
+    let observations: Vec<Observation> = scenario.collect_observations();
+    let window = scenario.window();
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let histories = detector.learn_histories(observations.iter().copied(), window);
+
+    let mut g = c.benchmark_group("detector");
+    g.throughput(Throughput::Elements(observations.len() as u64));
+    g.bench_function("sequential_detect", |b| {
+        b.iter(|| {
+            let r = detector.detect(&histories, observations.iter().copied(), window);
+            black_box(r.covered_blocks())
+        })
+    });
+    for workers in [2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_detect", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let r = detect_parallel(
+                        &detector,
+                        &histories,
+                        observations.iter().copied(),
+                        window,
+                        workers,
+                    );
+                    black_box(r.covered_blocks())
+                })
+            },
+        );
+    }
+    g.bench_function("learn_histories", |b| {
+        b.iter(|| {
+            let h = detector.learn_histories(observations.iter().copied(), window);
+            black_box(h.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dnswire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dnswire");
+    let msg = Message::query(42, "www.example.com".parse::<DnsName>().unwrap(), RecordType::A);
+    let wire = msg.encode();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_query", |b| {
+        b.iter(|| black_box(msg.encode()))
+    });
+    g.bench_function("decode_query", |b| {
+        b.iter(|| black_box(Message::decode(&wire).unwrap()))
+    });
+
+    // Telescope ingest of simulator-rendered packets.
+    let scenario = Scenario::quick(7);
+    let obs: Vec<Observation> = scenario.observations().take(10_000).collect();
+    let mut feed = PacketFeed::new(1);
+    let packets: Vec<_> = obs.iter().map(|o| feed.render(o)).collect();
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("telescope_ingest_10k", |b| {
+        b.iter(|| {
+            let mut tel = Telescope::new();
+            let n = packets.iter().filter_map(|p| tel.observe(p)).count();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_interval_algebra(c: &mut Criterion) {
+    // Realistic timeline shapes: hundreds of outage spans.
+    let a: IntervalSet = (0..500)
+        .map(|i| Interval::from_secs(i * 1_000, i * 1_000 + 400))
+        .collect();
+    let b: IntervalSet = (0..500)
+        .map(|i| Interval::from_secs(i * 1_000 + 200, i * 1_000 + 700))
+        .collect();
+    let mut g = c.benchmark_group("interval_algebra");
+    g.bench_function("intersect_500x500", |bch| {
+        bch.iter(|| black_box(a.intersect(&b).total()))
+    });
+    g.bench_function("subtract_500x500", |bch| {
+        bch.iter(|| black_box(a.subtract(&b).total()))
+    });
+    g.bench_function("union_500x500", |bch| {
+        bch.iter(|| black_box(a.union(&b).total()))
+    });
+    g.finish();
+}
+
+fn bench_traffic_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.bench_function("generate_quick_scenario_stream", |b| {
+        b.iter(|| {
+            let scenario = Scenario::quick(42);
+            black_box(scenario.observations().count())
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = detector;
+    config = config();
+    targets = bench_detector_throughput, bench_dnswire, bench_interval_algebra, bench_traffic_generation
+}
+criterion_main!(detector);

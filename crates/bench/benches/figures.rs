@@ -1,0 +1,72 @@
+//! Criterion benches regenerating each *figure* of the paper, plus the
+//! design-choice ablations called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use outage_bench::experiments::{
+    ablate_fixed_bins, ablate_no_agg, ablate_no_diurnal, ablate_no_refine, fig1, fig2a, fig2b,
+    Scale,
+};
+use std::hint::black_box;
+
+fn scale() -> Scale {
+    Scale {
+        num_as: 30,
+        seed: 42,
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_coverage_vs_precision_tradeoff", |b| {
+        b.iter(|| {
+            let f = fig1(black_box(scale()));
+            assert!(!f.by_width.is_empty());
+            black_box(f.with_aggregation)
+        })
+    });
+}
+
+fn bench_fig2a(c: &mut Criterion) {
+    c.bench_function("fig2a_ipv4_vs_ipv6_outage_report", |b| {
+        b.iter(|| {
+            let f = fig2a(black_box(scale()));
+            black_box((f.v4_rate(), f.v6_rate()))
+        })
+    });
+}
+
+fn bench_fig2b(c: &mut Criterion) {
+    c.bench_function("fig2b_coverage_vs_prior_systems", |b| {
+        b.iter(|| {
+            let f = fig2b(black_box(scale()));
+            black_box((f.v4_fraction, f.v6_fraction))
+        })
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.bench_function("fixed_bins", |b| {
+        b.iter(|| black_box(ablate_fixed_bins(scale()).full))
+    });
+    g.bench_function("no_exact_timestamps", |b| {
+        b.iter(|| black_box(ablate_no_refine(scale()).full))
+    });
+    g.bench_function("no_aggregation", |b| {
+        b.iter(|| black_box(ablate_no_agg(scale()).full))
+    });
+    g.bench_function("no_diurnal_model", |b| {
+        b.iter(|| black_box(ablate_no_diurnal(scale()).full))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_fig1, bench_fig2a, bench_fig2b, bench_ablations
+}
+criterion_main!(figures);

@@ -1,0 +1,55 @@
+//! Criterion benches regenerating each *table* of the paper.
+//!
+//! One bench per table. Each iteration rebuilds the scenario and runs
+//! the full comparison, so the timing covers the whole experiment
+//! pipeline (generation → detection → baseline → matrix).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use outage_bench::experiments::{table1, table2, table3, Scale};
+use std::hint::black_box;
+
+fn scale() -> Scale {
+    Scale {
+        num_as: 30,
+        seed: 42,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_long_outages_vs_trinocular", |b| {
+        b.iter(|| {
+            let r = table1(black_box(scale()));
+            assert!(r.matrix.total() > 0);
+            black_box(r.matrix)
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_dense_blocks_vs_trinocular", |b| {
+        b.iter(|| {
+            let r = table2(black_box(scale()));
+            black_box(r.matrix)
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_short_outage_events_vs_atlas", |b| {
+        b.iter(|| {
+            let r = table3(black_box(scale()));
+            black_box(r.matrix)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = tables;
+    config = config();
+    targets = bench_table1, bench_table2, bench_table3
+}
+criterion_main!(tables);

@@ -1,0 +1,119 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--num-as N] [--seed S] [table1|table2|table3|fig1|fig2a|fig2b|
+//!        ablate-fixed-bins|ablate-no-refine|ablate-no-agg|all]
+//! ```
+
+use outage_bench::experiments::{
+    ablate_fixed_bins, ablate_no_agg, ablate_no_diurnal, ablate_no_refine, compare_baselines,
+    fig1, fig2a, fig2b, stability, table1, table2, table3, week, Scale,
+};
+
+fn main() {
+    let mut scale = Scale::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--num-as" => {
+                scale.num_as = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--num-as needs a number"));
+            }
+            "--seed" => {
+                scale.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    for target in &targets {
+        match target.as_str() {
+            "table1" => run_table1(scale),
+            "table2" => run_table2(scale),
+            "table3" => run_table3(scale),
+            "fig1" => run_fig1(scale),
+            "fig2a" => run_fig2a(scale),
+            "fig2b" => run_fig2b(scale),
+            "ablate-fixed-bins" => println!("{}\n", ablate_fixed_bins(scale).rendered),
+            "ablate-no-refine" => println!("{}\n", ablate_no_refine(scale).rendered),
+            "ablate-no-agg" => println!("{}\n", ablate_no_agg(scale).rendered),
+            "ablate-no-diurnal" => println!("{}\n", ablate_no_diurnal(scale).rendered),
+            "baselines" => println!("{}\n", compare_baselines(scale).rendered),
+            "week" => println!("{}\n", week(scale).rendered),
+            "stability" => println!("{}\n", stability(scale, 5).rendered),
+            "all" => {
+                run_table1(scale);
+                run_table2(scale);
+                run_table3(scale);
+                run_fig1(scale);
+                run_fig2a(scale);
+                run_fig2b(scale);
+                println!("{}\n", ablate_fixed_bins(scale).rendered);
+                println!("{}\n", ablate_no_refine(scale).rendered);
+                println!("{}\n", ablate_no_agg(scale).rendered);
+                println!("{}\n", ablate_no_diurnal(scale).rendered);
+                println!("{}\n", compare_baselines(scale).rendered);
+                println!("{}\n", week(scale).rendered);
+            }
+            other => usage(&format!("unknown target '{other}'")),
+        }
+    }
+}
+
+fn run_table1(scale: Scale) {
+    let r = table1(scale);
+    println!("{}", r.rendered);
+    println!("({} overlapping /24 blocks compared)\n", r.blocks_compared);
+}
+
+fn run_table2(scale: Scale) {
+    let r = table2(scale);
+    println!("{}", r.rendered);
+    println!("({} dense /24 blocks compared)\n", r.blocks_compared);
+}
+
+fn run_table3(scale: Scale) {
+    let r = table3(scale);
+    println!("{}", r.rendered);
+    println!("({} dual-covered blocks compared)\n", r.blocks_compared);
+}
+
+fn run_fig1(scale: Scale) {
+    println!("{}", fig1(scale).rendered);
+}
+
+fn run_fig2a(scale: Scale) {
+    let r = fig2a(scale);
+    println!("{}", r.rendered);
+    println!(
+        "outage rate: IPv4 {:.1}%, IPv6 {:.1}%\n",
+        100.0 * r.v4_rate(),
+        100.0 * r.v6_rate()
+    );
+}
+
+fn run_fig2b(scale: Scale) {
+    println!("{}", fig2b(scale).rendered);
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--num-as N] [--seed S] [TARGET...]\n\
+         targets: table1 table2 table3 fig1 fig2a fig2b\n\
+         \x20        ablate-fixed-bins ablate-no-refine ablate-no-agg\n\x20        ablate-no-diurnal baselines week stability all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

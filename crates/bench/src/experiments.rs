@@ -1,0 +1,930 @@
+//! Experiment implementations: Tables 1–3, Figures 1–2, and ablations.
+
+use outage_core::{coverage_by_width, spatial_coverage, DetectorConfig, PassiveDetector};
+use outage_eval::{duration_table, event_table, series_table, DurationMatrix, EventMatrix};
+use outage_netsim::Scenario;
+use outage_ripe::{place_probes, RipeAtlas};
+use outage_trinocular::{Trinocular, TrinocularConfig};
+use outage_types::{durations, AddrFamily, Prefix, UnixTime};
+
+/// Experiment size: number of ASes in the synthetic world and the master
+/// seed. The paper's real-world runs cover ~900 k blocks; the default
+/// here builds a world of a few hundred blocks that runs in seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of ASes to generate.
+    pub num_as: u32,
+    /// Master seed (scenario, schedules, probes all derive from it).
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            num_as: 120,
+            seed: 42,
+        }
+    }
+}
+
+impl Scale {
+    /// A smaller scale for unit tests and quick smoke runs.
+    pub fn small() -> Scale {
+        Scale {
+            num_as: 40,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a confusion-matrix experiment.
+#[derive(Debug)]
+pub struct TableResult<M> {
+    /// The summed matrix.
+    pub matrix: M,
+    /// Number of blocks compared (the overlap of both systems'
+    /// coverage).
+    pub blocks_compared: usize,
+    /// Paper-style rendering.
+    pub rendered: String,
+}
+
+/// **Table 1** — duration-weighted confusion matrix for long (≥ 11 min)
+/// outages: the passive detector (observation) vs Trinocular (ground
+/// truth), over the /24s both systems cover.
+pub fn table1(scale: Scale) -> TableResult<DurationMatrix> {
+    let scenario = Scenario::table1(scale.num_as, scale.seed);
+    table1_with_config(&scenario, DetectorConfig::default(), "Table 1: long-duration outages (s), passive vs Trinocular")
+}
+
+/// **Table 2** — as Table 1, restricted to *dense* blocks (those the
+/// tuner gave the finest, 300 s bins). The paper's point: on dense
+/// blocks the passive detector catches nearly all outage time.
+pub fn table2(scale: Scale) -> TableResult<DurationMatrix> {
+    let scenario = Scenario::table1(scale.num_as, scale.seed);
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let observations = scenario.collect_observations();
+    let report = detector.run_slice(&observations, scenario.window());
+
+    // Dense = judged at the finest candidate width, on its own unit.
+    let dense: Vec<Prefix> = report
+        .units
+        .iter()
+        .enumerate()
+        .filter(|(i, u)| {
+            report.members[*i].len() == 1
+                && u.prefix.family() == AddrFamily::V4
+                && u.params.width == detector.config().bin_widths[0]
+        })
+        .map(|(_, u)| u.prefix)
+        .collect();
+
+    let mut oracle = scenario.oracle();
+    let trino = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &dense);
+
+    let mut matrix = DurationMatrix::default();
+    let mut blocks_compared = 0;
+    for b in &dense {
+        let (Some(obs_tl), Some(tri_tl)) = (report.timeline_for(b), trino.timeline_for(b)) else {
+            continue;
+        };
+        matrix += DurationMatrix::of_min_duration(obs_tl, tri_tl, durations::ELEVEN_MIN);
+        blocks_compared += 1;
+    }
+    TableResult {
+        matrix,
+        blocks_compared,
+        rendered: duration_table(
+            "Table 2: long-duration outages on dense blocks (s), passive vs Trinocular",
+            &matrix,
+        ),
+    }
+}
+
+/// Table 1's core, parameterized by detector config (reused by the
+/// exact-timestamp ablation).
+pub fn table1_with_config(
+    scenario: &Scenario,
+    config: DetectorConfig,
+    title: &str,
+) -> TableResult<DurationMatrix> {
+    let detector = PassiveDetector::new(config);
+    let observations = scenario.collect_observations();
+    let report = detector.run_slice(&observations, scenario.window());
+
+    // Overlap: v4 blocks the passive system covers (Trinocular probes
+    // everything, so passive coverage is the binding constraint, as in
+    // the paper where B-root coverage limits the comparison).
+    let covered: Vec<Prefix> = scenario
+        .internet
+        .blocks_of(AddrFamily::V4)
+        .map(|b| b.prefix)
+        .filter(|p| report.timeline_for(p).is_some())
+        .collect();
+
+    let mut oracle = scenario.oracle();
+    let trino = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &covered);
+
+    let mut matrix = DurationMatrix::default();
+    let mut blocks_compared = 0;
+    for b in &covered {
+        let (Some(obs_tl), Some(tri_tl)) = (report.timeline_for(b), trino.timeline_for(b)) else {
+            continue;
+        };
+        matrix += DurationMatrix::of_min_duration(obs_tl, tri_tl, durations::ELEVEN_MIN);
+        blocks_compared += 1;
+    }
+    TableResult {
+        matrix,
+        blocks_compared,
+        rendered: duration_table(title, &matrix),
+    }
+}
+
+/// **Table 3** — event-matched confusion matrix for short (≥ 5 min)
+/// outages: passive detector vs the Atlas-style mesh, over blocks with
+/// traffic at B-root *and* a hosted probe, with ±180 s tolerance.
+pub fn table3(scale: Scale) -> TableResult<EventMatrix> {
+    let scenario = Scenario::table3(scale.num_as, scale.seed);
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let observations = scenario.collect_observations();
+    let report = detector.run_slice(&observations, scenario.window());
+
+    // Place probes in ~half the v4 blocks; the dual-covered subset is
+    // the comparison population (the paper had 600 such blocks).
+    let n_probes = scenario.internet.count_of(AddrFamily::V4) / 2;
+    let probes = place_probes(&scenario.internet, n_probes, scale.seed);
+    let atlas = RipeAtlas::default().run(&scenario.schedule, &probes, scale.seed);
+
+    let mut matrix = EventMatrix::default();
+    let mut blocks_compared = 0;
+    for (block, atlas_tl) in &atlas.timelines {
+        let Some(obs_tl) = report.timeline_for(block) else {
+            continue;
+        };
+        matrix += EventMatrix::of(obs_tl, atlas_tl, durations::FIVE_MIN, 180);
+        blocks_compared += 1;
+    }
+    TableResult {
+        matrix,
+        blocks_compared,
+        rendered: event_table(
+            "Table 3: short-duration outages (events), passive vs RIPE-Atlas-style mesh",
+            &matrix,
+        ),
+    }
+}
+
+/// One row of Figure 1's coverage curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageRow {
+    /// Bin width in seconds.
+    pub width: u64,
+    /// Fraction of observed blocks measurable at this width.
+    pub fraction: f64,
+}
+
+/// **Figure 1** — trading temporal (and spatial) precision for coverage.
+#[derive(Debug)]
+pub struct CoverageFigure {
+    /// Coverage vs bin width (temporal axis).
+    pub by_width: Vec<CoverageRow>,
+    /// Coverage with spatial aggregation allowed, overall fraction.
+    pub with_aggregation: f64,
+    /// Coverage without any fallback at the finest width only.
+    pub finest_only: f64,
+    /// Rendered table.
+    pub rendered: String,
+}
+
+/// **Figure 1** — coverage as a function of allowed temporal precision,
+/// plus the spatial-aggregation alternative.
+pub fn fig1(scale: Scale) -> CoverageFigure {
+    let scenario = Scenario::tradeoff(scale.num_as, scale.seed);
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let observations = scenario.collect_observations();
+    let histories = detector.learn_histories(observations.iter().copied(), scenario.window());
+
+    let curve = coverage_by_width(&histories, detector.config(), Some(AddrFamily::V4));
+    let by_width: Vec<CoverageRow> = curve
+        .iter()
+        .map(|p| CoverageRow {
+            width: p.width,
+            fraction: p.fraction(),
+        })
+        .collect();
+
+    let plan = detector.plan_units(&histories);
+    let spatial = spatial_coverage(&plan);
+
+    let rows: Vec<(String, String)> = by_width
+        .iter()
+        .map(|r| (format!("{}", r.width), format!("{:.3}", r.fraction)))
+        .chain(std::iter::once((
+            "any + spatial aggregation".to_string(),
+            format!("{:.3}", spatial.covered_fraction()),
+        )))
+        .collect();
+
+    CoverageFigure {
+        finest_only: by_width.first().map(|r| r.fraction).unwrap_or(0.0),
+        with_aggregation: spatial.covered_fraction(),
+        by_width,
+        rendered: series_table(
+            "Figure 1: coverage vs temporal precision (fraction of observed /24s measurable)",
+            "bin width (s)",
+            "coverage",
+            &rows,
+        ),
+    }
+}
+
+/// **Figure 2a** — IPv4 vs IPv6 outage report.
+#[derive(Debug)]
+pub struct Fig2aResult {
+    /// Measurable (covered) v4 blocks.
+    pub v4_measurable: usize,
+    /// Measurable (covered) v6 blocks.
+    pub v6_measurable: usize,
+    /// v4 blocks with ≥ 1 ten-minute outage.
+    pub v4_with_outage: usize,
+    /// v6 blocks with ≥ 1 ten-minute outage.
+    pub v6_with_outage: usize,
+    /// Rendered table.
+    pub rendered: String,
+}
+
+impl Fig2aResult {
+    /// v4 outage rate among measurable blocks.
+    pub fn v4_rate(&self) -> f64 {
+        rate(self.v4_with_outage, self.v4_measurable)
+    }
+
+    /// v6 outage rate among measurable blocks.
+    pub fn v6_rate(&self) -> f64 {
+        rate(self.v6_with_outage, self.v6_measurable)
+    }
+}
+
+/// **Figure 2a** — one representative day: measurable blocks and blocks
+/// with at least one 10-minute outage, per family.
+pub fn fig2a(scale: Scale) -> Fig2aResult {
+    let scenario = Scenario::ipv6_day(scale.num_as, scale.seed);
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let observations = scenario.collect_observations();
+    let report = detector.run_slice(&observations, scenario.window());
+
+    let with_outage = report.blocks_with_outage(durations::TEN_MIN);
+    let count = |family: AddrFamily, blocks: &[Prefix]| {
+        blocks.iter().filter(|p| p.family() == family).count()
+    };
+    let covered: Vec<Prefix> = report
+        .members
+        .iter()
+        .flat_map(|m| m.iter().copied())
+        .collect();
+
+    let v4_measurable = count(AddrFamily::V4, &covered);
+    let v6_measurable = count(AddrFamily::V6, &covered);
+    let v4_with_outage = count(AddrFamily::V4, &with_outage);
+    let v6_with_outage = count(AddrFamily::V6, &with_outage);
+
+    let rows = vec![
+        ("IPv4 measurable /24s".into(), v4_measurable.to_string()),
+        ("IPv4 with ≥1 10-min outage".into(), format!("{v4_with_outage} ({:.1}%)", 100.0 * rate(v4_with_outage, v4_measurable))),
+        ("IPv6 measurable /48s".into(), v6_measurable.to_string()),
+        ("IPv6 with ≥1 10-min outage".into(), format!("{v6_with_outage} ({:.1}%)", 100.0 * rate(v6_with_outage, v6_measurable))),
+    ];
+    Fig2aResult {
+        v4_measurable,
+        v6_measurable,
+        v4_with_outage,
+        v6_with_outage,
+        rendered: series_table("Figure 2a: outage report, IPv4 vs IPv6", "population", "count", &rows),
+    }
+}
+
+/// **Figure 2b** — coverage relative to the best prior system per family.
+#[derive(Debug)]
+pub struct Fig2bResult {
+    /// Covered v4 blocks / Trinocular-universe v4 blocks.
+    pub v4_fraction: f64,
+    /// Covered v6 blocks / Gasser-hitlist-universe v6 blocks.
+    pub v6_fraction: f64,
+    /// Rendered table.
+    pub rendered: String,
+}
+
+/// **Figure 2b** — the passive system's coverage as a fraction of each
+/// family's best prior universe. Trinocular's probe universe is every
+/// generated v4 block; the Gasser-hitlist stand-in is every generated v6
+/// block, ~78 % of which are dark to the monitored service (B-root sees
+/// only recursive resolvers). The paper found ≈ 19.6 % and ≈ 17 % —
+/// *similar fractions in both families* is the claim.
+pub fn fig2b(scale: Scale) -> Fig2bResult {
+    let scenario = Scenario::ipv6_universe(scale.num_as, scale.seed);
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let observations = scenario.collect_observations();
+    let report = detector.run_slice(&observations, scenario.window());
+
+    // Strict coverage: blocks measurable at *block* granularity (own
+    // unit), mirroring the paper's per-/24 and per-/48 counting.
+    let mut v4_covered = 0usize;
+    let mut v6_covered = 0usize;
+    for (i, u) in report.units.iter().enumerate() {
+        if report.members[i].len() == 1 {
+            match u.prefix.family() {
+                AddrFamily::V4 => v4_covered += 1,
+                AddrFamily::V6 => v6_covered += 1,
+            }
+        }
+    }
+    let v4_universe = scenario.internet.count_of(AddrFamily::V4);
+    let v6_universe = scenario.internet.count_of(AddrFamily::V6);
+    let v4_fraction = rate(v4_covered, v4_universe);
+    let v6_fraction = rate(v6_covered, v6_universe);
+
+    let rows = vec![
+        (
+            "IPv4: covered /24s / Trinocular universe".into(),
+            format!("{v4_covered}/{v4_universe} = {:.1}%", 100.0 * v4_fraction),
+        ),
+        (
+            "IPv6: covered /48s / hitlist universe".into(),
+            format!("{v6_covered}/{v6_universe} = {:.1}%", 100.0 * v6_fraction),
+        ),
+    ];
+    Fig2bResult {
+        v4_fraction,
+        v6_fraction,
+        rendered: series_table(
+            "Figure 2b: coverage relative to best prior system",
+            "family",
+            "fraction",
+            &rows,
+        ),
+    }
+}
+
+/// Result of an ablation comparison.
+#[derive(Debug)]
+pub struct AblationResult {
+    /// Metric under the full system.
+    pub full: f64,
+    /// Metric with the feature removed.
+    pub ablated: f64,
+    /// What the metric is.
+    pub metric: &'static str,
+    /// Rendered summary.
+    pub rendered: String,
+}
+
+/// Ablation: homogeneous fixed 300 s bins for everyone (no per-block
+/// tuning) — coverage collapses for sparse blocks.
+pub fn ablate_fixed_bins(scale: Scale) -> AblationResult {
+    let scenario = Scenario::tradeoff(scale.num_as, scale.seed);
+    let observations = scenario.collect_observations();
+    let window = scenario.window();
+
+    let run = |config: DetectorConfig| {
+        let det = PassiveDetector::new(config);
+        let hist = det.learn_histories(observations.iter().copied(), window);
+        let plan = det.plan_units(&hist);
+        let covered: usize = plan.units.iter().map(|u| u.members.len()).sum();
+        covered as f64 / hist.len().max(1) as f64
+    };
+    let full = run(DetectorConfig::default());
+    let ablated = run(DetectorConfig::fixed_width(300));
+    AblationResult {
+        full,
+        ablated,
+        metric: "covered fraction of observed blocks",
+        rendered: format!(
+            "ablation fixed-300s-bins: coverage {:.3} (adaptive) vs {:.3} (fixed) — per-block tuning buys {:+.1}% coverage",
+            full,
+            ablated,
+            100.0 * (full - ablated)
+        ),
+    }
+}
+
+/// Ablation: disable exact-timestamp refinement — TNR against Trinocular
+/// drops because edges fall back to bin boundaries.
+pub fn ablate_no_refine(scale: Scale) -> AblationResult {
+    let scenario = Scenario::table1(scale.num_as, scale.seed);
+    let full = table1_with_config(&scenario, DetectorConfig::default(), "full").matrix;
+    let cfg = DetectorConfig {
+        use_exact_timestamps: false,
+        ..DetectorConfig::default()
+    };
+    let ablated = table1_with_config(&scenario, cfg, "ablated").matrix;
+    AblationResult {
+        full: full.tnr(),
+        ablated: ablated.tnr(),
+        metric: "TNR vs Trinocular (long outages)",
+        rendered: format!(
+            "ablation no-exact-timestamps: TNR {:.3} (full) vs {:.3} (bin edges only)",
+            full.tnr(),
+            ablated.tnr()
+        ),
+    }
+}
+
+/// Ablation: disable the diurnal model — quiet nights on dense blocks
+/// masquerade as stacks of false micro-outages. Measured as event-level
+/// precision of the passive detector against the simulator's own ground
+/// truth (the cleanest way to count false events).
+pub fn ablate_no_diurnal(scale: Scale) -> AblationResult {
+    let scenario = Scenario::table3(scale.num_as, scale.seed);
+    let observations = scenario.collect_observations();
+    let window = scenario.window();
+
+    let run = |config: DetectorConfig| {
+        let det = PassiveDetector::new(config);
+        let report = det.run_slice(&observations, window);
+        let mut m = EventMatrix::default();
+        for (i, unit) in report.units.iter().enumerate() {
+            for block in &report.members[i] {
+                let truth = scenario.schedule.truth(block);
+                m += EventMatrix::of(&unit.timeline, &truth, durations::FIVE_MIN, 180);
+            }
+        }
+        m
+    };
+    let full = run(DetectorConfig::default());
+    let ablated = run(DetectorConfig {
+        diurnal_model: false,
+        ..DetectorConfig::default()
+    });
+    AblationResult {
+        full: full.recall(),
+        ablated: ablated.recall(),
+        metric: "event recall vs ground truth (false outages penalize it)",
+        rendered: format!(
+            "ablation no-diurnal-model: false short-outage events {} (with) vs {} (without) — \
+             event recall {:.3} vs {:.3}",
+            full.fo,
+            ablated.fo,
+            full.recall(),
+            ablated.recall()
+        ),
+    }
+}
+
+/// Ablation: disable spatial aggregation — sparse blocks drop out.
+pub fn ablate_no_agg(scale: Scale) -> AblationResult {
+    let scenario = Scenario::tradeoff(scale.num_as, scale.seed);
+    let observations = scenario.collect_observations();
+    let window = scenario.window();
+    let run = |config: DetectorConfig| {
+        let det = PassiveDetector::new(config);
+        let hist = det.learn_histories(observations.iter().copied(), window);
+        let plan = det.plan_units(&hist);
+        let covered: usize = plan.units.iter().map(|u| u.members.len()).sum();
+        covered as f64 / hist.len().max(1) as f64
+    };
+    let full = run(DetectorConfig::default());
+    let ablated = run(DetectorConfig {
+        aggregation: None,
+        ..DetectorConfig::default()
+    });
+    AblationResult {
+        full,
+        ablated,
+        metric: "covered fraction of observed blocks",
+        rendered: format!(
+            "ablation no-aggregation: coverage {:.3} (with) vs {:.3} (without spatial fallback)",
+            full, ablated
+        ),
+    }
+}
+
+/// Result of the baseline spatial-precision comparison.
+#[derive(Debug)]
+pub struct BaselineComparison {
+    /// Single-block outages pinpointed to the right /24 by the passive
+    /// detector.
+    pub passive_pinpointed: usize,
+    /// Same outages detected at AS level by Chocolatine (it cannot say
+    /// which /24).
+    pub chocolatine_as_level: usize,
+    /// Total injected single-block outages.
+    pub injected: usize,
+    /// Probes Trinocular spent to monitor the same population (active
+    /// traffic budget; the passive systems spend zero).
+    pub trinocular_probes: u64,
+    /// Rendered summary.
+    pub rendered: String,
+}
+
+/// **Baseline comparison** — the paper's positioning claim: prior passive
+/// systems reach 5-minute precision only at AS granularity. Inject one
+/// long outage into a single /24 of each of several multi-block ASes over
+/// a two-day window (Chocolatine needs a training day), then ask each
+/// system what it saw.
+pub fn compare_baselines(scale: Scale) -> BaselineComparison {
+    use outage_chocolatine::Chocolatine;
+    use outage_netsim::{OutageConfig, OutageSchedule, ScenarioConfig, TopologyConfig};
+    use outage_types::Interval;
+
+    let config = ScenarioConfig {
+        name: "baseline-comparison".into(),
+        topology: TopologyConfig {
+            num_as: scale.num_as,
+            v4_blocks_per_as: 10.0,
+            rate_mu: -3.4,
+            ..TopologyConfig::default()
+        },
+        outages: OutageConfig {
+            p_long_per_day: 0.0,
+            p_short_per_day: 0.0,
+            p_as_per_day: 0.0,
+            ..OutageConfig::default()
+        },
+        window_secs: 2 * durations::DAY,
+        seed: scale.seed,
+    };
+    let mut scenario = Scenario::build(config);
+
+    // One victim /24 per sufficiently multi-block AS: a minor traffic
+    // contributor, but dense enough for a fine-grained unit.
+    let mut victims: Vec<Prefix> = Vec::new();
+    let mut schedule = OutageSchedule::new(scenario.window());
+    for asp in scenario.internet.ases() {
+        if asp.block_indices.len() < 6 {
+            continue;
+        }
+        let total: f64 = scenario
+            .internet
+            .blocks_of_as(asp.id)
+            .map(|b| b.base_rate)
+            .sum();
+        if let Some(v) = scenario
+            .internet
+            .blocks_of_as(asp.id)
+            .find(|b| b.base_rate >= 0.02 && b.base_rate < 0.12 * total)
+        {
+            let start = durations::DAY + 20_000 + (victims.len() as u64 * 3_000) % 40_000;
+            schedule.add(v.prefix, Interval::new(UnixTime(start), UnixTime(start + 7_200)));
+            victims.push(v.prefix);
+        }
+    }
+    scenario.schedule = schedule;
+    let injected = victims.len();
+
+    let observations = scenario.collect_observations();
+
+    // Passive per-block detection (judge day 2 with day-1 history).
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let report = detector.run_slice(&observations, scenario.window());
+    let passive_pinpointed = victims
+        .iter()
+        .filter(|v| {
+            !report.is_aggregated(v)
+                && report
+                    .timeline_for(v)
+                    .is_some_and(|tl| !tl.down.filter_min_duration(durations::ELEVEN_MIN).is_empty())
+        })
+        .count();
+
+    // Chocolatine at AS level.
+    let internet = &scenario.internet;
+    let choco = Chocolatine::default().run(observations.iter().copied(), scenario.window(), |p| {
+        internet.as_of(p).map(|a| a.0)
+    });
+    let chocolatine_as_level = victims
+        .iter()
+        .filter(|v| {
+            internet
+                .as_of(v)
+                .and_then(|a| choco.timeline_for(a.0))
+                .is_some_and(|tl| tl.down_secs() > 0)
+        })
+        .count();
+
+    // Trinocular's probe budget over the victims' ASes for the same
+    // window (what "just probe everything" would cost).
+    let probe_population: Vec<Prefix> = victims
+        .iter()
+        .filter_map(|v| internet.as_of(v))
+        .flat_map(|a| internet.blocks_of_as(a).map(|b| b.prefix))
+        .collect();
+    let mut oracle = scenario.oracle();
+    let trino = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &probe_population);
+
+    let rendered = format!(
+        "baseline comparison over {injected} single-/24 outages (2-day window):\n\
+         \x20 passive (this work) pinpointed the /24 : {passive_pinpointed}/{injected}\n\
+         \x20 chocolatine saw the AS (not the /24)   : {chocolatine_as_level}/{injected}\n\
+         \x20 trinocular probe budget, same coverage : {} probes (passive: 0)",
+        trino.probes_sent
+    );
+
+    BaselineComparison {
+        passive_pinpointed,
+        chocolatine_as_level,
+        injected,
+        trinocular_probes: trino.probes_sent,
+        rendered,
+    }
+}
+
+/// Result of the week-long streaming validation.
+#[derive(Debug)]
+pub struct WeekResult {
+    /// Duration matrix vs ground truth over the six live days.
+    pub matrix: DurationMatrix,
+    /// Outage events reported across the week.
+    pub events: usize,
+    /// Blocks covered on the final day.
+    pub covered: usize,
+    /// Rendered summary.
+    pub rendered: String,
+}
+
+/// **Week validation** — the paper evaluates seven days (2019-01-09 to
+/// 2019-01-15). This runs the *streaming* monitor over a simulated week
+/// with weekly seasonality (weekend traffic at 70 %): day 1 warms up,
+/// days 2–7 are judged live with each day's model learned from the day
+/// before, and the verdicts are scored against ground truth.
+pub fn week(scale: Scale) -> WeekResult {
+    use outage_core::StreamingMonitor;
+    use outage_types::Timeline;
+
+    let scenario = Scenario::week(scale.num_as, scale.seed);
+    let mut monitor = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0));
+
+    // Tick every 5 simulated minutes so outages are noticed on wall
+    // clock, as a deployment's timer would.
+    let mut next_tick = 300u64;
+    for obs in scenario.observations() {
+        while obs.time.secs() >= next_tick {
+            monitor.tick(UnixTime(next_tick));
+            next_tick += 300;
+        }
+        monitor.observe(obs);
+    }
+    let covered = monitor.covered_blocks();
+
+    // Score each closed epoch's per-block timelines against truth.
+    let mut matrix = DurationMatrix::default();
+    let mut scored_blocks = std::collections::HashSet::new();
+    for b in scenario.internet.blocks() {
+        let closed = monitor.closed_timelines(&b.prefix);
+        if closed.is_empty() {
+            continue;
+        }
+        scored_blocks.insert(b.prefix);
+        let truth_all = scenario.schedule.truth(&b.prefix);
+        for tl in closed {
+            let day_truth = Timeline::from_down(tl.window, truth_all.down.clip(tl.window));
+            matrix += DurationMatrix::of(tl, &day_truth);
+        }
+    }
+    // Include the final (7th) day still in flight.
+    let events_total = {
+        let events = monitor.finish(UnixTime(7 * durations::DAY));
+        events.len()
+    };
+
+    let rendered = format!(
+        "week validation (7 days, weekend factor 0.7, {} blocks scored):
+           precision {:.4}  recall {:.4}  TNR {:.4}  ({} outage events, {} blocks covered on final day)",
+        scored_blocks.len(),
+        matrix.precision(),
+        matrix.recall(),
+        matrix.tnr(),
+        events_total,
+        covered,
+    );
+    WeekResult {
+        matrix,
+        events: events_total,
+        covered,
+        rendered,
+    }
+}
+
+/// Mean ± standard deviation of one metric across seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub sd: f64,
+}
+
+impl MetricStats {
+    fn of(samples: &[f64]) -> MetricStats {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n.max(1.0);
+        let sd = if samples.len() < 2 {
+            0.0
+        } else {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        };
+        MetricStats { mean, sd }
+    }
+}
+
+impl std::fmt::Display for MetricStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.sd)
+    }
+}
+
+/// Seed-stability of the Table 1 metrics.
+#[derive(Debug)]
+pub struct StabilityResult {
+    /// Precision across seeds.
+    pub precision: MetricStats,
+    /// Recall across seeds.
+    pub recall: MetricStats,
+    /// TNR across seeds.
+    pub tnr: MetricStats,
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// Rendered summary.
+    pub rendered: String,
+}
+
+/// **Stability check** — rerun the Table 1 comparison across `n_seeds`
+/// consecutive seeds and report mean ± sd of each metric. Backs the
+/// claim that the reproduced shapes are properties of the system, not of
+/// one lucky draw.
+pub fn stability(scale: Scale, n_seeds: u64) -> StabilityResult {
+    let seeds: Vec<u64> = (0..n_seeds.max(1)).map(|i| scale.seed + i).collect();
+    let mut precision = Vec::new();
+    let mut recall = Vec::new();
+    let mut tnr = Vec::new();
+    for &seed in &seeds {
+        let m = table1(Scale { seed, ..scale }).matrix;
+        precision.push(m.precision());
+        recall.push(m.recall());
+        tnr.push(m.tnr());
+    }
+    let (p, r, t) = (
+        MetricStats::of(&precision),
+        MetricStats::of(&recall),
+        MetricStats::of(&tnr),
+    );
+    let rendered = format!(
+        "stability of Table 1 across {} seeds ({}..{}):
+           precision {p}   recall {r}   TNR {t}",
+        seeds.len(),
+        seeds.first().unwrap(),
+        seeds.last().unwrap(),
+    );
+    StabilityResult {
+        precision: p,
+        recall: r,
+        tnr: t,
+        seeds,
+        rendered,
+    }
+}
+
+fn rate(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These are shape tests: at small scale, do the experiments produce
+    // the qualitative results the paper reports?
+
+    #[test]
+    fn table1_shape_high_precision_and_recall() {
+        let r = table1(Scale::small());
+        assert!(r.blocks_compared > 20, "only {} blocks", r.blocks_compared);
+        assert!(r.matrix.precision() > 0.98, "precision {}", r.matrix.precision());
+        assert!(r.matrix.recall() > 0.97, "recall {}", r.matrix.recall());
+        assert!(r.matrix.tnr() > 0.5, "TNR {}", r.matrix.tnr());
+        assert!(r.rendered.contains("Table 1"));
+    }
+
+    #[test]
+    fn table2_dense_blocks_improve_tnr() {
+        let t1 = table1(Scale::small());
+        let t2 = table2(Scale::small());
+        assert!(t2.blocks_compared <= t1.blocks_compared);
+        assert!(
+            t2.matrix.tnr() >= t1.matrix.tnr() - 0.05,
+            "dense TNR {} should not trail overall {}",
+            t2.matrix.tnr(),
+            t1.matrix.tnr()
+        );
+        assert!(t2.matrix.precision() > 0.98);
+    }
+
+    #[test]
+    fn table3_shape_events_match() {
+        let r = table3(Scale::small());
+        assert!(r.blocks_compared > 10);
+        assert!(r.matrix.total() > 0);
+        assert!(r.matrix.precision() > 0.9, "precision {}", r.matrix.precision());
+        assert!(r.matrix.recall() > 0.8, "recall {}", r.matrix.recall());
+        assert!(r.matrix.tnr() > 0.4, "TNR {}", r.matrix.tnr());
+    }
+
+    #[test]
+    fn fig1_coverage_grows_with_bin_width() {
+        let f = fig1(Scale::small());
+        assert!(f.by_width.len() >= 3);
+        for w in f.by_width.windows(2) {
+            assert!(w[0].fraction <= w[1].fraction + 1e-9);
+        }
+        assert!(f.with_aggregation >= f.by_width.last().unwrap().fraction - 1e-9);
+        assert!(f.finest_only < f.with_aggregation);
+    }
+
+    #[test]
+    fn fig2a_v6_rate_exceeds_v4() {
+        let f = fig2a(Scale::small());
+        assert!(f.v4_measurable > f.v6_measurable, "v4 population dominates");
+        assert!(f.v4_with_outage > 0);
+        assert!(
+            f.v6_rate() > f.v4_rate(),
+            "v6 rate {:.3} !> v4 rate {:.3}",
+            f.v6_rate(),
+            f.v4_rate()
+        );
+    }
+
+    #[test]
+    fn fig2b_fractions_same_ballpark() {
+        let f = fig2b(Scale::small());
+        assert!(f.v4_fraction > 0.0 && f.v4_fraction <= 1.0);
+        assert!(f.v6_fraction > 0.0 && f.v6_fraction <= 1.0);
+        // "about the same fraction of IPv6 as IPv4": within 2.5× of each
+        // other at this scale.
+        let ratio = f.v4_fraction / f.v6_fraction;
+        assert!((0.4..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn baseline_comparison_shows_spatial_precision_gap() {
+        let r = compare_baselines(Scale::small());
+        assert!(r.injected >= 5, "need victims, got {}", r.injected);
+        // The passive detector pinpoints most single-/24 outages...
+        assert!(
+            r.passive_pinpointed * 10 >= r.injected * 8,
+            "passive {}/{}",
+            r.passive_pinpointed,
+            r.injected
+        );
+        // ...while AS-level aggregation dilutes most of them away.
+        assert!(
+            r.chocolatine_as_level * 2 <= r.injected,
+            "chocolatine {}/{} should be diluted",
+            r.chocolatine_as_level,
+            r.injected
+        );
+        // and active probing costs real traffic
+        assert!(r.trinocular_probes > 10_000);
+    }
+
+    #[test]
+    fn stability_metrics_are_tight_across_seeds() {
+        let r = stability(Scale { num_as: 25, seed: 42 }, 3);
+        assert_eq!(r.seeds.len(), 3);
+        assert!(r.precision.mean > 0.99, "{}", r.rendered);
+        assert!(r.precision.sd < 0.01, "{}", r.rendered);
+        assert!(r.recall.sd < 0.01, "{}", r.rendered);
+        assert!(r.tnr.mean > 0.5, "{}", r.rendered);
+    }
+
+    #[test]
+    fn week_streaming_validation_shape() {
+        let r = week(Scale { num_as: 25, seed: 42 });
+        assert!(r.covered > 50, "covered {}", r.covered);
+        assert!(r.matrix.precision() > 0.99, "{}", r.rendered);
+        assert!(r.matrix.recall() > 0.98, "{}", r.rendered);
+        assert!(r.matrix.tnr() > 0.5, "{}", r.rendered);
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn diurnal_ablation_explodes_false_events() {
+        let full = ablate_no_diurnal(Scale::small());
+        assert!(
+            full.full > full.ablated + 0.1,
+            "diurnal model must lift event recall: {}",
+            full.rendered
+        );
+    }
+
+    #[test]
+    fn ablations_move_the_metrics_the_right_way() {
+        let fixed = ablate_fixed_bins(Scale::small());
+        assert!(fixed.full > fixed.ablated, "{}", fixed.rendered);
+        let agg = ablate_no_agg(Scale::small());
+        assert!(agg.full >= agg.ablated, "{}", agg.rendered);
+    }
+}

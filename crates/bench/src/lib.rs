@@ -1,0 +1,20 @@
+//! # outage-bench
+//!
+//! The experiment harness: one function per table and figure of the
+//! paper, each building its scenario, running the detectors, and
+//! producing both structured results and a paper-style rendered table.
+//! The `repro` binary prints them; the Criterion benches time them.
+//!
+//! Absolute numbers are simulator-scale (the paper ran on ~900 k real
+//! blocks; presets here default to a few hundred for tractability) — the
+//! *shapes* documented in DESIGN.md are what must reproduce.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+
+pub use experiments::{
+    ablate_no_diurnal, compare_baselines, stability, week, fig1, fig2a, fig2b, table1, table2, table3, AblationResult,
+    BaselineComparison, CoverageFigure, Fig2aResult, Fig2bResult, Scale, TableResult,
+};

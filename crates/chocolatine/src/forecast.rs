@@ -1,0 +1,244 @@
+//! Seasonal forecasting and change detection, Chocolatine-style.
+//!
+//! Chocolatine fits a SARIMA model to per-AS traffic and flags bins whose
+//! observed count falls below the model's prediction interval. This is a
+//! faithful lightweight variant: a seasonal-naive base (same bin
+//! yesterday) with an AR(1) correction on the seasonally-differenced
+//! series, and a robust (MAD-based) prediction interval. During flagged
+//! bins the recursion feeds on its own *predictions* instead of the
+//! depressed observations, so an outage does not teach the model that
+//! silence is normal.
+
+use crate::series::AsSeries;
+use outage_types::{Interval, IntervalSet, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// Forecaster / detector parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForecastConfig {
+    /// Season length in bins (one day of 5-minute bins).
+    pub season: usize,
+    /// AR(1) coefficient on the seasonally-differenced series.
+    pub phi: f64,
+    /// Prediction-interval half-width in robust sigmas.
+    pub k_sigma: f64,
+    /// EWMA factor for the residual scale estimate.
+    pub scale_alpha: f64,
+    /// Minimum *predicted* count for a bin to be judged at all — an AS
+    /// whose expected traffic is a trickle cannot support 5-minute
+    /// verdicts (this is exactly the coverage limitation the paper's
+    /// per-block tuning addresses).
+    pub min_predicted: f64,
+    /// Consecutive below-bound bins required to declare an outage.
+    pub min_consecutive: usize,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        ForecastConfig {
+            season: 288,
+            phi: 0.6,
+            k_sigma: 3.0,
+            scale_alpha: 0.05,
+            min_predicted: 5.0,
+            min_consecutive: 2,
+        }
+    }
+}
+
+/// Verdict for one AS.
+#[derive(Debug, Clone)]
+pub struct AsVerdict {
+    /// Whether the AS carried enough traffic to judge.
+    pub judged: bool,
+    /// Detected outage timeline over the *detection* part of the window
+    /// (everything after the first season).
+    pub timeline: Timeline,
+}
+
+/// Run seasonal change detection over one AS series.
+///
+/// The first `season` bins are the training day; detection starts at bin
+/// `season`. Returns `judged = false` (and an all-up timeline) when the
+/// AS's traffic never clears `min_predicted`.
+pub fn detect(series: &AsSeries, config: &ForecastConfig) -> AsVerdict {
+    let season = config.season;
+    let n = series.counts.len();
+    let detect_start_bin = season.min(n);
+    let detect_window = Interval::new(series.bin_start(detect_start_bin), series.window.end);
+
+    if n <= season {
+        // Not enough data for even one forecast.
+        return AsVerdict {
+            judged: false,
+            timeline: Timeline::all_up(detect_window),
+        };
+    }
+
+    // Effective series the recursion reads: observations, except flagged
+    // bins are replaced by their predictions.
+    let mut effective: Vec<f64> = series.counts.iter().map(|&c| c as f64).collect();
+    // Robust residual scale, seeded from the training day's bin-to-bin
+    // seasonal-naive residuals (|y_t − y_{t−1}| is a decent proxy before
+    // any forecast exists).
+    let mut scale = seed_scale(&series.counts[..season]);
+    let mut flagged = vec![false; n];
+    let mut any_judged = false;
+
+    for t in season..n {
+        let base = effective[t - season];
+        let ar = if t > season {
+            config.phi * (effective[t - 1] - effective[t - 1 - season])
+        } else {
+            0.0
+        };
+        let pred = (base + ar).max(0.0);
+        let observed = series.counts[t] as f64;
+        let resid = observed - pred;
+
+        if pred >= config.min_predicted {
+            any_judged = true;
+            let bound = config.k_sigma * scale.max(pred.sqrt()).max(1.0);
+            if resid < -bound {
+                flagged[t] = true;
+                // Feed the model its prediction, not the anomaly.
+                effective[t] = pred;
+                // Do not let anomalous residuals inflate the scale.
+                continue;
+            }
+        }
+        scale = (1.0 - config.scale_alpha) * scale + config.scale_alpha * resid.abs();
+    }
+
+    // Runs of ≥ min_consecutive flagged bins become outages.
+    let mut down = IntervalSet::new();
+    let mut run_start: Option<usize> = None;
+    #[allow(clippy::needless_range_loop)] // t is a bin index, used as such
+    for t in season..=n {
+        let is_flagged = t < n && flagged[t];
+        match (run_start, is_flagged) {
+            (None, true) => run_start = Some(t),
+            (Some(s), false) => {
+                if t - s >= config.min_consecutive {
+                    down.insert(Interval::new(series.bin_start(s), series.bin_start(t)));
+                }
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+
+    AsVerdict {
+        judged: any_judged,
+        timeline: Timeline::from_down(detect_window, down),
+    }
+}
+
+/// Median absolute first difference over the training day — a robust
+/// seed for the residual scale.
+fn seed_scale(train: &[u64]) -> f64 {
+    let mut diffs: Vec<f64> = train
+        .windows(2)
+        .map(|w| (w[1] as f64 - w[0] as f64).abs())
+        .collect();
+    if diffs.is_empty() {
+        return 1.0;
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (diffs[diffs.len() / 2] * 1.4826).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_types::UnixTime;
+
+    /// Two days of 5-min bins with a diurnal pattern; optional outage
+    /// (zeroed bins) on day 2.
+    fn series(amplitude: f64, base: f64, outage_bins: std::ops::Range<usize>) -> AsSeries {
+        let bins = 2 * 288;
+        let counts: Vec<u64> = (0..bins)
+            .map(|i| {
+                if outage_bins.contains(&i) {
+                    return 0;
+                }
+                let day_frac = (i % 288) as f64 / 288.0;
+                let v = base * (1.0 + amplitude * (std::f64::consts::TAU * day_frac).sin());
+                v.round().max(0.0) as u64
+            })
+            .collect();
+        AsSeries {
+            asn: 1,
+            window: Interval::from_secs(0, 2 * 86_400),
+            bin_secs: 300,
+            counts,
+        }
+    }
+
+    #[test]
+    fn clean_series_raises_no_alarm() {
+        let s = series(0.5, 60.0, 0..0);
+        let v = detect(&s, &ForecastConfig::default());
+        assert!(v.judged);
+        assert_eq!(v.timeline.down_secs(), 0, "{:?}", v.timeline.down);
+    }
+
+    #[test]
+    fn day2_outage_is_detected_with_bin_precision() {
+        // Outage bins 288+60 .. 288+90 (2.5 h on day 2).
+        let s = series(0.5, 60.0, 348..378);
+        let v = detect(&s, &ForecastConfig::default());
+        assert!(v.judged);
+        assert_eq!(v.timeline.down.len(), 1, "{:?}", v.timeline.down);
+        let iv = v.timeline.down.intervals()[0];
+        assert_eq!(iv.start, UnixTime(348 * 300));
+        assert_eq!(iv.end, UnixTime(378 * 300));
+    }
+
+    #[test]
+    fn single_bin_dip_is_not_an_outage() {
+        let s = series(0.5, 60.0, 400..401);
+        let v = detect(&s, &ForecastConfig::default());
+        assert_eq!(
+            v.timeline.down_secs(),
+            0,
+            "one bad bin must not alarm (min_consecutive=2)"
+        );
+    }
+
+    #[test]
+    fn sparse_as_is_not_judged() {
+        let s = series(0.2, 1.0, 0..0); // ~1 event per bin ≪ min_predicted
+        let v = detect(&s, &ForecastConfig::default());
+        assert!(!v.judged);
+        assert_eq!(v.timeline.down_secs(), 0);
+    }
+
+    #[test]
+    fn training_only_data_is_not_judged() {
+        let mut s = series(0.5, 60.0, 0..0);
+        s.counts.truncate(288);
+        s.window = Interval::from_secs(0, 86_400);
+        let v = detect(&s, &ForecastConfig::default());
+        assert!(!v.judged);
+    }
+
+    #[test]
+    fn long_outage_does_not_poison_the_model() {
+        // A 6 h outage: once it ends, the model must immediately stop
+        // flagging (it fed on predictions, not on the zeros).
+        let s = series(0.5, 60.0, 300..372);
+        let v = detect(&s, &ForecastConfig::default());
+        assert_eq!(v.timeline.down.len(), 1);
+        let iv = v.timeline.down.intervals()[0];
+        assert_eq!(iv.end, UnixTime(372 * 300), "flagging must stop at recovery");
+    }
+
+    #[test]
+    fn detection_window_excludes_training_day() {
+        let s = series(0.5, 60.0, 0..0);
+        let v = detect(&s, &ForecastConfig::default());
+        assert_eq!(v.timeline.window.start, UnixTime(86_400));
+        assert_eq!(v.timeline.window.end, UnixTime(2 * 86_400));
+    }
+}

@@ -1,0 +1,136 @@
+//! The `passive-outage` command-line tool. Run with `--help` for usage.
+
+use outage_cli::commands;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "detect" => cmd_detect(&flags),
+        "eval" => cmd_eval(&flags),
+        "coverage" => cmd_coverage(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: passive-outage <command> [flags]\n\
+     \n\
+     commands:\n\
+     \x20 simulate  --preset <quick|table1|table3|tradeoff|ipv6-day>\n\
+     \x20           [--num-as N] [--seed S] --out FILE [--truth FILE]\n\
+     \x20 detect    --obs FILE [--window SECS] --out FILE\n\
+     \x20 eval      --observed FILE --truth FILE --window SECS\n\
+     \x20           [--min-secs N] [--events] [--tolerance SECS]\n\
+     \x20 coverage  --obs FILE"
+        .to_string()
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        // boolean flags
+        if name == "events" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{name} {v:?}: {e}")),
+    }
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn write(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let preset = flags.get("preset").map(String::as_str).unwrap_or("quick");
+    let num_as = get_u64(flags, "num-as", 120)? as u32;
+    let seed = get_u64(flags, "seed", 42)?;
+    let out = required(flags, "out")?;
+    let result = commands::simulate(preset, num_as, seed).map_err(|e| e.to_string())?;
+    write(out, &result.observations)?;
+    if let Some(truth_path) = flags.get("truth") {
+        write(truth_path, &result.truth)?;
+    }
+    eprintln!("{}", result.summary);
+    Ok(())
+}
+
+fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let obs = read(required(flags, "obs")?)?;
+    let window = flags
+        .get("window")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--window: {e}")))
+        .transpose()?;
+    let out = required(flags, "out")?;
+    let result = commands::detect(&obs, window).map_err(|e| e.to_string())?;
+    write(out, &result.events)?;
+    eprintln!("{}", result.summary);
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let observed = read(required(flags, "observed")?)?;
+    let truth = read(required(flags, "truth")?)?;
+    let window = get_u64(flags, "window", 86_400)?;
+    let min_secs = get_u64(flags, "min-secs", 0)?;
+    let tolerance = get_u64(flags, "tolerance", 180)?;
+    let event_mode = flags.contains_key("events");
+    let table = commands::eval(&observed, &truth, window, min_secs, event_mode, tolerance)
+        .map_err(|e| e.to_string())?;
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_coverage(flags: &HashMap<String, String>) -> Result<(), String> {
+    let obs = read(required(flags, "obs")?)?;
+    let table = commands::coverage(&obs).map_err(|e| e.to_string())?;
+    println!("{table}");
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # outage-cli
+//!
+//! The operator-facing command line for the passive-outage pipeline:
+//!
+//! ```text
+//! passive-outage simulate --preset table1 --num-as 120 --seed 42 \
+//!     --out obs.txt --truth truth.txt
+//! passive-outage detect   --obs obs.txt --out events.txt
+//! passive-outage eval     --observed events.txt --truth truth.txt --window 86400
+//! passive-outage coverage --obs obs.txt
+//! ```
+//!
+//! Data flows through trivially greppable line formats (see [`format`]);
+//! command logic lives in [`commands`] as pure functions so the whole
+//! pipeline is unit-tested without touching the filesystem.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod commands;
+pub mod format;
+
+pub use commands::{build_preset, coverage, detect, eval, simulate, CommandError};

@@ -1,0 +1,95 @@
+//! Integration tests driving the real `passive-outage` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_passive-outage"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("passive-outage-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let dir = tmpdir("pipeline");
+    let obs = dir.join("obs.txt");
+    let truth = dir.join("truth.txt");
+    let events = dir.join("events.txt");
+
+    let out = bin()
+        .args([
+            "simulate", "--preset", "quick", "--seed", "3", "--num-as", "30",
+            "--out", obs.to_str().unwrap(),
+            "--truth", truth.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn simulate");
+    assert!(out.status.success(), "simulate: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(obs.exists() && truth.exists());
+
+    let out = bin()
+        .args([
+            "detect", "--obs", obs.to_str().unwrap(),
+            "--out", events.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn detect");
+    assert!(out.status.success(), "detect: {}", String::from_utf8_lossy(&out.stderr));
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(summary.contains("blocks covered"), "{summary}");
+
+    let out = bin()
+        .args([
+            "eval",
+            "--observed", events.to_str().unwrap(),
+            "--truth", truth.to_str().unwrap(),
+            "--window", "86400",
+        ])
+        .output()
+        .expect("spawn eval");
+    assert!(out.status.success(), "eval: {}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("Precision"), "{table}");
+
+    let out = bin()
+        .args(["coverage", "--obs", obs.to_str().unwrap()])
+        .output()
+        .expect("spawn coverage");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bin-width-secs"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors_and_exit_codes() {
+    // no command
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // unknown command
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+
+    // missing required flag
+    let out = bin().args(["detect", "--obs"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    // missing file
+    let out = bin()
+        .args(["detect", "--obs", "/nonexistent/x.txt", "--out", "/tmp/y.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // help succeeds
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("simulate"));
+}

@@ -1,0 +1,281 @@
+//! Spatial-aggregation fallback: trading spatial precision for coverage.
+//!
+//! Contribution 2 of the paper, second axis: a block too sparse to judge
+//! alone can still be *covered* by pooling it with its siblings under a
+//! shorter prefix — a /22 or /20 for IPv4, a /46 or /44 for IPv6. The
+//! pooled unit's rate is the sum of member rates, so the climb stops at
+//! the first ancestor dense enough to clear the evidence bar. Verdicts at
+//! an aggregate apply to every member block, at reduced spatial precision.
+
+use crate::config::{AggregationConfig, DetectorConfig};
+use crate::tuning::{tune_estimate, RateEstimate, Tuning, UnitParams};
+use outage_types::{AddrFamily, Prefix, PrefixTrie};
+use std::collections::BTreeMap;
+
+/// One detection unit in the final plan.
+#[derive(Debug, Clone)]
+pub struct PlannedUnit {
+    /// The prefix the unit watches (a block, or an aggregate supernet).
+    pub prefix: Prefix,
+    /// Canonical blocks covered by this unit (just itself for a
+    /// block-level unit).
+    pub members: Vec<Prefix>,
+    /// Tuned operating parameters.
+    pub params: UnitParams,
+}
+
+impl PlannedUnit {
+    /// Whether this unit is an aggregate (covers more than one block).
+    pub fn is_aggregate(&self) -> bool {
+        self.members.len() > 1 || !self.prefix.is_block()
+    }
+}
+
+/// Result of planning: units to run, plus blocks left uncovered.
+#[derive(Debug, Clone)]
+pub struct AggregationPlan {
+    /// Detection units, block-level first, then aggregates.
+    pub units: Vec<PlannedUnit>,
+    /// Blocks too sparse to cover even at the coarsest aggregate.
+    pub uncovered: Vec<Prefix>,
+}
+
+impl AggregationPlan {
+    /// Total blocks covered by some unit.
+    pub fn covered_blocks(&self) -> usize {
+        self.units.iter().map(|u| u.members.len()).sum()
+    }
+
+    /// Number of aggregate (multi-block) units.
+    pub fn aggregate_units(&self) -> usize {
+        self.units.iter().filter(|u| u.is_aggregate()).count()
+    }
+
+    /// A routing trie mapping *unit* prefixes to unit indices; route an
+    /// observation by longest-prefix match of its block.
+    pub fn routing(&self) -> PrefixTrie<usize> {
+        self.units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.prefix, i))
+            .collect()
+    }
+}
+
+/// Plan detection units from per-block rate estimates.
+///
+/// Measurable blocks get their own unit at their tuned width. The rest
+/// climb the prefix tree level by level: at each level, unmeasurable
+/// items sharing a parent pool their rates; as soon as the pooled rate is
+/// measurable the parent becomes a unit covering all pooled blocks.
+/// Blocks still unmeasurable at the family's minimum length are reported
+/// uncovered.
+pub fn plan(
+    rates: impl IntoIterator<Item = (Prefix, RateEstimate)>,
+    config: &DetectorConfig,
+) -> AggregationPlan {
+    let mut units = Vec::new();
+    // Pending, per family: prefix → (pooled estimate, member blocks).
+    let mut pending: BTreeMap<Prefix, (RateEstimate, Vec<Prefix>)> = BTreeMap::new();
+
+    for (prefix, estimate) in rates {
+        match tune_estimate(estimate, config) {
+            Tuning::Measurable(params) => units.push(PlannedUnit {
+                prefix,
+                members: vec![prefix],
+                params,
+            }),
+            Tuning::Unmeasurable { .. } => {
+                pending.insert(prefix, (estimate, vec![prefix]));
+            }
+        }
+    }
+
+    let Some(agg) = config.aggregation else {
+        units.sort_unstable_by_key(|u| u.prefix);
+        return AggregationPlan {
+            units,
+            uncovered: pending.into_keys().collect(),
+        };
+    };
+
+    let mut uncovered = Vec::new();
+    // Climb one level at a time until every family hits its floor.
+    while !pending.is_empty() {
+        let mut next: BTreeMap<Prefix, (RateEstimate, Vec<Prefix>)> = BTreeMap::new();
+        for (prefix, (estimate, members)) in std::mem::take(&mut pending) {
+            if prefix.len() <= min_len(&agg, prefix.family()) {
+                // At the floor and still unmeasurable.
+                match tune_estimate(estimate, config) {
+                    Tuning::Measurable(params) => {
+                        units.push(PlannedUnit { prefix, members, params })
+                    }
+                    Tuning::Unmeasurable { .. } => uncovered.extend(members),
+                }
+                continue;
+            }
+            let parent = prefix.parent().expect("len > 0 by floor check");
+            let slot = next
+                .entry(parent)
+                .or_insert_with(|| (RateEstimate::flat(0.0), Vec::new()));
+            slot.0 = slot.0.pool(estimate);
+            slot.1.extend(members);
+        }
+        for (prefix, (estimate, mut members)) in next {
+            members.sort_unstable();
+            match tune_estimate(estimate, config) {
+                Tuning::Measurable(params) => {
+                    units.push(PlannedUnit { prefix, members, params })
+                }
+                Tuning::Unmeasurable { .. } => {
+                    pending.insert(prefix, (estimate, members));
+                }
+            }
+        }
+    }
+
+    uncovered.sort_unstable();
+    // Deterministic unit ordering regardless of input iteration order
+    // (callers often feed HashMaps).
+    units.sort_unstable_by_key(|u| u.prefix);
+    AggregationPlan { units, uncovered }
+}
+
+fn min_len(agg: &AggregationConfig, family: AddrFamily) -> u8 {
+    match family {
+        AddrFamily::V4 => agg.v4_min_len,
+        AddrFamily::V6 => agg.v6_min_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::default()
+    }
+
+    /// Wrap flat per-block rates for `plan`.
+    fn flat<I: IntoIterator<Item = (Prefix, f64)>>(
+        rates: I,
+    ) -> impl Iterator<Item = (Prefix, RateEstimate)> {
+        rates.into_iter().map(|(p, r)| (p, RateEstimate::flat(r)))
+    }
+
+    #[test]
+    fn dense_blocks_stand_alone() {
+        let plan = plan(flat([(p("10.0.0.0/24"), 0.1), (p("10.0.1.0/24"), 0.2)]), &cfg());
+        assert_eq!(plan.units.len(), 2);
+        assert!(plan.units.iter().all(|u| !u.is_aggregate()));
+        assert!(plan.uncovered.is_empty());
+        assert_eq!(plan.covered_blocks(), 2);
+    }
+
+    #[test]
+    fn sparse_siblings_pool_until_measurable() {
+        // Four /24s each at λ=2e-4: alone, 7200·2e-4 = 1.44 < 4.
+        // Pooled under /22: λ=8e-4 → 7200·8e-4 = 5.76 ≥ 4. But pairs
+        // under /23 give 2.88 < 4, so the climb must pass /23 and stop
+        // at /22.
+        let rates: Vec<(Prefix, f64)> = (0..4)
+            .map(|i| (Prefix::v4_raw(0x0A00_0000 + (i << 8), 24), 2e-4))
+            .collect();
+        let plan = plan(flat(rates), &cfg());
+        assert_eq!(plan.units.len(), 1);
+        let unit = &plan.units[0];
+        assert_eq!(unit.prefix, p("10.0.0.0/22"));
+        assert_eq!(unit.members.len(), 4);
+        assert!(unit.is_aggregate());
+        assert!(plan.uncovered.is_empty());
+    }
+
+    #[test]
+    fn hopeless_blocks_reported_uncovered() {
+        // A lone /24 at a vanishing rate with no siblings: even /20
+        // pooling is just itself.
+        let plan = plan(flat([(p("10.9.0.0/24"), 1e-6)]), &cfg());
+        assert!(plan.units.is_empty());
+        assert_eq!(plan.uncovered, vec![p("10.9.0.0/24")]);
+    }
+
+    #[test]
+    fn aggregation_disabled_leaves_sparse_uncovered() {
+        let mut c = cfg();
+        c.aggregation = None;
+        let plan = plan(
+            flat([(p("10.0.0.0/24"), 2e-4), (p("10.0.1.0/24"), 2e-4)]),
+            &c,
+        );
+        assert!(plan.units.is_empty());
+        assert_eq!(plan.uncovered.len(), 2);
+    }
+
+    #[test]
+    fn mixed_population_routes_correctly() {
+        let mut rates = vec![(p("10.0.0.0/24"), 0.1)]; // dense, stands alone
+        for i in 1..4 {
+            rates.push((Prefix::v4_raw(0x0A00_0000 + (i << 8), 24), 3e-4));
+        }
+        let plan = plan(flat(rates), &cfg());
+        let routing = plan.routing();
+        // the dense block routes to its own unit
+        let (unit_prefix, &i) = routing.longest_match(&p("10.0.0.0/24")).unwrap();
+        assert_eq!(unit_prefix, p("10.0.0.0/24"));
+        assert_eq!(plan.units[i].members, vec![p("10.0.0.0/24")]);
+        // a sparse sibling routes to an aggregate containing it
+        let (agg_prefix, &j) = routing.longest_match(&p("10.0.2.0/24")).unwrap();
+        assert!(agg_prefix.contains(&p("10.0.2.0/24")));
+        assert!(plan.units[j].members.contains(&p("10.0.2.0/24")));
+        assert!(plan.units[j].is_aggregate());
+    }
+
+    #[test]
+    fn v6_aggregates_respect_their_floor() {
+        // Two /48 siblings, far too sparse: pooled /47..../44 still below
+        // the bar → uncovered, and nothing shorter than /44 was tried.
+        let a = Prefix::v6_raw(0x2001_0000 << 96, 48);
+        let (lo, _) = a.parent().unwrap().children().unwrap();
+        assert_eq!(lo, a);
+        let b = Prefix::v6_raw((0x2001_0000 << 96) | (1 << 80), 48);
+        let plan = plan(flat([(a, 1e-6), (b, 1e-6)]), &cfg());
+        assert!(plan.units.is_empty());
+        assert_eq!(plan.uncovered.len(), 2);
+    }
+
+    #[test]
+    fn v6_sparse_siblings_pool_like_v4() {
+        // 16 /48s under one /44 at 5e-5 each: alone 0.36 < 4; pooled
+        // rate 8e-4 → 5.76 at 7200 s ≥ 4.
+        let rates: Vec<(Prefix, f64)> = (0..16u128)
+            .map(|i| (Prefix::v6_raw((0x2001_0000 << 96) | (i << 80), 48), 5e-5))
+            .collect();
+        let plan = plan(flat(rates), &cfg());
+        assert_eq!(plan.units.len(), 1);
+        assert_eq!(plan.units[0].members.len(), 16);
+        assert_eq!(plan.units[0].prefix.len(), 44);
+    }
+
+    #[test]
+    fn pooled_params_use_summed_rate() {
+        let rates: Vec<(Prefix, f64)> = (0..4)
+            .map(|i| (Prefix::v4_raw(0x0A00_0000 + (i << 8), 24), 2e-4))
+            .collect();
+        let plan = plan(flat(rates), &cfg());
+        let unit = &plan.units[0];
+        assert!((unit.params.lambda - 8e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_empty_plan() {
+        let plan = plan(std::iter::empty::<(Prefix, RateEstimate)>(), &cfg());
+        assert!(plan.units.is_empty());
+        assert!(plan.uncovered.is_empty());
+        assert_eq!(plan.covered_blocks(), 0);
+        assert_eq!(plan.aggregate_units(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Bayesian belief over a block's up/down state.
+//!
+//! The belief `B(a) ∈ [0,1]` is maintained as log-odds and updated once
+//! per closed bin with the Poisson likelihood ratio
+//!
+//! ```text
+//! L = P(n | up) / P(n | down)
+//!   = Poisson(n; λw) / Poisson(n; εw)
+//! log L = n · ln(λ/ε) − (λ − ε) · w
+//! ```
+//!
+//! so packets are linear evidence *for* up and silent time is linear
+//! evidence *against* it. The belief is clamped away from 0 and 1
+//! (as in Trinocular) so the model can always change its mind.
+
+use crate::config::DetectorConfig;
+
+/// Convert a probability to log-odds.
+pub fn log_odds(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p) && p > 0.0);
+    (p / (1.0 - p)).ln()
+}
+
+/// Convert log-odds back to a probability.
+pub fn from_log_odds(lo: f64) -> f64 {
+    1.0 / (1.0 + (-lo).exp())
+}
+
+/// Clamped Bayesian belief state for one detection unit.
+#[derive(Debug, Clone, Copy)]
+pub struct Belief {
+    lo: f64,
+    floor_lo: f64,
+    ceiling_lo: f64,
+}
+
+impl Belief {
+    /// Initial belief from the config.
+    pub fn new(config: &DetectorConfig) -> Belief {
+        Belief {
+            lo: log_odds(config.initial_belief),
+            floor_lo: log_odds(config.belief_floor),
+            ceiling_lo: log_odds(config.belief_ceiling),
+        }
+    }
+
+    /// Current belief that the unit is up.
+    pub fn value(&self) -> f64 {
+        from_log_odds(self.lo)
+    }
+
+    /// Current log-odds.
+    pub fn log_odds(&self) -> f64 {
+        self.lo
+    }
+
+    /// The log-likelihood-ratio contribution of observing `n` arrivals in
+    /// a bin with expected up-count `lambda_w` and down-count `leak_w`.
+    pub fn bin_llr(n: u64, lambda_w: f64, leak_w: f64) -> f64 {
+        debug_assert!(lambda_w > 0.0 && leak_w > 0.0 && lambda_w > leak_w);
+        n as f64 * (lambda_w / leak_w).ln() - (lambda_w - leak_w)
+    }
+
+    /// Update with one closed bin; returns the new belief.
+    pub fn update_bin(&mut self, n: u64, lambda_w: f64, leak_w: f64) -> f64 {
+        self.lo = (self.lo + Self::bin_llr(n, lambda_w, leak_w))
+            .clamp(self.floor_lo, self.ceiling_lo);
+        self.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::default()
+    }
+
+    #[test]
+    fn log_odds_roundtrip() {
+        for p in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            assert!((from_log_odds(log_odds(p)) - p).abs() < 1e-12);
+        }
+        assert_eq!(log_odds(0.5), 0.0);
+        assert!(log_odds(0.9) > 0.0);
+        assert!(log_odds(0.1) < 0.0);
+    }
+
+    #[test]
+    fn initial_belief_matches_config() {
+        let b = Belief::new(&cfg());
+        assert!((b.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bins_drive_belief_down() {
+        let mut b = Belief::new(&cfg());
+        let (lw, ew) = (30.0, 0.3); // dense block, 300 s bin
+        let after_one = b.update_bin(0, lw, ew);
+        assert!(after_one < 0.1, "one silent dense bin should convince: {after_one}");
+    }
+
+    #[test]
+    fn sparse_bins_need_more_evidence() {
+        let mut b = Belief::new(&cfg());
+        let (lw, ew) = (4.0, 0.04); // k=4 boundary block
+        let after_one = b.update_bin(0, lw, ew);
+        assert!(after_one > 0.1, "one bin at k=4 must not convince: {after_one}");
+        let after_two = b.update_bin(0, lw, ew);
+        assert!(after_two < 0.1, "two silent bins should: {after_two}");
+    }
+
+    #[test]
+    fn arrivals_drive_belief_up_fast() {
+        let mut b = Belief::new(&cfg());
+        let (lw, ew) = (30.0, 0.3);
+        b.update_bin(0, lw, ew); // down
+        assert!(b.value() < 0.1);
+        let recovered = b.update_bin(30, lw, ew);
+        assert!(recovered > 0.9, "normal bin should recover: {recovered}");
+    }
+
+    #[test]
+    fn belief_is_clamped() {
+        let mut b = Belief::new(&cfg());
+        for _ in 0..100 {
+            b.update_bin(0, 30.0, 0.3);
+        }
+        assert!((b.value() - 0.01).abs() < 1e-9, "floor clamp: {}", b.value());
+        for _ in 0..100 {
+            b.update_bin(100, 30.0, 0.3);
+        }
+        assert!((b.value() - 0.99).abs() < 1e-9, "ceiling clamp: {}", b.value());
+    }
+
+    #[test]
+    fn one_packet_during_outage_is_not_enough() {
+        // A single leaked packet must not resurrect a dense block.
+        let mut b = Belief::new(&cfg());
+        b.update_bin(0, 30.0, 0.3);
+        let v = b.update_bin(1, 30.0, 0.3);
+        assert!(v < 0.1, "single packet resurrected the block: {v}");
+    }
+
+    #[test]
+    fn llr_is_monotone_in_count() {
+        let l0 = Belief::bin_llr(0, 10.0, 0.1);
+        let l1 = Belief::bin_llr(1, 10.0, 0.1);
+        let l5 = Belief::bin_llr(5, 10.0, 0.1);
+        assert!(l0 < l1 && l1 < l5);
+        assert!(l0 < 0.0);
+        assert!(l5 > 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Detector configuration.
+//!
+//! The paper's second contribution is that these knobs are applied **per
+//! block**: the config lists *candidate* bin widths and evidence
+//! requirements, and the tuner picks each block's actual operating point
+//! from its own history. One config therefore serves the whole Internet —
+//! heterogeneity comes from the data, not from hand-tuning.
+
+use serde::{Deserialize, Serialize};
+
+/// Candidate bin widths, finest first: 5 min, 10 min, 20 min, 1 h, 2 h.
+pub const DEFAULT_BIN_WIDTHS: [u64; 5] = [300, 600, 1_200, 3_600, 7_200];
+
+/// Spatial aggregation fallback settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregationConfig {
+    /// Shortest (coarsest) IPv4 prefix the fallback may pool blocks into.
+    pub v4_min_len: u8,
+    /// Shortest (coarsest) IPv6 prefix the fallback may pool blocks into.
+    pub v6_min_len: u8,
+}
+
+impl Default for AggregationConfig {
+    fn default() -> Self {
+        AggregationConfig {
+            v4_min_len: 20,
+            v6_min_len: 44,
+        }
+    }
+}
+
+/// Configuration of the passive Bayesian detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Candidate bin widths in seconds, finest first. The tuner assigns
+    /// each block the finest width whose expected arrivals-per-bin meets
+    /// `min_expected_per_bin`.
+    pub bin_widths: Vec<u64>,
+    /// Minimum expected arrivals per bin (`k`): an empty bin is judged
+    /// against this expectation, so it bounds the evidence an empty bin
+    /// carries. Default 4 → an empty bin has likelihood `e^-4 ≈ 1.8 %`
+    /// under "up".
+    pub min_expected_per_bin: f64,
+    /// Belief threshold below which a block is judged DOWN.
+    pub down_threshold: f64,
+    /// Belief threshold above which a block is judged UP again.
+    pub up_threshold: f64,
+    /// Belief clamp range, mirroring Trinocular's `[0.01, 0.99]`: the
+    /// model never becomes *certain*, so it can always change its mind.
+    pub belief_floor: f64,
+    /// Upper clamp of belief.
+    pub belief_ceiling: f64,
+    /// Initial belief that a block is up.
+    pub initial_belief: f64,
+    /// Residual arrival rate assumed while a block is down, as a fraction
+    /// of its up-rate (spoofed sources, late-arriving duplicates). Keeps
+    /// likelihood ratios finite.
+    pub leak_fraction: f64,
+    /// Absolute floor on the leak rate (events/second).
+    pub leak_floor: f64,
+    /// Extra log-odds margin a *single inter-arrival gap* must overcome
+    /// before it retroactively declares an outage on its own (the
+    /// exact-timestamp path). Higher = fewer, more certain gap
+    /// detections. Default `ln(1000) ≈ 6.9`.
+    pub gap_margin_log_odds: f64,
+    /// Enable the exact-timestamp gap detector (the mechanism that beats
+    /// bin-edge precision). Disabled in the `ablate-no-refine` bench.
+    pub use_exact_timestamps: bool,
+    /// Shortest silence the gap detector may report as an outage. On an
+    /// ultra-dense block a few seconds of silence can be statistically
+    /// "decisive", but sub-minute blips are indistinguishable from
+    /// transient congestion and below every comparison's resolution.
+    pub min_gap_outage_secs: u64,
+    /// Model per-hour-of-day rate multipliers from history and use them
+    /// in the per-bin expectation and the gap rule. The paper lists
+    /// diurnal modeling as future work; it is implemented here and
+    /// **enabled by default** because without it a dense block's quiet
+    /// night reads as a stack of false micro-outages.
+    pub diurnal_model: bool,
+    /// Spatial aggregation fallback; `None` disables it (the
+    /// `ablate-no-agg` configuration).
+    pub aggregation: Option<AggregationConfig>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            bin_widths: DEFAULT_BIN_WIDTHS.to_vec(),
+            min_expected_per_bin: 4.0,
+            down_threshold: 0.1,
+            up_threshold: 0.9,
+            belief_floor: 0.01,
+            belief_ceiling: 0.99,
+            initial_belief: 0.9,
+            leak_fraction: 0.01,
+            leak_floor: 1e-6,
+            gap_margin_log_odds: 1000f64.ln(),
+            use_exact_timestamps: true,
+            min_gap_outage_secs: 60,
+            diurnal_model: true,
+            aggregation: Some(AggregationConfig::default()),
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A config pinned to one fixed bin width for *every* block — the
+    /// homogeneous-parameters ablation the paper argues against.
+    pub fn fixed_width(width: u64) -> DetectorConfig {
+        DetectorConfig {
+            bin_widths: vec![width],
+            aggregation: None,
+            ..DetectorConfig::default()
+        }
+    }
+
+    /// The leak (down-state) rate for a block with up-rate `lambda`.
+    pub fn leak_rate(&self, lambda: f64) -> f64 {
+        (lambda * self.leak_fraction).max(self.leak_floor)
+    }
+
+    /// Validate invariants; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bin_widths.is_empty() {
+            return Err("bin_widths must not be empty".into());
+        }
+        if self.bin_widths.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("bin_widths must be strictly increasing".into());
+        }
+        if self.bin_widths.contains(&0) {
+            return Err("bin widths must be positive".into());
+        }
+        if !(0.0 < self.down_threshold && self.down_threshold < self.up_threshold && self.up_threshold < 1.0) {
+            return Err("need 0 < down_threshold < up_threshold < 1".into());
+        }
+        if !(0.0 < self.belief_floor && self.belief_floor < self.belief_ceiling && self.belief_ceiling < 1.0) {
+            return Err("need 0 < belief_floor < belief_ceiling < 1".into());
+        }
+        if !(self.belief_floor <= self.initial_belief && self.initial_belief <= self.belief_ceiling) {
+            return Err("initial_belief must lie inside the clamp range".into());
+        }
+        if self.min_expected_per_bin <= 0.0 {
+            return Err("min_expected_per_bin must be positive".into());
+        }
+        if !(0.0 < self.leak_fraction && self.leak_fraction < 1.0) {
+            return Err("leak_fraction must be in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        DetectorConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn fixed_width_config_is_valid_and_single() {
+        let c = DetectorConfig::fixed_width(300);
+        c.validate().unwrap();
+        assert_eq!(c.bin_widths, vec![300]);
+        assert!(c.aggregation.is_none());
+    }
+
+    #[test]
+    fn leak_rate_scales_and_floors() {
+        let c = DetectorConfig::default();
+        assert!((c.leak_rate(0.1) - 0.001).abs() < 1e-12);
+        assert_eq!(c.leak_rate(0.0), c.leak_floor);
+        assert_eq!(c.leak_rate(1e-9), c.leak_floor);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)] // mutate-one-knob pattern
+    fn validation_catches_bad_configs() {
+        let mut c = DetectorConfig::default();
+        c.bin_widths = vec![];
+        assert!(c.validate().is_err());
+
+        let mut c = DetectorConfig::default();
+        c.bin_widths = vec![300, 300];
+        assert!(c.validate().is_err());
+
+        let mut c = DetectorConfig::default();
+        c.down_threshold = 0.95; // above up_threshold
+        assert!(c.validate().is_err());
+
+        let mut c = DetectorConfig::default();
+        c.initial_belief = 0.999; // outside clamp
+        assert!(c.validate().is_err());
+
+        let mut c = DetectorConfig::default();
+        c.min_expected_per_bin = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = DetectorConfig::default();
+        c.leak_fraction = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,663 @@
+//! Streaming outage detection for one detection unit (a block or a
+//! spatial aggregate).
+//!
+//! Two complementary mechanisms produce down intervals:
+//!
+//! 1. **Bin inference** — arrivals are counted into the unit's tuned bins;
+//!    each closed bin updates the Bayesian belief, and a hysteresis
+//!    state machine (down below `down_threshold`, up above
+//!    `up_threshold`) turns belief excursions into outage intervals.
+//! 2. **Exact-timestamp gaps** — for an up unit, a single inter-arrival
+//!    gap can itself be decisive evidence: if silent time alone would
+//!    push the belief below threshold *with margin to spare*, the gap is
+//!    retroactively declared an outage `[last_arrival+1, next_arrival)`.
+//!    This path is why the passive detector can out-resolve Trinocular's
+//!    ±330 s edges, and it is what `use_exact_timestamps = false`
+//!    ablates.
+//!
+//! Outage edges from the bin path are *refined* to packet timestamps:
+//! the start backs up to just after the last packet seen, the end snaps
+//! to the first packet of the recovery. Without refinement (ablation),
+//! edges stay on bin boundaries.
+
+use crate::belief::{log_odds, Belief};
+use crate::config::DetectorConfig;
+use crate::tuning::UnitParams;
+use outage_types::{DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline, UnixTime};
+use serde::{Deserialize, Serialize};
+
+/// Hysteresis state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Up,
+    Down,
+}
+
+/// Counters describing what one unit's detector did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitDiagnostics {
+    /// Arrivals consumed.
+    pub arrivals: u64,
+    /// Bins closed.
+    pub bins: u64,
+    /// Outages opened by the bin/belief path.
+    pub bin_detections: u64,
+    /// Outages declared by the exact-timestamp gap path.
+    pub gap_detections: u64,
+}
+
+/// Streaming detector for one unit.
+#[derive(Debug)]
+pub struct UnitDetector {
+    prefix: Prefix,
+    params: UnitParams,
+    window: Interval,
+    /// Hour-of-day multipliers (all 1.0 when the diurnal model is off).
+    hourly_shape: [f64; 24],
+    diurnal: bool,
+    use_gaps: bool,
+    refine: bool,
+    min_gap_secs: u64,
+    down_lo: f64,
+    up_lo: f64,
+    gap_margin: f64,
+
+    belief: Belief,
+    state: State,
+    /// Next bin index to close (bins are `[window.start + i*width, …)`).
+    next_bin: u64,
+    bin_count: u64,
+    last_arrival: Option<UnixTime>,
+    /// Start of the current run of consecutive empty bins, if any.
+    empty_run_start: Option<UnixTime>,
+    /// While Down: refined outage start.
+    down_start: Option<UnixTime>,
+    /// While Down: first arrival seen since going down (refined end).
+    first_arrival_down: Option<UnixTime>,
+    /// While Down: the lowest belief reached (drives event confidence).
+    min_belief_down: f64,
+    down: IntervalSet,
+    /// Raw detections with their confidence, before interval merging.
+    raw_outages: Vec<(Interval, f64)>,
+    diag: UnitDiagnostics,
+}
+
+impl UnitDetector {
+    /// A detector for `prefix` with tuned `params` over `window`.
+    pub fn new(
+        prefix: Prefix,
+        params: UnitParams,
+        hourly_shape: [f64; 24],
+        config: &DetectorConfig,
+        window: Interval,
+    ) -> UnitDetector {
+        UnitDetector {
+            prefix,
+            params,
+            window,
+            hourly_shape,
+            diurnal: config.diurnal_model,
+            use_gaps: config.use_exact_timestamps,
+            refine: config.use_exact_timestamps,
+            min_gap_secs: config.min_gap_outage_secs.max(2),
+            down_lo: log_odds(config.down_threshold),
+            up_lo: log_odds(config.up_threshold),
+            gap_margin: config.gap_margin_log_odds,
+            belief: Belief::new(config),
+            state: State::Up,
+            next_bin: 0,
+            bin_count: 0,
+            last_arrival: None,
+            empty_run_start: None,
+            down_start: None,
+            first_arrival_down: None,
+            min_belief_down: 1.0,
+            down: IntervalSet::new(),
+            raw_outages: Vec::new(),
+            diag: UnitDiagnostics::default(),
+        }
+    }
+
+    /// The unit's prefix.
+    pub fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+
+    /// The tuned parameters in force.
+    pub fn params(&self) -> UnitParams {
+        self.params
+    }
+
+    /// Current belief that the unit is up.
+    pub fn belief(&self) -> f64 {
+        self.belief.value()
+    }
+
+    fn bin_start(&self, index: u64) -> UnixTime {
+        self.window.start + index * self.params.width
+    }
+
+    /// Expected up-count for the bin starting at `start`.
+    fn expected_in_bin(&self, start: UnixTime) -> f64 {
+        let w = self.params.width as f64;
+        if self.diurnal {
+            let mid = start + self.params.width / 2;
+            let hour = ((mid.secs() % 86_400) / 3_600) as usize;
+            (self.params.lambda * self.hourly_shape[hour] * w).max(self.params.leak * w * 2.0)
+        } else {
+            self.params.lambda * w
+        }
+    }
+
+    /// Close one bin with `n` arrivals.
+    fn close_bin(&mut self, index: u64, n: u64) {
+        let start = self.bin_start(index);
+        let lambda_w = self.expected_in_bin(start);
+        let leak_w = self.params.leak * self.params.width as f64;
+        let b = self.belief.update_bin(n, lambda_w, leak_w);
+        self.diag.bins += 1;
+
+        if n == 0 {
+            if self.empty_run_start.is_none() {
+                self.empty_run_start = Some(start);
+            }
+        } else {
+            self.empty_run_start = None;
+        }
+
+        match self.state {
+            State::Up => {
+                if b < from_lo_threshold(self.down_lo) {
+                    self.state = State::Down;
+                    self.diag.bin_detections += 1;
+                    self.down_start = Some(self.refined_start(start));
+                    self.first_arrival_down = None;
+                    self.min_belief_down = b;
+                }
+            }
+            State::Down => {
+                self.min_belief_down = self.min_belief_down.min(b);
+                if b > from_lo_threshold(self.up_lo) {
+                    let end = self.refined_end(self.bin_start(index + 1));
+                    self.commit_outage(end);
+                    self.state = State::Up;
+                }
+            }
+        }
+    }
+
+    /// Refined start of an outage discovered at a bin ending before
+    /// `fallback_bin_start`.
+    fn refined_start(&self, fallback_bin_start: UnixTime) -> UnixTime {
+        if self.refine {
+            match self.last_arrival {
+                Some(t) => t + 1,
+                None => self.window.start,
+            }
+        } else {
+            // Bin-edge semantics: the outage began with the empty run.
+            self.empty_run_start.unwrap_or(fallback_bin_start)
+        }
+    }
+
+    /// Refined end of the outage given recovery observed by `bin_end`.
+    fn refined_end(&self, bin_end: UnixTime) -> UnixTime {
+        if self.refine {
+            self.first_arrival_down.unwrap_or(bin_end)
+        } else {
+            bin_end
+        }
+    }
+
+    fn commit_outage(&mut self, end: UnixTime) {
+        if let Some(start) = self.down_start.take() {
+            let iv = Interval::new(start, end).intersect(&self.window);
+            if !iv.is_empty() {
+                // Confidence: how far below the threshold the belief fell.
+                let confidence = 1.0 - self.min_belief_down.clamp(0.0, 1.0);
+                self.raw_outages.push((iv, confidence));
+                self.down.insert(iv);
+            }
+        }
+        self.first_arrival_down = None;
+        self.min_belief_down = 1.0;
+    }
+
+    /// Record a gap-rule detection with its posterior-derived confidence.
+    fn record_gap_outage(&mut self, from: UnixTime, to: UnixTime) {
+        let iv = Interval::new(from, to).intersect(&self.window);
+        if iv.is_empty() {
+            return;
+        }
+        let evidence = self.rate_integral(iv.start, iv.end)
+            - self.params.leak * iv.duration() as f64;
+        let posterior_lo = self.belief.log_odds() - evidence;
+        let confidence = 1.0 - crate::belief::from_log_odds(posterior_lo);
+        self.raw_outages.push((iv, confidence));
+        self.down.insert(iv);
+    }
+
+    /// Close all bins that end at or before `t`.
+    fn advance_bins_to(&mut self, t: UnixTime) {
+        let limit = t.min(self.window.end);
+        while self.bin_start(self.next_bin + 1) <= limit {
+            let idx = self.next_bin;
+            let n = self.bin_count;
+            self.bin_count = 0;
+            self.next_bin += 1;
+            self.close_bin(idx, n);
+        }
+    }
+
+    /// Expected arrivals over `[from, to)` under the (possibly diurnal)
+    /// rate model.
+    fn rate_integral(&self, from: UnixTime, to: UnixTime) -> f64 {
+        if !self.diurnal {
+            return self.params.lambda * to.since(from) as f64;
+        }
+        let mut acc = 0.0;
+        let mut t = from;
+        while t < to {
+            let hour_end = UnixTime((t.secs() / 3_600 + 1) * 3_600);
+            let seg_end = to.min(hour_end);
+            let h = ((t.secs() % 86_400) / 3_600) as usize;
+            acc += self.params.lambda * self.hourly_shape[h] * seg_end.since(t) as f64;
+            t = seg_end;
+        }
+        acc
+    }
+
+    /// Exact-timestamp rule: does the silence over `[from, to)`, on its
+    /// own, push the current belief below the down threshold with margin?
+    /// The expectation honours the diurnal shape, so a quiet night is not
+    /// mistaken for a stack of micro-outages.
+    fn gap_is_decisive(&self, from: UnixTime, to: UnixTime) -> bool {
+        let evidence =
+            self.rate_integral(from, to) - self.params.leak * to.since(from) as f64;
+        evidence >= self.belief.log_odds() - self.down_lo + self.gap_margin
+    }
+
+    /// Advance the bin clock to `t` without an arrival: closes any bins
+    /// ending at or before `t`, updating belief and state exactly as if
+    /// the silence had been observed at an arrival. Lets a live monitor
+    /// notice outages on wall-clock time instead of waiting for the
+    /// block's next packet.
+    pub fn advance_to(&mut self, t: UnixTime) {
+        self.advance_bins_to(t);
+    }
+
+    /// Feed one arrival at `t` (must be inside the window and
+    /// non-decreasing across calls).
+    pub fn observe(&mut self, t: UnixTime) {
+        debug_assert!(self.window.contains(t), "arrival outside window");
+        self.advance_bins_to(t);
+        self.diag.arrivals += 1;
+
+        if self.state == State::Up {
+            if self.use_gaps {
+                if let Some(last) = self.last_arrival {
+                    if t.since(last) >= self.min_gap_secs && self.gap_is_decisive(last, t) {
+                        self.diag.gap_detections += 1;
+                        self.record_gap_outage(last + 1, t);
+                    }
+                }
+            }
+        } else if self.first_arrival_down.is_none() {
+            self.first_arrival_down = Some(t);
+        }
+
+        self.last_arrival = Some(t);
+        self.bin_count += 1;
+    }
+
+    /// End of stream: close remaining bins, settle any open outage, and
+    /// return the unit's verdict.
+    pub fn finish(mut self) -> UnitReport {
+        // Close every bin in the window.
+        self.advance_bins_to(self.window.end);
+        // A final partial bin (window not a multiple of width) is judged
+        // only if it is at least half a bin long, scaled accordingly.
+        let tail_start = self.bin_start(self.next_bin);
+        let tail_len = self.window.end.since(tail_start);
+        if tail_len * 2 >= self.params.width {
+            let n = self.bin_count;
+            let scale = tail_len as f64 / self.params.width as f64;
+            let lambda_w = self.expected_in_bin(tail_start) * scale;
+            let leak_w = self.params.leak * tail_len as f64;
+            let b = self.belief.update_bin(n, lambda_w.max(leak_w * 2.0), leak_w);
+            self.diag.bins += 1;
+            if self.state == State::Up && b < from_lo_threshold(self.down_lo) {
+                self.state = State::Down;
+                self.diag.bin_detections += 1;
+                self.down_start = Some(self.refined_start(tail_start));
+                self.min_belief_down = b;
+            }
+        }
+
+        match self.state {
+            State::Down => {
+                // Censored outage: runs to the end of the window.
+                self.down_start.get_or_insert(self.window.start);
+                self.commit_outage(self.window.end);
+            }
+            State::Up if self.use_gaps => {
+                // Trailing silence: the gap rule applied to the window end.
+                if let Some(last) = self.last_arrival {
+                    let end = self.window.end;
+                    if end.since(last) >= self.min_gap_secs && self.gap_is_decisive(last, end) {
+                        self.diag.gap_detections += 1;
+                        self.record_gap_outage(last + 1, end);
+                    }
+                }
+            }
+            State::Up => {}
+        }
+
+        // Merge overlapping raw detections (a gap detection inside a
+        // bin-path outage, say) into discrete events, keeping the highest
+        // confidence of the merged parts.
+        self.raw_outages.sort_by_key(|(iv, _)| iv.start);
+        let mut detections: Vec<(Interval, f64)> = Vec::with_capacity(self.raw_outages.len());
+        for (iv, conf) in self.raw_outages.drain(..) {
+            match detections.last_mut() {
+                Some((last, last_conf)) if last.touches(&iv) => {
+                    *last = last.hull(&iv);
+                    *last_conf = last_conf.max(conf);
+                }
+                _ => detections.push((iv, conf)),
+            }
+        }
+
+        UnitReport {
+            prefix: self.prefix,
+            params: self.params,
+            timeline: Timeline::from_down(self.window, self.down),
+            detections,
+            diagnostics: self.diag,
+        }
+    }
+}
+
+#[inline]
+fn from_lo_threshold(lo: f64) -> f64 {
+    crate::belief::from_log_odds(lo)
+}
+
+/// Final verdict for one unit.
+#[derive(Debug, Clone)]
+pub struct UnitReport {
+    /// The unit's prefix (a block, or an aggregate supernet).
+    pub prefix: Prefix,
+    /// Parameters the unit ran with.
+    pub params: UnitParams,
+    /// Judged up/down timeline.
+    pub timeline: Timeline,
+    /// Discrete detections with confidences (merged, sorted by start).
+    pub detections: Vec<(Interval, f64)>,
+    /// Detector counters.
+    pub diagnostics: UnitDiagnostics,
+}
+
+impl UnitReport {
+    /// The unit's outages as events, with detection-derived confidence
+    /// (`1 − belief` at the deepest point of each outage).
+    pub fn events(&self) -> Vec<OutageEvent> {
+        self.detections
+            .iter()
+            .map(|&(interval, confidence)| OutageEvent {
+                prefix: self.prefix,
+                interval,
+                confidence,
+                detector: DetectorId::PassiveBayes,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Prefix {
+        "192.0.2.0/24".parse().unwrap()
+    }
+
+    fn window() -> Interval {
+        Interval::from_secs(0, 86_400)
+    }
+
+    fn dense_params() -> UnitParams {
+        UnitParams {
+            width: 300,
+            lambda: 0.1,
+            leak: 0.001,
+        }
+    }
+
+    fn detector(params: UnitParams) -> UnitDetector {
+        UnitDetector::new(block(), params, [1.0; 24], &DetectorConfig::default(), window())
+    }
+
+    /// Feed arrivals every `step` seconds over `0..86_400`, silent during
+    /// `quiet`, and return the report.
+    fn run_with_gap(params: UnitParams, step: u64, quiet: std::ops::Range<u64>) -> UnitReport {
+        let mut d = detector(params);
+        for t in (0..86_400).step_by(step as usize) {
+            if !quiet.contains(&t) {
+                d.observe(UnixTime(t));
+            }
+        }
+        d.finish()
+    }
+
+    #[test]
+    fn steady_traffic_is_all_up() {
+        let r = run_with_gap(dense_params(), 10, 0..0);
+        assert_eq!(r.timeline.down_secs(), 0, "{:?}", r.timeline.down);
+        assert!(r.diagnostics.bins >= 287);
+        assert_eq!(r.diagnostics.gap_detections, 0);
+        assert_eq!(r.diagnostics.bin_detections, 0);
+    }
+
+    #[test]
+    fn long_outage_detected_with_tight_edges() {
+        // 2 h outage 30000..37200, arrivals every 10 s otherwise.
+        let r = run_with_gap(dense_params(), 10, 30_000..37_200);
+        assert_eq!(r.timeline.down.len(), 1);
+        let iv = r.timeline.down.intervals()[0];
+        // refined edges: start just after last packet (29990+1), end at
+        // first packet after (37200)
+        assert!(
+            iv.start.secs() >= 29_990 && iv.start.secs() <= 30_001,
+            "start {}",
+            iv.start
+        );
+        assert!(
+            iv.end.secs() >= 37_199 && iv.end.secs() <= 37_210,
+            "end {}",
+            iv.end
+        );
+    }
+
+    #[test]
+    fn short_outage_on_dense_block_detected_via_gap() {
+        // 5-min outage deliberately *misaligned* with bin edges
+        // (30130..30430): a single empty bin never fully forms, so only
+        // the exact-timestamp path can catch it.
+        let r = run_with_gap(dense_params(), 10, 30_130..30_430);
+        assert_eq!(r.timeline.down.len(), 1, "{:?}", r.timeline.down);
+        let iv = r.timeline.down.intervals()[0];
+        assert!(iv.duration() >= 280 && iv.duration() <= 320, "dur {}", iv.duration());
+        assert!(r.diagnostics.gap_detections >= 1);
+    }
+
+    #[test]
+    fn ablation_without_exact_timestamps_misses_misaligned_short_outage() {
+        let cfg = DetectorConfig {
+            use_exact_timestamps: false,
+            ..DetectorConfig::default()
+        };
+        let mut d = UnitDetector::new(block(), dense_params(), [1.0; 24], &cfg, window());
+        for t in (0..86_400).step_by(10) {
+            if !(30_130..30_430).contains(&t) {
+                d.observe(UnixTime(t));
+            }
+        }
+        let r = d.finish();
+        assert_eq!(
+            r.timeline.down_secs(),
+            0,
+            "bin-only detector should miss a misaligned 5-min outage"
+        );
+    }
+
+    #[test]
+    fn sparse_unit_needs_multiple_empty_bins() {
+        // k=4 boundary block: λ=4/7200, width 7200.
+        let params = UnitParams {
+            width: 7_200,
+            lambda: 4.0 / 7_200.0,
+            leak: 1e-6,
+        };
+        // Arrivals every 1800 s except a 4 h silence (two bins).
+        let r = run_with_gap(params, 1_800, 28_800..43_200);
+        assert!(
+            r.timeline.down_secs() > 0,
+            "two empty sparse bins should be detected"
+        );
+    }
+
+    #[test]
+    fn no_false_outage_from_one_thin_bin() {
+        // Dense block, one bin at half its usual traffic (a lull, not an
+        // outage): arrivals every 20 s instead of every 10 s.
+        let mut d = detector(dense_params());
+        for t in (0..86_400).step_by(10) {
+            if (30_000..30_300).contains(&t) && t % 20 != 0 {
+                continue;
+            }
+            d.observe(UnixTime(t));
+        }
+        let r = d.finish();
+        // 15 packets against an expectation of 30 still favours "up" by a
+        // wide margin; no outage may be declared.
+        assert_eq!(r.timeline.down_secs(), 0, "{:?}", r.timeline.down);
+    }
+
+    #[test]
+    fn outage_running_into_window_end_is_censored() {
+        let r = run_with_gap(dense_params(), 10, 80_000..86_400);
+        let last = *r.timeline.down.intervals().last().expect("censored outage");
+        assert_eq!(last.end, UnixTime(86_400));
+        assert!(last.start.secs() <= 80_001);
+    }
+
+    #[test]
+    fn outage_from_window_start_with_no_prior_arrival() {
+        let r = run_with_gap(dense_params(), 10, 0..40_000);
+        let first = r.timeline.down.intervals()[0];
+        assert_eq!(first.start, UnixTime(0), "{first}");
+        assert!(first.end.secs() >= 39_990);
+    }
+
+    #[test]
+    fn belief_recovers_after_outage() {
+        let mut d = detector(dense_params());
+        for t in (0..86_400).step_by(10) {
+            if !(30_000..40_000).contains(&t) {
+                d.observe(UnixTime(t));
+            }
+        }
+        assert!(d.belief() > 0.9, "belief {}", d.belief());
+        let r = d.finish();
+        assert_eq!(r.timeline.down.len(), 1);
+    }
+
+    #[test]
+    fn two_separate_outages_stay_separate() {
+        let mut d = detector(dense_params());
+        for t in (0..86_400).step_by(10) {
+            if !(20_000..24_000).contains(&t) && !(60_000..63_000).contains(&t) {
+                d.observe(UnixTime(t));
+            }
+        }
+        let r = d.finish();
+        assert_eq!(r.timeline.down.len(), 2, "{:?}", r.timeline.down);
+    }
+
+    #[test]
+    fn diurnal_model_scales_expectations() {
+        // A block that is quiet at night by design: without the diurnal
+        // model, night bins look like outages; with it, they don't.
+        let mut shape = [1.0f64; 24];
+        for (h, s) in shape.iter_mut().enumerate() {
+            *s = if h < 12 { 0.1 } else { 1.9 }; // quiet 00–12h
+        }
+        let params = UnitParams {
+            width: 300,
+            lambda: 0.05,
+            leak: 0.0005,
+        };
+        let run = |diurnal: bool| {
+            let cfg = DetectorConfig {
+                diurnal_model: diurnal,
+                use_exact_timestamps: false, // isolate the bin path
+                ..DetectorConfig::default()
+            };
+            let mut d = UnitDetector::new(block(), params, shape, &cfg, window());
+            // Traffic matching the shape: 1 per 200 s at night, 1 per 10 s
+            // by day.
+            for t in (0..43_200u64).step_by(200) {
+                d.observe(UnixTime(t));
+            }
+            for t in (43_200..86_400u64).step_by(10) {
+                d.observe(UnixTime(t));
+            }
+            d.finish().timeline.down_secs()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with < without,
+            "diurnal model should reduce night-time false outages: {with} !< {without}"
+        );
+    }
+
+    #[test]
+    fn events_carry_unit_prefix_and_detector_id() {
+        let r = run_with_gap(dense_params(), 10, 30_000..37_200);
+        let evs = r.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].prefix, block());
+        assert_eq!(evs[0].detector, DetectorId::PassiveBayes);
+    }
+
+    #[test]
+    fn event_confidence_reflects_evidence_depth() {
+        // A long outage on a dense block: confidence near 1.
+        let deep = run_with_gap(dense_params(), 10, 30_000..37_200);
+        let deep_conf = deep.events()[0].confidence;
+        assert!(deep_conf > 0.95, "deep outage conf {deep_conf}");
+        assert!(deep_conf <= 1.0);
+
+        // A marginal sparse detection: confidence lower.
+        let params = UnitParams {
+            width: 7_200,
+            lambda: 4.0 / 7_200.0,
+            leak: 1e-6,
+        };
+        let shallow = run_with_gap(params, 1_800, 28_800..43_200);
+        if let Some(ev) = shallow.events().first() {
+            assert!(ev.confidence > 0.5 && ev.confidence <= 1.0);
+            assert!(
+                ev.confidence < deep_conf,
+                "marginal detection {} should be less confident than {}",
+                ev.confidence,
+                deep_conf
+            );
+        }
+        // events and timeline agree on total down time
+        let ev_secs: u64 = deep.events().iter().map(|e| e.duration()).sum();
+        assert_eq!(ev_secs, deep.timeline.down_secs());
+    }
+}

@@ -1,0 +1,75 @@
+//! # outage-core
+//!
+//! The paper's contribution: **passive Internet outage detection with
+//! per-block Bayesian inference and per-block parameter customization**,
+//! covering IPv4 /24s and IPv6 /48s.
+//!
+//! Given nothing but timestamped traffic arrivals attributed to source
+//! blocks (e.g. DNS queries reaching a root server), the detector:
+//!
+//! * learns a robust per-block rate model from history ([`history`]),
+//! * chooses each block's operating point — the finest time bin its
+//!   traffic supports ([`tuning`], [`config`]),
+//! * runs clamped Bayesian belief inference per bin ([`belief`]) with a
+//!   hysteresis up/down judgement, refined to exact packet timestamps
+//!   ([`detector`]),
+//! * pools blocks too sparse to judge alone into prefix aggregates,
+//!   trading spatial precision for coverage ([`aggregate`]),
+//! * corroborates multiple passive sources when available
+//!   ([`correlate`]),
+//! * and accounts for who is measurable at which precision
+//!   ([`coverage`]).
+//!
+//! [`PassiveDetector`] ties the stages into a two-pass pipeline;
+//! [`parallel::detect_parallel`] shards it across threads for large runs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use outage_core::{DetectorConfig, PassiveDetector};
+//! use outage_types::{Interval, Observation, Prefix, UnixTime};
+//!
+//! // A day of observations: one block, queries every 10 s, silent for
+//! // two hours in the middle.
+//! let block: Prefix = "192.0.2.0/24".parse().unwrap();
+//! let window = Interval::from_secs(0, 86_400);
+//! let observations: Vec<Observation> = (0..86_400)
+//!     .step_by(10)
+//!     .filter(|t| !(30_000..37_200).contains(t))
+//!     .map(|t| Observation::new(UnixTime(t), block))
+//!     .collect();
+//!
+//! let detector = PassiveDetector::new(DetectorConfig::default());
+//! let report = detector.run_slice(&observations, window);
+//!
+//! let timeline = report.timeline_for(&block).unwrap();
+//! assert_eq!(timeline.down.len(), 1);              // one outage found
+//! assert!(timeline.down_secs() >= 7_000);          // ≈ the injected 2 h
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod belief;
+pub mod config;
+pub mod correlate;
+pub mod coverage;
+pub mod detector;
+pub mod history;
+pub mod parallel;
+pub mod pipeline;
+pub mod streaming;
+pub mod tuning;
+
+pub use aggregate::{plan, AggregationPlan, PlannedUnit};
+pub use belief::Belief;
+pub use config::{AggregationConfig, DetectorConfig};
+pub use correlate::{fuse_beliefs, fuse_timelines};
+pub use coverage::{coverage_by_width, spatial_coverage, CoveragePoint, SpatialCoverage};
+pub use detector::{UnitDetector, UnitDiagnostics, UnitReport};
+pub use history::{BlockHistory, HistoryBuilder};
+pub use parallel::detect_parallel;
+pub use pipeline::{DetectionReport, PassiveDetector};
+pub use streaming::StreamingMonitor;
+pub use tuning::{finest_measurable_width, tune_block, tune_rate, Tuning, UnitParams};

@@ -1,0 +1,235 @@
+//! Parallel detection driver.
+//!
+//! A day of root-server traffic is millions of arrivals across hundreds
+//! of thousands of independent per-unit detectors — embarrassingly
+//! shardable. This driver partitions units across worker threads and
+//! streams observation batches to them over bounded channels; each worker
+//! advances only its own detectors, so no per-unit state is ever shared.
+//! Results are identical to the sequential [`PassiveDetector::detect`]
+//! because each unit still sees its own arrivals in order.
+
+use crate::config::DetectorConfig;
+use crate::detector::{UnitDetector, UnitReport};
+use crate::history::BlockHistory;
+use crate::pipeline::{DetectionReport, PassiveDetector};
+use outage_types::{Interval, Observation, Prefix};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Observations per routed batch; bounds channel memory while amortizing
+/// send overhead.
+const BATCH: usize = 1_024;
+/// Maximum in-flight batches per worker.
+const CHANNEL_DEPTH: usize = 64;
+
+/// Run the detection pass across `workers` threads. History learning and
+/// planning stay sequential (they are cheap); only per-unit streaming
+/// detection is parallelized.
+pub fn detect_parallel<I>(
+    detector: &PassiveDetector,
+    histories: &HashMap<Prefix, BlockHistory>,
+    observations: I,
+    window: Interval,
+    workers: usize,
+) -> DetectionReport
+where
+    I: IntoIterator<Item = Observation>,
+{
+    let workers = workers.max(1);
+    let plan = detector.plan_units(histories);
+    let config: &DetectorConfig = detector.config();
+
+    // Assign units round-robin to workers; remember each unit's home.
+    let n_units = plan.units.len();
+    let unit_worker: Vec<usize> = (0..n_units).map(|i| i % workers).collect();
+    let mut local_index = vec![0usize; n_units];
+    let mut per_worker_units: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for (global, &w) in unit_worker.iter().enumerate() {
+        local_index[global] = per_worker_units[w].len();
+        per_worker_units[w].push(global);
+    }
+
+    let mut block_to_unit: HashMap<Prefix, usize> = HashMap::new();
+    for (i, u) in plan.units.iter().enumerate() {
+        for m in &u.members {
+            block_to_unit.insert(*m, i);
+        }
+    }
+
+    // Build each worker's detectors up front (on the main thread: cheap).
+    let mut worker_detectors: Vec<Vec<UnitDetector>> = per_worker_units
+        .iter()
+        .map(|unit_ids| {
+            unit_ids
+                .iter()
+                .map(|&g| {
+                    let u = &plan.units[g];
+                    let shape = blended_shape(&u.members, histories, config);
+                    UnitDetector::new(u.prefix, u.params, shape, config, window)
+                })
+                .collect()
+        })
+        .collect();
+
+    let reports: Mutex<Vec<Option<UnitReport>>> = Mutex::new((0..n_units).map(|_| None).collect());
+    let mut strays = 0u64;
+
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(workers);
+        for (w, detectors) in worker_detectors.drain(..).enumerate() {
+            let (tx, rx) = crossbeam::channel::bounded::<Vec<(usize, Observation)>>(CHANNEL_DEPTH);
+            senders.push(tx);
+            let unit_ids = per_worker_units[w].clone();
+            let reports = &reports;
+            scope.spawn(move || {
+                let mut detectors = detectors;
+                for batch in rx {
+                    for (local, obs) in batch {
+                        detectors[local].observe(obs.time);
+                    }
+                }
+                let mut guard = reports.lock();
+                for (local, det) in detectors.into_iter().enumerate() {
+                    guard[unit_ids[local]] = Some(det.finish());
+                }
+            });
+        }
+
+        // Route observations.
+        let mut buffers: Vec<Vec<(usize, Observation)>> =
+            (0..workers).map(|_| Vec::with_capacity(BATCH)).collect();
+        for obs in observations {
+            if !window.contains(obs.time) {
+                continue;
+            }
+            match block_to_unit.get(&obs.block) {
+                Some(&g) => {
+                    let w = unit_worker[g];
+                    buffers[w].push((local_index[g], obs));
+                    if buffers[w].len() >= BATCH {
+                        let full = std::mem::replace(&mut buffers[w], Vec::with_capacity(BATCH));
+                        senders[w].send(full).expect("worker alive");
+                    }
+                }
+                None => strays += 1,
+            }
+        }
+        for (w, buf) in buffers.into_iter().enumerate() {
+            if !buf.is_empty() {
+                senders[w].send(buf).expect("worker alive");
+            }
+        }
+        drop(senders); // close channels; workers finish and publish
+    });
+
+    let units: Vec<UnitReport> = reports
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every unit reports"))
+        .collect();
+
+    DetectionReport::assemble(
+        window,
+        units,
+        plan.units.into_iter().map(|u| u.members).collect(),
+        plan.uncovered,
+        strays,
+        block_to_unit,
+    )
+}
+
+fn blended_shape(
+    members: &[Prefix],
+    histories: &HashMap<Prefix, BlockHistory>,
+    config: &DetectorConfig,
+) -> [f64; 24] {
+    if members.len() == 1 {
+        return histories
+            .get(&members[0])
+            .map(|h| h.expectation_shape(config.diurnal_model))
+            .unwrap_or([1.0; 24]);
+    }
+    let mut shape = [0.0f64; 24];
+    let mut total = 0.0;
+    for m in members {
+        if let Some(h) = histories.get(m) {
+            let hs_all = h.expectation_shape(config.diurnal_model);
+            for (s, hs) in shape.iter_mut().zip(hs_all.iter()) {
+                *s += h.lambda * hs;
+            }
+            total += h.lambda;
+        }
+    }
+    if total <= 0.0 {
+        [1.0; 24]
+    } else {
+        shape.map(|s| s / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_types::UnixTime;
+
+    fn make_observations() -> (Vec<Observation>, Interval) {
+        let window = Interval::from_secs(0, 86_400);
+        let mut obs = Vec::new();
+        // 12 blocks, one with an outage.
+        for i in 0..12u32 {
+            let b = Prefix::v4_raw(0x0A00_0000 + (i << 8), 24);
+            let period = 10 + (i as u64 % 5) * 7;
+            for t in (0..86_400u64).step_by(period as usize) {
+                if i == 3 && (30_000..40_000).contains(&t) {
+                    continue;
+                }
+                obs.push(Observation::new(UnixTime(t), b));
+            }
+        }
+        obs.sort();
+        (obs, window)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (obs, window) = make_observations();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let seq = det.detect(&histories, obs.iter().copied(), window);
+        for workers in [1, 2, 4] {
+            let par = detect_parallel(&det, &histories, obs.iter().copied(), window, workers);
+            assert_eq!(par.units.len(), seq.units.len());
+            assert_eq!(par.covered_blocks(), seq.covered_blocks());
+            assert_eq!(par.strays, seq.strays);
+            // Compare per-block timelines irrespective of unit ordering.
+            for i in 0..12u32 {
+                let b = Prefix::v4_raw(0x0A00_0000 + (i << 8), 24);
+                assert_eq!(
+                    par.timeline_for(&b),
+                    seq.timeline_for(&b),
+                    "block {b} differs at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_detects_the_outage() {
+        let (obs, window) = make_observations();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let par = detect_parallel(&det, &histories, obs.iter().copied(), window, 4);
+        let victim = Prefix::v4_raw(0x0A00_0000 + (3 << 8), 24);
+        let tl = par.timeline_for(&victim).unwrap();
+        assert!(tl.down_secs() > 8_000, "down {} s", tl.down_secs());
+    }
+
+    #[test]
+    fn more_workers_than_units_is_fine() {
+        let (obs, window) = make_observations();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let par = detect_parallel(&det, &histories, obs.iter().copied(), window, 64);
+        assert_eq!(par.covered_blocks(), 12);
+    }
+}

@@ -1,0 +1,423 @@
+//! The end-to-end passive detection pipeline.
+//!
+//! [`PassiveDetector`] wires the stages together exactly as the paper
+//! describes operating on B-root data:
+//!
+//! 1. **History pass** — stream the observations once to learn each
+//!    block's rate model ([`HistoryBuilder`]).
+//! 2. **Planning** — tune parameters per block and pool sparse blocks
+//!    into aggregates ([`crate::aggregate::plan`]).
+//! 3. **Detection pass** — stream the observations again, routing each to
+//!    its detection unit's streaming [`UnitDetector`].
+//!
+//! In production the "history" would be yesterday's traffic; in a
+//! one-shot evaluation the same window serves both roles (the robust
+//! trimmed-rate estimate keeps outages in the window from polluting the
+//! model). Both styles are supported.
+
+use crate::aggregate::{plan, AggregationPlan};
+use crate::config::DetectorConfig;
+use crate::detector::{UnitDetector, UnitDiagnostics, UnitReport};
+use crate::history::{BlockHistory, HistoryBuilder};
+use outage_types::{Interval, Observation, OutageEvent, Prefix, Timeline};
+use std::collections::HashMap;
+
+/// Outcome of a full detection run.
+#[derive(Debug)]
+pub struct DetectionReport {
+    /// The observation window.
+    pub window: Interval,
+    /// Per-unit verdicts (block-level and aggregate units).
+    pub units: Vec<UnitReport>,
+    /// Member blocks of each unit (parallel to `units`).
+    pub members: Vec<Vec<Prefix>>,
+    /// Blocks observed but too sparse to cover at all.
+    pub uncovered: Vec<Prefix>,
+    /// Observations that matched no unit (blocks unseen in history).
+    pub strays: u64,
+    block_to_unit: HashMap<Prefix, usize>,
+}
+
+impl DetectionReport {
+    /// Assemble a report from its parts (used by the parallel driver).
+    pub(crate) fn assemble(
+        window: Interval,
+        units: Vec<UnitReport>,
+        members: Vec<Vec<Prefix>>,
+        uncovered: Vec<Prefix>,
+        strays: u64,
+        block_to_unit: HashMap<Prefix, usize>,
+    ) -> DetectionReport {
+        DetectionReport {
+            window,
+            units,
+            members,
+            uncovered,
+            strays,
+            block_to_unit,
+        }
+    }
+
+    /// The unit index covering a block, if covered.
+    pub fn unit_of(&self, block: &Prefix) -> Option<usize> {
+        self.block_to_unit.get(block).copied()
+    }
+
+    /// The judged timeline that applies to a block (possibly at an
+    /// aggregate's coarser spatial precision).
+    pub fn timeline_for(&self, block: &Prefix) -> Option<&Timeline> {
+        self.unit_of(block).map(|i| &self.units[i].timeline)
+    }
+
+    /// Whether a block is covered by an aggregate rather than its own
+    /// unit.
+    pub fn is_aggregated(&self, block: &Prefix) -> bool {
+        self.unit_of(block)
+            .map(|i| self.members[i].len() > 1)
+            .unwrap_or(false)
+    }
+
+    /// Blocks covered, at any spatial precision.
+    pub fn covered_blocks(&self) -> usize {
+        self.block_to_unit.len()
+    }
+
+    /// All outage events across units.
+    pub fn events(&self) -> Vec<OutageEvent> {
+        self.units.iter().flat_map(|u| u.events()).collect()
+    }
+
+    /// Summed per-unit diagnostics.
+    pub fn diagnostics(&self) -> UnitDiagnostics {
+        let mut d = UnitDiagnostics::default();
+        for u in &self.units {
+            d.arrivals += u.diagnostics.arrivals;
+            d.bins += u.diagnostics.bins;
+            d.bin_detections += u.diagnostics.bin_detections;
+            d.gap_detections += u.diagnostics.gap_detections;
+        }
+        d
+    }
+
+    /// Blocks whose unit judged at least one outage of `min_secs` or
+    /// longer.
+    pub fn blocks_with_outage(&self, min_secs: u64) -> Vec<Prefix> {
+        self.block_to_unit
+            .iter()
+            .filter(|(_, &i)| {
+                !self.units[i]
+                    .timeline
+                    .down
+                    .filter_min_duration(min_secs)
+                    .is_empty()
+            })
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+/// The paper's passive outage detector, end to end.
+#[derive(Debug, Clone, Default)]
+pub struct PassiveDetector {
+    config: DetectorConfig,
+}
+
+impl PassiveDetector {
+    /// A detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> PassiveDetector {
+        config
+            .validate()
+            .expect("invalid detector configuration");
+        PassiveDetector { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Learn per-block histories from one pass over a stream.
+    pub fn learn_histories<I: IntoIterator<Item = Observation>>(
+        &self,
+        observations: I,
+        window: Interval,
+    ) -> HashMap<Prefix, BlockHistory> {
+        let mut hb = HistoryBuilder::new(window);
+        hb.record_all(observations);
+        hb.build()
+    }
+
+    /// Plan detection units from learned histories (diurnal-trough
+    /// aware: widths are chosen against each block's quietest hour).
+    pub fn plan_units(&self, histories: &HashMap<Prefix, BlockHistory>) -> AggregationPlan {
+        plan(
+            histories
+                .iter()
+                .map(|(p, h)| (*p, crate::tuning::RateEstimate::from_history(h, &self.config))),
+            &self.config,
+        )
+    }
+
+    /// Detection pass: run planned units over a stream.
+    pub fn detect<I: IntoIterator<Item = Observation>>(
+        &self,
+        histories: &HashMap<Prefix, BlockHistory>,
+        observations: I,
+        window: Interval,
+    ) -> DetectionReport {
+        let plan = self.plan_units(histories);
+        let mut detectors: Vec<UnitDetector> = plan
+            .units
+            .iter()
+            .map(|u| {
+                let shape = unit_expectation_shape(u.prefix, &u.members, histories, &self.config);
+                UnitDetector::new(u.prefix, u.params, shape, &self.config, window)
+            })
+            .collect();
+
+        let mut block_to_unit = HashMap::new();
+        for (i, u) in plan.units.iter().enumerate() {
+            for m in &u.members {
+                block_to_unit.insert(*m, i);
+            }
+        }
+
+        let mut strays = 0u64;
+        for obs in observations {
+            if !window.contains(obs.time) {
+                continue;
+            }
+            match block_to_unit.get(&obs.block) {
+                Some(&i) => detectors[i].observe(obs.time),
+                None => strays += 1,
+            }
+        }
+
+        let units: Vec<UnitReport> = detectors.into_iter().map(UnitDetector::finish).collect();
+        DetectionReport {
+            window,
+            units,
+            members: plan.units.into_iter().map(|u| u.members).collect(),
+            uncovered: plan.uncovered,
+            strays,
+            block_to_unit,
+        }
+    }
+
+    /// Convenience: self-calibrated two-pass run over a replayable
+    /// source (history learned from the same window that is judged).
+    pub fn run_replay<F, I>(&self, source: F, window: Interval) -> DetectionReport
+    where
+        F: Fn() -> I,
+        I: IntoIterator<Item = Observation>,
+    {
+        let histories = self.learn_histories(source(), window);
+        self.detect(&histories, source(), window)
+    }
+
+    /// Convenience: two-pass run over an in-memory slice.
+    pub fn run_slice(&self, observations: &[Observation], window: Interval) -> DetectionReport {
+        self.run_replay(|| observations.iter().copied(), window)
+    }
+}
+
+/// Hour-of-day *expectation* shape for a unit: the members' judgement
+/// shapes (learned, or conservative worst-case for unknown phases)
+/// blended by rate.
+pub(crate) fn unit_expectation_shape(
+    prefix: Prefix,
+    members: &[Prefix],
+    histories: &HashMap<Prefix, BlockHistory>,
+    config: &DetectorConfig,
+) -> [f64; 24] {
+    if members.len() == 1 {
+        return histories
+            .get(&prefix)
+            .map(|h| h.expectation_shape(config.diurnal_model))
+            .unwrap_or([1.0; 24]);
+    }
+    let mut shape = [0.0f64; 24];
+    let mut total = 0.0;
+    for m in members {
+        if let Some(h) = histories.get(m) {
+            let hs_all = h.expectation_shape(config.diurnal_model);
+            for (s, hs) in shape.iter_mut().zip(hs_all.iter()) {
+                *s += h.lambda * hs;
+            }
+            total += h.lambda;
+        }
+    }
+    if total <= 0.0 {
+        return [1.0; 24];
+    }
+    for s in shape.iter_mut() {
+        *s /= total;
+    }
+    shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_types::UnixTime;
+
+    fn window() -> Interval {
+        Interval::from_secs(0, 86_400)
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Synthesize a steady stream for `block` with the given period,
+    /// silenced during `quiet`.
+    fn stream(block: Prefix, period: u64, quiet: std::ops::Range<u64>) -> Vec<Observation> {
+        (0..86_400)
+            .step_by(period as usize)
+            .filter(|t| !quiet.contains(t))
+            .map(|t| Observation::new(UnixTime(t), block))
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_detects_injected_outage() {
+        let b = p("192.0.2.0/24");
+        let mut obs = stream(b, 10, 30_000..37_200);
+        obs.extend(stream(p("198.51.100.0/24"), 15, 0..0));
+        obs.sort();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let report = det.run_slice(&obs, window());
+        assert_eq!(report.covered_blocks(), 2);
+        assert_eq!(report.strays, 0);
+
+        let tl = report.timeline_for(&b).unwrap();
+        assert_eq!(tl.down.len(), 1);
+        let iv = tl.down.intervals()[0];
+        assert!((29_900..30_100).contains(&iv.start.secs()), "start {}", iv.start);
+        assert!((37_100..37_300).contains(&iv.end.secs()), "end {}", iv.end);
+
+        let healthy = report.timeline_for(&p("198.51.100.0/24")).unwrap();
+        assert_eq!(healthy.down_secs(), 0);
+    }
+
+    #[test]
+    fn sparse_blocks_fall_back_to_aggregates() {
+        // Sixteen sparse sibling /24s under one /20: ~1 packet/3000 s
+        // each, too few events even to estimate a diurnal shape, so each
+        // is tuned against the conservative trough and is unmeasurable
+        // alone. Pooled, the /20's floor rate clears the bar.
+        let mut obs = Vec::new();
+        for i in 0..16u32 {
+            let b = Prefix::v4_raw(0x0A00_0000 + (i << 8), 24);
+            obs.extend(
+                (0..86_400u64)
+                    .step_by(3_000)
+                    .map(|t| Observation::new(UnixTime((t + i as u64 * 97) % 86_400), b)),
+            );
+        }
+        obs.sort();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let report = det.run_slice(&obs, window());
+        let b0 = Prefix::v4_raw(0x0A00_0000, 24);
+        assert!(report.is_aggregated(&b0), "uncovered: {:?}", report.uncovered);
+        assert_eq!(report.covered_blocks(), 16);
+        // the aggregate saw no outage
+        assert_eq!(report.timeline_for(&b0).unwrap().down_secs(), 0);
+    }
+
+    #[test]
+    fn aggregation_off_leaves_them_uncovered() {
+        let mut obs = Vec::new();
+        for i in 0..4u32 {
+            let b = Prefix::v4_raw(0x0A00_0000 + (i << 8), 24);
+            obs.extend(
+                (0..86_400u64)
+                    .step_by(3_000)
+                    .map(|t| Observation::new(UnixTime(t), b)),
+            );
+        }
+        obs.sort();
+        let cfg = DetectorConfig {
+            aggregation: None,
+            ..DetectorConfig::default()
+        };
+        let det = PassiveDetector::new(cfg);
+        let report = det.run_slice(&obs, window());
+        assert_eq!(report.covered_blocks(), 0);
+        assert_eq!(report.uncovered.len(), 4);
+        // their observations become strays in the detection pass
+        assert!(report.strays > 0);
+    }
+
+    #[test]
+    fn aggregate_outage_applies_to_member_blocks() {
+        // All sixteen sparse siblings silent together (AS-wide outage).
+        let mut obs = Vec::new();
+        for i in 0..16u32 {
+            let b = Prefix::v4_raw(0x0A00_0000 + (i << 8), 24);
+            obs.extend(
+                (0..86_400u64)
+                    .step_by(3_000)
+                    .filter(|t| !(30_000..60_000).contains(t))
+                    .map(|t| Observation::new(UnixTime((t + i as u64 * 97) % 86_400), b)),
+            );
+        }
+        obs.sort();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let report = det.run_slice(&obs, window());
+        let b2 = Prefix::v4_raw(0x0A00_0000 + (2 << 8), 24);
+        let tl = report.timeline_for(&b2).expect("covered via aggregate");
+        assert!(
+            tl.down_secs() > 18_000,
+            "aggregate outage not reflected: {} s",
+            tl.down_secs()
+        );
+    }
+
+    #[test]
+    fn events_and_diagnostics_are_consistent() {
+        let b = p("192.0.2.0/24");
+        let obs = stream(b, 10, 40_000..44_000);
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let report = det.run_slice(&obs, window());
+        let events = report.events();
+        assert_eq!(events.len(), report.units.iter().map(|u| u.timeline.down.len()).sum::<usize>());
+        let d = report.diagnostics();
+        assert_eq!(d.arrivals as usize, obs.len());
+        assert!(d.bins > 0);
+        assert_eq!(report.blocks_with_outage(660), vec![b]);
+        assert!(report.blocks_with_outage(10_000).is_empty());
+    }
+
+    #[test]
+    fn separate_history_and_detection_windows() {
+        // History from day 1 (clean), detection on day 2 (with outage).
+        let b = p("192.0.2.0/24");
+        let day1: Vec<Observation> = (0..86_400)
+            .step_by(10)
+            .map(|t| Observation::new(UnixTime(t), b))
+            .collect();
+        let day2: Vec<Observation> = (86_400..172_800)
+            .step_by(10)
+            .filter(|t| !(120_000..126_000).contains(t))
+            .map(|t| Observation::new(UnixTime(t), b))
+            .collect();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(day1, Interval::from_secs(0, 86_400));
+        let report = det.detect(&histories, day2, Interval::from_secs(86_400, 172_800));
+        let tl = report.timeline_for(&b).unwrap();
+        assert_eq!(tl.down.len(), 1);
+        let iv = tl.down.intervals()[0];
+        assert!((119_900..120_100).contains(&iv.start.secs()));
+    }
+
+    #[test]
+    fn observations_outside_window_are_ignored() {
+        let b = p("192.0.2.0/24");
+        let mut obs = stream(b, 10, 0..0);
+        obs.push(Observation::new(UnixTime(200_000), b));
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let report = det.run_slice(&obs, window());
+        assert_eq!(report.diagnostics().arrivals as usize, obs.len() - 1);
+    }
+}

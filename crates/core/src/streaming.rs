@@ -1,0 +1,353 @@
+//! Online operation: a long-running monitor with rolling recalibration.
+//!
+//! The batch pipeline ([`crate::pipeline::PassiveDetector`]) replays a
+//! finished window twice. A deployed system instead runs *forever*:
+//! observations arrive continuously, verdicts must be available now, and
+//! the per-block models must follow the traffic as it drifts. The
+//! [`StreamingMonitor`] does exactly that:
+//!
+//! * Time is divided into **epochs** (default one day). Throughout epoch
+//!   `n`, detection runs with the parameters learned from epoch `n−1`,
+//!   while epoch `n`'s history accumulates for the next hand-over —
+//!   so there is always a full day of history behind every judgement,
+//!   as in the paper's deployment at B-root.
+//! * The first epoch is a **warm-up**: only history is collected, no
+//!   verdicts are produced (a detector with no model has no business
+//!   declaring outages).
+//! * Completed outages are emitted as [`OutageEvent`]s; the current
+//!   belief of any block can be queried at any time.
+
+use crate::config::DetectorConfig;
+use crate::detector::{UnitDetector, UnitReport};
+use crate::history::HistoryBuilder;
+use crate::pipeline::PassiveDetector;
+use outage_types::{Interval, Observation, OutageEvent, Prefix, Timeline, UnixTime};
+use std::collections::HashMap;
+
+/// A continuously-running passive outage monitor.
+pub struct StreamingMonitor {
+    detector: PassiveDetector,
+    epoch_secs: u64,
+    /// Start of the epoch currently being *detected* (None during
+    /// warm-up).
+    current_epoch: Option<UnixTime>,
+    /// Start of the epoch whose history is accumulating.
+    history_epoch_start: UnixTime,
+    history: HistoryBuilder,
+    /// Active per-unit detectors for the current epoch.
+    units: Vec<UnitDetector>,
+    block_to_unit: HashMap<Prefix, usize>,
+    /// Events from epochs already closed.
+    completed: Vec<OutageEvent>,
+    /// Per-block judged timelines from closed epochs.
+    timelines: HashMap<Prefix, Vec<Timeline>>,
+    strays: u64,
+    started: bool,
+}
+
+impl StreamingMonitor {
+    /// A monitor starting at `start` with epochs of `epoch_secs`
+    /// (the warm-up epoch is `[start, start + epoch_secs)`).
+    pub fn new(config: DetectorConfig, start: UnixTime, epoch_secs: u64) -> StreamingMonitor {
+        assert!(epoch_secs >= 3_600, "epochs shorter than an hour cannot hold a history");
+        StreamingMonitor {
+            detector: PassiveDetector::new(config),
+            epoch_secs,
+            current_epoch: None,
+            history_epoch_start: start,
+            history: HistoryBuilder::new(Interval::new(start, start + epoch_secs)),
+            units: Vec::new(),
+            block_to_unit: HashMap::new(),
+            completed: Vec::new(),
+            timelines: HashMap::new(),
+            strays: 0,
+            started: false,
+        }
+    }
+
+    /// A monitor with one-day epochs.
+    pub fn daily(config: DetectorConfig, start: UnixTime) -> StreamingMonitor {
+        StreamingMonitor::new(config, start, 86_400)
+    }
+
+    /// Whether the warm-up epoch has completed (verdicts are live).
+    pub fn is_live(&self) -> bool {
+        self.current_epoch.is_some()
+    }
+
+    /// Observations that arrived for blocks with no unit this epoch.
+    pub fn strays(&self) -> u64 {
+        self.strays
+    }
+
+    /// Feed one observation. Observations must be non-decreasing in
+    /// time; an observation past the current epoch's end first rolls the
+    /// epoch over (possibly several times for a long silence).
+    pub fn observe(&mut self, obs: Observation) {
+        self.started = true;
+        while obs.time >= self.history_epoch_start + self.epoch_secs {
+            self.roll_epoch();
+        }
+        self.history.record(&obs);
+        if self.current_epoch.is_some() {
+            match self.block_to_unit.get(&obs.block) {
+                Some(&i) => self.units[i].observe(obs.time),
+                None => self.strays += 1,
+            }
+        }
+    }
+
+    /// Feed a whole batch.
+    pub fn observe_all<I: IntoIterator<Item = Observation>>(&mut self, obs: I) {
+        for o in obs {
+            self.observe(o);
+        }
+    }
+
+    /// Advance every live detector's bin clock to `now` (e.g. from a
+    /// once-a-minute timer). Without ticks, a block's belief only moves
+    /// when *its own* packets arrive — which during an outage is never.
+    pub fn tick(&mut self, now: UnixTime) {
+        while self.started && now >= self.history_epoch_start + self.epoch_secs {
+            self.roll_epoch();
+        }
+        for unit in &mut self.units {
+            unit.advance_to(now);
+        }
+    }
+
+    /// Current belief that `block` is up, if it is covered this epoch.
+    pub fn belief(&self, block: &Prefix) -> Option<f64> {
+        self.block_to_unit
+            .get(block)
+            .map(|&i| self.units[i].belief())
+    }
+
+    /// Blocks covered in the current epoch.
+    pub fn covered_blocks(&self) -> usize {
+        self.block_to_unit.len()
+    }
+
+    /// Drain outage events completed so far (closed epochs only).
+    pub fn drain_events(&mut self) -> Vec<OutageEvent> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Judged timelines of all closed epochs for a block.
+    pub fn closed_timelines(&self, block: &Prefix) -> &[Timeline] {
+        self.timelines.get(block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Close the current epoch (if live), then promote the accumulated
+    /// history into a fresh set of detectors for the next epoch.
+    fn roll_epoch(&mut self) {
+        // 1. Close the running detection epoch.
+        if self.current_epoch.is_some() {
+            let units = std::mem::take(&mut self.units);
+            let block_to_unit = std::mem::take(&mut self.block_to_unit);
+            let mut reports: Vec<UnitReport> = units.into_iter().map(UnitDetector::finish).collect();
+            for r in &mut reports {
+                self.completed.extend(r.events());
+            }
+            // Record per-block timelines.
+            let mut by_unit: HashMap<usize, Vec<Prefix>> = HashMap::new();
+            for (b, i) in &block_to_unit {
+                by_unit.entry(*i).or_default().push(*b);
+            }
+            for (i, report) in reports.iter().enumerate() {
+                if let Some(blocks) = by_unit.get(&i) {
+                    for b in blocks {
+                        self.timelines
+                            .entry(*b)
+                            .or_default()
+                            .push(report.timeline.clone());
+                    }
+                }
+            }
+        }
+
+        // 2. Promote history → next epoch's detectors.
+        let next_epoch_start = self.history_epoch_start + self.epoch_secs;
+        let next_window = Interval::new(next_epoch_start, next_epoch_start + self.epoch_secs);
+        let finished_history = std::mem::replace(&mut self.history, HistoryBuilder::new(next_window));
+        let histories = finished_history.build();
+        let plan = self.detector.plan_units(&histories);
+
+        self.block_to_unit.clear();
+        self.units = plan
+            .units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                for m in &u.members {
+                    self.block_to_unit.insert(*m, i);
+                }
+                let shape = crate::pipeline::unit_expectation_shape(
+                    u.prefix,
+                    &u.members,
+                    &histories,
+                    self.detector.config(),
+                );
+                UnitDetector::new(u.prefix, u.params, shape, self.detector.config(), next_window)
+            })
+            .collect();
+
+        self.current_epoch = Some(next_epoch_start);
+        self.history_epoch_start = next_epoch_start;
+    }
+
+    /// Finish at `end`: close the in-flight epoch and return all
+    /// remaining events.
+    ///
+    /// Detectors judge their *full* epoch window, so finishing mid-epoch
+    /// treats the remainder of the epoch as observed silence — a block
+    /// quiet since before `end` may be reported down through the epoch's
+    /// end. Prefer finishing at an epoch boundary; a monitor that runs
+    /// continuously (the intended deployment) never calls this at all.
+    pub fn finish(mut self, end: UnixTime) -> Vec<OutageEvent> {
+        // Advance in-flight detectors to `end` (without opening a new
+        // epoch), then close them.
+        for unit in &mut self.units {
+            unit.advance_to(end);
+        }
+        if self.current_epoch.is_some() {
+            let units = std::mem::take(&mut self.units);
+            for unit in units {
+                let report = unit.finish();
+                self.completed.extend(report.events());
+            }
+        }
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Prefix {
+        "192.0.2.0/24".parse().unwrap()
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::default()
+    }
+
+    /// Three days of steady 10 s traffic with an outage on day 3.
+    fn feed(monitor: &mut StreamingMonitor, quiet: std::ops::Range<u64>) {
+        let b = block();
+        for t in (0..3 * 86_400).step_by(10) {
+            if !quiet.contains(&t) {
+                monitor.observe(Observation::new(UnixTime(t), b));
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_epoch_produces_no_verdicts() {
+        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        assert!(!m.is_live());
+        // Day 1 only.
+        for t in (0..86_000).step_by(10) {
+            m.observe(Observation::new(UnixTime(t), block()));
+        }
+        assert!(!m.is_live());
+        assert!(m.belief(&block()).is_none());
+        assert!(m.finish(UnixTime(86_000)).is_empty());
+    }
+
+    #[test]
+    fn goes_live_after_first_epoch() {
+        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        for t in (0..2 * 86_400).step_by(10) {
+            m.observe(Observation::new(UnixTime(t), block()));
+        }
+        assert!(m.is_live());
+        assert_eq!(m.covered_blocks(), 1);
+        let b = m.belief(&block()).expect("covered");
+        assert!(b > 0.9, "steady block should be believed up: {b}");
+    }
+
+    #[test]
+    fn detects_outage_in_live_epoch() {
+        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        // Outage on day 3, 2 hours.
+        let quiet = (2 * 86_400 + 30_000)..(2 * 86_400 + 37_200);
+        feed(&mut m, quiet.clone());
+        let events = m.finish(UnixTime(3 * 86_400));
+        assert_eq!(events.len(), 1, "{events:?}");
+        let ev = &events[0];
+        assert!(quiet.contains(&ev.interval.start.secs()) || ev.interval.start.secs() + 15 >= quiet.start);
+        assert!(ev.duration() > 6_500);
+    }
+
+    #[test]
+    fn belief_drops_during_live_outage() {
+        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let b = block();
+        // Two clean days, then silence for three hours of day 3 — query
+        // the belief mid-outage without finishing.
+        for t in (0..2 * 86_400 + 30_000).step_by(10) {
+            m.observe(Observation::new(UnixTime(t), b));
+        }
+        assert!(m.belief(&b).unwrap() > 0.9);
+        // Silence; advance the wall clock with ticks (as a deployment's
+        // timer would).
+        m.tick(UnixTime(2 * 86_400 + 41_000));
+        let mid = m.belief(&b).unwrap();
+        assert!(mid < 0.1, "belief should have collapsed mid-outage: {mid}");
+    }
+
+    #[test]
+    fn events_drain_at_epoch_boundaries() {
+        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        // Outage on day 2; then day 3 begins, closing day 2's epoch.
+        let quiet = (86_400 + 30_000)..(86_400 + 37_200);
+        feed(&mut m, quiet);
+        // We fed through day 3, so day 2's epoch is closed.
+        let events = m.drain_events();
+        assert_eq!(events.len(), 1);
+        // second drain is empty
+        assert!(m.drain_events().is_empty());
+        // Day 1 was warm-up, day 2 is closed, day 3 is still in flight.
+        let closed = m.closed_timelines(&block());
+        assert_eq!(closed.len(), 1, "only day 2 is closed");
+        assert!(closed[0].down_secs() > 6_000);
+    }
+
+    #[test]
+    fn long_silence_rolls_multiple_epochs() {
+        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let b = block();
+        for t in (0..86_400).step_by(10) {
+            m.observe(Observation::new(UnixTime(t), b));
+        }
+        // Nothing for three days, then one packet.
+        m.observe(Observation::new(UnixTime(4 * 86_400 + 5), b));
+        assert!(m.is_live());
+        // The silent epochs produced a censored outage for the block.
+        let events = m.finish(UnixTime(4 * 86_400 + 10));
+        assert!(
+            events.iter().any(|e| e.duration() > 80_000),
+            "multi-day silence must be reported: {events:?}"
+        );
+    }
+
+    #[test]
+    fn model_follows_traffic_across_epochs() {
+        // A block that doubles its rate on day 2: day 3's detector must
+        // use day 2's history (the monitor recalibrates per epoch).
+        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let b = block();
+        for t in (0..86_400).step_by(40) {
+            m.observe(Observation::new(UnixTime(t), b));
+        }
+        for t in (86_400..2 * 86_400).step_by(10) {
+            m.observe(Observation::new(UnixTime(t), b));
+        }
+        // Early day 3: live with day-2 model.
+        m.observe(Observation::new(UnixTime(2 * 86_400 + 5), b));
+        assert!(m.is_live());
+        assert!(m.belief(&b).is_some());
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-block parameter selection.
+//!
+//! Contribution 1 of the paper: every block gets its *own* operating
+//! point. The tuner maps a block's learned rate to the finest candidate
+//! bin width whose expected arrivals-per-bin clear the evidence bar; a
+//! block too sparse even at the coarsest width is declared unmeasurable
+//! on its own (and becomes a candidate for spatial aggregation).
+
+use crate::config::DetectorConfig;
+use crate::history::BlockHistory;
+use serde::{Deserialize, Serialize};
+
+/// Operating parameters chosen for one detection unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitParams {
+    /// Bin width in seconds.
+    pub width: u64,
+    /// Up-state arrival rate (events/second).
+    pub lambda: f64,
+    /// Down-state (leak) arrival rate (events/second).
+    pub leak: f64,
+}
+
+impl UnitParams {
+    /// Expected arrivals per bin while up.
+    pub fn expected_per_bin(&self) -> f64 {
+        self.lambda * self.width as f64
+    }
+}
+
+/// Outcome of tuning one block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Tuning {
+    /// The block can be judged on its own with these parameters.
+    Measurable(UnitParams),
+    /// Too sparse at every candidate width; rate retained for pooling.
+    Unmeasurable {
+        /// The block's learned rate, for aggregation planning.
+        lambda: f64,
+    },
+}
+
+impl Tuning {
+    /// The chosen parameters, if measurable.
+    pub fn params(&self) -> Option<UnitParams> {
+        match *self {
+            Tuning::Measurable(p) => Some(p),
+            Tuning::Unmeasurable { .. } => None,
+        }
+    }
+
+    /// Whether the block is measurable on its own.
+    pub fn is_measurable(&self) -> bool {
+        matches!(self, Tuning::Measurable(_))
+    }
+}
+
+/// A block's (or pooled aggregate's) rate estimate for tuning: the mean
+/// up-rate, and a conservative *floor* — the rate at the diurnal trough.
+/// Widths are chosen against the floor so that even the quietest hour of
+/// a healthy block carries `min_expected_per_bin` of expected traffic;
+/// otherwise every night would read as an outage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateEstimate {
+    /// Mean arrival rate (events/second) — drives likelihood ratios.
+    pub mean: f64,
+    /// Trough arrival rate (events/second) — drives bin-width choice.
+    pub floor: f64,
+}
+
+impl RateEstimate {
+    /// An estimate with no diurnal information (floor = mean).
+    pub fn flat(rate: f64) -> RateEstimate {
+        RateEstimate {
+            mean: rate,
+            floor: rate,
+        }
+    }
+
+    /// Pool two estimates (rates add).
+    pub fn pool(self, other: RateEstimate) -> RateEstimate {
+        RateEstimate {
+            mean: self.mean + other.mean,
+            floor: self.floor + other.floor,
+        }
+    }
+
+    /// Estimate for a block from its history: the floor honours the
+    /// learned (or worst-case assumed) diurnal trough when the diurnal
+    /// model is on.
+    pub fn from_history(history: &BlockHistory, config: &DetectorConfig) -> RateEstimate {
+        let floor = if config.diurnal_model {
+            history.lambda * history.trough_multiplier()
+        } else {
+            history.lambda
+        };
+        RateEstimate {
+            mean: history.lambda,
+            floor,
+        }
+    }
+}
+
+/// Choose parameters for a rate estimate under `config`: the finest
+/// candidate width `w` with `floor * w >= min_expected_per_bin`.
+pub fn tune_estimate(estimate: RateEstimate, config: &DetectorConfig) -> Tuning {
+    for &w in &config.bin_widths {
+        if estimate.floor * w as f64 >= config.min_expected_per_bin {
+            return Tuning::Measurable(UnitParams {
+                width: w,
+                lambda: estimate.mean,
+                leak: config.leak_rate(estimate.mean),
+            });
+        }
+    }
+    Tuning::Unmeasurable {
+        lambda: estimate.mean,
+    }
+}
+
+/// Choose parameters for a flat rate (no diurnal information).
+pub fn tune_rate(lambda: f64, config: &DetectorConfig) -> Tuning {
+    tune_estimate(RateEstimate::flat(lambda), config)
+}
+
+/// Tune one block from its history (diurnal-trough-aware).
+pub fn tune_block(history: &BlockHistory, config: &DetectorConfig) -> Tuning {
+    tune_estimate(RateEstimate::from_history(history, config), config)
+}
+
+/// The finest width at which a given rate estimate is measurable, if
+/// any — convenience for coverage sweeps.
+pub fn finest_measurable_width(lambda: f64, config: &DetectorConfig) -> Option<u64> {
+    tune_rate(lambda, config).params().map(|p| p.width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::default()
+    }
+
+    #[test]
+    fn dense_blocks_get_finest_bins() {
+        // λ=0.1 → 30 expected per 300 s bin
+        match tune_rate(0.1, &cfg()) {
+            Tuning::Measurable(p) => {
+                assert_eq!(p.width, 300);
+                assert!((p.expected_per_bin() - 30.0).abs() < 1e-9);
+                assert!(p.leak < p.lambda);
+            }
+            t => panic!("expected measurable, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn medium_blocks_get_coarser_bins() {
+        // λ=0.005 → 1.5 per 300 s (too few), 6 per 1200 s (enough)
+        let p = tune_rate(0.005, &cfg()).params().unwrap();
+        assert_eq!(p.width, 1_200);
+    }
+
+    #[test]
+    fn boundary_rate_exactly_meets_k() {
+        let c = cfg();
+        // λ·300 = 4 exactly → measurable at 300
+        let lambda = c.min_expected_per_bin / 300.0;
+        let p = tune_rate(lambda, &c).params().unwrap();
+        assert_eq!(p.width, 300);
+        // a hair below → next width up
+        let p = tune_rate(lambda * 0.999, &c).params().unwrap();
+        assert_eq!(p.width, 600);
+    }
+
+    #[test]
+    fn very_sparse_blocks_are_unmeasurable() {
+        // λ = 1 event / 10 h → even 7200 s bins expect only 0.2
+        let t = tune_rate(1.0 / 36_000.0, &cfg());
+        assert!(!t.is_measurable());
+        match t {
+            Tuning::Unmeasurable { lambda } => assert!(lambda > 0.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn zero_rate_unmeasurable() {
+        assert!(!tune_rate(0.0, &cfg()).is_measurable());
+    }
+
+    #[test]
+    fn fixed_width_config_never_falls_back() {
+        let c = DetectorConfig::fixed_width(300);
+        assert!(tune_rate(0.1, &c).is_measurable());
+        // measurable at 1200 under default, but not at fixed 300:
+        assert!(!tune_rate(0.005, &c).is_measurable());
+    }
+
+    #[test]
+    fn finest_measurable_width_matches_tune() {
+        let c = cfg();
+        assert_eq!(finest_measurable_width(0.1, &c), Some(300));
+        assert_eq!(finest_measurable_width(0.005, &c), Some(1_200));
+        assert_eq!(finest_measurable_width(0.0, &c), None);
+    }
+
+    #[test]
+    fn tune_block_uses_history_lambda() {
+        let h = BlockHistory {
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            lambda: 0.02,
+            total: 1_728,
+            hourly_shape: [1.0; 24],
+            shape_estimated: true,
+        };
+        let p = tune_block(&h, &cfg()).params().unwrap();
+        assert_eq!(p.width, 300); // 0.02*300 = 6 ≥ 4
+        assert_eq!(p.lambda, 0.02);
+    }
+}

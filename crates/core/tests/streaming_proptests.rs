@@ -1,0 +1,78 @@
+//! Property tests for the streaming monitor: whatever arrives, in
+//! whatever rhythm, the monitor's bookkeeping must stay coherent.
+
+use outage_core::{DetectorConfig, StreamingMonitor};
+use outage_types::{Observation, Prefix, UnixTime};
+use proptest::prelude::*;
+
+const DAY: u64 = 86_400;
+
+fn block(i: u32) -> Prefix {
+    Prefix::v4_raw(0x0A00_0000 + (i << 8), 24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn monitor_never_panics_and_events_stay_in_bounds(
+        periods in proptest::collection::vec(10u64..4_000, 1..5),
+        days in 2u64..4,
+        tick_every in 60u64..7_200,
+    ) {
+        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0));
+        let end = days * DAY;
+        // interleave per-block arithmetic streams with periodic ticks
+        let mut events_at: Vec<(u64, u32)> = Vec::new();
+        for (i, p) in periods.iter().enumerate() {
+            let mut t = (i as u64 * 13) % *p;
+            while t < end {
+                events_at.push((t, i as u32));
+                t += p;
+            }
+        }
+        events_at.sort_unstable();
+        let mut next_tick = tick_every;
+        for (t, i) in events_at {
+            while next_tick <= t {
+                m.tick(UnixTime(next_tick));
+                next_tick += tick_every;
+            }
+            m.observe(Observation::new(UnixTime(t), block(i)));
+        }
+        let events = m.finish(UnixTime(end));
+        for ev in &events {
+            prop_assert!(ev.interval.start.secs() < end);
+            prop_assert!(ev.interval.end.secs() <= end);
+            prop_assert!(!ev.interval.is_empty());
+            prop_assert!((0.0..=1.0).contains(&ev.confidence));
+            // events only come from epochs after warm-up
+            prop_assert!(ev.interval.end.secs() > DAY);
+        }
+    }
+
+    #[test]
+    fn steady_stream_yields_no_events_across_epochs(period in 10u64..60, days in 2u64..4) {
+        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0));
+        for t in (0..days * DAY).step_by(period as usize) {
+            m.observe(Observation::new(UnixTime(t), block(0)));
+        }
+        let events = m.finish(UnixTime(days * DAY));
+        prop_assert!(
+            events.is_empty(),
+            "steady traffic produced events: {events:?}"
+        );
+    }
+
+    #[test]
+    fn belief_is_always_defined_and_bounded_once_live(period in 10u64..120) {
+        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0));
+        for t in (0..2 * DAY).step_by(period as usize) {
+            m.observe(Observation::new(UnixTime(t), block(0)));
+            if t > DAY {
+                let b = m.belief(&block(0)).expect("live after day 1");
+                prop_assert!((0.0..=1.0).contains(&b));
+            }
+        }
+    }
+}

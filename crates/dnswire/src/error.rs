@@ -1,0 +1,51 @@
+//! Wire-format error type.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding DNS messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A label exceeded 63 bytes.
+    LabelTooLong(usize),
+    /// An encoded name exceeded 255 bytes.
+    NameTooLong(usize),
+    /// A label contained zero bytes where that is not allowed.
+    EmptyLabel,
+    /// Compression pointers formed a loop (or pointed forward).
+    PointerLoop,
+    /// Reserved label-type bits (0b01/0b10) were used.
+    BadLabelType(u8),
+    /// A resource record's RDLENGTH disagreed with its RDATA.
+    BadRdataLength {
+        /// RR type whose RDATA was malformed.
+        rtype: u16,
+        /// Claimed length.
+        expected: usize,
+        /// Available length.
+        actual: usize,
+    },
+    /// The message header's counts exceeded a sanity bound.
+    ImplausibleCount(u16),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::LabelTooLong(n) => write!(f, "label of {n} bytes exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} bytes exceeds 255"),
+            WireError::EmptyLabel => write!(f, "empty label"),
+            WireError::PointerLoop => write!(f, "compression pointer loop"),
+            WireError::BadLabelType(b) => write!(f, "reserved label type 0x{b:02x}"),
+            WireError::BadRdataLength { rtype, expected, actual } => write!(
+                f,
+                "rdata for type {rtype}: claimed {expected} bytes, have {actual}"
+            ),
+            WireError::ImplausibleCount(n) => write!(f, "implausible record count {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

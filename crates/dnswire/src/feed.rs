@@ -1,0 +1,217 @@
+//! The telescope: turning captured query packets into detector
+//! [`Observation`]s.
+//!
+//! A passive outage detector at a root server does not get a neat event
+//! stream — it gets packets. This module is the thin ingestion layer: it
+//! parses each captured datagram as DNS, keeps only well-formed queries,
+//! and attributes them to the source's canonical block (/24 or /48).
+//! Malformed packets are counted, not propagated: a telescope must be
+//! robust to garbage by construction.
+
+use crate::error::WireError;
+use crate::message::{Message, Opcode};
+use bytes::Bytes;
+use outage_types::{HostAddr, Observation, UnixTime};
+
+/// A datagram captured at the service, with arrival metadata.
+#[derive(Debug, Clone)]
+pub struct CapturedPacket {
+    /// Arrival timestamp (exact, second resolution).
+    pub time: UnixTime,
+    /// Source address of the datagram.
+    pub src: HostAddr,
+    /// UDP payload.
+    pub payload: Bytes,
+}
+
+/// Why the telescope dropped a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drop {
+    /// Not parseable as DNS.
+    Malformed(WireError),
+    /// Parsed, but it was a response, not a query.
+    NotAQuery,
+    /// Parsed, but not a standard-opcode query (NOTIFY, UPDATE, ...).
+    WrongOpcode(Opcode),
+    /// No question section.
+    NoQuestion,
+}
+
+/// Running counters for a telescope's intake, for operational visibility
+/// and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelescopeStats {
+    /// Packets accepted as observations.
+    pub accepted: u64,
+    /// Packets dropped for any reason.
+    pub dropped: u64,
+    /// Of the dropped: unparseable.
+    pub malformed: u64,
+}
+
+/// Parses captured packets into per-block observations.
+#[derive(Debug, Default)]
+pub struct Telescope {
+    stats: TelescopeStats,
+}
+
+impl Telescope {
+    /// A fresh telescope.
+    pub fn new() -> Telescope {
+        Telescope::default()
+    }
+
+    /// Intake counters so far.
+    pub fn stats(&self) -> TelescopeStats {
+        self.stats
+    }
+
+    /// Classify one packet without touching counters.
+    pub fn classify(pkt: &CapturedPacket) -> Result<Observation, Drop> {
+        let msg = Message::decode(&pkt.payload).map_err(Drop::Malformed)?;
+        if msg.header.response {
+            return Err(Drop::NotAQuery);
+        }
+        if msg.header.opcode != Opcode::Query {
+            return Err(Drop::WrongOpcode(msg.header.opcode));
+        }
+        if msg.questions.is_empty() {
+            return Err(Drop::NoQuestion);
+        }
+        Ok(Observation::new(pkt.time, pkt.src.block()))
+    }
+
+    /// Process one packet, updating counters; `None` means dropped.
+    pub fn observe(&mut self, pkt: &CapturedPacket) -> Option<Observation> {
+        match Self::classify(pkt) {
+            Ok(obs) => {
+                self.stats.accepted += 1;
+                Some(obs)
+            }
+            Err(drop) => {
+                self.stats.dropped += 1;
+                if matches!(drop, Drop::Malformed(_)) {
+                    self.stats.malformed += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Process a whole capture, yielding observations in input order.
+    pub fn observe_all<'a, I>(&'a mut self, pkts: I) -> impl Iterator<Item = Observation> + 'a
+    where
+        I: IntoIterator<Item = CapturedPacket> + 'a,
+    {
+        pkts.into_iter().filter_map(move |p| self.observe(&p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RecordType;
+    use crate::name::DnsName;
+    use std::net::Ipv4Addr;
+
+    fn query_packet(t: u64, src: Ipv4Addr, qname: &str) -> CapturedPacket {
+        let msg = Message::query(7, qname.parse::<DnsName>().unwrap(), RecordType::A);
+        CapturedPacket {
+            time: UnixTime(t),
+            src: HostAddr::V4(src),
+            payload: msg.encode(),
+        }
+    }
+
+    #[test]
+    fn accepts_queries_and_attributes_block() {
+        let mut tel = Telescope::new();
+        let pkt = query_packet(100, Ipv4Addr::new(203, 0, 113, 200), "example.com");
+        let obs = tel.observe(&pkt).unwrap();
+        assert_eq!(obs.time, UnixTime(100));
+        assert_eq!(obs.block.to_string(), "203.0.113.0/24");
+        assert_eq!(tel.stats().accepted, 1);
+        assert_eq!(tel.stats().dropped, 0);
+    }
+
+    #[test]
+    fn v6_sources_map_to_48s() {
+        let msg = Message::query(9, "example.org".parse::<DnsName>().unwrap(), RecordType::Aaaa);
+        let pkt = CapturedPacket {
+            time: UnixTime(5),
+            src: HostAddr::V6("2001:db8:1:2:3::9".parse().unwrap()),
+            payload: msg.encode(),
+        };
+        let obs = Telescope::classify(&pkt).unwrap();
+        assert_eq!(obs.block.to_string(), "2001:db8:1::/48");
+    }
+
+    #[test]
+    fn drops_responses() {
+        let mut msg = Message::query(7, "example.com".parse::<DnsName>().unwrap(), RecordType::A);
+        msg.header.response = true;
+        let pkt = CapturedPacket {
+            time: UnixTime(0),
+            src: HostAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+            payload: msg.encode(),
+        };
+        assert_eq!(Telescope::classify(&pkt), Err(Drop::NotAQuery));
+    }
+
+    #[test]
+    fn drops_wrong_opcode() {
+        let mut msg = Message::query(7, "example.com".parse::<DnsName>().unwrap(), RecordType::A);
+        msg.header.opcode = Opcode::Notify;
+        let pkt = CapturedPacket {
+            time: UnixTime(0),
+            src: HostAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+            payload: msg.encode(),
+        };
+        assert_eq!(Telescope::classify(&pkt), Err(Drop::WrongOpcode(Opcode::Notify)));
+    }
+
+    #[test]
+    fn drops_questionless_queries() {
+        let mut msg = Message::query(7, "example.com".parse::<DnsName>().unwrap(), RecordType::A);
+        msg.questions.clear();
+        let pkt = CapturedPacket {
+            time: UnixTime(0),
+            src: HostAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+            payload: msg.encode(),
+        };
+        assert_eq!(Telescope::classify(&pkt), Err(Drop::NoQuestion));
+    }
+
+    #[test]
+    fn counts_malformed_garbage() {
+        let mut tel = Telescope::new();
+        let garbage = CapturedPacket {
+            time: UnixTime(0),
+            src: HostAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+            payload: Bytes::from_static(&[0xDE, 0xAD]),
+        };
+        assert!(tel.observe(&garbage).is_none());
+        assert_eq!(tel.stats().malformed, 1);
+        assert_eq!(tel.stats().dropped, 1);
+    }
+
+    #[test]
+    fn observe_all_filters() {
+        let mut tel = Telescope::new();
+        let pkts = vec![
+            query_packet(1, Ipv4Addr::new(10, 0, 0, 1), "a.example"),
+            CapturedPacket {
+                time: UnixTime(2),
+                src: HostAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+                payload: Bytes::from_static(&[0]),
+            },
+            query_packet(3, Ipv4Addr::new(10, 0, 1, 1), "b.example"),
+        ];
+        let obs: Vec<_> = tel.observe_all(pkts).collect();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].time, UnixTime(1));
+        assert_eq!(obs[1].block.to_string(), "10.0.1.0/24");
+        assert_eq!(tel.stats().accepted, 2);
+        assert_eq!(tel.stats().dropped, 1);
+    }
+}

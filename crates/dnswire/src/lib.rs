@@ -1,0 +1,29 @@
+//! # outage-dnswire
+//!
+//! A minimal, robust DNS wire-format codec and the passive "telescope"
+//! that turns captured query packets into per-block [`Observation`]s.
+//!
+//! The paper's passive signal is traffic arriving at B-root: recursive
+//! resolvers send queries, and the mere *arrival* of a query from a source
+//! block is evidence the block is up. This crate supplies the packet layer
+//! of that pipeline: [`message::Message`] encoding/decoding (RFC 1035
+//! subset, compression-pointer-aware, hardened against truncation, pointer
+//! loops, and absurd section counts) and [`feed::Telescope`], which
+//! classifies captured datagrams and maps sources to /24 or /48 blocks.
+//!
+//! [`Observation`]: outage_types::Observation
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod feed;
+pub mod message;
+pub mod name;
+
+pub use error::WireError;
+pub use feed::{CapturedPacket, Telescope, TelescopeStats};
+pub use message::{
+    Header, Message, Opcode, Question, Rcode, Rdata, RecordClass, RecordType, ResourceRecord,
+};
+pub use name::DnsName;

@@ -1,0 +1,801 @@
+//! DNS message structure: header, questions, resource records.
+//!
+//! This is deliberately the *minimum* of RFC 1035 a root-server telescope
+//! needs: full header semantics, question parsing, and opaque-but-bounded
+//! resource records (with typed RDATA for A/AAAA since the simulator uses
+//! them). It is not a general-purpose resolver library.
+
+use crate::error::WireError;
+use crate::name::{DnsName, NameCompressor};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Query/response operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Standard query.
+    Query,
+    /// Inverse query (obsolete, still seen in the wild).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// NOTIFY.
+    Notify,
+    /// UPDATE.
+    Update,
+    /// Anything else (reserved values).
+    Other(u8),
+}
+
+impl From<u8> for Opcode {
+    fn from(v: u8) -> Self {
+        match v & 0xF {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            o => Opcode::Other(o),
+        }
+    }
+}
+
+impl From<Opcode> for u8 {
+    fn from(v: Opcode) -> u8 {
+        match v {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Other(o) => o & 0xF,
+        }
+    }
+}
+
+/// Response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused.
+    Refused,
+    /// Anything else.
+    Other(u8),
+}
+
+impl From<u8> for Rcode {
+    fn from(v: u8) -> Self {
+        match v & 0xF {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            o => Rcode::Other(o),
+        }
+    }
+}
+
+impl From<Rcode> for u8 {
+    fn from(v: Rcode) -> u8 {
+        match v {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(o) => o & 0xF,
+        }
+    }
+}
+
+/// Record/query type. Common values get names; the rest are `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordType {
+    /// IPv4 address.
+    A,
+    /// Name server.
+    Ns,
+    /// Canonical name.
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Pointer (reverse DNS).
+    Ptr,
+    /// Mail exchange.
+    Mx,
+    /// Text.
+    Txt,
+    /// IPv6 address.
+    Aaaa,
+    /// Delegation signer.
+    Ds,
+    /// DNSSEC signature.
+    Rrsig,
+    /// DNSSEC key.
+    Dnskey,
+    /// Any (query-only).
+    Any,
+    /// Unrecognized type code.
+    Other(u16),
+}
+
+impl From<u16> for RecordType {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            43 => RecordType::Ds,
+            46 => RecordType::Rrsig,
+            48 => RecordType::Dnskey,
+            255 => RecordType::Any,
+            o => RecordType::Other(o),
+        }
+    }
+}
+
+impl From<RecordType> for u16 {
+    fn from(v: RecordType) -> u16 {
+        match v {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Ds => 43,
+            RecordType::Rrsig => 46,
+            RecordType::Dnskey => 48,
+            RecordType::Any => 255,
+            RecordType::Other(o) => o,
+        }
+    }
+}
+
+/// DNS class; effectively always `IN` for this workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordClass {
+    /// Internet.
+    In,
+    /// Chaos (used by version.bind queries).
+    Ch,
+    /// Anything else.
+    Other(u16),
+}
+
+impl From<u16> for RecordClass {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => RecordClass::In,
+            3 => RecordClass::Ch,
+            o => RecordClass::Other(o),
+        }
+    }
+}
+
+impl From<RecordClass> for u16 {
+    fn from(v: RecordClass) -> u16 {
+        match v {
+            RecordClass::In => 1,
+            RecordClass::Ch => 3,
+            RecordClass::Other(o) => o,
+        }
+    }
+}
+
+/// The 12-byte DNS header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Transaction id.
+    pub id: u16,
+    /// True for responses, false for queries.
+    pub response: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Authoritative answer.
+    pub authoritative: bool,
+    /// Truncation flag.
+    pub truncated: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Recursion available.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question count.
+    pub qdcount: u16,
+    /// Answer count.
+    pub ancount: u16,
+    /// Authority count.
+    pub nscount: u16,
+    /// Additional count.
+    pub arcount: u16,
+}
+
+impl Header {
+    /// A plain query header with one question.
+    pub fn query(id: u16) -> Header {
+        Header {
+            id,
+            response: false,
+            opcode: Opcode::Query,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+            qdcount: 1,
+            ancount: 0,
+            nscount: 0,
+            arcount: 0,
+        }
+    }
+
+    /// Encode into 12 bytes.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.id);
+        let mut flags: u16 = 0;
+        if self.response {
+            flags |= 1 << 15;
+        }
+        flags |= (u8::from(self.opcode) as u16) << 11;
+        if self.authoritative {
+            flags |= 1 << 10;
+        }
+        if self.truncated {
+            flags |= 1 << 9;
+        }
+        if self.recursion_desired {
+            flags |= 1 << 8;
+        }
+        if self.recursion_available {
+            flags |= 1 << 7;
+        }
+        flags |= u8::from(self.rcode) as u16;
+        buf.put_u16(flags);
+        buf.put_u16(self.qdcount);
+        buf.put_u16(self.ancount);
+        buf.put_u16(self.nscount);
+        buf.put_u16(self.arcount);
+    }
+
+    /// Decode from the first 12 bytes of `msg`.
+    pub fn decode(msg: &[u8]) -> Result<Header, WireError> {
+        if msg.len() < 12 {
+            return Err(WireError::Truncated);
+        }
+        let mut b = msg;
+        let id = b.get_u16();
+        let flags = b.get_u16();
+        Ok(Header {
+            id,
+            response: flags & (1 << 15) != 0,
+            opcode: Opcode::from(((flags >> 11) & 0xF) as u8),
+            authoritative: flags & (1 << 10) != 0,
+            truncated: flags & (1 << 9) != 0,
+            recursion_desired: flags & (1 << 8) != 0,
+            recursion_available: flags & (1 << 7) != 0,
+            rcode: Rcode::from((flags & 0xF) as u8),
+            qdcount: b.get_u16(),
+            ancount: b.get_u16(),
+            nscount: b.get_u16(),
+            arcount: b.get_u16(),
+        })
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub qname: DnsName,
+    /// Queried type.
+    pub qtype: RecordType,
+    /// Queried class.
+    pub qclass: RecordClass,
+}
+
+impl Question {
+    /// An `IN` question.
+    pub fn new(qname: DnsName, qtype: RecordType) -> Question {
+        Question {
+            qname,
+            qtype,
+            qclass: RecordClass::In,
+        }
+    }
+
+    /// Append wire encoding.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        self.qname.encode(buf);
+        buf.put_u16(self.qtype.into());
+        buf.put_u16(self.qclass.into());
+    }
+
+    /// Decode at `pos` within `msg`; returns question and next position.
+    pub fn decode(msg: &[u8], pos: usize) -> Result<(Question, usize), WireError> {
+        let (qname, pos) = DnsName::decode(msg, pos)?;
+        let rest = msg.get(pos..pos + 4).ok_or(WireError::Truncated)?;
+        let qtype = RecordType::from(u16::from_be_bytes([rest[0], rest[1]]));
+        let qclass = RecordClass::from(u16::from_be_bytes([rest[2], rest[3]]));
+        Ok((Question { qname, qtype, qclass }, pos + 4))
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?} {:?}", self.qname, self.qclass, self.qtype)
+    }
+}
+
+/// Typed RDATA for the record types the simulator produces; everything
+/// else is kept as opaque bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rdata {
+    /// An A record's address.
+    A(Ipv4Addr),
+    /// An AAAA record's address.
+    Aaaa(Ipv6Addr),
+    /// An NS record's target.
+    Ns(DnsName),
+    /// Anything else, uninterpreted.
+    Opaque(Bytes),
+}
+
+/// A resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Owner name.
+    pub name: DnsName,
+    /// Record type.
+    pub rtype: RecordType,
+    /// Record class.
+    pub class: RecordClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed or opaque payload.
+    pub rdata: Rdata,
+}
+
+impl ResourceRecord {
+    /// Append wire encoding (no name compression — encoders here always
+    /// emit uncompressed names; the *decoder* accepts compression).
+    pub fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+        buf.put_u16(self.rtype.into());
+        buf.put_u16(self.class.into());
+        buf.put_u32(self.ttl);
+        match &self.rdata {
+            Rdata::A(ip) => {
+                buf.put_u16(4);
+                buf.put_slice(&ip.octets());
+            }
+            Rdata::Aaaa(ip) => {
+                buf.put_u16(16);
+                buf.put_slice(&ip.octets());
+            }
+            Rdata::Ns(n) => {
+                buf.put_u16(n.wire_len() as u16);
+                n.encode(buf);
+            }
+            Rdata::Opaque(b) => {
+                buf.put_u16(b.len() as u16);
+                buf.put_slice(b);
+            }
+        }
+    }
+
+    /// Decode at `pos` within `msg`; returns record and next position.
+    pub fn decode(msg: &[u8], pos: usize) -> Result<(ResourceRecord, usize), WireError> {
+        let (name, pos) = DnsName::decode(msg, pos)?;
+        let fixed = msg.get(pos..pos + 10).ok_or(WireError::Truncated)?;
+        let rtype = RecordType::from(u16::from_be_bytes([fixed[0], fixed[1]]));
+        let class = RecordClass::from(u16::from_be_bytes([fixed[2], fixed[3]]));
+        let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+        let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+        let rdata_start = pos + 10;
+        let raw = msg
+            .get(rdata_start..rdata_start + rdlen)
+            .ok_or(WireError::Truncated)?;
+        let rdata = match rtype {
+            RecordType::A => {
+                let o: [u8; 4] = raw.try_into().map_err(|_| WireError::BadRdataLength {
+                    rtype: rtype.into(),
+                    expected: 4,
+                    actual: raw.len(),
+                })?;
+                Rdata::A(Ipv4Addr::from(o))
+            }
+            RecordType::Aaaa => {
+                let o: [u8; 16] = raw.try_into().map_err(|_| WireError::BadRdataLength {
+                    rtype: rtype.into(),
+                    expected: 16,
+                    actual: raw.len(),
+                })?;
+                Rdata::Aaaa(Ipv6Addr::from(o))
+            }
+            RecordType::Ns => {
+                // NS rdata may itself be compressed relative to the message.
+                let (n, _) = DnsName::decode(msg, rdata_start)?;
+                Rdata::Ns(n)
+            }
+            _ => Rdata::Opaque(Bytes::copy_from_slice(raw)),
+        };
+        Ok((
+            ResourceRecord { name, rtype, class, ttl, rdata },
+            rdata_start + rdlen,
+        ))
+    }
+}
+
+/// Sanity cap on section counts: a telescope should drop absurd packets
+/// rather than allocate for them.
+const MAX_SECTION: u16 = 64;
+
+/// A full DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Header (counts are authoritative at encode time — `encode`
+    /// recomputes them from the section vectors).
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority section.
+    pub authorities: Vec<ResourceRecord>,
+    /// Additional section.
+    pub additionals: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// A single-question query message.
+    pub fn query(id: u16, qname: DnsName, qtype: RecordType) -> Message {
+        Message {
+            header: Header::query(id),
+            questions: vec![Question::new(qname, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Encode to wire format; section counts are recomputed.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        let mut h = self.header;
+        h.qdcount = self.questions.len() as u16;
+        h.ancount = self.answers.len() as u16;
+        h.nscount = self.authorities.len() as u16;
+        h.arcount = self.additionals.len() as u16;
+        h.encode(&mut buf);
+        for q in &self.questions {
+            q.encode(&mut buf);
+        }
+        for rr in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            rr.encode(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Encode to wire format with RFC 1035 name compression: question
+    /// names, record owner names, and NS targets share suffixes via
+    /// pointers. Typically much smaller than [`Message::encode`] for
+    /// responses whose records share a zone.
+    pub fn encode_compressed(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        let mut names = NameCompressor::new();
+        let mut h = self.header;
+        h.qdcount = self.questions.len() as u16;
+        h.ancount = self.answers.len() as u16;
+        h.nscount = self.authorities.len() as u16;
+        h.arcount = self.additionals.len() as u16;
+        h.encode(&mut buf);
+        for q in &self.questions {
+            q.qname.encode_compressed(&mut buf, &mut names);
+            buf.put_u16(q.qtype.into());
+            buf.put_u16(q.qclass.into());
+        }
+        for rr in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            rr.name.encode_compressed(&mut buf, &mut names);
+            buf.put_u16(rr.rtype.into());
+            buf.put_u16(rr.class.into());
+            buf.put_u32(rr.ttl);
+            match &rr.rdata {
+                Rdata::A(ip) => {
+                    buf.put_u16(4);
+                    buf.put_slice(&ip.octets());
+                }
+                Rdata::Aaaa(ip) => {
+                    buf.put_u16(16);
+                    buf.put_slice(&ip.octets());
+                }
+                Rdata::Ns(n) => {
+                    // RDLENGTH is only known after compression: reserve
+                    // the length slot, write, then patch.
+                    let len_at = buf.len();
+                    buf.put_u16(0);
+                    let start = buf.len();
+                    n.encode_compressed(&mut buf, &mut names);
+                    let rdlen = (buf.len() - start) as u16;
+                    buf[len_at..len_at + 2].copy_from_slice(&rdlen.to_be_bytes());
+                }
+                Rdata::Opaque(b) => {
+                    buf.put_u16(b.len() as u16);
+                    buf.put_slice(b);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a whole message.
+    pub fn decode(msg: &[u8]) -> Result<Message, WireError> {
+        let header = Header::decode(msg)?;
+        for c in [header.qdcount, header.ancount, header.nscount, header.arcount] {
+            if c > MAX_SECTION {
+                return Err(WireError::ImplausibleCount(c));
+            }
+        }
+        let mut pos = 12;
+        let mut questions = Vec::with_capacity(header.qdcount as usize);
+        for _ in 0..header.qdcount {
+            let (q, next) = Question::decode(msg, pos)?;
+            questions.push(q);
+            pos = next;
+        }
+        let section = |n: u16, pos: &mut usize| -> Result<Vec<ResourceRecord>, WireError> {
+            let mut v = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let (rr, next) = ResourceRecord::decode(msg, *pos)?;
+                v.push(rr);
+                *pos = next;
+            }
+            Ok(v)
+        };
+        let answers = section(header.ancount, &mut pos)?;
+        let authorities = section(header.nscount, &mut pos)?;
+        let additionals = section(header.arcount, &mut pos)?;
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            id: 0xBEEF,
+            response: true,
+            opcode: Opcode::Status,
+            authoritative: true,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: true,
+            rcode: Rcode::NxDomain,
+            qdcount: 1,
+            ancount: 2,
+            nscount: 3,
+            arcount: 4,
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), 12);
+        assert_eq!(Header::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn header_too_short() {
+        assert!(matches!(Header::decode(&[0; 11]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let m = Message::query(42, name("www.example.com"), RecordType::Aaaa);
+        let wire = m.encode();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back.header.id, 42);
+        assert!(!back.header.response);
+        assert_eq!(back.questions.len(), 1);
+        assert_eq!(back.questions[0].qname, name("www.example.com"));
+        assert_eq!(back.questions[0].qtype, RecordType::Aaaa);
+        assert_eq!(back.questions[0].qclass, RecordClass::In);
+    }
+
+    #[test]
+    fn response_with_records_roundtrip() {
+        let mut m = Message::query(7, name("example.com"), RecordType::A);
+        m.header.response = true;
+        m.header.authoritative = true;
+        m.answers.push(ResourceRecord {
+            name: name("example.com"),
+            rtype: RecordType::A,
+            class: RecordClass::In,
+            ttl: 3600,
+            rdata: Rdata::A(Ipv4Addr::new(192, 0, 2, 1)),
+        });
+        m.answers.push(ResourceRecord {
+            name: name("example.com"),
+            rtype: RecordType::Aaaa,
+            class: RecordClass::In,
+            ttl: 3600,
+            rdata: Rdata::Aaaa("2001:db8::1".parse().unwrap()),
+        });
+        m.authorities.push(ResourceRecord {
+            name: name("com"),
+            rtype: RecordType::Ns,
+            class: RecordClass::In,
+            ttl: 86_400,
+            rdata: Rdata::Ns(name("b.root-servers.net")),
+        });
+        m.additionals.push(ResourceRecord {
+            name: name("x.example.com"),
+            rtype: RecordType::Txt,
+            class: RecordClass::In,
+            ttl: 60,
+            rdata: Rdata::Opaque(Bytes::from_static(b"\x04test")),
+        });
+        let wire = m.encode();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back.answers, m.answers);
+        assert_eq!(back.authorities, m.authorities);
+        assert_eq!(back.additionals, m.additionals);
+        assert_eq!(back.header.ancount, 2);
+        assert_eq!(back.header.nscount, 1);
+        assert_eq!(back.header.arcount, 1);
+    }
+
+    #[test]
+    fn compressed_encoding_roundtrips_and_shrinks() {
+        let mut m = Message::query(7, name("www.example.com"), RecordType::A);
+        m.header.response = true;
+        m.answers.push(ResourceRecord {
+            name: name("www.example.com"),
+            rtype: RecordType::A,
+            class: RecordClass::In,
+            ttl: 60,
+            rdata: Rdata::A(Ipv4Addr::new(192, 0, 2, 1)),
+        });
+        m.authorities.push(ResourceRecord {
+            name: name("example.com"),
+            rtype: RecordType::Ns,
+            class: RecordClass::In,
+            ttl: 3_600,
+            rdata: Rdata::Ns(name("ns1.example.com")),
+        });
+        m.authorities.push(ResourceRecord {
+            name: name("example.com"),
+            rtype: RecordType::Ns,
+            class: RecordClass::In,
+            ttl: 3_600,
+            rdata: Rdata::Ns(name("ns2.example.com")),
+        });
+        let plain = m.encode();
+        let compressed = m.encode_compressed();
+        assert!(
+            compressed.len() < plain.len(),
+            "compressed {} !< plain {}",
+            compressed.len(),
+            plain.len()
+        );
+        let back = Message::decode(&compressed).unwrap();
+        // `encode*` recomputes header counts into the wire form, so
+        // compare the decoded message against the plain-encoded decode
+        // (identical sections, identical normalized header).
+        assert_eq!(back, Message::decode(&plain).unwrap(), "lossless through compression");
+        assert_eq!(back.questions, m.questions);
+        assert_eq!(back.answers, m.answers);
+        assert_eq!(back.authorities, m.authorities);
+    }
+
+    #[test]
+    fn compressed_query_equals_plain_for_single_name() {
+        // Nothing to share: sizes match (a query has one name).
+        let m = Message::query(1, name("example.net"), RecordType::Aaaa);
+        assert_eq!(m.encode().len(), m.encode_compressed().len());
+        assert_eq!(
+            Message::decode(&m.encode_compressed()).unwrap(),
+            Message::decode(&m.encode()).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_implausible_counts() {
+        let mut m = Message::query(1, name("a.example"), RecordType::A);
+        m.header.response = false;
+        let mut wire = BytesMut::from(&m.encode()[..]);
+        // Overwrite ancount with a huge value.
+        wire[6] = 0xFF;
+        wire[7] = 0xFF;
+        assert!(matches!(
+            Message::decode(&wire),
+            Err(WireError::ImplausibleCount(0xFFFF))
+        ));
+    }
+
+    #[test]
+    fn truncated_question_rejected() {
+        let m = Message::query(1, name("example.com"), RecordType::A);
+        let wire = m.encode();
+        // Chop mid-question.
+        assert!(matches!(
+            Message::decode(&wire[..wire.len() - 3]),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn bad_a_rdata_length() {
+        let mut m = Message::query(1, name("example.com"), RecordType::A);
+        m.header.response = true;
+        m.answers.push(ResourceRecord {
+            name: name("example.com"),
+            rtype: RecordType::A,
+            class: RecordClass::In,
+            ttl: 1,
+            rdata: Rdata::Opaque(Bytes::from_static(&[1, 2, 3])), // 3-byte "A"
+        });
+        // Encode writes opaque bytes with rdlen 3; decoding as A must fail.
+        let wire = m.encode();
+        let err = Message::decode(&wire).unwrap_err();
+        assert!(matches!(err, WireError::BadRdataLength { expected: 4, actual: 3, .. }));
+    }
+
+    #[test]
+    fn opcode_rcode_conversion_total() {
+        for v in 0u8..16 {
+            let op = Opcode::from(v);
+            assert_eq!(u8::from(op), v & 0xF);
+            let rc = Rcode::from(v);
+            assert_eq!(u8::from(rc), v & 0xF);
+        }
+    }
+
+    #[test]
+    fn record_type_conversion_roundtrip() {
+        for v in [1u16, 2, 5, 6, 12, 15, 16, 28, 43, 46, 48, 255, 999] {
+            assert_eq!(u16::from(RecordType::from(v)), v);
+        }
+        for v in [1u16, 3, 77] {
+            assert_eq!(u16::from(RecordClass::from(v)), v);
+        }
+    }
+
+    #[test]
+    fn question_display() {
+        let q = Question::new(name("example.com"), RecordType::A);
+        assert_eq!(q.to_string(), "example.com. In A");
+    }
+}

@@ -1,0 +1,379 @@
+//! DNS domain names: label validation, wire encoding, and decoding with
+//! compression-pointer support.
+
+use crate::error::WireError;
+use bytes::{BufMut, BytesMut};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum bytes in a single label (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum bytes in an encoded name, including length octets and the root
+/// label (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified DNS name, stored as its labels (without the trailing
+/// root label). The root itself is the empty label sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnsName {
+    labels: Vec<Vec<u8>>,
+}
+
+impl DnsName {
+    /// The root name (`.`).
+    pub fn root() -> DnsName {
+        DnsName::default()
+    }
+
+    /// Build from label byte-strings, validating lengths.
+    pub fn from_labels<I, L>(labels: I) -> Result<DnsName, WireError>
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<Vec<u8>>,
+    {
+        let labels: Vec<Vec<u8>> = labels.into_iter().map(Into::into).collect();
+        let mut total = 1; // root label length octet
+        for l in &labels {
+            if l.is_empty() {
+                return Err(WireError::EmptyLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(l.len()));
+            }
+            total += 1 + l.len();
+        }
+        if total > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(total));
+        }
+        Ok(DnsName { labels })
+    }
+
+    /// The labels, leftmost (most specific) first.
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Encoded wire length in bytes (length octets + labels + root octet).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// Append the uncompressed wire encoding to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        for l in &self.labels {
+            buf.put_u8(l.len() as u8);
+            buf.put_slice(l);
+        }
+        buf.put_u8(0);
+    }
+
+    /// Decode a name starting at `pos` within `msg` (the whole message is
+    /// needed because compression pointers are absolute offsets).
+    ///
+    /// Returns the name and the position just past it *in the original
+    /// byte stream* (i.e. past the pointer if the name was compressed).
+    pub fn decode(msg: &[u8], pos: usize) -> Result<(DnsName, usize), WireError> {
+        let mut labels = Vec::new();
+        let mut cursor = pos;
+        // Position to resume at after the name; set when the first
+        // compression pointer is followed.
+        let mut resume: Option<usize> = None;
+        // Guard against pointer loops: a valid chain visits each position
+        // at most once, and positions strictly decrease in sane encoders;
+        // we simply bound the number of jumps.
+        let mut jumps = 0usize;
+        let mut total = 1usize;
+        loop {
+            let &len = msg.get(cursor).ok_or(WireError::Truncated)?;
+            match len {
+                0 => {
+                    let end = resume.unwrap_or(cursor + 1);
+                    return Ok((DnsName { labels }, end));
+                }
+                1..=63 => {
+                    let start = cursor + 1;
+                    let end = start + len as usize;
+                    let label = msg.get(start..end).ok_or(WireError::Truncated)?;
+                    total += 1 + label.len();
+                    if total > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(total));
+                    }
+                    labels.push(label.to_vec());
+                    cursor = end;
+                }
+                0xC0..=0xFF => {
+                    let &lo = msg.get(cursor + 1).ok_or(WireError::Truncated)?;
+                    let target = (((len & 0x3F) as usize) << 8) | lo as usize;
+                    if resume.is_none() {
+                        resume = Some(cursor + 2);
+                    }
+                    jumps += 1;
+                    if jumps > 64 || target >= cursor {
+                        return Err(WireError::PointerLoop);
+                    }
+                    cursor = target;
+                }
+                _ => return Err(WireError::BadLabelType(len)),
+            }
+        }
+    }
+
+    /// Append the wire encoding using `compressor` to replace any suffix
+    /// already present in the message with a compression pointer
+    /// (RFC 1035 §4.1.4).
+    pub fn encode_compressed(&self, buf: &mut BytesMut, compressor: &mut NameCompressor) {
+        compressor.encode(self, buf);
+    }
+
+    /// The name with its first label removed (its parent zone); `None` for
+    /// the root.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DnsName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            for &b in l {
+                // Escape non-printable and structural characters the way
+                // presentation format does.
+                match b {
+                    b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                    0x21..=0x7E => write!(f, "{}", b as char)?,
+                    _ => write!(f, "\\{b:03}")?,
+                }
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DnsName {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(DnsName::root());
+        }
+        DnsName::from_labels(s.split('.').map(|l| l.as_bytes().to_vec()))
+    }
+}
+
+/// Tracks name suffixes already written into a message so later names
+/// can point at them instead of repeating the bytes.
+///
+/// One compressor serves one message: offsets are absolute within the
+/// message buffer, and only offsets representable in a 14-bit pointer
+/// are remembered.
+#[derive(Debug, Default)]
+pub struct NameCompressor {
+    /// Suffix (label sequence) → absolute offset of its first byte.
+    table: HashMap<Vec<Vec<u8>>, u16>,
+}
+
+impl NameCompressor {
+    /// A compressor for a fresh message.
+    pub fn new() -> NameCompressor {
+        NameCompressor::default()
+    }
+
+    /// Encode `name` at the current end of `buf`, compressing against
+    /// previously-encoded names.
+    pub fn encode(&mut self, name: &DnsName, buf: &mut BytesMut) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix: Vec<Vec<u8>> = labels[i..].to_vec();
+            if let Some(&off) = self.table.get(&suffix) {
+                buf.put_u8(0xC0 | (off >> 8) as u8);
+                buf.put_u8(off as u8);
+                return;
+            }
+            let off = buf.len();
+            if off <= 0x3FFF {
+                self.table.insert(suffix, off as u16);
+            }
+            buf.put_u8(labels[i].len() as u8);
+            buf.put_slice(&labels[i]);
+        }
+        buf.put_u8(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(name("example.com").to_string(), "example.com.");
+        assert_eq!(name("example.com.").to_string(), "example.com.");
+        assert_eq!(name(".").to_string(), ".");
+        assert_eq!(name("").to_string(), ".");
+        assert_eq!(name("www.example.com").label_count(), 3);
+        assert!(DnsName::root().is_root());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(matches!(
+            "a..b".parse::<DnsName>(),
+            Err(WireError::EmptyLabel)
+        ));
+        let long = "x".repeat(64);
+        assert!(matches!(
+            long.parse::<DnsName>(),
+            Err(WireError::LabelTooLong(64))
+        ));
+        // 255-byte total limit
+        let lbl = "y".repeat(63);
+        let too_long = [lbl.as_str(); 4].join(".");
+        assert!(matches!(
+            too_long.parse::<DnsName>(),
+            Err(WireError::NameTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in ["example.com", "b.root-servers.net", "a.very.deep.sub.domain.example", "."] {
+            let n = name(s);
+            let mut buf = BytesMut::new();
+            n.encode(&mut buf);
+            assert_eq!(buf.len(), n.wire_len());
+            let (back, consumed) = DnsName::decode(&buf, 0).unwrap();
+            assert_eq!(back, n);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn decode_compressed_pointer() {
+        // Message: offset 0: "example.com" encoded; then at offset X:
+        // "www" + pointer to offset 0.
+        let mut buf = BytesMut::new();
+        name("example.com").encode(&mut buf);
+        let ptr_target = 0u16;
+        let www_at = buf.len();
+        buf.put_u8(3);
+        buf.put_slice(b"www");
+        buf.put_u8(0xC0 | (ptr_target >> 8) as u8);
+        buf.put_u8(ptr_target as u8);
+        let (n, end) = DnsName::decode(&buf, www_at).unwrap();
+        assert_eq!(n, name("www.example.com"));
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_pointer_loops() {
+        // Pointer at offset 2 pointing at itself (forward/equal target).
+        let buf = [3u8, b'a', 0xC0, 0x02];
+        // name starting at 2 points to 2 -> loop
+        assert!(matches!(
+            DnsName::decode(&buf, 2),
+            Err(WireError::PointerLoop)
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let buf = [5u8, b'a', b'b']; // label claims 5 bytes, only 2 present
+        assert!(matches!(DnsName::decode(&buf, 0), Err(WireError::Truncated)));
+        let empty: [u8; 0] = [];
+        assert!(matches!(DnsName::decode(&empty, 0), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_label_types() {
+        let buf = [0x80u8, 0x00];
+        assert!(matches!(
+            DnsName::decode(&buf, 0),
+            Err(WireError::BadLabelType(0x80))
+        ));
+    }
+
+    #[test]
+    fn display_escapes_weird_bytes() {
+        let n = DnsName::from_labels([b"a.b".to_vec(), vec![0x07u8]]).unwrap();
+        assert_eq!(n.to_string(), "a\\.b.\\007.");
+    }
+
+    #[test]
+    fn compressor_emits_pointers_for_shared_suffixes() {
+        let mut buf = BytesMut::new();
+        let mut c = NameCompressor::new();
+        name("example.com").encode_compressed(&mut buf, &mut c);
+        let first_len = buf.len();
+        name("www.example.com").encode_compressed(&mut buf, &mut c);
+        // second name: 1+3 bytes of "www" + 2-byte pointer
+        assert_eq!(buf.len(), first_len + 4 + 2);
+        let (a, _) = DnsName::decode(&buf, 0).unwrap();
+        assert_eq!(a, name("example.com"));
+        let (b, end) = DnsName::decode(&buf, first_len).unwrap();
+        assert_eq!(b, name("www.example.com"));
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn compressor_reuses_exact_names_entirely() {
+        let mut buf = BytesMut::new();
+        let mut c = NameCompressor::new();
+        name("mail.example.org").encode_compressed(&mut buf, &mut c);
+        let first_len = buf.len();
+        name("mail.example.org").encode_compressed(&mut buf, &mut c);
+        assert_eq!(buf.len(), first_len + 2, "full-name pointer");
+        let (b, _) = DnsName::decode(&buf, first_len).unwrap();
+        assert_eq!(b, name("mail.example.org"));
+    }
+
+    #[test]
+    fn compressor_handles_unrelated_names_and_root() {
+        let mut buf = BytesMut::new();
+        let mut c = NameCompressor::new();
+        for n in ["a.example", "b.other", "."] {
+            name(n).encode_compressed(&mut buf, &mut c);
+        }
+        let (x, p1) = DnsName::decode(&buf, 0).unwrap();
+        let (y, p2) = DnsName::decode(&buf, p1).unwrap();
+        let (z, _) = DnsName::decode(&buf, p2).unwrap();
+        assert_eq!(x, name("a.example"));
+        assert_eq!(y, name("b.other"));
+        assert_eq!(z, DnsName::root());
+    }
+
+    #[test]
+    fn parent_walks_up() {
+        let n = name("www.example.com");
+        let p = n.parent().unwrap();
+        assert_eq!(p, name("example.com"));
+        assert_eq!(p.parent().unwrap(), name("com"));
+        assert_eq!(p.parent().unwrap().parent().unwrap(), DnsName::root());
+        assert!(DnsName::root().parent().is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the DNS codec: roundtrips hold for arbitrary valid
+//! inputs, and the decoder is total (never panics) on arbitrary bytes —
+//! a telescope parses attacker-controlled traffic all day.
+
+use bytes::{Bytes, BytesMut};
+use outage_dnswire::{DnsName, Header, Message, Opcode, Question, Rcode, RecordType};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..=63)
+}
+
+fn arb_name() -> impl Strategy<Value = DnsName> {
+    proptest::collection::vec(arb_label(), 0..5).prop_filter_map("name too long", |labels| {
+        DnsName::from_labels(labels).ok()
+    })
+}
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        0u8..16,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..16,
+    )
+        .prop_map(
+            |(id, response, opcode, aa, tc, rd, ra, rcode)| Header {
+                id,
+                response,
+                opcode: Opcode::from(opcode),
+                authoritative: aa,
+                truncated: tc,
+                recursion_desired: rd,
+                recursion_available: ra,
+                rcode: Rcode::from(rcode),
+                qdcount: 0,
+                ancount: 0,
+                nscount: 0,
+                arcount: 0,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn name_encode_decode_roundtrip(name in arb_name()) {
+        let mut buf = BytesMut::new();
+        name.encode(&mut buf);
+        prop_assert_eq!(buf.len(), name.wire_len());
+        let (back, consumed) = DnsName::decode(&buf, 0).unwrap();
+        prop_assert_eq!(back, name);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn name_decode_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512), pos in 0usize..64) {
+        // Must return Ok or Err, never panic or loop forever.
+        let _ = DnsName::decode(&bytes, pos.min(bytes.len().saturating_sub(1)));
+    }
+
+    #[test]
+    fn header_roundtrip(h in arb_header()) {
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let back = Header::decode(&buf).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn query_message_roundtrip(name in arb_name(), id in any::<u16>(), qtype in 0u16..300) {
+        let m = Message::query(id, name, RecordType::from(qtype));
+        let wire = m.encode();
+        let back = Message::decode(&wire).unwrap();
+        prop_assert_eq!(back.header.id, id);
+        prop_assert_eq!(back.questions.len(), 1);
+        prop_assert_eq!(&back.questions[0].qname, &m.questions[0].qname);
+        prop_assert_eq!(back.questions[0].qtype, m.questions[0].qtype);
+    }
+
+    #[test]
+    fn message_decode_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..768)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn message_decode_total_on_truncations(name in arb_name(), cut in 0usize..100) {
+        // Any prefix of a valid message decodes to Ok or a clean error.
+        let m = Message::query(7, name, RecordType::A);
+        let wire = m.encode();
+        let cut = cut.min(wire.len());
+        let _ = Message::decode(&wire[..cut]);
+    }
+
+    #[test]
+    fn message_decode_total_on_bitflips(name in arb_name(), flips in proptest::collection::vec((0usize..64, 0u8..8), 1..8)) {
+        let m = Message::query(7, name, RecordType::A);
+        let mut wire = BytesMut::from(&m.encode()[..]);
+        for (pos, bit) in flips {
+            let idx = pos % wire.len();
+            wire[idx] ^= 1 << bit;
+        }
+        let _ = Message::decode(&wire);
+    }
+
+    #[test]
+    fn compressed_encoding_is_lossless_for_any_names(
+        qname in arb_name(),
+        owners in proptest::collection::vec(arb_name(), 0..5),
+        id in any::<u16>(),
+    ) {
+        use outage_dnswire::{Rdata, RecordClass, ResourceRecord};
+        let mut m = Message::query(id, qname, RecordType::A);
+        m.header.response = true;
+        for (i, owner) in owners.iter().enumerate() {
+            m.authorities.push(ResourceRecord {
+                name: owner.clone(),
+                rtype: RecordType::Ns,
+                class: RecordClass::In,
+                ttl: i as u32,
+                rdata: Rdata::Ns(owners[(i + 1) % owners.len()].clone()),
+            });
+        }
+        let plain = Message::decode(&m.encode()).unwrap();
+        let compressed = Message::decode(&m.encode_compressed()).unwrap();
+        prop_assert_eq!(plain, compressed);
+        prop_assert!(m.encode_compressed().len() <= m.encode().len());
+    }
+
+    #[test]
+    fn question_decode_offset_consistency(name in arb_name(), qtype in 0u16..300) {
+        // A question decoded mid-message consumes exactly its encoding.
+        let q = Question::new(name, RecordType::from(qtype));
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&[0xAB; 12]); // fake header padding
+        q.encode(&mut buf);
+        let (back, end) = Question::decode(&buf, 12).unwrap();
+        prop_assert_eq!(back.qname, q.qname);
+        prop_assert_eq!(end, buf.len());
+    }
+}
+
+#[test]
+fn telescope_never_panics_on_fuzzed_payloads() {
+    use outage_dnswire::{CapturedPacket, Telescope};
+    use outage_types::{HostAddr, UnixTime};
+    // Deterministic pseudo-random byte soup, 2k packets.
+    let mut state = 0x1234_5678_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut tel = Telescope::new();
+    for i in 0..2_000u64 {
+        let len = (next() % 96) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+        let pkt = CapturedPacket {
+            time: UnixTime(i),
+            src: HostAddr::V4(std::net::Ipv4Addr::from(next() as u32)),
+            payload: Bytes::from(payload),
+        };
+        let _ = tel.observe(&pkt);
+    }
+    let stats = tel.stats();
+    assert_eq!(stats.accepted + stats.dropped, 2_000);
+}

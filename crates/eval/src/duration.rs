@@ -1,0 +1,235 @@
+//! Duration-weighted confusion matrices (Tables 1 and 2).
+//!
+//! Following the paper's definitions, with the *observation* (the passive
+//! detector) on rows and the *ground truth* (Trinocular) on columns, each
+//! cell counts **seconds**:
+//!
+//! | obs \ truth  | availability       | outage            |
+//! |--------------|--------------------|-------------------|
+//! | availability | `ta` (true avail)  | `fa` (false avail)|
+//! | outage       | `fo` (false outage)| `to` (true outage)|
+//!
+//! with `precision = ta/(ta+fa)`, `recall = ta/(ta+fo)`, and
+//! `TNR = to/(to+fa)` — the paper reads TNR as "the share of true outage
+//! time we catch".
+
+use outage_types::{Interval, Timeline};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Duration-weighted confusion matrix (seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurationMatrix {
+    /// Both judged up.
+    pub ta: u64,
+    /// Observation up, truth down (missed outage time).
+    pub fa: u64,
+    /// Observation down, truth up (false outage time).
+    pub fo: u64,
+    /// Both judged down.
+    pub to: u64,
+}
+
+impl DurationMatrix {
+    /// Compare one block's observed timeline against truth over their
+    /// common window (the intersection of the two windows).
+    pub fn of(observed: &Timeline, truth: &Timeline) -> DurationMatrix {
+        let common = observed.window.intersect(&truth.window);
+        if common.is_empty() {
+            return DurationMatrix::default();
+        }
+        let obs_down = observed.down.clip(common);
+        let truth_down = truth.down.clip(common);
+        let to = obs_down.overlap_secs(&truth_down);
+        let fo = obs_down.total() - to;
+        let fa = truth_down.total() - to;
+        let ta = common.duration() - to - fo - fa;
+        DurationMatrix { ta, fa, fo, to }
+    }
+
+    /// As [`DurationMatrix::of`], but only truth outages of at least
+    /// `min_secs` count as outages (shorter truth outages are treated as
+    /// availability) — the paper's "long-duration" restriction.
+    pub fn of_min_duration(observed: &Timeline, truth: &Timeline, min_secs: u64) -> DurationMatrix {
+        Self::of(
+            &observed.with_min_outage(min_secs),
+            &truth.with_min_outage(min_secs),
+        )
+    }
+
+    /// Total seconds accounted.
+    pub fn total(&self) -> u64 {
+        self.ta + self.fa + self.fo + self.to
+    }
+
+    /// `ta / (ta + fa)` — of the time we called available, how much was.
+    pub fn precision(&self) -> f64 {
+        ratio(self.ta, self.ta + self.fa)
+    }
+
+    /// `ta / (ta + fo)` — of the truly available time, how much we kept.
+    pub fn recall(&self) -> f64 {
+        ratio(self.ta, self.ta + self.fo)
+    }
+
+    /// `to / (to + fa)` — of the true outage time, how much we caught.
+    pub fn tnr(&self) -> f64 {
+        ratio(self.to, self.to + self.fa)
+    }
+
+    /// The common window this matrix accounts for, as an interval length
+    /// sanity check.
+    pub fn accounts_for(&self, window: Interval) -> bool {
+        self.total() == window.duration()
+    }
+}
+
+impl AddAssign for DurationMatrix {
+    fn add_assign(&mut self, rhs: DurationMatrix) {
+        self.ta += rhs.ta;
+        self.fa += rhs.fa;
+        self.fo += rhs.fo;
+        self.to += rhs.to;
+    }
+}
+
+impl std::iter::Sum for DurationMatrix {
+    fn sum<I: Iterator<Item = DurationMatrix>>(iter: I) -> DurationMatrix {
+        let mut acc = DurationMatrix::default();
+        for m in iter {
+            acc += m;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for DurationMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "observation \\ truth |   availability (s) |        outage (s)")?;
+        writeln!(f, "availability        | TP = ta = {:>9} | FP = fa = {:>7}", self.ta, self.fa)?;
+        writeln!(f, "outage              | FN = fo = {:>9} | TN = to = {:>7}", self.fo, self.to)?;
+        write!(
+            f,
+            "precision {:.4}   recall {:.4}   TNR {:.4}",
+            self.precision(),
+            self.recall(),
+            self.tnr()
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_types::IntervalSet;
+
+    fn tl(window: (u64, u64), downs: &[(u64, u64)]) -> Timeline {
+        Timeline::from_down(
+            Interval::from_secs(window.0, window.1),
+            IntervalSet::from_intervals(downs.iter().map(|&(a, b)| Interval::from_secs(a, b))),
+        )
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let obs = tl((0, 10_000), &[(1_000, 2_000)]);
+        let truth = tl((0, 10_000), &[(1_000, 2_000)]);
+        let m = DurationMatrix::of(&obs, &truth);
+        assert_eq!(m, DurationMatrix { ta: 9_000, fa: 0, fo: 0, to: 1_000 });
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.tnr(), 1.0);
+        assert!(m.accounts_for(Interval::from_secs(0, 10_000)));
+    }
+
+    #[test]
+    fn partial_overlap_splits_cells() {
+        // obs down [1000,3000), truth down [2000,4000)
+        let obs = tl((0, 10_000), &[(1_000, 3_000)]);
+        let truth = tl((0, 10_000), &[(2_000, 4_000)]);
+        let m = DurationMatrix::of(&obs, &truth);
+        assert_eq!(m.to, 1_000); // [2000,3000)
+        assert_eq!(m.fo, 1_000); // [1000,2000)
+        assert_eq!(m.fa, 1_000); // [3000,4000)
+        assert_eq!(m.ta, 7_000);
+        assert_eq!(m.total(), 10_000);
+    }
+
+    #[test]
+    fn missed_outage_is_false_availability() {
+        let obs = tl((0, 10_000), &[]);
+        let truth = tl((0, 10_000), &[(5_000, 6_000)]);
+        let m = DurationMatrix::of(&obs, &truth);
+        assert_eq!(m.fa, 1_000);
+        assert_eq!(m.tnr(), 0.0);
+        assert!(m.precision() < 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn invented_outage_is_false_outage() {
+        let obs = tl((0, 10_000), &[(5_000, 6_000)]);
+        let truth = tl((0, 10_000), &[]);
+        let m = DurationMatrix::of(&obs, &truth);
+        assert_eq!(m.fo, 1_000);
+        assert_eq!(m.precision(), 1.0);
+        assert!(m.recall() < 1.0);
+        // no truth outage time at all: TNR degenerates to 1
+        assert_eq!(m.tnr(), 1.0);
+    }
+
+    #[test]
+    fn differing_windows_use_intersection() {
+        let obs = tl((0, 10_000), &[(8_000, 9_000)]);
+        let truth = tl((5_000, 20_000), &[(8_000, 9_000)]);
+        let m = DurationMatrix::of(&obs, &truth);
+        assert_eq!(m.total(), 5_000);
+        assert_eq!(m.to, 1_000);
+    }
+
+    #[test]
+    fn disjoint_windows_account_nothing() {
+        let obs = tl((0, 1_000), &[]);
+        let truth = tl((5_000, 6_000), &[]);
+        assert_eq!(DurationMatrix::of(&obs, &truth).total(), 0);
+    }
+
+    #[test]
+    fn min_duration_restricts_both_sides() {
+        // Truth has a 5-min outage; restricted to ≥11 min it vanishes and
+        // the observer's matching 5-min outage becomes false-outage time.
+        let obs = tl((0, 10_000), &[(1_000, 1_300)]);
+        let truth = tl((0, 10_000), &[(1_000, 1_300)]);
+        let m_short = DurationMatrix::of_min_duration(&obs, &truth, 300);
+        assert_eq!(m_short.to, 300);
+        let m_long = DurationMatrix::of_min_duration(&obs, &truth, 660);
+        assert_eq!(m_long.to, 0);
+        assert_eq!(m_long.fo, 0); // obs outage also filtered
+        assert_eq!(m_long.ta, 10_000);
+    }
+
+    #[test]
+    fn matrices_sum_across_blocks() {
+        let a = DurationMatrix { ta: 10, fa: 1, fo: 2, to: 3 };
+        let b = DurationMatrix { ta: 20, fa: 2, fo: 3, to: 4 };
+        let s: DurationMatrix = [a, b].into_iter().sum();
+        assert_eq!(s, DurationMatrix { ta: 30, fa: 3, fo: 5, to: 7 });
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let m = DurationMatrix { ta: 99, fa: 1, fo: 1, to: 9 };
+        let s = m.to_string();
+        assert!(s.contains("precision"));
+        assert!(s.contains("TNR"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Event-matched confusion matrices (Table 3).
+//!
+//! For short outages, second-level comparison is unfair: the reference
+//! itself (RIPE-Atlas-style probing) only knows event times to ±180 s.
+//! The paper therefore compares **events**: an observed outage matches a
+//! truth outage when their intervals overlap after dilating both by the
+//! timing tolerance. Availability is evented the same way — the up
+//! segments between outages — giving the four cells of Table 3.
+
+use outage_types::{Interval, IntervalSet, Timeline};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Event-matched confusion matrix (counts of events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventMatrix {
+    /// Matched availability segments (obs avail ↔ truth avail).
+    pub ta: u64,
+    /// Truth outage events the observation missed (judged available).
+    pub fa: u64,
+    /// Observed outage events with no truth counterpart.
+    pub fo: u64,
+    /// Matched outage events.
+    pub to: u64,
+}
+
+impl EventMatrix {
+    /// `ta / (ta + fa)`.
+    pub fn precision(&self) -> f64 {
+        ratio(self.ta, self.ta + self.fa)
+    }
+
+    /// `ta / (ta + fo)`.
+    pub fn recall(&self) -> f64 {
+        ratio(self.ta, self.ta + self.fo)
+    }
+
+    /// `to / (to + fa)` — the share of truth outage *events* caught.
+    pub fn tnr(&self) -> f64 {
+        ratio(self.to, self.to + self.fa)
+    }
+
+    /// Total events accounted.
+    pub fn total(&self) -> u64 {
+        self.ta + self.fa + self.fo + self.to
+    }
+
+    /// Compare one block's timelines by events, with `tolerance_secs` of
+    /// timing slack and only considering outages of at least `min_secs`.
+    pub fn of(
+        observed: &Timeline,
+        truth: &Timeline,
+        min_secs: u64,
+        tolerance_secs: u64,
+    ) -> EventMatrix {
+        let obs = observed.with_min_outage(min_secs);
+        let tru = truth.with_min_outage(min_secs);
+
+        let (to, fo, fa) = match_events(&obs.down, &tru.down, tolerance_secs);
+        // Availability events: matched up-segments.
+        let (ta, _, _) = match_events(&obs.up(), &tru.up(), tolerance_secs);
+        EventMatrix { ta, fa, fo, to }
+    }
+}
+
+impl AddAssign for EventMatrix {
+    fn add_assign(&mut self, rhs: EventMatrix) {
+        self.ta += rhs.ta;
+        self.fa += rhs.fa;
+        self.fo += rhs.fo;
+        self.to += rhs.to;
+    }
+}
+
+impl std::iter::Sum for EventMatrix {
+    fn sum<I: Iterator<Item = EventMatrix>>(iter: I) -> EventMatrix {
+        let mut acc = EventMatrix::default();
+        for m in iter {
+            acc += m;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for EventMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "observation \\ truth | availability (ev) | outage (ev)")?;
+        writeln!(f, "availability        | {:>17} | {:>11}", self.ta, self.fa)?;
+        writeln!(f, "outage              | {:>17} | {:>11}", self.fo, self.to)?;
+        write!(
+            f,
+            "precision {:.4}   recall {:.4}   TNR {:.4}",
+            self.precision(),
+            self.recall(),
+            self.tnr()
+        )
+    }
+}
+
+/// Greedy one-to-one matching of two event sets under dilation by
+/// `tolerance`: returns `(matched, a_only, b_only)`.
+///
+/// Both sets are sorted and disjoint (guaranteed by [`IntervalSet`]), so
+/// a single forward sweep finds the optimal pairing: each `a` event is
+/// matched to the first unconsumed `b` event it overlaps (after both are
+/// dilated).
+fn match_events(a: &IntervalSet, b: &IntervalSet, tolerance: u64) -> (u64, u64, u64) {
+    let a_iv: Vec<Interval> = a.iter().map(|iv| iv.dilate(tolerance)).collect();
+    let b_iv: Vec<Interval> = b.iter().map(|iv| iv.dilate(tolerance)).collect();
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut matched, mut a_only, mut b_only) = (0u64, 0u64, 0u64);
+    while i < a_iv.len() && j < b_iv.len() {
+        if a_iv[i].overlaps(&b_iv[j]) {
+            matched += 1;
+            i += 1;
+            j += 1;
+        } else if a_iv[i].end <= b_iv[j].start {
+            a_only += 1;
+            i += 1;
+        } else {
+            b_only += 1;
+            j += 1;
+        }
+    }
+    a_only += (a_iv.len() - i) as u64;
+    b_only += (b_iv.len() - j) as u64;
+    (matched, a_only, b_only)
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl(window: (u64, u64), downs: &[(u64, u64)]) -> Timeline {
+        Timeline::from_down(
+            Interval::from_secs(window.0, window.1),
+            IntervalSet::from_intervals(downs.iter().map(|&(a, b)| Interval::from_secs(a, b))),
+        )
+    }
+
+    #[test]
+    fn exact_match_counts_once() {
+        let obs = tl((0, 86_400), &[(10_000, 10_300)]);
+        let truth = tl((0, 86_400), &[(10_000, 10_300)]);
+        let m = EventMatrix::of(&obs, &truth, 300, 180);
+        assert_eq!(m.to, 1);
+        assert_eq!(m.fo, 0);
+        assert_eq!(m.fa, 0);
+        // up segments: [0,10000) and [10300,86400) match pairwise
+        assert_eq!(m.ta, 2);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.tnr(), 1.0);
+    }
+
+    #[test]
+    fn tolerance_bridges_timing_skew() {
+        // Observer places the outage 150 s earlier than truth: within
+        // ±180 s they must match.
+        let obs = tl((0, 86_400), &[(9_850, 10_150)]);
+        let truth = tl((0, 86_400), &[(10_000, 10_300)]);
+        let m = EventMatrix::of(&obs, &truth, 300, 180);
+        assert_eq!(m.to, 1);
+        assert_eq!(m.fo, 0);
+        assert_eq!(m.fa, 0);
+    }
+
+    #[test]
+    fn beyond_tolerance_counts_both_sides() {
+        // 1000 s apart: no match even dilated by 180.
+        let obs = tl((0, 86_400), &[(9_000, 9_300)]);
+        let truth = tl((0, 86_400), &[(11_000, 11_300)]);
+        let m = EventMatrix::of(&obs, &truth, 300, 180);
+        assert_eq!(m.to, 0);
+        assert_eq!(m.fo, 1);
+        assert_eq!(m.fa, 1);
+        assert!(m.tnr() < 1.0);
+    }
+
+    #[test]
+    fn short_events_filtered_by_min_duration() {
+        // A 2-min blip is below the 5-min event class on both sides.
+        let obs = tl((0, 86_400), &[(10_000, 10_120)]);
+        let truth = tl((0, 86_400), &[(10_000, 10_120)]);
+        let m = EventMatrix::of(&obs, &truth, 300, 180);
+        assert_eq!(m.to, 0);
+        assert_eq!(m.fo, 0);
+        assert_eq!(m.fa, 0);
+        assert_eq!(m.ta, 1); // the whole window matches as one up segment
+    }
+
+    #[test]
+    fn missed_and_invented_events() {
+        let obs = tl((0, 86_400), &[(20_000, 20_400)]);
+        let truth = tl((0, 86_400), &[(50_000, 50_400)]);
+        let m = EventMatrix::of(&obs, &truth, 300, 180);
+        assert_eq!(m.fo, 1, "invented");
+        assert_eq!(m.fa, 1, "missed");
+        assert_eq!(m.to, 0);
+    }
+
+    #[test]
+    fn one_to_one_matching_no_double_count() {
+        // Two observed events near one truth event: only one may match.
+        let obs = tl((0, 86_400), &[(10_000, 10_300), (10_700, 11_000)]);
+        let truth = tl((0, 86_400), &[(10_350, 10_650)]);
+        let m = EventMatrix::of(&obs, &truth, 300, 180);
+        assert_eq!(m.to, 1);
+        assert_eq!(m.fo, 1);
+        assert_eq!(m.fa, 0);
+    }
+
+    #[test]
+    fn matrices_sum() {
+        let a = EventMatrix { ta: 5, fa: 1, fo: 2, to: 3 };
+        let b = EventMatrix { ta: 7, fa: 0, fo: 1, to: 4 };
+        let s: EventMatrix = [a, b].into_iter().sum();
+        assert_eq!(s, EventMatrix { ta: 12, fa: 1, fo: 3, to: 7 });
+        assert_eq!(s.total(), 23);
+    }
+
+    #[test]
+    fn clean_block_is_one_availability_event() {
+        let obs = tl((0, 86_400), &[]);
+        let truth = tl((0, 86_400), &[]);
+        let m = EventMatrix::of(&obs, &truth, 300, 180);
+        assert_eq!(m, EventMatrix { ta: 1, fa: 0, fo: 0, to: 0 });
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let m = EventMatrix { ta: 4445, fa: 105, fo: 257, to: 290 };
+        // Reproduce the paper's Table 3 arithmetic exactly.
+        assert!((m.precision() - 0.97692).abs() < 1e-4);
+        assert!((m.recall() - 0.9453).abs() < 1e-3);
+        assert!((m.tnr() - 0.7341).abs() < 1e-3);
+        assert!(m.to_string().contains("precision"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # outage-eval
+//!
+//! Evaluation machinery shared by every experiment: duration-weighted
+//! confusion matrices (Tables 1–2), tolerance-based event matching
+//! (Table 3), and paper-style table rendering.
+//!
+//! The crate is deliberately detector-agnostic: it consumes only
+//! [`Timeline`](outage_types::Timeline)s, so the passive detector,
+//! Trinocular, Chocolatine, the Atlas mesh, and raw ground truth can all
+//! be compared pairwise with the same code.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod duration;
+pub mod events;
+pub mod report;
+pub mod summary;
+
+pub use duration::DurationMatrix;
+pub use events::EventMatrix;
+pub use report::{duration_table, event_table, series_table};
+pub use summary::{summarize, DurationClass, OutageSummary};

@@ -1,0 +1,91 @@
+//! Rendering evaluation results as the paper's tables.
+
+use crate::duration::DurationMatrix;
+use crate::events::EventMatrix;
+use std::fmt::Write as _;
+
+/// Render a duration matrix as a paper-style markdown table.
+pub fn duration_table(title: &str, m: &DurationMatrix) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "### {title}");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "| Observation | Ground truth availability (s) | Ground truth outage (s) | |");
+    let _ = writeln!(s, "|---|---|---|---|");
+    let _ = writeln!(
+        s,
+        "| availability | TP = ta = {} | FP = fa = {} | Precision {:.4} |",
+        m.ta,
+        m.fa,
+        m.precision()
+    );
+    let _ = writeln!(s, "| outage | FN = fo = {} | TN = to = {} | |", m.fo, m.to);
+    let _ = writeln!(s, "| | Recall {:.4} | TNR {:.4} | |", m.recall(), m.tnr());
+    s
+}
+
+/// Render an event matrix as a paper-style markdown table.
+pub fn event_table(title: &str, m: &EventMatrix) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "### {title}");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "| Observation | Ground truth availability (events) | Ground truth outage (events) | |");
+    let _ = writeln!(s, "|---|---|---|---|");
+    let _ = writeln!(
+        s,
+        "| availability | {} | {} | Precision {:.5} |",
+        m.ta,
+        m.fa,
+        m.precision()
+    );
+    let _ = writeln!(s, "| outage | {} | {} | |", m.fo, m.to);
+    let _ = writeln!(s, "| | Recall {:.4} | TNR {:.4} | |", m.recall(), m.tnr());
+    s
+}
+
+/// Render a two-column numeric series (e.g. Figure 1's coverage curve)
+/// as a markdown table.
+pub fn series_table(title: &str, x_label: &str, y_label: &str, rows: &[(String, String)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "### {title}");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "| {x_label} | {y_label} |");
+    let _ = writeln!(s, "|---|---|");
+    for (x, y) in rows {
+        let _ = writeln!(s, "| {x} | {y} |");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_table_renders() {
+        let m = DurationMatrix { ta: 100, fa: 2, fo: 3, to: 10 };
+        let t = duration_table("Table 1: test", &m);
+        assert!(t.contains("Table 1"));
+        assert!(t.contains("TP = ta = 100"));
+        assert!(t.contains("Precision"));
+        assert!(t.contains("TNR"));
+    }
+
+    #[test]
+    fn event_table_renders() {
+        let m = EventMatrix { ta: 4445, fa: 105, fo: 257, to: 290 };
+        let t = event_table("Table 3: test", &m);
+        assert!(t.contains("4445"));
+        assert!(t.contains("0.97692"));
+    }
+
+    #[test]
+    fn series_table_renders_rows() {
+        let rows = vec![
+            ("300".to_string(), "0.45".to_string()),
+            ("7200".to_string(), "0.90".to_string()),
+        ];
+        let t = series_table("Figure 1", "bin width (s)", "coverage", &rows);
+        assert!(t.contains("| 300 | 0.45 |"));
+        assert!(t.contains("| 7200 | 0.90 |"));
+    }
+}

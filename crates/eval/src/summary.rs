@@ -1,0 +1,212 @@
+//! Operator summaries: turning a pile of outage events into the report a
+//! human reads first — how much downtime, where, how long, how sure.
+
+use outage_types::{AddrFamily, OutageEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Duration classes used by the paper's narrative: short (5–11 min) vs
+/// long (≥ 11 min), with extra resolution above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DurationClass {
+    /// Under 5 minutes (below the paper's shortest reporting class).
+    Blip,
+    /// 5–11 minutes: the short outages prior work missed.
+    Short,
+    /// 11 minutes to 1 hour.
+    Long,
+    /// 1–6 hours.
+    Extended,
+    /// Over 6 hours.
+    Severe,
+}
+
+impl DurationClass {
+    /// Classify a duration in seconds.
+    pub fn of(secs: u64) -> DurationClass {
+        match secs {
+            0..=299 => DurationClass::Blip,
+            300..=659 => DurationClass::Short,
+            660..=3_599 => DurationClass::Long,
+            3_600..=21_599 => DurationClass::Extended,
+            _ => DurationClass::Severe,
+        }
+    }
+
+    /// All classes, in ascending severity.
+    pub const ALL: [DurationClass; 5] = [
+        DurationClass::Blip,
+        DurationClass::Short,
+        DurationClass::Long,
+        DurationClass::Extended,
+        DurationClass::Severe,
+    ];
+}
+
+impl fmt::Display for DurationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DurationClass::Blip => "<5min",
+            DurationClass::Short => "5-11min",
+            DurationClass::Long => "11min-1h",
+            DurationClass::Extended => "1h-6h",
+            DurationClass::Severe => ">6h",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate description of a set of outage events.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutageSummary {
+    /// Number of events.
+    pub total_events: usize,
+    /// Total outage seconds across all events.
+    pub total_down_secs: u64,
+    /// Distinct prefixes affected.
+    pub affected_prefixes: usize,
+    /// Affected IPv6 prefixes (the paper's "first IPv6 outage reports").
+    pub affected_v6_prefixes: usize,
+    /// Event counts per duration class, ascending severity.
+    pub by_class: Vec<(DurationClass, usize)>,
+    /// The longest events, descending by duration.
+    pub longest: Vec<OutageEvent>,
+    /// Mean event confidence.
+    pub mean_confidence: f64,
+}
+
+/// Summarize events, keeping the `top_n` longest for display.
+pub fn summarize(events: &[OutageEvent], top_n: usize) -> OutageSummary {
+    let mut prefixes: Vec<_> = events.iter().map(|e| e.prefix).collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    let affected_v6_prefixes = prefixes
+        .iter()
+        .filter(|p| p.family() == AddrFamily::V6)
+        .count();
+
+    let by_class = DurationClass::ALL
+        .iter()
+        .map(|&c| {
+            (
+                c,
+                events
+                    .iter()
+                    .filter(|e| DurationClass::of(e.duration()) == c)
+                    .count(),
+            )
+        })
+        .collect();
+
+    let mut longest: Vec<OutageEvent> = events.to_vec();
+    longest.sort_by(|a, b| b.duration().cmp(&a.duration()).then(a.prefix.cmp(&b.prefix)));
+    longest.truncate(top_n);
+
+    let mean_confidence = if events.is_empty() {
+        0.0
+    } else {
+        events.iter().map(|e| e.confidence).sum::<f64>() / events.len() as f64
+    };
+
+    OutageSummary {
+        total_events: events.len(),
+        total_down_secs: events.iter().map(|e| e.duration()).sum(),
+        affected_prefixes: prefixes.len(),
+        affected_v6_prefixes,
+        by_class,
+        longest,
+        mean_confidence,
+    }
+}
+
+impl fmt::Display for OutageSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} outage events on {} prefixes ({} IPv6), {} s total downtime, mean confidence {:.2}",
+            self.total_events,
+            self.affected_prefixes,
+            self.affected_v6_prefixes,
+            self.total_down_secs,
+            self.mean_confidence
+        )?;
+        write!(f, "by duration:")?;
+        for (c, n) in &self.by_class {
+            write!(f, "  {c}={n}")?;
+        }
+        writeln!(f)?;
+        if !self.longest.is_empty() {
+            writeln!(f, "longest:")?;
+            for ev in &self.longest {
+                writeln!(f, "  {ev}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_types::{DetectorId, Interval, Prefix};
+
+    fn ev(prefix: &str, start: u64, dur: u64, conf: f64) -> OutageEvent {
+        OutageEvent {
+            prefix: prefix.parse::<Prefix>().unwrap(),
+            interval: Interval::from_secs(start, start + dur),
+            confidence: conf,
+            detector: DetectorId::PassiveBayes,
+        }
+    }
+
+    #[test]
+    fn duration_classes_partition() {
+        assert_eq!(DurationClass::of(0), DurationClass::Blip);
+        assert_eq!(DurationClass::of(299), DurationClass::Blip);
+        assert_eq!(DurationClass::of(300), DurationClass::Short);
+        assert_eq!(DurationClass::of(659), DurationClass::Short);
+        assert_eq!(DurationClass::of(660), DurationClass::Long);
+        assert_eq!(DurationClass::of(3_599), DurationClass::Long);
+        assert_eq!(DurationClass::of(3_600), DurationClass::Extended);
+        assert_eq!(DurationClass::of(21_600), DurationClass::Severe);
+    }
+
+    #[test]
+    fn summary_counts_everything_once() {
+        let events = vec![
+            ev("10.0.0.0/24", 0, 400, 0.9),
+            ev("10.0.0.0/24", 10_000, 1_000, 0.8),
+            ev("10.0.1.0/24", 0, 8_000, 1.0),
+            ev("2001:db8::/48", 0, 30_000, 0.7),
+        ];
+        let s = summarize(&events, 2);
+        assert_eq!(s.total_events, 4);
+        assert_eq!(s.affected_prefixes, 3);
+        assert_eq!(s.affected_v6_prefixes, 1);
+        assert_eq!(s.total_down_secs, 400 + 1_000 + 8_000 + 30_000);
+        let class_total: usize = s.by_class.iter().map(|&(_, n)| n).sum();
+        assert_eq!(class_total, 4);
+        assert_eq!(s.longest.len(), 2);
+        assert_eq!(s.longest[0].duration(), 30_000);
+        assert_eq!(s.longest[1].duration(), 8_000);
+        assert!((s.mean_confidence - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = summarize(&[], 5);
+        assert_eq!(s.total_events, 0);
+        assert_eq!(s.mean_confidence, 0.0);
+        assert!(s.longest.is_empty());
+        let text = s.to_string();
+        assert!(text.contains("0 outage events"));
+    }
+
+    #[test]
+    fn display_mentions_classes() {
+        let s = summarize(&[ev("10.0.0.0/24", 0, 400, 0.9)], 1);
+        let text = s.to_string();
+        assert!(text.contains("5-11min=1"), "{text}");
+        assert!(text.contains("longest:"));
+    }
+}

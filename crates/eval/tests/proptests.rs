@@ -1,0 +1,113 @@
+//! Property tests for the evaluation machinery: the confusion-matrix
+//! cells must always be a partition, and event matching must conserve
+//! events — otherwise every reported metric is suspect.
+
+use outage_eval::{DurationMatrix, EventMatrix};
+use outage_types::{Interval, IntervalSet, Timeline};
+use proptest::prelude::*;
+
+const DAY: u64 = 86_400;
+
+fn arb_downs() -> impl Strategy<Value = IntervalSet> {
+    proptest::collection::vec((0u64..DAY, 60u64..10_000), 0..8).prop_map(|ivs| {
+        IntervalSet::from_intervals(
+            ivs.into_iter()
+                .map(|(s, d)| Interval::from_secs(s, (s + d).min(DAY))),
+        )
+    })
+}
+
+fn tl(downs: IntervalSet) -> Timeline {
+    Timeline::from_down(Interval::from_secs(0, DAY), downs)
+}
+
+proptest! {
+    #[test]
+    fn duration_matrix_partitions_the_window(a in arb_downs(), b in arb_downs()) {
+        let m = DurationMatrix::of(&tl(a), &tl(b));
+        prop_assert_eq!(m.total(), DAY);
+        prop_assert!(m.accounts_for(Interval::from_secs(0, DAY)));
+    }
+
+    #[test]
+    fn duration_matrix_cells_match_set_algebra(a in arb_downs(), b in arb_downs()) {
+        let obs = tl(a.clone());
+        let truth = tl(b.clone());
+        let m = DurationMatrix::of(&obs, &truth);
+        prop_assert_eq!(m.to, a.overlap_secs(&b));
+        prop_assert_eq!(m.fo, a.subtract(&b).total());
+        prop_assert_eq!(m.fa, b.subtract(&a).total());
+        prop_assert_eq!(m.ta, DAY - a.union(&b).total());
+    }
+
+    #[test]
+    fn duration_matrix_is_transpose_symmetric(a in arb_downs(), b in arb_downs()) {
+        // Swapping observation and truth swaps fo↔fa and keeps ta/to.
+        let m1 = DurationMatrix::of(&tl(a.clone()), &tl(b.clone()));
+        let m2 = DurationMatrix::of(&tl(b), &tl(a));
+        prop_assert_eq!(m1.ta, m2.ta);
+        prop_assert_eq!(m1.to, m2.to);
+        prop_assert_eq!(m1.fo, m2.fa);
+        prop_assert_eq!(m1.fa, m2.fo);
+    }
+
+    #[test]
+    fn perfect_observer_scores_perfectly(a in arb_downs()) {
+        let m = DurationMatrix::of(&tl(a.clone()), &tl(a));
+        prop_assert_eq!(m.fo, 0);
+        prop_assert_eq!(m.fa, 0);
+        prop_assert_eq!(m.precision(), 1.0);
+        prop_assert_eq!(m.recall(), 1.0);
+        prop_assert_eq!(m.tnr(), 1.0);
+    }
+
+    #[test]
+    fn metrics_are_probabilities(a in arb_downs(), b in arb_downs()) {
+        let m = DurationMatrix::of(&tl(a), &tl(b));
+        for v in [m.precision(), m.recall(), m.tnr()] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+        }
+    }
+
+    #[test]
+    fn event_matching_conserves_events(a in arb_downs(), b in arb_downs(), tol in 0u64..600) {
+        let min = 300;
+        let obs = tl(a).with_min_outage(min);
+        let truth = tl(b).with_min_outage(min);
+        let m = EventMatrix::of(&obs, &truth, min, tol);
+        // every observed outage event is matched or false
+        prop_assert_eq!((m.to + m.fo) as usize, obs.down.len());
+        // every truth outage event is matched or missed
+        prop_assert_eq!((m.to + m.fa) as usize, truth.down.len());
+    }
+
+    #[test]
+    fn perfect_observer_matches_all_events(a in arb_downs()) {
+        let obs = tl(a.clone()).with_min_outage(300);
+        let m = EventMatrix::of(&obs, &obs.clone(), 300, 0);
+        prop_assert_eq!(m.fo, 0);
+        prop_assert_eq!(m.fa, 0);
+        prop_assert_eq!(m.to as usize, obs.down.len());
+        // availability events: the up segments all match themselves
+        prop_assert_eq!(m.ta as usize, obs.up().len());
+    }
+
+    #[test]
+    fn wider_tolerance_never_decreases_matches(a in arb_downs(), b in arb_downs()) {
+        let m0 = EventMatrix::of(&tl(a.clone()), &tl(b.clone()), 300, 0);
+        let m1 = EventMatrix::of(&tl(a), &tl(b), 300, 300);
+        prop_assert!(m1.to >= m0.to, "tolerance lost matches: {} < {}", m1.to, m0.to);
+    }
+
+    #[test]
+    fn matrices_sum_linearly(a in arb_downs(), b in arb_downs(), c in arb_downs(), d in arb_downs()) {
+        let m1 = DurationMatrix::of(&tl(a), &tl(b));
+        let m2 = DurationMatrix::of(&tl(c), &tl(d));
+        let s: DurationMatrix = [m1, m2].into_iter().sum();
+        prop_assert_eq!(s.ta, m1.ta + m2.ta);
+        prop_assert_eq!(s.fa, m1.fa + m2.fa);
+        prop_assert_eq!(s.fo, m1.fo + m2.fo);
+        prop_assert_eq!(s.to, m1.to + m2.to);
+        prop_assert_eq!(s.total(), 2 * DAY);
+    }
+}

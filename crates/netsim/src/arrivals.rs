@@ -1,0 +1,311 @@
+//! Per-block passive traffic generation.
+//!
+//! Each block emits queries toward the service as a non-homogeneous
+//! Poisson process: the base rate from its profile, modulated by a
+//! diurnal cycle, and *silenced* while the block is down in the ground
+//! truth — the absence of that silence is exactly the signal the passive
+//! detector hunts for. Arrivals are generated lazily by thinning, so a
+//! run's memory stays proportional to the number of blocks, not packets.
+
+use crate::stats::{sample_exp, seed_for};
+use crate::topology::BlockProfile;
+use outage_types::{Interval, IntervalSet, Observation, UnixTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Diurnal modulation factor at time `t` for a block with relative
+/// amplitude `amplitude` and phase `phase_secs`: a sinusoid with period
+/// one day, mean 1.0, never negative.
+pub fn diurnal_factor(t: UnixTime, amplitude: f64, phase_secs: u64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&amplitude));
+    let day_frac = ((t.secs() + phase_secs) % 86_400) as f64 / 86_400.0;
+    (1.0 + amplitude * (std::f64::consts::TAU * day_frac).sin()).max(0.0)
+}
+
+/// Whether `t` falls on a simulated weekend (days 5 and 6 of each week,
+/// counted from the epoch).
+pub fn is_weekend(t: UnixTime) -> bool {
+    matches!((t.secs() / 86_400) % 7, 5 | 6)
+}
+
+/// Lazy arrival-time iterator for one block over a window.
+///
+/// Implements Lewis–Shedler thinning of a homogeneous process at the
+/// block's peak rate. Times falling inside ground-truth down intervals
+/// are suppressed.
+pub struct BlockArrivals<'a> {
+    profile: &'a BlockProfile,
+    down: Option<&'a IntervalSet>,
+    window: Interval,
+    rate_max: f64,
+    /// Continuous simulation clock in seconds (f64 for exact thinning,
+    /// emitted truncated to whole seconds).
+    clock: f64,
+    rng: SmallRng,
+}
+
+impl<'a> BlockArrivals<'a> {
+    /// Arrivals for `profile` over `window`, silenced during `down`
+    /// intervals, deterministic under `seed` (independent of other
+    /// blocks).
+    pub fn new(
+        profile: &'a BlockProfile,
+        down: Option<&'a IntervalSet>,
+        window: Interval,
+        seed: u64,
+    ) -> BlockArrivals<'a> {
+        let tag = format!("arrivals-{}", profile.prefix);
+        BlockArrivals {
+            profile,
+            down,
+            window,
+            rate_max: profile.base_rate
+                * (1.0 + profile.diurnal_amplitude)
+                * profile.weekend_factor.max(1.0),
+            clock: window.start.secs() as f64,
+            rng: SmallRng::seed_from_u64(seed_for(seed, tag.as_bytes())),
+        }
+    }
+
+    /// The block's instantaneous rate at `t` (ignoring outages).
+    pub fn rate_at(&self, t: UnixTime) -> f64 {
+        let weekly = if is_weekend(t) {
+            self.profile.weekend_factor
+        } else {
+            1.0
+        };
+        self.profile.base_rate
+            * weekly
+            * diurnal_factor(t, self.profile.diurnal_amplitude, self.profile.phase_secs)
+    }
+}
+
+impl Iterator for BlockArrivals<'_> {
+    type Item = Observation;
+
+    fn next(&mut self) -> Option<Observation> {
+        if self.rate_max <= 0.0 {
+            return None;
+        }
+        loop {
+            self.clock += sample_exp(&mut self.rng, self.rate_max);
+            if self.clock >= self.window.end.secs() as f64 {
+                return None;
+            }
+            let t = UnixTime(self.clock as u64);
+            // Thinning: accept with prob rate(t)/rate_max.
+            if self.rng.gen::<f64>() * self.rate_max > self.rate_at(t) {
+                continue;
+            }
+            // Outage silencing: a down block sends nothing.
+            if self.down.is_some_and(|d| d.contains(t)) {
+                continue;
+            }
+            return Some(Observation::new(t, self.profile.prefix));
+        }
+    }
+}
+
+/// K-way merge of per-block arrival streams into one time-ordered
+/// observation stream — the simulator's equivalent of the packet capture
+/// at B-root.
+pub struct MergedArrivals<'a> {
+    heap: BinaryHeap<Reverse<(Observation, usize)>>,
+    streams: Vec<BlockArrivals<'a>>,
+}
+
+impl<'a> MergedArrivals<'a> {
+    /// Merge the given streams.
+    pub fn new(mut streams: Vec<BlockArrivals<'a>>) -> MergedArrivals<'a> {
+        let mut heap = BinaryHeap::with_capacity(streams.len());
+        for (i, s) in streams.iter_mut().enumerate() {
+            if let Some(obs) = s.next() {
+                heap.push(Reverse((obs, i)));
+            }
+        }
+        MergedArrivals { heap, streams }
+    }
+}
+
+impl Iterator for MergedArrivals<'_> {
+    type Item = Observation;
+
+    fn next(&mut self) -> Option<Observation> {
+        let Reverse((obs, i)) = self.heap.pop()?;
+        if let Some(next) = self.streams[i].next() {
+            self.heap.push(Reverse((next, i)));
+        }
+        Some(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::AsId;
+
+    fn profile(rate: f64, amplitude: f64) -> BlockProfile {
+        BlockProfile {
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            as_id: AsId(1),
+            base_rate: rate,
+            diurnal_amplitude: amplitude,
+            phase_secs: 0,
+            response_rate: 1.0,
+            weekend_factor: 1.0,
+        }
+    }
+
+    fn window() -> Interval {
+        Interval::from_secs(0, 86_400)
+    }
+
+    #[test]
+    fn diurnal_factor_properties() {
+        // mean over a day ≈ 1
+        let mean: f64 = (0..86_400)
+            .step_by(60)
+            .map(|t| diurnal_factor(UnixTime(t), 0.8, 0))
+            .sum::<f64>()
+            / 1_440.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        // amplitude 0 → constant
+        assert_eq!(diurnal_factor(UnixTime(12_345), 0.0, 0), 1.0);
+        // phase shifts the curve
+        let a = diurnal_factor(UnixTime(0), 0.5, 0);
+        let b = diurnal_factor(UnixTime(0), 0.5, 6 * 3_600);
+        assert!((a - b).abs() > 0.2);
+        // never negative
+        for t in (0..86_400).step_by(600) {
+            assert!(diurnal_factor(UnixTime(t), 0.95, 3_600) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn arrival_count_matches_rate() {
+        let p = profile(0.05, 0.3);
+        let n = BlockArrivals::new(&p, None, window(), 1).count() as f64;
+        let expected = 0.05 * 86_400.0;
+        assert!(
+            (n - expected).abs() < expected * 0.15,
+            "{n} arrivals vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_and_in_window() {
+        let p = profile(0.02, 0.6);
+        let times: Vec<UnixTime> = BlockArrivals::new(&p, None, window(), 2)
+            .map(|o| o.time)
+            .collect();
+        assert!(!times.is_empty());
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(times.first().unwrap().secs() < 86_400);
+        assert!(times.last().unwrap().secs() < 86_400);
+    }
+
+    #[test]
+    fn outage_silences_traffic() {
+        let p = profile(0.1, 0.0);
+        let down = IntervalSet::singleton(Interval::from_secs(10_000, 20_000));
+        let times: Vec<u64> = BlockArrivals::new(&p, Some(&down), window(), 3)
+            .map(|o| o.time.secs())
+            .collect();
+        assert!(!times.is_empty());
+        assert!(
+            times.iter().all(|&t| !(10_000..20_000).contains(&t)),
+            "arrivals during outage"
+        );
+        // traffic resumes after the outage
+        assert!(times.iter().any(|&t| t >= 20_000));
+    }
+
+    #[test]
+    fn zero_rate_block_is_silent() {
+        let p = profile(0.0, 0.0);
+        assert_eq!(BlockArrivals::new(&p, None, window(), 4).count(), 0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = profile(0.05, 0.5);
+        let a: Vec<_> = BlockArrivals::new(&p, None, window(), 9).collect();
+        let b: Vec<_> = BlockArrivals::new(&p, None, window(), 9).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = BlockArrivals::new(&p, None, window(), 10).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn diurnal_blocks_cluster_arrivals() {
+        // With extreme amplitude, the peak half-day should carry clearly
+        // more traffic than the trough half-day.
+        let p = profile(0.05, 0.95);
+        let times: Vec<u64> = BlockArrivals::new(&p, None, window(), 5)
+            .map(|o| o.time.secs())
+            .collect();
+        // sin > 0 for t in (0, 43200): that's the peak half.
+        let peak = times.iter().filter(|&&t| t < 43_200).count();
+        let trough = times.len() - peak;
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn weekend_factor_damps_weekend_traffic() {
+        let mut p = profile(0.05, 0.0);
+        p.weekend_factor = 0.5;
+        // one week of arrivals
+        let week = Interval::from_secs(0, 7 * 86_400);
+        let times: Vec<u64> = BlockArrivals::new(&p, None, week, 11)
+            .map(|o| o.time.secs())
+            .collect();
+        let weekend = times
+            .iter()
+            .filter(|&&t| is_weekend(UnixTime(t)))
+            .count() as f64;
+        let weekday = (times.len() as f64) - weekend;
+        // weekends are 2 of 7 days at half rate: expect ratio ≈ 0.5·2/5
+        // per-day comparison: weekend/day vs weekday/day ≈ 0.5
+        let per_weekend_day = weekend / 2.0;
+        let per_weekday_day = weekday / 5.0;
+        let ratio = per_weekend_day / per_weekday_day;
+        assert!((0.4..0.6).contains(&ratio), "weekend damping ratio {ratio}");
+        // and is_weekend itself marks exactly days 5,6
+        assert!(!is_weekend(UnixTime(4 * 86_400)));
+        assert!(is_weekend(UnixTime(5 * 86_400)));
+        assert!(is_weekend(UnixTime(6 * 86_400 + 86_399)));
+        assert!(!is_weekend(UnixTime(7 * 86_400)));
+    }
+
+    #[test]
+    fn merged_stream_is_sorted_and_complete() {
+        let p1 = profile(0.03, 0.2);
+        let mut p2 = profile(0.02, 0.2);
+        p2.prefix = "10.0.1.0/24".parse().unwrap();
+        let s1 = BlockArrivals::new(&p1, None, window(), 6);
+        let s2 = BlockArrivals::new(&p2, None, window(), 6);
+        let n1 = BlockArrivals::new(&p1, None, window(), 6).count();
+        let n2 = BlockArrivals::new(&p2, None, window(), 6).count();
+        let merged: Vec<Observation> = MergedArrivals::new(vec![s1, s2]).collect();
+        assert_eq!(merged.len(), n1 + n2);
+        for w in merged.windows(2) {
+            assert!(w[0].time <= w[1].time, "unsorted merge");
+        }
+        // both blocks present
+        assert!(merged.iter().any(|o| o.block == p1.prefix));
+        assert!(merged.iter().any(|o| o.block == p2.prefix));
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged: Vec<Observation> = MergedArrivals::new(vec![]).collect();
+        assert!(merged.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # outage-netsim
+//!
+//! The simulated Internet that stands in for the paper's closed data.
+//!
+//! The paper measures real passive traffic at B-root and validates against
+//! production Trinocular and RIPE Atlas feeds — none of which are
+//! available offline. This crate substitutes a *generative* world:
+//!
+//! * [`topology`]: ASes owning IPv4 /24s and IPv6 /48s, each block with a
+//!   log-normal base query rate (the dense↔sparse spectrum), a diurnal
+//!   cycle with regional phase, and a probe-responsiveness figure.
+//! * [`schedule`]: ground-truth outage injection — independent per-block
+//!   short/long outages plus correlated whole-AS events, with IPv6 blocks
+//!   failing more often (as the paper observed).
+//! * [`arrivals`]: lazy non-homogeneous Poisson arrival streams per block,
+//!   silenced during ground-truth outages, k-way merged into the
+//!   time-ordered feed a root-server telescope would see.
+//! * [`oracle`]: the probe interface active baselines measure through —
+//!   they see replies/timeouts, never the truth.
+//! * [`packets`]: optional wire-level rendering of the feed as real DNS
+//!   datagrams (exercises `outage-dnswire` end-to-end).
+//! * [`scenario`]: presets matching each experiment in DESIGN.md.
+//!
+//! Everything is deterministic under a seed: two runs of the same scenario
+//! produce byte-identical streams, which the test suite relies on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrivals;
+pub mod oracle;
+pub mod packets;
+pub mod scenario;
+pub mod schedule;
+pub mod stats;
+pub mod topology;
+
+pub use arrivals::{diurnal_factor, is_weekend, BlockArrivals, MergedArrivals};
+pub use oracle::{NetworkOracle, ProbeOutcome};
+pub use packets::PacketFeed;
+pub use scenario::{Scenario, ScenarioConfig, ThinnedArrivals};
+pub use schedule::{OutageConfig, OutageSchedule};
+pub use topology::{AsId, AsProfile, BlockProfile, Internet, TopologyConfig};

@@ -1,0 +1,170 @@
+//! The active-measurement side of the simulated network.
+//!
+//! Active systems (Trinocular, RIPE-Atlas-style probes) interact with the
+//! world by *probing*: send a packet to an address, maybe get a reply.
+//! [`NetworkOracle`] answers those probes from the ground truth plus each
+//! block's responsiveness profile, without ever revealing the truth
+//! directly — probers must infer it, exactly like their real counterparts.
+
+use crate::schedule::OutageSchedule;
+use crate::stats::seed_for;
+use crate::topology::Internet;
+use outage_types::{Prefix, UnixTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a single probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// A (positive) reply arrived.
+    Reply,
+    /// Nothing came back before the prober's timeout.
+    Timeout,
+}
+
+/// Answers probes against the simulated world.
+pub struct NetworkOracle<'a> {
+    internet: &'a Internet,
+    schedule: &'a OutageSchedule,
+    /// Probability that a probe or its reply is lost even when the target
+    /// block is up and the address responsive (background packet loss).
+    pub loss_rate: f64,
+    rng: SmallRng,
+}
+
+impl<'a> NetworkOracle<'a> {
+    /// Build an oracle over a world and its ground truth.
+    pub fn new(internet: &'a Internet, schedule: &'a OutageSchedule, seed: u64) -> Self {
+        NetworkOracle {
+            internet,
+            schedule,
+            loss_rate: 0.01,
+            rng: SmallRng::seed_from_u64(seed_for(seed, b"oracle")),
+        }
+    }
+
+    /// The world under measurement.
+    pub fn internet(&self) -> &'a Internet {
+        self.internet
+    }
+
+    /// The ground truth (for evaluation code only — detectors must not
+    /// call this).
+    pub fn ground_truth(&self) -> &'a OutageSchedule {
+        self.schedule
+    }
+
+    /// Probe one address of `block` at time `t`.
+    ///
+    /// Replies arrive iff the block exists, is up at `t`, the probed
+    /// address is responsive (per-block `A(E(b))` Bernoulli draw), and the
+    /// packet survives background loss.
+    pub fn probe(&mut self, block: &Prefix, t: UnixTime) -> ProbeOutcome {
+        let Some(profile) = self.internet.block(block) else {
+            return ProbeOutcome::Timeout;
+        };
+        if !self.schedule.is_up(block, t) {
+            return ProbeOutcome::Timeout;
+        }
+        if self.rng.gen::<f64>() >= profile.response_rate {
+            return ProbeOutcome::Timeout;
+        }
+        if self.rng.gen::<f64>() < self.loss_rate {
+            return ProbeOutcome::Timeout;
+        }
+        ProbeOutcome::Reply
+    }
+
+    /// Probe `n` distinct addresses at once and count replies — the
+    /// "up to 15 adaptive probes" pattern.
+    pub fn probe_burst(&mut self, block: &Prefix, t: UnixTime, n: u32) -> u32 {
+        (0..n)
+            .filter(|_| self.probe(block, t) == ProbeOutcome::Reply)
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::OutageSchedule;
+    use crate::topology::{Internet, TopologyConfig};
+    use outage_types::Interval;
+
+    fn setup() -> (Internet, OutageSchedule) {
+        let internet = Internet::generate(&TopologyConfig::default(), 20);
+        let window = Interval::from_secs(0, 86_400);
+        let mut schedule = OutageSchedule::new(window);
+        let victim = internet.blocks()[0].prefix;
+        schedule.add(victim, Interval::from_secs(10_000, 20_000));
+        (internet, schedule)
+    }
+
+    #[test]
+    fn down_blocks_never_reply() {
+        let (internet, schedule) = setup();
+        let victim = internet.blocks()[0].prefix;
+        let mut oracle = NetworkOracle::new(&internet, &schedule, 1);
+        for t in (10_000..20_000).step_by(500) {
+            assert_eq!(oracle.probe(&victim, UnixTime(t)), ProbeOutcome::Timeout);
+        }
+    }
+
+    #[test]
+    fn up_blocks_reply_at_roughly_their_response_rate() {
+        let (internet, schedule) = setup();
+        let block = &internet.blocks()[1];
+        let mut oracle = NetworkOracle::new(&internet, &schedule, 2);
+        oracle.loss_rate = 0.0;
+        let n = 5_000;
+        let replies = (0..n)
+            .filter(|i| oracle.probe(&block.prefix, UnixTime(30_000 + i)) == ProbeOutcome::Reply)
+            .count();
+        let observed = replies as f64 / n as f64;
+        assert!(
+            (observed - block.response_rate).abs() < 0.05,
+            "observed {observed}, profile {}",
+            block.response_rate
+        );
+    }
+
+    #[test]
+    fn unknown_blocks_time_out() {
+        let (internet, schedule) = setup();
+        let mut oracle = NetworkOracle::new(&internet, &schedule, 3);
+        let ghost: Prefix = "203.0.113.0/24".parse().unwrap();
+        assert_eq!(oracle.probe(&ghost, UnixTime(0)), ProbeOutcome::Timeout);
+    }
+
+    #[test]
+    fn probe_burst_counts_replies() {
+        let (internet, schedule) = setup();
+        let block = &internet.blocks()[1];
+        let mut oracle = NetworkOracle::new(&internet, &schedule, 4);
+        oracle.loss_rate = 0.0;
+        let replies = oracle.probe_burst(&block.prefix, UnixTime(40_000), 100);
+        assert!(replies > 0);
+        assert!(replies <= 100);
+        // during the victim's outage a burst yields zero
+        let victim = internet.blocks()[0].prefix;
+        assert_eq!(oracle.probe_burst(&victim, UnixTime(15_000), 15), 0);
+    }
+
+    #[test]
+    fn loss_rate_suppresses_some_replies() {
+        let (internet, schedule) = setup();
+        let block = &internet.blocks()[1];
+        let mut lossless = NetworkOracle::new(&internet, &schedule, 5);
+        lossless.loss_rate = 0.0;
+        let mut lossy = NetworkOracle::new(&internet, &schedule, 5);
+        lossy.loss_rate = 0.5;
+        let n = 2_000;
+        let r0 = (0..n)
+            .filter(|i| lossless.probe(&block.prefix, UnixTime(30_000 + i)) == ProbeOutcome::Reply)
+            .count();
+        let r1 = (0..n)
+            .filter(|i| lossy.probe(&block.prefix, UnixTime(30_000 + i)) == ProbeOutcome::Reply)
+            .count();
+        assert!(r1 < r0, "loss {r1} !< lossless {r0}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Statistical sampling helpers used by the simulator.
+//!
+//! The approved dependency set has `rand` but no distribution crate, so the
+//! handful of distributions the simulator needs — normal, log-normal,
+//! exponential, Poisson, Zipf — are implemented here from first principles.
+//! All samplers take a caller-supplied RNG so simulation stays fully
+//! deterministic under a fixed seed.
+
+use rand::Rng;
+
+/// Deterministic 64-bit mix (splitmix64). Used to derive independent
+/// per-block RNG seeds from `(scenario seed, block identity)` so that the
+/// arrival stream of one block never depends on how many other blocks the
+/// run contains.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combine a seed with an arbitrary byte string into a new seed.
+pub fn seed_for(base: u64, tag: &[u8]) -> u64 {
+    let mut h = splitmix64(base);
+    for chunk in tag.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = splitmix64(h ^ u64::from_le_bytes(w));
+    }
+    h
+}
+
+/// A standard-normal sample via Box–Muller.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 exactly (ln(0)).
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 1e-300 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal sample with the given parameters of the underlying normal.
+///
+/// Log-normal is the canonical model for per-block traffic rates: most
+/// edge blocks send a trickle, a heavy tail sends a torrent — exactly the
+/// dense/sparse spectrum the paper's per-block tuning exists for.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * sample_normal(rng)).exp()
+}
+
+/// An exponential sample with the given rate (events per second).
+/// Inter-arrival times of a Poisson process.
+pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 1e-300 {
+            break u;
+        }
+    };
+    -u.ln() / rate
+}
+
+/// A Poisson sample with mean `lambda`.
+///
+/// Knuth's product method below 30; normal approximation (rounded,
+/// clamped at 0) above, which is plenty for traffic counts.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = lambda + lambda.sqrt() * sample_normal(rng);
+        x.round().max(0.0) as u64
+    }
+}
+
+/// A sample from `{0, 1, …, n-1}` with probability ∝ `1/(i+1)^s`
+/// (Zipf by inverse-CDF over precomputed weights would be faster, but the
+/// simulator only uses this for query-name popularity where n is small).
+pub fn sample_zipf<R: Rng + ?Sized>(rng: &mut R, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    // Rejection-free: walk the CDF. n is small (name catalogue), so O(n)
+    // is fine and avoids precomputing state.
+    let norm: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(s)).sum();
+    let mut u = rng.gen::<f64>() * norm;
+    for i in 1..=n {
+        let w = 1.0 / (i as f64).powf(s);
+        if u < w {
+            return i - 1;
+        }
+        u -= w;
+    }
+    n - 1
+}
+
+/// A uniform sample from a log-scaled range `[lo, hi]` — used for outage
+/// durations, which span two orders of magnitude (5 minutes to hours).
+pub fn sample_log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo > 0.0 && hi >= lo);
+    let (ll, lh) = (lo.ln(), hi.ln());
+    (ll + rng.gen::<f64>() * (lh - ll)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // low-bit inputs produce high-entropy outputs
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        assert!((a ^ b).count_ones() > 10);
+    }
+
+    #[test]
+    fn seed_for_depends_on_tag() {
+        assert_eq!(seed_for(7, b"10.0.0.0/24"), seed_for(7, b"10.0.0.0/24"));
+        assert_ne!(seed_for(7, b"10.0.0.0/24"), seed_for(7, b"10.0.1.0/24"));
+        assert_ne!(seed_for(7, b"x"), seed_for(8, b"x"));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = rng();
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| sample_lognormal(&mut r, -3.0, 1.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        // median of lognormal is e^mu
+        assert!((median.ln() + 3.0).abs() < 0.1, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exp_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_exp(&mut r, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_poisson(&mut r, 3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut r = rng();
+        let n = 5_000;
+        let mean: f64 = (0..n).map(|_| sample_poisson(&mut r, 200.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng();
+        assert_eq!(sample_poisson(&mut r, 0.0), 0);
+        assert_eq!(sample_poisson(&mut r, -1.0), 0);
+    }
+
+    #[test]
+    fn zipf_favors_head() {
+        let mut r = rng();
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[sample_zipf(&mut r, 10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[4], "head {counts:?}");
+        assert!(counts[0] > counts[9] * 3, "tail {counts:?}");
+        // all in range (implicitly: no index panic)
+    }
+
+    #[test]
+    fn log_uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let x = sample_log_uniform(&mut r, 300.0, 21_600.0);
+            assert!((300.0..=21_600.0).contains(&x));
+        }
+    }
+}

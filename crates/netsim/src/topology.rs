@@ -1,0 +1,404 @@
+//! Synthetic Internet topology: ASes and their address blocks.
+//!
+//! The simulator's world is a set of autonomous systems, each owning a set
+//! of IPv4 /24s and (for some) IPv6 /48s. Every block gets a *traffic
+//! profile*: a base query rate toward the passive service (log-normally
+//! distributed, so the population spans the paper's dense-to-sparse
+//! spectrum), a diurnal modulation with a region-dependent phase, and an
+//! address-responsiveness figure `A(E(b))` used by active probers.
+
+use crate::stats::{sample_lognormal, seed_for, splitmix64};
+use outage_types::{AddrFamily, Prefix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Autonomous-system identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl std::fmt::Display for AsId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Per-block traffic and responsiveness profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockProfile {
+    /// The block (/24 or /48).
+    pub prefix: Prefix,
+    /// Owning AS.
+    pub as_id: AsId,
+    /// Mean query rate toward the passive service, queries/second,
+    /// averaged over the diurnal cycle. This is the *resolver-side* rate —
+    /// what the root server actually sees after client-side caching.
+    pub base_rate: f64,
+    /// Relative amplitude of the diurnal cycle, `0.0..=0.95`.
+    pub diurnal_amplitude: f64,
+    /// Phase offset of the diurnal cycle in seconds (region longitude).
+    pub phase_secs: u64,
+    /// Probability that a probe to an ever-responsive address in this
+    /// block is answered while the block is up — Trinocular's `A(E(b))`.
+    pub response_rate: f64,
+    /// Rate multiplier applied on simulated weekends (days 5 and 6 of
+    /// each week). 1.0 = no weekly seasonality.
+    pub weekend_factor: f64,
+}
+
+/// Per-AS record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsProfile {
+    /// Identifier.
+    pub id: AsId,
+    /// Indices into `Internet::blocks` owned by this AS.
+    pub block_indices: Vec<usize>,
+    /// Region phase shared by the AS's blocks (seconds of diurnal offset).
+    pub phase_secs: u64,
+}
+
+/// Parameters for topology generation.
+///
+/// Defaults produce a small, fast world suitable for unit tests; the
+/// scenario presets scale these up.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of ASes.
+    pub num_as: u32,
+    /// Mean IPv4 /24 blocks per AS (geometric-ish spread, at least 1).
+    pub v4_blocks_per_as: f64,
+    /// Fraction of ASes that also deploy IPv6.
+    pub v6_as_fraction: f64,
+    /// Mean IPv6 /48 blocks per v6-enabled AS.
+    pub v6_blocks_per_as: f64,
+    /// Log-normal μ of per-block base rate (ln queries/sec).
+    pub rate_mu: f64,
+    /// Log-normal σ of per-block base rate.
+    pub rate_sigma: f64,
+    /// Cap on per-block base rate (queries/sec) so one monster block
+    /// cannot dominate run time.
+    pub rate_cap: f64,
+    /// Range of diurnal amplitudes.
+    pub diurnal_min: f64,
+    /// Upper bound of diurnal amplitudes.
+    pub diurnal_max: f64,
+    /// Lower bound of per-block probe responsiveness.
+    pub response_min: f64,
+    /// Upper bound of per-block probe responsiveness.
+    pub response_max: f64,
+    /// Fraction of blocks that exist (and answer probes) but never send
+    /// traffic to the monitored service. B-root only sees recursive
+    /// resolvers — roughly 20 % of Trinocular's probe universe — so
+    /// coverage experiments (Fig. 2b) set this high; detection
+    /// experiments leave it at 0.
+    pub dark_fraction: f64,
+    /// Weekend rate multiplier for all blocks (weekly seasonality, the
+    /// paper's "seasonal effects" future work). 1.0 disables it.
+    pub weekend_factor: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            num_as: 40,
+            v4_blocks_per_as: 6.0,
+            v6_as_fraction: 0.3,
+            v6_blocks_per_as: 3.0,
+            // median ≈ e^-4.6 ≈ 0.010 q/s; σ=1.8 gives a heavy dense tail
+            // and a long sparse tail, matching the paper's observation
+            // that block density varies over orders of magnitude.
+            rate_mu: -4.6,
+            rate_sigma: 1.8,
+            rate_cap: 2.0,
+            diurnal_min: 0.1,
+            diurnal_max: 0.8,
+            // Active probers target ever-responsive addresses (E(b)), so
+            // even the flakiest probed block answers a sizeable fraction
+            // of probes.
+            response_min: 0.4,
+            response_max: 1.0,
+            dark_fraction: 0.0,
+            weekend_factor: 1.0,
+        }
+    }
+}
+
+/// The generated world: all blocks with profiles, grouped by AS.
+#[derive(Debug, Clone)]
+pub struct Internet {
+    blocks: Vec<BlockProfile>,
+    ases: Vec<AsProfile>,
+    by_prefix: HashMap<Prefix, usize>,
+}
+
+impl Internet {
+    /// Generate a world from `config` under a fixed seed. The same
+    /// `(config, seed)` always yields the identical world.
+    pub fn generate(config: &TopologyConfig, seed: u64) -> Internet {
+        let mut blocks = Vec::new();
+        let mut ases = Vec::with_capacity(config.num_as as usize);
+        for i in 0..config.num_as {
+            let as_seed = seed_for(seed, format!("as-{i}").as_bytes());
+            let mut rng = SmallRng::seed_from_u64(as_seed);
+            // Region phase: one of 24 "time zones".
+            let phase_secs = rng.gen_range(0u64..24) * 3_600;
+            let id = AsId(i + 1);
+            let mut block_indices = Vec::new();
+
+            // IPv4 blocks: 1 + geometric-ish count around the mean.
+            let n_v4 = sample_block_count(&mut rng, config.v4_blocks_per_as);
+            for j in 0..n_v4.min(256) {
+                let addr = ((i + 1) << 16) | ((j as u32) << 8);
+                let prefix = Prefix::v4_raw(addr, 24);
+                block_indices.push(blocks.len());
+                blocks.push(make_profile(prefix, id, phase_secs, config, seed));
+            }
+
+            // IPv6 blocks for a fraction of ASes.
+            if rng.gen::<f64>() < config.v6_as_fraction {
+                let n_v6 = sample_block_count(&mut rng, config.v6_blocks_per_as);
+                for j in 0..n_v6.min(256) {
+                    let addr = (0x2001u128 << 112) | ((i as u128 + 1) << 88) | ((j as u128) << 80);
+                    let prefix = Prefix::v6_raw(addr, 48);
+                    block_indices.push(blocks.len());
+                    blocks.push(make_profile(prefix, id, phase_secs, config, seed));
+                }
+            }
+
+            ases.push(AsProfile {
+                id,
+                block_indices,
+                phase_secs,
+            });
+        }
+        let by_prefix = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.prefix, i))
+            .collect();
+        Internet {
+            blocks,
+            ases,
+            by_prefix,
+        }
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[BlockProfile] {
+        &self.blocks
+    }
+
+    /// All ASes.
+    pub fn ases(&self) -> &[AsProfile] {
+        &self.ases
+    }
+
+    /// Look up a block by prefix.
+    pub fn block(&self, prefix: &Prefix) -> Option<&BlockProfile> {
+        self.by_prefix.get(prefix).map(|&i| &self.blocks[i])
+    }
+
+    /// The AS owning a block.
+    pub fn as_of(&self, prefix: &Prefix) -> Option<AsId> {
+        self.block(prefix).map(|b| b.as_id)
+    }
+
+    /// Blocks of one family.
+    pub fn blocks_of(&self, family: AddrFamily) -> impl Iterator<Item = &BlockProfile> {
+        self.blocks.iter().filter(move |b| b.prefix.family() == family)
+    }
+
+    /// Count of blocks of one family.
+    pub fn count_of(&self, family: AddrFamily) -> usize {
+        self.blocks_of(family).count()
+    }
+
+    /// Blocks owned by an AS.
+    pub fn blocks_of_as(&self, id: AsId) -> impl Iterator<Item = &BlockProfile> {
+        let empty: &[usize] = &[];
+        let indices = self
+            .ases
+            .get((id.0 as usize).wrapping_sub(1))
+            .map(|a| a.block_indices.as_slice())
+            .unwrap_or(empty);
+        indices.iter().map(move |&i| &self.blocks[i])
+    }
+}
+
+fn sample_block_count(rng: &mut SmallRng, mean: f64) -> usize {
+    // 1 + geometric with the requested mean: simple, long-tailed like
+    // real AS address holdings.
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    let mut n = 1usize;
+    while rng.gen::<f64>() > p && n < 4096 {
+        n += 1;
+    }
+    n
+}
+
+fn make_profile(
+    prefix: Prefix,
+    as_id: AsId,
+    phase_secs: u64,
+    config: &TopologyConfig,
+    seed: u64,
+) -> BlockProfile {
+    // Per-block RNG derived from the block identity, so profiles are
+    // independent of generation order.
+    let tag = format!("{prefix}");
+    let mut rng = SmallRng::seed_from_u64(splitmix64(seed_for(seed, tag.as_bytes())));
+    let dark = rng.gen::<f64>() < config.dark_fraction;
+    let base_rate = if dark {
+        0.0
+    } else {
+        sample_lognormal(&mut rng, config.rate_mu, config.rate_sigma).min(config.rate_cap)
+    };
+    BlockProfile {
+        prefix,
+        as_id,
+        base_rate,
+        diurnal_amplitude: rng.gen_range(config.diurnal_min..=config.diurnal_max),
+        phase_secs,
+        response_rate: rng.gen_range(config.response_min..=config.response_max),
+        weekend_factor: config.weekend_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Internet {
+        Internet::generate(&TopologyConfig::default(), 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Internet::generate(&TopologyConfig::default(), 1);
+        let b = Internet::generate(&TopologyConfig::default(), 1);
+        assert_eq!(a.blocks().len(), b.blocks().len());
+        for (x, y) in a.blocks().iter().zip(b.blocks()) {
+            assert_eq!(x.prefix, y.prefix);
+            assert_eq!(x.base_rate, y.base_rate);
+            assert_eq!(x.phase_secs, y.phase_secs);
+        }
+        let c = Internet::generate(&TopologyConfig::default(), 2);
+        // a different seed must actually change profiles
+        assert!(a
+            .blocks()
+            .iter()
+            .zip(c.blocks())
+            .any(|(x, y)| x.base_rate != y.base_rate));
+    }
+
+    #[test]
+    fn prefixes_are_unique_and_canonical() {
+        let w = world();
+        let mut seen = std::collections::HashSet::new();
+        for b in w.blocks() {
+            assert!(b.prefix.is_block(), "{} not a canonical block", b.prefix);
+            assert!(seen.insert(b.prefix), "duplicate {}", b.prefix);
+        }
+    }
+
+    #[test]
+    fn both_families_present() {
+        let w = world();
+        assert!(w.count_of(AddrFamily::V4) > 0);
+        assert!(w.count_of(AddrFamily::V6) > 0);
+        assert!(w.count_of(AddrFamily::V4) > w.count_of(AddrFamily::V6));
+        assert_eq!(
+            w.count_of(AddrFamily::V4) + w.count_of(AddrFamily::V6),
+            w.blocks().len()
+        );
+    }
+
+    #[test]
+    fn lookup_by_prefix() {
+        let w = world();
+        let first = &w.blocks()[0];
+        let found = w.block(&first.prefix).unwrap();
+        assert_eq!(found.base_rate, first.base_rate);
+        assert_eq!(w.as_of(&first.prefix), Some(first.as_id));
+        let missing: Prefix = "203.0.113.0/24".parse().unwrap();
+        assert!(w.block(&missing).is_none());
+    }
+
+    #[test]
+    fn as_grouping_consistent() {
+        let w = world();
+        for asp in w.ases() {
+            for &i in &asp.block_indices {
+                assert_eq!(w.blocks()[i].as_id, asp.id);
+                assert_eq!(w.blocks()[i].phase_secs, asp.phase_secs);
+            }
+            let via_iter = w.blocks_of_as(asp.id).count();
+            assert_eq!(via_iter, asp.block_indices.len());
+        }
+    }
+
+    #[test]
+    fn rates_span_orders_of_magnitude() {
+        let cfg = TopologyConfig {
+            num_as: 200,
+            ..TopologyConfig::default()
+        };
+        let w = Internet::generate(&cfg, 7);
+        let rates: Vec<f64> = w.blocks().iter().map(|b| b.base_rate).collect();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 100.0, "span {min}..{max} too narrow");
+        assert!(max <= cfg.rate_cap + f64::EPSILON);
+        assert!(rates.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn profiles_within_configured_bounds() {
+        let cfg = TopologyConfig::default();
+        let w = world();
+        for b in w.blocks() {
+            assert!((cfg.diurnal_min..=cfg.diurnal_max).contains(&b.diurnal_amplitude));
+            assert!((cfg.response_min..=cfg.response_max).contains(&b.response_rate));
+            assert!(b.phase_secs < 24 * 3_600);
+            assert_eq!(b.phase_secs % 3_600, 0);
+        }
+    }
+
+    #[test]
+    fn dark_fraction_silences_blocks_but_keeps_them() {
+        let cfg = TopologyConfig {
+            num_as: 100,
+            dark_fraction: 0.8,
+            ..TopologyConfig::default()
+        };
+        let w = Internet::generate(&cfg, 11);
+        let total = w.blocks().len();
+        let dark = w.blocks().iter().filter(|b| b.base_rate == 0.0).count();
+        let frac = dark as f64 / total as f64;
+        assert!(
+            (0.7..0.9).contains(&frac),
+            "dark fraction {frac} far from configured 0.8"
+        );
+        // dark blocks still answer probes
+        assert!(w
+            .blocks()
+            .iter()
+            .filter(|b| b.base_rate == 0.0)
+            .all(|b| b.response_rate > 0.0));
+        // determinism holds with darkness
+        let w2 = Internet::generate(&cfg, 11);
+        for (a, b) in w.blocks().iter().zip(w2.blocks()) {
+            assert_eq!(a.base_rate, b.base_rate);
+        }
+    }
+
+    #[test]
+    fn unknown_as_yields_no_blocks() {
+        let w = world();
+        assert_eq!(w.blocks_of_as(AsId(9999)).count(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the simulator: whatever the parameters, generated
+//! worlds and streams must be well-formed — the detectors' tests all
+//! build on these guarantees.
+
+use outage_netsim::{
+    diurnal_factor, BlockArrivals, Internet, OutageConfig, OutageSchedule, TopologyConfig,
+};
+use outage_types::{AddrFamily, Interval, UnixTime};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = TopologyConfig> {
+    (
+        1u32..40,
+        1.0f64..8.0,
+        0.0f64..1.0,
+        -6.0f64..-2.0,
+        0.5f64..2.5,
+        0.0f64..0.9,
+    )
+        .prop_map(
+            |(num_as, v4_blocks, v6_frac, mu, sigma, dark)| TopologyConfig {
+                num_as,
+                v4_blocks_per_as: v4_blocks,
+                v6_as_fraction: v6_frac,
+                rate_mu: mu,
+                rate_sigma: sigma,
+                dark_fraction: dark,
+                ..TopologyConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_topology_is_well_formed(cfg in arb_topology(), seed in 0u64..1000) {
+        let w = Internet::generate(&cfg, seed);
+        prop_assert!(!w.blocks().is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for b in w.blocks() {
+            prop_assert!(b.prefix.is_block());
+            prop_assert!(seen.insert(b.prefix), "duplicate {}", b.prefix);
+            prop_assert!(b.base_rate >= 0.0 && b.base_rate <= cfg.rate_cap);
+            prop_assert!(b.base_rate.is_finite());
+            prop_assert!((0.0..=1.0).contains(&b.response_rate));
+            prop_assert!(w.as_of(&b.prefix).is_some());
+        }
+        // every AS's blocks point back at it
+        for asp in w.ases() {
+            for blk in w.blocks_of_as(asp.id) {
+                prop_assert_eq!(blk.as_id, asp.id);
+            }
+        }
+        // family counts add up
+        prop_assert_eq!(
+            w.count_of(AddrFamily::V4) + w.count_of(AddrFamily::V6),
+            w.blocks().len()
+        );
+    }
+
+    #[test]
+    fn any_schedule_stays_in_window(cfg in arb_topology(), seed in 0u64..1000, days in 1u64..3) {
+        let w = Internet::generate(&cfg, seed);
+        let window = Interval::from_secs(0, days * 86_400);
+        let s = OutageSchedule::generate(&w, &OutageConfig::default(), window, seed);
+        for (prefix, set) in s.blocks_with_outages() {
+            prop_assert!(w.block(prefix).is_some(), "outage for unknown block");
+            for iv in set.iter() {
+                prop_assert!(iv.start >= window.start);
+                prop_assert!(iv.end <= window.end);
+                prop_assert!(!iv.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_sorted_in_window_and_silenced(
+        rate in 0.001f64..0.2,
+        amplitude in 0.0f64..0.9,
+        phase in 0u64..24,
+        outage_start in 10_000u64..60_000,
+        outage_len in 1_000u64..20_000,
+    ) {
+        use outage_netsim::BlockProfile;
+        use outage_netsim::AsId;
+        use outage_types::IntervalSet;
+        let profile = BlockProfile {
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            as_id: AsId(1),
+            base_rate: rate,
+            diurnal_amplitude: amplitude,
+            phase_secs: phase * 3_600,
+            response_rate: 0.9,
+            weekend_factor: 1.0,
+        };
+        let window = Interval::from_secs(0, 86_400);
+        let down = IntervalSet::singleton(Interval::from_secs(outage_start, outage_start + outage_len));
+        let times: Vec<UnixTime> = BlockArrivals::new(&profile, Some(&down), window, 7)
+            .map(|o| o.time)
+            .collect();
+        for w2 in times.windows(2) {
+            prop_assert!(w2[0] <= w2[1], "unsorted arrivals");
+        }
+        for t in &times {
+            prop_assert!(window.contains(*t));
+            prop_assert!(!down.contains(*t), "arrival during ground-truth outage");
+        }
+    }
+
+    #[test]
+    fn diurnal_factor_is_bounded_and_periodic(amplitude in 0.0f64..1.0, phase in 0u64..86_400, t in 0u64..604_800) {
+        let f = diurnal_factor(UnixTime(t), amplitude, phase);
+        prop_assert!(f >= 0.0);
+        prop_assert!(f <= 1.0 + amplitude + 1e-12);
+        let g = diurnal_factor(UnixTime(t + 86_400), amplitude, phase);
+        prop_assert!((f - g).abs() < 1e-12, "not periodic: {f} vs {g}");
+    }
+
+    #[test]
+    fn expected_arrival_count_tracks_rate(rate in 0.01f64..0.2, seed in 0u64..50) {
+        use outage_netsim::BlockProfile;
+        use outage_netsim::AsId;
+        let profile = BlockProfile {
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            as_id: AsId(1),
+            base_rate: rate,
+            diurnal_amplitude: 0.3,
+            phase_secs: 0,
+            response_rate: 0.9,
+            weekend_factor: 1.0,
+        };
+        let window = Interval::from_secs(0, 86_400);
+        let n = BlockArrivals::new(&profile, None, window, seed).count() as f64;
+        let expected = rate * 86_400.0;
+        // 5 sigma of Poisson noise
+        let slack = 5.0 * expected.sqrt() + 5.0;
+        prop_assert!(
+            (n - expected).abs() < slack,
+            "{n} arrivals vs expected {expected} ± {slack}"
+        );
+    }
+}

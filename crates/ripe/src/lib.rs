@@ -1,0 +1,346 @@
+//! # outage-ripe
+//!
+//! A RIPE-Atlas-style probe mesh used as **event-level ground truth for
+//! short outages** (Table 3), standing in for the paper's RIPE Atlas
+//! data.
+//!
+//! Semantics modeled on Atlas's builtin connectivity measurements:
+//!
+//! * Hardware probes are hosted *inside* edge networks; a probe's
+//!   connectivity tracks its network's connectivity.
+//! * Each probe measures on a fixed **240-second** cadence at its own
+//!   phase, so event timing is only known to a couple of measurement
+//!   intervals — the ±180 s imprecision the paper works around by
+//!   comparing *events* instead of seconds.
+//! * Each cycle a probe pings **several anchors**; the cycle fails only
+//!   when all of them fail, so isolated packet loss is not an event,
+//!   while a true outage fails every cycle it covers. Reconnection is
+//!   declared at the first successful cycle.
+//! * A block with several probes is down only when *all* of its probes
+//!   are down.
+//!
+//! Probes observe the ground-truth schedule through lossy measurements;
+//! they never read it directly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use outage_netsim::stats::seed_for;
+use outage_netsim::{Internet, OutageSchedule};
+use outage_types::{
+    AddrFamily, DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline, UnixTime,
+};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Mesh parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AtlasConfig {
+    /// Measurement period in seconds (Atlas builtin ping cadence).
+    pub period_secs: u64,
+    /// Independent builtin measurements per cycle (Atlas probes ping
+    /// several anchors each round). A cycle fails only when *all* of
+    /// them fail, so isolated packet loss almost never fails a cycle.
+    pub pings_per_cycle: u32,
+    /// Consecutive failed cycles before a disconnect is declared.
+    pub fail_threshold: u32,
+    /// Per-ping false-failure probability (probe-side loss).
+    pub loss_rate: f64,
+}
+
+impl Default for AtlasConfig {
+    fn default() -> Self {
+        AtlasConfig {
+            period_secs: 240,
+            pings_per_cycle: 3,
+            fail_threshold: 1,
+            loss_rate: 0.005,
+        }
+    }
+}
+
+/// One hosted probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtlasProbe {
+    /// Probe identifier.
+    pub id: u32,
+    /// The block hosting the probe.
+    pub block: Prefix,
+    /// Phase offset of its measurement schedule, `[0, period)`.
+    pub phase: u64,
+}
+
+/// Place `count` probes in distinct blocks of `internet`, IPv4 only
+/// (as Atlas coverage skews), deterministically under `seed`.
+pub fn place_probes(internet: &Internet, count: usize, seed: u64) -> Vec<AtlasProbe> {
+    let mut rng = SmallRng::seed_from_u64(seed_for(seed, b"atlas-placement"));
+    let mut blocks: Vec<Prefix> = internet
+        .blocks_of(AddrFamily::V4)
+        .map(|b| b.prefix)
+        .collect();
+    blocks.sort_unstable(); // independent of topology iteration order
+    blocks.shuffle(&mut rng);
+    blocks
+        .into_iter()
+        .take(count)
+        .enumerate()
+        .map(|(i, block)| AtlasProbe {
+            id: i as u32 + 1,
+            block,
+            phase: rng.gen_range(0..240),
+        })
+        .collect()
+}
+
+/// Result of a mesh run.
+#[derive(Debug)]
+pub struct RipeReport {
+    /// The observation window.
+    pub window: Interval,
+    /// Per-block connectivity timelines (blocks hosting ≥ 1 probe).
+    pub timelines: HashMap<Prefix, Timeline>,
+    /// Probes per covered block.
+    pub probes_per_block: HashMap<Prefix, u32>,
+}
+
+impl RipeReport {
+    /// Timeline for a covered block.
+    pub fn timeline_for(&self, block: &Prefix) -> Option<&Timeline> {
+        self.timelines.get(block)
+    }
+
+    /// Blocks covered by the mesh.
+    pub fn covered_blocks(&self) -> usize {
+        self.timelines.len()
+    }
+
+    /// All outage events seen by the mesh.
+    pub fn events(&self) -> Vec<OutageEvent> {
+        let mut out: Vec<OutageEvent> = self
+            .timelines
+            .iter()
+            .flat_map(|(p, t)| t.events(*p, DetectorId::RipeAtlas))
+            .collect();
+        out.sort_by_key(|e| (e.interval.start, e.prefix));
+        out
+    }
+}
+
+/// The probe mesh driver.
+#[derive(Debug, Clone, Default)]
+pub struct RipeAtlas {
+    /// Mesh configuration (public so tests and experiments can tweak it).
+    pub config: AtlasConfig,
+}
+
+impl RipeAtlas {
+    /// A mesh with the given configuration.
+    pub fn new(config: AtlasConfig) -> RipeAtlas {
+        RipeAtlas { config }
+    }
+
+    /// Run all probes over the schedule's window and fuse per-block
+    /// connectivity views.
+    pub fn run(&self, schedule: &OutageSchedule, probes: &[AtlasProbe], seed: u64) -> RipeReport {
+        let window = schedule.window();
+
+        // Each probe produces a down-intervals view of its block.
+        let mut per_block: HashMap<Prefix, Vec<IntervalSet>> = HashMap::new();
+        for probe in probes {
+            let mut rng =
+                SmallRng::seed_from_u64(seed_for(seed, format!("probe-{}", probe.id).as_bytes()));
+            let down = self.probe_view(schedule, probe, window, &mut rng);
+            per_block.entry(probe.block).or_default().push(down);
+        }
+
+        // A block is down only where every hosted probe is down.
+        let mut timelines = HashMap::with_capacity(per_block.len());
+        let mut probes_per_block = HashMap::with_capacity(per_block.len());
+        for (block, views) in per_block {
+            probes_per_block.insert(block, views.len() as u32);
+            let fused = views
+                .iter()
+                .skip(1)
+                .fold(views[0].clone(), |acc, v| acc.intersect(v));
+            timelines.insert(block, Timeline::from_down(window, fused));
+        }
+
+        RipeReport {
+            window,
+            timelines,
+            probes_per_block,
+        }
+    }
+
+    /// One probe's judged down intervals.
+    fn probe_view(
+        &self,
+        schedule: &OutageSchedule,
+        probe: &AtlasProbe,
+        window: Interval,
+        rng: &mut SmallRng,
+    ) -> IntervalSet {
+        let cfg = &self.config;
+        let mut down = IntervalSet::new();
+        let mut consecutive_failures = 0u32;
+        let mut first_failure: Option<UnixTime> = None;
+        let mut disconnected_since: Option<UnixTime> = None;
+
+        let mut t = window.start + probe.phase % cfg.period_secs;
+        while t < window.end {
+            // A cycle succeeds when the block is up and at least one of
+            // its pings survives loss.
+            let connected = schedule.is_up(&probe.block, t)
+                && (0..cfg.pings_per_cycle.max(1)).any(|_| rng.gen::<f64>() >= cfg.loss_rate);
+            if connected {
+                if let Some(start) = disconnected_since.take() {
+                    down.insert(Interval::new(start, t));
+                }
+                consecutive_failures = 0;
+                first_failure = None;
+            } else {
+                consecutive_failures += 1;
+                if first_failure.is_none() {
+                    first_failure = Some(t);
+                }
+                if consecutive_failures >= cfg.fail_threshold && disconnected_since.is_none() {
+                    // Backdate the disconnect to the first failed
+                    // measurement, as the Atlas controller does.
+                    disconnected_since = first_failure;
+                }
+            }
+            t += cfg.period_secs;
+        }
+        if let Some(start) = disconnected_since {
+            down.insert(Interval::new(start, window.end));
+        }
+        down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_netsim::{Scenario, TopologyConfig};
+
+    fn setup(outage: Interval) -> (Scenario, Prefix) {
+        let mut scenario = Scenario::quick(77);
+        let victim = scenario.internet.blocks()[0].prefix;
+        let mut schedule = OutageSchedule::new(scenario.window());
+        schedule.add(victim, outage);
+        scenario.schedule = schedule;
+        (scenario, victim)
+    }
+
+    fn probe_in(block: Prefix, id: u32, phase: u64) -> AtlasProbe {
+        AtlasProbe { id, block, phase }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_distinct() {
+        let internet = Internet::generate(&TopologyConfig::default(), 5);
+        let a = place_probes(&internet, 30, 9);
+        let b = place_probes(&internet, 30, 9);
+        assert_eq!(a, b);
+        let blocks: std::collections::HashSet<_> = a.iter().map(|p| p.block).collect();
+        assert_eq!(blocks.len(), a.len(), "one probe per block");
+        assert!(a.iter().all(|p| p.block.family() == AddrFamily::V4));
+        let c = place_probes(&internet, 30, 10);
+        assert_ne!(a, c, "different seed, different placement");
+    }
+
+    #[test]
+    fn detects_outage_within_measurement_precision() {
+        let truth = Interval::from_secs(30_000, 33_600); // 1 h
+        let (scenario, victim) = setup(truth);
+        let probes = vec![probe_in(victim, 1, 0)];
+        let report = RipeAtlas::default().run(&scenario.schedule, &probes, 1);
+        let tl = report.timeline_for(&victim).unwrap();
+        assert_eq!(tl.down.len(), 1, "{:?}", tl.down);
+        let iv = tl.down.intervals()[0];
+        // edges within two measurement periods of truth
+        assert!(iv.start.secs().abs_diff(30_000) <= 480, "start {}", iv.start);
+        assert!(iv.end.secs().abs_diff(33_600) <= 480, "end {}", iv.end);
+    }
+
+    #[test]
+    fn short_five_minute_outage_caught_when_phase_aligns() {
+        let truth = Interval::from_secs(30_100, 30_400);
+        let (scenario, victim) = setup(truth);
+        // Measurements at 30120 and 30360 both fall inside the outage,
+        // clearing the 2-failure threshold.
+        let probes = vec![probe_in(victim, 1, 120)];
+        let report = RipeAtlas::default().run(&scenario.schedule, &probes, 2);
+        let tl = report.timeline_for(&victim).unwrap();
+        assert_eq!(tl.down.len(), 1, "{:?}", tl.down);
+    }
+
+    #[test]
+    fn single_lost_measurement_is_not_an_event() {
+        let (scenario, victim) = setup(Interval::from_secs(0, 0));
+        let probes = vec![probe_in(victim, 1, 0)];
+        let mut atlas = RipeAtlas::default();
+        atlas.config.loss_rate = 0.02; // noticeable loss, but isolated
+        let report = atlas.run(&scenario.schedule, &probes, 3);
+        let tl = report.timeline_for(&victim).unwrap();
+        assert_eq!(
+            tl.down_secs(),
+            0,
+            "isolated losses must not become events: {:?}",
+            tl.down
+        );
+    }
+
+    #[test]
+    fn multiple_probes_corroborate() {
+        // One probe suffers heavy loss; the block must still be judged up
+        // because simultaneous false disconnects of independent probes
+        // are rare.
+        let (scenario, victim) = setup(Interval::from_secs(0, 0));
+        let probes = vec![probe_in(victim, 1, 0), probe_in(victim, 2, 120)];
+        let mut atlas = RipeAtlas::default();
+        atlas.config.loss_rate = 0.2;
+        let report = atlas.run(&scenario.schedule, &probes, 4);
+        assert_eq!(report.probes_per_block[&victim], 2);
+        let tl = report.timeline_for(&victim).unwrap();
+        assert!(
+            tl.down_secs() < 600,
+            "corroboration failed: {} s down",
+            tl.down_secs()
+        );
+    }
+
+    #[test]
+    fn censored_outage_runs_to_window_end() {
+        let (scenario, victim) = setup(Interval::from_secs(80_000, 86_400));
+        let probes = vec![probe_in(victim, 1, 0)];
+        let report = RipeAtlas::default().run(&scenario.schedule, &probes, 5);
+        let tl = report.timeline_for(&victim).unwrap();
+        assert_eq!(tl.down.intervals().last().unwrap().end, UnixTime(86_400));
+    }
+
+    #[test]
+    fn events_carry_atlas_attribution() {
+        let truth = Interval::from_secs(30_000, 40_000);
+        let (scenario, victim) = setup(truth);
+        let probes = vec![probe_in(victim, 1, 0)];
+        let report = RipeAtlas::default().run(&scenario.schedule, &probes, 6);
+        let events = report.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].detector, DetectorId::RipeAtlas);
+        assert_eq!(events[0].prefix, victim);
+    }
+
+    #[test]
+    fn uncovered_blocks_absent_from_report() {
+        let (scenario, victim) = setup(Interval::from_secs(0, 0));
+        let other = scenario.internet.blocks()[1].prefix;
+        let probes = vec![probe_in(victim, 1, 0)];
+        let report = RipeAtlas::default().run(&scenario.schedule, &probes, 7);
+        assert!(report.timeline_for(&other).is_none());
+        assert_eq!(report.covered_blocks(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the Atlas-style mesh.
+
+use outage_netsim::{Internet, OutageSchedule, TopologyConfig};
+use outage_ripe::{place_probes, AtlasProbe, RipeAtlas};
+use outage_types::{Interval, IntervalSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mesh_report_is_well_formed(seed in 0u64..300, n_probes in 1usize..60) {
+        let internet = Internet::generate(&TopologyConfig::default(), seed);
+        let window = Interval::from_secs(0, 86_400);
+        let schedule = OutageSchedule::generate(
+            &internet,
+            &outage_netsim::OutageConfig::default(),
+            window,
+            seed,
+        );
+        let probes = place_probes(&internet, n_probes, seed);
+        let report = RipeAtlas::default().run(&schedule, &probes, seed);
+        prop_assert!(report.covered_blocks() <= n_probes);
+        for (block, tl) in &report.timelines {
+            prop_assert_eq!(tl.window, window);
+            prop_assert!(report.probes_per_block[block] >= 1);
+            for iv in tl.down.iter() {
+                prop_assert!(iv.start >= window.start && iv.end <= window.end);
+            }
+        }
+    }
+
+    #[test]
+    fn detected_outages_cover_real_ones_with_mesh_precision(
+        seed in 0u64..200,
+        start in 5_000u64..60_000,
+        dur in 1_000u64..20_000,
+        phase in 0u64..240,
+    ) {
+        let internet = Internet::generate(&TopologyConfig::default(), seed);
+        let window = Interval::from_secs(0, 86_400);
+        let victim = internet.blocks()[0].prefix;
+        let truth = Interval::from_secs(start, start + dur);
+        let mut schedule = OutageSchedule::new(window);
+        schedule.add(victim, truth);
+        let probes = vec![AtlasProbe { id: 1, block: victim, phase }];
+        let report = RipeAtlas::default().run(&schedule, &probes, seed);
+        let tl = report.timeline_for(&victim).unwrap();
+        // The mesh may clip up to one period at each edge, but an outage
+        // spanning several measurement cycles is never missed entirely,
+        // and nothing outside a dilated truth window is reported.
+        let caught = tl.down.overlap_secs(&IntervalSet::singleton(truth));
+        prop_assert!(
+            caught + 2 * 240 >= dur.min(86_400 - start),
+            "caught {caught} of {dur}"
+        );
+        let dilated = IntervalSet::singleton(truth.dilate(480));
+        prop_assert_eq!(
+            tl.down.subtract(&dilated).total(),
+            0,
+            "reported outage outside dilated truth"
+        );
+    }
+}

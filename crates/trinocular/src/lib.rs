@@ -1,0 +1,32 @@
+//! # outage-trinocular
+//!
+//! A from-scratch reimplementation of **Trinocular**-style active outage
+//! detection (Quan, Heidemann & Pradkin, SIGCOMM 2013), used by the paper
+//! as the comparison truth for long outages (Tables 1–2).
+//!
+//! Semantics reproduced:
+//!
+//! * Per-/24 Bayesian belief `B(up)`, clamped to `[0.01, 0.99]`.
+//! * One probe per block per **11-minute round** (phase-staggered across
+//!   blocks to spread load).
+//! * Probes answered with probability `A(E(b))` while the block is up —
+//!   the block's long-term address responsiveness, which production
+//!   Trinocular learns from census history and we take from the
+//!   simulator's per-block profile (the same role: prior knowledge).
+//! * **Adaptive probing**: while the belief is inconclusive after a probe,
+//!   up to 15 follow-up probes are sent in quick succession.
+//! * State transitions recorded at probe timestamps, so reported edges
+//!   carry the famous **±330 s** quantization — half a round — that the
+//!   passive detector's exact timestamps beat.
+//!
+//! The prober only interacts with the world through
+//! [`outage_netsim::NetworkOracle::probe`]: it never sees ground truth.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod prober;
+pub mod state;
+
+pub use prober::{Trinocular, TrinocularReport};
+pub use state::{BlockState, TrinocularConfig};

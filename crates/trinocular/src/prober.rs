@@ -1,0 +1,269 @@
+//! The probing driver: rounds, adaptive follow-ups, and reporting.
+
+use crate::state::{BlockState, TrinocularConfig};
+use outage_netsim::{NetworkOracle, ProbeOutcome};
+use outage_types::{DetectorId, Interval, OutageEvent, Prefix, Timeline};
+use std::collections::HashMap;
+
+/// Result of a Trinocular run.
+#[derive(Debug)]
+pub struct TrinocularReport {
+    /// The observation window.
+    pub window: Interval,
+    /// Judged timeline per probed block.
+    pub timelines: HashMap<Prefix, Timeline>,
+    /// Total probes sent (the active-traffic budget).
+    pub probes_sent: u64,
+}
+
+impl TrinocularReport {
+    /// Judged timeline for a block.
+    pub fn timeline_for(&self, block: &Prefix) -> Option<&Timeline> {
+        self.timelines.get(block)
+    }
+
+    /// All outage events.
+    pub fn events(&self) -> Vec<OutageEvent> {
+        let mut out: Vec<OutageEvent> = self
+            .timelines
+            .iter()
+            .flat_map(|(p, t)| t.events(*p, DetectorId::Trinocular))
+            .collect();
+        out.sort_by_key(|e| (e.interval.start, e.prefix));
+        out
+    }
+
+    /// Mean probes per block per round — the intrusiveness figure the
+    /// paper contrasts passive detection against.
+    pub fn probes_per_block_round(&self) -> f64 {
+        if self.timelines.is_empty() {
+            return 0.0;
+        }
+        let rounds = (self.window.duration() as f64 / 660.0).max(1.0);
+        self.probes_sent as f64 / (self.timelines.len() as f64 * rounds)
+    }
+}
+
+/// Trinocular-style active prober.
+#[derive(Debug, Clone, Default)]
+pub struct Trinocular {
+    config: TrinocularConfig,
+}
+
+impl Trinocular {
+    /// A prober with the given configuration.
+    pub fn new(config: TrinocularConfig) -> Trinocular {
+        Trinocular { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TrinocularConfig {
+        &self.config
+    }
+
+    /// Probe `blocks` over the oracle's window.
+    ///
+    /// Each block is probed once per round, at a per-block phase offset
+    /// (staggered by a hash of the prefix, like production Trinocular
+    /// spreads its probe load), with adaptive follow-ups while the belief
+    /// is inconclusive. `A(E(b))` comes from the simulated world's
+    /// profile, standing in for Trinocular's census-derived priors.
+    pub fn run(&self, oracle: &mut NetworkOracle<'_>, blocks: &[Prefix]) -> TrinocularReport {
+        let window = oracle.ground_truth().window();
+        let cfg = &self.config;
+        let mut timelines = HashMap::with_capacity(blocks.len());
+        let mut probes_sent = 0u64;
+
+        for &block in blocks {
+            let Some(profile) = oracle.internet().block(&block) else {
+                continue;
+            };
+            let mut state = BlockState::new(profile.response_rate, cfg);
+            let phase = phase_of(&block, cfg.round_secs);
+            let mut t = window.start + phase;
+            while t < window.end {
+                // First probe of the round.
+                let mut sent = 1u32;
+                let mut got_reply = oracle.probe(&block, t) == ProbeOutcome::Reply;
+                state.update(got_reply, cfg);
+                // Adaptive follow-ups, a few seconds apart. A timeout is
+                // *inconsistent* with an up belief, so keep probing until
+                // a reply confirms the block (killing the slow belief
+                // ratchet a lossy block would otherwise suffer), the
+                // belief concludes down on at least `min_probes_for_down`
+                // probes, or the round's budget runs out.
+                let mut tt = t;
+                while sent < 1 + cfg.max_adaptive_probes
+                    && !got_reply
+                    && !(state.belief() < cfg.down_threshold
+                        && sent >= cfg.min_probes_for_down)
+                {
+                    tt = (tt + 3).min(window.end - 1);
+                    let replied = oracle.probe(&block, tt) == ProbeOutcome::Reply;
+                    got_reply |= replied;
+                    state.update(replied, cfg);
+                    sent += 1;
+                }
+                state.conclude(t, cfg);
+                t += cfg.round_secs;
+            }
+            probes_sent += state.probes_sent();
+            timelines.insert(block, state.finish(window));
+        }
+
+        TrinocularReport {
+            window,
+            timelines,
+            probes_sent,
+        }
+    }
+}
+
+/// Deterministic per-block phase in `[0, round)`.
+fn phase_of(block: &Prefix, round: u64) -> u64 {
+    // FNV-1a over the display form: stable, cheap, good enough spread.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in block.to_string().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h % round
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_netsim::{OutageSchedule, Scenario};
+
+    /// A scenario plus a victim block with one long ground-truth outage.
+    fn setup() -> (Scenario, Prefix, Interval) {
+        let mut scenario = Scenario::quick(31);
+        // pick a responsive block and inject a known 2 h outage
+        let victim = scenario
+            .internet
+            .blocks()
+            .iter()
+            .find(|b| b.response_rate > 0.8)
+            .expect("some responsive block")
+            .prefix;
+        let outage = Interval::from_secs(30_000, 37_200);
+        let window = scenario.window();
+        let mut schedule = OutageSchedule::new(window);
+        schedule.add(victim, outage);
+        scenario.schedule = schedule;
+        (scenario, victim, outage)
+    }
+
+    #[test]
+    fn detects_long_outage_within_round_precision() {
+        let (scenario, victim, truth) = setup();
+        let mut oracle = scenario.oracle();
+        let blocks: Vec<Prefix> = scenario.internet.blocks().iter().map(|b| b.prefix).collect();
+        let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &blocks);
+
+        let tl = report.timeline_for(&victim).expect("probed");
+        assert_eq!(tl.down.len(), 1, "{:?}", tl.down);
+        let iv = tl.down.intervals()[0];
+        // Edges are quantized to probe times: within one round of truth.
+        assert!(
+            iv.start.since(truth.start) <= 660 && truth.start.since(iv.start) <= 660,
+            "start {} vs truth {}",
+            iv.start,
+            truth.start
+        );
+        assert!(
+            iv.end.since(truth.end) <= 660 && truth.end.since(iv.end) <= 660,
+            "end {} vs truth {}",
+            iv.end,
+            truth.end
+        );
+    }
+
+    #[test]
+    fn healthy_responsive_blocks_show_no_outage() {
+        let (scenario, victim, _) = setup();
+        let mut oracle = scenario.oracle();
+        let healthy: Vec<Prefix> = scenario
+            .internet
+            .blocks()
+            .iter()
+            .filter(|b| b.prefix != victim && b.response_rate > 0.9)
+            .map(|b| b.prefix)
+            .take(10)
+            .collect();
+        let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &healthy);
+        for b in &healthy {
+            let tl = report.timeline_for(b).unwrap();
+            assert_eq!(tl.down_secs(), 0, "false outage on {b}: {:?}", tl.down);
+        }
+    }
+
+    #[test]
+    fn outage_onset_costs_an_adaptive_burst() {
+        // Probing the victim (which has a 2 h outage) must cost more
+        // probes than probing the same block in a world without the
+        // outage: the onset and recovery force adaptive sequences.
+        let (scenario, victim, _) = setup();
+        let tri = Trinocular::new(TrinocularConfig::default());
+        let mut oracle = scenario.oracle();
+        let with_outage = tri.run(&mut oracle, &[victim]).probes_sent;
+
+        let mut calm = Scenario::quick(31);
+        calm.schedule = OutageSchedule::new(calm.window());
+        let mut oracle = calm.oracle();
+        let without = tri.run(&mut oracle, &[victim]).probes_sent;
+        assert!(
+            with_outage > without,
+            "outage run {with_outage} !> calm run {without}"
+        );
+    }
+
+    #[test]
+    fn probe_budget_is_at_least_one_per_round() {
+        let (scenario, _, _) = setup();
+        let blocks: Vec<Prefix> = scenario
+            .internet
+            .blocks()
+            .iter()
+            .map(|b| b.prefix)
+            .take(20)
+            .collect();
+        let mut oracle = scenario.oracle();
+        let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &blocks);
+        let ppbr = report.probes_per_block_round();
+        assert!(ppbr >= 0.9, "probes/block/round {ppbr}");
+        assert!(ppbr <= 16.0, "probes/block/round {ppbr}");
+    }
+
+    #[test]
+    fn unknown_blocks_are_skipped() {
+        let (scenario, _, _) = setup();
+        let mut oracle = scenario.oracle();
+        let ghost: Prefix = "203.0.113.0/24".parse().unwrap();
+        let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &[ghost]);
+        assert!(report.timelines.is_empty());
+        assert_eq!(report.probes_sent, 0);
+    }
+
+    #[test]
+    fn events_are_sorted_and_attributed() {
+        let (scenario, victim, _) = setup();
+        let mut oracle = scenario.oracle();
+        let report =
+            Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &[victim]);
+        let events = report.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].detector, DetectorId::Trinocular);
+        assert_eq!(events[0].prefix, victim);
+    }
+
+    #[test]
+    fn phases_spread_blocks_across_the_round() {
+        let phases: Vec<u64> = (0..64u32)
+            .map(|i| phase_of(&Prefix::v4_raw(i << 8, 24), 660))
+            .collect();
+        let distinct: std::collections::HashSet<_> = phases.iter().collect();
+        assert!(distinct.len() > 32, "phases collide too much");
+        assert!(phases.iter().all(|&p| p < 660));
+    }
+}

@@ -1,0 +1,306 @@
+//! Per-block Trinocular belief state.
+
+use outage_types::{Interval, IntervalSet, Timeline, UnixTime};
+use serde::{Deserialize, Serialize};
+
+/// Trinocular operating parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrinocularConfig {
+    /// Probing round length in seconds (11 minutes in the paper).
+    pub round_secs: u64,
+    /// Maximum probes per round when the belief is inconclusive.
+    pub max_adaptive_probes: u32,
+    /// Belief below which a block is judged down.
+    pub down_threshold: f64,
+    /// Belief above which a block is judged up.
+    pub up_threshold: f64,
+    /// Belief clamp floor.
+    pub belief_floor: f64,
+    /// Belief clamp ceiling.
+    pub belief_ceiling: f64,
+    /// Probability a reply arrives from a *down* block (measurement
+    /// noise / spoofing); keeps the reply likelihood ratio finite.
+    pub reply_when_down: f64,
+    /// Minimum probes in a round before a *down* conclusion is allowed.
+    /// Guards against a burst of background loss masquerading as an
+    /// outage: a down verdict must rest on several unanswered probes,
+    /// not two unlucky ones.
+    pub min_probes_for_down: u32,
+}
+
+impl Default for TrinocularConfig {
+    fn default() -> Self {
+        TrinocularConfig {
+            round_secs: 660,
+            max_adaptive_probes: 15,
+            down_threshold: 0.1,
+            up_threshold: 0.9,
+            belief_floor: 0.01,
+            // The ceiling sets how much contrary evidence a down verdict
+            // needs (log-odds distance ceiling→down_threshold). 0.997
+            // puts the sequential test's false-alarm odds near e^-8 per
+            // round while still concluding within the 16-probe budget
+            // for A(E(b)) ≥ 0.4.
+            belief_ceiling: 0.997,
+            reply_when_down: 1e-4,
+            min_probes_for_down: 5,
+        }
+    }
+}
+
+/// Judged state of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Judgement {
+    /// Believed reachable.
+    Up,
+    /// Believed unreachable.
+    Down,
+}
+
+/// Belief machine for one /24 under active probing.
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    /// `A(E(b))`: long-term responsiveness of the block's probed
+    /// addresses.
+    a: f64,
+    belief: f64,
+    judgement: Judgement,
+    /// Down intervals accumulated so far (closed on recovery).
+    down: IntervalSet,
+    /// When the current down period started, if down.
+    down_since: Option<UnixTime>,
+    probes_sent: u64,
+}
+
+impl BlockState {
+    /// Fresh state for a block with responsiveness `a`, assumed up with
+    /// full confidence (Trinocular state is long-running; a block enters
+    /// the window believed up at the ceiling, so a down verdict on day
+    /// one needs just as much evidence as on day one hundred).
+    pub fn new(a: f64, cfg: &TrinocularConfig) -> BlockState {
+        BlockState {
+            a: a.clamp(0.05, 0.999),
+            belief: cfg.belief_ceiling,
+            judgement: Judgement::Up,
+            down: IntervalSet::new(),
+            down_since: None,
+            probes_sent: 0,
+        }
+    }
+
+    /// Current belief that the block is up.
+    pub fn belief(&self) -> f64 {
+        self.belief
+    }
+
+    /// Current judgement.
+    pub fn judgement(&self) -> Judgement {
+        self.judgement
+    }
+
+    /// Probes consumed by this block so far.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+
+    /// Whether another adaptive probe is warranted: the belief is
+    /// inconclusive given the thresholds.
+    pub fn inconclusive(&self, cfg: &TrinocularConfig) -> bool {
+        self.belief > cfg.down_threshold && self.belief < cfg.up_threshold
+    }
+
+    /// Bayes-update the belief on one probe outcome. Judgement changes
+    /// only at [`BlockState::conclude`], once the round's probe sequence
+    /// is complete.
+    pub fn update(&mut self, replied: bool, cfg: &TrinocularConfig) {
+        self.probes_sent += 1;
+        let (p_up, p_down) = if replied {
+            (self.a, cfg.reply_when_down)
+        } else {
+            (1.0 - self.a, 1.0 - cfg.reply_when_down)
+        };
+        let odds = (self.belief / (1.0 - self.belief)) * (p_up / p_down);
+        self.belief = (odds / (1.0 + odds)).clamp(cfg.belief_floor, cfg.belief_ceiling);
+    }
+
+    /// Conclude a probing round at time `t`: apply hysteresis and record
+    /// any state transition.
+    ///
+    /// A transition concluded at round `t` actually happened somewhere in
+    /// `(t − round, t]`; the recorded edge is the midpoint `t − round/2`,
+    /// centring the quantization error at the famous **±round/2**
+    /// (±330 s) rather than biasing every edge late by up to a round.
+    pub fn conclude(&mut self, t: UnixTime, cfg: &TrinocularConfig) {
+        let t_est = t - cfg.round_secs / 2;
+        match self.judgement {
+            Judgement::Up if self.belief < cfg.down_threshold => {
+                self.judgement = Judgement::Down;
+                self.down_since = Some(t_est);
+            }
+            Judgement::Down if self.belief > cfg.up_threshold => {
+                self.judgement = Judgement::Up;
+                if let Some(start) = self.down_since.take() {
+                    self.down.insert(Interval::new(start, t_est));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Close the state at the end of the window and produce the judged
+    /// timeline.
+    pub fn finish(mut self, window: Interval) -> Timeline {
+        if let Some(start) = self.down_since.take() {
+            self.down.insert(Interval::new(start, window.end));
+        }
+        Timeline::from_down(window, self.down)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrinocularConfig {
+        TrinocularConfig::default()
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = cfg();
+        assert_eq!(c.round_secs, 660);
+        assert!(c.down_threshold < c.up_threshold);
+    }
+
+    #[test]
+    fn reply_confirms_up() {
+        let mut s = BlockState::new(0.5, &cfg());
+        s.update(true, &cfg());
+        assert!(s.belief() > 0.9, "belief {}", s.belief());
+        assert_eq!(s.judgement(), Judgement::Up);
+    }
+
+    #[test]
+    fn timeouts_erode_belief_faster_for_responsive_blocks() {
+        let mut responsive = BlockState::new(0.95, &cfg());
+        let mut flaky = BlockState::new(0.3, &cfg());
+        responsive.update(false, &cfg());
+        flaky.update(false, &cfg());
+        assert!(
+            responsive.belief() < flaky.belief(),
+            "a timeout from a responsive block is stronger evidence"
+        );
+    }
+
+    #[test]
+    fn transition_down_and_back_produces_interval() {
+        let c = cfg();
+        let mut s = BlockState::new(0.9, &cfg());
+        // Rounds of all-timeouts until judged down.
+        let mut t = 0;
+        while s.judgement() == Judgement::Up {
+            for _ in 0..5 {
+                s.update(false, &c);
+            }
+            s.conclude(UnixTime(t), &c);
+            t += 660;
+            assert!(t < 20 * 660, "never went down");
+        }
+        let down_at = t - 660;
+        // Rounds of replies bring it back.
+        while s.judgement() == Judgement::Down {
+            s.update(true, &c);
+            s.conclude(UnixTime(t), &c);
+            t += 660;
+        }
+        let up_at = t - 660;
+        let tl = s.finish(Interval::from_secs(0, 86_400));
+        assert_eq!(tl.down.len(), 1);
+        let iv = tl.down.intervals()[0];
+        // edges are centred: concluded time minus half a round
+        assert_eq!(iv.start, UnixTime(down_at) - 330);
+        assert_eq!(iv.end, UnixTime(up_at) - 330);
+    }
+
+    #[test]
+    fn unclosed_outage_censored_at_window_end() {
+        let c = cfg();
+        let mut s = BlockState::new(0.9, &cfg());
+        for i in 0..5 {
+            for _ in 0..5 {
+                s.update(false, &c);
+            }
+            s.conclude(UnixTime(i * 660), &c);
+        }
+        assert_eq!(s.judgement(), Judgement::Down);
+        let tl = s.finish(Interval::from_secs(0, 10_000));
+        assert_eq!(tl.down.intervals().last().unwrap().end, UnixTime(10_000));
+    }
+
+    #[test]
+    fn inconclusive_drives_adaptive_probing() {
+        let c = cfg();
+        // Mid-responsiveness block starting at the ceiling: a few
+        // timeouts land the belief in the uncertain band (where the
+        // prober keeps probing), and enough of them conclude down.
+        let mut s = BlockState::new(0.5, &cfg());
+        for _ in 0..6 {
+            s.update(false, &c);
+        }
+        assert!(s.inconclusive(&c), "belief {}", s.belief());
+        for _ in 0..10 {
+            s.update(false, &c);
+        }
+        assert!(!s.inconclusive(&c));
+        s.conclude(UnixTime(0), &c);
+        assert_eq!(s.judgement(), Judgement::Down);
+    }
+
+    #[test]
+    fn belief_stays_clamped() {
+        let c = cfg();
+        let mut s = BlockState::new(0.99, &cfg());
+        for _ in 0..100 {
+            s.update(true, &c);
+        }
+        assert!(s.belief() <= c.belief_ceiling + 1e-12);
+        for _ in 0..100 {
+            s.update(false, &c);
+        }
+        assert!(s.belief() >= c.belief_floor - 1e-12);
+    }
+
+    #[test]
+    fn extreme_a_values_are_clamped() {
+        // a=1.0 would make a timeout infinitely strong; must be clamped.
+        let mut s = BlockState::new(1.0, &cfg());
+        s.update(false, &cfg());
+        assert!(s.belief() > 0.0);
+        let s2 = BlockState::new(0.0, &cfg());
+        assert!(s2.a >= 0.05);
+    }
+
+    #[test]
+    fn probe_counter_counts() {
+        let c = cfg();
+        let mut s = BlockState::new(0.9, &cfg());
+        for i in 0..7 {
+            s.update(i % 2 == 0, &c);
+        }
+        assert_eq!(s.probes_sent(), 7);
+    }
+
+    #[test]
+    fn conclusion_happens_only_at_round_end() {
+        let c = cfg();
+        let mut s = BlockState::new(0.9, &cfg());
+        // Belief collapses mid-round, but judgement waits for conclude.
+        for _ in 0..5 {
+            s.update(false, &c);
+        }
+        assert!(s.belief() < c.down_threshold);
+        assert_eq!(s.judgement(), Judgement::Up);
+        s.conclude(UnixTime(42), &c);
+        assert_eq!(s.judgement(), Judgement::Down);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the active prober: structural guarantees that must
+//! hold for any world and any outage schedule.
+
+use outage_netsim::{Internet, OutageSchedule, Scenario, TopologyConfig};
+use outage_trinocular::{Trinocular, TrinocularConfig};
+use outage_types::{Interval, Prefix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn report_is_well_formed_for_any_world(seed in 0u64..500, n_blocks in 1usize..30) {
+        let internet = Internet::generate(&TopologyConfig::default(), seed);
+        let window = Interval::from_secs(0, 86_400);
+        let schedule = OutageSchedule::generate(
+            &internet,
+            &outage_netsim::OutageConfig::default(),
+            window,
+            seed,
+        );
+        let mut oracle = outage_netsim::NetworkOracle::new(&internet, &schedule, seed);
+        let blocks: Vec<Prefix> = internet
+            .blocks()
+            .iter()
+            .take(n_blocks)
+            .map(|b| b.prefix)
+            .collect();
+        let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &blocks);
+
+        prop_assert_eq!(report.timelines.len(), blocks.len());
+        for (block, tl) in &report.timelines {
+            prop_assert!(blocks.contains(block));
+            prop_assert_eq!(tl.window, window);
+            for iv in tl.down.iter() {
+                prop_assert!(iv.start >= window.start && iv.end <= window.end);
+                prop_assert!(!iv.is_empty());
+            }
+        }
+        // Probe budget: at least ~1/round/block, at most 16/round/block.
+        let rounds = 86_400 / 660 + 1;
+        prop_assert!(report.probes_sent >= (blocks.len() as u64) * (rounds - 2));
+        prop_assert!(report.probes_sent <= (blocks.len() as u64) * rounds * 16);
+    }
+
+    #[test]
+    fn long_injected_outage_is_always_found_on_responsive_blocks(
+        seed in 0u64..200,
+        start in 10_000u64..50_000,
+        dur in 7_200u64..20_000,
+    ) {
+        let mut scenario = Scenario::quick(seed);
+        let Some(victim) = scenario
+            .internet
+            .blocks()
+            .iter()
+            .find(|b| b.response_rate > 0.8)
+            .map(|b| b.prefix)
+        else {
+            return Ok(()); // no responsive block at this seed; vacuous
+        };
+        let truth = Interval::from_secs(start, start + dur);
+        let mut schedule = OutageSchedule::new(scenario.window());
+        schedule.add(victim, truth);
+        scenario.schedule = schedule;
+        let mut oracle = scenario.oracle();
+        let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &[victim]);
+        let tl = report.timeline_for(&victim).unwrap();
+        let caught = tl.down.overlap_secs(&outage_types::IntervalSet::singleton(truth));
+        prop_assert!(
+            caught as f64 > 0.7 * dur as f64,
+            "caught only {caught} of {dur} s"
+        );
+    }
+}

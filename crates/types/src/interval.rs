@@ -1,0 +1,463 @@
+//! Half-open time intervals and normalized interval sets.
+//!
+//! The entire evaluation methodology of the paper is *timeline algebra*:
+//! a detector's output for a block is "down during these intervals", and
+//! the confusion matrices (Tables 1–2) are computed by intersecting the
+//! detector's up/down timelines with ground truth and summing overlap
+//! durations in seconds. [`IntervalSet`] is that algebra: a canonical,
+//! sorted, disjoint set of half-open `[start, end)` intervals with union,
+//! intersection, subtraction and complement.
+
+use crate::time::UnixTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open time interval `[start, end)` in seconds.
+///
+/// Empty intervals (`start >= end`) are permitted as values but are never
+/// stored inside an [`IntervalSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: UnixTime,
+    /// Exclusive end.
+    pub end: UnixTime,
+}
+
+impl Interval {
+    /// Construct `[start, end)`. `start > end` is normalized to empty
+    /// (`start == end`).
+    pub fn new(start: UnixTime, end: UnixTime) -> Interval {
+        if end < start {
+            Interval { start, end: start }
+        } else {
+            Interval { start, end }
+        }
+    }
+
+    /// Convenience constructor from raw seconds.
+    pub fn from_secs(start: u64, end: u64) -> Interval {
+        Interval::new(UnixTime(start), UnixTime(end))
+    }
+
+    /// Length in seconds (0 for empty intervals).
+    #[inline]
+    pub fn duration(&self) -> u64 {
+        self.end.since(self.start)
+    }
+
+    /// True when the interval contains no time.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether `t` lies within `[start, end)`.
+    #[inline]
+    pub fn contains(&self, t: UnixTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether two intervals share at least one second.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The overlap of two intervals (possibly empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval::new(self.start.max(other.start), self.end.min(other.end))
+    }
+
+    /// Whether the intervals overlap or touch (share an endpoint), i.e.
+    /// their union is a single interval.
+    #[inline]
+    pub fn touches(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Smallest interval covering both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// The interval expanded by `slack` seconds on both sides (start
+    /// saturates at 0). Used for tolerant event matching (±180 s in the
+    /// paper's short-outage comparison).
+    pub fn dilate(&self, slack: u64) -> Interval {
+        Interval::new(self.start - slack, self.end + slack)
+    }
+
+    /// Midpoint (rounded down).
+    pub fn midpoint(&self) -> UnixTime {
+        UnixTime(self.start.0 + self.duration() / 2)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A canonical set of disjoint, sorted, non-touching half-open intervals.
+///
+/// Invariants (maintained by every constructor and operation):
+/// 1. intervals are sorted by start,
+/// 2. no interval is empty,
+/// 3. consecutive intervals neither overlap nor touch
+///    (`prev.end < next.start`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IntervalSet {
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// A set containing a single interval (or empty, if `iv` is empty).
+    pub fn singleton(iv: Interval) -> IntervalSet {
+        let mut s = IntervalSet::new();
+        s.insert(iv);
+        s
+    }
+
+    /// Build from arbitrary intervals: sorts, drops empties, coalesces
+    /// overlapping/touching spans.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(ivs: I) -> IntervalSet {
+        let mut v: Vec<Interval> = ivs.into_iter().filter(|iv| !iv.is_empty()).collect();
+        v.sort_unstable();
+        let mut out: Vec<Interval> = Vec::with_capacity(v.len());
+        for iv in v {
+            match out.last_mut() {
+                Some(last) if last.touches(&iv) => *last = last.hull(&iv),
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// The member intervals, sorted and disjoint.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// Number of disjoint spans.
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// True when the set covers no time.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Total covered duration in seconds.
+    pub fn total(&self) -> u64 {
+        self.ivs.iter().map(Interval::duration).sum()
+    }
+
+    /// Whether `t` is covered.
+    pub fn contains(&self, t: UnixTime) -> bool {
+        // Binary search on start; candidate is the last interval starting
+        // at or before t.
+        match self.ivs.partition_point(|iv| iv.start <= t) {
+            0 => false,
+            i => self.ivs[i - 1].contains(t),
+        }
+    }
+
+    /// Insert one interval, coalescing as needed. O(n) worst case but
+    /// amortized-cheap for the append-mostly pattern detectors produce.
+    pub fn insert(&mut self, iv: Interval) {
+        if iv.is_empty() {
+            return;
+        }
+        // Fast path: appended past the end without touching.
+        if self.ivs.last().is_none_or(|last| last.end < iv.start) {
+            self.ivs.push(iv);
+            return;
+        }
+        // General path: find the run of intervals touching `iv`, replace
+        // them by the hull.
+        let lo = self.ivs.partition_point(|x| x.end < iv.start);
+        let hi = self.ivs.partition_point(|x| x.start <= iv.end);
+        let merged = self.ivs[lo..hi]
+            .iter()
+            .fold(iv, |acc, x| acc.hull(x));
+        self.ivs.splice(lo..hi, std::iter::once(merged));
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.ivs.iter().chain(&other.ivs).copied())
+    }
+
+    /// Set intersection: time covered by both.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let a = self.ivs[i];
+            let b = other.ivs[j];
+            let x = a.intersect(&b);
+            if !x.is_empty() {
+                out.push(x);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set difference: time covered by `self` but not `other`.
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &a in &self.ivs {
+            let mut cur = a.start;
+            // Skip intervals of `other` entirely before `a`.
+            while j < other.ivs.len() && other.ivs[j].end <= a.start {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.ivs.len() && other.ivs[k].start < a.end {
+                let b = other.ivs[k];
+                if b.start > cur {
+                    out.push(Interval::new(cur, b.start.min(a.end)));
+                }
+                cur = cur.max(b.end);
+                if b.end >= a.end {
+                    break;
+                }
+                k += 1;
+            }
+            if cur < a.end {
+                out.push(Interval::new(cur, a.end));
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Complement within a window: time inside `window` not covered by
+    /// `self`. This converts a "down" timeline into the "up" timeline.
+    pub fn complement_within(&self, window: Interval) -> IntervalSet {
+        IntervalSet::singleton(window).subtract(self)
+    }
+
+    /// Clip the set to a window.
+    pub fn clip(&self, window: Interval) -> IntervalSet {
+        self.intersect(&IntervalSet::singleton(window))
+    }
+
+    /// Duration of overlap with another set, in seconds — the primitive
+    /// behind every cell of the duration-weighted confusion matrices.
+    pub fn overlap_secs(&self, other: &IntervalSet) -> u64 {
+        self.intersect(other).total()
+    }
+
+    /// Drop member intervals shorter than `min_secs`. Used to restrict a
+    /// timeline to "long" outages (≥ 11 min) or "short" ones (≥ 5 min).
+    pub fn filter_min_duration(&self, min_secs: u64) -> IntervalSet {
+        IntervalSet {
+            ivs: self
+                .ivs
+                .iter()
+                .copied()
+                .filter(|iv| iv.duration() >= min_secs)
+                .collect(),
+        }
+    }
+
+    /// Iterate over member intervals.
+    pub fn iter(&self) -> impl Iterator<Item = &Interval> {
+        self.ivs.iter()
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.ivs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(u64, u64)]) -> IntervalSet {
+        IntervalSet::from_intervals(pairs.iter().map(|&(a, b)| Interval::from_secs(a, b)))
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::from_secs(10, 20);
+        assert_eq!(iv.duration(), 10);
+        assert!(iv.contains(UnixTime(10)));
+        assert!(iv.contains(UnixTime(19)));
+        assert!(!iv.contains(UnixTime(20)));
+        assert!(!iv.is_empty());
+        assert!(Interval::from_secs(5, 5).is_empty());
+        // reversed endpoints normalize to empty
+        assert!(Interval::new(UnixTime(9), UnixTime(3)).is_empty());
+    }
+
+    #[test]
+    fn interval_overlap_and_touch() {
+        let a = Interval::from_secs(0, 10);
+        let b = Interval::from_secs(10, 20);
+        let c = Interval::from_secs(5, 15);
+        assert!(!a.overlaps(&b)); // half-open: [0,10) and [10,20) don't overlap
+        assert!(a.touches(&b)); // ...but they touch
+        assert!(a.overlaps(&c));
+        assert_eq!(a.intersect(&c), Interval::from_secs(5, 10));
+        assert_eq!(a.hull(&b), Interval::from_secs(0, 20));
+    }
+
+    #[test]
+    fn interval_dilate_saturates() {
+        let iv = Interval::from_secs(100, 200).dilate(180);
+        assert_eq!(iv, Interval::from_secs(0, 380));
+        assert_eq!(Interval::from_secs(100, 200).midpoint(), UnixTime(150));
+    }
+
+    #[test]
+    fn from_intervals_normalizes() {
+        let s = set(&[(10, 20), (0, 5), (19, 30), (5, 7), (40, 40)]);
+        assert_eq!(
+            s.intervals(),
+            &[Interval::from_secs(0, 7), Interval::from_secs(10, 30)]
+        );
+        assert_eq!(s.total(), 27);
+    }
+
+    #[test]
+    fn touching_intervals_coalesce() {
+        let s = set(&[(0, 10), (10, 20)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total(), 20);
+    }
+
+    #[test]
+    fn insert_fast_path_appends() {
+        let mut s = set(&[(0, 10)]);
+        s.insert(Interval::from_secs(20, 30));
+        assert_eq!(s.len(), 2);
+        s.insert(Interval::from_secs(30, 35)); // touches last
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total(), 25);
+    }
+
+    #[test]
+    fn insert_merges_middle_run() {
+        let mut s = set(&[(0, 10), (20, 30), (40, 50)]);
+        s.insert(Interval::from_secs(5, 45));
+        assert_eq!(s.intervals(), &[Interval::from_secs(0, 50)]);
+    }
+
+    #[test]
+    fn insert_empty_is_noop() {
+        let mut s = set(&[(0, 10)]);
+        s.insert(Interval::from_secs(5, 5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let s = set(&[(0, 10), (20, 30)]);
+        assert!(s.contains(UnixTime(0)));
+        assert!(!s.contains(UnixTime(10)));
+        assert!(!s.contains(UnixTime(15)));
+        assert!(s.contains(UnixTime(29)));
+        assert!(!s.contains(UnixTime(30)));
+    }
+
+    #[test]
+    fn union_intersect_subtract() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        assert_eq!(a.union(&b).intervals(), &[Interval::from_secs(0, 30)]);
+        assert_eq!(
+            a.intersect(&b).intervals(),
+            &[Interval::from_secs(5, 10), Interval::from_secs(20, 25)]
+        );
+        assert_eq!(
+            a.subtract(&b).intervals(),
+            &[Interval::from_secs(0, 5), Interval::from_secs(25, 30)]
+        );
+        assert_eq!(a.overlap_secs(&b), 10);
+    }
+
+    #[test]
+    fn subtract_swallowing_interval() {
+        let a = set(&[(10, 20)]);
+        let b = set(&[(0, 30)]);
+        assert!(a.subtract(&b).is_empty());
+        assert_eq!(b.subtract(&a).intervals(), &[
+            Interval::from_secs(0, 10),
+            Interval::from_secs(20, 30)
+        ]);
+    }
+
+    #[test]
+    fn complement_within_window() {
+        let down = set(&[(100, 200), (500, 600)]);
+        let up = down.complement_within(Interval::from_secs(0, 1000));
+        assert_eq!(up.intervals(), &[
+            Interval::from_secs(0, 100),
+            Interval::from_secs(200, 500),
+            Interval::from_secs(600, 1000)
+        ]);
+        assert_eq!(up.total() + down.total(), 1000);
+    }
+
+    #[test]
+    fn clip_to_window() {
+        let s = set(&[(0, 100), (200, 300)]);
+        let c = s.clip(Interval::from_secs(50, 250));
+        assert_eq!(c.intervals(), &[
+            Interval::from_secs(50, 100),
+            Interval::from_secs(200, 250)
+        ]);
+    }
+
+    #[test]
+    fn filter_min_duration_keeps_long() {
+        let s = set(&[(0, 100), (200, 900), (1000, 1660)]);
+        let long = s.filter_min_duration(660);
+        assert_eq!(long.intervals(), &[
+            Interval::from_secs(200, 900),
+            Interval::from_secs(1000, 1660)
+        ]);
+    }
+
+    #[test]
+    fn empty_set_ops() {
+        let e = IntervalSet::new();
+        let s = set(&[(0, 10)]);
+        assert!(e.intersect(&s).is_empty());
+        assert_eq!(e.union(&s), s);
+        assert!(e.subtract(&s).is_empty());
+        assert_eq!(s.subtract(&e), s);
+        assert_eq!(e.total(), 0);
+    }
+}

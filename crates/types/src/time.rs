@@ -1,0 +1,285 @@
+//! Time primitives for outage timelines.
+//!
+//! All detectors in this workspace operate on **Unix timestamps with
+//! one-second resolution**. The paper's central precision argument is about
+//! seconds (Trinocular is ±330 s, RIPE-derived truth ±180 s, the passive
+//! detector uses exact packet timestamps), so a `u64` of seconds is the
+//! natural common currency; sub-second precision would be false precision
+//! for every data source involved.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in time, in whole seconds since the Unix epoch.
+///
+/// `UnixTime` is ordered, hashable, and supports offset arithmetic with
+/// plain `u64` second counts. Subtraction of two `UnixTime`s yields the
+/// (saturating) number of seconds between them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct UnixTime(pub u64);
+
+impl UnixTime {
+    /// The epoch itself (`t = 0`), used as the origin for simulated runs.
+    pub const EPOCH: UnixTime = UnixTime(0);
+
+    /// Construct from raw seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        UnixTime(secs)
+    }
+
+    /// Seconds since the epoch.
+    #[inline]
+    pub const fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier` in seconds.
+    ///
+    /// Returns 0 when `earlier` is after `self`, which makes duration
+    /// accounting robust to slightly out-of-order event streams.
+    #[inline]
+    pub fn since(self, earlier: UnixTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The largest multiple of `width` seconds that is `<= self`.
+    ///
+    /// This is the canonical "bin start" used when traffic is aggregated
+    /// into fixed-width bins. `width` must be non-zero.
+    #[inline]
+    pub fn align_down(self, width: u64) -> UnixTime {
+        debug_assert!(width > 0, "bin width must be positive");
+        UnixTime(self.0 - self.0 % width)
+    }
+
+    /// The smallest multiple of `width` seconds that is `> self`
+    /// (i.e. the exclusive end of the bin containing `self`).
+    #[inline]
+    pub fn align_up_exclusive(self, width: u64) -> UnixTime {
+        self.align_down(width) + width
+    }
+
+    /// Index of the bin of `width` seconds containing `self`, counted from
+    /// `origin`. Times before `origin` map to bin 0.
+    #[inline]
+    pub fn bin_index(self, origin: UnixTime, width: u64) -> u64 {
+        debug_assert!(width > 0, "bin width must be positive");
+        self.since(origin) / width
+    }
+
+    /// Saturating addition of a number of seconds.
+    #[inline]
+    pub fn saturating_add(self, secs: u64) -> UnixTime {
+        UnixTime(self.0.saturating_add(secs))
+    }
+
+    /// Earlier of two times.
+    #[inline]
+    pub fn min(self, other: UnixTime) -> UnixTime {
+        UnixTime(self.0.min(other.0))
+    }
+
+    /// Later of two times.
+    #[inline]
+    pub fn max(self, other: UnixTime) -> UnixTime {
+        UnixTime(self.0.max(other.0))
+    }
+}
+
+impl Add<u64> for UnixTime {
+    type Output = UnixTime;
+    #[inline]
+    fn add(self, secs: u64) -> UnixTime {
+        UnixTime(self.0 + secs)
+    }
+}
+
+impl AddAssign<u64> for UnixTime {
+    #[inline]
+    fn add_assign(&mut self, secs: u64) {
+        self.0 += secs;
+    }
+}
+
+impl Sub<u64> for UnixTime {
+    type Output = UnixTime;
+    #[inline]
+    fn sub(self, secs: u64) -> UnixTime {
+        UnixTime(self.0.saturating_sub(secs))
+    }
+}
+
+impl Sub<UnixTime> for UnixTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: UnixTime) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for UnixTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as d+hh:mm:ss relative to the epoch — simulated runs start
+        // at t=0, so this reads as "time into the run".
+        let s = self.0;
+        let (d, rem) = (s / 86_400, s % 86_400);
+        let (h, rem) = (rem / 3_600, rem % 3_600);
+        let (m, sec) = (rem / 60, rem % 60);
+        if d > 0 {
+            write!(f, "{d}d{h:02}:{m:02}:{sec:02}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{sec:02}")
+        }
+    }
+}
+
+/// Common second counts used throughout the workspace.
+pub mod durations {
+    /// Five minutes — the paper's finest temporal precision.
+    pub const FIVE_MIN: u64 = 300;
+    /// Ten minutes — the outage threshold used in the IPv6 report (Fig. 2a).
+    pub const TEN_MIN: u64 = 600;
+    /// Eleven minutes — Trinocular's probing round, the paper's
+    /// "long outage" threshold.
+    pub const ELEVEN_MIN: u64 = 660;
+    /// One hour.
+    pub const HOUR: u64 = 3_600;
+    /// One day.
+    pub const DAY: u64 = 86_400;
+    /// One week — the paper's full evaluation window.
+    pub const WEEK: u64 = 7 * DAY;
+}
+
+/// A fixed-width time bin: the half-open range
+/// `[origin + index*width, origin + (index+1)*width)`.
+///
+/// Bins are how the detector discretizes a block's arrival stream; the
+/// per-block tuner picks `width`, so two blocks generally have *different*
+/// bin geometries — hence the bin carries its own width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeBin {
+    /// Start of bin 0.
+    pub origin: UnixTime,
+    /// Bin width in seconds (non-zero).
+    pub width: u64,
+    /// Which bin.
+    pub index: u64,
+}
+
+impl TimeBin {
+    /// The bin of width `width` (anchored at `origin`) containing `t`.
+    pub fn containing(origin: UnixTime, width: u64, t: UnixTime) -> TimeBin {
+        TimeBin {
+            origin,
+            width,
+            index: t.bin_index(origin, width),
+        }
+    }
+
+    /// Inclusive start of this bin.
+    #[inline]
+    pub fn start(&self) -> UnixTime {
+        self.origin + self.index * self.width
+    }
+
+    /// Exclusive end of this bin.
+    #[inline]
+    pub fn end(&self) -> UnixTime {
+        self.start() + self.width
+    }
+
+    /// The immediately following bin.
+    #[inline]
+    pub fn next(&self) -> TimeBin {
+        TimeBin {
+            index: self.index + 1,
+            ..*self
+        }
+    }
+
+    /// Whether `t` falls inside this bin.
+    #[inline]
+    pub fn contains(&self, t: UnixTime) -> bool {
+        t >= self.start() && t < self.end()
+    }
+}
+
+impl fmt::Display for TimeBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})@{}s", self.start(), self.end(), self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_down_is_multiple() {
+        let t = UnixTime(1234);
+        assert_eq!(t.align_down(300), UnixTime(1200));
+        assert_eq!(UnixTime(0).align_down(300), UnixTime(0));
+        assert_eq!(UnixTime(300).align_down(300), UnixTime(300));
+        assert_eq!(UnixTime(299).align_down(300), UnixTime(0));
+    }
+
+    #[test]
+    fn align_up_exclusive_is_strictly_after() {
+        assert_eq!(UnixTime(0).align_up_exclusive(300), UnixTime(300));
+        assert_eq!(UnixTime(300).align_up_exclusive(300), UnixTime(600));
+        assert_eq!(UnixTime(301).align_up_exclusive(300), UnixTime(600));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(UnixTime(5).since(UnixTime(10)), 0);
+        assert_eq!(UnixTime(10).since(UnixTime(5)), 5);
+    }
+
+    #[test]
+    fn bin_index_counts_from_origin() {
+        let origin = UnixTime(1000);
+        assert_eq!(UnixTime(1000).bin_index(origin, 300), 0);
+        assert_eq!(UnixTime(1299).bin_index(origin, 300), 0);
+        assert_eq!(UnixTime(1300).bin_index(origin, 300), 1);
+        // Before the origin: clamps to bin 0 rather than panicking.
+        assert_eq!(UnixTime(10).bin_index(origin, 300), 0);
+    }
+
+    #[test]
+    fn time_bin_geometry() {
+        let b = TimeBin::containing(UnixTime(0), 300, UnixTime(950));
+        assert_eq!(b.index, 3);
+        assert_eq!(b.start(), UnixTime(900));
+        assert_eq!(b.end(), UnixTime(1200));
+        assert!(b.contains(UnixTime(900)));
+        assert!(b.contains(UnixTime(1199)));
+        assert!(!b.contains(UnixTime(1200)));
+        assert_eq!(b.next().start(), UnixTime(1200));
+    }
+
+    #[test]
+    fn display_formats_relative() {
+        assert_eq!(UnixTime(0).to_string(), "00:00:00");
+        assert_eq!(UnixTime(3_661).to_string(), "01:01:01");
+        assert_eq!(UnixTime(90_000).to_string(), "1d01:00:00");
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let t = UnixTime(100);
+        assert_eq!(t + 20, UnixTime(120));
+        assert_eq!(t - 20, UnixTime(80));
+        assert_eq!(t - 200, UnixTime(0)); // saturating
+        assert_eq!(UnixTime(150) - UnixTime(100), 50);
+        let mut u = t;
+        u += 5;
+        assert_eq!(u, UnixTime(105));
+        assert_eq!(t.min(u), t);
+        assert_eq!(t.max(u), u);
+    }
+}

@@ -1,0 +1,351 @@
+//! A binary prefix trie keyed by [`Prefix`].
+//!
+//! The spatial-aggregation fallback walks the prefix hierarchy: when a /24
+//! is too sparse to judge on its own, the detector pools it with its
+//! siblings under /23, /22, … until the pooled rate is workable. That needs
+//! exact-match lookup, longest-prefix match, and subtree enumeration — the
+//! classic routing-table trie operations, implemented here over both
+//! address families in one structure.
+
+use crate::prefix::{AddrFamily, Prefix};
+use std::fmt::Debug;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<V> Node<V> {
+    fn is_empty_leaf(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A map from [`Prefix`] to `V` supporting longest-prefix match and
+/// subtree queries. IPv4 and IPv6 keys live in separate sub-tries, so the
+/// two families never alias.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    v4: Node<V>,
+    v6: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        PrefixTrie {
+            v4: Node::default(),
+            v6: Node::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn root(&self, fam: AddrFamily) -> &Node<V> {
+        match fam {
+            AddrFamily::V4 => &self.v4,
+            AddrFamily::V6 => &self.v6,
+        }
+    }
+
+    fn root_mut(&mut self, fam: AddrFamily) -> &mut Node<V> {
+        match fam {
+            AddrFamily::V4 => &mut self.v4,
+            AddrFamily::V6 => &mut self.v6,
+        }
+    }
+
+    /// Insert or replace the value at `prefix`; returns the previous value
+    /// if one was present.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = self.root_mut(prefix.family());
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let mut node = self.root(prefix.family());
+        for i in 0..prefix.len() {
+            node = node.children[prefix.bit(i) as usize].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut V> {
+        let mut node = self.root_mut(prefix.family());
+        for i in 0..prefix.len() {
+            node = node.children[prefix.bit(i) as usize].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Get the value at `prefix`, inserting one produced by `default` if
+    /// absent.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&mut self, prefix: Prefix, default: F) -> &mut V {
+        if self.get(&prefix).is_none() {
+            self.len += 1;
+        }
+        let mut node = self.root_mut(prefix.family());
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        node.value.get_or_insert_with(default)
+    }
+
+    /// Remove and return the value at `prefix`, pruning now-empty branches.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        fn rec<V>(node: &mut Node<V>, prefix: &Prefix, depth: u8) -> Option<V> {
+            if depth == prefix.len() {
+                return node.value.take();
+            }
+            let b = prefix.bit(depth) as usize;
+            let child = node.children[b].as_deref_mut()?;
+            let out = rec(child, prefix, depth + 1)?;
+            if child.is_empty_leaf() {
+                node.children[b] = None;
+            }
+            Some(out)
+        }
+        let root = self.root_mut(prefix.family());
+        let out = rec(root, prefix, 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// The most specific stored prefix containing `prefix`, with its value.
+    /// This is routing-table longest-prefix match over stored entries.
+    pub fn longest_match(&self, prefix: &Prefix) -> Option<(Prefix, &V)> {
+        let mut node = self.root(prefix.family());
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..prefix.len() {
+            match node.children[prefix.bit(i) as usize].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            let key = prefix
+                .supernet(len)
+                .expect("match length never exceeds query length");
+            (key, v)
+        })
+    }
+
+    /// Visit every stored `(prefix, value)` pair under `under` (inclusive),
+    /// in address order.
+    pub fn for_each_under<'a, F: FnMut(Prefix, &'a V)>(&'a self, under: &Prefix, mut f: F) {
+        // Descend to the node for `under`, then walk its subtree.
+        let mut node = self.root(under.family());
+        for i in 0..under.len() {
+            match node.children[under.bit(i) as usize].as_deref() {
+                Some(child) => node = child,
+                None => return,
+            }
+        }
+        fn walk<'a, V, F: FnMut(Prefix, &'a V)>(node: &'a Node<V>, key: Prefix, f: &mut F) {
+            if let Some(v) = &node.value {
+                f(key, v);
+            }
+            if let Some((lo, hi)) = key.children() {
+                if let Some(c) = node.children[0].as_deref() {
+                    walk(c, lo, f);
+                }
+                if let Some(c) = node.children[1].as_deref() {
+                    walk(c, hi, f);
+                }
+            }
+        }
+        walk(node, *under, &mut f);
+    }
+
+    /// Collect every stored `(prefix, value)` pair, both families, in
+    /// address order (IPv4 first).
+    pub fn entries(&self) -> Vec<(Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each_under(&Prefix::v4_raw(0, 0), |k, v| out.push((k, v)));
+        self.for_each_under(&Prefix::v6_raw(0, 0), |k, v| out.push((k, v)));
+        out
+    }
+
+    /// All stored prefixes strictly or non-strictly inside `under`.
+    pub fn keys_under(&self, under: &Prefix) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        self.for_each_under(under, |k, _| out.push(k));
+        out
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<T: IntoIterator<Item = (Prefix, V)>>(iter: T) -> Self {
+        let mut t = PrefixTrie::new();
+        for (k, v) in iter {
+            t.insert(k, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.1.0.0/16"), 2), None);
+        assert_eq!(t.insert(p("2001:db8::/48"), 3), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&1));
+        assert_eq!(t.get(&p("10.1.0.0/16")), Some(&2));
+        assert_eq!(t.get(&p("2001:db8::/48")), Some(&3));
+        assert_eq!(t.get(&p("10.2.0.0/16")), None);
+        // replace returns old
+        assert_eq!(t.insert(p("10.0.0.0/8"), 9), Some(1));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn zero_length_key_works() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        assert_eq!(t.get(&p("0.0.0.0/0")), Some(&"default"));
+        assert_eq!(
+            t.longest_match(&p("198.51.100.0/24")),
+            Some((p("0.0.0.0/0"), &"default"))
+        );
+    }
+
+    #[test]
+    fn longest_match_picks_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        assert_eq!(t.longest_match(&p("10.1.2.0/24")), Some((p("10.1.2.0/24"), &24)));
+        assert_eq!(t.longest_match(&p("10.1.3.0/24")), Some((p("10.1.0.0/16"), &16)));
+        assert_eq!(t.longest_match(&p("10.9.0.0/24")), Some((p("10.0.0.0/8"), &8)));
+        assert_eq!(t.longest_match(&p("11.0.0.0/24")), None);
+        // a /32 query matches too
+        assert_eq!(t.longest_match(&p("10.1.2.3/32")), Some((p("10.1.2.0/24"), &24)));
+    }
+
+    #[test]
+    fn families_do_not_alias() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 4);
+        t.insert(p("::/0"), 6);
+        assert_eq!(t.longest_match(&p("1.2.3.0/24")), Some((p("0.0.0.0/0"), &4)));
+        assert_eq!(t.longest_match(&p("2001:db8::/48")), Some((p("::/0"), &6)));
+    }
+
+    #[test]
+    fn remove_prunes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert_eq!(t.remove(&p("10.1.2.0/24")), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.1.2.0/24")), None);
+        assert_eq!(t.get(&p("10.1.0.0/16")), Some(&2));
+        assert_eq!(t.remove(&p("10.1.2.0/24")), None);
+        assert_eq!(t.remove(&p("10.1.0.0/16")), Some(2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_with_counts_once() {
+        let mut t: PrefixTrie<Vec<u32>> = PrefixTrie::new();
+        t.get_or_insert_with(p("10.0.0.0/24"), Vec::new).push(1);
+        t.get_or_insert_with(p("10.0.0.0/24"), Vec::new).push(2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/24")), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn subtree_enumeration_in_order() {
+        let mut t = PrefixTrie::new();
+        for (i, s) in ["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.1.0.0/24", "11.0.0.0/24"]
+            .iter()
+            .enumerate()
+        {
+            t.insert(p(s), i);
+        }
+        let under = t.keys_under(&p("10.0.0.0/16"));
+        assert_eq!(under, vec![p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24")]);
+        let all = t.keys_under(&p("0.0.0.0/0"));
+        assert_eq!(all.len(), 5);
+        // subtree rooted exactly at a stored key includes it
+        t.insert(p("10.0.0.0/16"), 99);
+        let under2 = t.keys_under(&p("10.0.0.0/16"));
+        assert_eq!(under2.len(), 4);
+        assert_eq!(under2[0], p("10.0.0.0/16"));
+    }
+
+    #[test]
+    fn entries_cover_both_families() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/24"), 0);
+        t.insert(p("2001:db8::/48"), 1);
+        let e = t.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].0, p("10.0.0.0/24"));
+        assert_eq!(e[1].0, p("2001:db8::/48"));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: PrefixTrie<u32> = [(p("10.0.0.0/8"), 1), (p("10.0.0.0/16"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the timeline algebra, prefixes, and the trie.
+//!
+//! These invariants are what the whole evaluation methodology leans on:
+//! if interval-set algebra is wrong, every confusion-matrix cell is wrong.
+
+use outage_types::{Interval, IntervalSet, Prefix, PrefixTrie, UnixTime};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const HORIZON: u64 = 10_000;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0..HORIZON, 0..HORIZON)
+        .prop_map(|(a, b)| Interval::from_secs(a.min(b), a.max(b)))
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    proptest::collection::vec(arb_interval(), 0..12).prop_map(IntervalSet::from_intervals)
+}
+
+/// Oracle: membership test per second over the horizon.
+fn covered(s: &IntervalSet, t: u64) -> bool {
+    s.contains(UnixTime(t))
+}
+
+proptest! {
+    #[test]
+    fn normalization_invariants(s in arb_set()) {
+        // Sorted, disjoint, non-touching, non-empty members.
+        let ivs = s.intervals();
+        for iv in ivs {
+            prop_assert!(!iv.is_empty());
+        }
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "members must not touch: {} vs {}", w[0], w[1]);
+        }
+        let total: u64 = ivs.iter().map(|iv| iv.duration()).sum();
+        prop_assert_eq!(total, s.total());
+    }
+
+    #[test]
+    fn union_matches_pointwise_oracle(a in arb_set(), b in arb_set()) {
+        let u = a.union(&b);
+        // sample a grid of points, including endpoints
+        for t in (0..HORIZON).step_by(137) {
+            prop_assert_eq!(covered(&u, t), covered(&a, t) || covered(&b, t), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn intersect_matches_pointwise_oracle(a in arb_set(), b in arb_set()) {
+        let i = a.intersect(&b);
+        for t in (0..HORIZON).step_by(137) {
+            prop_assert_eq!(covered(&i, t), covered(&a, t) && covered(&b, t), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn subtract_matches_pointwise_oracle(a in arb_set(), b in arb_set()) {
+        let d = a.subtract(&b);
+        for t in (0..HORIZON).step_by(137) {
+            prop_assert_eq!(covered(&d, t), covered(&a, t) && !covered(&b, t), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in arb_set(), b in arb_set()) {
+        // |A ∪ B| = |A| + |B| − |A ∩ B|
+        prop_assert_eq!(
+            a.union(&b).total() + a.intersect(&b).total(),
+            a.total() + b.total()
+        );
+    }
+
+    #[test]
+    fn complement_partitions_window(s in arb_set()) {
+        let window = Interval::from_secs(0, HORIZON);
+        let clipped = s.clip(window);
+        let comp = s.complement_within(window);
+        prop_assert_eq!(clipped.total() + comp.total(), HORIZON);
+        prop_assert_eq!(clipped.overlap_secs(&comp), 0);
+    }
+
+    #[test]
+    fn insert_equals_union_of_singleton(s in arb_set(), iv in arb_interval()) {
+        let mut inserted = s.clone();
+        inserted.insert(iv);
+        prop_assert_eq!(inserted, s.union(&IntervalSet::singleton(iv)));
+    }
+
+    #[test]
+    fn subtract_then_add_back_is_union_superset(a in arb_set(), b in arb_set()) {
+        // (A − B) ∪ (A ∩ B) = A
+        let reassembled = a.subtract(&b).union(&a.intersect(&b));
+        prop_assert_eq!(reassembled, a.clone());
+    }
+}
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::v4_raw(addr, len))
+}
+
+proptest! {
+    #[test]
+    fn prefix_parse_display_roundtrip(p in arb_v4_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn parent_contains_child(p in arb_v4_prefix()) {
+        if let Some(parent) = p.parent() {
+            prop_assert!(parent.contains(&p));
+            prop_assert_eq!(parent.len(), p.len() - 1);
+        }
+        if let Some((lo, hi)) = p.children() {
+            prop_assert!(p.contains(&lo));
+            prop_assert!(p.contains(&hi));
+            prop_assert!(!lo.contains(&hi));
+            prop_assert!(!hi.contains(&lo));
+        }
+    }
+
+    #[test]
+    fn supernet_chain_is_monotone(p in arb_v4_prefix(), target in 0u8..=32) {
+        if let Some(sup) = p.supernet(target) {
+            prop_assert!(sup.contains(&p));
+            prop_assert_eq!(sup.len(), target);
+        } else {
+            prop_assert!(target > p.len());
+        }
+    }
+
+    #[test]
+    fn trie_agrees_with_btreemap(entries in proptest::collection::vec((any::<u32>(), 8u8..=28, any::<u16>()), 0..40)) {
+        let mut trie = PrefixTrie::new();
+        let mut map: BTreeMap<Prefix, u16> = BTreeMap::new();
+        for (addr, len, v) in entries {
+            let p = Prefix::v4_raw(addr, len);
+            trie.insert(p, v);
+            map.insert(p, v);
+        }
+        prop_assert_eq!(trie.len(), map.len());
+        for (k, v) in &map {
+            prop_assert_eq!(trie.get(k), Some(v));
+        }
+        // longest_match agrees with a brute-force scan
+        for k in map.keys() {
+            let brute = map
+                .iter()
+                .filter(|(cand, _)| cand.contains(k))
+                .max_by_key(|(cand, _)| cand.len());
+            let got = trie.longest_match(k);
+            prop_assert_eq!(got.map(|(p, v)| (p, *v)), brute.map(|(p, v)| (*p, *v)));
+        }
+    }
+
+    #[test]
+    fn trie_remove_restores_absence(entries in proptest::collection::vec((any::<u32>(), 8u8..=28), 1..30)) {
+        let mut trie = PrefixTrie::new();
+        let prefixes: Vec<Prefix> = entries.iter().map(|&(a, l)| Prefix::v4_raw(a, l)).collect();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        let n = trie.len();
+        // remove them all; trie must end empty regardless of duplicates
+        let mut removed = 0;
+        for p in &prefixes {
+            if trie.remove(p).is_some() {
+                removed += 1;
+            }
+        }
+        prop_assert_eq!(removed, n);
+        prop_assert!(trie.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Explore the temporal/spatial precision ↔ coverage trade-off (Fig. 1).
+//!
+//! Every block gets the finest time bin its traffic supports; blocks too
+//! sparse for any bin pool with siblings at coarser prefixes. This
+//! example sweeps the candidate bin widths and prints the coverage curve,
+//! then contrasts per-block tuning against the homogeneous
+//! fixed-parameter configuration prior passive systems use.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_explorer
+//! ```
+
+use passive_outage::detector::{coverage_by_width, spatial_coverage};
+use passive_outage::prelude::*;
+
+fn main() {
+    let scenario = Scenario::tradeoff(100, 5);
+    let observations = scenario.collect_observations();
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let histories = detector.learn_histories(observations.iter().copied(), scenario.window());
+    println!(
+        "observed {} blocks over one day ({} arrivals)\n",
+        histories.len(),
+        observations.len()
+    );
+
+    // Temporal axis: coverage as bins widen.
+    println!("temporal precision → coverage (IPv4):");
+    println!("  {:>10} | {:>10} | coverage", "bin width", "measurable");
+    for point in coverage_by_width(&histories, detector.config(), Some(AddrFamily::V4)) {
+        println!(
+            "  {:>8} s | {:>10} | {:>6.1}%",
+            point.width,
+            point.measurable,
+            100.0 * point.fraction()
+        );
+    }
+
+    // Spatial axis: what aggregation adds on top.
+    let plan = detector.plan_units(&histories);
+    let spatial = spatial_coverage(&plan);
+    println!("\nspatial fallback:");
+    println!("  block-level units       : {}", spatial.block_level);
+    for (len, blocks) in &spatial.by_aggregate_len {
+        println!("  blocks covered via /{len:<3}: {blocks}");
+    }
+    println!("  uncovered               : {}", spatial.uncovered);
+    println!(
+        "  total coverage          : {:.1}%",
+        100.0 * spatial.covered_fraction()
+    );
+
+    // The ablation: one fixed 300 s bin for everyone.
+    let fixed = PassiveDetector::new(DetectorConfig::fixed_width(300));
+    let fixed_plan = fixed.plan_units(&histories);
+    let fixed_covered: usize = fixed_plan.units.iter().map(|u| u.members.len()).sum();
+    println!(
+        "\nhomogeneous 300 s bins (prior-work style): {:.1}% coverage — \
+         per-block tuning recovers the rest",
+        100.0 * fixed_covered as f64 / histories.len() as f64
+    );
+
+    println!("\ntradeoff_explorer OK");
+}

@@ -1,0 +1,42 @@
+//! # passive-outage
+//!
+//! Umbrella crate for the passive Internet outage detection workspace — a
+//! reproduction of *"Internet Outage Detection using Passive Analysis"*
+//! (Enayet & Heidemann, IMC 2022).
+//!
+//! Re-exports the whole public API under stable module names:
+//!
+//! * [`types`] — prefixes, timelines, interval algebra
+//! * [`dnswire`] — DNS codec + the passive telescope
+//! * [`netsim`] — the simulated Internet (topology, traffic, truth)
+//! * [`detector`] — the paper's passive Bayesian detector
+//! * [`trinocular`] — active-probing baseline
+//! * [`chocolatine`] — AS-level passive baseline
+//! * [`ripe`] — Atlas-style ground-truth probe mesh
+//! * [`eval`] — confusion matrices and event matching
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/repro.rs` for the paper's tables and figures.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use outage_chocolatine as chocolatine;
+pub use outage_core as detector;
+pub use outage_dnswire as dnswire;
+pub use outage_eval as eval;
+pub use outage_netsim as netsim;
+pub use outage_ripe as ripe;
+pub use outage_trinocular as trinocular;
+pub use outage_types as types;
+
+/// Convenience prelude: the names almost every user needs.
+pub mod prelude {
+    pub use outage_core::{DetectionReport, DetectorConfig, PassiveDetector};
+    pub use outage_eval::{DurationMatrix, EventMatrix};
+    pub use outage_netsim::{Scenario, ScenarioConfig};
+    pub use outage_types::{
+        durations, AddrFamily, Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline,
+        UnixTime,
+    };
+}

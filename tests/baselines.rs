@@ -1,0 +1,245 @@
+//! Cross-crate integration: the baselines against ground truth and
+//! against each other, reproducing the paper's comparison structure.
+
+use passive_outage::chocolatine::Chocolatine;
+use passive_outage::detector::fuse_timelines;
+use passive_outage::netsim::{OutageConfig, OutageSchedule, ScenarioConfig, TopologyConfig};
+use passive_outage::prelude::*;
+use passive_outage::ripe::{place_probes, RipeAtlas};
+use passive_outage::trinocular::{Trinocular, TrinocularConfig};
+
+#[test]
+fn trinocular_tracks_ground_truth_on_responsive_blocks() {
+    let scenario = Scenario::table1(40, 7);
+    let blocks: Vec<Prefix> = scenario
+        .internet
+        .blocks()
+        .iter()
+        .filter(|b| b.prefix.family() == AddrFamily::V4 && b.response_rate > 0.6)
+        .map(|b| b.prefix)
+        .collect();
+    let mut oracle = scenario.oracle();
+    let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &blocks);
+
+    let mut matrix = DurationMatrix::default();
+    for b in &blocks {
+        let truth = scenario.schedule.truth(b);
+        matrix += DurationMatrix::of(report.timeline_for(b).unwrap(), &truth);
+    }
+    assert!(matrix.precision() > 0.99, "{matrix}");
+    assert!(matrix.recall() > 0.99, "{matrix}");
+    assert!(matrix.tnr() > 0.7, "{matrix}");
+}
+
+#[test]
+fn atlas_mesh_tracks_ground_truth() {
+    let scenario = Scenario::table3(40, 11);
+    let probes = place_probes(&scenario.internet, 100, 11);
+    let report = RipeAtlas::default().run(&scenario.schedule, &probes, 11);
+    assert!(report.covered_blocks() > 50);
+
+    let mut matrix = DurationMatrix::default();
+    for (block, tl) in &report.timelines {
+        matrix += DurationMatrix::of(tl, &scenario.schedule.truth(block));
+    }
+    assert!(matrix.precision() > 0.995, "{matrix}");
+    assert!(matrix.recall() > 0.99, "{matrix}");
+    // The mesh's 240 s cadence clips edges; most outage time is caught.
+    assert!(matrix.tnr() > 0.6, "{matrix}");
+}
+
+#[test]
+fn passive_beats_trinocular_on_edge_precision() {
+    // One injected outage on a dense block; compare each system's edge
+    // error against truth. The passive detector's exact timestamps
+    // should locate the edges more tightly than Trinocular's rounds —
+    // the paper's core precision claim.
+    let mut scenario = Scenario::quick(2024);
+    let victim = scenario
+        .internet
+        .blocks()
+        .iter()
+        .filter(|b| b.response_rate > 0.7)
+        .max_by(|a, b| a.base_rate.total_cmp(&b.base_rate))
+        .unwrap()
+        .prefix;
+    let truth = Interval::from_secs(30_000, 37_200);
+    let mut schedule = OutageSchedule::new(scenario.window());
+    schedule.add(victim, truth);
+    scenario.schedule = schedule;
+
+    let observations = scenario.collect_observations();
+    let passive = PassiveDetector::new(DetectorConfig::default())
+        .run_slice(&observations, scenario.window());
+    let passive_iv = *passive
+        .timeline_for(&victim)
+        .unwrap()
+        .down
+        .iter()
+        .find(|iv| iv.overlaps(&truth))
+        .expect("passive missed the outage");
+
+    let mut oracle = scenario.oracle();
+    let trino = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &[victim]);
+    let trino_iv = *trino
+        .timeline_for(&victim)
+        .unwrap()
+        .down
+        .iter()
+        .find(|iv| iv.overlaps(&truth))
+        .expect("trinocular missed the outage");
+
+    let edge_err = |iv: &Interval| {
+        iv.start.secs().abs_diff(truth.start.secs()) + iv.end.secs().abs_diff(truth.end.secs())
+    };
+    assert!(
+        edge_err(&passive_iv) < edge_err(&trino_iv),
+        "passive edges {:?} should beat trinocular {:?}",
+        passive_iv,
+        trino_iv
+    );
+    // Trinocular's error is bounded by its round quantization.
+    assert!(edge_err(&trino_iv) <= 2 * 660 + 60);
+}
+
+#[test]
+fn chocolatine_sees_the_as_but_not_the_block() {
+    // A single /24 of a large AS goes down. Per-block passive detection
+    // pinpoints it; AS-level aggregation dilutes it below detectability.
+    let config = ScenarioConfig {
+        name: "as-dilution".into(),
+        topology: TopologyConfig {
+            num_as: 20,
+            v4_blocks_per_as: 12.0,
+            rate_mu: -3.2,
+            ..TopologyConfig::default()
+        },
+        outages: OutageConfig {
+            p_long_per_day: 0.0,
+            p_short_per_day: 0.0,
+            p_as_per_day: 0.0,
+            ..OutageConfig::default()
+        },
+        window_secs: 2 * durations::DAY,
+        seed: 404,
+    };
+    let mut scenario = Scenario::build(config);
+    // victim: one block of the biggest AS
+    // Pick an AS and a victim block that carries a *minor* share of its
+    // AS's traffic (so the aggregate barely moves), yet is dense enough
+    // for its own 5-minute unit.
+    let (big_as, victim) = scenario
+        .internet
+        .ases()
+        .iter()
+        .find_map(|asp| {
+            let total: f64 = scenario
+                .internet
+                .blocks_of_as(asp.id)
+                .map(|b| b.base_rate)
+                .sum();
+            let victim = scenario.internet.blocks_of_as(asp.id).find(|b| {
+                b.base_rate >= 0.02 && b.base_rate < 0.10 * total
+            })?;
+            Some((asp.id, victim.prefix))
+        })
+        .expect("a diluted dense block exists at this seed");
+    let truth = Interval::from_secs(86_400 + 30_000, 86_400 + 40_000);
+    let mut schedule = OutageSchedule::new(scenario.window());
+    schedule.add(victim, truth);
+    scenario.schedule = schedule;
+
+    let observations = scenario.collect_observations();
+
+    // Passive, per block: finds it.
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let report = detector.run_slice(&observations, scenario.window());
+    let tl = report.timeline_for(&victim).expect("covered");
+    assert!(
+        tl.down.iter().any(|iv| iv.overlaps(&truth)),
+        "per-block detection must find the single-block outage"
+    );
+
+    // Chocolatine, per AS: one block of many barely dents the aggregate.
+    let internet = &scenario.internet;
+    let choco = Chocolatine::default().run(observations.iter().copied(), scenario.window(), |p| {
+        internet.as_of(p).map(|a| a.0)
+    });
+    let as_tl = choco.timeline_for(big_as.0);
+    let as_down = as_tl.map(|t| t.down_secs()).unwrap_or(0);
+    assert!(
+        as_down < truth.duration() / 2,
+        "AS-level aggregate should dilute a single-block outage (saw {as_down} s)"
+    );
+}
+
+#[test]
+fn corroboration_by_quorum_cuts_false_outages() {
+    // Fuse passive and Trinocular views: an outage both systems agree on
+    // is kept, disagreements are dropped — precision can only improve.
+    let scenario = Scenario::table1(30, 77);
+    let observations = scenario.collect_observations();
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let passive = detector.run_slice(&observations, scenario.window());
+
+    let covered: Vec<Prefix> = scenario
+        .internet
+        .blocks_of(AddrFamily::V4)
+        .map(|b| b.prefix)
+        .filter(|p| passive.timeline_for(p).is_some())
+        .collect();
+    let mut oracle = scenario.oracle();
+    let trino = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &covered);
+
+    let mut solo = DurationMatrix::default();
+    let mut fused_m = DurationMatrix::default();
+    for b in &covered {
+        let truth = scenario.schedule.truth(b);
+        let p_tl = passive.timeline_for(b).unwrap();
+        let t_tl = trino.timeline_for(b).unwrap();
+        let fused = fuse_timelines(&[p_tl.clone(), t_tl.clone()], 2);
+        solo += DurationMatrix::of(p_tl, &truth);
+        fused_m += DurationMatrix::of(&fused, &truth);
+    }
+    // Quorum-2 keeps only corroborated outage time: false-outage seconds
+    // cannot increase.
+    assert!(fused_m.fo <= solo.fo, "fused fo {} > solo fo {}", fused_m.fo, solo.fo);
+    assert!(fused_m.recall() >= solo.recall() - 1e-9);
+}
+
+#[test]
+fn all_detectors_agree_on_a_big_obvious_outage() {
+    // A long outage on a dense, responsive, probe-hosting block: every
+    // system in the workspace must see it.
+    let mut scenario = Scenario::quick(31415);
+    let victim = scenario
+        .internet
+        .blocks()
+        .iter()
+        .filter(|b| b.response_rate > 0.8 && b.prefix.family() == AddrFamily::V4)
+        .max_by(|a, b| a.base_rate.total_cmp(&b.base_rate))
+        .unwrap()
+        .prefix;
+    let truth = Interval::from_secs(30_000, 50_000);
+    let mut schedule = OutageSchedule::new(scenario.window());
+    schedule.add(victim, truth);
+    scenario.schedule = schedule;
+
+    let observations = scenario.collect_observations();
+
+    let passive = PassiveDetector::new(DetectorConfig::default())
+        .run_slice(&observations, scenario.window());
+    assert!(passive.timeline_for(&victim).unwrap().down_secs() > 18_000);
+
+    let mut oracle = scenario.oracle();
+    let trino = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &[victim]);
+    assert!(trino.timeline_for(&victim).unwrap().down_secs() > 18_000);
+
+    let probes = vec![passive_outage::ripe::AtlasProbe {
+        id: 1,
+        block: victim,
+        phase: 60,
+    }];
+    let atlas = RipeAtlas::default().run(&scenario.schedule, &probes, 1);
+    assert!(atlas.timeline_for(&victim).unwrap().down_secs() > 18_000);
+}
