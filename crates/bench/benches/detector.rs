@@ -53,12 +53,14 @@ fn bench_detector_throughput(c: &mut Criterion) {
 
 fn bench_dnswire(c: &mut Criterion) {
     let mut g = c.benchmark_group("dnswire");
-    let msg = Message::query(42, "www.example.com".parse::<DnsName>().unwrap(), RecordType::A);
+    let msg = Message::query(
+        42,
+        "www.example.com".parse::<DnsName>().unwrap(),
+        RecordType::A,
+    );
     let wire = msg.encode();
     g.throughput(Throughput::Bytes(wire.len() as u64));
-    g.bench_function("encode_query", |b| {
-        b.iter(|| black_box(msg.encode()))
-    });
+    g.bench_function("encode_query", |b| b.iter(|| black_box(msg.encode())));
     g.bench_function("decode_query", |b| {
         b.iter(|| black_box(Message::decode(&wire).unwrap()))
     });

@@ -7,7 +7,7 @@
 
 use outage_bench::experiments::{
     ablate_fixed_bins, ablate_no_agg, ablate_no_diurnal, ablate_no_refine, compare_baselines,
-    fig1, fig2a, fig2b, stability, table1, table2, table3, week, Scale,
+    faults, fig1, fig2a, fig2b, stability, table1, table2, table3, week, Scale,
 };
 
 fn main() {
@@ -51,6 +51,7 @@ fn main() {
             "baselines" => println!("{}\n", compare_baselines(scale).rendered),
             "week" => println!("{}\n", week(scale).rendered),
             "stability" => println!("{}\n", stability(scale, 5).rendered),
+            "faults" => println!("{}\n", faults(scale).rendered),
             "all" => {
                 run_table1(scale);
                 run_table2(scale);
@@ -64,6 +65,7 @@ fn main() {
                 println!("{}\n", ablate_no_diurnal(scale).rendered);
                 println!("{}\n", compare_baselines(scale).rendered);
                 println!("{}\n", week(scale).rendered);
+                println!("{}\n", faults(scale).rendered);
             }
             other => usage(&format!("unknown target '{other}'")),
         }
@@ -113,7 +115,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--num-as N] [--seed S] [TARGET...]\n\
          targets: table1 table2 table3 fig1 fig2a fig2b\n\
-         \x20        ablate-fixed-bins ablate-no-refine ablate-no-agg\n\x20        ablate-no-diurnal baselines week stability all"
+         \x20        ablate-fixed-bins ablate-no-refine ablate-no-agg\n\x20        ablate-no-diurnal baselines week stability faults all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,11 +1,14 @@
 //! Experiment implementations: Tables 1–3, Figures 1–2, and ablations.
 
-use outage_core::{coverage_by_width, spatial_coverage, DetectorConfig, PassiveDetector};
+use outage_core::{
+    coverage_by_width, spatial_coverage, DetectionReport, DetectorConfig, PassiveDetector,
+    SentinelConfig,
+};
 use outage_eval::{duration_table, event_table, series_table, DurationMatrix, EventMatrix};
-use outage_netsim::Scenario;
+use outage_netsim::{FaultPlan, Scenario};
 use outage_ripe::{place_probes, RipeAtlas};
 use outage_trinocular::{Trinocular, TrinocularConfig};
-use outage_types::{durations, AddrFamily, Prefix, UnixTime};
+use outage_types::{durations, AddrFamily, Interval, IntervalSet, Prefix, Timeline, UnixTime};
 
 /// Experiment size: number of ASes in the synthetic world and the master
 /// seed. The paper's real-world runs cover ~900 k blocks; the default
@@ -54,7 +57,11 @@ pub struct TableResult<M> {
 /// truth), over the /24s both systems cover.
 pub fn table1(scale: Scale) -> TableResult<DurationMatrix> {
     let scenario = Scenario::table1(scale.num_as, scale.seed);
-    table1_with_config(&scenario, DetectorConfig::default(), "Table 1: long-duration outages (s), passive vs Trinocular")
+    table1_with_config(
+        &scenario,
+        DetectorConfig::default(),
+        "Table 1: long-duration outages (s), passive vs Trinocular",
+    )
 }
 
 /// **Table 2** — as Table 1, restricted to *dense* blocks (those the
@@ -291,16 +298,33 @@ pub fn fig2a(scale: Scale) -> Fig2aResult {
 
     let rows = vec![
         ("IPv4 measurable /24s".into(), v4_measurable.to_string()),
-        ("IPv4 with ≥1 10-min outage".into(), format!("{v4_with_outage} ({:.1}%)", 100.0 * rate(v4_with_outage, v4_measurable))),
+        (
+            "IPv4 with ≥1 10-min outage".into(),
+            format!(
+                "{v4_with_outage} ({:.1}%)",
+                100.0 * rate(v4_with_outage, v4_measurable)
+            ),
+        ),
         ("IPv6 measurable /48s".into(), v6_measurable.to_string()),
-        ("IPv6 with ≥1 10-min outage".into(), format!("{v6_with_outage} ({:.1}%)", 100.0 * rate(v6_with_outage, v6_measurable))),
+        (
+            "IPv6 with ≥1 10-min outage".into(),
+            format!(
+                "{v6_with_outage} ({:.1}%)",
+                100.0 * rate(v6_with_outage, v6_measurable)
+            ),
+        ),
     ];
     Fig2aResult {
         v4_measurable,
         v6_measurable,
         v4_with_outage,
         v6_with_outage,
-        rendered: series_table("Figure 2a: outage report, IPv4 vs IPv6", "population", "count", &rows),
+        rendered: series_table(
+            "Figure 2a: outage report, IPv4 vs IPv6",
+            "population",
+            "count",
+            &rows,
+        ),
     }
 }
 
@@ -565,7 +589,10 @@ pub fn compare_baselines(scale: Scale) -> BaselineComparison {
             .find(|b| b.base_rate >= 0.02 && b.base_rate < 0.12 * total)
         {
             let start = durations::DAY + 20_000 + (victims.len() as u64 * 3_000) % 40_000;
-            schedule.add(v.prefix, Interval::new(UnixTime(start), UnixTime(start + 7_200)));
+            schedule.add(
+                v.prefix,
+                Interval::new(UnixTime(start), UnixTime(start + 7_200)),
+            );
             victims.push(v.prefix);
         }
     }
@@ -581,9 +608,11 @@ pub fn compare_baselines(scale: Scale) -> BaselineComparison {
         .iter()
         .filter(|v| {
             !report.is_aggregated(v)
-                && report
-                    .timeline_for(v)
-                    .is_some_and(|tl| !tl.down.filter_min_duration(durations::ELEVEN_MIN).is_empty())
+                && report.timeline_for(v).is_some_and(|tl| {
+                    !tl.down
+                        .filter_min_duration(durations::ELEVEN_MIN)
+                        .is_empty()
+                })
         })
         .count();
 
@@ -652,7 +681,8 @@ pub fn week(scale: Scale) -> WeekResult {
     use outage_types::Timeline;
 
     let scenario = Scenario::week(scale.num_as, scale.seed);
-    let mut monitor = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0));
+    let mut monitor = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0))
+        .expect("valid default config");
 
     // Tick every 5 simulated minutes so outages are noticed on wall
     // clock, as a deployment's timer would.
@@ -792,6 +822,132 @@ fn rate(num: usize, den: usize) -> f64 {
     }
 }
 
+/// Result of the feed-fault experiment: what a telescope stall does to
+/// the detector with the sentinel off vs on.
+#[derive(Debug, Clone)]
+pub struct FaultsResult {
+    /// The injected total blackout of the feed.
+    pub blackout: Interval,
+    /// Duration scoring vs ground truth on the clean feed.
+    pub clean: DurationMatrix,
+    /// Faulted feed, sentinel off.
+    pub faulted_off: DurationMatrix,
+    /// Faulted feed, sentinel on, quarantined spans excluded.
+    pub faulted_on: DurationMatrix,
+    /// False outage events overlapping the blackout, sentinel off.
+    pub false_events_off: usize,
+    /// False outage events overlapping the blackout, sentinel on.
+    pub false_events_on: usize,
+    /// Total seconds the sentinel quarantined.
+    pub quarantined_secs: u64,
+    /// Whether the quarantine covers the entire blackout.
+    pub quarantine_covers_blackout: bool,
+    /// Paper-style rendering.
+    pub rendered: String,
+}
+
+/// **Faults** — the failure mode the paper's operators fear most: the
+/// *telescope* stalls for 30 minutes while the Internet stays healthy.
+/// Without a feed sentinel every covered block goes silent at once and
+/// the detector reports a planet-wide outage; with the sentinel the span
+/// is quarantined and precision on the remaining time is unchanged.
+pub fn faults(scale: Scale) -> FaultsResult {
+    let scenario = Scenario::table1(scale.num_as, scale.seed);
+    let window = scenario.window();
+    // Noon, well past sentinel warmup, 30 minutes long.
+    let blackout = Interval::from_secs(43_200, 45_000);
+    let plan = FaultPlan::new(scale.seed).blackout(blackout);
+
+    let observations = scenario.collect_observations();
+    let mut faulted = plan.apply_to_vec(&observations);
+    faulted.sort_unstable();
+
+    let detector = PassiveDetector::try_new(DetectorConfig::default()).expect("default config");
+    let clean_report = detector.run_slice(&observations, window);
+    let off_report = detector.run_slice(&faulted, window);
+    let on_report = detector
+        .run_slice_with_sentinel(&faulted, window, &SentinelConfig::default())
+        .expect("default sentinel config");
+
+    let truth: std::collections::HashMap<Prefix, IntervalSet> = scenario
+        .schedule
+        .blocks_with_outages()
+        .map(|(p, set)| (*p, set.clone()))
+        .collect();
+
+    let score = |report: &DetectionReport, excluded: &IntervalSet| -> DurationMatrix {
+        let mut m = DurationMatrix::default();
+        for b in scenario.internet.blocks() {
+            let Some(obs_tl) = report.timeline_for(&b.prefix) else {
+                continue;
+            };
+            let tru_down = truth.get(&b.prefix).cloned().unwrap_or_default();
+            let tru_tl = Timeline::from_down(window, tru_down);
+            m += DurationMatrix::of_excluding(obs_tl, &tru_tl, durations::ELEVEN_MIN, excluded);
+        }
+        m
+    };
+    let none = IntervalSet::new();
+    let clean = score(&clean_report, &none);
+    let faulted_off = score(&off_report, &none);
+    let faulted_on = score(&on_report, &on_report.quarantined);
+
+    // A *false* event overlaps the blackout while ground truth has no
+    // outage anywhere near it (a real outage straddling the blackout is
+    // allowed to keep its verdict).
+    let false_overlapping = |report: &DetectionReport| -> usize {
+        report
+            .events()
+            .iter()
+            .filter(|e| {
+                e.interval.overlaps(&blackout)
+                    && truth.get(&e.prefix).is_none_or(|set| {
+                        set.overlap_secs(&IntervalSet::singleton(e.interval)) == 0
+                    })
+            })
+            .count()
+    };
+    let false_events_off = false_overlapping(&off_report);
+    let false_events_on = false_overlapping(&on_report);
+
+    let quarantined_secs = on_report.quarantined.total();
+    let quarantine_covers_blackout = on_report
+        .quarantined
+        .overlap_secs(&IntervalSet::singleton(blackout))
+        == blackout.duration();
+
+    let rendered = format!(
+        "{}\n\n{}\n\n{}\n\nfeed blackout {}: false events overlapping it: \
+         {} with sentinel off, {} with sentinel on; quarantined {} s (covers blackout: {})",
+        duration_table("Faults: clean feed vs ground truth (s)", &clean),
+        duration_table(
+            "Faults: 30-min feed blackout, sentinel off (s)",
+            &faulted_off
+        ),
+        duration_table(
+            "Faults: 30-min feed blackout, sentinel on, quarantine excluded (s)",
+            &faulted_on,
+        ),
+        blackout,
+        false_events_off,
+        false_events_on,
+        quarantined_secs,
+        quarantine_covers_blackout,
+    );
+
+    FaultsResult {
+        blackout,
+        clean,
+        faulted_off,
+        faulted_on,
+        false_events_off,
+        false_events_on,
+        quarantined_secs,
+        quarantine_covers_blackout,
+        rendered,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -803,7 +959,11 @@ mod tests {
     fn table1_shape_high_precision_and_recall() {
         let r = table1(Scale::small());
         assert!(r.blocks_compared > 20, "only {} blocks", r.blocks_compared);
-        assert!(r.matrix.precision() > 0.98, "precision {}", r.matrix.precision());
+        assert!(
+            r.matrix.precision() > 0.98,
+            "precision {}",
+            r.matrix.precision()
+        );
         assert!(r.matrix.recall() > 0.97, "recall {}", r.matrix.recall());
         assert!(r.matrix.tnr() > 0.5, "TNR {}", r.matrix.tnr());
         assert!(r.rendered.contains("Table 1"));
@@ -828,7 +988,11 @@ mod tests {
         let r = table3(Scale::small());
         assert!(r.blocks_compared > 10);
         assert!(r.matrix.total() > 0);
-        assert!(r.matrix.precision() > 0.9, "precision {}", r.matrix.precision());
+        assert!(
+            r.matrix.precision() > 0.9,
+            "precision {}",
+            r.matrix.precision()
+        );
         assert!(r.matrix.recall() > 0.8, "recall {}", r.matrix.recall());
         assert!(r.matrix.tnr() > 0.4, "TNR {}", r.matrix.tnr());
     }
@@ -892,7 +1056,13 @@ mod tests {
 
     #[test]
     fn stability_metrics_are_tight_across_seeds() {
-        let r = stability(Scale { num_as: 25, seed: 42 }, 3);
+        let r = stability(
+            Scale {
+                num_as: 25,
+                seed: 42,
+            },
+            3,
+        );
         assert_eq!(r.seeds.len(), 3);
         assert!(r.precision.mean > 0.99, "{}", r.rendered);
         assert!(r.precision.sd < 0.01, "{}", r.rendered);
@@ -902,7 +1072,10 @@ mod tests {
 
     #[test]
     fn week_streaming_validation_shape() {
-        let r = week(Scale { num_as: 25, seed: 42 });
+        let r = week(Scale {
+            num_as: 25,
+            seed: 42,
+        });
         assert!(r.covered > 50, "covered {}", r.covered);
         assert!(r.matrix.precision() > 0.99, "{}", r.rendered);
         assert!(r.matrix.recall() > 0.98, "{}", r.rendered);
@@ -926,5 +1099,40 @@ mod tests {
         assert!(fixed.full > fixed.ablated, "{}", fixed.rendered);
         let agg = ablate_no_agg(Scale::small());
         assert!(agg.full >= agg.ablated, "{}", agg.rendered);
+    }
+
+    #[test]
+    fn faults_sentinel_quarantines_the_feed_blackout() {
+        let r = faults(Scale::small());
+        // Sentinel off: the stalled telescope reads as a mass outage.
+        assert!(
+            r.false_events_off >= 5,
+            "expected mass false outages with sentinel off: {}",
+            r.rendered
+        );
+        // Sentinel on: not a single false event overlaps the blackout,
+        // and the whole faulted span is reported quarantined.
+        assert_eq!(r.false_events_on, 0, "{}", r.rendered);
+        assert!(r.quarantine_covers_blackout, "{}", r.rendered);
+        assert!(
+            r.quarantined_secs >= r.blackout.duration(),
+            "{}",
+            r.rendered
+        );
+        // Quarantine is bounded: it should not eat a large part of the day.
+        assert!(
+            r.quarantined_secs <= r.blackout.duration() + 1_800,
+            "quarantined {} s for a {} s blackout",
+            r.quarantined_secs,
+            r.blackout.duration()
+        );
+        // On the non-quarantined remainder, precision matches the clean
+        // run within noise.
+        assert!(
+            (r.faulted_on.precision() - r.clean.precision()).abs() < 0.02,
+            "precision drifted: clean {} vs sentinel-on {}",
+            r.clean.precision(),
+            r.faulted_on.precision()
+        );
     }
 }

@@ -15,6 +15,7 @@
 pub mod experiments;
 
 pub use experiments::{
-    ablate_no_diurnal, compare_baselines, stability, week, fig1, fig2a, fig2b, table1, table2, table3, AblationResult,
-    BaselineComparison, CoverageFigure, Fig2aResult, Fig2bResult, Scale, TableResult,
+    ablate_no_diurnal, compare_baselines, faults, fig1, fig2a, fig2b, stability, table1, table2,
+    table3, week, AblationResult, BaselineComparison, CoverageFigure, FaultsResult, Fig2aResult,
+    Fig2bResult, Scale, TableResult,
 };

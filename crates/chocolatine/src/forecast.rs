@@ -231,7 +231,11 @@ mod tests {
         let v = detect(&s, &ForecastConfig::default());
         assert_eq!(v.timeline.down.len(), 1);
         let iv = v.timeline.down.intervals()[0];
-        assert_eq!(iv.end, UnixTime(372 * 300), "flagging must stop at recovery");
+        assert_eq!(
+            iv.end,
+            UnixTime(372 * 300),
+            "flagging must stop at recovery"
+        );
     }
 
     #[test]

@@ -147,7 +147,11 @@ mod tests {
         assert_eq!(hit.down.len(), 1, "{:?}", hit.down);
         let iv = hit.down.intervals()[0];
         // 5-minute bin precision around 120000..130000
-        assert!(iv.start.secs().abs_diff(120_000) <= 300, "start {}", iv.start);
+        assert!(
+            iv.start.secs().abs_diff(120_000) <= 300,
+            "start {}",
+            iv.start
+        );
         assert!(iv.end.secs().abs_diff(130_000) <= 300, "end {}", iv.end);
 
         let clean = report.timeline_for(11).unwrap();

@@ -30,7 +30,9 @@ where
     /// A builder over `window` with the given bin width and block→AS map.
     pub fn new(window: Interval, bin_secs: u64, block_to_as: F) -> Self {
         assert!(bin_secs > 0);
-        let bins = (window.duration() as usize).div_ceil(bin_secs as usize).max(1);
+        let bins = (window.duration() as usize)
+            .div_ceil(bin_secs as usize)
+            .max(1);
         AsSeriesBuilder {
             window,
             bin_secs,
@@ -49,10 +51,7 @@ where
             return;
         };
         let idx = (obs.time.since(self.window.start) / self.bin_secs) as usize;
-        let series = self
-            .counts
-            .entry(asn)
-            .or_insert_with(|| vec![0; self.bins]);
+        let series = self.counts.entry(asn).or_insert_with(|| vec![0; self.bins]);
         series[idx.min(self.bins - 1)] += 1;
     }
 
@@ -168,7 +167,11 @@ mod tests {
     fn record_all_streams() {
         let w = Interval::from_secs(0, 86_400);
         let mut b = AsSeriesBuilder::new(w, 300, mapper);
-        b.record_all((0..86_400).step_by(60).map(|t| Observation::new(UnixTime(t), p("10.0.0.0/24"))));
+        b.record_all(
+            (0..86_400)
+                .step_by(60)
+                .map(|t| Observation::new(UnixTime(t), p("10.0.0.0/24"))),
+        );
         let s = &b.build()[&10];
         assert_eq!(s.counts.len(), 288);
         assert!(s.counts.iter().all(|&c| c == 5));

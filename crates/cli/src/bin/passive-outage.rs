@@ -1,6 +1,9 @@
 //! The `passive-outage` command-line tool. Run with `--help` for usage.
 
 use outage_cli::commands;
+use outage_core::SentinelConfig;
+use outage_netsim::FaultPlan;
+use outage_types::IntervalSet;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -25,6 +28,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "detect" => cmd_detect(&flags),
         "eval" => cmd_eval(&flags),
         "coverage" => cmd_coverage(&flags),
+        "telescope" => cmd_telescope(&flags),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -40,9 +44,12 @@ fn usage() -> String {
      \x20 simulate  --preset <quick|table1|table3|tradeoff|ipv6-day>\n\
      \x20           [--num-as N] [--seed S] --out FILE [--truth FILE]\n\
      \x20 detect    --obs FILE [--window SECS] --out FILE\n\
+     \x20           [--fault-plan FILE] [--sentinel] [--sentinel-bucket SECS]\n\
+     \x20           [--quarantine-out FILE]\n\
      \x20 eval      --observed FILE --truth FILE --window SECS\n\
-     \x20           [--min-secs N] [--events] [--tolerance SECS]\n\
-     \x20 coverage  --obs FILE"
+     \x20           [--min-secs N] [--events] [--tolerance SECS] [--exclude FILE]\n\
+     \x20 coverage  --obs FILE\n\
+     \x20 telescope [--preset P] [--num-as N] [--seed S] [--corrupt PROB]"
         .to_string()
 }
 
@@ -54,7 +61,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // boolean flags
-        if name == "events" {
+        if name == "events" || name == "sentinel" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -109,8 +116,35 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|v| v.parse::<u64>().map_err(|e| format!("--window: {e}")))
         .transpose()?;
     let out = required(flags, "out")?;
-    let result = commands::detect(&obs, window).map_err(|e| e.to_string())?;
+    let fault_plan = flags
+        .get("fault-plan")
+        .map(|path| {
+            let text = read(path)?;
+            FaultPlan::parse(&text).map_err(|e| format!("fault plan {path}: {e}"))
+        })
+        .transpose()?;
+    // --sentinel-bucket implies --sentinel; the value is validated by the
+    // detector's config machinery, not here, so a bad one surfaces as a
+    // proper configuration error.
+    let sentinel = if flags.contains_key("sentinel") || flags.contains_key("sentinel-bucket") {
+        let mut cfg = SentinelConfig::default();
+        if let Some(v) = flags.get("sentinel-bucket") {
+            cfg.bucket_secs = v.parse().map_err(|e| format!("--sentinel-bucket: {e}"))?;
+        }
+        Some(cfg)
+    } else {
+        None
+    };
+    let opts = commands::DetectOptions {
+        window_secs: window,
+        fault_plan,
+        sentinel,
+    };
+    let result = commands::detect_with(&obs, &opts).map_err(|e| e.to_string())?;
     write(out, &result.events)?;
+    if let Some(qpath) = flags.get("quarantine-out") {
+        write(qpath, &result.quarantine)?;
+    }
     eprintln!("{}", result.summary);
     Ok(())
 }
@@ -122,8 +156,18 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let min_secs = get_u64(flags, "min-secs", 0)?;
     let tolerance = get_u64(flags, "tolerance", 180)?;
     let event_mode = flags.contains_key("events");
-    let table = commands::eval(&observed, &truth, window, min_secs, event_mode, tolerance)
-        .map_err(|e| e.to_string())?;
+    let excluded = match flags.get("exclude") {
+        None => IntervalSet::new(),
+        Some(path) => {
+            let text = read(path)?;
+            outage_cli::format::parse_intervals(&text)
+                .map_err(|e| format!("exclusions {path}: {e}"))?
+        }
+    };
+    let table = commands::eval(
+        &observed, &truth, window, min_secs, event_mode, tolerance, &excluded,
+    )
+    .map_err(|e| e.to_string())?;
     println!("{table}");
     Ok(())
 }
@@ -132,5 +176,18 @@ fn cmd_coverage(flags: &HashMap<String, String>) -> Result<(), String> {
     let obs = read(required(flags, "obs")?)?;
     let table = commands::coverage(&obs).map_err(|e| e.to_string())?;
     println!("{table}");
+    Ok(())
+}
+
+fn cmd_telescope(flags: &HashMap<String, String>) -> Result<(), String> {
+    let preset = flags.get("preset").map(String::as_str).unwrap_or("quick");
+    let num_as = get_u64(flags, "num-as", 40)? as u32;
+    let seed = get_u64(flags, "seed", 42)?;
+    let corrupt = match flags.get("corrupt") {
+        None => 0.0,
+        Some(v) => v.parse().map_err(|e| format!("--corrupt {v:?}: {e}"))?,
+    };
+    let line = commands::telescope(preset, num_as, seed, corrupt).map_err(|e| e.to_string())?;
+    println!("{line}");
     Ok(())
 }

@@ -2,12 +2,14 @@
 //! takes parsed inputs and returns the text it would print / write.
 
 use crate::format;
-use outage_core::{coverage_by_width, DetectorConfig, PassiveDetector};
+use outage_core::{
+    coverage_by_width, ConfigError, DetectorConfig, PassiveDetector, SentinelConfig,
+};
+use outage_dnswire::Telescope;
 use outage_eval::{duration_table, event_table, summarize, DurationMatrix, EventMatrix};
-use outage_netsim::Scenario;
+use outage_netsim::{FaultPlan, PacketFeed, Scenario};
 use outage_types::{
-    durations, DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline,
-    UnixTime,
+    durations, DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline, UnixTime,
 };
 use std::collections::HashMap;
 
@@ -26,6 +28,12 @@ impl std::error::Error for CommandError {}
 impl From<format::ParseError> for CommandError {
     fn from(e: format::ParseError) -> Self {
         CommandError(e.to_string())
+    }
+}
+
+impl From<ConfigError> for CommandError {
+    fn from(e: ConfigError) -> Self {
+        CommandError(format!("invalid detector configuration: {e}"))
     }
 }
 
@@ -93,52 +101,119 @@ pub fn simulate(preset: &str, num_as: u32, seed: u64) -> Result<SimulateOutput, 
 }
 
 /// Output of `detect`.
+#[derive(Debug)]
 pub struct DetectOutput {
     /// Detected event document.
     pub events: String,
+    /// Quarantined-interval document (empty set unless a sentinel ran
+    /// and tripped).
+    pub quarantine: String,
     /// Human summary.
     pub summary: String,
 }
 
+/// Knobs for [`detect_with`] beyond the observation document itself.
+#[derive(Debug, Clone, Default)]
+pub struct DetectOptions {
+    /// Explicit window end (seconds); defaults to the last observation
+    /// rounded up to a whole day.
+    pub window_secs: Option<u64>,
+    /// Sensor faults to inject into the feed before detection.
+    pub fault_plan: Option<FaultPlan>,
+    /// Guard detection with a feed sentinel under this configuration.
+    pub sentinel: Option<SentinelConfig>,
+}
+
 /// `detect`: run the passive detector over an observation document.
-pub fn detect(observations_doc: &str, window_secs: Option<u64>) -> Result<DetectOutput, CommandError> {
-    let observations = format::parse_observations(observations_doc)?;
+pub fn detect(
+    observations_doc: &str,
+    window_secs: Option<u64>,
+) -> Result<DetectOutput, CommandError> {
+    detect_with(
+        observations_doc,
+        &DetectOptions {
+            window_secs,
+            ..DetectOptions::default()
+        },
+    )
+}
+
+/// `detect` with fault injection and/or a feed sentinel.
+pub fn detect_with(
+    observations_doc: &str,
+    opts: &DetectOptions,
+) -> Result<DetectOutput, CommandError> {
+    let mut observations = format::parse_observations(observations_doc)?;
     if observations.is_empty() {
         return Err(CommandError("no observations in input".into()));
+    }
+    let mut fault_note = String::new();
+    if let Some(plan) = &opts.fault_plan {
+        let before = observations.len();
+        observations = plan.apply_to_vec(&observations);
+        // The batch detector wants time order; delivery-order effects
+        // (reordering) only matter to the streaming path.
+        observations.sort_unstable();
+        if observations.is_empty() {
+            return Err(CommandError("fault plan silenced every observation".into()));
+        }
+        fault_note = format!(
+            " [faults: {} -> {} observations, {} s marked faulted]",
+            before,
+            observations.len(),
+            plan.faulted().total()
+        );
     }
     let max_t = observations
         .iter()
         .map(|o| o.time.secs())
         .max()
         .expect("non-empty");
-    let window_end = window_secs.unwrap_or_else(|| max_t.div_ceil(durations::DAY) * durations::DAY);
-    if window_end <= max_t && window_secs.is_some() {
+    let window_end = opts
+        .window_secs
+        .unwrap_or_else(|| max_t.div_ceil(durations::DAY) * durations::DAY);
+    if window_end <= max_t && opts.window_secs.is_some() {
         return Err(CommandError(format!(
             "--window {window_end} does not cover the last observation at {max_t}"
         )));
     }
     let window = Interval::new(UnixTime::EPOCH, UnixTime(window_end));
 
-    let detector = PassiveDetector::new(DetectorConfig::default());
-    let report = detector.run_slice(&observations, window);
+    let detector = PassiveDetector::try_new(DetectorConfig::default())?;
+    let report = match &opts.sentinel {
+        None => detector.run_slice(&observations, window),
+        Some(cfg) => detector.run_slice_with_sentinel(&observations, window, cfg)?,
+    };
     let mut events = report.events();
     events.sort_by_key(|e| (e.interval.start, e.prefix));
 
+    let quarantine_note = if opts.sentinel.is_some() {
+        format!(
+            ", {} quarantined spans totalling {} s",
+            report.quarantined.intervals().len(),
+            report.quarantined.total()
+        )
+    } else {
+        String::new()
+    };
     let d = report.diagnostics();
     let summary = format!(
-        "window {}: {} observations, {} blocks covered ({} uncovered), {} outage events \
-         ({} via bins, {} via exact-timestamp gaps)\n{}",
+        "window {}: {} observations{}, {} blocks covered ({} uncovered), {} outage events \
+         ({} via bins, {} via exact-timestamp gaps){}\n{}",
         window,
         observations.len(),
+        fault_note,
         report.covered_blocks(),
         report.uncovered.len(),
         events.len(),
         d.bin_detections,
         d.gap_detections,
+        quarantine_note,
         summarize(&events, 5),
     );
     Ok(DetectOutput {
         events: format::render_events(&events),
+        quarantine: format::render_intervals(&report.quarantined),
         summary,
     })
 }
@@ -170,10 +245,7 @@ pub fn coverage(observations_doc: &str) -> Result<String, CommandError> {
 }
 
 /// Fold an event document into per-prefix timelines over a window.
-fn timelines_from_events(
-    events: &[OutageEvent],
-    window: Interval,
-) -> HashMap<Prefix, Timeline> {
+fn timelines_from_events(events: &[OutageEvent], window: Interval) -> HashMap<Prefix, Timeline> {
     let mut downs: HashMap<Prefix, IntervalSet> = HashMap::new();
     for ev in events {
         downs.entry(ev.prefix).or_default().insert(ev.interval);
@@ -185,7 +257,8 @@ fn timelines_from_events(
 }
 
 /// `eval`: compare two event documents (observation vs truth) over the
-/// prefixes present in either, within an explicit window.
+/// prefixes present in either, within an explicit window. Spans in
+/// `excluded` (e.g. sentinel quarantine) are scored for neither side.
 pub fn eval(
     observed_doc: &str,
     truth_doc: &str,
@@ -193,6 +266,7 @@ pub fn eval(
     min_secs: u64,
     event_mode: bool,
     tolerance: u64,
+    excluded: &IntervalSet,
 ) -> Result<String, CommandError> {
     let observed = format::parse_events(observed_doc)?;
     let truth = format::parse_events(truth_doc)?;
@@ -206,20 +280,26 @@ pub fn eval(
     prefixes.sort_unstable();
     prefixes.dedup();
     let all_up = Timeline::all_up(window);
+    let exclusion_note = if excluded.is_empty() {
+        String::new()
+    } else {
+        format!(", {} s excluded", excluded.total())
+    };
 
     if event_mode {
         let mut m = EventMatrix::default();
         for p in &prefixes {
             let o = obs_tl.get(p).unwrap_or(&all_up);
             let t = tru_tl.get(p).unwrap_or(&all_up);
-            m += EventMatrix::of(o, t, min_secs, tolerance);
+            m += EventMatrix::of_excluding(o, t, min_secs, tolerance, excluded);
         }
         Ok(event_table(
             &format!(
-                "event-matched comparison ({} prefixes, ≥{} s, ±{} s)",
+                "event-matched comparison ({} prefixes, ≥{} s, ±{} s{})",
                 prefixes.len(),
                 min_secs,
-                tolerance
+                tolerance,
+                exclusion_note
             ),
             &m,
         ))
@@ -228,17 +308,47 @@ pub fn eval(
         for p in &prefixes {
             let o = obs_tl.get(p).unwrap_or(&all_up);
             let t = tru_tl.get(p).unwrap_or(&all_up);
-            m += DurationMatrix::of_min_duration(o, t, min_secs);
+            m += DurationMatrix::of_excluding(o, t, min_secs, excluded);
         }
         Ok(duration_table(
             &format!(
-                "duration-weighted comparison ({} prefixes, ≥{} s)",
+                "duration-weighted comparison ({} prefixes, ≥{} s{})",
                 prefixes.len(),
-                min_secs
+                min_secs,
+                exclusion_note
             ),
             &m,
         ))
     }
+}
+
+/// `telescope`: render a scenario's feed as wire-format DNS packets,
+/// optionally corrupt some payloads, and report the intake breakdown the
+/// parsing telescope saw.
+pub fn telescope(
+    preset: &str,
+    num_as: u32,
+    seed: u64,
+    corrupt_prob: f64,
+) -> Result<String, CommandError> {
+    if !(0.0..=1.0).contains(&corrupt_prob) {
+        return Err(CommandError(format!(
+            "--corrupt {corrupt_prob} outside [0, 1]"
+        )));
+    }
+    let scenario = build_preset(preset, num_as, seed)?;
+    let observations = scenario.collect_observations();
+    let mut feed = PacketFeed::new(seed);
+    let packets: Vec<_> = feed.render_all(observations.iter().copied()).collect();
+    let plan = FaultPlan::new(seed).corrupt(corrupt_prob);
+    let mut tel = Telescope::new();
+    let accepted = tel.observe_all(plan.corrupt_packets(packets)).count();
+    let stats = tel.stats();
+    debug_assert_eq!(accepted as u64, stats.accepted);
+    Ok(format!(
+        "preset {} ({} ASes, seed {}, corrupt {:.3}): {}",
+        preset, num_as, seed, corrupt_prob, stats
+    ))
 }
 
 #[cfg(test)]
@@ -253,7 +363,16 @@ mod tests {
         assert!(det.summary.contains("blocks covered"));
         // Duration-mode eval against ground truth: precision should be
         // very high end to end through the text formats.
-        let table = eval(&det.events, &sim.truth, 86_400, 0, false, 0).unwrap();
+        let table = eval(
+            &det.events,
+            &sim.truth,
+            86_400,
+            0,
+            false,
+            0,
+            &IntervalSet::new(),
+        )
+        .unwrap();
         assert!(table.contains("Precision"), "{table}");
         // extract precision value from the rendering
         let line = table
@@ -305,9 +424,122 @@ mod tests {
     fn eval_event_mode_runs() {
         let sim = simulate("table3", 30, 8).unwrap();
         let det = detect(&sim.observations, Some(86_400)).unwrap();
-        let table = eval(&det.events, &sim.truth, 86_400, 300, true, 180).unwrap();
+        let table = eval(
+            &det.events,
+            &sim.truth,
+            86_400,
+            300,
+            true,
+            180,
+            &IntervalSet::new(),
+        )
+        .unwrap();
         assert!(table.contains("event"), "{table}");
         assert!(table.contains("TNR"));
+    }
+
+    /// A steady synthetic feed: four /24s, one query each every 10 s,
+    /// for two days. Aggregate rate is far above the sentinel floor.
+    fn steady_feed_doc() -> String {
+        let mut doc = String::from("# synthetic\n");
+        for t in (0..2 * 86_400).step_by(10) {
+            for b in 0..4 {
+                doc.push_str(&format!("{t} 10.0.{b}.0/24\n"));
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn fault_plan_and_sentinel_flow_through_detect() {
+        let doc = steady_feed_doc();
+        let blackout = Interval::from_secs(120_000, 121_800);
+        let plan = FaultPlan::new(7).blackout(blackout);
+
+        // Sentinel off: the blackout reads as a mass outage.
+        let off = detect_with(
+            &doc,
+            &DetectOptions {
+                fault_plan: Some(plan.clone()),
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap();
+        let off_events = format::parse_events(&off.events).unwrap();
+        assert!(
+            off_events.iter().any(|e| e.interval.overlaps(&blackout)),
+            "expected false outages without the sentinel"
+        );
+
+        // Sentinel on: the span is quarantined instead.
+        let on = detect_with(
+            &doc,
+            &DetectOptions {
+                fault_plan: Some(plan),
+                sentinel: Some(SentinelConfig::default()),
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(on.summary.contains("quarantined"), "{}", on.summary);
+        let on_events = format::parse_events(&on.events).unwrap();
+        assert!(
+            !on_events.iter().any(|e| e.interval.overlaps(&blackout)),
+            "sentinel should suppress verdicts inside the blackout"
+        );
+        let quarantined = format::parse_intervals(&on.quarantine).unwrap();
+        assert!(quarantined.total() >= blackout.duration());
+        assert!(quarantined.iter().any(|iv| iv.overlaps(&blackout)));
+
+        // The quarantine document round-trips into eval's exclusion.
+        let truth = "# none\n";
+        let table = eval(&on.events, truth, 2 * 86_400, 0, false, 0, &quarantined).unwrap();
+        assert!(table.contains("excluded"), "{table}");
+    }
+
+    #[test]
+    fn invalid_sentinel_config_is_a_command_error() {
+        let doc = steady_feed_doc();
+        let bad = SentinelConfig {
+            bucket_secs: 0,
+            ..SentinelConfig::default()
+        };
+        let err = detect_with(
+            &doc,
+            &DetectOptions {
+                sentinel: Some(bad),
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("invalid detector configuration"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn telescope_reports_intake_breakdown() {
+        let clean = telescope("quick", 20, 3, 0.0).unwrap();
+        assert!(clean.contains("dropped 0"), "{clean}");
+        let dirty = telescope("quick", 20, 3, 0.4).unwrap();
+        assert!(dirty.contains("malformed"), "{dirty}");
+        let malformed: u64 = dirty
+            .split("malformed ")
+            .nth(1)
+            .unwrap()
+            .trim_start()
+            .split([',', ')'])
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            malformed > 0,
+            "corruption should damage some payloads: {dirty}"
+        );
+        assert!(telescope("quick", 20, 3, 1.5).is_err());
+        assert!(telescope("nope", 20, 3, 0.0).is_err());
     }
 
     #[test]
@@ -315,7 +547,7 @@ mod tests {
         // truth has an outage on a prefix the observer never mentions
         let truth = "# ev\n10.0.0.0/24 100 800 1.000 ground-truth\n";
         let observed = "# ev\n10.0.1.0/24 100 800 0.900 passive-bayes\n";
-        let table = eval(observed, truth, 86_400, 0, false, 0).unwrap();
+        let table = eval(observed, truth, 86_400, 0, false, 0, &IntervalSet::new()).unwrap();
         // the missed outage is false availability, the invented one false
         // outage; both prefixes accounted for the full window
         assert!(table.contains("fa = 700"), "{table}");

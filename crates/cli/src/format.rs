@@ -5,11 +5,13 @@
 //! * **Observation lines**: `<secs> <block>` — e.g. `8632 192.0.2.0/24`
 //! * **Event lines**: `<prefix> <start> <end> <confidence> <detector>` —
 //!   e.g. `192.0.2.0/24 30010 37200 0.990 passive-bayes`
+//! * **Interval lines**: `<start> <end>` — e.g. `43200 45180` (quarantined
+//!   or otherwise excluded spans)
 //!
 //! Blank lines and lines starting with `#` are ignored on input, so
 //! files can carry headers and comments.
 
-use outage_types::{DetectorId, Interval, Observation, OutageEvent, Prefix, UnixTime};
+use outage_types::{DetectorId, Interval, IntervalSet, Observation, OutageEvent, Prefix, UnixTime};
 use std::fmt::Write as _;
 
 /// Error with line number context.
@@ -113,16 +115,17 @@ pub fn parse_event(line: &str, lineno: usize) -> Result<OutageEvent, ParseError>
             ),
         });
     }
-    let err = |message: String| ParseError { line: lineno, message };
+    let err = |message: String| ParseError {
+        line: lineno,
+        message,
+    };
     let prefix: Prefix = parts[0]
         .parse()
         .map_err(|e| err(format!("bad prefix: {e}")))?;
     let start: u64 = parts[1]
         .parse()
         .map_err(|e| err(format!("bad start: {e}")))?;
-    let end: u64 = parts[2]
-        .parse()
-        .map_err(|e| err(format!("bad end: {e}")))?;
+    let end: u64 = parts[2].parse().map_err(|e| err(format!("bad end: {e}")))?;
     if end < start {
         return Err(err(format!("end {end} before start {start}")));
     }
@@ -162,6 +165,52 @@ pub fn render_events(events: &[OutageEvent]) -> String {
     out
 }
 
+/// Render an interval set, one `<start> <end>` line per interval.
+pub fn render_intervals(set: &IntervalSet) -> String {
+    let mut out = String::from("# <start> <end>\n");
+    for iv in set.iter() {
+        let _ = writeln!(out, "{} {}", iv.start.secs(), iv.end.secs());
+    }
+    out
+}
+
+/// Parse one interval line.
+pub fn parse_interval(line: &str, lineno: usize) -> Result<Interval, ParseError> {
+    let mut parts = line.split_whitespace();
+    let (Some(s), Some(e), None) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(ParseError {
+            line: lineno,
+            message: format!("expected '<start> <end>', got {line:?}"),
+        });
+    };
+    let err = |message: String| ParseError {
+        line: lineno,
+        message,
+    };
+    let start: u64 = s
+        .parse()
+        .map_err(|pe| err(format!("bad start {s:?}: {pe}")))?;
+    let end: u64 = e
+        .parse()
+        .map_err(|pe| err(format!("bad end {e:?}: {pe}")))?;
+    if end < start {
+        return Err(err(format!("end {end} before start {start}")));
+    }
+    Ok(Interval::from_secs(start, end))
+}
+
+/// Parse a whole interval document into a (merged) set.
+pub fn parse_intervals(input: &str) -> Result<IntervalSet, ParseError> {
+    let mut set = IntervalSet::new();
+    for (i, l) in input.lines().enumerate() {
+        if skippable(l) {
+            continue;
+        }
+        set.insert(parse_interval(l, i + 1)?);
+    }
+    Ok(set)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +240,25 @@ mod tests {
         assert_eq!(back[0].interval, events[0].interval);
         assert_eq!(back[0].detector, events[0].detector);
         assert!((back[0].confidence - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_roundtrip_merges_overlaps() {
+        let doc = "# spans\n100 200\n\n150 300\n400 500\n";
+        let set = parse_intervals(doc).unwrap();
+        assert_eq!(set.intervals().len(), 2);
+        assert_eq!(set.total(), 300);
+        let rendered = render_intervals(&set);
+        assert_eq!(parse_intervals(&rendered).unwrap(), set);
+    }
+
+    #[test]
+    fn bad_interval_lines_rejected() {
+        assert!(parse_interval("5 3", 1).is_err()); // end < start
+        assert!(parse_interval("1 2 3", 1).is_err()); // arity
+        assert!(parse_interval("x 2", 1).is_err()); // not a number
+        let err = parse_intervals("1 2\nbroken\n").unwrap_err();
+        assert_eq!(err.line, 2);
     }
 
     #[test]

@@ -20,4 +20,7 @@
 pub mod commands;
 pub mod format;
 
-pub use commands::{build_preset, coverage, detect, eval, simulate, CommandError};
+pub use commands::{
+    build_preset, coverage, detect, detect_with, eval, simulate, telescope, CommandError,
+    DetectOptions,
+};

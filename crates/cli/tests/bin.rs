@@ -8,7 +8,8 @@ fn bin() -> Command {
 }
 
 fn tmpdir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("passive-outage-test-{tag}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("passive-outage-test-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
@@ -22,36 +23,62 @@ fn full_pipeline_through_the_binary() {
 
     let out = bin()
         .args([
-            "simulate", "--preset", "quick", "--seed", "3", "--num-as", "30",
-            "--out", obs.to_str().unwrap(),
-            "--truth", truth.to_str().unwrap(),
+            "simulate",
+            "--preset",
+            "quick",
+            "--seed",
+            "3",
+            "--num-as",
+            "30",
+            "--out",
+            obs.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
         ])
         .output()
         .expect("spawn simulate");
-    assert!(out.status.success(), "simulate: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "simulate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(obs.exists() && truth.exists());
 
     let out = bin()
         .args([
-            "detect", "--obs", obs.to_str().unwrap(),
-            "--out", events.to_str().unwrap(),
+            "detect",
+            "--obs",
+            obs.to_str().unwrap(),
+            "--out",
+            events.to_str().unwrap(),
         ])
         .output()
         .expect("spawn detect");
-    assert!(out.status.success(), "detect: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "detect: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let summary = String::from_utf8_lossy(&out.stderr);
     assert!(summary.contains("blocks covered"), "{summary}");
 
     let out = bin()
         .args([
             "eval",
-            "--observed", events.to_str().unwrap(),
-            "--truth", truth.to_str().unwrap(),
-            "--window", "86400",
+            "--observed",
+            events.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+            "--window",
+            "86400",
         ])
         .output()
         .expect("spawn eval");
-    assert!(out.status.success(), "eval: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "eval: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8_lossy(&out.stdout);
     assert!(table.contains("Precision"), "{table}");
 
@@ -63,6 +90,135 @@ fn full_pipeline_through_the_binary() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("bin-width-secs"));
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_plan_sentinel_and_exclusion_flags() {
+    let dir = tmpdir("faults");
+    let obs = dir.join("obs.txt");
+    let plan = dir.join("plan.txt");
+    let events = dir.join("events.txt");
+    let quarantine = dir.join("quarantine.txt");
+
+    // Synthetic steady feed: 4 blocks, one query each every 10 s, 2 days.
+    let mut doc = String::from("# synthetic\n");
+    for t in (0..2 * 86_400).step_by(10) {
+        for b in 0..4 {
+            doc.push_str(&format!("{t} 10.0.{b}.0/24\n"));
+        }
+    }
+    std::fs::write(&obs, doc).unwrap();
+    std::fs::write(&plan, "seed 7\nblackout 120000 121800\n").unwrap();
+
+    let out = bin()
+        .args([
+            "detect",
+            "--obs",
+            obs.to_str().unwrap(),
+            "--fault-plan",
+            plan.to_str().unwrap(),
+            "--sentinel",
+            "--out",
+            events.to_str().unwrap(),
+            "--quarantine-out",
+            quarantine.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn detect with faults");
+    assert!(
+        out.status.success(),
+        "detect: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(summary.contains("faults:"), "{summary}");
+    assert!(summary.contains("quarantined"), "{summary}");
+    let qdoc = std::fs::read_to_string(&quarantine).unwrap();
+    assert!(
+        qdoc.lines()
+            .any(|l| !l.trim().is_empty() && !l.starts_with('#')),
+        "quarantine file should list the blackout: {qdoc}"
+    );
+
+    // The quarantine file round-trips as an eval exclusion.
+    let truth = dir.join("truth.txt");
+    std::fs::write(&truth, "# no outages\n").unwrap();
+    let out = bin()
+        .args([
+            "eval",
+            "--observed",
+            events.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+            "--window",
+            "172800",
+            "--exclude",
+            quarantine.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn eval with exclusion");
+    assert!(
+        out.status.success(),
+        "eval: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("excluded"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_sentinel_config_gets_a_real_error_message() {
+    let dir = tmpdir("badsentinel");
+    let obs = dir.join("obs.txt");
+    std::fs::write(&obs, "100 10.0.0.0/24\n200 10.0.0.0/24\n").unwrap();
+    let out = bin()
+        .args([
+            "detect",
+            "--obs",
+            obs.to_str().unwrap(),
+            "--sentinel-bucket",
+            "0",
+            "--out",
+            dir.join("events.txt").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error:") && stderr.contains("invalid detector configuration"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telescope_command_prints_breakdown() {
+    let out = bin()
+        .args([
+            "telescope",
+            "--preset",
+            "quick",
+            "--num-as",
+            "20",
+            "--seed",
+            "3",
+            "--corrupt",
+            "0.3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let line = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        line.contains("accepted") && line.contains("malformed"),
+        "{line}"
+    );
 }
 
 #[test]
@@ -83,7 +239,13 @@ fn helpful_errors_and_exit_codes() {
 
     // missing file
     let out = bin()
-        .args(["detect", "--obs", "/nonexistent/x.txt", "--out", "/tmp/y.txt"])
+        .args([
+            "detect",
+            "--obs",
+            "/nonexistent/x.txt",
+            "--out",
+            "/tmp/y.txt",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -107,9 +107,11 @@ pub fn plan(
             if prefix.len() <= min_len(&agg, prefix.family()) {
                 // At the floor and still unmeasurable.
                 match tune_estimate(estimate, config) {
-                    Tuning::Measurable(params) => {
-                        units.push(PlannedUnit { prefix, members, params })
-                    }
+                    Tuning::Measurable(params) => units.push(PlannedUnit {
+                        prefix,
+                        members,
+                        params,
+                    }),
                     Tuning::Unmeasurable { .. } => uncovered.extend(members),
                 }
                 continue;
@@ -124,9 +126,11 @@ pub fn plan(
         for (prefix, (estimate, mut members)) in next {
             members.sort_unstable();
             match tune_estimate(estimate, config) {
-                Tuning::Measurable(params) => {
-                    units.push(PlannedUnit { prefix, members, params })
-                }
+                Tuning::Measurable(params) => units.push(PlannedUnit {
+                    prefix,
+                    members,
+                    params,
+                }),
                 Tuning::Unmeasurable { .. } => {
                     pending.insert(prefix, (estimate, members));
                 }
@@ -169,7 +173,10 @@ mod tests {
 
     #[test]
     fn dense_blocks_stand_alone() {
-        let plan = plan(flat([(p("10.0.0.0/24"), 0.1), (p("10.0.1.0/24"), 0.2)]), &cfg());
+        let plan = plan(
+            flat([(p("10.0.0.0/24"), 0.1), (p("10.0.1.0/24"), 0.2)]),
+            &cfg(),
+        );
         assert_eq!(plan.units.len(), 2);
         assert!(plan.units.iter().all(|u| !u.is_aggregate()));
         assert!(plan.uncovered.is_empty());

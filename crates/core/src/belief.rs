@@ -63,8 +63,8 @@ impl Belief {
 
     /// Update with one closed bin; returns the new belief.
     pub fn update_bin(&mut self, n: u64, lambda_w: f64, leak_w: f64) -> f64 {
-        self.lo = (self.lo + Self::bin_llr(n, lambda_w, leak_w))
-            .clamp(self.floor_lo, self.ceiling_lo);
+        self.lo =
+            (self.lo + Self::bin_llr(n, lambda_w, leak_w)).clamp(self.floor_lo, self.ceiling_lo);
         self.value()
     }
 }
@@ -98,7 +98,10 @@ mod tests {
         let mut b = Belief::new(&cfg());
         let (lw, ew) = (30.0, 0.3); // dense block, 300 s bin
         let after_one = b.update_bin(0, lw, ew);
-        assert!(after_one < 0.1, "one silent dense bin should convince: {after_one}");
+        assert!(
+            after_one < 0.1,
+            "one silent dense bin should convince: {after_one}"
+        );
     }
 
     #[test]
@@ -106,7 +109,10 @@ mod tests {
         let mut b = Belief::new(&cfg());
         let (lw, ew) = (4.0, 0.04); // k=4 boundary block
         let after_one = b.update_bin(0, lw, ew);
-        assert!(after_one > 0.1, "one bin at k=4 must not convince: {after_one}");
+        assert!(
+            after_one > 0.1,
+            "one bin at k=4 must not convince: {after_one}"
+        );
         let after_two = b.update_bin(0, lw, ew);
         assert!(after_two < 0.1, "two silent bins should: {after_two}");
     }
@@ -127,11 +133,19 @@ mod tests {
         for _ in 0..100 {
             b.update_bin(0, 30.0, 0.3);
         }
-        assert!((b.value() - 0.01).abs() < 1e-9, "floor clamp: {}", b.value());
+        assert!(
+            (b.value() - 0.01).abs() < 1e-9,
+            "floor clamp: {}",
+            b.value()
+        );
         for _ in 0..100 {
             b.update_bin(100, 30.0, 0.3);
         }
-        assert!((b.value() - 0.99).abs() < 1e-9, "ceiling clamp: {}", b.value());
+        assert!(
+            (b.value() - 0.99).abs() < 1e-9,
+            "ceiling clamp: {}",
+            b.value()
+        );
     }
 
     #[test]

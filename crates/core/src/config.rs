@@ -7,9 +7,95 @@
 //! heterogeneity comes from the data, not from hand-tuning.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Candidate bin widths, finest first: 5 min, 10 min, 20 min, 1 h, 2 h.
 pub const DEFAULT_BIN_WIDTHS: [u64; 5] = [300, 600, 1_200, 3_600, 7_200];
+
+/// A structurally invalid configuration, caught before any detector state
+/// is built. Each variant names the violated invariant so callers (the
+/// CLI in particular) can print an actionable message instead of
+/// panicking mid-pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `bin_widths` was empty: the tuner has no operating points.
+    EmptyBinWidths,
+    /// `bin_widths` must be strictly increasing, finest first.
+    NonIncreasingBinWidths,
+    /// A bin width of zero seconds cannot hold arrivals.
+    ZeroBinWidth,
+    /// Need `0 < down_threshold < up_threshold < 1` for hysteresis.
+    BadJudgementThresholds,
+    /// Need `0 < belief_floor < belief_ceiling < 1`.
+    BadBeliefClamp,
+    /// `initial_belief` must lie inside the clamp range.
+    InitialBeliefOutsideClamp,
+    /// `min_expected_per_bin` must be positive.
+    NonPositiveMinExpected,
+    /// `leak_fraction` must be in `(0, 1)`.
+    BadLeakFraction,
+    /// Streaming epochs shorter than an hour cannot hold an hourly
+    /// history (the diurnal model needs hour-of-day resolution).
+    EpochTooShort {
+        /// The rejected epoch length.
+        epoch_secs: u64,
+    },
+    /// Sentinel buckets must be at least one second long.
+    SentinelZeroBucket,
+    /// Sentinel needs `0 < dark_fraction < degraded_fraction < 1`.
+    SentinelBadFractions,
+    /// Sentinel baseline EWMA weight must be in `(0, 1]`.
+    SentinelBadAlpha,
+    /// Sentinel needs at least one healthy bucket to exit quarantine.
+    SentinelNoRecovery,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyBinWidths => write!(f, "bin_widths must not be empty"),
+            ConfigError::NonIncreasingBinWidths => {
+                write!(f, "bin_widths must be strictly increasing")
+            }
+            ConfigError::ZeroBinWidth => write!(f, "bin widths must be positive"),
+            ConfigError::BadJudgementThresholds => {
+                write!(f, "need 0 < down_threshold < up_threshold < 1")
+            }
+            ConfigError::BadBeliefClamp => {
+                write!(f, "need 0 < belief_floor < belief_ceiling < 1")
+            }
+            ConfigError::InitialBeliefOutsideClamp => {
+                write!(f, "initial_belief must lie inside the clamp range")
+            }
+            ConfigError::NonPositiveMinExpected => {
+                write!(f, "min_expected_per_bin must be positive")
+            }
+            ConfigError::BadLeakFraction => write!(f, "leak_fraction must be in (0, 1)"),
+            ConfigError::EpochTooShort { epoch_secs } => write!(
+                f,
+                "epochs shorter than an hour cannot hold a history (got {epoch_secs} s)"
+            ),
+            ConfigError::SentinelZeroBucket => {
+                write!(f, "sentinel bucket_secs must be positive")
+            }
+            ConfigError::SentinelBadFractions => {
+                write!(
+                    f,
+                    "sentinel needs 0 < dark_fraction < degraded_fraction < 1"
+                )
+            }
+            ConfigError::SentinelBadAlpha => {
+                write!(f, "sentinel baseline_alpha must be in (0, 1]")
+            }
+            ConfigError::SentinelNoRecovery => {
+                write!(f, "sentinel recovery_buckets must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Spatial aggregation fallback settings.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -119,31 +205,38 @@ impl DetectorConfig {
         (lambda * self.leak_fraction).max(self.leak_floor)
     }
 
-    /// Validate invariants; returns a description of the first violation.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate invariants; returns the first violated one.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.bin_widths.is_empty() {
-            return Err("bin_widths must not be empty".into());
+            return Err(ConfigError::EmptyBinWidths);
         }
         if self.bin_widths.windows(2).any(|w| w[0] >= w[1]) {
-            return Err("bin_widths must be strictly increasing".into());
+            return Err(ConfigError::NonIncreasingBinWidths);
         }
         if self.bin_widths.contains(&0) {
-            return Err("bin widths must be positive".into());
+            return Err(ConfigError::ZeroBinWidth);
         }
-        if !(0.0 < self.down_threshold && self.down_threshold < self.up_threshold && self.up_threshold < 1.0) {
-            return Err("need 0 < down_threshold < up_threshold < 1".into());
+        if !(0.0 < self.down_threshold
+            && self.down_threshold < self.up_threshold
+            && self.up_threshold < 1.0)
+        {
+            return Err(ConfigError::BadJudgementThresholds);
         }
-        if !(0.0 < self.belief_floor && self.belief_floor < self.belief_ceiling && self.belief_ceiling < 1.0) {
-            return Err("need 0 < belief_floor < belief_ceiling < 1".into());
+        if !(0.0 < self.belief_floor
+            && self.belief_floor < self.belief_ceiling
+            && self.belief_ceiling < 1.0)
+        {
+            return Err(ConfigError::BadBeliefClamp);
         }
-        if !(self.belief_floor <= self.initial_belief && self.initial_belief <= self.belief_ceiling) {
-            return Err("initial_belief must lie inside the clamp range".into());
+        if !(self.belief_floor <= self.initial_belief && self.initial_belief <= self.belief_ceiling)
+        {
+            return Err(ConfigError::InitialBeliefOutsideClamp);
         }
         if self.min_expected_per_bin <= 0.0 {
-            return Err("min_expected_per_bin must be positive".into());
+            return Err(ConfigError::NonPositiveMinExpected);
         }
         if !(0.0 < self.leak_fraction && self.leak_fraction < 1.0) {
-            return Err("leak_fraction must be in (0, 1)".into());
+            return Err(ConfigError::BadLeakFraction);
         }
         Ok(())
     }
@@ -179,26 +272,33 @@ mod tests {
     fn validation_catches_bad_configs() {
         let mut c = DetectorConfig::default();
         c.bin_widths = vec![];
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::EmptyBinWidths));
 
         let mut c = DetectorConfig::default();
         c.bin_widths = vec![300, 300];
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NonIncreasingBinWidths));
 
         let mut c = DetectorConfig::default();
         c.down_threshold = 0.95; // above up_threshold
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::BadJudgementThresholds));
 
         let mut c = DetectorConfig::default();
         c.initial_belief = 0.999; // outside clamp
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::InitialBeliefOutsideClamp));
 
         let mut c = DetectorConfig::default();
         c.min_expected_per_bin = 0.0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NonPositiveMinExpected));
 
         let mut c = DetectorConfig::default();
         c.leak_fraction = 1.5;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::BadLeakFraction));
+    }
+
+    #[test]
+    fn config_errors_render_actionable_messages() {
+        let msg = ConfigError::EpochTooShort { epoch_secs: 30 }.to_string();
+        assert!(msg.contains("30 s"), "unhelpful message: {msg}");
+        assert!(!ConfigError::SentinelBadFractions.to_string().is_empty());
     }
 }

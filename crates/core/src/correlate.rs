@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn fusing_agreeing_sources_sharpens_belief() {
         let fused = fuse_beliefs(&[0.2, 0.2], 0.5);
-        assert!(fused < 0.1, "two weak down-signals should compound: {fused}");
+        assert!(
+            fused < 0.1,
+            "two weak down-signals should compound: {fused}"
+        );
         let fused_up = fuse_beliefs(&[0.8, 0.8], 0.5);
         assert!(fused_up > 0.9);
     }

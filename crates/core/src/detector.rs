@@ -229,8 +229,8 @@ impl UnitDetector {
         if iv.is_empty() {
             return;
         }
-        let evidence = self.rate_integral(iv.start, iv.end)
-            - self.params.leak * iv.duration() as f64;
+        let evidence =
+            self.rate_integral(iv.start, iv.end) - self.params.leak * iv.duration() as f64;
         let posterior_lo = self.belief.log_odds() - evidence;
         let confidence = 1.0 - crate::belief::from_log_odds(posterior_lo);
         self.raw_outages.push((iv, confidence));
@@ -272,8 +272,7 @@ impl UnitDetector {
     /// The expectation honours the diurnal shape, so a quiet night is not
     /// mistaken for a stack of micro-outages.
     fn gap_is_decisive(&self, from: UnixTime, to: UnixTime) -> bool {
-        let evidence =
-            self.rate_integral(from, to) - self.params.leak * to.since(from) as f64;
+        let evidence = self.rate_integral(from, to) - self.params.leak * to.since(from) as f64;
         evidence >= self.belief.log_odds() - self.down_lo + self.gap_margin
     }
 
@@ -284,6 +283,32 @@ impl UnitDetector {
     /// block's next packet.
     pub fn advance_to(&mut self, t: UnixTime) {
         self.advance_bins_to(t);
+    }
+
+    /// Jump the bin clock past a quarantined span ending at `t` without
+    /// judging any of it. Bins that started before `t` are discarded
+    /// unclosed — their contents are sensor artifacts, not evidence — and
+    /// the silence bookkeeping is re-seeded so neither the empty-bin run
+    /// nor the exact-timestamp gap rule can count faulted time against
+    /// the unit. A partial bin straddling `t` is also discarded: arrivals
+    /// between `t` and the next bin edge are credited to the next bin,
+    /// which only ever biases the first post-recovery judgement toward
+    /// "up" — the conservative direction after a sensor fault.
+    ///
+    /// `last_arrival` is set to `t` (never cleared to `None`): a `None`
+    /// would make later edge refinement fall back to `window.start`,
+    /// fabricating outage starts inside the quarantined span, and the gap
+    /// rule must measure silence only from recovery onward.
+    pub fn skip_to(&mut self, t: UnixTime) {
+        let limit = t.min(self.window.end);
+        while self.bin_start(self.next_bin) < limit {
+            self.next_bin += 1;
+        }
+        self.bin_count = 0;
+        self.empty_run_start = None;
+        if self.last_arrival.is_none_or(|last| last < limit) {
+            self.last_arrival = Some(limit);
+        }
     }
 
     /// Feed one arrival at `t` (must be inside the window and
@@ -324,7 +349,9 @@ impl UnitDetector {
             let scale = tail_len as f64 / self.params.width as f64;
             let lambda_w = self.expected_in_bin(tail_start) * scale;
             let leak_w = self.params.leak * tail_len as f64;
-            let b = self.belief.update_bin(n, lambda_w.max(leak_w * 2.0), leak_w);
+            let b = self
+                .belief
+                .update_bin(n, lambda_w.max(leak_w * 2.0), leak_w);
             self.diag.bins += 1;
             if self.state == State::Up && b < from_lo_threshold(self.down_lo) {
                 self.state = State::Down;
@@ -435,7 +462,13 @@ mod tests {
     }
 
     fn detector(params: UnitParams) -> UnitDetector {
-        UnitDetector::new(block(), params, [1.0; 24], &DetectorConfig::default(), window())
+        UnitDetector::new(
+            block(),
+            params,
+            [1.0; 24],
+            &DetectorConfig::default(),
+            window(),
+        )
     }
 
     /// Feed arrivals every `step` seconds over `0..86_400`, silent during
@@ -487,7 +520,11 @@ mod tests {
         let r = run_with_gap(dense_params(), 10, 30_130..30_430);
         assert_eq!(r.timeline.down.len(), 1, "{:?}", r.timeline.down);
         let iv = r.timeline.down.intervals()[0];
-        assert!(iv.duration() >= 280 && iv.duration() <= 320, "dur {}", iv.duration());
+        assert!(
+            iv.duration() >= 280 && iv.duration() <= 320,
+            "dur {}",
+            iv.duration()
+        );
         assert!(r.diagnostics.gap_detections >= 1);
     }
 

@@ -201,7 +201,13 @@ fn hourly_shape(hourly: &[u64], window: Interval) -> ([f64; 24], bool) {
         counts[hod] += 1;
     }
     let mut means: Vec<f64> = (0..24)
-        .map(|h| if counts[h] > 0 { sums[h] / counts[h] as f64 } else { 0.0 })
+        .map(|h| {
+            if counts[h] > 0 {
+                sums[h] / counts[h] as f64
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     // Smooth into 4-hour buckets when data is thin.

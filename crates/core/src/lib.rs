@@ -59,17 +59,19 @@ pub mod detector;
 pub mod history;
 pub mod parallel;
 pub mod pipeline;
+pub mod sentinel;
 pub mod streaming;
 pub mod tuning;
 
 pub use aggregate::{plan, AggregationPlan, PlannedUnit};
 pub use belief::Belief;
-pub use config::{AggregationConfig, DetectorConfig};
+pub use config::{AggregationConfig, ConfigError, DetectorConfig};
 pub use correlate::{fuse_beliefs, fuse_timelines};
 pub use coverage::{coverage_by_width, spatial_coverage, CoveragePoint, SpatialCoverage};
 pub use detector::{UnitDetector, UnitDiagnostics, UnitReport};
 pub use history::{BlockHistory, HistoryBuilder};
 pub use parallel::detect_parallel;
 pub use pipeline::{DetectionReport, PassiveDetector};
+pub use sentinel::{FeedHealth, FeedSentinel, SentinelConfig};
 pub use streaming::StreamingMonitor;
 pub use tuning::{finest_measurable_width, tune_block, tune_rate, Tuning, UnitParams};

@@ -16,10 +16,11 @@
 //! model). Both styles are supported.
 
 use crate::aggregate::{plan, AggregationPlan};
-use crate::config::DetectorConfig;
+use crate::config::{ConfigError, DetectorConfig};
 use crate::detector::{UnitDetector, UnitDiagnostics, UnitReport};
 use crate::history::{BlockHistory, HistoryBuilder};
-use outage_types::{Interval, Observation, OutageEvent, Prefix, Timeline};
+use crate::sentinel::{FeedSentinel, SentinelConfig};
+use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline, UnixTime};
 use std::collections::HashMap;
 
 /// Outcome of a full detection run.
@@ -35,6 +36,10 @@ pub struct DetectionReport {
     pub uncovered: Vec<Prefix>,
     /// Observations that matched no unit (blocks unseen in history).
     pub strays: u64,
+    /// Intervals during which the feed sentinel judged the *sensor*
+    /// faulted: no verdicts were formed there, and evaluation should
+    /// exclude them. Empty unless the run used a sentinel.
+    pub quarantined: IntervalSet,
     block_to_unit: HashMap<Prefix, usize>,
 }
 
@@ -54,6 +59,7 @@ impl DetectionReport {
             members,
             uncovered,
             strays,
+            quarantined: IntervalSet::new(),
             block_to_unit,
         }
     }
@@ -124,11 +130,18 @@ pub struct PassiveDetector {
 
 impl PassiveDetector {
     /// A detector with the given configuration.
+    ///
+    /// Panics on an invalid configuration; use [`Self::try_new`] where
+    /// the configuration comes from user input.
     pub fn new(config: DetectorConfig) -> PassiveDetector {
-        config
-            .validate()
-            .expect("invalid detector configuration");
-        PassiveDetector { config }
+        PassiveDetector::try_new(config).expect("invalid detector configuration")
+    }
+
+    /// A detector with the given configuration, rejecting invalid
+    /// configurations with a typed error instead of panicking.
+    pub fn try_new(config: DetectorConfig) -> Result<PassiveDetector, ConfigError> {
+        config.validate()?;
+        Ok(PassiveDetector { config })
     }
 
     /// The configuration in force.
@@ -151,9 +164,12 @@ impl PassiveDetector {
     /// aware: widths are chosen against each block's quietest hour).
     pub fn plan_units(&self, histories: &HashMap<Prefix, BlockHistory>) -> AggregationPlan {
         plan(
-            histories
-                .iter()
-                .map(|(p, h)| (*p, crate::tuning::RateEstimate::from_history(h, &self.config))),
+            histories.iter().map(|(p, h)| {
+                (
+                    *p,
+                    crate::tuning::RateEstimate::from_history(h, &self.config),
+                )
+            }),
             &self.config,
         )
     }
@@ -164,6 +180,31 @@ impl PassiveDetector {
         histories: &HashMap<Prefix, BlockHistory>,
         observations: I,
         window: Interval,
+    ) -> DetectionReport {
+        self.detect_inner(histories, observations, window, None)
+    }
+
+    /// Detection pass guarded by a feed sentinel: spans where the
+    /// *sensor* looks faulted (aggregate arrival rate collapsed) are
+    /// quarantined — no unit judges them, and they are reported in
+    /// [`DetectionReport::quarantined`] for evaluation to exclude.
+    pub fn detect_with_sentinel<I: IntoIterator<Item = Observation>>(
+        &self,
+        histories: &HashMap<Prefix, BlockHistory>,
+        observations: I,
+        window: Interval,
+        sentinel: &SentinelConfig,
+    ) -> Result<DetectionReport, ConfigError> {
+        sentinel.validate()?;
+        Ok(self.detect_inner(histories, observations, window, Some(sentinel)))
+    }
+
+    fn detect_inner<I: IntoIterator<Item = Observation>>(
+        &self,
+        histories: &HashMap<Prefix, BlockHistory>,
+        observations: I,
+        window: Interval,
+        sentinel_cfg: Option<&SentinelConfig>,
     ) -> DetectionReport {
         let plan = self.plan_units(histories);
         let mut detectors: Vec<UnitDetector> = plan
@@ -182,14 +223,57 @@ impl PassiveDetector {
             }
         }
 
+        let mut sentinel = sentinel_cfg.map(|cfg| FeedSentinel::new(*cfg, window.start));
+        let mut quarantine_open: Option<UnixTime> = None;
+        let mut quarantined = IntervalSet::new();
+
         let mut strays = 0u64;
         for obs in observations {
             if !window.contains(obs.time) {
                 continue;
             }
+            if let Some(s) = &mut sentinel {
+                s.observe(obs.time);
+                if quarantine_open.is_none() && s.is_quarantined() {
+                    // The feed went unhealthy; the sentinel back-dates
+                    // the start to the first unhealthy bucket.
+                    quarantine_open = Some(s.unhealthy_since().unwrap_or(obs.time));
+                } else if quarantine_open.is_some() && !s.is_quarantined() {
+                    // Recovered: jump every unit past the faulted span
+                    // so none of it is judged.
+                    let start = quarantine_open.take().unwrap();
+                    for d in &mut detectors {
+                        d.skip_to(obs.time);
+                    }
+                    if obs.time > start {
+                        quarantined.insert(Interval::new(start, obs.time));
+                    }
+                }
+                if quarantine_open.is_some() {
+                    continue; // sensor-fault arrivals are not evidence
+                }
+            }
             match block_to_unit.get(&obs.block) {
                 Some(&i) => detectors[i].observe(obs.time),
                 None => strays += 1,
+            }
+        }
+
+        // The stream may end faulted (or the fault may only become
+        // visible once the trailing silence closes sentinel buckets):
+        // swallow the tail rather than judge it.
+        if let Some(s) = &mut sentinel {
+            s.advance_to(window.end);
+            if quarantine_open.is_none() && s.is_quarantined() {
+                quarantine_open = Some(s.unhealthy_since().unwrap_or(window.end));
+            }
+            if let Some(start) = quarantine_open.take() {
+                for d in &mut detectors {
+                    d.skip_to(window.end);
+                }
+                if window.end > start {
+                    quarantined.insert(Interval::new(start, window.end));
+                }
             }
         }
 
@@ -200,6 +284,7 @@ impl PassiveDetector {
             members: plan.units.into_iter().map(|u| u.members).collect(),
             uncovered: plan.uncovered,
             strays,
+            quarantined,
             block_to_unit,
         }
     }
@@ -218,6 +303,20 @@ impl PassiveDetector {
     /// Convenience: two-pass run over an in-memory slice.
     pub fn run_slice(&self, observations: &[Observation], window: Interval) -> DetectionReport {
         self.run_replay(|| observations.iter().copied(), window)
+    }
+
+    /// [`Self::run_slice`] with a feed sentinel guarding the detection
+    /// pass (history is still learned from the full slice: a faulted
+    /// span depresses learned rates slightly, in the conservative
+    /// direction).
+    pub fn run_slice_with_sentinel(
+        &self,
+        observations: &[Observation],
+        window: Interval,
+        sentinel: &SentinelConfig,
+    ) -> Result<DetectionReport, ConfigError> {
+        let histories = self.learn_histories(observations.iter().copied(), window);
+        self.detect_with_sentinel(&histories, observations.iter().copied(), window, sentinel)
     }
 }
 
@@ -293,7 +392,11 @@ mod tests {
         let tl = report.timeline_for(&b).unwrap();
         assert_eq!(tl.down.len(), 1);
         let iv = tl.down.intervals()[0];
-        assert!((29_900..30_100).contains(&iv.start.secs()), "start {}", iv.start);
+        assert!(
+            (29_900..30_100).contains(&iv.start.secs()),
+            "start {}",
+            iv.start
+        );
         assert!((37_100..37_300).contains(&iv.end.secs()), "end {}", iv.end);
 
         let healthy = report.timeline_for(&p("198.51.100.0/24")).unwrap();
@@ -319,7 +422,11 @@ mod tests {
         let det = PassiveDetector::new(DetectorConfig::default());
         let report = det.run_slice(&obs, window());
         let b0 = Prefix::v4_raw(0x0A00_0000, 24);
-        assert!(report.is_aggregated(&b0), "uncovered: {:?}", report.uncovered);
+        assert!(
+            report.is_aggregated(&b0),
+            "uncovered: {:?}",
+            report.uncovered
+        );
         assert_eq!(report.covered_blocks(), 16);
         // the aggregate saw no outage
         assert_eq!(report.timeline_for(&b0).unwrap().down_secs(), 0);
@@ -381,7 +488,14 @@ mod tests {
         let det = PassiveDetector::new(DetectorConfig::default());
         let report = det.run_slice(&obs, window());
         let events = report.events();
-        assert_eq!(events.len(), report.units.iter().map(|u| u.timeline.down.len()).sum::<usize>());
+        assert_eq!(
+            events.len(),
+            report
+                .units
+                .iter()
+                .map(|u| u.timeline.down.len())
+                .sum::<usize>()
+        );
         let d = report.diagnostics();
         assert_eq!(d.arrivals as usize, obs.len());
         assert!(d.bins > 0);
@@ -409,6 +523,102 @@ mod tests {
         assert_eq!(tl.down.len(), 1);
         let iv = tl.down.intervals()[0];
         assert!((119_900..120_100).contains(&iv.start.secs()));
+    }
+
+    /// Four dense blocks (aggregate ≈ 24 arrivals per sentinel bucket)
+    /// all silenced together by a feed blackout.
+    fn blacked_out_fleet(blackout: std::ops::Range<u64>) -> Vec<Observation> {
+        let mut obs = Vec::new();
+        for i in 0..4u32 {
+            let b = Prefix::v4_raw(0xC633_6400 + (i << 8), 24);
+            obs.extend(
+                (i as u64..86_400)
+                    .step_by(10)
+                    .filter(|t| !blackout.contains(t))
+                    .map(|t| Observation::new(UnixTime(t), b)),
+            );
+        }
+        obs.sort();
+        obs
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let c = DetectorConfig {
+            leak_fraction: 2.0,
+            ..DetectorConfig::default()
+        };
+        assert!(PassiveDetector::try_new(c).is_err());
+    }
+
+    #[test]
+    fn feed_blackout_without_sentinel_is_a_mass_false_outage() {
+        let obs = blacked_out_fleet(43_200..45_000);
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let report = det.run_slice(&obs, window());
+        assert!(report.quarantined.is_empty());
+        let faulted = report
+            .units
+            .iter()
+            .filter(|u| {
+                u.timeline
+                    .down
+                    .intervals()
+                    .iter()
+                    .any(|iv| iv.start.secs() < 45_000 && iv.end.secs() > 43_200)
+            })
+            .count();
+        assert_eq!(faulted, report.units.len(), "every unit goes dark at once");
+    }
+
+    #[test]
+    fn feed_blackout_with_sentinel_is_quarantined() {
+        let blackout = 43_200..45_000;
+        let obs = blacked_out_fleet(blackout.clone());
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let report = det
+            .run_slice_with_sentinel(&obs, window(), &crate::SentinelConfig::default())
+            .expect("valid sentinel config");
+        for u in &report.units {
+            assert!(
+                !u.timeline
+                    .down
+                    .intervals()
+                    .iter()
+                    .any(|iv| { iv.start.secs() < blackout.end && iv.end.secs() > blackout.start }),
+                "no verdict may overlap the sensor fault: {:?}",
+                u.timeline.down
+            );
+        }
+        assert_eq!(report.quarantined.intervals().len(), 1);
+        let q = report.quarantined.intervals()[0];
+        assert!(q.start.secs() <= blackout.start + 120);
+        assert!(q.end.secs() >= blackout.end);
+        assert!(q.duration() < (blackout.end - blackout.start) + 600);
+    }
+
+    #[test]
+    fn sentinel_swallows_a_stream_that_dies_before_window_end() {
+        // Feed stops entirely at 60 000: the trailing silence is a
+        // sensor fault, not a mass outage through 86 400.
+        let mut obs = blacked_out_fleet(0..0);
+        obs.retain(|o| o.time.secs() < 60_000);
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let report = det
+            .run_slice_with_sentinel(&obs, window(), &crate::SentinelConfig::default())
+            .expect("valid sentinel config");
+        for u in &report.units {
+            assert!(
+                !u.timeline
+                    .down
+                    .intervals()
+                    .iter()
+                    .any(|iv| iv.end.secs() > 60_200),
+                "tail must be quarantined, not judged: {:?}",
+                u.timeline.down
+            );
+        }
+        assert!(!report.quarantined.is_empty());
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Feed-health sentinel: is the *telescope* alive, before asking whether
+//! the Internet is?
+//!
+//! Every verdict this system produces rests on one assumption the paper
+//! never has to state: that B-root itself was up and its capture pipeline
+//! was delivering packets. When the feed stalls — a capture outage, a
+//! clogged pipe upstream, a crashed forwarder — every covered block goes
+//! silent *at once*, and a naive detector reports a planet-wide outage
+//! (the confounder Chocolatine models explicitly by forecasting the
+//! telescope signal itself).
+//!
+//! The [`FeedSentinel`] watches the one signal that separates the two
+//! cases: the **aggregate cross-block arrival rate**. Block outages are
+//! independent, so real outages barely dent the aggregate; a feed fault
+//! collapses it. The sentinel buckets aggregate arrivals on a short
+//! clock, tracks an EWMA baseline over healthy buckets, and classifies
+//! each closed bucket as [`FeedHealth::Healthy`], `Degraded` (rate
+//! collapsed below `degraded_fraction` of baseline — a brownout), or
+//! `Dark` (below `dark_fraction` — a blackout). While unhealthy the feed
+//! is **quarantined**: the monitor freezes per-unit beliefs, opens and
+//! closes no verdicts, and on recovery re-seeds bin clocks past the
+//! faulted span. Quarantined intervals are reported so evaluation can
+//! exclude them — scored coverage shrinks; precision doesn't lie.
+
+use crate::config::ConfigError;
+use outage_types::{Interval, IntervalSet, UnixTime};
+use serde::{Deserialize, Serialize};
+
+/// The sentinel's judgement of the feed itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeedHealth {
+    /// Aggregate arrivals near baseline: verdicts are trustworthy.
+    Healthy,
+    /// Aggregate rate collapsed well below baseline (brownout): blocks
+    /// look sparser than they are; empty bins are not evidence.
+    Degraded,
+    /// Aggregate rate near zero (blackout): the telescope is blind.
+    Dark,
+}
+
+impl std::fmt::Display for FeedHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedHealth::Healthy => write!(f, "healthy"),
+            FeedHealth::Degraded => write!(f, "degraded"),
+            FeedHealth::Dark => write!(f, "dark"),
+        }
+    }
+}
+
+/// Sentinel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SentinelConfig {
+    /// Aggregate-rate bucket length in seconds. Short enough to flag a
+    /// fault before any detection bin (the finest default bin is 300 s)
+    /// closes over it.
+    pub bucket_secs: u64,
+    /// Buckets absorbed into the baseline before the sentinel judges at
+    /// all (it cannot tell Dark from "feed just started" without one).
+    pub warmup_buckets: u32,
+    /// A bucket below this fraction of baseline is `Dark`.
+    pub dark_fraction: f64,
+    /// A bucket below this fraction (but above `dark_fraction`) is
+    /// `Degraded`. Kept well under the diurnal trough so a quiet night
+    /// never reads as a brownout.
+    pub degraded_fraction: f64,
+    /// EWMA weight of each new *healthy* bucket in the baseline.
+    /// Unhealthy buckets never update the baseline — a long blackout
+    /// must not teach the sentinel that darkness is normal.
+    pub baseline_alpha: f64,
+    /// Consecutive healthy buckets required to leave quarantine.
+    pub recovery_buckets: u32,
+    /// Minimum baseline (arrivals per bucket) for classification: below
+    /// this the aggregate is too sparse for the ratio test and the
+    /// sentinel stays out of the way.
+    pub min_baseline: f64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            bucket_secs: 60,
+            warmup_buckets: 10,
+            dark_fraction: 0.05,
+            degraded_fraction: 0.4,
+            baseline_alpha: 0.05,
+            recovery_buckets: 3,
+            min_baseline: 10.0,
+        }
+    }
+}
+
+impl SentinelConfig {
+    /// Validate invariants; returns the first violated one.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.bucket_secs == 0 {
+            return Err(ConfigError::SentinelZeroBucket);
+        }
+        if !(0.0 < self.dark_fraction
+            && self.dark_fraction < self.degraded_fraction
+            && self.degraded_fraction < 1.0)
+        {
+            return Err(ConfigError::SentinelBadFractions);
+        }
+        if !(0.0 < self.baseline_alpha && self.baseline_alpha <= 1.0) {
+            return Err(ConfigError::SentinelBadAlpha);
+        }
+        if self.recovery_buckets == 0 {
+            return Err(ConfigError::SentinelNoRecovery);
+        }
+        Ok(())
+    }
+}
+
+/// Running sentinel state (see module docs).
+#[derive(Debug, Clone)]
+pub struct FeedSentinel {
+    cfg: SentinelConfig,
+    origin: UnixTime,
+    /// Index of the currently open bucket.
+    next_bucket: u64,
+    /// Arrivals in the open bucket.
+    count: u64,
+    /// EWMA of healthy-bucket counts.
+    baseline: f64,
+    /// Buckets absorbed during warm-up so far.
+    warm: u32,
+    health: FeedHealth,
+    /// First moment of the current unhealthy spell.
+    unhealthy_since: Option<UnixTime>,
+    /// Consecutive healthy buckets observed while unhealthy.
+    healthy_run: u32,
+    /// Start of that healthy run.
+    run_start: Option<UnixTime>,
+    /// Closed quarantine intervals.
+    quarantined: IntervalSet,
+    buckets_closed: u64,
+    unhealthy_buckets: u64,
+}
+
+impl FeedSentinel {
+    /// A sentinel whose bucket grid starts at `start`.
+    pub fn new(cfg: SentinelConfig, start: UnixTime) -> FeedSentinel {
+        FeedSentinel {
+            cfg,
+            origin: start,
+            next_bucket: 0,
+            count: 0,
+            baseline: 0.0,
+            warm: 0,
+            health: FeedHealth::Healthy,
+            unhealthy_since: None,
+            healthy_run: 0,
+            run_start: None,
+            quarantined: IntervalSet::new(),
+            buckets_closed: 0,
+            unhealthy_buckets: 0,
+        }
+    }
+
+    fn bucket_start(&self, index: u64) -> UnixTime {
+        self.origin + index * self.cfg.bucket_secs
+    }
+
+    /// One aggregate arrival at `t` (any block; the sentinel is blind to
+    /// which). Times must be non-decreasing.
+    pub fn observe(&mut self, t: UnixTime) {
+        self.advance_to(t);
+        self.count += 1;
+    }
+
+    /// Close every bucket ending at or before `t` (a long silence closes
+    /// them all as empty — which is exactly the signal).
+    pub fn advance_to(&mut self, t: UnixTime) {
+        while self.bucket_start(self.next_bucket + 1) <= t {
+            let idx = self.next_bucket;
+            let n = self.count;
+            self.count = 0;
+            self.next_bucket += 1;
+            self.close_bucket(idx, n);
+        }
+    }
+
+    fn classify(&self, n: u64) -> FeedHealth {
+        let ratio = n as f64 / self.baseline;
+        if ratio < self.cfg.dark_fraction {
+            FeedHealth::Dark
+        } else if ratio < self.cfg.degraded_fraction {
+            FeedHealth::Degraded
+        } else {
+            FeedHealth::Healthy
+        }
+    }
+
+    fn close_bucket(&mut self, idx: u64, n: u64) {
+        self.buckets_closed += 1;
+        let start = self.bucket_start(idx);
+
+        if self.warm < self.cfg.warmup_buckets {
+            // Warm-up: absorb unconditionally; never judge.
+            self.baseline = if self.warm == 0 {
+                n as f64
+            } else {
+                self.ewma(n)
+            };
+            self.warm += 1;
+            return;
+        }
+        if self.baseline < self.cfg.min_baseline {
+            // Too sparse a feed for the ratio test; keep learning.
+            self.baseline = self.ewma(n);
+            return;
+        }
+
+        let class = self.classify(n);
+        if class != FeedHealth::Healthy {
+            self.unhealthy_buckets += 1;
+        }
+        match (self.health, class) {
+            (FeedHealth::Healthy, FeedHealth::Healthy) => {
+                self.baseline = self.ewma(n);
+            }
+            (FeedHealth::Healthy, bad) => {
+                self.health = bad;
+                self.unhealthy_since = Some(start);
+                self.healthy_run = 0;
+                self.run_start = None;
+            }
+            (_, FeedHealth::Healthy) => {
+                if self.healthy_run == 0 {
+                    self.run_start = Some(start);
+                }
+                self.healthy_run += 1;
+                if self.healthy_run >= self.cfg.recovery_buckets {
+                    let from = self.unhealthy_since.take().unwrap_or(start);
+                    let to = self.run_start.take().unwrap_or(start);
+                    if to > from {
+                        self.quarantined.insert(Interval::new(from, to));
+                    }
+                    self.health = FeedHealth::Healthy;
+                    self.healthy_run = 0;
+                }
+            }
+            (_, bad) => {
+                // Still unhealthy (possibly switching Dark <-> Degraded);
+                // any partial healthy run is void.
+                self.health = bad;
+                self.healthy_run = 0;
+                self.run_start = None;
+            }
+        }
+    }
+
+    fn ewma(&self, n: u64) -> f64 {
+        self.cfg.baseline_alpha * n as f64 + (1.0 - self.cfg.baseline_alpha) * self.baseline
+    }
+
+    /// Current feed judgement.
+    pub fn health(&self) -> FeedHealth {
+        self.health
+    }
+
+    /// Whether verdicts should currently be suspended.
+    pub fn is_quarantined(&self) -> bool {
+        self.health != FeedHealth::Healthy
+    }
+
+    /// Start of the unhealthy spell in progress, if any.
+    pub fn unhealthy_since(&self) -> Option<UnixTime> {
+        self.unhealthy_since
+    }
+
+    /// The learned baseline, in arrivals per bucket.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// Closed quarantine intervals so far.
+    pub fn quarantined(&self) -> &IntervalSet {
+        &self.quarantined
+    }
+
+    /// All quarantined time through `end`, including an unhealthy spell
+    /// still open at `end`.
+    pub fn quarantined_through(&self, end: UnixTime) -> IntervalSet {
+        let mut q = self.quarantined.clone();
+        if let Some(from) = self.unhealthy_since {
+            if end > from {
+                q.insert(Interval::new(from, end));
+            }
+        }
+        q
+    }
+
+    /// `(buckets closed, of which unhealthy)`.
+    pub fn bucket_counts(&self) -> (u64, u64) {
+        (self.buckets_closed, self.unhealthy_buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Steady 100 arrivals per 60 s bucket.
+    fn feed_steady(s: &mut FeedSentinel, from: u64, to: u64) {
+        let mut t = from;
+        while t < to {
+            s.observe(UnixTime(t));
+            t += 1; // ~60 per bucket at 1/s... use 1 Hz
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        SentinelConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let c = SentinelConfig {
+            bucket_secs: 0,
+            ..SentinelConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::SentinelZeroBucket));
+
+        let c = SentinelConfig {
+            dark_fraction: 0.5, // above degraded_fraction
+            ..SentinelConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::SentinelBadFractions));
+
+        let c = SentinelConfig {
+            baseline_alpha: 0.0,
+            ..SentinelConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::SentinelBadAlpha));
+
+        let c = SentinelConfig {
+            recovery_buckets: 0,
+            ..SentinelConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::SentinelNoRecovery));
+    }
+
+    #[test]
+    fn healthy_feed_never_quarantines() {
+        let mut s = FeedSentinel::new(SentinelConfig::default(), UnixTime(0));
+        feed_steady(&mut s, 0, 7_200);
+        assert_eq!(s.health(), FeedHealth::Healthy);
+        assert!(s.quarantined_through(UnixTime(7_200)).is_empty());
+        assert!(s.baseline() > 30.0);
+    }
+
+    #[test]
+    fn blackout_is_quarantined_and_bounded() {
+        let mut s = FeedSentinel::new(SentinelConfig::default(), UnixTime(0));
+        feed_steady(&mut s, 0, 3_600);
+        feed_steady(&mut s, 5_400, 9_000); // 30 min of silence in between
+        assert_eq!(s.health(), FeedHealth::Healthy, "must recover");
+        let q = s.quarantined_through(UnixTime(9_000));
+        assert_eq!(q.intervals().len(), 1);
+        let iv = q.intervals()[0];
+        // Quarantine covers the blackout, within a bucket either side.
+        assert!(iv.start.secs() <= 3_660, "late start: {}", iv.start);
+        assert!(iv.end.secs() >= 5_340, "early end: {}", iv.end);
+        assert!(iv.end.secs() <= 5_520, "overlong end: {}", iv.end);
+    }
+
+    #[test]
+    fn brownout_is_degraded_not_dark() {
+        let mut s = FeedSentinel::new(SentinelConfig::default(), UnixTime(0));
+        feed_steady(&mut s, 0, 3_600);
+        // 10% of the rate: one arrival every 10 s.
+        let mut t = 3_600;
+        while t < 5_400 {
+            s.observe(UnixTime(t));
+            t += 10;
+        }
+        // Judge with the spell still open.
+        assert_eq!(s.health(), FeedHealth::Degraded);
+        assert!(s.is_quarantined());
+        feed_steady(&mut s, 5_400, 7_200);
+        assert_eq!(s.health(), FeedHealth::Healthy);
+        assert!(!s.quarantined().is_empty());
+    }
+
+    #[test]
+    fn diurnal_scale_drift_does_not_trigger() {
+        // Rate halving gradually over hours: EWMA follows, no quarantine.
+        let mut s = FeedSentinel::new(SentinelConfig::default(), UnixTime(0));
+        let mut t = 0u64;
+        while t < 21_600 {
+            s.observe(UnixTime(t));
+            // period grows smoothly from 1 s to 2 s over six hours
+            t += 1 + t / 21_600;
+        }
+        assert_eq!(s.health(), FeedHealth::Healthy);
+        assert!(s.quarantined_through(UnixTime(21_600)).is_empty());
+    }
+
+    #[test]
+    fn sparse_feed_stays_out_of_the_way() {
+        // Baseline ~6 per bucket, below min_baseline=10: never judged.
+        let mut s = FeedSentinel::new(SentinelConfig::default(), UnixTime(0));
+        for t in (0..3_600).step_by(10) {
+            s.observe(UnixTime(t));
+        }
+        s.advance_to(UnixTime(7_200)); // a long silence...
+        assert_eq!(s.health(), FeedHealth::Healthy, "too sparse to judge");
+    }
+
+    #[test]
+    fn long_silence_closes_buckets_without_arrivals() {
+        let mut s = FeedSentinel::new(SentinelConfig::default(), UnixTime(0));
+        feed_steady(&mut s, 0, 3_600);
+        s.advance_to(UnixTime(5_400));
+        assert_eq!(s.health(), FeedHealth::Dark);
+        assert!(s.unhealthy_since().is_some());
+        let q = s.quarantined_through(UnixTime(5_400));
+        assert_eq!(q.intervals().len(), 1);
+    }
+}

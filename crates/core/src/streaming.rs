@@ -16,18 +16,98 @@
 //!   declaring outages).
 //! * Completed outages are emitted as [`OutageEvent`]s; the current
 //!   belief of any block can be queried at any time.
+//!
+//! Two fault-tolerance layers guard the ingest path:
+//!
+//! * A bounded **reorder buffer** ([`StreamingMonitor::with_reorder`]):
+//!   real capture pipelines deliver modestly out-of-order packets, and
+//!   the per-unit detectors require non-decreasing time. Observations
+//!   are held until a watermark (`max time seen − max_skew`) passes
+//!   them, then released in time order; anything arriving behind the
+//!   watermark is counted and dropped rather than corrupting bin state.
+//! * A **feed sentinel** ([`StreamingMonitor::with_sentinel`]): when the
+//!   telescope feed itself stalls, every block goes silent at once and a
+//!   naive monitor reports a planet-wide outage. The sentinel watches
+//!   the aggregate arrival rate; while it judges the feed unhealthy the
+//!   monitor is **quarantined** — unit beliefs freeze, no verdicts open
+//!   or close, and on recovery each unit's bin clock is re-seeded past
+//!   the faulted span. Quarantined intervals are recorded so evaluation
+//!   can exclude them.
 
-use crate::config::DetectorConfig;
+use crate::config::{ConfigError, DetectorConfig};
 use crate::detector::{UnitDetector, UnitReport};
 use crate::history::HistoryBuilder;
 use crate::pipeline::PassiveDetector;
-use outage_types::{Interval, Observation, OutageEvent, Prefix, Timeline, UnixTime};
-use std::collections::HashMap;
+use crate::sentinel::{FeedHealth, FeedSentinel, SentinelConfig};
+use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline, UnixTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Bounded watermark reorder stage (see module docs).
+#[derive(Debug)]
+struct ReorderBuffer {
+    max_skew: u64,
+    heap: BinaryHeap<Reverse<Observation>>,
+    /// Everything strictly before this has been released downstream.
+    released: Option<UnixTime>,
+    late_drops: u64,
+}
+
+impl ReorderBuffer {
+    fn new(max_skew: u64) -> ReorderBuffer {
+        ReorderBuffer {
+            max_skew,
+            heap: BinaryHeap::new(),
+            released: None,
+            late_drops: 0,
+        }
+    }
+
+    /// Accept one observation; returns the observations now safe to
+    /// release, in time order.
+    fn push(&mut self, obs: Observation) -> Vec<Observation> {
+        if self.released.is_some_and(|r| obs.time < r) {
+            // Behind the watermark: releasing it would time-travel.
+            self.late_drops += 1;
+            return Vec::new();
+        }
+        self.heap.push(Reverse(obs));
+        self.drain_to(UnixTime(obs.time.secs().saturating_sub(self.max_skew)))
+    }
+
+    /// Release everything at or before `watermark` (wall-clock ticks
+    /// advance the watermark even when no packets arrive).
+    fn drain_to(&mut self, watermark: UnixTime) -> Vec<Observation> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.time > watermark {
+                break;
+            }
+            out.push(self.heap.pop().unwrap().0);
+        }
+        if self.released.is_none_or(|r| r < watermark) {
+            self.released = Some(watermark);
+        }
+        out
+    }
+
+    /// Release everything still held, in time order.
+    fn drain_all(&mut self) -> Vec<Observation> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(Reverse(obs)) = self.heap.pop() {
+            out.push(obs);
+        }
+        out
+    }
+}
 
 /// A continuously-running passive outage monitor.
+#[derive(Debug)]
 pub struct StreamingMonitor {
     detector: PassiveDetector,
     epoch_secs: u64,
+    /// First instant the monitor covers (sentinel bucket origin).
+    start: UnixTime,
     /// Start of the epoch currently being *detected* (None during
     /// warm-up).
     current_epoch: Option<UnixTime>,
@@ -43,16 +123,31 @@ pub struct StreamingMonitor {
     timelines: HashMap<Prefix, Vec<Timeline>>,
     strays: u64,
     started: bool,
+    reorder: Option<ReorderBuffer>,
+    sentinel: Option<FeedSentinel>,
+    /// Start of the quarantine currently in force, if any.
+    quarantine_open: Option<UnixTime>,
+    /// Closed quarantine intervals (feed-fault spans, not outages).
+    quarantined: IntervalSet,
+    /// Observations swallowed while quarantined.
+    quarantine_swallowed: u64,
 }
 
 impl StreamingMonitor {
     /// A monitor starting at `start` with epochs of `epoch_secs`
     /// (the warm-up epoch is `[start, start + epoch_secs)`).
-    pub fn new(config: DetectorConfig, start: UnixTime, epoch_secs: u64) -> StreamingMonitor {
-        assert!(epoch_secs >= 3_600, "epochs shorter than an hour cannot hold a history");
-        StreamingMonitor {
-            detector: PassiveDetector::new(config),
+    pub fn new(
+        config: DetectorConfig,
+        start: UnixTime,
+        epoch_secs: u64,
+    ) -> Result<StreamingMonitor, ConfigError> {
+        if epoch_secs < 3_600 {
+            return Err(ConfigError::EpochTooShort { epoch_secs });
+        }
+        Ok(StreamingMonitor {
+            detector: PassiveDetector::try_new(config)?,
             epoch_secs,
+            start,
             current_epoch: None,
             history_epoch_start: start,
             history: HistoryBuilder::new(Interval::new(start, start + epoch_secs)),
@@ -62,12 +157,33 @@ impl StreamingMonitor {
             timelines: HashMap::new(),
             strays: 0,
             started: false,
-        }
+            reorder: None,
+            sentinel: None,
+            quarantine_open: None,
+            quarantined: IntervalSet::new(),
+            quarantine_swallowed: 0,
+        })
     }
 
     /// A monitor with one-day epochs.
-    pub fn daily(config: DetectorConfig, start: UnixTime) -> StreamingMonitor {
+    pub fn daily(config: DetectorConfig, start: UnixTime) -> Result<StreamingMonitor, ConfigError> {
         StreamingMonitor::new(config, start, 86_400)
+    }
+
+    /// Attach a feed-health sentinel: while it judges the feed unhealthy
+    /// the monitor quarantines instead of reporting mass outages.
+    pub fn with_sentinel(mut self, cfg: SentinelConfig) -> Result<StreamingMonitor, ConfigError> {
+        cfg.validate()?;
+        self.sentinel = Some(FeedSentinel::new(cfg, self.start));
+        Ok(self)
+    }
+
+    /// Accept observations up to `max_skew_secs` out of order: they are
+    /// re-sequenced through a watermark buffer before ingest. Anything
+    /// later than that is counted ([`Self::late_drops`]) and dropped.
+    pub fn with_reorder(mut self, max_skew_secs: u64) -> StreamingMonitor {
+        self.reorder = Some(ReorderBuffer::new(max_skew_secs));
+        self
     }
 
     /// Whether the warm-up epoch has completed (verdicts are live).
@@ -80,19 +196,55 @@ impl StreamingMonitor {
         self.strays
     }
 
-    /// Feed one observation. Observations must be non-decreasing in
-    /// time; an observation past the current epoch's end first rolls the
+    /// Observations dropped for arriving behind the reorder watermark.
+    pub fn late_drops(&self) -> u64 {
+        self.reorder.as_ref().map_or(0, |r| r.late_drops)
+    }
+
+    /// Observations swallowed (not judged) while the feed was
+    /// quarantined.
+    pub fn quarantine_swallowed(&self) -> u64 {
+        self.quarantine_swallowed
+    }
+
+    /// The sentinel's current feed judgement, if a sentinel is attached.
+    pub fn feed_health(&self) -> Option<FeedHealth> {
+        self.sentinel.as_ref().map(FeedSentinel::health)
+    }
+
+    /// Whether verdicts are currently suspended by the sentinel.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantine_open.is_some()
+    }
+
+    /// Closed quarantine intervals so far (feed faults, not outages).
+    pub fn quarantined(&self) -> &IntervalSet {
+        &self.quarantined
+    }
+
+    /// All quarantined time through `end`, including a quarantine still
+    /// open at `end`.
+    pub fn quarantined_through(&self, end: UnixTime) -> IntervalSet {
+        let mut q = self.quarantined.clone();
+        if let Some(from) = self.quarantine_open {
+            if end > from {
+                q.insert(Interval::new(from, end));
+            }
+        }
+        q
+    }
+
+    /// Feed one observation. With a reorder buffer, observations may be
+    /// modestly out of order; without one they must be non-decreasing in
+    /// time. An observation past the current epoch's end first rolls the
     /// epoch over (possibly several times for a long silence).
     pub fn observe(&mut self, obs: Observation) {
-        self.started = true;
-        while obs.time >= self.history_epoch_start + self.epoch_secs {
-            self.roll_epoch();
-        }
-        self.history.record(&obs);
-        if self.current_epoch.is_some() {
-            match self.block_to_unit.get(&obs.block) {
-                Some(&i) => self.units[i].observe(obs.time),
-                None => self.strays += 1,
+        match &mut self.reorder {
+            None => self.ingest(obs),
+            Some(buf) => {
+                for released in buf.push(obs) {
+                    self.ingest(released);
+                }
             }
         }
     }
@@ -104,16 +256,96 @@ impl StreamingMonitor {
         }
     }
 
+    /// In-order ingest behind the reorder stage.
+    fn ingest(&mut self, obs: Observation) {
+        self.started = true;
+        if let Some(s) = &mut self.sentinel {
+            s.observe(obs.time);
+        }
+        // Open *before* rolling so a dark epoch tail is skipped, not
+        // judged; close *after* rolling so recovery re-seeds the units
+        // that actually exist now.
+        self.open_quarantine_if_flagged(obs.time);
+        while obs.time >= self.history_epoch_start + self.epoch_secs {
+            self.roll_epoch();
+        }
+        self.close_quarantine_if_recovered(obs.time);
+
+        // History accumulates regardless of quarantine: brownout arrivals
+        // are real traffic, and the next epoch needs whatever model it
+        // can get. (A faulted span depresses the learned rate slightly —
+        // toward conservatism, the right direction after a fault.)
+        self.history.record(&obs);
+        if self.current_epoch.is_some() {
+            if self.quarantine_open.is_some() {
+                self.quarantine_swallowed += 1;
+            } else {
+                match self.block_to_unit.get(&obs.block) {
+                    Some(&i) => self.units[i].observe(obs.time),
+                    None => self.strays += 1,
+                }
+            }
+        }
+    }
+
     /// Advance every live detector's bin clock to `now` (e.g. from a
     /// once-a-minute timer). Without ticks, a block's belief only moves
     /// when *its own* packets arrive — which during an outage is never.
+    /// Ticks also advance the reorder watermark and the sentinel's
+    /// bucket clock, so a total feed blackout is noticed on wall-clock
+    /// time.
     pub fn tick(&mut self, now: UnixTime) {
+        if let Some(buf) = &mut self.reorder {
+            let watermark = UnixTime(now.secs().saturating_sub(buf.max_skew));
+            for released in buf.drain_to(watermark) {
+                self.ingest(released);
+            }
+        }
+        if let Some(s) = &mut self.sentinel {
+            s.advance_to(now);
+        }
+        self.open_quarantine_if_flagged(now);
         while self.started && now >= self.history_epoch_start + self.epoch_secs {
             self.roll_epoch();
         }
-        for unit in &mut self.units {
-            unit.advance_to(now);
+        self.close_quarantine_if_recovered(now);
+        if self.quarantine_open.is_none() {
+            for unit in &mut self.units {
+                unit.advance_to(now);
+            }
         }
+    }
+
+    /// If the sentinel has turned unhealthy, open a quarantine reaching
+    /// back to when it says the trouble started.
+    fn open_quarantine_if_flagged(&mut self, now: UnixTime) {
+        if self.quarantine_open.is_some() {
+            return;
+        }
+        if let Some(s) = &self.sentinel {
+            if s.is_quarantined() {
+                self.quarantine_open = Some(s.unhealthy_since().unwrap_or(now));
+            }
+        }
+    }
+
+    /// If the sentinel has recovered, skip every unit's bin clock past
+    /// the faulted span and record the quarantine interval.
+    fn close_quarantine_if_recovered(&mut self, now: UnixTime) {
+        let Some(start) = self.quarantine_open else {
+            return;
+        };
+        let recovered = self.sentinel.as_ref().is_some_and(|s| !s.is_quarantined());
+        if !recovered {
+            return;
+        }
+        for unit in &mut self.units {
+            unit.skip_to(now);
+        }
+        if now > start {
+            self.quarantined.insert(Interval::new(start, now));
+        }
+        self.quarantine_open = None;
     }
 
     /// Current belief that `block` is up, if it is covered this epoch.
@@ -143,9 +375,19 @@ impl StreamingMonitor {
     fn roll_epoch(&mut self) {
         // 1. Close the running detection epoch.
         if self.current_epoch.is_some() {
-            let units = std::mem::take(&mut self.units);
+            let mut units = std::mem::take(&mut self.units);
             let block_to_unit = std::mem::take(&mut self.block_to_unit);
-            let mut reports: Vec<UnitReport> = units.into_iter().map(UnitDetector::finish).collect();
+            if self.quarantine_open.is_some() {
+                // The epoch ends mid-fault: its unjudged tail is sensor
+                // silence, not network silence. Skip it rather than let
+                // `finish` read it as a mass outage.
+                let epoch_end = self.history_epoch_start + self.epoch_secs;
+                for unit in &mut units {
+                    unit.skip_to(epoch_end);
+                }
+            }
+            let mut reports: Vec<UnitReport> =
+                units.into_iter().map(UnitDetector::finish).collect();
             for r in &mut reports {
                 self.completed.extend(r.events());
             }
@@ -169,7 +411,8 @@ impl StreamingMonitor {
         // 2. Promote history → next epoch's detectors.
         let next_epoch_start = self.history_epoch_start + self.epoch_secs;
         let next_window = Interval::new(next_epoch_start, next_epoch_start + self.epoch_secs);
-        let finished_history = std::mem::replace(&mut self.history, HistoryBuilder::new(next_window));
+        let finished_history =
+            std::mem::replace(&mut self.history, HistoryBuilder::new(next_window));
         let histories = finished_history.build();
         let plan = self.detector.plan_units(&histories);
 
@@ -188,7 +431,13 @@ impl StreamingMonitor {
                     &histories,
                     self.detector.config(),
                 );
-                UnitDetector::new(u.prefix, u.params, shape, self.detector.config(), next_window)
+                UnitDetector::new(
+                    u.prefix,
+                    u.params,
+                    shape,
+                    self.detector.config(),
+                    next_window,
+                )
             })
             .collect();
 
@@ -197,14 +446,37 @@ impl StreamingMonitor {
     }
 
     /// Finish at `end`: close the in-flight epoch and return all
-    /// remaining events.
+    /// remaining events, plus every quarantined interval (a quarantine
+    /// still open at `end` is closed at `end`).
     ///
     /// Detectors judge their *full* epoch window, so finishing mid-epoch
     /// treats the remainder of the epoch as observed silence — a block
     /// quiet since before `end` may be reported down through the epoch's
     /// end. Prefer finishing at an epoch boundary; a monitor that runs
     /// continuously (the intended deployment) never calls this at all.
-    pub fn finish(mut self, end: UnixTime) -> Vec<OutageEvent> {
+    pub fn finish_with_quarantine(mut self, end: UnixTime) -> (Vec<OutageEvent>, IntervalSet) {
+        // Flush the reorder stage: at end of stream everything held is
+        // safe to release.
+        if let Some(mut buf) = self.reorder.take() {
+            for released in buf.drain_all() {
+                self.ingest(released);
+            }
+        }
+        if let Some(s) = &mut self.sentinel {
+            s.advance_to(end);
+        }
+        self.open_quarantine_if_flagged(end);
+        self.close_quarantine_if_recovered(end);
+        // A quarantine still open swallows the tail: the feed never came
+        // back, and we cannot tell sensor silence from network silence.
+        if let Some(start) = self.quarantine_open.take() {
+            for unit in &mut self.units {
+                unit.skip_to(end);
+            }
+            if end > start {
+                self.quarantined.insert(Interval::new(start, end));
+            }
+        }
         // Advance in-flight detectors to `end` (without opening a new
         // epoch), then close them.
         for unit in &mut self.units {
@@ -217,7 +489,12 @@ impl StreamingMonitor {
                 self.completed.extend(report.events());
             }
         }
-        self.completed
+        (self.completed, self.quarantined)
+    }
+
+    /// [`Self::finish_with_quarantine`], discarding the quarantine set.
+    pub fn finish(self, end: UnixTime) -> Vec<OutageEvent> {
+        self.finish_with_quarantine(end).0
     }
 }
 
@@ -233,6 +510,10 @@ mod tests {
         DetectorConfig::default()
     }
 
+    fn daily(start: u64) -> StreamingMonitor {
+        StreamingMonitor::daily(cfg(), UnixTime(start)).expect("valid default config")
+    }
+
     /// Three days of steady 10 s traffic with an outage on day 3.
     fn feed(monitor: &mut StreamingMonitor, quiet: std::ops::Range<u64>) {
         let b = block();
@@ -244,8 +525,24 @@ mod tests {
     }
 
     #[test]
+    fn short_epochs_are_rejected_not_panicked() {
+        let err = StreamingMonitor::new(cfg(), UnixTime(0), 30).unwrap_err();
+        assert_eq!(err, ConfigError::EpochTooShort { epoch_secs: 30 });
+        let msg = err.to_string();
+        assert!(msg.contains("30"), "message should name the value: {msg}");
+    }
+
+    #[test]
+    fn invalid_detector_config_is_rejected() {
+        let mut c = cfg();
+        c.bin_widths.clear();
+        let err = StreamingMonitor::daily(c, UnixTime(0)).unwrap_err();
+        assert_eq!(err, ConfigError::EmptyBinWidths);
+    }
+
+    #[test]
     fn warmup_epoch_produces_no_verdicts() {
-        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let mut m = daily(0);
         assert!(!m.is_live());
         // Day 1 only.
         for t in (0..86_000).step_by(10) {
@@ -258,7 +555,7 @@ mod tests {
 
     #[test]
     fn goes_live_after_first_epoch() {
-        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let mut m = daily(0);
         for t in (0..2 * 86_400).step_by(10) {
             m.observe(Observation::new(UnixTime(t), block()));
         }
@@ -270,20 +567,23 @@ mod tests {
 
     #[test]
     fn detects_outage_in_live_epoch() {
-        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let mut m = daily(0);
         // Outage on day 3, 2 hours.
         let quiet = (2 * 86_400 + 30_000)..(2 * 86_400 + 37_200);
         feed(&mut m, quiet.clone());
         let events = m.finish(UnixTime(3 * 86_400));
         assert_eq!(events.len(), 1, "{events:?}");
         let ev = &events[0];
-        assert!(quiet.contains(&ev.interval.start.secs()) || ev.interval.start.secs() + 15 >= quiet.start);
+        assert!(
+            quiet.contains(&ev.interval.start.secs())
+                || ev.interval.start.secs() + 15 >= quiet.start
+        );
         assert!(ev.duration() > 6_500);
     }
 
     #[test]
     fn belief_drops_during_live_outage() {
-        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let mut m = daily(0);
         let b = block();
         // Two clean days, then silence for three hours of day 3 — query
         // the belief mid-outage without finishing.
@@ -300,7 +600,7 @@ mod tests {
 
     #[test]
     fn events_drain_at_epoch_boundaries() {
-        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let mut m = daily(0);
         // Outage on day 2; then day 3 begins, closing day 2's epoch.
         let quiet = (86_400 + 30_000)..(86_400 + 37_200);
         feed(&mut m, quiet);
@@ -317,7 +617,7 @@ mod tests {
 
     #[test]
     fn long_silence_rolls_multiple_epochs() {
-        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let mut m = daily(0);
         let b = block();
         for t in (0..86_400).step_by(10) {
             m.observe(Observation::new(UnixTime(t), b));
@@ -337,7 +637,7 @@ mod tests {
     fn model_follows_traffic_across_epochs() {
         // A block that doubles its rate on day 2: day 3's detector must
         // use day 2's history (the monitor recalibrates per epoch).
-        let mut m = StreamingMonitor::daily(cfg(), UnixTime(0));
+        let mut m = daily(0);
         let b = block();
         for t in (0..86_400).step_by(40) {
             m.observe(Observation::new(UnixTime(t), b));
@@ -349,5 +649,140 @@ mod tests {
         m.observe(Observation::new(UnixTime(2 * 86_400 + 5), b));
         assert!(m.is_live());
         assert!(m.belief(&b).is_some());
+    }
+
+    #[test]
+    fn reorder_buffer_absorbs_bounded_skew() {
+        // Interleave each pair of 10 s arrivals out of order; with a
+        // 60 s reorder stage the monitor sees them sorted and judges the
+        // stream exactly like the in-order run.
+        let b = block();
+        let mut sorted = daily(0);
+        let mut skewed = daily(0).with_reorder(60);
+        for t in (0..(2 * 86_400)).step_by(20) {
+            sorted.observe(Observation::new(UnixTime(t), b));
+            sorted.observe(Observation::new(UnixTime(t + 10), b));
+            // Swapped within the skew bound:
+            skewed.observe(Observation::new(UnixTime(t + 10), b));
+            skewed.observe(Observation::new(UnixTime(t), b));
+        }
+        assert_eq!(skewed.late_drops(), 0);
+        assert_eq!(
+            sorted.belief(&b).map(|v| (v * 1e9) as i64),
+            skewed.belief(&b).map(|v| (v * 1e9) as i64),
+            "same stream, same belief"
+        );
+        assert_eq!(
+            sorted.finish(UnixTime(2 * 86_400)).len(),
+            skewed.finish(UnixTime(2 * 86_400)).len()
+        );
+    }
+
+    #[test]
+    fn hard_time_regressions_are_counted_and_dropped() {
+        let b = block();
+        let mut m = daily(0).with_reorder(60);
+        m.observe(Observation::new(UnixTime(1_000), b));
+        m.observe(Observation::new(UnixTime(2_000), b)); // watermark → 1940
+        m.observe(Observation::new(UnixTime(100), b)); // far too late
+        assert_eq!(m.late_drops(), 1);
+        m.observe(Observation::new(UnixTime(1_950), b)); // inside skew: kept
+        assert_eq!(m.late_drops(), 1);
+    }
+
+    /// 1 Hz traffic (60 arrivals per sentinel bucket — enough aggregate
+    /// for the ratio test) with a gap, plus minute ticks like a deployed
+    /// timer.
+    fn feed_with_blackout(m: &mut StreamingMonitor, until: u64, blackout: std::ops::Range<u64>) {
+        let b = block();
+        let mut next_tick = 60u64;
+        for t in 0..until {
+            if t >= next_tick {
+                m.tick(UnixTime(t));
+                next_tick += 60;
+            }
+            if !blackout.contains(&t) {
+                m.observe(Observation::new(UnixTime(t), b));
+            }
+        }
+    }
+
+    #[test]
+    fn without_sentinel_a_feed_blackout_reads_as_outage() {
+        let blackout = (2 * 86_400 + 43_200)..(2 * 86_400 + 45_000);
+        let mut m = daily(0);
+        feed_with_blackout(&mut m, 2 * 86_400 + 50_000, blackout.clone());
+        let events = m.finish(UnixTime(2 * 86_400 + 50_000));
+        assert!(
+            events.iter().any(|e| e.interval.start.secs() < blackout.end
+                && e.interval.end.secs() > blackout.start),
+            "a naive monitor must mistake the stall for an outage: {events:?}"
+        );
+    }
+
+    #[test]
+    fn sentinel_quarantines_blackout_instead_of_reporting_outage() {
+        let blackout = (2 * 86_400 + 43_200)..(2 * 86_400 + 45_000);
+        let b = block();
+        let mut m = daily(0)
+            .with_sentinel(SentinelConfig::default())
+            .expect("valid sentinel config");
+        feed_with_blackout(&mut m, 2 * 86_400 + 50_000, blackout.clone());
+        // Recovered and judging again by the end of the feed.
+        assert_eq!(m.feed_health(), Some(FeedHealth::Healthy));
+        assert!(!m.is_quarantined());
+        assert!(m.quarantine_swallowed() > 0, "recovery lag swallows a few");
+        let belief = m.belief(&b).expect("covered");
+        assert!(belief > 0.5, "belief was frozen, not collapsed: {belief}");
+
+        let (events, quarantined) = m.finish_with_quarantine(UnixTime(2 * 86_400 + 50_000));
+        assert!(
+            !events.iter().any(|e| e.interval.start.secs() < blackout.end
+                && e.interval.end.secs() > blackout.start),
+            "no event may overlap the sensor fault: {events:?}"
+        );
+        assert_eq!(quarantined.intervals().len(), 1, "{quarantined:?}");
+        let q = quarantined.intervals()[0];
+        assert!(
+            q.start.secs() <= blackout.start + 120 && q.end.secs() >= blackout.end,
+            "quarantine must cover the blackout: {q:?}"
+        );
+        // ...but not by much: under 10 minutes of slack total.
+        assert!(q.duration() < (blackout.end - blackout.start) + 600);
+    }
+
+    #[test]
+    fn belief_is_frozen_while_quarantined() {
+        let blackout = (2 * 86_400 + 43_200)..(2 * 86_400 + 45_000);
+        let b = block();
+        let mut m = daily(0)
+            .with_sentinel(SentinelConfig::default())
+            .expect("valid sentinel config");
+        // Feed up to mid-blackout (ticks keep coming, packets don't).
+        feed_with_blackout(&mut m, 2 * 86_400 + 44_500, blackout.clone());
+        assert!(m.is_quarantined(), "mid-blackout the feed is quarantined");
+        assert_ne!(m.feed_health(), Some(FeedHealth::Healthy));
+        let frozen = m.belief(&b).expect("covered");
+        assert!(frozen > 0.5, "belief must not collapse mid-fault: {frozen}");
+    }
+
+    #[test]
+    fn quarantine_spanning_epoch_boundary_stays_clean() {
+        // Feed goes dark late on day 2 and comes back early on day 3:
+        // the roll must not judge day 2's dark tail, and day 3's units
+        // must skip their faulted head.
+        let blackout = (2 * 86_400 - 2_000)..(2 * 86_400 + 2_000);
+        let mut m = daily(0)
+            .with_sentinel(SentinelConfig::default())
+            .expect("valid sentinel config");
+        feed_with_blackout(&mut m, 2 * 86_400 + 20_000, blackout.clone());
+        assert_eq!(m.feed_health(), Some(FeedHealth::Healthy));
+        let (events, quarantined) = m.finish_with_quarantine(UnixTime(2 * 86_400 + 20_000));
+        assert!(
+            !events.iter().any(|e| e.interval.start.secs() < blackout.end
+                && e.interval.end.secs() > blackout.start),
+            "no event may overlap the boundary-spanning fault: {events:?}"
+        );
+        assert!(!quarantined.is_empty());
     }
 }

@@ -31,7 +31,13 @@ fn arb_arrivals() -> impl Strategy<Value = Vec<u64>> {
 
 fn run_detector(arrivals: &[u64], params: UnitParams) -> Timeline {
     let cfg = DetectorConfig::default();
-    let mut d = UnitDetector::new(block(), params, [1.0; 24], &cfg, Interval::from_secs(0, DAY));
+    let mut d = UnitDetector::new(
+        block(),
+        params,
+        [1.0; 24],
+        &cfg,
+        Interval::from_secs(0, DAY),
+    );
     for &t in arrivals {
         d.observe(UnixTime(t));
     }

@@ -20,7 +20,7 @@ proptest! {
         days in 2u64..4,
         tick_every in 60u64..7_200,
     ) {
-        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0));
+        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0)).expect("valid config");
         let end = days * DAY;
         // interleave per-block arithmetic streams with periodic ticks
         let mut events_at: Vec<(u64, u32)> = Vec::new();
@@ -53,7 +53,7 @@ proptest! {
 
     #[test]
     fn steady_stream_yields_no_events_across_epochs(period in 10u64..60, days in 2u64..4) {
-        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0));
+        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0)).expect("valid config");
         for t in (0..days * DAY).step_by(period as usize) {
             m.observe(Observation::new(UnixTime(t), block(0)));
         }
@@ -64,9 +64,58 @@ proptest! {
         );
     }
 
+    /// Reordering determinism: a stream perturbed by bounded skew,
+    /// ingested through the reorder buffer, must yield the *same* outage
+    /// events as the sorted stream. (The buffer re-sequences everything
+    /// within `max_skew`, and per-unit detection only sees timestamps,
+    /// so the verdicts cannot differ.)
+    #[test]
+    fn bounded_reordering_does_not_change_verdicts(
+        period in 5u64..40,
+        skew in 30u64..300,
+    ) {
+        let quiet = (DAY + 30_000)..(DAY + 37_200);
+        let sorted: Vec<Observation> = (0..2 * DAY)
+            .step_by(period as usize)
+            .filter(|t| !quiet.contains(t))
+            .map(|t| Observation::new(UnixTime(t), block(0)))
+            .collect();
+
+        // Bounded shuffle: displace each observation's *delivery* order
+        // by a pseudo-random delay < skew, then deliver in that order.
+        let mut delivery: Vec<(u64, Observation)> = sorted
+            .iter()
+            .map(|o| {
+                let mut h = o.time.secs().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 31;
+                (o.time.secs() + h % skew, *o)
+            })
+            .collect();
+        delivery.sort_by_key(|(key, _)| *key);
+
+        let mut reference = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0))
+            .expect("valid config");
+        reference.observe_all(sorted);
+        let expected = reference.finish(UnixTime(2 * DAY));
+
+        let mut buffered = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0))
+            .expect("valid config")
+            .with_reorder(skew);
+        buffered.observe_all(delivery.into_iter().map(|(_, o)| o));
+        prop_assert_eq!(buffered.late_drops(), 0, "bounded skew must not drop");
+        let got = buffered.finish(UnixTime(2 * DAY));
+
+        let key = |evs: &[outage_types::OutageEvent]| -> Vec<(u64, u64)> {
+            evs.iter()
+                .map(|e| (e.interval.start.secs(), e.interval.end.secs()))
+                .collect()
+        };
+        prop_assert_eq!(key(&got), key(&expected));
+    }
+
     #[test]
     fn belief_is_always_defined_and_bounded_once_live(period in 10u64..120) {
-        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0));
+        let mut m = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0)).expect("valid config");
         for t in (0..2 * DAY).step_by(period as usize) {
             m.observe(Observation::new(UnixTime(t), block(0)));
             if t > DAY {

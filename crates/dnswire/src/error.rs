@@ -39,7 +39,11 @@ impl fmt::Display for WireError {
             WireError::EmptyLabel => write!(f, "empty label"),
             WireError::PointerLoop => write!(f, "compression pointer loop"),
             WireError::BadLabelType(b) => write!(f, "reserved label type 0x{b:02x}"),
-            WireError::BadRdataLength { rtype, expected, actual } => write!(
+            WireError::BadRdataLength {
+                rtype,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "rdata for type {rtype}: claimed {expected} bytes, have {actual}"
             ),

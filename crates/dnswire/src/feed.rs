@@ -47,6 +47,27 @@ pub struct TelescopeStats {
     pub dropped: u64,
     /// Of the dropped: unparseable.
     pub malformed: u64,
+    /// Of the dropped: well-formed DNS, but a response.
+    pub not_a_query: u64,
+    /// Of the dropped: a query with a non-standard opcode.
+    pub wrong_opcode: u64,
+    /// Of the dropped: a standard query with an empty question section.
+    pub no_question: u64,
+}
+
+impl std::fmt::Display for TelescopeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accepted {} dropped {} (malformed {}, not-a-query {}, wrong-opcode {}, no-question {})",
+            self.accepted,
+            self.dropped,
+            self.malformed,
+            self.not_a_query,
+            self.wrong_opcode,
+            self.no_question
+        )
+    }
 }
 
 /// Parses captured packets into per-block observations.
@@ -90,8 +111,11 @@ impl Telescope {
             }
             Err(drop) => {
                 self.stats.dropped += 1;
-                if matches!(drop, Drop::Malformed(_)) {
-                    self.stats.malformed += 1;
+                match drop {
+                    Drop::Malformed(_) => self.stats.malformed += 1,
+                    Drop::NotAQuery => self.stats.not_a_query += 1,
+                    Drop::WrongOpcode(_) => self.stats.wrong_opcode += 1,
+                    Drop::NoQuestion => self.stats.no_question += 1,
                 }
                 None
             }
@@ -136,7 +160,11 @@ mod tests {
 
     #[test]
     fn v6_sources_map_to_48s() {
-        let msg = Message::query(9, "example.org".parse::<DnsName>().unwrap(), RecordType::Aaaa);
+        let msg = Message::query(
+            9,
+            "example.org".parse::<DnsName>().unwrap(),
+            RecordType::Aaaa,
+        );
         let pkt = CapturedPacket {
             time: UnixTime(5),
             src: HostAddr::V6("2001:db8:1:2:3::9".parse().unwrap()),
@@ -167,7 +195,10 @@ mod tests {
             src: HostAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
             payload: msg.encode(),
         };
-        assert_eq!(Telescope::classify(&pkt), Err(Drop::WrongOpcode(Opcode::Notify)));
+        assert_eq!(
+            Telescope::classify(&pkt),
+            Err(Drop::WrongOpcode(Opcode::Notify))
+        );
     }
 
     #[test]
@@ -193,6 +224,51 @@ mod tests {
         assert!(tel.observe(&garbage).is_none());
         assert_eq!(tel.stats().malformed, 1);
         assert_eq!(tel.stats().dropped, 1);
+    }
+
+    #[test]
+    fn drop_reasons_are_counted_separately() {
+        let mut tel = Telescope::new();
+        let src = HostAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
+        let garbage = CapturedPacket {
+            time: UnixTime(0),
+            src,
+            payload: Bytes::from_static(&[0xFF]),
+        };
+        let mut response =
+            Message::query(1, "a.example".parse::<DnsName>().unwrap(), RecordType::A);
+        response.header.response = true;
+        let mut notify = Message::query(2, "b.example".parse::<DnsName>().unwrap(), RecordType::A);
+        notify.header.opcode = Opcode::Notify;
+        let mut bare = Message::query(3, "c.example".parse::<DnsName>().unwrap(), RecordType::A);
+        bare.questions.clear();
+        for payload in [response.encode(), notify.encode(), bare.encode()] {
+            let pkt = CapturedPacket {
+                time: UnixTime(0),
+                src,
+                payload,
+            };
+            assert!(tel.observe(&pkt).is_none());
+        }
+        assert!(tel.observe(&garbage).is_none());
+        assert!(tel
+            .observe(&query_packet(9, Ipv4Addr::new(10, 0, 0, 1), "d.example"))
+            .is_some());
+
+        let stats = tel.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.dropped, 4);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.not_a_query, 1);
+        assert_eq!(stats.wrong_opcode, 1);
+        assert_eq!(stats.no_question, 1);
+        assert_eq!(
+            stats.dropped,
+            stats.malformed + stats.not_a_query + stats.wrong_opcode + stats.no_question
+        );
+        let line = stats.to_string();
+        assert!(line.contains("accepted 1"));
+        assert!(line.contains("not-a-query 1"));
     }
 
     #[test]

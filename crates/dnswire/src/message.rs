@@ -338,7 +338,14 @@ impl Question {
         let rest = msg.get(pos..pos + 4).ok_or(WireError::Truncated)?;
         let qtype = RecordType::from(u16::from_be_bytes([rest[0], rest[1]]));
         let qclass = RecordClass::from(u16::from_be_bytes([rest[2], rest[3]]));
-        Ok((Question { qname, qtype, qclass }, pos + 4))
+        Ok((
+            Question {
+                qname,
+                qtype,
+                qclass,
+            },
+            pos + 4,
+        ))
     }
 }
 
@@ -442,7 +449,13 @@ impl ResourceRecord {
             _ => Rdata::Opaque(Bytes::copy_from_slice(raw)),
         };
         Ok((
-            ResourceRecord { name, rtype, class, ttl, rdata },
+            ResourceRecord {
+                name,
+                rtype,
+                class,
+                ttl,
+                rdata,
+            },
             rdata_start + rdlen,
         ))
     }
@@ -492,7 +505,12 @@ impl Message {
         for q in &self.questions {
             q.encode(&mut buf);
         }
-        for rr in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for rr in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             rr.encode(&mut buf);
         }
         buf.freeze()
@@ -516,7 +534,12 @@ impl Message {
             buf.put_u16(q.qtype.into());
             buf.put_u16(q.qclass.into());
         }
-        for rr in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for rr in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             rr.name.encode_compressed(&mut buf, &mut names);
             buf.put_u16(rr.rtype.into());
             buf.put_u16(rr.class.into());
@@ -552,7 +575,12 @@ impl Message {
     /// Decode a whole message.
     pub fn decode(msg: &[u8]) -> Result<Message, WireError> {
         let header = Header::decode(msg)?;
-        for c in [header.qdcount, header.ancount, header.nscount, header.arcount] {
+        for c in [
+            header.qdcount,
+            header.ancount,
+            header.nscount,
+            header.arcount,
+        ] {
             if c > MAX_SECTION {
                 return Err(WireError::ImplausibleCount(c));
             }
@@ -618,7 +646,10 @@ mod tests {
 
     #[test]
     fn header_too_short() {
-        assert!(matches!(Header::decode(&[0; 11]), Err(WireError::Truncated)));
+        assert!(matches!(
+            Header::decode(&[0; 11]),
+            Err(WireError::Truncated)
+        ));
     }
 
     #[test]
@@ -714,7 +745,11 @@ mod tests {
         // `encode*` recomputes header counts into the wire form, so
         // compare the decoded message against the plain-encoded decode
         // (identical sections, identical normalized header).
-        assert_eq!(back, Message::decode(&plain).unwrap(), "lossless through compression");
+        assert_eq!(
+            back,
+            Message::decode(&plain).unwrap(),
+            "lossless through compression"
+        );
         assert_eq!(back.questions, m.questions);
         assert_eq!(back.answers, m.answers);
         assert_eq!(back.authorities, m.authorities);
@@ -770,7 +805,14 @@ mod tests {
         // Encode writes opaque bytes with rdlen 3; decoding as A must fail.
         let wire = m.encode();
         let err = Message::decode(&wire).unwrap_err();
-        assert!(matches!(err, WireError::BadRdataLength { expected: 4, actual: 3, .. }));
+        assert!(matches!(
+            err,
+            WireError::BadRdataLength {
+                expected: 4,
+                actual: 3,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -262,7 +262,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for s in ["example.com", "b.root-servers.net", "a.very.deep.sub.domain.example", "."] {
+        for s in [
+            "example.com",
+            "b.root-servers.net",
+            "a.very.deep.sub.domain.example",
+            ".",
+        ] {
             let n = name(s);
             let mut buf = BytesMut::new();
             n.encode(&mut buf);
@@ -304,9 +309,15 @@ mod tests {
     #[test]
     fn decode_rejects_truncation() {
         let buf = [5u8, b'a', b'b']; // label claims 5 bytes, only 2 present
-        assert!(matches!(DnsName::decode(&buf, 0), Err(WireError::Truncated)));
+        assert!(matches!(
+            DnsName::decode(&buf, 0),
+            Err(WireError::Truncated)
+        ));
         let empty: [u8; 0] = [];
-        assert!(matches!(DnsName::decode(&empty, 0), Err(WireError::Truncated)));
+        assert!(matches!(
+            DnsName::decode(&empty, 0),
+            Err(WireError::Truncated)
+        ));
     }
 
     #[test]

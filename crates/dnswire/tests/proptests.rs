@@ -11,9 +11,8 @@ fn arb_label() -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn arb_name() -> impl Strategy<Value = DnsName> {
-    proptest::collection::vec(arb_label(), 0..5).prop_filter_map("name too long", |labels| {
-        DnsName::from_labels(labels).ok()
-    })
+    proptest::collection::vec(arb_label(), 0..5)
+        .prop_filter_map("name too long", |labels| DnsName::from_labels(labels).ok())
 }
 
 fn arb_header() -> impl Strategy<Value = Header> {
@@ -27,22 +26,20 @@ fn arb_header() -> impl Strategy<Value = Header> {
         any::<bool>(),
         0u8..16,
     )
-        .prop_map(
-            |(id, response, opcode, aa, tc, rd, ra, rcode)| Header {
-                id,
-                response,
-                opcode: Opcode::from(opcode),
-                authoritative: aa,
-                truncated: tc,
-                recursion_desired: rd,
-                recursion_available: ra,
-                rcode: Rcode::from(rcode),
-                qdcount: 0,
-                ancount: 0,
-                nscount: 0,
-                arcount: 0,
-            },
-        )
+        .prop_map(|(id, response, opcode, aa, tc, rd, ra, rcode)| Header {
+            id,
+            response,
+            opcode: Opcode::from(opcode),
+            authoritative: aa,
+            truncated: tc,
+            recursion_desired: rd,
+            recursion_available: ra,
+            rcode: Rcode::from(rcode),
+            qdcount: 0,
+            ancount: 0,
+            nscount: 0,
+            arcount: 0,
+        })
 }
 
 proptest! {
@@ -140,6 +137,54 @@ proptest! {
         let (back, end) = Question::decode(&buf, 12).unwrap();
         prop_assert_eq!(back.qname, q.qname);
         prop_assert_eq!(end, buf.len());
+    }
+}
+
+/// A 12-byte header claiming one question, followed by `name_bytes` as the
+/// question name and a qtype/qclass tail.
+fn message_with_raw_qname(name_bytes: &[u8]) -> Vec<u8> {
+    let mut wire = vec![0u8; 12];
+    wire[0] = 0x00;
+    wire[1] = 0x07; // id
+    wire[5] = 1; // qdcount = 1
+    wire.extend_from_slice(name_bytes);
+    wire.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]); // qtype A, qclass IN
+    wire
+}
+
+#[test]
+fn self_referential_compression_pointer_is_an_error_not_a_hang() {
+    // The question name at offset 12 is a pointer to offset 12: a loop.
+    let wire = message_with_raw_qname(&[0xC0, 0x0C]);
+    assert!(Message::decode(&wire).is_err());
+}
+
+#[test]
+fn mutually_referential_compression_pointers_are_an_error() {
+    // Offset 12 points at offset 14, which points back at offset 12.
+    let wire = message_with_raw_qname(&[0xC0, 0x0E, 0xC0, 0x0C]);
+    assert!(Message::decode(&wire).is_err());
+}
+
+#[test]
+fn forward_pointer_chains_terminate_with_an_error() {
+    // A label followed by a pointer into the middle of itself, so every
+    // hop re-reads the same region: must hit the loop/recursion guard.
+    let wire = message_with_raw_qname(&[0x01, b'a', 0xC0, 0x0C]);
+    assert!(Message::decode(&wire).is_err());
+}
+
+#[test]
+fn pointer_past_end_of_buffer_is_an_error() {
+    let wire = message_with_raw_qname(&[0xC0, 0xFF]);
+    assert!(Message::decode(&wire).is_err());
+}
+
+#[test]
+fn truncated_header_is_an_error() {
+    for cut in 0..12 {
+        let wire = vec![0u8; cut];
+        assert!(Message::decode(&wire).is_err(), "len {cut} must not decode");
     }
 }
 

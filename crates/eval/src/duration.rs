@@ -13,7 +13,7 @@
 //! `TNR = to/(to+fa)` — the paper reads TNR as "the share of true outage
 //! time we catch".
 
-use outage_types::{Interval, Timeline};
+use outage_types::{Interval, IntervalSet, Timeline};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::AddAssign;
@@ -56,6 +56,35 @@ impl DurationMatrix {
             &observed.with_min_outage(min_secs),
             &truth.with_min_outage(min_secs),
         )
+    }
+
+    /// As [`DurationMatrix::of_min_duration`], but with `excluded`
+    /// intervals (e.g. sensor-fault quarantines) removed from scoring
+    /// entirely: neither side's verdict over an excluded second counts
+    /// anywhere in the matrix. The total accounted time shrinks by the
+    /// excluded time — coverage is lost honestly rather than precision
+    /// faked.
+    pub fn of_excluding(
+        observed: &Timeline,
+        truth: &Timeline,
+        min_secs: u64,
+        excluded: &IntervalSet,
+    ) -> DurationMatrix {
+        let observed = observed.with_min_outage(min_secs);
+        let truth = truth.with_min_outage(min_secs);
+        let common = observed.window.intersect(&truth.window);
+        if common.is_empty() {
+            return DurationMatrix::default();
+        }
+        let excluded = excluded.clip(common);
+        let scored = common.duration() - excluded.total();
+        let obs_down = observed.down.clip(common).subtract(&excluded);
+        let truth_down = truth.down.clip(common).subtract(&excluded);
+        let to = obs_down.overlap_secs(&truth_down);
+        let fo = obs_down.total() - to;
+        let fa = truth_down.total() - to;
+        let ta = scored - to - fo - fa;
+        DurationMatrix { ta, fa, fo, to }
     }
 
     /// Total seconds accounted.
@@ -106,9 +135,20 @@ impl std::iter::Sum for DurationMatrix {
 
 impl fmt::Display for DurationMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "observation \\ truth |   availability (s) |        outage (s)")?;
-        writeln!(f, "availability        | TP = ta = {:>9} | FP = fa = {:>7}", self.ta, self.fa)?;
-        writeln!(f, "outage              | FN = fo = {:>9} | TN = to = {:>7}", self.fo, self.to)?;
+        writeln!(
+            f,
+            "observation \\ truth |   availability (s) |        outage (s)"
+        )?;
+        writeln!(
+            f,
+            "availability        | TP = ta = {:>9} | FP = fa = {:>7}",
+            self.ta, self.fa
+        )?;
+        writeln!(
+            f,
+            "outage              | FN = fo = {:>9} | TN = to = {:>7}",
+            self.fo, self.to
+        )?;
         write!(
             f,
             "precision {:.4}   recall {:.4}   TNR {:.4}",
@@ -144,7 +184,15 @@ mod tests {
         let obs = tl((0, 10_000), &[(1_000, 2_000)]);
         let truth = tl((0, 10_000), &[(1_000, 2_000)]);
         let m = DurationMatrix::of(&obs, &truth);
-        assert_eq!(m, DurationMatrix { ta: 9_000, fa: 0, fo: 0, to: 1_000 });
+        assert_eq!(
+            m,
+            DurationMatrix {
+                ta: 9_000,
+                fa: 0,
+                fo: 0,
+                to: 1_000
+            }
+        );
         assert_eq!(m.precision(), 1.0);
         assert_eq!(m.recall(), 1.0);
         assert_eq!(m.tnr(), 1.0);
@@ -218,16 +266,82 @@ mod tests {
     }
 
     #[test]
+    fn exclusion_removes_quarantined_time_from_every_cell() {
+        // A sensor fault at [4000,6000): obs falsely judged it down,
+        // truth says up. Naively that is 2000 s of false outage.
+        let obs = tl((0, 10_000), &[(4_000, 6_000)]);
+        let truth = tl((0, 10_000), &[]);
+        let naive = DurationMatrix::of_min_duration(&obs, &truth, 0);
+        assert_eq!(naive.fo, 2_000);
+
+        let q = IntervalSet::singleton(Interval::from_secs(4_000, 6_000));
+        let m = DurationMatrix::of_excluding(&obs, &truth, 0, &q);
+        assert_eq!(m.fo, 0, "quarantined false outage must not count");
+        assert_eq!(m.total(), 8_000, "scored time shrinks by the exclusion");
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn exclusion_splits_partially_covered_outages() {
+        // Obs outage [3000,7000); only [4000,6000) is quarantined. The
+        // residue outside the quarantine still scores (as false outage
+        // here, since truth is all-up).
+        let obs = tl((0, 10_000), &[(3_000, 7_000)]);
+        let truth = tl((0, 10_000), &[(3_000, 5_000)]);
+        let q = IntervalSet::singleton(Interval::from_secs(4_000, 6_000));
+        let m = DurationMatrix::of_excluding(&obs, &truth, 0, &q);
+        assert_eq!(m.to, 1_000); // [3000,4000)
+        assert_eq!(m.fo, 1_000); // [6000,7000)
+        assert_eq!(m.fa, 0);
+        assert_eq!(m.ta, 6_000);
+        assert_eq!(m.total(), 8_000);
+    }
+
+    #[test]
+    fn empty_exclusion_matches_plain_scoring() {
+        let obs = tl((0, 10_000), &[(1_000, 3_000)]);
+        let truth = tl((0, 10_000), &[(2_000, 4_000)]);
+        assert_eq!(
+            DurationMatrix::of_excluding(&obs, &truth, 0, &IntervalSet::new()),
+            DurationMatrix::of_min_duration(&obs, &truth, 0)
+        );
+    }
+
+    #[test]
     fn matrices_sum_across_blocks() {
-        let a = DurationMatrix { ta: 10, fa: 1, fo: 2, to: 3 };
-        let b = DurationMatrix { ta: 20, fa: 2, fo: 3, to: 4 };
+        let a = DurationMatrix {
+            ta: 10,
+            fa: 1,
+            fo: 2,
+            to: 3,
+        };
+        let b = DurationMatrix {
+            ta: 20,
+            fa: 2,
+            fo: 3,
+            to: 4,
+        };
         let s: DurationMatrix = [a, b].into_iter().sum();
-        assert_eq!(s, DurationMatrix { ta: 30, fa: 3, fo: 5, to: 7 });
+        assert_eq!(
+            s,
+            DurationMatrix {
+                ta: 30,
+                fa: 3,
+                fo: 5,
+                to: 7
+            }
+        );
     }
 
     #[test]
     fn display_contains_metrics() {
-        let m = DurationMatrix { ta: 99, fa: 1, fo: 1, to: 9 };
+        let m = DurationMatrix {
+            ta: 99,
+            fa: 1,
+            fo: 1,
+            to: 9,
+        };
         let s = m.to_string();
         assert!(s.contains("precision"));
         assert!(s.contains("TNR"));

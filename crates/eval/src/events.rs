@@ -62,6 +62,41 @@ impl EventMatrix {
         let (ta, _, _) = match_events(&obs.up(), &tru.up(), tolerance_secs);
         EventMatrix { ta, fa, fo, to }
     }
+
+    /// As [`EventMatrix::of`], but outage events overlapping an
+    /// `excluded` interval (e.g. a sensor-fault quarantine) are dropped
+    /// from **both** sides before matching — an event born of a sensor
+    /// fault is neither a hit nor a false alarm, it is unmeasurable.
+    /// Availability segments have the excluded time carved out the same
+    /// way.
+    pub fn of_excluding(
+        observed: &Timeline,
+        truth: &Timeline,
+        min_secs: u64,
+        tolerance_secs: u64,
+        excluded: &IntervalSet,
+    ) -> EventMatrix {
+        let obs = observed.with_min_outage(min_secs);
+        let tru = truth.with_min_outage(min_secs);
+        let keep_clear = |set: &IntervalSet| {
+            IntervalSet::from_intervals(
+                set.iter()
+                    .filter(|iv| !excluded.intervals().iter().any(|q| q.overlaps(iv)))
+                    .copied(),
+            )
+        };
+        let (to, fo, fa) = match_events(
+            &keep_clear(&obs.down),
+            &keep_clear(&tru.down),
+            tolerance_secs,
+        );
+        let (ta, _, _) = match_events(
+            &obs.up().subtract(excluded),
+            &tru.up().subtract(excluded),
+            tolerance_secs,
+        );
+        EventMatrix { ta, fa, fo, to }
+    }
 }
 
 impl AddAssign for EventMatrix {
@@ -219,11 +254,68 @@ mod tests {
     }
 
     #[test]
+    fn excluded_events_score_on_neither_side() {
+        // The observer invented an outage inside a sensor-fault span:
+        // naively an fo; excluded, it vanishes.
+        let obs = tl((0, 86_400), &[(30_000, 31_800)]);
+        let truth = tl((0, 86_400), &[]);
+        let naive = EventMatrix::of(&obs, &truth, 300, 180);
+        assert_eq!(naive.fo, 1);
+
+        let q = IntervalSet::singleton(Interval::from_secs(29_900, 32_000));
+        let m = EventMatrix::of_excluding(&obs, &truth, 300, 180, &q);
+        assert_eq!(m.fo, 0);
+        assert_eq!(m.fa, 0);
+        assert_eq!(m.precision(), 1.0);
+        // Availability splits around the carve-out but still matches.
+        assert_eq!(m.ta, 2);
+    }
+
+    #[test]
+    fn events_clear_of_the_exclusion_still_match() {
+        let obs = tl((0, 86_400), &[(10_000, 10_300), (50_000, 50_400)]);
+        let truth = tl((0, 86_400), &[(10_000, 10_300), (50_000, 50_400)]);
+        let q = IntervalSet::singleton(Interval::from_secs(30_000, 31_000));
+        let m = EventMatrix::of_excluding(&obs, &truth, 300, 180, &q);
+        assert_eq!(m.to, 2);
+        assert_eq!(m.fo, 0);
+        assert_eq!(m.fa, 0);
+    }
+
+    #[test]
+    fn empty_exclusion_matches_plain_event_scoring() {
+        let obs = tl((0, 86_400), &[(20_000, 20_400)]);
+        let truth = tl((0, 86_400), &[(50_000, 50_400)]);
+        assert_eq!(
+            EventMatrix::of_excluding(&obs, &truth, 300, 180, &IntervalSet::new()),
+            EventMatrix::of(&obs, &truth, 300, 180)
+        );
+    }
+
+    #[test]
     fn matrices_sum() {
-        let a = EventMatrix { ta: 5, fa: 1, fo: 2, to: 3 };
-        let b = EventMatrix { ta: 7, fa: 0, fo: 1, to: 4 };
+        let a = EventMatrix {
+            ta: 5,
+            fa: 1,
+            fo: 2,
+            to: 3,
+        };
+        let b = EventMatrix {
+            ta: 7,
+            fa: 0,
+            fo: 1,
+            to: 4,
+        };
         let s: EventMatrix = [a, b].into_iter().sum();
-        assert_eq!(s, EventMatrix { ta: 12, fa: 1, fo: 3, to: 7 });
+        assert_eq!(
+            s,
+            EventMatrix {
+                ta: 12,
+                fa: 1,
+                fo: 3,
+                to: 7
+            }
+        );
         assert_eq!(s.total(), 23);
     }
 
@@ -232,12 +324,25 @@ mod tests {
         let obs = tl((0, 86_400), &[]);
         let truth = tl((0, 86_400), &[]);
         let m = EventMatrix::of(&obs, &truth, 300, 180);
-        assert_eq!(m, EventMatrix { ta: 1, fa: 0, fo: 0, to: 0 });
+        assert_eq!(
+            m,
+            EventMatrix {
+                ta: 1,
+                fa: 0,
+                fo: 0,
+                to: 0
+            }
+        );
     }
 
     #[test]
     fn display_contains_metrics() {
-        let m = EventMatrix { ta: 4445, fa: 105, fo: 257, to: 290 };
+        let m = EventMatrix {
+            ta: 4445,
+            fa: 105,
+            fo: 257,
+            to: 290,
+        };
         // Reproduce the paper's Table 3 arithmetic exactly.
         assert!((m.precision() - 0.97692).abs() < 1e-4);
         assert!((m.recall() - 0.9453).abs() < 1e-3);

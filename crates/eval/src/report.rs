@@ -9,7 +9,10 @@ pub fn duration_table(title: &str, m: &DurationMatrix) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "### {title}");
     let _ = writeln!(s);
-    let _ = writeln!(s, "| Observation | Ground truth availability (s) | Ground truth outage (s) | |");
+    let _ = writeln!(
+        s,
+        "| Observation | Ground truth availability (s) | Ground truth outage (s) | |"
+    );
     let _ = writeln!(s, "|---|---|---|---|");
     let _ = writeln!(
         s,
@@ -28,7 +31,10 @@ pub fn event_table(title: &str, m: &EventMatrix) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "### {title}");
     let _ = writeln!(s);
-    let _ = writeln!(s, "| Observation | Ground truth availability (events) | Ground truth outage (events) | |");
+    let _ = writeln!(
+        s,
+        "| Observation | Ground truth availability (events) | Ground truth outage (events) | |"
+    );
     let _ = writeln!(s, "|---|---|---|---|");
     let _ = writeln!(
         s,
@@ -44,7 +50,12 @@ pub fn event_table(title: &str, m: &EventMatrix) -> String {
 
 /// Render a two-column numeric series (e.g. Figure 1's coverage curve)
 /// as a markdown table.
-pub fn series_table(title: &str, x_label: &str, y_label: &str, rows: &[(String, String)]) -> String {
+pub fn series_table(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    rows: &[(String, String)],
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "### {title}");
     let _ = writeln!(s);
@@ -62,7 +73,12 @@ mod tests {
 
     #[test]
     fn duration_table_renders() {
-        let m = DurationMatrix { ta: 100, fa: 2, fo: 3, to: 10 };
+        let m = DurationMatrix {
+            ta: 100,
+            fa: 2,
+            fo: 3,
+            to: 10,
+        };
         let t = duration_table("Table 1: test", &m);
         assert!(t.contains("Table 1"));
         assert!(t.contains("TP = ta = 100"));
@@ -72,7 +88,12 @@ mod tests {
 
     #[test]
     fn event_table_renders() {
-        let m = EventMatrix { ta: 4445, fa: 105, fo: 257, to: 290 };
+        let m = EventMatrix {
+            ta: 4445,
+            fa: 105,
+            fo: 257,
+            to: 290,
+        };
         let t = event_table("Table 3: test", &m);
         assert!(t.contains("4445"));
         assert!(t.contains("0.97692"));

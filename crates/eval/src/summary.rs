@@ -99,7 +99,11 @@ pub fn summarize(events: &[OutageEvent], top_n: usize) -> OutageSummary {
         .collect();
 
     let mut longest: Vec<OutageEvent> = events.to_vec();
-    longest.sort_by(|a, b| b.duration().cmp(&a.duration()).then(a.prefix.cmp(&b.prefix)));
+    longest.sort_by(|a, b| {
+        b.duration()
+            .cmp(&a.duration())
+            .then(a.prefix.cmp(&b.prefix))
+    });
     longest.truncate(top_n);
 
     let mean_confidence = if events.is_empty() {

@@ -266,10 +266,7 @@ mod tests {
         let times: Vec<u64> = BlockArrivals::new(&p, None, week, 11)
             .map(|o| o.time.secs())
             .collect();
-        let weekend = times
-            .iter()
-            .filter(|&&t| is_weekend(UnixTime(t)))
-            .count() as f64;
+        let weekend = times.iter().filter(|&&t| is_weekend(UnixTime(t))).count() as f64;
         let weekday = (times.len() as f64) - weekend;
         // weekends are 2 of 7 days at half rate: expect ratio ≈ 0.5·2/5
         // per-day comparison: weekend/day vs weekday/day ≈ 0.5

@@ -19,6 +19,9 @@
 //!   they see replies/timeouts, never the truth.
 //! * [`packets`]: optional wire-level rendering of the feed as real DNS
 //!   datagrams (exercises `outage-dnswire` end-to-end).
+//! * [`faults`]: sensor-fault injection — blackouts, brownouts,
+//!   reordering, duplication, jitter, and payload corruption applied to
+//!   the *feed itself*, with ground truth of the faulted spans.
 //! * [`scenario`]: presets matching each experiment in DESIGN.md.
 //!
 //! Everything is deterministic under a seed: two runs of the same scenario
@@ -28,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arrivals;
+pub mod faults;
 pub mod oracle;
 pub mod packets;
 pub mod scenario;
@@ -36,6 +40,7 @@ pub mod stats;
 pub mod topology;
 
 pub use arrivals::{diurnal_factor, is_weekend, BlockArrivals, MergedArrivals};
+pub use faults::{Brownout, FaultPlan, FaultedArrivals, JitterFault, ReorderFault};
 pub use oracle::{NetworkOracle, ProbeOutcome};
 pub use packets::PacketFeed;
 pub use scenario::{Scenario, ScenarioConfig, ThinnedArrivals};

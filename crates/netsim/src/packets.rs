@@ -117,7 +117,9 @@ mod tests {
         for t in 0..3_000 {
             let pkt = feed.render(&Observation::new(UnixTime(t), block));
             let msg = Message::decode(&pkt.payload).unwrap();
-            *counts.entry(msg.questions[0].qname.to_string()).or_default() += 1;
+            *counts
+                .entry(msg.questions[0].qname.to_string())
+                .or_default() += 1;
         }
         let max = counts.values().max().unwrap();
         let min = counts.values().min().unwrap();
@@ -128,7 +130,9 @@ mod tests {
     fn render_all_preserves_order_and_count() {
         let mut feed = PacketFeed::new(4);
         let block: Prefix = "10.0.0.0/24".parse().unwrap();
-        let obs: Vec<Observation> = (0..50).map(|t| Observation::new(UnixTime(t), block)).collect();
+        let obs: Vec<Observation> = (0..50)
+            .map(|t| Observation::new(UnixTime(t), block))
+            .collect();
         let pkts: Vec<CapturedPacket> = feed.render_all(obs.clone()).collect();
         assert_eq!(pkts.len(), 50);
         for (o, p) in obs.iter().zip(&pkts) {

@@ -122,11 +122,7 @@ impl Scenario {
     /// to this service. Thinning a Poisson process yields a Poisson
     /// process, so every detector assumption still holds — just at a
     /// lower rate. Streams for different `service` names are independent.
-    pub fn observations_for_service(
-        &self,
-        service: &str,
-        keep: f64,
-    ) -> ThinnedArrivals<'_> {
+    pub fn observations_for_service(&self, service: &str, keep: f64) -> ThinnedArrivals<'_> {
         assert!((0.0..=1.0).contains(&keep), "keep must be a fraction");
         let service_seed = crate::stats::seed_for(self.config.seed, service.as_bytes());
         ThinnedArrivals {

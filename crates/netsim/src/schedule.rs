@@ -104,9 +104,7 @@ impl OutageSchedule {
     pub fn count_blocks_with_outage(&self, family: AddrFamily, min_secs: u64) -> usize {
         self.down
             .iter()
-            .filter(|(p, s)| {
-                p.family() == family && !s.filter_min_duration(min_secs).is_empty()
-            })
+            .filter(|(p, s)| p.family() == family && !s.filter_min_duration(min_secs).is_empty())
             .count()
     }
 

@@ -160,7 +160,9 @@ mod tests {
     fn lognormal_median() {
         let mut r = rng();
         let n = 20_000;
-        let mut samples: Vec<f64> = (0..n).map(|_| sample_lognormal(&mut r, -3.0, 1.0)).collect();
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| sample_lognormal(&mut r, -3.0, 1.0))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[n / 2];
         // median of lognormal is e^mu
@@ -180,7 +182,10 @@ mod tests {
     fn poisson_small_lambda_mean() {
         let mut r = rng();
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| sample_poisson(&mut r, 3.5) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(&mut r, 3.5) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
     }
 
@@ -188,7 +193,10 @@ mod tests {
     fn poisson_large_lambda_mean() {
         let mut r = rng();
         let n = 5_000;
-        let mean: f64 = (0..n).map(|_| sample_poisson(&mut r, 200.0) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(&mut r, 200.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
     }
 

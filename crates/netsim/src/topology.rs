@@ -206,7 +206,9 @@ impl Internet {
 
     /// Blocks of one family.
     pub fn blocks_of(&self, family: AddrFamily) -> impl Iterator<Item = &BlockProfile> {
-        self.blocks.iter().filter(move |b| b.prefix.family() == family)
+        self.blocks
+            .iter()
+            .filter(move |b| b.prefix.family() == family)
     }
 
     /// Count of blocks of one family.

@@ -262,7 +262,11 @@ mod tests {
         assert_eq!(tl.down.len(), 1, "{:?}", tl.down);
         let iv = tl.down.intervals()[0];
         // edges within two measurement periods of truth
-        assert!(iv.start.secs().abs_diff(30_000) <= 480, "start {}", iv.start);
+        assert!(
+            iv.start.secs().abs_diff(30_000) <= 480,
+            "start {}",
+            iv.start
+        );
         assert!(iv.end.secs().abs_diff(33_600) <= 480, "end {}", iv.end);
     }
 

@@ -95,8 +95,7 @@ impl Trinocular {
                 let mut tt = t;
                 while sent < 1 + cfg.max_adaptive_probes
                     && !got_reply
-                    && !(state.belief() < cfg.down_threshold
-                        && sent >= cfg.min_probes_for_down)
+                    && !(state.belief() < cfg.down_threshold && sent >= cfg.min_probes_for_down)
                 {
                     tt = (tt + 3).min(window.end - 1);
                     let replied = oracle.probe(&block, tt) == ProbeOutcome::Reply;
@@ -158,7 +157,12 @@ mod tests {
     fn detects_long_outage_within_round_precision() {
         let (scenario, victim, truth) = setup();
         let mut oracle = scenario.oracle();
-        let blocks: Vec<Prefix> = scenario.internet.blocks().iter().map(|b| b.prefix).collect();
+        let blocks: Vec<Prefix> = scenario
+            .internet
+            .blocks()
+            .iter()
+            .map(|b| b.prefix)
+            .collect();
         let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &blocks);
 
         let tl = report.timeline_for(&victim).expect("probed");
@@ -249,8 +253,7 @@ mod tests {
     fn events_are_sorted_and_attributed() {
         let (scenario, victim, _) = setup();
         let mut oracle = scenario.oracle();
-        let report =
-            Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &[victim]);
+        let report = Trinocular::new(TrinocularConfig::default()).run(&mut oracle, &[victim]);
         let events = report.events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].detector, DetectorId::Trinocular);

@@ -243,8 +243,8 @@ mod tests {
     #[test]
     fn min_outage_filter() {
         let down = IntervalSet::from_intervals([
-            Interval::from_secs(0, 300),    // 5 min
-            Interval::from_secs(1_000, 1_660), // 11 min
+            Interval::from_secs(0, 300),         // 5 min
+            Interval::from_secs(1_000, 1_660),   // 11 min
             Interval::from_secs(10_000, 10_100), // 100 s
         ]);
         let t = Timeline::from_down(window(), down);

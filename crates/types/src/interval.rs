@@ -185,9 +185,7 @@ impl IntervalSet {
         // them by the hull.
         let lo = self.ivs.partition_point(|x| x.end < iv.start);
         let hi = self.ivs.partition_point(|x| x.start <= iv.end);
-        let merged = self.ivs[lo..hi]
-            .iter()
-            .fold(iv, |acc, x| acc.hull(x));
+        let merged = self.ivs[lo..hi].iter().fold(iv, |acc, x| acc.hull(x));
         self.ivs.splice(lo..hi, std::iter::once(merged));
     }
 
@@ -412,21 +410,24 @@ mod tests {
         let a = set(&[(10, 20)]);
         let b = set(&[(0, 30)]);
         assert!(a.subtract(&b).is_empty());
-        assert_eq!(b.subtract(&a).intervals(), &[
-            Interval::from_secs(0, 10),
-            Interval::from_secs(20, 30)
-        ]);
+        assert_eq!(
+            b.subtract(&a).intervals(),
+            &[Interval::from_secs(0, 10), Interval::from_secs(20, 30)]
+        );
     }
 
     #[test]
     fn complement_within_window() {
         let down = set(&[(100, 200), (500, 600)]);
         let up = down.complement_within(Interval::from_secs(0, 1000));
-        assert_eq!(up.intervals(), &[
-            Interval::from_secs(0, 100),
-            Interval::from_secs(200, 500),
-            Interval::from_secs(600, 1000)
-        ]);
+        assert_eq!(
+            up.intervals(),
+            &[
+                Interval::from_secs(0, 100),
+                Interval::from_secs(200, 500),
+                Interval::from_secs(600, 1000)
+            ]
+        );
         assert_eq!(up.total() + down.total(), 1000);
     }
 
@@ -434,20 +435,23 @@ mod tests {
     fn clip_to_window() {
         let s = set(&[(0, 100), (200, 300)]);
         let c = s.clip(Interval::from_secs(50, 250));
-        assert_eq!(c.intervals(), &[
-            Interval::from_secs(50, 100),
-            Interval::from_secs(200, 250)
-        ]);
+        assert_eq!(
+            c.intervals(),
+            &[Interval::from_secs(50, 100), Interval::from_secs(200, 250)]
+        );
     }
 
     #[test]
     fn filter_min_duration_keeps_long() {
         let s = set(&[(0, 100), (200, 900), (1000, 1660)]);
         let long = s.filter_min_duration(660);
-        assert_eq!(long.intervals(), &[
-            Interval::from_secs(200, 900),
-            Interval::from_secs(1000, 1660)
-        ]);
+        assert_eq!(
+            long.intervals(),
+            &[
+                Interval::from_secs(200, 900),
+                Interval::from_secs(1000, 1660)
+            ]
+        );
     }
 
     #[test]

@@ -224,14 +224,20 @@ impl Prefix {
                 let bit = 1u32 << (32 - len - 1);
                 Some((
                     Prefix::V4 { addr, len: len + 1 },
-                    Prefix::V4 { addr: addr | bit, len: len + 1 },
+                    Prefix::V4 {
+                        addr: addr | bit,
+                        len: len + 1,
+                    },
                 ))
             }
             Prefix::V6 { addr, len } if len < 128 => {
                 let bit = 1u128 << (128 - len - 1);
                 Some((
                     Prefix::V6 { addr, len: len + 1 },
-                    Prefix::V6 { addr: addr | bit, len: len + 1 },
+                    Prefix::V6 {
+                        addr: addr | bit,
+                        len: len + 1,
+                    },
                 ))
             }
             _ => None,
@@ -252,13 +258,19 @@ impl Prefix {
             Prefix::V4 { addr, .. } => {
                 let step = 1u32 << (32 - bl);
                 for i in 0..n as u32 {
-                    out.push(Prefix::V4 { addr: addr + i * step, len: bl });
+                    out.push(Prefix::V4 {
+                        addr: addr + i * step,
+                        len: bl,
+                    });
                 }
             }
             Prefix::V6 { addr, .. } => {
                 let step = 1u128 << (128 - bl);
                 for i in 0..n as u128 {
-                    out.push(Prefix::V6 { addr: addr + i * step, len: bl });
+                    out.push(Prefix::V6 {
+                        addr: addr + i * step,
+                        len: bl,
+                    });
                 }
             }
         }
@@ -305,7 +317,11 @@ impl Prefix {
                 HostAddr::V4(Ipv4Addr::from(addr + (offset % span) as u32))
             }
             Prefix::V6 { addr, len } => {
-                let span: u128 = if len == 128 { 1 } else { 1u128 << (128 - len).min(63) };
+                let span: u128 = if len == 128 {
+                    1
+                } else {
+                    1u128 << (128 - len).min(63)
+                };
                 HostAddr::V6(Ipv6Addr::from(addr + (offset as u128 % span)))
             }
         }
@@ -519,7 +535,13 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "2001:db8::/32", "2001:db8:1:2::/64"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "192.0.2.0/24",
+            "2001:db8::/32",
+            "2001:db8:1:2::/64",
+        ] {
             let p: Prefix = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }

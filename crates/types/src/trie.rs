@@ -270,12 +270,24 @@ mod tests {
         t.insert(p("10.0.0.0/8"), 8);
         t.insert(p("10.1.0.0/16"), 16);
         t.insert(p("10.1.2.0/24"), 24);
-        assert_eq!(t.longest_match(&p("10.1.2.0/24")), Some((p("10.1.2.0/24"), &24)));
-        assert_eq!(t.longest_match(&p("10.1.3.0/24")), Some((p("10.1.0.0/16"), &16)));
-        assert_eq!(t.longest_match(&p("10.9.0.0/24")), Some((p("10.0.0.0/8"), &8)));
+        assert_eq!(
+            t.longest_match(&p("10.1.2.0/24")),
+            Some((p("10.1.2.0/24"), &24))
+        );
+        assert_eq!(
+            t.longest_match(&p("10.1.3.0/24")),
+            Some((p("10.1.0.0/16"), &16))
+        );
+        assert_eq!(
+            t.longest_match(&p("10.9.0.0/24")),
+            Some((p("10.0.0.0/8"), &8))
+        );
         assert_eq!(t.longest_match(&p("11.0.0.0/24")), None);
         // a /32 query matches too
-        assert_eq!(t.longest_match(&p("10.1.2.3/32")), Some((p("10.1.2.0/24"), &24)));
+        assert_eq!(
+            t.longest_match(&p("10.1.2.3/32")),
+            Some((p("10.1.2.0/24"), &24))
+        );
     }
 
     #[test]
@@ -283,7 +295,10 @@ mod tests {
         let mut t = PrefixTrie::new();
         t.insert(p("0.0.0.0/0"), 4);
         t.insert(p("::/0"), 6);
-        assert_eq!(t.longest_match(&p("1.2.3.0/24")), Some((p("0.0.0.0/0"), &4)));
+        assert_eq!(
+            t.longest_match(&p("1.2.3.0/24")),
+            Some((p("0.0.0.0/0"), &4))
+        );
         assert_eq!(t.longest_match(&p("2001:db8::/48")), Some((p("::/0"), &6)));
     }
 
@@ -313,14 +328,23 @@ mod tests {
     #[test]
     fn subtree_enumeration_in_order() {
         let mut t = PrefixTrie::new();
-        for (i, s) in ["10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.1.0.0/24", "11.0.0.0/24"]
-            .iter()
-            .enumerate()
+        for (i, s) in [
+            "10.0.0.0/24",
+            "10.0.1.0/24",
+            "10.0.2.0/24",
+            "10.1.0.0/24",
+            "11.0.0.0/24",
+        ]
+        .iter()
+        .enumerate()
         {
             t.insert(p(s), i);
         }
         let under = t.keys_under(&p("10.0.0.0/16"));
-        assert_eq!(under, vec![p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24")]);
+        assert_eq!(
+            under,
+            vec![p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24")]
+        );
         let all = t.keys_under(&p("0.0.0.0/0"));
         assert_eq!(all.len(), 5);
         // subtree rooted exactly at a stored key includes it

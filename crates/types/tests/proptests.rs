@@ -10,8 +10,7 @@ use std::collections::BTreeMap;
 const HORIZON: u64 = 10_000;
 
 fn arb_interval() -> impl Strategy<Value = Interval> {
-    (0..HORIZON, 0..HORIZON)
-        .prop_map(|(a, b)| Interval::from_secs(a.min(b), a.max(b)))
+    (0..HORIZON, 0..HORIZON).prop_map(|(a, b)| Interval::from_secs(a.min(b), a.max(b)))
 }
 
 fn arb_set() -> impl Strategy<Value = IntervalSet> {

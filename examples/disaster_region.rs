@@ -16,7 +16,9 @@
 //! ```
 
 use passive_outage::chocolatine::Chocolatine;
-use passive_outage::netsim::{OutageSchedule, Scenario, ScenarioConfig, TopologyConfig, OutageConfig};
+use passive_outage::netsim::{
+    OutageConfig, OutageSchedule, Scenario, ScenarioConfig, TopologyConfig,
+};
 use passive_outage::prelude::*;
 use passive_outage::trinocular::{Trinocular, TrinocularConfig};
 
@@ -73,14 +75,20 @@ fn main() {
         if let Some(tl) = report.timeline_for(b) {
             if let Some(iv) = tl.down.iter().find(|iv| iv.overlaps(&truth)) {
                 caught += 1;
-                edge_error_sum +=
-                    iv.start.secs().abs_diff(truth.start.secs()) + iv.end.secs().abs_diff(truth.end.secs());
+                edge_error_sum += iv.start.secs().abs_diff(truth.start.secs())
+                    + iv.end.secs().abs_diff(truth.end.secs());
             }
         }
     }
-    println!("passive detector: caught the outage on {caught}/{} blocks", victim_blocks.len());
+    println!(
+        "passive detector: caught the outage on {caught}/{} blocks",
+        victim_blocks.len()
+    );
     if caught > 0 {
-        println!("  mean edge error: {} s (packet-timestamp precision)\n", edge_error_sum / (2 * caught as u64));
+        println!(
+            "  mean edge error: {} s (packet-timestamp precision)\n",
+            edge_error_sum / (2 * caught as u64)
+        );
     }
 
     // --- View 2: Trinocular active probing -------------------------
@@ -92,28 +100,35 @@ fn main() {
         if let Some(tl) = trino.timeline_for(b) {
             if let Some(iv) = tl.down.iter().find(|iv| iv.overlaps(&truth)) {
                 tri_caught += 1;
-                tri_edge_sum +=
-                    iv.start.secs().abs_diff(truth.start.secs()) + iv.end.secs().abs_diff(truth.end.secs());
+                tri_edge_sum += iv.start.secs().abs_diff(truth.start.secs())
+                    + iv.end.secs().abs_diff(truth.end.secs());
             }
         }
     }
-    println!("trinocular: caught the outage on {tri_caught}/{} blocks", victim_blocks.len());
+    println!(
+        "trinocular: caught the outage on {tri_caught}/{} blocks",
+        victim_blocks.len()
+    );
     if tri_caught > 0 {
-        println!("  mean edge error: {} s (round quantization)", tri_edge_sum / (2 * tri_caught as u64));
+        println!(
+            "  mean edge error: {} s (round quantization)",
+            tri_edge_sum / (2 * tri_caught as u64)
+        );
     }
     println!("  probes spent: {}\n", trino.probes_sent);
 
     // --- View 3: Chocolatine AS-level detection --------------------
     let internet = &scenario.internet;
-    let choco = Chocolatine::default().run(
-        observations.iter().copied(),
-        scenario.window(),
-        |p| internet.as_of(p).map(|a| a.0),
-    );
+    let choco = Chocolatine::default().run(observations.iter().copied(), scenario.window(), |p| {
+        internet.as_of(p).map(|a| a.0)
+    });
     match choco.timeline_for(victim_as.0) {
         Some(tl) if tl.down_secs() > 0 => {
             let iv = tl.down.intervals()[0];
-            println!("chocolatine: AS-level outage {} → {} (whole {victim_as}, 5-min bins)", iv.start, iv.end);
+            println!(
+                "chocolatine: AS-level outage {} → {} (whole {victim_as}, 5-min bins)",
+                iv.start, iv.end
+            );
             println!("  spatial precision: the verdict cannot say WHICH /24s were affected");
         }
         _ => println!("chocolatine: no AS-level detection (aggregate too noisy)"),

@@ -42,7 +42,10 @@ fn main() {
         };
         println!("{family}:");
         println!("  blocks in world      : {universe}");
-        println!("  measurable           : {measurable} ({:.1}% of world)", 100.0 * measurable as f64 / universe as f64);
+        println!(
+            "  measurable           : {measurable} ({:.1}% of world)",
+            100.0 * measurable as f64 / universe as f64
+        );
         println!("  ≥1 ten-minute outage : {outaged} ({rate:.1}% of measurable)");
         println!();
     }
@@ -52,7 +55,11 @@ fn main() {
     let rate_of = |family: AddrFamily| {
         let m = covered.iter().filter(|p| p.family() == family).count();
         let o = with_outage.iter().filter(|p| p.family() == family).count();
-        if m == 0 { 0.0 } else { o as f64 / m as f64 }
+        if m == 0 {
+            0.0
+        } else {
+            o as f64 / m as f64
+        }
     };
     let (v4, v6) = (rate_of(AddrFamily::V4), rate_of(AddrFamily::V6));
     println!(

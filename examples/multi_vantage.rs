@@ -52,7 +52,12 @@ fn main() {
         .filter(|p| report_b.timeline_for(p).is_some())
         .collect();
     let both = covered_a.union(&covered_b).count();
-    println!("coverage: A alone {}, B alone {}, combined {}", covered_a.len(), covered_b.len(), both);
+    println!(
+        "coverage: A alone {}, B alone {}, combined {}",
+        covered_a.len(),
+        covered_b.len(),
+        both
+    );
     assert!(both >= covered_a.len().max(covered_b.len()));
 
     // Accuracy of fused verdicts on blocks both services cover.
@@ -70,7 +75,8 @@ fn main() {
         shared += 1;
         let truth = scenario.schedule.truth(&blk.prefix);
         solo += DurationMatrix::of(tl_a, &truth);
-        corroborated += DurationMatrix::of(&fuse_timelines(&[tl_a.clone(), tl_b.clone()], 2), &truth);
+        corroborated +=
+            DurationMatrix::of(&fuse_timelines(&[tl_a.clone(), tl_b.clone()], 2), &truth);
         any_source += DurationMatrix::of(&fuse_timelines(&[tl_a.clone(), tl_b.clone()], 1), &truth);
     }
     println!("\nover {shared} dual-covered blocks (vs ground truth):");
@@ -90,7 +96,13 @@ fn main() {
         any_source.tnr()
     );
 
-    assert!(corroborated.fo <= solo.fo, "corroboration must not add false outage time");
-    assert!(any_source.tnr() >= solo.tnr() - 1e-9, "union must not lose outage time");
+    assert!(
+        corroborated.fo <= solo.fo,
+        "corroboration must not add false outage time"
+    );
+    assert!(
+        any_source.tnr() >= solo.tnr() - 1e-9,
+        "union must not lose outage time"
+    );
     println!("\nmulti_vantage OK");
 }

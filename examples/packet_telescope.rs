@@ -12,10 +12,10 @@
 //! cargo run --release --example packet_telescope
 //! ```
 
+use bytes::Bytes;
 use passive_outage::dnswire::{CapturedPacket, Telescope};
 use passive_outage::netsim::{OutageSchedule, PacketFeed};
 use passive_outage::prelude::*;
-use bytes::Bytes;
 
 fn main() {
     // Small world with one injected outage.
@@ -46,7 +46,10 @@ fn main() {
             });
         }
     }
-    println!("captured {} datagrams (including injected garbage)", packets.len());
+    println!(
+        "captured {} datagrams (including injected garbage)",
+        packets.len()
+    );
 
     // The telescope: parse, filter, attribute.
     let mut telescope = Telescope::new();
@@ -62,7 +65,11 @@ fn main() {
     let report = detector.run_slice(&observations, scenario.window());
 
     let verdict = report.timeline_for(&victim).expect("victim covered");
-    println!("victim {victim} verdict: {} s down, truth {} s", verdict.down_secs(), truth.duration());
+    println!(
+        "victim {victim} verdict: {} s down, truth {} s",
+        verdict.down_secs(),
+        truth.duration()
+    );
     let matrix = DurationMatrix::of(verdict, &scenario.schedule.truth(&victim));
     println!("\nconfusion matrix (seconds):\n{matrix}");
     assert!(matrix.tnr() > 0.9, "outage must survive the packet path");

@@ -8,8 +8,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use passive_outage::prelude::*;
 use passive_outage::netsim::OutageSchedule;
+use passive_outage::prelude::*;
 
 fn main() {
     // A deterministic small world: ~40 ASes, one simulated day.
@@ -29,12 +29,22 @@ fn main() {
     schedule.add(victim, truth);
     scenario.schedule = schedule;
 
-    println!("world: {} blocks across {} ASes", scenario.internet.blocks().len(), scenario.internet.ases().len());
-    println!("injected ground truth: {victim} down {truth} ({} s)\n", truth.duration());
+    println!(
+        "world: {} blocks across {} ASes",
+        scenario.internet.blocks().len(),
+        scenario.internet.ases().len()
+    );
+    println!(
+        "injected ground truth: {victim} down {truth} ({} s)\n",
+        truth.duration()
+    );
 
     // The passive feed: timestamped (arrival, source block) pairs.
     let observations: Vec<Observation> = scenario.collect_observations();
-    println!("passive feed: {} observations over one day", observations.len());
+    println!(
+        "passive feed: {} observations over one day",
+        observations.len()
+    );
 
     // Run the detector: history pass, per-block tuning, detection pass.
     let detector = PassiveDetector::new(DetectorConfig::default());

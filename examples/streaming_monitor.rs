@@ -11,7 +11,9 @@
 //! ```
 
 use passive_outage::detector::StreamingMonitor;
-use passive_outage::netsim::{OutageSchedule, Scenario, ScenarioConfig, TopologyConfig, OutageConfig};
+use passive_outage::netsim::{
+    OutageConfig, OutageSchedule, Scenario, ScenarioConfig, TopologyConfig,
+};
 use passive_outage::prelude::*;
 
 fn main() {
@@ -37,9 +39,13 @@ fn main() {
     let mut schedule = OutageSchedule::new(scenario.window());
     schedule.add(victim, outage);
     scenario.schedule = schedule;
-    println!("watching {victim}; ground truth outage at {} → {}\n", outage.start, outage.end);
+    println!(
+        "watching {victim}; ground truth outage at {} → {}\n",
+        outage.start, outage.end
+    );
 
-    let mut monitor = StreamingMonitor::daily(DetectorConfig::default(), UnixTime::EPOCH);
+    let mut monitor = StreamingMonitor::daily(DetectorConfig::default(), UnixTime::EPOCH)
+        .expect("valid default config");
 
     // Stream observations in arrival order, ticking the wall clock every
     // simulated minute and sampling the victim's belief around the
@@ -61,7 +67,9 @@ fn main() {
             ] {
                 if t >= at && printed.insert(label) {
                     match monitor.belief(&victim) {
-                        Some(b) => println!("t={} {:<22} belief(up) = {:.3}", UnixTime(t), label, b),
+                        Some(b) => {
+                            println!("t={} {:<22} belief(up) = {:.3}", UnixTime(t), label, b)
+                        }
                         None => println!("t={} {:<22} (warming up)", UnixTime(t), label),
                     }
                 }

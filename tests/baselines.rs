@@ -69,8 +69,8 @@ fn passive_beats_trinocular_on_edge_precision() {
     scenario.schedule = schedule;
 
     let observations = scenario.collect_observations();
-    let passive = PassiveDetector::new(DetectorConfig::default())
-        .run_slice(&observations, scenario.window());
+    let passive =
+        PassiveDetector::new(DetectorConfig::default()).run_slice(&observations, scenario.window());
     let passive_iv = *passive
         .timeline_for(&victim)
         .unwrap()
@@ -138,9 +138,10 @@ fn chocolatine_sees_the_as_but_not_the_block() {
                 .blocks_of_as(asp.id)
                 .map(|b| b.base_rate)
                 .sum();
-            let victim = scenario.internet.blocks_of_as(asp.id).find(|b| {
-                b.base_rate >= 0.02 && b.base_rate < 0.10 * total
-            })?;
+            let victim = scenario
+                .internet
+                .blocks_of_as(asp.id)
+                .find(|b| b.base_rate >= 0.02 && b.base_rate < 0.10 * total)?;
             Some((asp.id, victim.prefix))
         })
         .expect("a diluted dense block exists at this seed");
@@ -203,7 +204,12 @@ fn corroboration_by_quorum_cuts_false_outages() {
     }
     // Quorum-2 keeps only corroborated outage time: false-outage seconds
     // cannot increase.
-    assert!(fused_m.fo <= solo.fo, "fused fo {} > solo fo {}", fused_m.fo, solo.fo);
+    assert!(
+        fused_m.fo <= solo.fo,
+        "fused fo {} > solo fo {}",
+        fused_m.fo,
+        solo.fo
+    );
     assert!(fused_m.recall() >= solo.recall() - 1e-9);
 }
 
@@ -227,8 +233,8 @@ fn all_detectors_agree_on_a_big_obvious_outage() {
 
     let observations = scenario.collect_observations();
 
-    let passive = PassiveDetector::new(DetectorConfig::default())
-        .run_slice(&observations, scenario.window());
+    let passive =
+        PassiveDetector::new(DetectorConfig::default()).run_slice(&observations, scenario.window());
     assert!(passive.timeline_for(&victim).unwrap().down_secs() > 18_000);
 
     let mut oracle = scenario.oracle();

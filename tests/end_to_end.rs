@@ -93,7 +93,11 @@ fn wire_path_equals_observation_path() {
     let packets: Vec<_> = observations.iter().map(|o| feed.render(o)).collect();
     let mut telescope = Telescope::new();
     let parsed: Vec<Observation> = telescope.observe_all(packets).collect();
-    assert_eq!(parsed.len(), observations.len(), "telescope dropped valid queries");
+    assert_eq!(
+        parsed.len(),
+        observations.len(),
+        "telescope dropped valid queries"
+    );
     assert_eq!(parsed, observations, "attribution must be lossless");
 
     let detector = PassiveDetector::new(DetectorConfig::default());
@@ -101,7 +105,10 @@ fn wire_path_equals_observation_path() {
     let direct = detector.run_slice(&observations, scenario.window());
     assert_eq!(via_wire.covered_blocks(), direct.covered_blocks());
     for b in scenario.internet.blocks() {
-        assert_eq!(via_wire.timeline_for(&b.prefix), direct.timeline_for(&b.prefix));
+        assert_eq!(
+            via_wire.timeline_for(&b.prefix),
+            direct.timeline_for(&b.prefix)
+        );
     }
 }
 
@@ -131,8 +138,16 @@ fn injected_long_outage_recovered_with_tight_edges() {
         .expect("outage found");
     // The busiest block has sub-minute inter-arrivals: edges should be
     // within ~2 minutes of truth.
-    assert!(hit.start.secs().abs_diff(truth.start.secs()) < 120, "start {}", hit.start);
-    assert!(hit.end.secs().abs_diff(truth.end.secs()) < 120, "end {}", hit.end);
+    assert!(
+        hit.start.secs().abs_diff(truth.start.secs()) < 120,
+        "start {}",
+        hit.start
+    );
+    assert!(
+        hit.end.secs().abs_diff(truth.end.secs()) < 120,
+        "end {}",
+        hit.end
+    );
 }
 
 #[test]
@@ -169,12 +184,18 @@ fn two_day_run_history_from_day_one() {
 
     let detector = PassiveDetector::new(DetectorConfig::default());
     let histories = detector.learn_histories(
-        observations.iter().copied().filter(|o| day1.contains(o.time)),
+        observations
+            .iter()
+            .copied()
+            .filter(|o| day1.contains(o.time)),
         day1,
     );
     let report = detector.detect(
         &histories,
-        observations.iter().copied().filter(|o| day2.contains(o.time)),
+        observations
+            .iter()
+            .copied()
+            .filter(|o| day2.contains(o.time)),
         day2,
     );
 
