@@ -9,10 +9,13 @@ use outage_bench::experiments::{
     ablate_fixed_bins, ablate_no_agg, ablate_no_diurnal, ablate_no_refine, compare_baselines,
     faults, fig1, fig2a, fig2b, stability, table1, table2, table3, week, Scale,
 };
+use outage_bench::throughput::throughput;
 
 fn main() {
     let mut scale = Scale::default();
     let mut targets: Vec<String> = Vec::new();
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,6 +30,10 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
             }
             "--help" | "-h" => usage(""),
             other => targets.push(other.to_string()),
@@ -52,6 +59,7 @@ fn main() {
             "week" => println!("{}\n", week(scale).rendered),
             "stability" => println!("{}\n", stability(scale, 5).rendered),
             "faults" => println!("{}\n", faults(scale).rendered),
+            "throughput" => run_throughput(scale, smoke, out_path.as_deref()),
             "all" => {
                 run_table1(scale);
                 run_table2(scale);
@@ -108,14 +116,45 @@ fn run_fig2b(scale: Scale) {
     println!("{}", fig2b(scale).rendered);
 }
 
+/// `throughput`: observations/sec for both passes at 1/2/4/8 workers,
+/// written as JSON to `--out` (default `BENCH_throughput.json`). Smoke
+/// mode shrinks the scenario and times a single iteration so CI can
+/// record a number without slowing the test job.
+fn run_throughput(scale: Scale, smoke: bool, out_path: Option<&str>) {
+    let (scale, iterations) = if smoke {
+        (
+            Scale {
+                num_as: Scale::small().num_as,
+                ..scale
+            },
+            1,
+        )
+    } else {
+        (scale, 3)
+    };
+    let r = throughput(scale, &[1, 2, 4, 8], iterations);
+    println!("{}", r.rendered);
+    let path = out_path.unwrap_or("BENCH_throughput.json");
+    match std::fs::write(path, &r.json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--num-as N] [--seed S] [TARGET...]\n\
+        "usage: repro [--num-as N] [--seed S] [--smoke] [--out PATH] [TARGET...]\n\
          targets: table1 table2 table3 fig1 fig2a fig2b\n\
-         \x20        ablate-fixed-bins ablate-no-refine ablate-no-agg\n\x20        ablate-no-diurnal baselines week stability faults all"
+         \x20        ablate-fixed-bins ablate-no-refine ablate-no-agg\n\
+         \x20        ablate-no-diurnal baselines week stability faults\n\
+         \x20        throughput all\n\
+         --smoke and --out apply to the throughput target"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

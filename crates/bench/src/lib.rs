@@ -13,9 +13,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod throughput;
 
 pub use experiments::{
     ablate_no_diurnal, compare_baselines, faults, fig1, fig2a, fig2b, stability, table1, table2,
     table3, week, AblationResult, BaselineComparison, CoverageFigure, FaultsResult, Fig2aResult,
     Fig2bResult, Scale, TableResult,
 };
+pub use throughput::{throughput, PassTiming, ThroughputResult};

@@ -45,7 +45,7 @@ fn usage() -> String {
      \x20           [--num-as N] [--seed S] --out FILE [--truth FILE]\n\
      \x20 detect    --obs FILE [--window SECS] --out FILE\n\
      \x20           [--fault-plan FILE] [--sentinel] [--sentinel-bucket SECS]\n\
-     \x20           [--quarantine-out FILE]\n\
+     \x20           [--quarantine-out FILE] [--workers N]\n\
      \x20 eval      --observed FILE --truth FILE --window SECS\n\
      \x20           [--min-secs N] [--events] [--tolerance SECS] [--exclude FILE]\n\
      \x20 coverage  --obs FILE\n\
@@ -135,10 +135,20 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         None
     };
+    // Default (no flag) is available parallelism, decided in detect_with.
+    let workers = flags
+        .get("workers")
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err("--workers must be at least 1".to_string()),
+            Err(e) => Err(format!("--workers {v:?}: {e}")),
+        })
+        .transpose()?;
     let opts = commands::DetectOptions {
         window_secs: window,
         fault_plan,
         sentinel,
+        workers,
     };
     let result = commands::detect_with(&obs, &opts).map_err(|e| e.to_string())?;
     write(out, &result.events)?;

@@ -3,7 +3,8 @@
 
 use crate::format;
 use outage_core::{
-    coverage_by_width, ConfigError, DetectorConfig, PassiveDetector, SentinelConfig,
+    coverage_by_width, detect_parallel, detect_parallel_with_sentinel, ConfigError, DetectorConfig,
+    PassiveDetector, SentinelConfig,
 };
 use outage_dnswire::Telescope;
 use outage_eval::{duration_table, event_table, summarize, DurationMatrix, EventMatrix};
@@ -122,6 +123,9 @@ pub struct DetectOptions {
     pub fault_plan: Option<FaultPlan>,
     /// Guard detection with a feed sentinel under this configuration.
     pub sentinel: Option<SentinelConfig>,
+    /// Worker threads for the sharded history pass and the parallel
+    /// detection driver; `None` means available parallelism.
+    pub workers: Option<usize>,
 }
 
 /// `detect`: run the passive detector over an observation document.
@@ -179,10 +183,36 @@ pub fn detect_with(
     }
     let window = Interval::new(UnixTime::EPOCH, UnixTime(window_end));
 
+    let workers = opts.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    if workers == 0 {
+        return Err(CommandError("--workers must be at least 1".into()));
+    }
+
     let detector = PassiveDetector::try_new(DetectorConfig::default())?;
+    // Both passes go through the parallel path by default: sharded
+    // history learning, then the router/worker detection driver (both
+    // produce results identical to the sequential pipeline).
+    let histories = detector.learn_histories_parallel(&observations, window, workers);
     let report = match &opts.sentinel {
-        None => detector.run_slice(&observations, window),
-        Some(cfg) => detector.run_slice_with_sentinel(&observations, window, cfg)?,
+        None => detect_parallel(
+            &detector,
+            &histories,
+            observations.iter().copied(),
+            window,
+            workers,
+        ),
+        Some(cfg) => detect_parallel_with_sentinel(
+            &detector,
+            &histories,
+            observations.iter().copied(),
+            window,
+            workers,
+            cfg,
+        )?,
     };
     let mut events = report.events();
     events.sort_by_key(|e| (e.interval.start, e.prefix));
@@ -199,7 +229,7 @@ pub fn detect_with(
     let d = report.diagnostics();
     let summary = format!(
         "window {}: {} observations{}, {} blocks covered ({} uncovered), {} outage events \
-         ({} via bins, {} via exact-timestamp gaps){}\n{}",
+         ({} via bins, {} via exact-timestamp gaps){}, {} workers\n{}",
         window,
         observations.len(),
         fault_note,
@@ -209,6 +239,7 @@ pub fn detect_with(
         d.bin_detections,
         d.gap_detections,
         quarantine_note,
+        workers,
         summarize(&events, 5),
     );
     Ok(DetectOutput {
@@ -495,6 +526,39 @@ mod tests {
         let truth = "# none\n";
         let table = eval(&on.events, truth, 2 * 86_400, 0, false, 0, &quarantined).unwrap();
         assert!(table.contains("excluded"), "{table}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_verdicts() {
+        let doc = steady_feed_doc();
+        let blackout = Interval::from_secs(120_000, 121_800);
+        let run = |workers| {
+            detect_with(
+                &doc,
+                &DetectOptions {
+                    fault_plan: Some(FaultPlan::new(7).blackout(blackout)),
+                    sentinel: Some(SentinelConfig::default()),
+                    workers: Some(workers),
+                    ..DetectOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        assert!(one.summary.contains("1 workers"), "{}", one.summary);
+        for workers in [2, 4] {
+            let n = run(workers);
+            assert_eq!(n.events, one.events, "{workers} workers");
+            assert_eq!(n.quarantine, one.quarantine, "{workers} workers");
+        }
+        assert!(detect_with(
+            &doc,
+            &DetectOptions {
+                workers: Some(0),
+                ..DetectOptions::default()
+            },
+        )
+        .is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! trimmed mean over hourly counts, discarding the quietest quarter of
 //! hours (which is where any outage hides).
 
+use crate::index::BlockIndex;
 use outage_types::{Interval, Observation, Prefix, UnixTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -82,11 +83,19 @@ pub const CONSERVATIVE_TROUGH: f64 = 0.2;
 
 /// Accumulates observations into per-block hourly counts and produces
 /// [`BlockHistory`] models.
+///
+/// Blocks are interned into a dense [`BlockIndex`] on first sight and
+/// all hourly counters live in one flat `hours × blocks` arena — the
+/// per-observation path is one cheap hash probe plus an array increment,
+/// with no per-block allocation.
 #[derive(Debug)]
 pub struct HistoryBuilder {
     window: Interval,
     hours: usize,
-    counts: HashMap<Prefix, Vec<u64>>,
+    index: BlockIndex,
+    /// Flat arena: block `id`'s hourly counts occupy
+    /// `counts[id*hours .. (id+1)*hours]`.
+    counts: Vec<u64>,
 }
 
 impl HistoryBuilder {
@@ -96,21 +105,23 @@ impl HistoryBuilder {
         HistoryBuilder {
             window,
             hours,
-            counts: HashMap::new(),
+            index: BlockIndex::new(),
+            counts: Vec::new(),
         }
     }
 
     /// Account one observation.
+    #[inline]
     pub fn record(&mut self, obs: &Observation) {
         if !self.window.contains(obs.time) {
             return;
         }
-        let hour = (obs.time.since(self.window.start) / 3_600) as usize;
-        let v = self
-            .counts
-            .entry(obs.block)
-            .or_insert_with(|| vec![0; self.hours]);
-        v[hour.min(self.hours - 1)] += 1;
+        let hour = ((obs.time.since(self.window.start) / 3_600) as usize).min(self.hours - 1);
+        let id = self.index.intern(obs.block) as usize;
+        if id * self.hours == self.counts.len() {
+            self.counts.resize(self.counts.len() + self.hours, 0);
+        }
+        self.counts[id * self.hours + hour] += 1;
     }
 
     /// Account a whole stream.
@@ -122,16 +133,155 @@ impl HistoryBuilder {
 
     /// Number of distinct blocks seen.
     pub fn block_count(&self) -> usize {
-        self.counts.len()
+        self.index.len()
+    }
+
+    /// Fold another builder's counts into this one. Both builders must
+    /// cover the same window. Merging shard builders in shard order
+    /// reproduces the sequential result exactly: u64 addition commutes,
+    /// and ids assigned by in-order merge equal the ids a single
+    /// sequential pass would have assigned (every block whose first
+    /// appearance is in an earlier shard interns before any block first
+    /// appearing in a later one).
+    pub fn merge(&mut self, other: HistoryBuilder) {
+        assert_eq!(
+            self.window, other.window,
+            "merged HistoryBuilders must share a window"
+        );
+        for (oid, p) in other.index.prefixes().iter().enumerate() {
+            let id = self.index.intern(*p) as usize;
+            if id * self.hours == self.counts.len() {
+                self.counts.resize(self.counts.len() + self.hours, 0);
+            }
+            let dst = &mut self.counts[id * self.hours..(id + 1) * self.hours];
+            let src = &other.counts[oid * self.hours..(oid + 1) * self.hours];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
     }
 
     /// Finish: one [`BlockHistory`] per observed block.
     pub fn build(self) -> HashMap<Prefix, BlockHistory> {
+        let hours = self.hours;
         let window = self.window;
-        self.counts
-            .into_iter()
-            .map(|(prefix, hours)| (prefix, build_history(prefix, &hours, window)))
+        let counts = self.counts;
+        self.index
+            .prefixes()
+            .iter()
+            .enumerate()
+            .map(|(id, &prefix)| {
+                let row = &counts[id * hours..(id + 1) * hours];
+                (prefix, build_history(prefix, row, window))
+            })
             .collect()
+    }
+
+    /// Finish keeping the dense index: histories addressable by block id
+    /// as well as by prefix.
+    pub fn build_indexed(self) -> IndexedHistories {
+        let hours = self.hours;
+        let window = self.window;
+        let histories: Vec<BlockHistory> = self
+            .index
+            .prefixes()
+            .iter()
+            .enumerate()
+            .map(|(id, &prefix)| {
+                let row = &self.counts[id * hours..(id + 1) * hours];
+                build_history(prefix, row, window)
+            })
+            .collect();
+        IndexedHistories {
+            index: self.index,
+            histories,
+        }
+    }
+}
+
+/// Learned histories keyed by a dense [`BlockIndex`]: `O(1)` flat lookup
+/// by id, one cheap hash probe by prefix.
+#[derive(Debug, Clone)]
+pub struct IndexedHistories {
+    index: BlockIndex,
+    /// Parallel to the index: `histories[id]` is block `id`'s model.
+    histories: Vec<BlockHistory>,
+}
+
+impl IndexedHistories {
+    /// The interning index (block ↔ id).
+    pub fn index(&self) -> &BlockIndex {
+        &self.index
+    }
+
+    /// Number of blocks with a learned history.
+    pub fn len(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Whether no history was learned.
+    pub fn is_empty(&self) -> bool {
+        self.histories.is_empty()
+    }
+
+    /// The history for block `id`.
+    pub fn by_id(&self, id: u32) -> &BlockHistory {
+        &self.histories[id as usize]
+    }
+
+    /// The history for a prefix, if learned.
+    pub fn get(&self, p: &Prefix) -> Option<&BlockHistory> {
+        self.index.get(p).map(|id| &self.histories[id as usize])
+    }
+}
+
+/// Read access to learned per-block histories, however they are stored.
+///
+/// The pipeline accepts either the classic `HashMap<Prefix,
+/// BlockHistory>` or the dense [`IndexedHistories`]; planning and shape
+/// blending only need lookup and iteration, so both work unchanged.
+pub trait HistorySource {
+    /// The history for a block, if learned.
+    fn history(&self, p: &Prefix) -> Option<&BlockHistory>;
+
+    /// Iterate all learned `(block, history)` pairs.
+    fn iter_histories(&self) -> Box<dyn Iterator<Item = (Prefix, &BlockHistory)> + '_>;
+
+    /// Number of blocks with a learned history.
+    fn history_count(&self) -> usize;
+}
+
+impl HistorySource for HashMap<Prefix, BlockHistory> {
+    fn history(&self, p: &Prefix) -> Option<&BlockHistory> {
+        self.get(p)
+    }
+
+    fn iter_histories(&self) -> Box<dyn Iterator<Item = (Prefix, &BlockHistory)> + '_> {
+        Box::new(self.iter().map(|(p, h)| (*p, h)))
+    }
+
+    fn history_count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl HistorySource for IndexedHistories {
+    fn history(&self, p: &Prefix) -> Option<&BlockHistory> {
+        self.get(p)
+    }
+
+    fn iter_histories(&self) -> Box<dyn Iterator<Item = (Prefix, &BlockHistory)> + '_> {
+        Box::new(
+            self.index
+                .prefixes()
+                .iter()
+                .zip(self.histories.iter())
+                .map(|(p, h)| (*p, h)),
+        )
+    }
+
+    fn history_count(&self) -> usize {
+        self.histories.len()
     }
 }
 
@@ -353,6 +503,87 @@ mod tests {
         let mut hb = HistoryBuilder::new(day());
         hb.record_all((0..100).map(|i| obs(i * 100, &b)));
         assert_eq!(hb.block_count(), 1);
+    }
+
+    #[test]
+    fn merged_shards_equal_one_sequential_pass() {
+        let blocks: Vec<Prefix> = (0..7u32)
+            .map(|i| Prefix::v4_raw(0x0A00_0000 + (i << 8), 24))
+            .collect();
+        let obs: Vec<Observation> = (0..86_400u64)
+            .step_by(30)
+            .flat_map(|t| {
+                blocks
+                    .iter()
+                    .filter(move |_| t % 90 != 60)
+                    .map(move |b| Observation::new(UnixTime(t), *b))
+            })
+            .collect();
+
+        let mut seq = HistoryBuilder::new(day());
+        seq.record_all(obs.iter().copied());
+
+        for shards in [2usize, 3, 5] {
+            let chunk = obs.len().div_ceil(shards);
+            let mut merged = HistoryBuilder::new(day());
+            for c in obs.chunks(chunk) {
+                let mut hb = HistoryBuilder::new(day());
+                hb.record_all(c.iter().copied());
+                merged.merge(hb);
+            }
+            assert_eq!(merged.block_count(), seq.block_count());
+            let a = merged.build_indexed();
+            let mut seq2 = HistoryBuilder::new(day());
+            seq2.record_all(obs.iter().copied());
+            let s = seq2.build_indexed();
+            assert_eq!(a.index().prefixes(), s.index().prefixes(), "id order");
+            for id in 0..a.len() as u32 {
+                assert_eq!(a.by_id(id), s.by_id(id), "history {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_and_hashmap_builds_agree() {
+        let b1 = block();
+        let b2: Prefix = "198.51.100.0/24".parse().unwrap();
+        let mut hb = HistoryBuilder::new(day());
+        for t in (0..86_400).step_by(25) {
+            hb.record(&obs(t, &b1));
+        }
+        for t in (0..86_400).step_by(250) {
+            hb.record(&obs(t, &b2));
+        }
+        let mut hb2 = HistoryBuilder::new(day());
+        for t in (0..86_400).step_by(25) {
+            hb2.record(&obs(t, &b1));
+        }
+        for t in (0..86_400).step_by(250) {
+            hb2.record(&obs(t, &b2));
+        }
+        let map = hb.build();
+        let ix = hb2.build_indexed();
+        assert_eq!(ix.len(), map.len());
+        assert!(!ix.is_empty());
+        for (p, h) in &map {
+            assert_eq!(ix.get(p), Some(h));
+        }
+        assert_eq!(ix.get(&"203.0.113.0/24".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn merge_empty_and_into_empty() {
+        let b = block();
+        let mut full = HistoryBuilder::new(day());
+        full.record_all((0..100).map(|i| obs(i * 100, &b)));
+        // empty ← full
+        let mut e = HistoryBuilder::new(day());
+        e.merge(full);
+        assert_eq!(e.block_count(), 1);
+        // full ← empty
+        e.merge(HistoryBuilder::new(day()));
+        assert_eq!(e.block_count(), 1);
+        assert_eq!(e.build()[&b].total, 100);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod correlate;
 pub mod coverage;
 pub mod detector;
 pub mod history;
+pub mod index;
 pub mod parallel;
 pub mod pipeline;
 pub mod sentinel;
@@ -69,8 +70,9 @@ pub use config::{AggregationConfig, ConfigError, DetectorConfig};
 pub use correlate::{fuse_beliefs, fuse_timelines};
 pub use coverage::{coverage_by_width, spatial_coverage, CoveragePoint, SpatialCoverage};
 pub use detector::{UnitDetector, UnitDiagnostics, UnitReport};
-pub use history::{BlockHistory, HistoryBuilder};
-pub use parallel::detect_parallel;
+pub use history::{BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
+pub use index::BlockIndex;
+pub use parallel::{detect_parallel, detect_parallel_with_sentinel};
 pub use pipeline::{DetectionReport, PassiveDetector};
 pub use sentinel::{FeedHealth, FeedSentinel, SentinelConfig};
 pub use streaming::StreamingMonitor;

@@ -7,12 +7,34 @@
 //! advances only its own detectors, so no per-unit state is ever shared.
 //! Results are identical to the sequential [`PassiveDetector::detect`]
 //! because each unit still sees its own arrivals in order.
+//!
+//! ## Sentinel broadcast protocol
+//!
+//! The feed sentinel is inherently sequential — it watches the *global*
+//! arrival order — so the router thread runs it, exactly as the
+//! sequential pass does. Quarantine control flows to the workers
+//! **in-band** on the same channels as the observation batches:
+//!
+//! * While the feed is healthy, the router sends [`Msg::Batch`]es of
+//!   `(local unit, arrival time)` pairs.
+//! * When the sentinel opens a quarantine, the router simply stops
+//!   routing (faulted arrivals are not evidence, same as sequential).
+//! * When it closes one — on recovery at time `t`, or at the window end
+//!   — the router flushes every worker's pending batch and then
+//!   broadcasts [`Msg::SkipTo`]`(t)` to every worker, which jumps each
+//!   of its detectors past the faulted span.
+//!
+//! Because the channel preserves order, every detector sees the same
+//! `observe`/`skip_to` call sequence it would in the sequential
+//! [`PassiveDetector::detect_with_sentinel`] — timelines and the
+//! reported quarantined set are identical, for any worker count.
 
-use crate::config::DetectorConfig;
+use crate::config::{ConfigError, DetectorConfig};
 use crate::detector::{UnitDetector, UnitReport};
-use crate::history::BlockHistory;
-use crate::pipeline::{DetectionReport, PassiveDetector};
-use outage_types::{Interval, Observation, Prefix};
+use crate::history::HistorySource;
+use crate::pipeline::{build_routing, unit_expectation_shape, DetectionReport, PassiveDetector};
+use crate::sentinel::{FeedSentinel, SentinelConfig};
+use outage_types::{Interval, IntervalSet, Observation, Prefix, UnixTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -22,17 +44,71 @@ const BATCH: usize = 1_024;
 /// Maximum in-flight batches per worker.
 const CHANNEL_DEPTH: usize = 64;
 
+/// In-band message to a worker: data, or a quarantine-close marker.
+#[derive(Debug)]
+enum Msg {
+    /// `(local detector index, arrival time)` pairs to observe in order.
+    Batch(Vec<(u32, UnixTime)>),
+    /// A quarantine closed at this time: jump every detector past it.
+    SkipTo(UnixTime),
+}
+
 /// Run the detection pass across `workers` threads. History learning and
-/// planning stay sequential (they are cheap); only per-unit streaming
-/// detection is parallelized.
-pub fn detect_parallel<I>(
+/// planning stay sequential here (see
+/// [`PassiveDetector::learn_histories_parallel`] for the sharded history
+/// pass); only per-unit streaming detection is parallelized.
+pub fn detect_parallel<H, I>(
     detector: &PassiveDetector,
-    histories: &HashMap<Prefix, BlockHistory>,
+    histories: &H,
     observations: I,
     window: Interval,
     workers: usize,
 ) -> DetectionReport
 where
+    H: HistorySource + ?Sized,
+    I: IntoIterator<Item = Observation>,
+{
+    detect_parallel_inner(detector, histories, observations, window, workers, None)
+}
+
+/// [`detect_parallel`] guarded by a feed sentinel: the router thread
+/// runs the sentinel over the global arrival order and broadcasts
+/// quarantine boundaries in-band (see the module docs), so the result —
+/// including [`DetectionReport::quarantined`] — is identical to the
+/// sequential [`PassiveDetector::detect_with_sentinel`].
+pub fn detect_parallel_with_sentinel<H, I>(
+    detector: &PassiveDetector,
+    histories: &H,
+    observations: I,
+    window: Interval,
+    workers: usize,
+    sentinel: &SentinelConfig,
+) -> Result<DetectionReport, ConfigError>
+where
+    H: HistorySource + ?Sized,
+    I: IntoIterator<Item = Observation>,
+{
+    sentinel.validate()?;
+    Ok(detect_parallel_inner(
+        detector,
+        histories,
+        observations,
+        window,
+        workers,
+        Some(sentinel),
+    ))
+}
+
+fn detect_parallel_inner<H, I>(
+    detector: &PassiveDetector,
+    histories: &H,
+    observations: I,
+    window: Interval,
+    workers: usize,
+    sentinel_cfg: Option<&SentinelConfig>,
+) -> DetectionReport
+where
+    H: HistorySource + ?Sized,
     I: IntoIterator<Item = Observation>,
 {
     let workers = workers.max(1);
@@ -42,13 +118,16 @@ where
     // Assign units round-robin to workers; remember each unit's home.
     let n_units = plan.units.len();
     let unit_worker: Vec<usize> = (0..n_units).map(|i| i % workers).collect();
-    let mut local_index = vec![0usize; n_units];
+    let mut local_index = vec![0u32; n_units];
     let mut per_worker_units: Vec<Vec<usize>> = vec![Vec::new(); workers];
     for (global, &w) in unit_worker.iter().enumerate() {
-        local_index[global] = per_worker_units[w].len();
+        local_index[global] = per_worker_units[w].len() as u32;
         per_worker_units[w].push(global);
     }
 
+    // Per-packet routing: member block → dense id → unit (one cheap
+    // hash probe per observation, no SipHash).
+    let (route, unit_of_id) = build_routing(&plan);
     let mut block_to_unit: HashMap<Prefix, usize> = HashMap::new();
     for (i, u) in plan.units.iter().enumerate() {
         for m in &u.members {
@@ -64,7 +143,7 @@ where
                 .iter()
                 .map(|&g| {
                     let u = &plan.units[g];
-                    let shape = blended_shape(&u.members, histories, config);
+                    let shape = unit_expectation_shape(&u.members, histories, config);
                     UnitDetector::new(u.prefix, u.params, shape, config, window)
                 })
                 .collect()
@@ -73,19 +152,29 @@ where
 
     let reports: Mutex<Vec<Option<UnitReport>>> = Mutex::new((0..n_units).map(|_| None).collect());
     let mut strays = 0u64;
+    let mut quarantined = IntervalSet::new();
 
     std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(workers);
         for (w, detectors) in worker_detectors.drain(..).enumerate() {
-            let (tx, rx) = crossbeam::channel::bounded::<Vec<(usize, Observation)>>(CHANNEL_DEPTH);
+            let (tx, rx) = crossbeam::channel::bounded::<Msg>(CHANNEL_DEPTH);
             senders.push(tx);
             let unit_ids = per_worker_units[w].clone();
             let reports = &reports;
             scope.spawn(move || {
                 let mut detectors = detectors;
-                for batch in rx {
-                    for (local, obs) in batch {
-                        detectors[local].observe(obs.time);
+                for msg in rx {
+                    match msg {
+                        Msg::Batch(batch) => {
+                            for (local, t) in batch {
+                                detectors[local as usize].observe(t);
+                            }
+                        }
+                        Msg::SkipTo(t) => {
+                            for d in &mut detectors {
+                                d.skip_to(t);
+                            }
+                        }
                     }
                 }
                 let mut guard = reports.lock();
@@ -95,28 +184,77 @@ where
             });
         }
 
-        // Route observations.
-        let mut buffers: Vec<Vec<(usize, Observation)>> =
+        let mut buffers: Vec<Vec<(u32, UnixTime)>> =
             (0..workers).map(|_| Vec::with_capacity(BATCH)).collect();
+        // Flush pending batches, then broadcast a marker: in-band order
+        // guarantees each detector sees its pre-quarantine arrivals
+        // before the skip, exactly as the sequential loop does.
+        let flush_and_skip = |buffers: &mut Vec<Vec<(u32, UnixTime)>>,
+                              senders: &[crossbeam::channel::Sender<Msg>],
+                              t: UnixTime| {
+            for (w, buf) in buffers.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    let full = std::mem::replace(buf, Vec::with_capacity(BATCH));
+                    senders[w].send(Msg::Batch(full)).expect("worker alive");
+                }
+                senders[w].send(Msg::SkipTo(t)).expect("worker alive");
+            }
+        };
+
+        let mut sentinel = sentinel_cfg.map(|cfg| FeedSentinel::new(*cfg, window.start));
+        let mut quarantine_open: Option<UnixTime> = None;
+
+        // Route observations.
         for obs in observations {
             if !window.contains(obs.time) {
                 continue;
             }
-            match block_to_unit.get(&obs.block) {
-                Some(&g) => {
+            if let Some(s) = &mut sentinel {
+                s.observe(obs.time);
+                if quarantine_open.is_none() && s.is_quarantined() {
+                    quarantine_open = Some(s.unhealthy_since().unwrap_or(obs.time));
+                } else if quarantine_open.is_some() && !s.is_quarantined() {
+                    let start = quarantine_open.take().unwrap();
+                    flush_and_skip(&mut buffers, &senders, obs.time);
+                    if obs.time > start {
+                        quarantined.insert(Interval::new(start, obs.time));
+                    }
+                }
+                if quarantine_open.is_some() {
+                    continue; // sensor-fault arrivals are not evidence
+                }
+            }
+            match route.get(&obs.block) {
+                Some(id) => {
+                    let g = unit_of_id[id as usize] as usize;
                     let w = unit_worker[g];
-                    buffers[w].push((local_index[g], obs));
+                    buffers[w].push((local_index[g], obs.time));
                     if buffers[w].len() >= BATCH {
                         let full = std::mem::replace(&mut buffers[w], Vec::with_capacity(BATCH));
-                        senders[w].send(full).expect("worker alive");
+                        senders[w].send(Msg::Batch(full)).expect("worker alive");
                     }
                 }
                 None => strays += 1,
             }
         }
+
+        // Stream end: the feed may die faulted, or the fault may only
+        // become visible once trailing silence closes sentinel buckets.
+        if let Some(s) = &mut sentinel {
+            s.advance_to(window.end);
+            if quarantine_open.is_none() && s.is_quarantined() {
+                quarantine_open = Some(s.unhealthy_since().unwrap_or(window.end));
+            }
+            if let Some(start) = quarantine_open.take() {
+                flush_and_skip(&mut buffers, &senders, window.end);
+                if window.end > start {
+                    quarantined.insert(Interval::new(start, window.end));
+                }
+            }
+        }
         for (w, buf) in buffers.into_iter().enumerate() {
             if !buf.is_empty() {
-                senders[w].send(buf).expect("worker alive");
+                senders[w].send(Msg::Batch(buf)).expect("worker alive");
             }
         }
         drop(senders); // close channels; workers finish and publish
@@ -134,37 +272,9 @@ where
         plan.units.into_iter().map(|u| u.members).collect(),
         plan.uncovered,
         strays,
+        quarantined,
         block_to_unit,
     )
-}
-
-fn blended_shape(
-    members: &[Prefix],
-    histories: &HashMap<Prefix, BlockHistory>,
-    config: &DetectorConfig,
-) -> [f64; 24] {
-    if members.len() == 1 {
-        return histories
-            .get(&members[0])
-            .map(|h| h.expectation_shape(config.diurnal_model))
-            .unwrap_or([1.0; 24]);
-    }
-    let mut shape = [0.0f64; 24];
-    let mut total = 0.0;
-    for m in members {
-        if let Some(h) = histories.get(m) {
-            let hs_all = h.expectation_shape(config.diurnal_model);
-            for (s, hs) in shape.iter_mut().zip(hs_all.iter()) {
-                *s += h.lambda * hs;
-            }
-            total += h.lambda;
-        }
-    }
-    if total <= 0.0 {
-        [1.0; 24]
-    } else {
-        shape.map(|s| s / total)
-    }
 }
 
 #[cfg(test)]
@@ -185,6 +295,23 @@ mod tests {
                 }
                 obs.push(Observation::new(UnixTime(t), b));
             }
+        }
+        obs.sort();
+        (obs, window)
+    }
+
+    /// Dense fleet with a total feed blackout (sensor fault, not outage).
+    fn blacked_out_fleet(blackout: std::ops::Range<u64>) -> (Vec<Observation>, Interval) {
+        let window = Interval::from_secs(0, 86_400);
+        let mut obs = Vec::new();
+        for i in 0..4u32 {
+            let b = Prefix::v4_raw(0xC633_6400 + (i << 8), 24);
+            obs.extend(
+                (i as u64..86_400)
+                    .step_by(10)
+                    .filter(|t| !blackout.contains(t))
+                    .map(|t| Observation::new(UnixTime(t), b)),
+            );
         }
         obs.sort();
         (obs, window)
@@ -214,6 +341,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_accepts_indexed_histories() {
+        let (obs, window) = make_observations();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let map = det.learn_histories(obs.iter().copied(), window);
+        let indexed = det.learn_histories_parallel(&obs, window, 4);
+        let a = detect_parallel(&det, &map, obs.iter().copied(), window, 2);
+        let b = detect_parallel(&det, &indexed, obs.iter().copied(), window, 2);
+        for i in 0..12u32 {
+            let blk = Prefix::v4_raw(0x0A00_0000 + (i << 8), 24);
+            assert_eq!(a.timeline_for(&blk), b.timeline_for(&blk));
+        }
+    }
+
+    #[test]
     fn parallel_detects_the_outage() {
         let (obs, window) = make_observations();
         let det = PassiveDetector::new(DetectorConfig::default());
@@ -231,5 +372,82 @@ mod tests {
         let histories = det.learn_histories(obs.iter().copied(), window);
         let par = detect_parallel(&det, &histories, obs.iter().copied(), window, 64);
         assert_eq!(par.covered_blocks(), 12);
+    }
+
+    #[test]
+    fn sentinel_parallel_matches_sequential() {
+        let (obs, window) = blacked_out_fleet(43_200..45_000);
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let cfg = SentinelConfig::default();
+        let seq = det
+            .detect_with_sentinel(&histories, obs.iter().copied(), window, &cfg)
+            .unwrap();
+        assert!(!seq.quarantined.is_empty(), "fixture must quarantine");
+        for workers in [1, 2, 4, 8] {
+            let par = detect_parallel_with_sentinel(
+                &det,
+                &histories,
+                obs.iter().copied(),
+                window,
+                workers,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(
+                par.quarantined, seq.quarantined,
+                "quarantine differs at {workers} workers"
+            );
+            assert_eq!(par.strays, seq.strays);
+            for i in 0..4u32 {
+                let b = Prefix::v4_raw(0xC633_6400 + (i << 8), 24);
+                assert_eq!(
+                    par.timeline_for(&b),
+                    seq.timeline_for(&b),
+                    "block {b} differs at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sentinel_parallel_swallows_dead_tail() {
+        // Feed dies at 60 000: the open quarantine must reach the
+        // window end via the in-band SkipTo, same as sequential.
+        let (mut obs, window) = blacked_out_fleet(0..0);
+        obs.retain(|o| o.time.secs() < 60_000);
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let cfg = SentinelConfig::default();
+        let par =
+            detect_parallel_with_sentinel(&det, &histories, obs.iter().copied(), window, 3, &cfg)
+                .unwrap();
+        assert!(!par.quarantined.is_empty());
+        for u in &par.units {
+            assert!(
+                !u.timeline
+                    .down
+                    .intervals()
+                    .iter()
+                    .any(|iv| iv.end.secs() > 60_200),
+                "tail must be quarantined, not judged: {:?}",
+                u.timeline.down
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_sentinel_config_is_a_typed_error() {
+        let (obs, window) = make_observations();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let bad = SentinelConfig {
+            recovery_buckets: 0,
+            ..SentinelConfig::default()
+        };
+        let err =
+            detect_parallel_with_sentinel(&det, &histories, obs.iter().copied(), window, 2, &bad)
+                .unwrap_err();
+        assert_eq!(err, ConfigError::SentinelNoRecovery);
     }
 }

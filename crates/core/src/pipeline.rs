@@ -18,7 +18,8 @@
 use crate::aggregate::{plan, AggregationPlan};
 use crate::config::{ConfigError, DetectorConfig};
 use crate::detector::{UnitDetector, UnitDiagnostics, UnitReport};
-use crate::history::{BlockHistory, HistoryBuilder};
+use crate::history::{BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
+use crate::index::BlockIndex;
 use crate::sentinel::{FeedSentinel, SentinelConfig};
 use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline, UnixTime};
 use std::collections::HashMap;
@@ -45,12 +46,15 @@ pub struct DetectionReport {
 
 impl DetectionReport {
     /// Assemble a report from its parts (used by the parallel driver).
+    /// `quarantined` carries the sentinel's verdict-free spans — empty
+    /// for runs without a sentinel, never silently dropped.
     pub(crate) fn assemble(
         window: Interval,
         units: Vec<UnitReport>,
         members: Vec<Vec<Prefix>>,
         uncovered: Vec<Prefix>,
         strays: u64,
+        quarantined: IntervalSet,
         block_to_unit: HashMap<Prefix, usize>,
     ) -> DetectionReport {
         DetectionReport {
@@ -59,7 +63,7 @@ impl DetectionReport {
             members,
             uncovered,
             strays,
-            quarantined: IntervalSet::new(),
+            quarantined,
             block_to_unit,
         }
     }
@@ -160,13 +164,64 @@ impl PassiveDetector {
         hb.build()
     }
 
+    /// [`Self::learn_histories`] keeping the dense block index: the
+    /// result routes by flat id lookup instead of per-prefix hashing.
+    pub fn learn_histories_indexed<I: IntoIterator<Item = Observation>>(
+        &self,
+        observations: I,
+        window: Interval,
+    ) -> IndexedHistories {
+        let mut hb = HistoryBuilder::new(window);
+        hb.record_all(observations);
+        hb.build_indexed()
+    }
+
+    /// Learn histories sharded across `workers` threads: the slice is
+    /// split into contiguous chunks, each counted by its own
+    /// [`HistoryBuilder`], and the per-shard builders are merged in
+    /// shard order — which reproduces the sequential result exactly
+    /// (counts are sums; merge order preserves first-appearance ids).
+    pub fn learn_histories_parallel(
+        &self,
+        observations: &[Observation],
+        window: Interval,
+        workers: usize,
+    ) -> IndexedHistories {
+        let workers = workers.max(1);
+        if workers == 1 || observations.len() < 2 * workers {
+            return self.learn_histories_indexed(observations.iter().copied(), window);
+        }
+        let chunk = observations.len().div_ceil(workers);
+        let shards: Vec<HistoryBuilder> = std::thread::scope(|scope| {
+            let handles: Vec<_> = observations
+                .chunks(chunk)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut hb = HistoryBuilder::new(window);
+                        hb.record_all(c.iter().copied());
+                        hb
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("history shard panicked"))
+                .collect()
+        });
+        let mut merged = HistoryBuilder::new(window);
+        for s in shards {
+            merged.merge(s);
+        }
+        merged.build_indexed()
+    }
+
     /// Plan detection units from learned histories (diurnal-trough
     /// aware: widths are chosen against each block's quietest hour).
-    pub fn plan_units(&self, histories: &HashMap<Prefix, BlockHistory>) -> AggregationPlan {
+    pub fn plan_units<H: HistorySource + ?Sized>(&self, histories: &H) -> AggregationPlan {
         plan(
-            histories.iter().map(|(p, h)| {
+            histories.iter_histories().map(|(p, h)| {
                 (
-                    *p,
+                    p,
                     crate::tuning::RateEstimate::from_history(h, &self.config),
                 )
             }),
@@ -175,12 +230,11 @@ impl PassiveDetector {
     }
 
     /// Detection pass: run planned units over a stream.
-    pub fn detect<I: IntoIterator<Item = Observation>>(
-        &self,
-        histories: &HashMap<Prefix, BlockHistory>,
-        observations: I,
-        window: Interval,
-    ) -> DetectionReport {
+    pub fn detect<H, I>(&self, histories: &H, observations: I, window: Interval) -> DetectionReport
+    where
+        H: HistorySource + ?Sized,
+        I: IntoIterator<Item = Observation>,
+    {
         self.detect_inner(histories, observations, window, None)
     }
 
@@ -188,34 +242,44 @@ impl PassiveDetector {
     /// *sensor* looks faulted (aggregate arrival rate collapsed) are
     /// quarantined — no unit judges them, and they are reported in
     /// [`DetectionReport::quarantined`] for evaluation to exclude.
-    pub fn detect_with_sentinel<I: IntoIterator<Item = Observation>>(
+    pub fn detect_with_sentinel<H, I>(
         &self,
-        histories: &HashMap<Prefix, BlockHistory>,
+        histories: &H,
         observations: I,
         window: Interval,
         sentinel: &SentinelConfig,
-    ) -> Result<DetectionReport, ConfigError> {
+    ) -> Result<DetectionReport, ConfigError>
+    where
+        H: HistorySource + ?Sized,
+        I: IntoIterator<Item = Observation>,
+    {
         sentinel.validate()?;
         Ok(self.detect_inner(histories, observations, window, Some(sentinel)))
     }
 
-    fn detect_inner<I: IntoIterator<Item = Observation>>(
+    fn detect_inner<H, I>(
         &self,
-        histories: &HashMap<Prefix, BlockHistory>,
+        histories: &H,
         observations: I,
         window: Interval,
         sentinel_cfg: Option<&SentinelConfig>,
-    ) -> DetectionReport {
+    ) -> DetectionReport
+    where
+        H: HistorySource + ?Sized,
+        I: IntoIterator<Item = Observation>,
+    {
         let plan = self.plan_units(histories);
         let mut detectors: Vec<UnitDetector> = plan
             .units
             .iter()
             .map(|u| {
-                let shape = unit_expectation_shape(u.prefix, &u.members, histories, &self.config);
+                let shape = unit_expectation_shape(&u.members, histories, &self.config);
                 UnitDetector::new(u.prefix, u.params, shape, &self.config, window)
             })
             .collect();
 
+        // Per-packet routing table: member block → dense id → unit.
+        let (route, unit_of_id) = build_routing(&plan);
         let mut block_to_unit = HashMap::new();
         for (i, u) in plan.units.iter().enumerate() {
             for m in &u.members {
@@ -253,8 +317,8 @@ impl PassiveDetector {
                     continue; // sensor-fault arrivals are not evidence
                 }
             }
-            match block_to_unit.get(&obs.block) {
-                Some(&i) => detectors[i].observe(obs.time),
+            match route.get(&obs.block) {
+                Some(id) => detectors[unit_of_id[id as usize] as usize].observe(obs.time),
                 None => strays += 1,
             }
         }
@@ -296,7 +360,7 @@ impl PassiveDetector {
         F: Fn() -> I,
         I: IntoIterator<Item = Observation>,
     {
-        let histories = self.learn_histories(source(), window);
+        let histories = self.learn_histories_indexed(source(), window);
         self.detect(&histories, source(), window)
     }
 
@@ -315,30 +379,51 @@ impl PassiveDetector {
         window: Interval,
         sentinel: &SentinelConfig,
     ) -> Result<DetectionReport, ConfigError> {
-        let histories = self.learn_histories(observations.iter().copied(), window);
+        let histories = self.learn_histories_indexed(observations.iter().copied(), window);
         self.detect_with_sentinel(&histories, observations.iter().copied(), window, sentinel)
     }
+}
+
+/// Build the per-packet routing table for a plan: a dense [`BlockIndex`]
+/// over every member block, plus the flat id → unit-index map. Routing
+/// an observation is then one cheap hash probe and an array load.
+pub(crate) fn build_routing(plan: &AggregationPlan) -> (BlockIndex, Vec<u32>) {
+    let covered: usize = plan.units.iter().map(|u| u.members.len()).sum();
+    let mut route = BlockIndex::with_capacity(covered);
+    let mut unit_of_id: Vec<u32> = Vec::with_capacity(covered);
+    for (i, u) in plan.units.iter().enumerate() {
+        for m in &u.members {
+            let id = route.intern(*m);
+            debug_assert_eq!(id as usize, unit_of_id.len(), "members are disjoint");
+            unit_of_id.push(i as u32);
+        }
+    }
+    (route, unit_of_id)
 }
 
 /// Hour-of-day *expectation* shape for a unit: the members' judgement
 /// shapes (learned, or conservative worst-case for unknown phases)
 /// blended by rate.
-pub(crate) fn unit_expectation_shape(
-    prefix: Prefix,
+///
+/// A single-member unit uses that member's shape — keyed by the member
+/// block, not the unit prefix, because a lone sparse block that climbed
+/// to an aggregate keeps its history under its own /24, not under the
+/// supernet it is judged at.
+pub(crate) fn unit_expectation_shape<H: HistorySource + ?Sized>(
     members: &[Prefix],
-    histories: &HashMap<Prefix, BlockHistory>,
+    histories: &H,
     config: &DetectorConfig,
 ) -> [f64; 24] {
     if members.len() == 1 {
         return histories
-            .get(&prefix)
+            .history(&members[0])
             .map(|h| h.expectation_shape(config.diurnal_model))
             .unwrap_or([1.0; 24]);
     }
     let mut shape = [0.0f64; 24];
     let mut total = 0.0;
     for m in members {
-        if let Some(h) = histories.get(m) {
+        if let Some(h) = histories.history(m) {
             let hs_all = h.expectation_shape(config.diurnal_model);
             for (s, hs) in shape.iter_mut().zip(hs_all.iter()) {
                 *s += h.lambda * hs;

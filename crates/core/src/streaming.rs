@@ -426,7 +426,6 @@ impl StreamingMonitor {
                     self.block_to_unit.insert(*m, i);
                 }
                 let shape = crate::pipeline::unit_expectation_shape(
-                    u.prefix,
                     &u.members,
                     &histories,
                     self.detector.config(),

@@ -1,0 +1,116 @@
+//! Property tests: the parallel driver is *exactly* the sequential
+//! pipeline, for any worker count — including under a feed sentinel on
+//! fault-injected streams. The sentinel broadcast protocol (in-band
+//! `SkipTo` markers) must keep every worker in lockstep with the
+//! sequential `detect_with_sentinel` semantics: identical per-block
+//! timelines, identical quarantined sets.
+
+use outage_core::{
+    detect_parallel, detect_parallel_with_sentinel, DetectorConfig, PassiveDetector, SentinelConfig,
+};
+use outage_netsim::FaultPlan;
+use outage_types::{Interval, Observation, Prefix, UnixTime};
+use proptest::prelude::*;
+
+const DAY: u64 = 86_400;
+
+fn block(i: u32) -> Prefix {
+    Prefix::v4_raw(0x0A00_0000 + (i << 8), 24)
+}
+
+/// A dense multi-block day: per-block periods of 8–15 s keep the
+/// aggregate rate far above the sentinel's `min_baseline`, so blackouts
+/// are sentinel-visible. One block also gets a genuine outage so the
+/// timelines being compared are non-trivial.
+fn fleet(periods: &[u64], outage: std::ops::Range<u64>) -> Vec<Observation> {
+    let mut obs = Vec::new();
+    for (i, &period) in periods.iter().enumerate() {
+        let b = block(i as u32);
+        for t in ((i as u64)..DAY).step_by(period as usize) {
+            if i == 0 && outage.contains(&t) {
+                continue;
+            }
+            obs.push(Observation::new(UnixTime(t), b));
+        }
+    }
+    obs.sort();
+    obs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sequential `detect_with_sentinel` and sentinel-aware
+    /// `detect_parallel` agree bit-for-bit at 1/2/4/8 workers on
+    /// fault-injected streams.
+    #[test]
+    fn sentinel_parallel_equals_sequential(
+        periods in proptest::collection::vec(8u64..16, 3..7),
+        blackout_start in 15_000u64..55_000,
+        blackout_len in 1_500u64..6_000,
+        outage_start in 60_000u64..75_000,
+        seed in 0u64..1_000,
+    ) {
+        let clean = fleet(&periods, outage_start..outage_start + 5_000);
+        let plan = FaultPlan::new(seed)
+            .blackout(Interval::from_secs(blackout_start, blackout_start + blackout_len));
+        let mut obs = plan.apply_to_vec(&clean);
+        obs.sort_unstable();
+        let window = Interval::from_secs(0, DAY);
+        let cfg = SentinelConfig::default();
+
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let seq = det
+            .detect_with_sentinel(&histories, obs.iter().copied(), window, &cfg)
+            .expect("valid sentinel config");
+
+        for workers in [1usize, 2, 4, 8] {
+            let par = detect_parallel_with_sentinel(
+                &det, &histories, obs.iter().copied(), window, workers, &cfg,
+            )
+            .expect("valid sentinel config");
+            prop_assert_eq!(
+                &par.quarantined, &seq.quarantined,
+                "quarantined set differs at {} workers", workers
+            );
+            prop_assert_eq!(par.strays, seq.strays);
+            prop_assert_eq!(par.covered_blocks(), seq.covered_blocks());
+            for i in 0..periods.len() as u32 {
+                let b = block(i);
+                prop_assert_eq!(
+                    par.timeline_for(&b),
+                    seq.timeline_for(&b),
+                    "block {} timeline differs at {} workers", b, workers
+                );
+            }
+        }
+    }
+
+    /// Without a sentinel the parallel driver also matches the
+    /// sequential pass exactly, and its quarantined set stays empty.
+    #[test]
+    fn plain_parallel_equals_sequential(
+        periods in proptest::collection::vec(8u64..16, 3..7),
+        outage_start in 20_000u64..70_000,
+    ) {
+        let obs = fleet(&periods, outage_start..outage_start + 6_000);
+        let window = Interval::from_secs(0, DAY);
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let seq = det.detect(&histories, obs.iter().copied(), window);
+        for workers in [1usize, 2, 4, 8] {
+            let par = detect_parallel(&det, &histories, obs.iter().copied(), window, workers);
+            prop_assert!(par.quarantined.is_empty());
+            prop_assert_eq!(par.strays, seq.strays);
+            for i in 0..periods.len() as u32 {
+                let b = block(i);
+                prop_assert_eq!(
+                    par.timeline_for(&b),
+                    seq.timeline_for(&b),
+                    "block {} timeline differs at {} workers", b, workers
+                );
+            }
+        }
+    }
+}
