@@ -22,6 +22,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
+    // `status` takes its snapshot as a positional path; everything else
+    // is flag-only.
+    if cmd == "status" {
+        return cmd_status(&args[1..]);
+    }
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "simulate" => cmd_simulate(&flags),
@@ -46,6 +51,8 @@ fn usage() -> String {
      \x20 detect    --obs FILE [--window SECS] --out FILE\n\
      \x20           [--fault-plan FILE] [--sentinel] [--sentinel-bucket SECS]\n\
      \x20           [--quarantine-out FILE] [--workers N]\n\
+     \x20           [--metrics-out FILE] [--trace-out FILE]\n\
+     \x20 status    METRICS-FILE   (a --metrics-out snapshot)\n\
      \x20 eval      --observed FILE --truth FILE --window SECS\n\
      \x20           [--min-secs N] [--events] [--tolerance SECS] [--exclude FILE]\n\
      \x20 coverage  --obs FILE\n\
@@ -149,13 +156,30 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         fault_plan,
         sentinel,
         workers,
+        trace: flags.contains_key("trace-out"),
     };
     let result = commands::detect_with(&obs, &opts).map_err(|e| e.to_string())?;
     write(out, &result.events)?;
     if let Some(qpath) = flags.get("quarantine-out") {
         write(qpath, &result.quarantine)?;
     }
+    if let Some(mpath) = flags.get("metrics-out") {
+        write(mpath, &result.metrics)?;
+    }
+    if let Some(tpath) = flags.get("trace-out") {
+        write(tpath, result.trace.as_deref().unwrap_or(""))?;
+    }
     eprintln!("{}", result.summary);
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: passive-outage status METRICS-FILE".to_string());
+    };
+    let snapshot = read(path)?;
+    let summary = commands::status(&snapshot).map_err(|e| e.to_string())?;
+    print!("{summary}");
     Ok(())
 }
 

@@ -9,6 +9,7 @@ use outage_core::{
 use outage_dnswire::Telescope;
 use outage_eval::{duration_table, event_table, summarize, DurationMatrix, EventMatrix};
 use outage_netsim::{FaultPlan, PacketFeed, Scenario};
+use outage_obs::{parse_prometheus, Obs, Snapshot};
 use outage_types::{
     durations, DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline, UnixTime,
 };
@@ -109,6 +110,10 @@ pub struct DetectOutput {
     /// Quarantined-interval document (empty set unless a sentinel ran
     /// and tripped).
     pub quarantine: String,
+    /// Prometheus-text metrics snapshot of the run.
+    pub metrics: String,
+    /// Span trace as JSON lines (only when tracing was requested).
+    pub trace: Option<String>,
     /// Human summary.
     pub summary: String,
 }
@@ -126,6 +131,9 @@ pub struct DetectOptions {
     /// Worker threads for the sharded history pass and the parallel
     /// detection driver; `None` means available parallelism.
     pub workers: Option<usize>,
+    /// Record structured spans (for `--trace-out`). Metrics are always
+    /// collected; only span tracing is opt-in.
+    pub trace: bool,
 }
 
 /// `detect`: run the passive detector over an observation document.
@@ -192,7 +200,12 @@ pub fn detect_with(
         return Err(CommandError("--workers must be at least 1".into()));
     }
 
-    let detector = PassiveDetector::try_new(DetectorConfig::default())?;
+    let obs = if opts.trace {
+        Obs::with_tracing()
+    } else {
+        Obs::new()
+    };
+    let detector = PassiveDetector::try_new(DetectorConfig::default())?.with_obs(obs.clone());
     // Both passes go through the parallel path by default: sharded
     // history learning, then the router/worker detection driver (both
     // produce results identical to the sequential pipeline).
@@ -220,8 +233,8 @@ pub fn detect_with(
     let quarantine_note = if opts.sentinel.is_some() {
         format!(
             ", {} quarantined spans totalling {} s",
-            report.quarantined.intervals().len(),
-            report.quarantined.total()
+            report.quarantined_spans(),
+            report.quarantined_secs()
         )
     } else {
         String::new()
@@ -245,6 +258,8 @@ pub fn detect_with(
     Ok(DetectOutput {
         events: format::render_events(&events),
         quarantine: format::render_intervals(&report.quarantined),
+        metrics: obs.registry.render_prometheus(),
+        trace: obs.tracer.as_ref().map(|t| t.to_jsonl()),
         summary,
     })
 }
@@ -353,6 +368,178 @@ pub fn eval(
     }
 }
 
+/// Label value of `key` on a sample, if present.
+fn label<'a>(s: &'a outage_obs::Sample, key: &str) -> Option<&'a str> {
+    s.labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// `status`: render a human health summary from a `--metrics-out`
+/// Prometheus snapshot.
+pub fn status(snapshot_text: &str) -> Result<String, CommandError> {
+    let snap = parse_prometheus(snapshot_text)
+        .map_err(|e| CommandError(format!("metrics snapshot: {e}")))?;
+    let mut out = String::new();
+
+    status_sentinel(&snap, &mut out);
+    status_quarantine(&snap, &mut out);
+    status_detection(&snap, &mut out);
+    status_stages(&snap, &mut out);
+    status_router(&snap, &mut out);
+
+    if out.is_empty() {
+        return Err(CommandError(
+            "snapshot holds no passive-outage (po_*) metrics".into(),
+        ));
+    }
+    Ok(out)
+}
+
+fn status_sentinel(snap: &Snapshot, out: &mut String) {
+    let Some(health) = snap.value("po_sentinel_health", &[]) else {
+        return;
+    };
+    let state = match health as i64 {
+        0 => "healthy",
+        1 => "degraded",
+        2 => "dark",
+        _ => "unknown",
+    };
+    out.push_str("feed sentinel\n");
+    out.push_str(&format!("  final state     {state}\n"));
+    if let Some(buckets) = snap.value("po_sentinel_buckets_total", &[]) {
+        let unhealthy = snap
+            .value("po_sentinel_unhealthy_buckets_total", &[])
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "  judged buckets  {buckets:.0} ({unhealthy:.0} unhealthy)\n"
+        ));
+    }
+    let transitions: Vec<String> = snap
+        .matching("po_sentinel_transitions_total")
+        .into_iter()
+        .filter(|s| s.value > 0.0)
+        .filter_map(|s| {
+            Some(format!(
+                "{}->{} {:.0}",
+                label(s, "from")?,
+                label(s, "to")?,
+                s.value
+            ))
+        })
+        .collect();
+    out.push_str(&format!(
+        "  transitions     {}\n",
+        if transitions.is_empty() {
+            "none".to_string()
+        } else {
+            transitions.join(", ")
+        }
+    ));
+    let dwell: Vec<String> = snap
+        .matching("po_sentinel_time_in_state_seconds_total")
+        .into_iter()
+        .filter(|s| s.value > 0.0)
+        .filter_map(|s| Some(format!("{} {:.0} s", label(s, "state")?, s.value)))
+        .collect();
+    if !dwell.is_empty() {
+        out.push_str(&format!("  time in state   {}\n", dwell.join(", ")));
+    }
+}
+
+fn status_quarantine(snap: &Snapshot, out: &mut String) {
+    let spans = snap.value("po_quarantine_intervals_total", &[]);
+    let secs = snap.value("po_quarantine_seconds_total", &[]);
+    if spans.is_none() && secs.is_none() {
+        return;
+    }
+    out.push_str("quarantine\n");
+    out.push_str(&format!(
+        "  spans           {:.0} totalling {:.0} s\n",
+        spans.unwrap_or(0.0),
+        secs.unwrap_or(0.0)
+    ));
+}
+
+fn status_detection(snap: &Snapshot, out: &mut String) {
+    let Some(arrivals) = snap.value("po_detect_arrivals_total", &[]) else {
+        return;
+    };
+    out.push_str("detection\n");
+    let units = snap.value("po_detect_units", &[]).unwrap_or(0.0);
+    let covered = snap.value("po_detect_covered_blocks", &[]).unwrap_or(0.0);
+    let strays = snap.value("po_detect_strays_total", &[]).unwrap_or(0.0);
+    out.push_str(&format!(
+        "  arrivals        {arrivals:.0} over {units:.0} units ({covered:.0} blocks covered, {strays:.0} strays)\n"
+    ));
+    let bins = snap
+        .value("po_detect_verdicts_total", &[("path", "bin")])
+        .unwrap_or(0.0);
+    let gaps = snap
+        .value("po_detect_verdicts_total", &[("path", "gap")])
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "  verdicts        {:.0} ({bins:.0} via bins, {gaps:.0} via gaps)\n",
+        bins + gaps
+    ));
+}
+
+fn status_stages(snap: &Snapshot, out: &mut String) {
+    let sums = snap.matching("po_stage_seconds_sum");
+    if sums.is_empty() {
+        return;
+    }
+    out.push_str("stages\n");
+    for s in sums {
+        let Some(stage) = label(s, "stage") else {
+            continue;
+        };
+        let count = snap
+            .value("po_stage_seconds_count", &[("stage", stage)])
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {stage:<15} {:.3} s over {count:.0} run(s)\n",
+            s.value
+        ));
+    }
+}
+
+fn status_router(snap: &Snapshot, out: &mut String) {
+    let batches = snap.value("po_router_batches_total", &[]);
+    let busy = snap.matching("po_worker_busy_seconds_total");
+    if batches.is_none() && busy.is_empty() {
+        return;
+    }
+    out.push_str("parallel driver\n");
+    if let Some(b) = batches {
+        let routed = snap
+            .value("po_router_observations_total", &[])
+            .unwrap_or(0.0);
+        let skips = snap.value("po_router_skipto_total", &[]).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  router          {b:.0} batches, {routed:.0} observations, {skips:.0} skip-to broadcasts\n"
+        ));
+    }
+    let mut workers: Vec<(String, f64, f64)> = busy
+        .into_iter()
+        .filter_map(|s| {
+            let w = label(s, "worker")?.to_string();
+            let idle = snap
+                .value("po_worker_idle_seconds_total", &[("worker", &w)])
+                .unwrap_or(0.0);
+            Some((w, s.value, idle))
+        })
+        .collect();
+    workers.sort_by_key(|(w, _, _)| w.parse::<u64>().unwrap_or(u64::MAX));
+    for (w, busy_s, idle_s) in workers {
+        out.push_str(&format!(
+            "  worker {w:<8} busy {busy_s:.3} s, idle {idle_s:.3} s\n"
+        ));
+    }
+}
+
 /// `telescope`: render a scenario's feed as wire-format DNS packets,
 /// optionally corrupt some payloads, and report the intake breakdown the
 /// parsing telescope saw.
@@ -372,10 +559,17 @@ pub fn telescope(
     let mut feed = PacketFeed::new(seed);
     let packets: Vec<_> = feed.render_all(observations.iter().copied()).collect();
     let plan = FaultPlan::new(seed).corrupt(corrupt_prob);
-    let mut tel = Telescope::new();
+    let registry = outage_obs::Registry::new();
+    let mut tel = Telescope::new().with_metrics(&registry);
     let accepted = tel.observe_all(plan.corrupt_packets(packets)).count();
     let stats = tel.stats();
     debug_assert_eq!(accepted as u64, stats.accepted);
+    debug_assert_eq!(
+        registry
+            .value("po_telescope_packets_total", &[("result", "accepted")])
+            .unwrap_or(0.0) as u64,
+        stats.accepted
+    );
     Ok(format!(
         "preset {} ({} ASes, seed {}, corrupt {:.3}): {}",
         preset, num_as, seed, corrupt_prob, stats
@@ -559,6 +753,79 @@ mod tests {
             },
         )
         .is_err());
+    }
+
+    #[test]
+    fn detect_emits_metrics_and_trace_and_status_renders_them() {
+        let doc = steady_feed_doc();
+        let blackout = Interval::from_secs(120_000, 121_800);
+        let out = detect_with(
+            &doc,
+            &DetectOptions {
+                fault_plan: Some(FaultPlan::new(7).blackout(blackout)),
+                sentinel: Some(SentinelConfig::default()),
+                workers: Some(2),
+                trace: true,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap();
+
+        // The snapshot parses and carries the headline instrument families.
+        let snap = parse_prometheus(&out.metrics).unwrap();
+        assert!(
+            snap.sum("po_detect_arrivals_total") > 0.0,
+            "{}",
+            out.metrics
+        );
+        assert!(
+            snap.sum("po_sentinel_transitions_total") > 0.0,
+            "a blackout must drive at least one state transition"
+        );
+        assert!(
+            snap.value("po_quarantine_intervals_total", &[]).unwrap() >= 1.0,
+            "{}",
+            out.metrics
+        );
+        assert!(
+            snap.value("po_quarantine_seconds_total", &[]).unwrap() >= blackout.duration() as f64
+        );
+        assert_eq!(
+            snap.type_of("po_quarantine_duration_seconds"),
+            Some("histogram")
+        );
+        assert!(snap.sum("po_worker_busy_seconds_total") > 0.0);
+        assert!(
+            snap.value("po_stage_seconds_count", &[("stage", "learn")])
+                .unwrap()
+                >= 1.0
+        );
+
+        // Trace was requested: spans for every pipeline stage.
+        let trace = out.trace.unwrap();
+        for name in [
+            "\"learn\"",
+            "\"learn.shard\"",
+            "\"plan\"",
+            "\"detect.parallel\"",
+        ] {
+            assert!(trace.contains(name), "missing span {name} in:\n{trace}");
+        }
+
+        // And the status command renders a summary off the same snapshot.
+        let rendered = status(&out.metrics).unwrap();
+        assert!(rendered.contains("feed sentinel"), "{rendered}");
+        assert!(rendered.contains("quarantine"), "{rendered}");
+        assert!(rendered.contains("detection"), "{rendered}");
+        assert!(rendered.contains("worker 0"), "{rendered}");
+        assert!(rendered.contains("dark"), "{rendered}");
+    }
+
+    #[test]
+    fn status_rejects_garbage_and_empty_snapshots() {
+        assert!(status("not prometheus {{{").is_err());
+        let err = status("other_metric 1\n").unwrap_err();
+        assert!(err.to_string().contains("no passive-outage"), "{err}");
     }
 
     #[test]

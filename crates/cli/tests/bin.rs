@@ -168,6 +168,85 @@ fn fault_plan_sentinel_and_exclusion_flags() {
 }
 
 #[test]
+fn metrics_trace_and_status_through_the_binary() {
+    let dir = tmpdir("metrics");
+    let obs = dir.join("obs.txt");
+    let plan = dir.join("plan.txt");
+    let metrics = dir.join("metrics.prom");
+    let trace = dir.join("trace.jsonl");
+
+    let mut doc = String::from("# synthetic\n");
+    for t in (0..2 * 86_400).step_by(10) {
+        for b in 0..4 {
+            doc.push_str(&format!("{t} 10.0.{b}.0/24\n"));
+        }
+    }
+    std::fs::write(&obs, doc).unwrap();
+    std::fs::write(&plan, "seed 7\nblackout 120000 121800\n").unwrap();
+
+    let out = bin()
+        .args([
+            "detect",
+            "--obs",
+            obs.to_str().unwrap(),
+            "--fault-plan",
+            plan.to_str().unwrap(),
+            "--sentinel",
+            "--out",
+            dir.join("events.txt").to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn detect with metrics");
+    assert!(
+        out.status.success(),
+        "detect: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Metrics snapshot parses as Prometheus text and holds the headline
+    // families the run must have exercised.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let snap = outage_obs::parse_prometheus(&text).expect("valid Prometheus text");
+    assert!(snap.sum("po_detect_arrivals_total") > 0.0, "{text}");
+    assert!(snap.sum("po_sentinel_transitions_total") > 0.0, "{text}");
+    assert!(snap.sum("po_worker_busy_seconds_total") > 0.0, "{text}");
+    assert_eq!(
+        snap.type_of("po_quarantine_duration_seconds"),
+        Some("histogram")
+    );
+
+    // The trace is JSONL with one record per span.
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    assert!(jsonl.lines().count() >= 3, "{jsonl}");
+    assert!(jsonl.contains("\"span\":\"learn\""), "{jsonl}");
+
+    // `status` renders a health summary from the snapshot.
+    let out = bin()
+        .args(["status", metrics.to_str().unwrap()])
+        .output()
+        .expect("spawn status");
+    assert!(
+        out.status.success(),
+        "status: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert!(rendered.contains("feed sentinel"), "{rendered}");
+    assert!(rendered.contains("quarantine"), "{rendered}");
+    assert!(rendered.contains("detection"), "{rendered}");
+
+    // And fails loudly without its positional argument.
+    let out = bin().arg("status").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn invalid_sentinel_config_gets_a_real_error_message() {
     let dir = tmpdir("badsentinel");
     let obs = dir.join("obs.txt");

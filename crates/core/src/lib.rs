@@ -74,6 +74,6 @@ pub use history::{BlockHistory, HistoryBuilder, HistorySource, IndexedHistories}
 pub use index::BlockIndex;
 pub use parallel::{detect_parallel, detect_parallel_with_sentinel};
 pub use pipeline::{DetectionReport, PassiveDetector};
-pub use sentinel::{FeedHealth, FeedSentinel, SentinelConfig};
+pub use sentinel::{FeedHealth, FeedSentinel, SentinelAccounting, SentinelConfig};
 pub use streaming::StreamingMonitor;
 pub use tuning::{finest_measurable_width, tune_block, tune_rate, Tuning, UnitParams};

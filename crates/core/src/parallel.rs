@@ -34,9 +34,11 @@ use crate::detector::{UnitDetector, UnitReport};
 use crate::history::HistorySource;
 use crate::pipeline::{build_routing, unit_expectation_shape, DetectionReport, PassiveDetector};
 use crate::sentinel::{FeedSentinel, SentinelConfig};
+use outage_obs::span;
 use outage_types::{Interval, IntervalSet, Observation, Prefix, UnixTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Observations per routed batch; bounds channel memory while amortizing
 /// send overhead.
@@ -154,6 +156,19 @@ where
     let mut strays = 0u64;
     let mut quarantined = IntervalSet::new();
 
+    // Router instruments: all pre-resolved, so the hot loop pays one
+    // atomic op per event at most.
+    let obs = detector.obs().clone();
+    let mut detect_span = span!(obs, "detect.parallel", workers = workers, units = n_units);
+    let t0 = Instant::now();
+    let registry = &obs.registry;
+    let batches_total = registry.counter("po_router_batches_total", &[]);
+    let routed_total = registry.counter("po_router_observations_total", &[]);
+    let skipto_total = registry.counter("po_router_skipto_total", &[]);
+    let queue_depth = registry.gauge("po_router_queue_depth", &[]);
+
+    let mut sentinel = sentinel_cfg.map(|cfg| FeedSentinel::new(*cfg, window.start));
+
     std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(workers);
         for (w, detectors) in worker_detectors.drain(..).enumerate() {
@@ -161,9 +176,23 @@ where
             senders.push(tx);
             let unit_ids = per_worker_units[w].clone();
             let reports = &reports;
+            let w_label = w.to_string();
+            let busy =
+                registry.float_counter("po_worker_busy_seconds_total", &[("worker", &w_label)]);
+            let idle =
+                registry.float_counter("po_worker_idle_seconds_total", &[("worker", &w_label)]);
+            let depth = queue_depth.clone();
             scope.spawn(move || {
                 let mut detectors = detectors;
-                for msg in rx {
+                loop {
+                    let wait = Instant::now();
+                    let Ok(msg) = rx.recv() else {
+                        idle.add(wait.elapsed().as_secs_f64());
+                        break;
+                    };
+                    depth.add(-1.0);
+                    idle.add(wait.elapsed().as_secs_f64());
+                    let work = Instant::now();
                     match msg {
                         Msg::Batch(batch) => {
                             for (local, t) in batch {
@@ -176,11 +205,14 @@ where
                             }
                         }
                     }
+                    busy.add(work.elapsed().as_secs_f64());
                 }
+                let work = Instant::now();
                 let mut guard = reports.lock();
                 for (local, det) in detectors.into_iter().enumerate() {
                     guard[unit_ids[local]] = Some(det.finish());
                 }
+                busy.add(work.elapsed().as_secs_f64());
             });
         }
 
@@ -195,13 +227,17 @@ where
             for (w, buf) in buffers.iter_mut().enumerate() {
                 if !buf.is_empty() {
                     let full = std::mem::replace(buf, Vec::with_capacity(BATCH));
+                    batches_total.inc();
+                    routed_total.add(full.len() as u64);
+                    queue_depth.add(1.0);
                     senders[w].send(Msg::Batch(full)).expect("worker alive");
                 }
+                queue_depth.add(1.0);
                 senders[w].send(Msg::SkipTo(t)).expect("worker alive");
             }
+            skipto_total.inc();
         };
 
-        let mut sentinel = sentinel_cfg.map(|cfg| FeedSentinel::new(*cfg, window.start));
         let mut quarantine_open: Option<UnixTime> = None;
 
         // Route observations.
@@ -231,6 +267,12 @@ where
                     buffers[w].push((local_index[g], obs.time));
                     if buffers[w].len() >= BATCH {
                         let full = std::mem::replace(&mut buffers[w], Vec::with_capacity(BATCH));
+                        batches_total.inc();
+                        routed_total.add(BATCH as u64);
+                        // Router adds before the send, workers subtract
+                        // after the recv, so the gauge is the number of
+                        // messages in flight across all channels.
+                        queue_depth.add(1.0);
                         senders[w].send(Msg::Batch(full)).expect("worker alive");
                     }
                 }
@@ -254,11 +296,15 @@ where
         }
         for (w, buf) in buffers.into_iter().enumerate() {
             if !buf.is_empty() {
+                batches_total.inc();
+                routed_total.add(buf.len() as u64);
+                queue_depth.add(1.0);
                 senders[w].send(Msg::Batch(buf)).expect("worker alive");
             }
         }
         drop(senders); // close channels; workers finish and publish
     });
+    queue_depth.set(0.0); // drained: nothing in flight after the join
 
     let units: Vec<UnitReport> = reports
         .into_inner()
@@ -266,7 +312,7 @@ where
         .map(|r| r.expect("every unit reports"))
         .collect();
 
-    DetectionReport::assemble(
+    let report = DetectionReport::assemble(
         window,
         units,
         plan.units.into_iter().map(|u| u.members).collect(),
@@ -274,7 +320,18 @@ where
         strays,
         quarantined,
         block_to_unit,
-    )
+    );
+    detect_span.field("strays", report.strays);
+    drop(detect_span);
+    obs.registry
+        .histogram(
+            "po_stage_seconds",
+            &[("stage", "detect")],
+            outage_obs::LATENCY_BUCKETS,
+        )
+        .observe(t0.elapsed().as_secs_f64());
+    detector.export_run_metrics(&report, sentinel.as_ref());
+    report
 }
 
 #[cfg(test)]

@@ -21,8 +21,10 @@ use crate::detector::{UnitDetector, UnitDiagnostics, UnitReport};
 use crate::history::{BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 use crate::index::BlockIndex;
 use crate::sentinel::{FeedSentinel, SentinelConfig};
+use outage_obs::{span, Obs, Registry, DURATION_BUCKETS, LATENCY_BUCKETS};
 use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline, UnixTime};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Outcome of a full detection run.
 #[derive(Debug)]
@@ -109,6 +111,60 @@ impl DetectionReport {
         d
     }
 
+    /// Number of closed quarantine intervals (sensor-fault spans).
+    pub fn quarantined_spans(&self) -> usize {
+        self.quarantined.intervals().len()
+    }
+
+    /// Total quarantined time in seconds. Together with
+    /// [`Self::quarantined_spans`] this is the single source of truth
+    /// both the `status` surface and `eval --exclude` report from.
+    pub fn quarantined_secs(&self) -> u64 {
+        self.quarantined
+            .intervals()
+            .iter()
+            .map(|iv| iv.duration())
+            .sum()
+    }
+
+    /// Export the run's detection-semantic counters into a registry:
+    /// verdicts by path, arrivals, strays, coverage, and the quarantine
+    /// totals plus a per-interval duration histogram. Deterministic for
+    /// a given report — sequential and parallel runs that produce equal
+    /// reports export equal counters. Call once per run.
+    pub fn export_metrics(&self, registry: &Registry) {
+        let d = self.diagnostics();
+        registry
+            .counter("po_detect_arrivals_total", &[])
+            .add(d.arrivals);
+        registry.counter("po_detect_bins_total", &[]).add(d.bins);
+        registry
+            .counter("po_detect_verdicts_total", &[("path", "bin")])
+            .add(d.bin_detections);
+        registry
+            .counter("po_detect_verdicts_total", &[("path", "gap")])
+            .add(d.gap_detections);
+        registry
+            .counter("po_detect_strays_total", &[])
+            .add(self.strays);
+        registry
+            .gauge("po_detect_covered_blocks", &[])
+            .set(self.covered_blocks() as f64);
+        registry
+            .gauge("po_detect_units", &[])
+            .set(self.units.len() as f64);
+        registry
+            .counter("po_quarantine_intervals_total", &[])
+            .add(self.quarantined_spans() as u64);
+        registry
+            .counter("po_quarantine_seconds_total", &[])
+            .add(self.quarantined_secs());
+        let durations = registry.histogram("po_quarantine_duration_seconds", &[], DURATION_BUCKETS);
+        for iv in self.quarantined.intervals() {
+            durations.observe(iv.duration() as f64);
+        }
+    }
+
     /// Blocks whose unit judged at least one outage of `min_secs` or
     /// longer.
     pub fn blocks_with_outage(&self, min_secs: u64) -> Vec<Prefix> {
@@ -130,6 +186,9 @@ impl DetectionReport {
 #[derive(Debug, Clone, Default)]
 pub struct PassiveDetector {
     config: DetectorConfig,
+    /// Observability bundle: always present (the default registry is
+    /// simply never scraped), so no stage needs `Option` plumbing.
+    obs: Obs,
 }
 
 impl PassiveDetector {
@@ -145,12 +204,37 @@ impl PassiveDetector {
     /// configurations with a typed error instead of panicking.
     pub fn try_new(config: DetectorConfig) -> Result<PassiveDetector, ConfigError> {
         config.validate()?;
-        Ok(PassiveDetector { config })
+        Ok(PassiveDetector {
+            config,
+            obs: Obs::default(),
+        })
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &DetectorConfig {
         &self.config
+    }
+
+    /// Attach an observability bundle: every subsequent learn/plan/
+    /// detect pass records stage latencies, spans, and detection
+    /// counters into it.
+    pub fn with_obs(mut self, obs: Obs) -> PassiveDetector {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability bundle in force (default: a private, unscraped
+    /// registry and no tracer).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Record one stage's wall time into `po_stage_seconds{stage=...}`.
+    fn observe_stage(&self, stage: &str, started: Instant) {
+        self.obs
+            .registry
+            .histogram("po_stage_seconds", &[("stage", stage)], LATENCY_BUCKETS)
+            .observe(started.elapsed().as_secs_f64());
     }
 
     /// Learn per-block histories from one pass over a stream.
@@ -159,8 +243,12 @@ impl PassiveDetector {
         observations: I,
         window: Interval,
     ) -> HashMap<Prefix, BlockHistory> {
+        let mut sp = span!(self.obs, "learn");
+        let t0 = Instant::now();
         let mut hb = HistoryBuilder::new(window);
         hb.record_all(observations);
+        sp.field("blocks", hb.block_count());
+        self.observe_stage("learn", t0);
         hb.build()
     }
 
@@ -171,8 +259,12 @@ impl PassiveDetector {
         observations: I,
         window: Interval,
     ) -> IndexedHistories {
+        let mut sp = span!(self.obs, "learn");
+        let t0 = Instant::now();
         let mut hb = HistoryBuilder::new(window);
         hb.record_all(observations);
+        sp.field("blocks", hb.block_count());
+        self.observe_stage("learn", t0);
         hb.build_indexed()
     }
 
@@ -191,14 +283,28 @@ impl PassiveDetector {
         if workers == 1 || observations.len() < 2 * workers {
             return self.learn_histories_indexed(observations.iter().copied(), window);
         }
+        let mut sp = span!(self.obs, "learn", workers = workers);
+        let t0 = Instant::now();
+        let shard_hist = self.obs.registry.histogram(
+            "po_stage_seconds",
+            &[("stage", "learn_shard")],
+            LATENCY_BUCKETS,
+        );
         let chunk = observations.len().div_ceil(workers);
         let shards: Vec<HistoryBuilder> = std::thread::scope(|scope| {
             let handles: Vec<_> = observations
                 .chunks(chunk)
-                .map(|c| {
+                .enumerate()
+                .map(|(i, c)| {
+                    let obs_handle = self.obs.clone();
+                    let shard_hist = shard_hist.clone();
                     scope.spawn(move || {
+                        let mut shard_span = span!(obs_handle, "learn.shard", shard = i);
+                        let shard_t0 = Instant::now();
                         let mut hb = HistoryBuilder::new(window);
                         hb.record_all(c.iter().copied());
+                        shard_hist.observe(shard_t0.elapsed().as_secs_f64());
+                        shard_span.field("blocks", hb.block_count());
                         hb
                     })
                 })
@@ -212,13 +318,17 @@ impl PassiveDetector {
         for s in shards {
             merged.merge(s);
         }
+        sp.field("blocks", merged.block_count());
+        self.observe_stage("learn", t0);
         merged.build_indexed()
     }
 
     /// Plan detection units from learned histories (diurnal-trough
     /// aware: widths are chosen against each block's quietest hour).
     pub fn plan_units<H: HistorySource + ?Sized>(&self, histories: &H) -> AggregationPlan {
-        plan(
+        let mut sp = span!(self.obs, "plan");
+        let t0 = Instant::now();
+        let planned = plan(
             histories.iter_histories().map(|(p, h)| {
                 (
                     p,
@@ -226,7 +336,11 @@ impl PassiveDetector {
                 )
             }),
             &self.config,
-        )
+        );
+        sp.field("units", planned.units.len());
+        sp.field("uncovered", planned.uncovered.len());
+        self.observe_stage("plan", t0);
+        planned
     }
 
     /// Detection pass: run planned units over a stream.
@@ -269,6 +383,8 @@ impl PassiveDetector {
         I: IntoIterator<Item = Observation>,
     {
         let plan = self.plan_units(histories);
+        let mut sp = span!(self.obs, "detect", units = plan.units.len());
+        let t0 = Instant::now();
         let mut detectors: Vec<UnitDetector> = plan
             .units
             .iter()
@@ -342,14 +458,32 @@ impl PassiveDetector {
         }
 
         let units: Vec<UnitReport> = detectors.into_iter().map(UnitDetector::finish).collect();
-        DetectionReport {
+        let report = DetectionReport::assemble(
             window,
             units,
-            members: plan.units.into_iter().map(|u| u.members).collect(),
-            uncovered: plan.uncovered,
+            plan.units.into_iter().map(|u| u.members).collect(),
+            plan.uncovered,
             strays,
             quarantined,
             block_to_unit,
+        );
+        sp.field("strays", report.strays);
+        self.observe_stage("detect", t0);
+        self.export_run_metrics(&report, sentinel.as_ref());
+        report
+    }
+
+    /// Export the per-run counters every detection path shares: the
+    /// report's detection-semantic metrics plus the sentinel's state
+    /// accounting (when one ran).
+    pub(crate) fn export_run_metrics(
+        &self,
+        report: &DetectionReport,
+        sentinel: Option<&FeedSentinel>,
+    ) {
+        report.export_metrics(&self.obs.registry);
+        if let Some(s) = sentinel {
+            s.export_metrics(&self.obs.registry);
         }
     }
 

@@ -23,6 +23,7 @@
 //! exclude them — scored coverage shrinks; precision doesn't lie.
 
 use crate::config::ConfigError;
+use outage_obs::Registry;
 use outage_types::{Interval, IntervalSet, UnixTime};
 use serde::{Deserialize, Serialize};
 
@@ -38,13 +39,92 @@ pub enum FeedHealth {
     Dark,
 }
 
+impl FeedHealth {
+    /// Every state, in [`FeedHealth::index`] order.
+    pub const ALL: [FeedHealth; 3] = [FeedHealth::Healthy, FeedHealth::Degraded, FeedHealth::Dark];
+
+    /// Dense index of this state (for accounting matrices).
+    pub fn index(self) -> usize {
+        match self {
+            FeedHealth::Healthy => 0,
+            FeedHealth::Degraded => 1,
+            FeedHealth::Dark => 2,
+        }
+    }
+
+    /// Stable lowercase name (used as a metric label value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FeedHealth::Healthy => "healthy",
+            FeedHealth::Degraded => "degraded",
+            FeedHealth::Dark => "dark",
+        }
+    }
+}
+
 impl std::fmt::Display for FeedHealth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FeedHealth::Healthy => write!(f, "healthy"),
-            FeedHealth::Degraded => write!(f, "degraded"),
-            FeedHealth::Dark => write!(f, "dark"),
+        f.write_str(self.as_str())
+    }
+}
+
+/// Transition and dwell-time accounting over the sentinel's *judged*
+/// buckets (warm-up and sparse buckets classify nothing and are not
+/// counted here).
+///
+/// The state machine starts in `Healthy`, so for every state `s` the
+/// walk obeys the chain identity checked by
+/// [`SentinelAccounting::chain_consistent`]:
+/// `initial(s) + entries_into(s) == exits_from(s) + occupancy(s)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SentinelAccounting {
+    /// `entries[from][to]` state changes observed (`from != to`; the
+    /// diagonal stays zero).
+    pub entries: [[u64; 3]; 3],
+    /// Seconds of judged feed time attributed to each state (a bucket
+    /// counts toward the state the machine is in once it closes).
+    pub time_in_state_secs: [u64; 3],
+    /// Buckets that were actually classified.
+    pub judged_buckets: u64,
+}
+
+impl SentinelAccounting {
+    fn record_bucket(&mut self, prev: FeedHealth, now: FeedHealth, bucket_secs: u64) {
+        if prev != now {
+            self.entries[prev.index()][now.index()] += 1;
         }
+        self.time_in_state_secs[now.index()] += bucket_secs;
+        self.judged_buckets += 1;
+    }
+
+    /// Transitions into `s` from any other state.
+    pub fn entries_into(&self, s: FeedHealth) -> u64 {
+        FeedHealth::ALL
+            .iter()
+            .filter(|f| **f != s)
+            .map(|f| self.entries[f.index()][s.index()])
+            .sum()
+    }
+
+    /// Transitions out of `s` to any other state.
+    pub fn exits_from(&self, s: FeedHealth) -> u64 {
+        FeedHealth::ALL
+            .iter()
+            .filter(|t| **t != s)
+            .map(|t| self.entries[s.index()][t.index()])
+            .sum()
+    }
+
+    /// The chain identity every transition walk from `Healthy` must
+    /// satisfy, given the machine's `current` state: for each state,
+    /// entries plus the initial occupancy balance exits plus the current
+    /// occupancy.
+    pub fn chain_consistent(&self, current: FeedHealth) -> bool {
+        FeedHealth::ALL.iter().all(|&s| {
+            let initial = u64::from(s == FeedHealth::Healthy);
+            let occupancy = u64::from(s == current);
+            initial + self.entries_into(s) == self.exits_from(s) + occupancy
+        })
     }
 }
 
@@ -136,6 +216,7 @@ pub struct FeedSentinel {
     quarantined: IntervalSet,
     buckets_closed: u64,
     unhealthy_buckets: u64,
+    accounting: SentinelAccounting,
 }
 
 impl FeedSentinel {
@@ -155,6 +236,7 @@ impl FeedSentinel {
             quarantined: IntervalSet::new(),
             buckets_closed: 0,
             unhealthy_buckets: 0,
+            accounting: SentinelAccounting::default(),
         }
     }
 
@@ -216,6 +298,7 @@ impl FeedSentinel {
         if class != FeedHealth::Healthy {
             self.unhealthy_buckets += 1;
         }
+        let prev = self.health;
         match (self.health, class) {
             (FeedHealth::Healthy, FeedHealth::Healthy) => {
                 self.baseline = self.ewma(n);
@@ -249,6 +332,8 @@ impl FeedSentinel {
                 self.run_start = None;
             }
         }
+        self.accounting
+            .record_bucket(prev, self.health, self.cfg.bucket_secs);
     }
 
     fn ewma(&self, n: u64) -> f64 {
@@ -295,6 +380,51 @@ impl FeedSentinel {
     /// `(buckets closed, of which unhealthy)`.
     pub fn bucket_counts(&self) -> (u64, u64) {
         (self.buckets_closed, self.unhealthy_buckets)
+    }
+
+    /// Transition/dwell accounting over judged buckets so far.
+    pub fn accounting(&self) -> &SentinelAccounting {
+        &self.accounting
+    }
+
+    /// Export the sentinel's counters into a metrics registry. All six
+    /// off-diagonal transition pairs are registered even when zero, so
+    /// every snapshot carries the full matrix. Call once per run:
+    /// counters are cumulative and a second export would double them.
+    pub fn export_metrics(&self, registry: &Registry) {
+        for from in FeedHealth::ALL {
+            for to in FeedHealth::ALL {
+                if from == to {
+                    continue;
+                }
+                registry
+                    .counter(
+                        "po_sentinel_transitions_total",
+                        &[("from", from.as_str()), ("to", to.as_str())],
+                    )
+                    .add(self.accounting.entries[from.index()][to.index()]);
+            }
+        }
+        for s in FeedHealth::ALL {
+            registry
+                .counter(
+                    "po_sentinel_time_in_state_seconds_total",
+                    &[("state", s.as_str())],
+                )
+                .add(self.accounting.time_in_state_secs[s.index()]);
+        }
+        registry
+            .counter("po_sentinel_buckets_total", &[])
+            .add(self.buckets_closed);
+        registry
+            .counter("po_sentinel_unhealthy_buckets_total", &[])
+            .add(self.unhealthy_buckets);
+        registry
+            .gauge("po_sentinel_health", &[])
+            .set(self.health.index() as f64);
+        registry
+            .gauge("po_sentinel_baseline_per_bucket", &[])
+            .set(self.baseline);
     }
 }
 
@@ -408,6 +538,41 @@ mod tests {
         }
         s.advance_to(UnixTime(7_200)); // a long silence...
         assert_eq!(s.health(), FeedHealth::Healthy, "too sparse to judge");
+    }
+
+    #[test]
+    fn accounting_balances_and_exports() {
+        let mut s = FeedSentinel::new(SentinelConfig::default(), UnixTime(0));
+        feed_steady(&mut s, 0, 3_600);
+        feed_steady(&mut s, 5_400, 9_000); // blackout in between, recovers
+        let acc = *s.accounting();
+        assert!(acc.chain_consistent(s.health()), "{acc:?}");
+        assert!(acc.entries[FeedHealth::Healthy.index()][FeedHealth::Dark.index()] >= 1);
+        assert!(acc.entries_into(FeedHealth::Healthy) >= 1, "recovered");
+        assert_eq!(
+            acc.time_in_state_secs.iter().sum::<u64>(),
+            acc.judged_buckets * 60,
+            "dwell time covers every judged bucket"
+        );
+
+        let reg = Registry::new();
+        s.export_metrics(&reg);
+        assert_eq!(
+            reg.value(
+                "po_sentinel_transitions_total",
+                &[("from", "healthy"), ("to", "dark")],
+            ),
+            Some(acc.entries[0][2] as f64)
+        );
+        // All six off-diagonal pairs present, even the zero ones.
+        assert_eq!(
+            reg.samples()
+                .iter()
+                .filter(|smp| smp.name == "po_sentinel_transitions_total")
+                .count(),
+            6
+        );
+        assert_eq!(reg.value("po_sentinel_health", &[]), Some(0.0));
     }
 
     #[test]

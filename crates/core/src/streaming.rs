@@ -39,9 +39,44 @@ use crate::detector::{UnitDetector, UnitReport};
 use crate::history::HistoryBuilder;
 use crate::pipeline::PassiveDetector;
 use crate::sentinel::{FeedHealth, FeedSentinel, SentinelConfig};
+use outage_obs::{Counter, Gauge, Histogram, Obs, DURATION_BUCKETS};
 use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline, UnixTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// Pre-resolved metric handles for the streaming hot path (one atomic
+/// op per update; no registry lookups while ingesting).
+#[derive(Debug)]
+struct StreamHandles {
+    reorder_occupancy: Gauge,
+    watermark_lag: Gauge,
+    late_drops: Counter,
+    epochs: Counter,
+    quarantine_opened: Counter,
+    quarantine_closed: Counter,
+    quarantine_duration: Histogram,
+    swallowed: Counter,
+}
+
+impl StreamHandles {
+    fn new(obs: &Obs) -> StreamHandles {
+        let r = &obs.registry;
+        StreamHandles {
+            reorder_occupancy: r.gauge("po_reorder_occupancy", &[]),
+            watermark_lag: r.gauge("po_reorder_watermark_lag_seconds", &[]),
+            late_drops: r.counter("po_reorder_late_drops_total", &[]),
+            epochs: r.counter("po_stream_epochs_total", &[]),
+            quarantine_opened: r.counter("po_stream_quarantine_opened_total", &[]),
+            quarantine_closed: r.counter("po_stream_quarantine_closed_total", &[]),
+            quarantine_duration: r.histogram(
+                "po_quarantine_duration_seconds",
+                &[],
+                DURATION_BUCKETS,
+            ),
+            swallowed: r.counter("po_stream_quarantine_swallowed_total", &[]),
+        }
+    }
+}
 
 /// Bounded watermark reorder stage (see module docs).
 #[derive(Debug)]
@@ -131,6 +166,12 @@ pub struct StreamingMonitor {
     quarantined: IntervalSet,
     /// Observations swallowed while quarantined.
     quarantine_swallowed: u64,
+    /// Observability bundle (default: unscraped) and its pre-resolved
+    /// handles, present only once [`Self::with_obs`] attaches a bundle.
+    obs: Obs,
+    handles: Option<StreamHandles>,
+    /// Late drops already mirrored into the registry.
+    late_drops_reported: u64,
 }
 
 impl StreamingMonitor {
@@ -162,6 +203,9 @@ impl StreamingMonitor {
             quarantine_open: None,
             quarantined: IntervalSet::new(),
             quarantine_swallowed: 0,
+            obs: Obs::default(),
+            handles: None,
+            late_drops_reported: 0,
         })
     }
 
@@ -183,6 +227,17 @@ impl StreamingMonitor {
     /// later than that is counted ([`Self::late_drops`]) and dropped.
     pub fn with_reorder(mut self, max_skew_secs: u64) -> StreamingMonitor {
         self.reorder = Some(ReorderBuffer::new(max_skew_secs));
+        self
+    }
+
+    /// Attach an observability bundle: reorder-buffer occupancy and
+    /// watermark lag, epoch rolls, quarantine open/close counts and
+    /// durations, and swallowed-arrival counts all record into its
+    /// registry, and the detector's learn/plan stages inherit it.
+    pub fn with_obs(mut self, obs: Obs) -> StreamingMonitor {
+        self.handles = Some(StreamHandles::new(&obs));
+        self.detector = std::mem::take(&mut self.detector).with_obs(obs.clone());
+        self.obs = obs;
         self
     }
 
@@ -245,8 +300,25 @@ impl StreamingMonitor {
                 for released in buf.push(obs) {
                     self.ingest(released);
                 }
+                self.sync_reorder_metrics();
             }
         }
+    }
+
+    /// Mirror the reorder stage's state into the registry (no-op without
+    /// an attached bundle).
+    fn sync_reorder_metrics(&mut self) {
+        let (Some(h), Some(buf)) = (&self.handles, &self.reorder) else {
+            return;
+        };
+        h.reorder_occupancy.set(buf.heap.len() as f64);
+        // How far the oldest held observation still is from release.
+        if let (Some(Reverse(oldest_held)), Some(watermark)) = (buf.heap.peek(), buf.released) {
+            h.watermark_lag
+                .set(oldest_held.time.secs().saturating_sub(watermark.secs()) as f64);
+        }
+        h.late_drops.add(buf.late_drops - self.late_drops_reported);
+        self.late_drops_reported = buf.late_drops;
     }
 
     /// Feed a whole batch.
@@ -279,6 +351,9 @@ impl StreamingMonitor {
         if self.current_epoch.is_some() {
             if self.quarantine_open.is_some() {
                 self.quarantine_swallowed += 1;
+                if let Some(h) = &self.handles {
+                    h.swallowed.inc();
+                }
             } else {
                 match self.block_to_unit.get(&obs.block) {
                     Some(&i) => self.units[i].observe(obs.time),
@@ -300,6 +375,7 @@ impl StreamingMonitor {
             for released in buf.drain_to(watermark) {
                 self.ingest(released);
             }
+            self.sync_reorder_metrics();
         }
         if let Some(s) = &mut self.sentinel {
             s.advance_to(now);
@@ -325,6 +401,9 @@ impl StreamingMonitor {
         if let Some(s) = &self.sentinel {
             if s.is_quarantined() {
                 self.quarantine_open = Some(s.unhealthy_since().unwrap_or(now));
+                if let Some(h) = &self.handles {
+                    h.quarantine_opened.inc();
+                }
             }
         }
     }
@@ -344,6 +423,13 @@ impl StreamingMonitor {
         }
         if now > start {
             self.quarantined.insert(Interval::new(start, now));
+        }
+        if let Some(h) = &self.handles {
+            h.quarantine_closed.inc();
+            if now > start {
+                h.quarantine_duration
+                    .observe(now.secs().saturating_sub(start.secs()) as f64);
+            }
         }
         self.quarantine_open = None;
     }
@@ -373,6 +459,9 @@ impl StreamingMonitor {
     /// Close the current epoch (if live), then promote the accumulated
     /// history into a fresh set of detectors for the next epoch.
     fn roll_epoch(&mut self) {
+        if let Some(h) = &self.handles {
+            h.epochs.inc();
+        }
         // 1. Close the running detection epoch.
         if self.current_epoch.is_some() {
             let mut units = std::mem::take(&mut self.units);
@@ -474,6 +563,18 @@ impl StreamingMonitor {
             }
             if end > start {
                 self.quarantined.insert(Interval::new(start, end));
+                if let Some(h) = &self.handles {
+                    h.quarantine_closed.inc();
+                    h.quarantine_duration
+                        .observe(end.secs().saturating_sub(start.secs()) as f64);
+                }
+            }
+        }
+        // Final export: the sentinel's transition matrix and dwell
+        // times land in the registry exactly once, at shutdown.
+        if self.handles.is_some() {
+            if let Some(s) = &self.sentinel {
+                s.export_metrics(&self.obs.registry);
             }
         }
         // Advance in-flight detectors to `end` (without opening a new
@@ -748,6 +849,69 @@ mod tests {
         );
         // ...but not by much: under 10 minutes of slack total.
         assert!(q.duration() < (blackout.end - blackout.start) + 600);
+    }
+
+    #[test]
+    fn streaming_metrics_record_epochs_and_quarantine_lifecycle() {
+        let blackout = (2 * 86_400 + 43_200)..(2 * 86_400 + 45_000);
+        let obs = Obs::new();
+        let mut m = daily(0)
+            .with_sentinel(SentinelConfig::default())
+            .expect("valid sentinel config")
+            .with_obs(obs.clone());
+        feed_with_blackout(&mut m, 2 * 86_400 + 50_000, blackout);
+        let (_events, quarantined) = m.finish_with_quarantine(UnixTime(2 * 86_400 + 50_000));
+
+        let value = |name: &str| obs.registry.value(name, &[]).unwrap_or(0.0);
+        // Two epoch rolls: day 1 -> day 2 -> day 3.
+        assert_eq!(value("po_stream_epochs_total"), 2.0);
+        assert_eq!(value("po_stream_quarantine_opened_total"), 1.0);
+        assert_eq!(value("po_stream_quarantine_closed_total"), 1.0);
+        assert!(value("po_stream_quarantine_swallowed_total") > 0.0);
+        // The duration histogram saw exactly the quarantined span.
+        assert_eq!(value("po_quarantine_duration_seconds_count"), 1.0);
+        assert_eq!(
+            value("po_quarantine_duration_seconds_sum"),
+            quarantined.total() as f64
+        );
+        // The sentinel exported its transition matrix at finish.
+        let trips = obs
+            .registry
+            .value(
+                "po_sentinel_transitions_total",
+                &[("from", "healthy"), ("to", "dark")],
+            )
+            .unwrap_or(0.0);
+        assert!(trips >= 1.0, "blackout must record a healthy->dark entry");
+    }
+
+    #[test]
+    fn reorder_metrics_track_buffer_occupancy() {
+        let b = block();
+        let obs = Obs::new();
+        let mut m = daily(0).with_reorder(60).with_obs(obs.clone());
+        // Two observations held in the buffer, nothing released yet.
+        m.observe(Observation::new(UnixTime(1_000), b));
+        m.observe(Observation::new(UnixTime(1_010), b));
+        assert_eq!(
+            obs.registry.value("po_reorder_occupancy", &[]).unwrap(),
+            2.0
+        );
+        // A late arrival beyond the skew bound is counted as dropped.
+        m.observe(Observation::new(UnixTime(2_000), b));
+        m.observe(Observation::new(UnixTime(1_000), b));
+        assert_eq!(
+            obs.registry
+                .value("po_reorder_late_drops_total", &[])
+                .unwrap(),
+            1.0
+        );
+        assert!(
+            obs.registry
+                .value("po_reorder_watermark_lag_seconds", &[])
+                .unwrap()
+                >= 0.0
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use outage_core::{
     detect_parallel, detect_parallel_with_sentinel, DetectorConfig, PassiveDetector, SentinelConfig,
 };
 use outage_netsim::FaultPlan;
+use outage_obs::Obs;
 use outage_types::{Interval, Observation, Prefix, UnixTime};
 use proptest::prelude::*;
 
@@ -35,6 +36,32 @@ fn fleet(periods: &[u64], outage: std::ops::Range<u64>) -> Vec<Observation> {
     }
     obs.sort();
     obs
+}
+
+/// The detection-semantic metric families: everything here is a pure
+/// function of the verdicts, so sequential and parallel runs must
+/// export identical values. Timing families (`po_stage_seconds`,
+/// worker busy/idle, router counters) are excluded by construction.
+const SEMANTIC_PREFIXES: &[&str] = &["po_detect_", "po_quarantine_", "po_sentinel_"];
+
+/// Semantic samples of a registry as sorted `(name{labels}, value)`
+/// pairs, ready for exact comparison.
+fn semantic_samples(obs: &Obs) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = obs
+        .registry
+        .samples()
+        .into_iter()
+        .filter(|s| SEMANTIC_PREFIXES.iter().any(|p| s.name.starts_with(p)))
+        .map(|s| {
+            let labels: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            (
+                format!("{}{{{}}}", s.name, labels.join(",")),
+                format!("{}", s.value),
+            )
+        })
+        .collect();
+    out.sort();
+    out
 }
 
 proptest! {
@@ -84,6 +111,55 @@ proptest! {
                     "block {} timeline differs at {} workers", b, workers
                 );
             }
+        }
+    }
+
+    /// The detection-semantic metrics exported by a sequential run and
+    /// a parallel run are identical, sample for sample — the
+    /// observability layer sees the same pipeline either way.
+    #[test]
+    fn semantic_metrics_agree_between_sequential_and_parallel(
+        periods in proptest::collection::vec(8u64..16, 3..6),
+        blackout_start in 15_000u64..55_000,
+        blackout_len in 1_500u64..6_000,
+        seed in 0u64..1_000,
+    ) {
+        let clean = fleet(&periods, 62_000..67_000);
+        let plan = FaultPlan::new(seed)
+            .blackout(Interval::from_secs(blackout_start, blackout_start + blackout_len));
+        let mut obs = plan.apply_to_vec(&clean);
+        obs.sort_unstable();
+        let window = Interval::from_secs(0, DAY);
+        let cfg = SentinelConfig::default();
+
+        // Fresh detector + registry per run: each exports exactly once.
+        let run_seq = || {
+            let o = Obs::new();
+            let det = PassiveDetector::new(DetectorConfig::default()).with_obs(o.clone());
+            let histories = det.learn_histories(obs.iter().copied(), window);
+            det.detect_with_sentinel(&histories, obs.iter().copied(), window, &cfg)
+                .expect("valid sentinel config");
+            semantic_samples(&o)
+        };
+        let run_par = |workers: usize| {
+            let o = Obs::new();
+            let det = PassiveDetector::new(DetectorConfig::default()).with_obs(o.clone());
+            let histories = det.learn_histories(obs.iter().copied(), window);
+            detect_parallel_with_sentinel(
+                &det, &histories, obs.iter().copied(), window, workers, &cfg,
+            )
+            .expect("valid sentinel config");
+            semantic_samples(&o)
+        };
+
+        let seq = run_seq();
+        prop_assert!(!seq.is_empty(), "sequential run exported no semantic metrics");
+        for workers in [1usize, 2, 4] {
+            let par = run_par(workers);
+            prop_assert_eq!(
+                &par, &seq,
+                "semantic metrics diverge at {} workers", workers
+            );
         }
     }
 

@@ -1,0 +1,147 @@
+//! Property tests: the sentinel's state-transition accounting forms a
+//! consistent chain under fault-injected streams. For every health
+//! state, the entries into it balance the exits from it plus its
+//! current occupancy, and the per-state dwell times sum to exactly the
+//! judged span — no transition is lost or double-counted, whatever
+//! blackout/brownout pattern the feed suffers.
+
+use outage_core::{FeedHealth, FeedSentinel, SentinelConfig};
+use outage_netsim::FaultPlan;
+use outage_obs::Registry;
+use outage_types::{Interval, Observation, Prefix, UnixTime};
+use proptest::prelude::*;
+
+const DAY: u64 = 86_400;
+
+/// A steady multi-block feed dense enough that the sentinel learns a
+/// healthy baseline before any fault lands.
+fn fleet(periods: &[u64]) -> Vec<Observation> {
+    let mut obs = Vec::new();
+    for (i, &period) in periods.iter().enumerate() {
+        let b = Prefix::v4_raw(0x0A00_0000 + ((i as u32) << 8), 24);
+        for t in ((i as u64)..DAY).step_by(period as usize) {
+            obs.push(Observation::new(UnixTime(t), b));
+        }
+    }
+    obs.sort();
+    obs
+}
+
+/// Drive a sentinel over a (possibly faulted) stream to the window end.
+fn run_sentinel(obs: &[Observation], cfg: SentinelConfig) -> FeedSentinel {
+    let mut s = FeedSentinel::new(cfg, UnixTime::EPOCH);
+    for o in obs {
+        s.observe(o.time);
+    }
+    s.advance_to(UnixTime(DAY));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under any blackout + brownout combination, the accounting chain
+    /// balances and the exported metrics agree with it.
+    #[test]
+    fn transition_chain_balances_under_faults(
+        periods in proptest::collection::vec(8u64..16, 3..7),
+        blackout_start in 10_000u64..50_000,
+        blackout_len in 600u64..8_000,
+        brownout_start in 55_000u64..75_000,
+        brownout_len in 600u64..6_000,
+        keep in 0.0f64..0.4,
+        seed in 0u64..1_000,
+    ) {
+        let clean = fleet(&periods);
+        let plan = FaultPlan::new(seed)
+            .blackout(Interval::from_secs(blackout_start, blackout_start + blackout_len))
+            .brownout(
+                Interval::from_secs(brownout_start, brownout_start + brownout_len),
+                keep,
+            );
+        let mut obs = plan.apply_to_vec(&clean);
+        obs.sort_unstable();
+        let cfg = SentinelConfig::default();
+        let sentinel = run_sentinel(&obs, cfg);
+        let acc = *sentinel.accounting();
+
+        // The chain invariant, per state: what entered must have left
+        // or still be there.
+        prop_assert!(
+            acc.chain_consistent(sentinel.health()),
+            "inconsistent chain: {acc:?} ending {}",
+            sentinel.health()
+        );
+
+        // No self-transitions are ever recorded.
+        for s in FeedHealth::ALL {
+            prop_assert_eq!(acc.entries[s.index()][s.index()], 0);
+        }
+
+        // Dwell times tile the judged span exactly.
+        let dwell: u64 = acc.time_in_state_secs.iter().sum();
+        prop_assert_eq!(dwell, acc.judged_buckets * cfg.bucket_secs);
+
+        // A hard blackout longer than a bucket must push the sentinel
+        // out of Healthy at least once.
+        if blackout_len >= 2 * cfg.bucket_secs {
+            prop_assert!(
+                acc.exits_from(FeedHealth::Healthy) >= 1,
+                "blackout of {blackout_len} s left accounting {acc:?}"
+            );
+        }
+
+        // The exported metrics are the accounting, verbatim.
+        let registry = Registry::new();
+        sentinel.export_metrics(&registry);
+        for from in FeedHealth::ALL {
+            for to in FeedHealth::ALL {
+                if from == to {
+                    continue;
+                }
+                let v = registry
+                    .value(
+                        "po_sentinel_transitions_total",
+                        &[("from", from.as_str()), ("to", to.as_str())],
+                    )
+                    .unwrap_or(0.0);
+                prop_assert_eq!(v as u64, acc.entries[from.index()][to.index()]);
+            }
+        }
+        for s in FeedHealth::ALL {
+            let v = registry
+                .value(
+                    "po_sentinel_time_in_state_seconds_total",
+                    &[("state", s.as_str())],
+                )
+                .unwrap_or(0.0);
+            prop_assert_eq!(v as u64, acc.time_in_state_secs[s.index()]);
+        }
+        // Closed buckets include the warmup span the sentinel refuses
+        // to judge, so they bound the judged count from above.
+        let closed = registry.value("po_sentinel_buckets_total", &[]).unwrap_or(0.0) as u64;
+        prop_assert_eq!(closed, sentinel.bucket_counts().0);
+        prop_assert!(closed >= acc.judged_buckets);
+    }
+
+    /// A clean stream never leaves Healthy: no transitions at all, and
+    /// all dwell time in one state.
+    #[test]
+    fn clean_stream_stays_healthy(
+        periods in proptest::collection::vec(8u64..16, 3..7),
+    ) {
+        let obs = fleet(&periods);
+        let cfg = SentinelConfig::default();
+        let sentinel = run_sentinel(&obs, cfg);
+        let acc = sentinel.accounting();
+        prop_assert_eq!(sentinel.health(), FeedHealth::Healthy);
+        prop_assert!(acc.chain_consistent(FeedHealth::Healthy));
+        for s in FeedHealth::ALL {
+            prop_assert_eq!(acc.entries_into(s), 0, "unexpected transition into {}", s);
+        }
+        prop_assert_eq!(
+            acc.time_in_state_secs[FeedHealth::Healthy.index()],
+            acc.judged_buckets * cfg.bucket_secs
+        );
+    }
+}

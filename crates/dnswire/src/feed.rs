@@ -11,6 +11,7 @@
 use crate::error::WireError;
 use crate::message::{Message, Opcode};
 use bytes::Bytes;
+use outage_obs::{Counter, Registry};
 use outage_types::{HostAddr, Observation, UnixTime};
 
 /// A datagram captured at the service, with arrival metadata.
@@ -70,16 +71,49 @@ impl std::fmt::Display for TelescopeStats {
     }
 }
 
+/// Registry-backed intake counters: one `po_telescope_packets_total`
+/// family, labelled by disposition.
+#[derive(Debug, Clone)]
+struct TelescopeMetrics {
+    accepted: Counter,
+    malformed: Counter,
+    not_a_query: Counter,
+    wrong_opcode: Counter,
+    no_question: Counter,
+}
+
+impl TelescopeMetrics {
+    fn new(registry: &Registry) -> TelescopeMetrics {
+        let packets =
+            |result| registry.counter("po_telescope_packets_total", &[("result", result)]);
+        TelescopeMetrics {
+            accepted: packets("accepted"),
+            malformed: packets("malformed"),
+            not_a_query: packets("not_a_query"),
+            wrong_opcode: packets("wrong_opcode"),
+            no_question: packets("no_question"),
+        }
+    }
+}
+
 /// Parses captured packets into per-block observations.
 #[derive(Debug, Default)]
 pub struct Telescope {
     stats: TelescopeStats,
+    metrics: Option<TelescopeMetrics>,
 }
 
 impl Telescope {
     /// A fresh telescope.
     pub fn new() -> Telescope {
         Telescope::default()
+    }
+
+    /// Mirror intake counters into `registry` as
+    /// `po_telescope_packets_total{result=...}`, updated per packet.
+    pub fn with_metrics(mut self, registry: &Registry) -> Telescope {
+        self.metrics = Some(TelescopeMetrics::new(registry));
+        self
     }
 
     /// Intake counters so far.
@@ -107,6 +141,9 @@ impl Telescope {
         match Self::classify(pkt) {
             Ok(obs) => {
                 self.stats.accepted += 1;
+                if let Some(m) = &self.metrics {
+                    m.accepted.inc();
+                }
                 Some(obs)
             }
             Err(drop) => {
@@ -116,6 +153,14 @@ impl Telescope {
                     Drop::NotAQuery => self.stats.not_a_query += 1,
                     Drop::WrongOpcode(_) => self.stats.wrong_opcode += 1,
                     Drop::NoQuestion => self.stats.no_question += 1,
+                }
+                if let Some(m) = &self.metrics {
+                    match drop {
+                        Drop::Malformed(_) => m.malformed.inc(),
+                        Drop::NotAQuery => m.not_a_query.inc(),
+                        Drop::WrongOpcode(_) => m.wrong_opcode.inc(),
+                        Drop::NoQuestion => m.no_question.inc(),
+                    }
                 }
                 None
             }
@@ -269,6 +314,28 @@ mod tests {
         let line = stats.to_string();
         assert!(line.contains("accepted 1"));
         assert!(line.contains("not-a-query 1"));
+    }
+
+    #[test]
+    fn metrics_mirror_stats() {
+        let registry = Registry::new();
+        let mut tel = Telescope::new().with_metrics(&registry);
+        tel.observe(&query_packet(1, Ipv4Addr::new(10, 0, 0, 1), "a.example"));
+        tel.observe(&query_packet(2, Ipv4Addr::new(10, 0, 0, 2), "b.example"));
+        let garbage = CapturedPacket {
+            time: UnixTime(3),
+            src: HostAddr::V4(Ipv4Addr::new(10, 0, 0, 3)),
+            payload: Bytes::from_static(&[0xFF]),
+        };
+        assert!(tel.observe(&garbage).is_none());
+        let value = |result: &str| {
+            registry
+                .value("po_telescope_packets_total", &[("result", result)])
+                .unwrap_or(0.0)
+        };
+        assert_eq!(value("accepted"), 2.0);
+        assert_eq!(value("malformed"), 1.0);
+        assert_eq!(value("not_a_query"), 0.0);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! # outage-obs
+//!
+//! Pipeline observability for the passive-outage system, with **zero
+//! dependencies**: a lightweight metrics registry and a structured span
+//! tracer. An operator trusting a passive detector needs to see what the
+//! pipeline did — sentinel state transitions, per-worker utilization,
+//! router queue depths, quarantine durations, per-stage latency — and
+//! this crate is the layer every other crate records those signals into.
+//!
+//! ## Metrics
+//!
+//! [`Registry`] hands out four instrument kinds, all lock-free on the
+//! hot path (registration takes a mutex once; the returned handles are
+//! plain atomics, counters sharded across cache lines and merged only at
+//! scrape time):
+//!
+//! * [`Counter`] — monotone `u64` (`po_router_batches_total`),
+//! * [`FloatCounter`] — monotone `f64` (`po_worker_busy_seconds_total`),
+//! * [`Gauge`] — last-write-wins `f64` (`po_router_queue_depth`),
+//! * [`Histogram`] — fixed-bucket latency/duration distribution
+//!   (`po_stage_seconds`, `po_quarantine_duration_seconds`).
+//!
+//! [`Registry::render_prometheus`] produces a Prometheus-text-format
+//! snapshot; [`parse_prometheus`] parses (and therefore validates) one
+//! back into a queryable [`Snapshot`] — the same checker CI runs against
+//! every `--metrics-out` artifact, and what `passive-outage status`
+//! renders its health summary from.
+//!
+//! ## Spans
+//!
+//! [`Tracer`] records wall-time spans with structured fields; the
+//! [`span!`] macro is the ergonomic entry point:
+//!
+//! ```
+//! use outage_obs::{Obs, span};
+//!
+//! let obs = Obs::with_tracing();
+//! {
+//!     let _guard = span!(obs, "learn.shard", shard = 3usize);
+//!     // ... work measured while the guard lives ...
+//! }
+//! let jsonl = obs.tracer.as_ref().unwrap().to_jsonl();
+//! assert!(jsonl.contains("\"span\":\"learn.shard\""));
+//! assert!(jsonl.contains("\"shard\":3"));
+//! ```
+//!
+//! ## The `Obs` bundle
+//!
+//! Pipeline components take one cheaply-cloneable [`Obs`] handle
+//! (registry + optional tracer). The default bundle has no tracer, so
+//! spans are no-ops unless tracing was explicitly requested — and every
+//! metric handle is resolved once at setup time, keeping instrument
+//! overhead to an atomic add per event.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod prometheus;
+pub mod registry;
+pub mod trace;
+
+pub use prometheus::{parse_prometheus, PromParseError, Snapshot};
+pub use registry::{Counter, FloatCounter, Gauge, Histogram, Registry, Sample};
+pub use trace::{Field, SpanGuard, SpanRecord, Tracer};
+
+/// Default buckets (seconds) for stage-latency histograms: microseconds
+/// through minutes, covering everything from a smoke run's plan pass to
+/// a full-scale detection sweep.
+pub const LATENCY_BUCKETS: &[f64] = &[
+    1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+];
+
+/// Default buckets (seconds) for quarantine/outage duration histograms:
+/// one sentinel bucket through a full day.
+pub const DURATION_BUCKETS: &[f64] = &[
+    60.0, 300.0, 900.0, 1_800.0, 3_600.0, 7_200.0, 14_400.0, 43_200.0, 86_400.0,
+];
+
+/// The observability bundle a pipeline component carries: a metrics
+/// registry plus an optional span tracer. Cloning shares both.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// The metrics registry every instrument registers into.
+    pub registry: Registry,
+    /// Span sink; `None` makes every [`Obs::span`] a no-op.
+    pub tracer: Option<Tracer>,
+}
+
+impl Obs {
+    /// A bundle with metrics only (spans disabled).
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// A bundle with metrics and span tracing enabled.
+    pub fn with_tracing() -> Obs {
+        Obs {
+            registry: Registry::new(),
+            tracer: Some(Tracer::new()),
+        }
+    }
+
+    /// Start a span named `name`; a no-op guard if tracing is disabled.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.tracer {
+            Some(t) => t.span(name),
+            None => SpanGuard::disabled(),
+        }
+    }
+}
+
+/// Open a span on an [`Obs`] (or [`Tracer`]) with structured fields:
+///
+/// ```
+/// # use outage_obs::{Obs, span};
+/// # let obs = Obs::with_tracing();
+/// let _guard = span!(obs, "detect.route", workers = 4usize);
+/// ```
+///
+/// The span closes (and records its duration) when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut __span = $obs.span($name);
+        $( __span.field(stringify!($key), $val); )*
+        __span
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_default_spans_are_noops() {
+        let obs = Obs::new();
+        let mut g = obs.span("noop");
+        g.field("k", 1u64); // must not panic
+        drop(g);
+    }
+
+    #[test]
+    fn span_macro_records_fields() {
+        let obs = Obs::with_tracing();
+        {
+            let _g = span!(obs, "work", idx = 7usize, label = "abc");
+        }
+        let recs = obs.tracer.as_ref().unwrap().records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "work");
+        assert_eq!(recs[0].fields.len(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! A small Prometheus text-exposition-format parser.
+//!
+//! This is the validation half of the registry: CI parses every
+//! `--metrics-out` snapshot through [`parse_prometheus`] to prove it is
+//! well-formed, and `passive-outage status` queries the resulting
+//! [`Snapshot`] to render its health summary. Supports `# TYPE` /
+//! `# HELP` comments, labelled samples with escaped values, and the
+//! `+Inf` / `-Inf` / `NaN` spellings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::registry::Sample;
+
+/// Why a metrics snapshot failed to parse, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromParseError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PromParseError {}
+
+/// A parsed metrics snapshot: flattened samples plus the declared
+/// `# TYPE` of each family.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    samples: Vec<Sample>,
+    types: BTreeMap<String, String>,
+}
+
+impl Snapshot {
+    /// Every sample, in file order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The declared `# TYPE` of a family, if any.
+    pub fn type_of(&self, family: &str) -> Option<&str> {
+        self.types.get(family).map(String::as_str)
+    }
+
+    /// The value of the sample with exactly these labels (order-insensitive).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| {
+                if s.name != name {
+                    return false;
+                }
+                let mut have = s.labels.clone();
+                have.sort();
+                have == want
+            })
+            .map(|s| s.value)
+    }
+
+    /// All samples of a given name, in file order.
+    pub fn matching(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Sum over every sample of a given name (0.0 if absent).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.matching(name).iter().map(|s| s.value).sum()
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> PromParseError {
+    PromParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if is_name_start(c)) && chars.all(is_name_char)
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+/// Parse Prometheus text exposition format into a [`Snapshot`].
+///
+/// Rejects malformed names, unbalanced label braces, bad escapes, and
+/// non-numeric values, reporting the offending line. Unknown `#`
+/// comments are ignored, as the format requires.
+pub fn parse_prometheus(text: &str) -> Result<Snapshot, PromParseError> {
+    let mut snap = Snapshot::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let family = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "# TYPE missing metric name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "# TYPE missing type"))?;
+                if !valid_name(family) {
+                    return Err(err(lineno, format!("invalid metric name {family:?}")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(lineno, format!("unknown metric type {kind:?}")));
+                }
+                snap.types.insert(family.to_string(), kind.to_string());
+            }
+            // # HELP and other comments are ignored.
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        snap.samples.push(sample);
+    }
+    Ok(snap)
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, PromParseError> {
+    let name_end = line.find(|c: char| !is_name_char(c)).unwrap_or(line.len());
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(err(lineno, format!("invalid metric name in {line:?}")));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if rest.starts_with('{') {
+        let (parsed, after) = parse_labels(rest, lineno)?;
+        labels = parsed;
+        rest = after;
+    }
+    let mut fields = rest.split_whitespace();
+    let value_str = fields
+        .next()
+        .ok_or_else(|| err(lineno, format!("missing value in {line:?}")))?;
+    let value = parse_value(value_str)
+        .ok_or_else(|| err(lineno, format!("invalid value {value_str:?}")))?;
+    // An optional integer timestamp may follow; anything else is junk.
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(err(lineno, format!("trailing junk {ts:?}")));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(err(lineno, format!("trailing junk in {line:?}")));
+    }
+    labels.sort();
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// A parsed `{k="v",...}` block plus the remainder after the brace.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parse a `{k="v",...}` block; returns the labels and the remainder
+/// after the closing brace.
+fn parse_labels(s: &str, lineno: usize) -> Result<ParsedLabels<'_>, PromParseError> {
+    let mut chars = s.char_indices().peekable();
+    chars.next(); // consume '{'
+    let mut labels = Vec::new();
+    loop {
+        // Skip whitespace and handle end / separators.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            Some((i, '}')) => {
+                let after = &s[i + 1..];
+                chars.next();
+                return Ok((labels, after));
+            }
+            Some(_) => {}
+            None => return Err(err(lineno, "unterminated label block")),
+        }
+        // Label name.
+        let start = chars.peek().map(|(i, _)| *i).unwrap();
+        while matches!(chars.peek(), Some((_, c)) if is_name_char(*c)) {
+            chars.next();
+        }
+        let end = chars.peek().map(|(i, _)| *i).unwrap_or(s.len());
+        let key = &s[start..end];
+        if !valid_name(key) {
+            return Err(err(lineno, format!("invalid label name {key:?}")));
+        }
+        match chars.next() {
+            Some((_, '=')) => {}
+            _ => return Err(err(lineno, format!("expected '=' after label {key:?}"))),
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(err(lineno, format!("expected '\"' for label {key:?}"))),
+        }
+        // Quoted, escaped value.
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => break,
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("bad escape in label {key:?}: {other:?}"),
+                        ))
+                    }
+                },
+                Some((_, c)) => value.push(c),
+                None => return Err(err(lineno, format!("unterminated value for {key:?}"))),
+            }
+        }
+        labels.push((key.to_string(), value));
+        // Optional comma before the next pair or the closing brace.
+        if matches!(chars.peek(), Some((_, ','))) {
+            chars.next();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn parses_rendered_registry_roundtrip() {
+        let reg = Registry::new();
+        reg.counter("po_router_batches_total", &[]).add(17);
+        reg.counter(
+            "po_sentinel_transitions_total",
+            &[("from", "healthy"), ("to", "dark")],
+        )
+        .inc();
+        reg.gauge("po_router_queue_depth", &[]).set(3.5);
+        let h = reg.histogram("po_stage_seconds", &[("stage", "learn")], &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(10.0);
+        let text = reg.render_prometheus();
+
+        let snap = parse_prometheus(&text).expect("rendered snapshot must parse");
+        assert_eq!(snap.value("po_router_batches_total", &[]), Some(17.0));
+        assert_eq!(
+            snap.value(
+                "po_sentinel_transitions_total",
+                &[("to", "dark"), ("from", "healthy")],
+            ),
+            Some(1.0)
+        );
+        assert_eq!(snap.value("po_router_queue_depth", &[]), Some(3.5));
+        assert_eq!(snap.type_of("po_stage_seconds"), Some("histogram"));
+        assert_eq!(
+            snap.value(
+                "po_stage_seconds_bucket",
+                &[("stage", "learn"), ("le", "+Inf")],
+            ),
+            Some(2.0)
+        );
+        assert_eq!(
+            snap.value("po_stage_seconds_count", &[("stage", "learn")]),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn parses_escapes_and_timestamps() {
+        let text = "m{k=\"a\\\\b \\\"q\\\" \\n\"} 1 1700000000\n";
+        let snap = parse_prometheus(text).unwrap();
+        assert_eq!(snap.value("m", &[("k", "a\\b \"q\" \n")]), Some(1.0));
+    }
+
+    #[test]
+    fn parses_inf_and_nan() {
+        let snap = parse_prometheus("a 1\nb +Inf\nc -Inf\nd NaN\n").unwrap();
+        assert_eq!(snap.value("b", &[]), Some(f64::INFINITY));
+        assert_eq!(snap.value("c", &[]), Some(f64::NEG_INFINITY));
+        assert!(snap.value("d", &[]).unwrap().is_nan());
+    }
+
+    #[test]
+    fn sum_and_matching() {
+        let snap = parse_prometheus("w{worker=\"0\"} 1.5\nw{worker=\"1\"} 2.5\nother 9\n").unwrap();
+        assert_eq!(snap.matching("w").len(), 2);
+        assert!((snap.sum("w") - 4.0).abs() < 1e-12);
+        assert_eq!(snap.sum("missing"), 0.0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (bad, needle) in [
+            ("1bad 3\n", "invalid metric name"),
+            ("m{k=\"v\" 3\n", "invalid label name"),
+            ("m{k=\"v\"\n", "unterminated"),
+            ("m{k=v} 3\n", "expected '\"'"),
+            ("m notanumber\n", "invalid value"),
+            ("m 3 junk\n", "trailing junk"),
+            ("# TYPE m wat\n", "unknown metric type"),
+            ("m{k=\"\\x\"} 1\n", "bad escape"),
+        ] {
+            let e = parse_prometheus(bad).expect_err(bad);
+            assert!(e.message.contains(needle), "{bad:?} -> {e}");
+            assert_eq!(e.line, 1);
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let e = parse_prometheus("ok 1\nbroken{\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().starts_with("line 2:"));
+    }
+}

@@ -1,0 +1,552 @@
+//! The metrics registry and its four instrument kinds.
+//!
+//! Registration (name + label set → handle) takes a mutex exactly once
+//! per instrument; the returned handles are `Arc`'d atomics that the hot
+//! path updates lock-free. Counters shard their atomic across cache
+//! lines keyed by thread, so concurrent workers never contend on one
+//! line; shards are summed only at scrape time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shards per counter: enough that a worker fleet rarely collides.
+const SHARDS: usize = 8;
+
+/// A cache-line-isolated atomic cell.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Padded(AtomicU64);
+
+/// The shard this thread updates (assigned round-robin at first use).
+fn shard_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ID: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|i| *i % SHARDS)
+}
+
+/// Add a delta to an `f64` stored as bits in an [`AtomicU64`].
+fn float_add(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Monotone integer counter, sharded across cache lines.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    shards: Arc<[Padded; SHARDS]>,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (sum over shards).
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Monotone floating-point counter (e.g. busy seconds), sharded.
+#[derive(Debug, Clone, Default)]
+pub struct FloatCounter {
+    shards: Arc<[Padded; SHARDS]>,
+}
+
+impl FloatCounter {
+    /// Add `delta` (must be non-negative to stay monotone).
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        float_add(&self.shards[shard_id()].0, delta);
+    }
+
+    /// Current value (sum over shards).
+    pub fn value(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| f64::from_bits(s.0.load(Ordering::Relaxed)))
+            .sum()
+    }
+}
+
+/// Last-write-wins instantaneous value (queue depth, occupancy).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        float_add(&self.bits, delta);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram: counts per upper bound plus an overflow
+/// bucket, a running sum, and a sample count.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+#[derive(Debug)]
+struct HistInner {
+    /// Strictly ascending finite upper bounds.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the `+Inf` overflow at the end.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        Histogram {
+            inner: Arc::new(HistInner {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum_bits: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        float_add(&self.inner.sum_bits, v);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// `(upper bound, cumulative count)` pairs, ending with `+Inf`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.inner.counts.len());
+        for (i, c) in self.inner.counts.iter().enumerate() {
+            acc += c.load(Ordering::Relaxed);
+            let bound = self.inner.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// One flattened scrape sample (histograms expand into `_bucket`,
+/// `_sum`, and `_count` samples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (family name, possibly with a histogram suffix).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Counter),
+    Float(FloatCounter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) | Slot::Float(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+type Key = (String, Vec<(String, String)>);
+
+/// The instrument registry: a cheaply-cloneable handle, shared by every
+/// stage of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    slots: Arc<Mutex<BTreeMap<Key, Slot>>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Slot,
+    ) -> Slot {
+        let mut slots = self.slots.lock().expect("registry poisoned");
+        let k = key(name, labels);
+        if let Some(existing) = slots.get(&k) {
+            return existing.clone();
+        }
+        let slot = make();
+        // One family, one type: a name registered as a counter cannot
+        // reappear as a gauge.
+        if let Some(other) = slots
+            .iter()
+            .find(|((n, _), _)| n == name)
+            .map(|(_, s)| s.kind())
+        {
+            assert_eq!(
+                other,
+                slot.kind(),
+                "metric {name:?} registered with conflicting types"
+            );
+        }
+        slots.insert(k, slot.clone());
+        slot
+    }
+
+    /// The counter `name{labels}`, registering it on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Slot::Counter(Counter::default())) {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The float counter `name{labels}`, registering it on first use.
+    pub fn float_counter(&self, name: &str, labels: &[(&str, &str)]) -> FloatCounter {
+        match self.get_or_insert(name, labels, || Slot::Float(FloatCounter::default())) {
+            Slot::Float(c) => c,
+            other => panic!("metric {name:?} is a {}, not a float counter", other.kind()),
+        }
+    }
+
+    /// The gauge `name{labels}`, registering it on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Slot::Gauge(Gauge::default())) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram `name{labels}` with the given bucket upper bounds,
+    /// registering it on first use. Re-registration must use identical
+    /// buckets.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], buckets: &[f64]) -> Histogram {
+        match self.get_or_insert(name, labels, || Slot::Histogram(Histogram::new(buckets))) {
+            Slot::Histogram(h) => {
+                assert_eq!(
+                    h.inner.bounds, buckets,
+                    "histogram {name:?} re-registered with different buckets"
+                );
+                h
+            }
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Every sample currently in the registry, histograms expanded, in
+    /// deterministic (name, label) order.
+    pub fn samples(&self) -> Vec<Sample> {
+        let slots = self.slots.lock().expect("registry poisoned");
+        let mut out = Vec::new();
+        for ((name, labels), slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => out.push(Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: c.value() as f64,
+                }),
+                Slot::Float(c) => out.push(Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: c.value(),
+                }),
+                Slot::Gauge(g) => out.push(Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: g.value(),
+                }),
+                Slot::Histogram(h) => {
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let mut l = labels.clone();
+                        l.push(("le".to_string(), fmt_value(bound)));
+                        out.push(Sample {
+                            name: format!("{name}_bucket"),
+                            labels: l,
+                            value: cum as f64,
+                        });
+                    }
+                    out.push(Sample {
+                        name: format!("{name}_sum"),
+                        labels: labels.clone(),
+                        value: h.sum(),
+                    });
+                    out.push(Sample {
+                        name: format!("{name}_count"),
+                        labels: labels.clone(),
+                        value: h.count() as f64,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The value of the sample `name{labels}`, if present (histogram
+    /// sub-samples are addressed by their expanded names, e.g.
+    /// `foo_count`).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let (n, l) = key(name, labels);
+        self.samples()
+            .into_iter()
+            .find(|s| s.name == n && s.labels == l)
+            .map(|s| s.value)
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let slots = self.slots.lock().expect("registry poisoned");
+        // Group by family, preserving BTreeMap (sorted) order.
+        let mut out = String::new();
+        let mut last_family: Option<String> = None;
+        for ((name, labels), slot) in slots.iter() {
+            if last_family.as_deref() != Some(name.as_str()) {
+                out.push_str(&format!("# TYPE {name} {}\n", slot.kind()));
+                last_family = Some(name.clone());
+            }
+            match slot {
+                Slot::Counter(c) => {
+                    render_line(&mut out, name, labels, &[], c.value() as f64);
+                }
+                Slot::Float(c) => render_line(&mut out, name, labels, &[], c.value()),
+                Slot::Gauge(g) => render_line(&mut out, name, labels, &[], g.value()),
+                Slot::Histogram(h) => {
+                    for (bound, cum) in h.cumulative_buckets() {
+                        render_line(
+                            &mut out,
+                            &format!("{name}_bucket"),
+                            labels,
+                            &[("le", fmt_value(bound))],
+                            cum as f64,
+                        );
+                    }
+                    render_line(&mut out, &format!("{name}_sum"), labels, &[], h.sum());
+                    render_line(
+                        &mut out,
+                        &format!("{name}_count"),
+                        labels,
+                        &[],
+                        h.count() as f64,
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format a sample value: integers without a fraction, floats in their
+/// shortest round-trip form, infinities as Prometheus spells them.
+pub(crate) fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: &[(&str, String)],
+    value: f64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .chain(extra.iter().map(|(k, v)| (*k, v.clone())))
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{k}=\"{}\"", escape_label(&v)));
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&fmt_value(value));
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_shared_and_sums_shards() {
+        let reg = Registry::new();
+        let c = reg.counter("x_total", &[]);
+        let c2 = reg.counter("x_total", &[]);
+        c.add(3);
+        c2.inc();
+        assert_eq!(c.value(), 4);
+        assert_eq!(reg.value("x_total", &[]), Some(4.0));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let reg = Registry::new();
+        let c = reg.counter("hits_total", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[test]
+    fn float_counter_and_gauge() {
+        let reg = Registry::new();
+        let f = reg.float_counter("busy_seconds_total", &[("worker", "0")]);
+        f.add(0.25);
+        f.add(0.5);
+        assert!((f.value() - 0.75).abs() < 1e-12);
+        let g = reg.gauge("depth", &[]);
+        g.set(3.0);
+        g.set(7.0);
+        assert_eq!(g.value(), 7.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_seconds", &[], &[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 56.05).abs() < 1e-9);
+        let b = h.cumulative_buckets();
+        assert_eq!(b[0], (0.1, 1));
+        assert_eq!(b[1], (1.0, 3));
+        assert_eq!(b[2], (10.0, 4));
+        assert_eq!(b[3], (f64::INFINITY, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting types")]
+    fn type_conflicts_panic() {
+        let reg = Registry::new();
+        let _ = reg.counter("m", &[("a", "1")]);
+        let _ = reg.gauge("m", &[("a", "2")]);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_labelled() {
+        let reg = Registry::new();
+        reg.counter("b_total", &[("w", "1")]).add(2);
+        reg.counter("b_total", &[("w", "0")]).add(1);
+        reg.gauge("a_gauge", &[]).set(0.5);
+        let text = reg.render_prometheus();
+        let again = reg.render_prometheus();
+        assert_eq!(text, again);
+        // gauges sort before counters here (BTreeMap order by name)
+        let a = text.find("a_gauge 0.5").unwrap();
+        let b0 = text.find("b_total{w=\"0\"} 1").unwrap();
+        let b1 = text.find("b_total{w=\"1\"} 2").unwrap();
+        assert!(a < b0 && b0 < b1, "{text}");
+        assert!(text.contains("# TYPE b_total counter"));
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(3.0), "3");
+        assert_eq!(fmt_value(0.5), "0.5");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+    }
+}

@@ -7,6 +7,7 @@
 //! Re-exports the whole public API under stable module names:
 //!
 //! * [`types`] — prefixes, timelines, interval algebra
+//! * [`obs`] — metrics registry, Prometheus text codec, span tracer
 //! * [`dnswire`] — DNS codec + the passive telescope
 //! * [`netsim`] — the simulated Internet (topology, traffic, truth)
 //! * [`detector`] — the paper's passive Bayesian detector
@@ -26,6 +27,7 @@ pub use outage_core as detector;
 pub use outage_dnswire as dnswire;
 pub use outage_eval as eval;
 pub use outage_netsim as netsim;
+pub use outage_obs as obs;
 pub use outage_ripe as ripe;
 pub use outage_trinocular as trinocular;
 pub use outage_types as types;
