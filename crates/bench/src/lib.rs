@@ -20,4 +20,4 @@ pub use experiments::{
     table3, week, AblationResult, BaselineComparison, CoverageFigure, FaultsResult, Fig2aResult,
     Fig2bResult, Scale, TableResult,
 };
-pub use throughput::{throughput, PassTiming, ThroughputResult};
+pub use throughput::{throughput, ModelStoreTiming, PassTiming, ThroughputResult};

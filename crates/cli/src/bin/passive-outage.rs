@@ -22,15 +22,19 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
-    // `status` takes its snapshot as a positional path; everything else
-    // is flag-only.
+    // `status` and `model` take positional paths; everything else is
+    // flag-only.
     if cmd == "status" {
         return cmd_status(&args[1..]);
+    }
+    if cmd == "model" {
+        return cmd_model(&args[1..]);
     }
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "simulate" => cmd_simulate(&flags),
         "detect" => cmd_detect(&flags),
+        "learn" => cmd_learn(&flags),
         "eval" => cmd_eval(&flags),
         "coverage" => cmd_coverage(&flags),
         "telescope" => cmd_telescope(&flags),
@@ -52,6 +56,9 @@ fn usage() -> String {
      \x20           [--fault-plan FILE] [--sentinel] [--sentinel-bucket SECS]\n\
      \x20           [--quarantine-out FILE] [--workers N]\n\
      \x20           [--metrics-out FILE] [--trace-out FILE]\n\
+     \x20           [--model FILE | --model-out FILE]\n\
+     \x20 learn     --obs FILE --model-out FILE [--window SECS] [--workers N]\n\
+     \x20 model     inspect FILE | verify FILE | merge A B --out FILE\n\
      \x20 status    METRICS-FILE   (a --metrics-out snapshot)\n\
      \x20 eval      --observed FILE --truth FILE --window SECS\n\
      \x20           [--min-secs N] [--events] [--tolerance SECS] [--exclude FILE]\n\
@@ -100,6 +107,18 @@ fn read(path: &str) -> Result<String, String> {
 
 fn write(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Crash-safe write for operational artifacts (metrics, traces, model
+/// checkpoints): a reader — or a `status` invocation — must never see a
+/// half-written snapshot.
+fn write_atomic(path: &str, contents: &[u8]) -> Result<(), String> {
+    outage_store::atomic_write(std::path::Path::new(path), contents)
+        .map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn read_bytes(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))
 }
 
 fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -151,12 +170,21 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
             Err(e) => Err(format!("--workers {v:?}: {e}")),
         })
         .transpose()?;
+    if flags.contains_key("model") && flags.contains_key("model-out") {
+        return Err(
+            "--model and --model-out are mutually exclusive (warm start vs save-after-learn)"
+                .to_string(),
+        );
+    }
+    let model = flags.get("model").map(|p| read_bytes(p)).transpose()?;
     let opts = commands::DetectOptions {
         window_secs: window,
         fault_plan,
         sentinel,
         workers,
         trace: flags.contains_key("trace-out"),
+        model,
+        model_out: flags.contains_key("model-out"),
     };
     let result = commands::detect_with(&obs, &opts).map_err(|e| e.to_string())?;
     write(out, &result.events)?;
@@ -164,13 +192,76 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         write(qpath, &result.quarantine)?;
     }
     if let Some(mpath) = flags.get("metrics-out") {
-        write(mpath, &result.metrics)?;
+        write_atomic(mpath, result.metrics.as_bytes())?;
     }
     if let Some(tpath) = flags.get("trace-out") {
-        write(tpath, result.trace.as_deref().unwrap_or(""))?;
+        write_atomic(tpath, result.trace.as_deref().unwrap_or("").as_bytes())?;
+    }
+    if let Some(mpath) = flags.get("model-out") {
+        write_atomic(mpath, result.model.as_deref().unwrap_or(&[]))?;
     }
     eprintln!("{}", result.summary);
     Ok(())
+}
+
+fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), String> {
+    let obs = read(required(flags, "obs")?)?;
+    let window = flags
+        .get("window")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--window: {e}")))
+        .transpose()?;
+    let workers = flags
+        .get("workers")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|e| format!("--workers {v:?}: {e}"))
+        })
+        .transpose()?;
+    let out = required(flags, "model-out")?;
+    let result = commands::learn(&obs, window, workers).map_err(|e| e.to_string())?;
+    write_atomic(out, &result.model)?;
+    eprintln!("{}", result.summary);
+    Ok(())
+}
+
+fn cmd_model(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: passive-outage model inspect FILE | verify FILE | merge A B --out FILE";
+    let Some(action) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    match action.as_str() {
+        "inspect" => {
+            let [_, path] = args else {
+                return Err(USAGE.to_string());
+            };
+            let rendered =
+                commands::model_inspect(&read_bytes(path)?).map_err(|e| e.to_string())?;
+            print!("{rendered}");
+            Ok(())
+        }
+        "verify" => {
+            let [_, path] = args else {
+                return Err(USAGE.to_string());
+            };
+            let line = commands::model_verify(&read_bytes(path)?).map_err(|e| e.to_string())?;
+            println!("{line}");
+            Ok(())
+        }
+        "merge" => {
+            let [_, a, b, rest @ ..] = args else {
+                return Err(USAGE.to_string());
+            };
+            let flags = parse_flags(rest)?;
+            let out = required(&flags, "out")?;
+            let (bytes, summary) = commands::model_merge(&read_bytes(a)?, &read_bytes(b)?)
+                .map_err(|e| e.to_string())?;
+            write_atomic(out, &bytes)?;
+            eprintln!("{summary}");
+            Ok(())
+        }
+        other => Err(format!("unknown model action {other:?}\n{USAGE}")),
+    }
 }
 
 fn cmd_status(args: &[String]) -> Result<(), String> {

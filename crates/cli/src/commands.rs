@@ -2,6 +2,7 @@
 //! takes parsed inputs and returns the text it would print / write.
 
 use crate::format;
+use outage_core::LearnedModel;
 use outage_core::{
     coverage_by_width, detect_parallel, detect_parallel_with_sentinel, ConfigError, DetectorConfig,
     PassiveDetector, SentinelConfig,
@@ -9,9 +10,11 @@ use outage_core::{
 use outage_dnswire::Telescope;
 use outage_eval::{duration_table, event_table, summarize, DurationMatrix, EventMatrix};
 use outage_netsim::{FaultPlan, PacketFeed, Scenario};
-use outage_obs::{parse_prometheus, Obs, Snapshot};
+use outage_obs::{parse_prometheus, Obs, Snapshot, StoreMetrics};
+use outage_store::{decode_checkpoint, encode_checkpoint, Checkpoint, StoreError};
 use outage_types::{
-    durations, DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline, UnixTime,
+    durations, AddrFamily, DetectorId, Interval, IntervalSet, Observation, OutageEvent, Prefix,
+    Timeline, UnixTime,
 };
 use std::collections::HashMap;
 
@@ -37,6 +40,51 @@ impl From<ConfigError> for CommandError {
     fn from(e: ConfigError) -> Self {
         CommandError(format!("invalid detector configuration: {e}"))
     }
+}
+
+impl From<StoreError> for CommandError {
+    fn from(e: StoreError) -> Self {
+        CommandError(format!("model checkpoint: {e}"))
+    }
+}
+
+impl From<outage_core::ModelError> for CommandError {
+    fn from(e: outage_core::ModelError) -> Self {
+        CommandError(format!("model merge: {e}"))
+    }
+}
+
+/// The window a document is detected (and learned) over: explicit
+/// seconds, or the last observation rounded up to a whole day.
+fn detection_window(
+    observations: &[Observation],
+    window_secs: Option<u64>,
+) -> Result<Interval, CommandError> {
+    let max_t = observations
+        .iter()
+        .map(|o| o.time.secs())
+        .max()
+        .expect("non-empty");
+    let window_end = window_secs.unwrap_or_else(|| max_t.div_ceil(durations::DAY) * durations::DAY);
+    if window_end <= max_t && window_secs.is_some() {
+        return Err(CommandError(format!(
+            "--window {window_end} does not cover the last observation at {max_t}"
+        )));
+    }
+    Ok(Interval::new(UnixTime::EPOCH, UnixTime(window_end)))
+}
+
+/// Worker-count resolution shared by `learn` and `detect`.
+fn resolve_workers(workers: Option<usize>) -> Result<usize, CommandError> {
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    if workers == 0 {
+        return Err(CommandError("--workers must be at least 1".into()));
+    }
+    Ok(workers)
 }
 
 /// Scenario presets nameable from the command line.
@@ -114,6 +162,9 @@ pub struct DetectOutput {
     pub metrics: String,
     /// Span trace as JSON lines (only when tracing was requested).
     pub trace: Option<String>,
+    /// Encoded model checkpoint of the learned histories (only when
+    /// [`DetectOptions::model_out`] was set).
+    pub model: Option<Vec<u8>>,
     /// Human summary.
     pub summary: String,
 }
@@ -134,6 +185,15 @@ pub struct DetectOptions {
     /// Record structured spans (for `--trace-out`). Metrics are always
     /// collected; only span tracing is opt-in.
     pub trace: bool,
+    /// An encoded model checkpoint (`learn --model-out`): warm-start by
+    /// skipping the history pass entirely. The checkpoint's config
+    /// fingerprint and history window must match this run's.
+    pub model: Option<Vec<u8>>,
+    /// Encode the learned model into [`DetectOutput::model`] so the
+    /// caller can persist it (`detect --model-out`). Meaningless — and
+    /// rejected — together with `model`: a warm-started run has nothing
+    /// newly learned to save.
+    pub model_out: bool,
 }
 
 /// `detect`: run the passive detector over an observation document.
@@ -176,29 +236,8 @@ pub fn detect_with(
             plan.faulted().total()
         );
     }
-    let max_t = observations
-        .iter()
-        .map(|o| o.time.secs())
-        .max()
-        .expect("non-empty");
-    let window_end = opts
-        .window_secs
-        .unwrap_or_else(|| max_t.div_ceil(durations::DAY) * durations::DAY);
-    if window_end <= max_t && opts.window_secs.is_some() {
-        return Err(CommandError(format!(
-            "--window {window_end} does not cover the last observation at {max_t}"
-        )));
-    }
-    let window = Interval::new(UnixTime::EPOCH, UnixTime(window_end));
-
-    let workers = opts.workers.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
-    if workers == 0 {
-        return Err(CommandError("--workers must be at least 1".into()));
-    }
+    let window = detection_window(&observations, opts.window_secs)?;
+    let workers = resolve_workers(opts.workers)?;
 
     let obs = if opts.trace {
         Obs::with_tracing()
@@ -206,10 +245,70 @@ pub fn detect_with(
         Obs::new()
     };
     let detector = PassiveDetector::try_new(DetectorConfig::default())?.with_obs(obs.clone());
+    if opts.model.is_some() && opts.model_out {
+        return Err(CommandError(
+            "--model and --model-out are mutually exclusive: a warm-started run \
+             skips learning, so there is no newly learned model to save"
+                .into(),
+        ));
+    }
     // Both passes go through the parallel path by default: sharded
     // history learning, then the router/worker detection driver (both
-    // produce results identical to the sequential pipeline).
-    let histories = detector.learn_histories_parallel(&observations, window, workers);
+    // produce results identical to the sequential pipeline). A supplied
+    // checkpoint replaces the learning pass entirely (warm start).
+    let mut warm_note = String::new();
+    let mut model_bytes = None;
+    let histories = match &opts.model {
+        Some(bytes) => {
+            let metrics = StoreMetrics::register(&obs.registry);
+            let checkpoint = match decode_checkpoint(bytes) {
+                Ok(c) => c,
+                Err(e) => {
+                    if matches!(
+                        e,
+                        StoreError::ChecksumMismatch { .. } | StoreError::Inconsistent { .. }
+                    ) {
+                        metrics.checksum_failures.inc();
+                    }
+                    return Err(e.into());
+                }
+            };
+            metrics.bytes_read.add(bytes.len() as u64);
+            let expected = detector.config().fingerprint();
+            if checkpoint.fingerprint != expected {
+                return Err(StoreError::FingerprintMismatch {
+                    expected,
+                    found: checkpoint.fingerprint,
+                }
+                .into());
+            }
+            if checkpoint.model.window() != window {
+                return Err(CommandError(format!(
+                    "checkpoint history window {} does not match the detection window {} \
+                     (pass --window {} to align them)",
+                    checkpoint.model.window(),
+                    window,
+                    checkpoint.model.window().end.secs()
+                )));
+            }
+            metrics.warm_start_hits.inc();
+            warm_note = " [warm start from checkpoint]".to_string();
+            checkpoint.model.into_indexed()
+        }
+        None if opts.model_out => {
+            let model = detector.learn_model(&observations, window, workers);
+            let encoded = encode_checkpoint(&Checkpoint {
+                fingerprint: detector.config().fingerprint(),
+                model: model.clone(),
+            });
+            StoreMetrics::register(&obs.registry)
+                .bytes_written
+                .add(encoded.len() as u64);
+            model_bytes = Some(encoded);
+            model.into_indexed()
+        }
+        None => detector.learn_histories_parallel(&observations, window, workers),
+    };
     let report = match &opts.sentinel {
         None => detect_parallel(
             &detector,
@@ -241,11 +340,12 @@ pub fn detect_with(
     };
     let d = report.diagnostics();
     let summary = format!(
-        "window {}: {} observations{}, {} blocks covered ({} uncovered), {} outage events \
+        "window {}: {} observations{}{}, {} blocks covered ({} uncovered), {} outage events \
          ({} via bins, {} via exact-timestamp gaps){}, {} workers\n{}",
         window,
         observations.len(),
         fault_note,
+        warm_note,
         report.covered_blocks(),
         report.uncovered.len(),
         events.len(),
@@ -260,8 +360,131 @@ pub fn detect_with(
         quarantine: format::render_intervals(&report.quarantined),
         metrics: obs.registry.render_prometheus(),
         trace: obs.tracer.as_ref().map(|t| t.to_jsonl()),
+        model: model_bytes,
         summary,
     })
+}
+
+/// Output of `learn`.
+#[derive(Debug)]
+pub struct LearnOutput {
+    /// The encoded model checkpoint (for `--model-out`).
+    pub model: Vec<u8>,
+    /// Human summary.
+    pub summary: String,
+}
+
+/// `learn`: run only the history pass over an observation document and
+/// produce a model checkpoint for later warm-start detection or
+/// incremental merging.
+pub fn learn(
+    observations_doc: &str,
+    window_secs: Option<u64>,
+    workers: Option<usize>,
+) -> Result<LearnOutput, CommandError> {
+    let observations = format::parse_observations(observations_doc)?;
+    if observations.is_empty() {
+        return Err(CommandError("no observations in input".into()));
+    }
+    let window = detection_window(&observations, window_secs)?;
+    let workers = resolve_workers(workers)?;
+    let detector = PassiveDetector::try_new(DetectorConfig::default())?;
+    let model = detector.learn_model(&observations, window, workers);
+    let summary = format!(
+        "learned {} block histories from {} observations over {} ({} workers, fingerprint {:#018x})",
+        model.len(),
+        observations.len(),
+        window,
+        workers,
+        detector.config().fingerprint(),
+    );
+    let encoded = encode_checkpoint(&Checkpoint {
+        fingerprint: detector.config().fingerprint(),
+        model,
+    });
+    Ok(LearnOutput {
+        model: encoded,
+        summary,
+    })
+}
+
+/// `model inspect`: human-readable view of a checkpoint's header and
+/// shape (fully validates the file along the way).
+pub fn model_inspect(bytes: &[u8]) -> Result<String, CommandError> {
+    let checkpoint = decode_checkpoint(bytes)?;
+    let model = &checkpoint.model;
+    let v4 = model
+        .index()
+        .prefixes()
+        .iter()
+        .filter(|p| p.family() == AddrFamily::V4)
+        .count();
+    let v6 = model.len() - v4;
+    let total_events: u64 = model.indexed().histories().iter().map(|h| h.total).sum();
+    let shaped = model
+        .indexed()
+        .histories()
+        .iter()
+        .filter(|h| h.shape_estimated)
+        .count();
+    Ok(format!(
+        "model checkpoint ({} bytes, format v{})\n\
+         \x20 fingerprint   {:#018x}\n\
+         \x20 window        {} ({} hour rows)\n\
+         \x20 blocks        {} ({v4} IPv4, {v6} IPv6; {shaped} with estimated diurnal shape)\n\
+         \x20 arrivals      {total_events}\n",
+        bytes.len(),
+        outage_store::VERSION,
+        checkpoint.fingerprint,
+        model.window(),
+        model.hours(),
+        model.len(),
+    ))
+}
+
+/// `model verify`: full structural validation (CRCs, section
+/// consistency, arena/history agreement). Returns a one-line bill of
+/// health; any corruption surfaces as the typed store error.
+pub fn model_verify(bytes: &[u8]) -> Result<String, CommandError> {
+    let checkpoint = decode_checkpoint(bytes)?;
+    Ok(format!(
+        "ok: {} bytes, {} blocks over {}, fingerprint {:#018x}",
+        bytes.len(),
+        checkpoint.model.len(),
+        checkpoint.model.window(),
+        checkpoint.fingerprint,
+    ))
+}
+
+/// `model merge`: combine two checkpoints over identical or adjacent
+/// history windows into one. Both must carry the same config
+/// fingerprint — models learned under different configurations do not
+/// mix.
+pub fn model_merge(a_bytes: &[u8], b_bytes: &[u8]) -> Result<(Vec<u8>, String), CommandError> {
+    let a = decode_checkpoint(a_bytes)?;
+    let b = decode_checkpoint(b_bytes)?;
+    if a.fingerprint != b.fingerprint {
+        return Err(CommandError(format!(
+            "checkpoints were learned under different configurations \
+             ({:#018x} vs {:#018x}) and cannot be merged",
+            a.fingerprint, b.fingerprint
+        )));
+    }
+    let merged = LearnedModel::merge(&a.model, &b.model)?;
+    let summary = format!(
+        "merged {} + {} blocks over {} + {} into {} blocks over {}",
+        a.model.len(),
+        b.model.len(),
+        a.model.window(),
+        b.model.window(),
+        merged.len(),
+        merged.window(),
+    );
+    let encoded = encode_checkpoint(&Checkpoint {
+        fingerprint: a.fingerprint,
+        model: merged,
+    });
+    Ok((encoded, summary))
 }
 
 /// `coverage`: the Figure-1 curve for an observation document.
@@ -883,5 +1106,158 @@ mod tests {
         // outage; both prefixes accounted for the full window
         assert!(table.contains("fa = 700"), "{table}");
         assert!(table.contains("fo = 700"), "{table}");
+    }
+
+    #[test]
+    fn learn_then_warm_detect_matches_cold_detect() {
+        let sim = simulate("quick", 40, 21).unwrap();
+        let cold = detect(&sim.observations, Some(86_400)).unwrap();
+
+        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
+        assert!(
+            learned.summary.contains("fingerprint"),
+            "{}",
+            learned.summary
+        );
+
+        let warm = detect_with(
+            &sim.observations,
+            &DetectOptions {
+                window_secs: Some(86_400),
+                model: Some(learned.model.clone()),
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.events, cold.events, "warm start changed the verdicts");
+        assert_eq!(warm.quarantine, cold.quarantine);
+        assert!(warm.summary.contains("warm start"), "{}", warm.summary);
+        assert!(!cold.summary.contains("warm start"));
+        // The warm run's snapshot must record the store traffic.
+        let snap = parse_prometheus(&warm.metrics).unwrap();
+        assert_eq!(
+            snap.value("po_store_warm_start_hits_total", &[]).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            snap.value("po_store_bytes_read_total", &[]).unwrap(),
+            learned.model.len() as f64
+        );
+    }
+
+    #[test]
+    fn detect_model_out_emits_a_loadable_checkpoint() {
+        let sim = simulate("quick", 40, 22).unwrap();
+        let out = detect_with(
+            &sim.observations,
+            &DetectOptions {
+                window_secs: Some(86_400),
+                model_out: true,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap();
+        let bytes = out.model.expect("model_out must populate the checkpoint");
+        assert!(model_verify(&bytes).unwrap().starts_with("ok: "));
+        // It matches what `learn` would have produced byte for byte.
+        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
+        assert_eq!(bytes, learned.model);
+        let snap = parse_prometheus(&out.metrics).unwrap();
+        assert_eq!(
+            snap.value("po_store_bytes_written_total", &[]).unwrap(),
+            bytes.len() as f64
+        );
+    }
+
+    #[test]
+    fn model_and_model_out_are_mutually_exclusive() {
+        let sim = simulate("quick", 40, 23).unwrap();
+        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
+        let err = detect_with(
+            &sim.observations,
+            &DetectOptions {
+                window_secs: Some(86_400),
+                model: Some(learned.model),
+                model_out: true,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn warm_detect_rejects_mismatched_window_with_a_hint() {
+        let sim = simulate("quick", 40, 24).unwrap();
+        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
+        let err = detect_with(
+            &sim.observations,
+            &DetectOptions {
+                window_secs: Some(2 * 86_400),
+                model: Some(learned.model),
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--window"), "{err}");
+    }
+
+    #[test]
+    fn model_inspect_and_corrupt_checkpoints() {
+        let sim = simulate("quick", 40, 25).unwrap();
+        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
+        let report = model_inspect(&learned.model).unwrap();
+        assert!(report.contains("fingerprint"), "{report}");
+        assert!(report.contains("IPv4"), "{report}");
+
+        // A flipped byte must surface as a typed checkpoint error, for
+        // inspect, verify, and warm-start detect alike.
+        let mut bad = learned.model.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(model_inspect(&bad).is_err());
+        let err = model_verify(&bad).unwrap_err();
+        assert!(err.to_string().contains("model checkpoint"), "{err}");
+        let err = detect_with(
+            &sim.observations,
+            &DetectOptions {
+                window_secs: Some(86_400),
+                model: Some(bad),
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("model checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn model_merge_of_split_feeds_matches_whole_feed_learning() {
+        // CLI windows always start at the epoch, so the CLI-reachable
+        // merge case is identical windows: two halves of one feed, each
+        // learned over the full window, merge by count addition into
+        // exactly the checkpoint one-pass learning would produce.
+        let doc = steady_feed_doc(); // two days of steady traffic
+        let split = |keep: fn(u64) -> bool| -> String {
+            doc.lines()
+                .filter(|l| {
+                    l.starts_with('#')
+                        || l.split_once(' ')
+                            .is_some_and(|(t, _)| keep(t.parse::<u64>().unwrap()))
+                })
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        let day1 = split(|t| t < 86_400);
+        let day2 = split(|t| t >= 86_400);
+        let window = Some(2 * 86_400);
+
+        let a = learn(&day1, window, Some(1)).unwrap();
+        let b = learn(&day2, window, Some(1)).unwrap();
+        let (merged, summary) = model_merge(&a.model, &b.model).unwrap();
+        assert!(summary.contains("merged"), "{summary}");
+        assert!(model_verify(&merged).unwrap().starts_with("ok: "));
+
+        let whole = learn(&doc, window, Some(1)).unwrap();
+        assert_eq!(merged, whole.model, "merge must equal one-pass learning");
     }
 }

@@ -301,6 +301,184 @@ fn telescope_command_prints_breakdown() {
 }
 
 #[test]
+fn learn_verify_warm_detect_and_merge_through_the_binary() {
+    let dir = tmpdir("model");
+    let obs = dir.join("obs.txt");
+    let model = dir.join("model.poms");
+    let cold_events = dir.join("cold.txt");
+    let warm_events = dir.join("warm.txt");
+
+    let out = bin()
+        .args([
+            "simulate",
+            "--preset",
+            "quick",
+            "--seed",
+            "9",
+            "--num-as",
+            "30",
+            "--out",
+            obs.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn simulate");
+    assert!(
+        out.status.success(),
+        "simulate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // learn → checkpoint on disk
+    let out = bin()
+        .args([
+            "learn",
+            "--obs",
+            obs.to_str().unwrap(),
+            "--window",
+            "86400",
+            "--model-out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn learn");
+    assert!(
+        out.status.success(),
+        "learn: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fingerprint"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(model.exists());
+
+    // verify + inspect accept the checkpoint
+    let out = bin()
+        .args(["model", "verify", model.to_str().unwrap()])
+        .output()
+        .expect("spawn model verify");
+    assert!(
+        out.status.success(),
+        "verify: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("ok: "));
+    let out = bin()
+        .args(["model", "inspect", model.to_str().unwrap()])
+        .output()
+        .expect("spawn model inspect");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("blocks"));
+
+    // cold detect vs warm detect from the checkpoint: identical events
+    let out = bin()
+        .args([
+            "detect",
+            "--obs",
+            obs.to_str().unwrap(),
+            "--window",
+            "86400",
+            "--out",
+            cold_events.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn cold detect");
+    assert!(out.status.success());
+    let out = bin()
+        .args([
+            "detect",
+            "--obs",
+            obs.to_str().unwrap(),
+            "--window",
+            "86400",
+            "--model",
+            model.to_str().unwrap(),
+            "--out",
+            warm_events.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn warm detect");
+    assert!(
+        out.status.success(),
+        "warm detect: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("warm start"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let cold = std::fs::read_to_string(&cold_events).unwrap();
+    let warm = std::fs::read_to_string(&warm_events).unwrap();
+    assert_eq!(cold, warm, "warm start changed the event document");
+
+    // merge: a checkpoint merged with itself doubles the counts and
+    // still verifies; --model with --model-out is refused.
+    let merged = dir.join("merged.poms");
+    let out = bin()
+        .args([
+            "model",
+            "merge",
+            model.to_str().unwrap(),
+            model.to_str().unwrap(),
+            "--out",
+            merged.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn model merge");
+    assert!(
+        out.status.success(),
+        "merge: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args(["model", "verify", merged.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args([
+            "detect",
+            "--obs",
+            obs.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--model-out",
+            dir.join("again.poms").to_str().unwrap(),
+            "--out",
+            dir.join("events.txt").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // corrupt checkpoint → typed error through the binary
+    let mut bytes = std::fs::read(&model).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&model, &bytes).unwrap();
+    let out = bin()
+        .args(["model", "verify", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("model checkpoint"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn helpful_errors_and_exit_codes() {
     // no command
     let out = bin().output().unwrap();

@@ -205,6 +205,41 @@ impl DetectorConfig {
         (lambda * self.leak_fraction).max(self.leak_floor)
     }
 
+    /// A stable 64-bit fingerprint of every knob that shapes a learned
+    /// model or a judgement made against it. Saved into model
+    /// checkpoints so a warm start can refuse state learned under a
+    /// different configuration: two configs compare equal iff their
+    /// fingerprints do (floats are hashed by bit pattern, so even
+    /// `-0.0` vs `0.0` distinguishes).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.bin_widths.len() as u64);
+        for w in &self.bin_widths {
+            h.u64(*w);
+        }
+        h.f64(self.min_expected_per_bin);
+        h.f64(self.down_threshold);
+        h.f64(self.up_threshold);
+        h.f64(self.belief_floor);
+        h.f64(self.belief_ceiling);
+        h.f64(self.initial_belief);
+        h.f64(self.leak_fraction);
+        h.f64(self.leak_floor);
+        h.f64(self.gap_margin_log_odds);
+        h.u64(self.use_exact_timestamps as u64);
+        h.u64(self.min_gap_outage_secs);
+        h.u64(self.diurnal_model as u64);
+        match &self.aggregation {
+            None => h.u64(0),
+            Some(a) => {
+                h.u64(1);
+                h.u64(a.v4_min_len as u64);
+                h.u64(a.v6_min_len as u64);
+            }
+        }
+        h.finish()
+    }
+
     /// Validate invariants; returns the first violated one.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.bin_widths.is_empty() {
@@ -239,6 +274,32 @@ impl DetectorConfig {
             return Err(ConfigError::BadLeakFraction);
         }
         Ok(())
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms and
+/// releases — exactly what an on-disk fingerprint needs (`DefaultHasher`
+/// explicitly reserves the right to change between Rust versions).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

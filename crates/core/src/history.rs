@@ -17,7 +17,7 @@ use std::collections::HashMap;
 const TRIM_FRACTION: f64 = 0.25;
 
 /// Learned traffic model for one block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BlockHistory {
     /// The block.
     pub prefix: Prefix,
@@ -31,6 +31,32 @@ pub struct BlockHistory {
     /// Whether `hourly_shape` was actually estimated from data (false for
     /// blocks with too few events, whose shape is the flat fallback).
     pub shape_estimated: bool,
+}
+
+/// Tolerance-free bitwise `f64` equality: `NaN == NaN`, `-0.0 != 0.0`.
+///
+/// This is the equality a model *store* needs — "did the round trip
+/// preserve every bit" — not numeric closeness. A derived `PartialEq`
+/// would use IEEE `==`, under which a NaN smuggled into a checkpoint
+/// compares unequal to itself and silently poisons every equality-based
+/// test; bit comparison keeps such a model comparable (and detectable).
+#[inline]
+pub fn f64_bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+impl PartialEq for BlockHistory {
+    fn eq(&self, other: &Self) -> bool {
+        self.prefix == other.prefix
+            && self.total == other.total
+            && self.shape_estimated == other.shape_estimated
+            && f64_bits_eq(self.lambda, other.lambda)
+            && self
+                .hourly_shape
+                .iter()
+                .zip(other.hourly_shape.iter())
+                .all(|(a, b)| f64_bits_eq(*a, *b))
+    }
 }
 
 impl BlockHistory {
@@ -197,6 +223,15 @@ impl HistoryBuilder {
             histories,
         }
     }
+
+    /// Finish keeping *everything*: the built histories plus the raw
+    /// per-hour count arena they were built from. The arena is the
+    /// mergeable primitive of the model store — two checkpoints over
+    /// adjacent windows recombine by arena, then rebuild histories,
+    /// rather than by approximating from the derived rates.
+    pub fn into_model(self) -> crate::model::LearnedModel {
+        crate::model::LearnedModel::from_builder_parts(self.window, self.index, self.counts)
+    }
 }
 
 /// Learned histories keyed by a dense [`BlockIndex`]: `O(1)` flat lookup
@@ -209,9 +244,33 @@ pub struct IndexedHistories {
 }
 
 impl IndexedHistories {
+    /// Reassemble from an index and its parallel history vector (the
+    /// model store's load path). Rejects structurally inconsistent
+    /// parts: a length mismatch, or a history filed under the wrong
+    /// block.
+    pub fn from_parts(
+        index: BlockIndex,
+        histories: Vec<BlockHistory>,
+    ) -> Result<IndexedHistories, &'static str> {
+        if index.len() != histories.len() {
+            return Err("index and history lengths differ");
+        }
+        for (id, h) in histories.iter().enumerate() {
+            if index.prefix(id as u32) != h.prefix {
+                return Err("history filed under the wrong block id");
+            }
+        }
+        Ok(IndexedHistories { index, histories })
+    }
+
     /// The interning index (block ↔ id).
     pub fn index(&self) -> &BlockIndex {
         &self.index
+    }
+
+    /// All histories, parallel to the index (id order).
+    pub fn histories(&self) -> &[BlockHistory] {
+        &self.histories
     }
 
     /// Number of blocks with a learned history.
@@ -285,7 +344,7 @@ impl HistorySource for IndexedHistories {
     }
 }
 
-fn build_history(prefix: Prefix, hourly: &[u64], window: Interval) -> BlockHistory {
+pub(crate) fn build_history(prefix: Prefix, hourly: &[u64], window: Interval) -> BlockHistory {
     let total: u64 = hourly.iter().sum();
     let lambda = trimmed_mean_rate(hourly, window);
     let (hourly_shape, shape_estimated) = hourly_shape(hourly, window);

@@ -58,6 +58,7 @@ pub mod coverage;
 pub mod detector;
 pub mod history;
 pub mod index;
+pub mod model;
 pub mod parallel;
 pub mod pipeline;
 pub mod sentinel;
@@ -70,8 +71,9 @@ pub use config::{AggregationConfig, ConfigError, DetectorConfig};
 pub use correlate::{fuse_beliefs, fuse_timelines};
 pub use coverage::{coverage_by_width, spatial_coverage, CoveragePoint, SpatialCoverage};
 pub use detector::{UnitDetector, UnitDiagnostics, UnitReport};
-pub use history::{BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
+pub use history::{f64_bits_eq, BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 pub use index::BlockIndex;
+pub use model::{LearnedModel, ModelError};
 pub use parallel::{detect_parallel, detect_parallel_with_sentinel};
 pub use pipeline::{DetectionReport, PassiveDetector};
 pub use sentinel::{FeedHealth, FeedSentinel, SentinelAccounting, SentinelConfig};

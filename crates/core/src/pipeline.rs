@@ -20,6 +20,7 @@ use crate::config::{ConfigError, DetectorConfig};
 use crate::detector::{UnitDetector, UnitDiagnostics, UnitReport};
 use crate::history::{BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 use crate::index::BlockIndex;
+use crate::model::LearnedModel;
 use crate::sentinel::{FeedSentinel, SentinelConfig};
 use outage_obs::{span, Obs, Registry, DURATION_BUCKETS, LATENCY_BUCKETS};
 use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline, UnixTime};
@@ -279,9 +280,48 @@ impl PassiveDetector {
         window: Interval,
         workers: usize,
     ) -> IndexedHistories {
+        match self.learn_builder(observations, window, workers) {
+            None => self.learn_histories_indexed(observations.iter().copied(), window),
+            Some(hb) => hb.build_indexed(),
+        }
+    }
+
+    /// Learn a checkpointable [`LearnedModel`]: the same sharded pass as
+    /// [`Self::learn_histories_parallel`], but the per-hour count arena
+    /// is kept alongside the built histories so the result can be saved,
+    /// merged with an adjacent window's model, and warm-started from.
+    /// Produces bit-identical histories to the plain learn paths.
+    pub fn learn_model(
+        &self,
+        observations: &[Observation],
+        window: Interval,
+        workers: usize,
+    ) -> LearnedModel {
+        match self.learn_builder(observations, window, workers) {
+            None => {
+                let mut sp = span!(self.obs, "learn");
+                let t0 = Instant::now();
+                let mut hb = HistoryBuilder::new(window);
+                hb.record_all(observations.iter().copied());
+                sp.field("blocks", hb.block_count());
+                self.observe_stage("learn", t0);
+                hb.into_model()
+            }
+            Some(hb) => hb.into_model(),
+        }
+    }
+
+    /// Shared sharded history pass. Returns `None` when the input is too
+    /// small to shard (callers fall back to their sequential variant).
+    fn learn_builder(
+        &self,
+        observations: &[Observation],
+        window: Interval,
+        workers: usize,
+    ) -> Option<HistoryBuilder> {
         let workers = workers.max(1);
         if workers == 1 || observations.len() < 2 * workers {
-            return self.learn_histories_indexed(observations.iter().copied(), window);
+            return None;
         }
         let mut sp = span!(self.obs, "learn", workers = workers);
         let t0 = Instant::now();
@@ -320,7 +360,7 @@ impl PassiveDetector {
         }
         sp.field("blocks", merged.block_count());
         self.observe_stage("learn", t0);
-        merged.build_indexed()
+        Some(merged)
     }
 
     /// Plan detection units from learned histories (diurnal-trough

@@ -57,10 +57,12 @@
 
 pub mod prometheus;
 pub mod registry;
+pub mod store;
 pub mod trace;
 
 pub use prometheus::{parse_prometheus, PromParseError, Snapshot};
 pub use registry::{Counter, FloatCounter, Gauge, Histogram, Registry, Sample};
+pub use store::StoreMetrics;
 pub use trace::{Field, SpanGuard, SpanRecord, Tracer};
 
 /// Default buckets (seconds) for stage-latency histograms: microseconds

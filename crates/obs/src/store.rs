@@ -1,0 +1,68 @@
+//! Instrument bundle for the model store.
+//!
+//! The checkpoint store (crate `outage-store`) reports its traffic
+//! through these counters so a scrape of the pipeline registry shows
+//! persistence health next to detection health: how many bytes of model
+//! state moved, whether any checkpoint failed its checksum, and how
+//! often detection warm-started instead of re-learning.
+
+use crate::registry::{Counter, Registry};
+
+/// Resolved handles for the model-store counters, registered once and
+/// then updated with plain atomic adds.
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// `po_store_bytes_written_total` — checkpoint bytes published.
+    pub bytes_written: Counter,
+    /// `po_store_bytes_read_total` — checkpoint bytes loaded.
+    pub bytes_read: Counter,
+    /// `po_store_checksum_failures_total` — loads rejected by a CRC or
+    /// structural-consistency check.
+    pub checksum_failures: Counter,
+    /// `po_store_warm_start_hits_total` — detections that skipped the
+    /// learn pass by loading a fingerprint-matched checkpoint.
+    pub warm_start_hits: Counter,
+}
+
+impl StoreMetrics {
+    /// Register (or re-resolve) the store counters in `registry`.
+    pub fn register(registry: &Registry) -> StoreMetrics {
+        StoreMetrics {
+            bytes_written: registry.counter("po_store_bytes_written_total", &[]),
+            bytes_read: registry.counter("po_store_bytes_read_total", &[]),
+            checksum_failures: registry.counter("po_store_checksum_failures_total", &[]),
+            warm_start_hits: registry.counter("po_store_warm_start_hits_total", &[]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_counters_appear_in_prometheus_snapshot() {
+        let registry = Registry::new();
+        let m = StoreMetrics::register(&registry);
+        m.bytes_written.add(128);
+        m.warm_start_hits.inc();
+        let text = registry.render_prometheus();
+        assert!(text.contains("po_store_bytes_written_total 128"), "{text}");
+        assert!(text.contains("po_store_warm_start_hits_total 1"), "{text}");
+        assert!(
+            text.contains("po_store_checksum_failures_total 0"),
+            "{text}"
+        );
+        assert!(text.contains("po_store_bytes_read_total 0"), "{text}");
+    }
+
+    #[test]
+    fn register_twice_shares_the_same_instruments() {
+        let registry = Registry::new();
+        let a = StoreMetrics::register(&registry);
+        let b = StoreMetrics::register(&registry);
+        a.checksum_failures.inc();
+        b.checksum_failures.inc();
+        assert_eq!(a.checksum_failures.value(), 2);
+    }
+}

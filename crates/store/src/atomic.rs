@@ -1,0 +1,98 @@
+//! Crash-safe file publication: write-to-temp, fsync, rename.
+//!
+//! A reader must never observe a half-written checkpoint (or metrics
+//! snapshot — the CLI reuses this helper for `--metrics-out` and
+//! `--trace-out`). POSIX `rename(2)` within one directory is atomic, so
+//! the visible path always holds either the old complete file or the new
+//! complete file; the temp file is fsynced before the rename and the
+//! directory after it, so the publication survives power loss too.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Atomically replace `path` with `bytes`.
+///
+/// The temp file lives in `path`'s directory (rename is only atomic
+/// within a filesystem) and carries the pid, so concurrent writers
+/// cannot collide on it. On any error the temp file is removed;
+/// `path` is never left truncated.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+
+    let publish = (|| -> io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself. Directories cannot be fsynced on
+        // every platform; failure to open one is not a data-loss risk
+        // for the bytes already synced, so this stage is best-effort.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+
+    if publish.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    publish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("outage-store-atomic-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmpdir("replace");
+        let path = dir.join("snapshot.bin");
+        atomic_write(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        // No temp debris left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bare_relative_path_works() {
+        // `path.parent()` is `Some("")` for a bare file name; the helper
+        // must fall back to the current directory, not panic.
+        let name = format!("atomic-bare-{}.tmp-test", std::process::id());
+        atomic_write(Path::new(&name), b"x").unwrap();
+        assert_eq!(fs::read(&name).unwrap(), b"x");
+        let _ = fs::remove_file(&name);
+    }
+
+    #[test]
+    fn missing_directory_errors_cleanly() {
+        let path = Path::new("/nonexistent-dir-for-sure/f.bin");
+        assert!(atomic_write(path, b"x").is_err());
+    }
+}

@@ -1,0 +1,508 @@
+//! The checkpoint wire format: encode and (paranoid) decode.
+//!
+//! Layout, version 1, all integers little-endian:
+//!
+//! ```text
+//! offset size
+//!  0      4   magic  b"POMS"
+//!  4      2   format version (= 1)
+//!  6      2   reserved (= 0)
+//!  8      8   DetectorConfig fingerprint (FNV-1a 64)
+//! 16      8   history window start, unix seconds
+//! 24      8   history window end, unix seconds (exclusive)
+//! 32      4   section count (= 3)
+//! 36      4   CRC32 of bytes [0, 36)
+//! 40      —   sections, in fixed order: INDX, CNTS, HIST
+//! ```
+//!
+//! Each section is framed `tag[4] · payload_len u64 · payload_crc u32 ·
+//! payload`. Payloads:
+//!
+//! * `INDX` — `u32` block count, then each prefix in block-id order:
+//!   family byte (4 or 6), prefix length `u8`, network address
+//!   (`u32`/`u128`, canonical: host bits zero).
+//! * `CNTS` — `u32` hour-row length, then `blocks × hours` `u64`
+//!   arrival counts (the mergeable primitive).
+//! * `HIST` — per block: prefix, `lambda` (f64 bits), total `u64`,
+//!   24 × hourly-shape multipliers (f64 bits), shape-estimated flag.
+//!
+//! The decoder rebuilds histories from `CNTS` and demands they equal
+//! `HIST` bit-for-bit — so a checkpoint written by a binary whose
+//! derivation code has drifted from this one's is rejected as
+//! [`StoreError::Inconsistent`] rather than silently trusted.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use outage_core::{BlockHistory, BlockIndex, LearnedModel};
+use outage_types::{Interval, Prefix, UnixTime};
+
+/// First four bytes of every checkpoint: Passive Outage Model Store.
+pub const MAGIC: [u8; 4] = *b"POMS";
+/// The format version this binary writes and reads.
+pub const VERSION: u16 = 1;
+
+const SECTION_COUNT: u32 = 3;
+const HEADER_LEN: usize = 40;
+
+/// A decoded checkpoint: the learned model plus the configuration
+/// fingerprint it was learned under.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// [`outage_core::DetectorConfig::fingerprint`] of the learning run.
+    pub fingerprint: u64,
+    /// The model itself (histories plus mergeable count arena).
+    pub model: LearnedModel,
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_prefix(out: &mut Vec<u8>, p: &Prefix) {
+    match *p {
+        Prefix::V4 { addr, len } => {
+            out.push(4);
+            out.push(len);
+            out.extend_from_slice(&addr.to_le_bytes());
+        }
+        Prefix::V6 { addr, len } => {
+            out.push(6);
+            out.push(len);
+            out.extend_from_slice(&addr.to_le_bytes());
+        }
+    }
+}
+
+fn put_section(out: &mut Vec<u8>, tag: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Serialize a checkpoint to bytes.
+pub fn encode_checkpoint(c: &Checkpoint) -> Vec<u8> {
+    let model = &c.model;
+    let index = model.index();
+
+    let mut indx = Vec::with_capacity(4 + index.len() * 18);
+    indx.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    for p in index.prefixes() {
+        put_prefix(&mut indx, p);
+    }
+
+    let mut cnts = Vec::with_capacity(4 + model.counts().len() * 8);
+    cnts.extend_from_slice(&(model.hours() as u32).to_le_bytes());
+    for &c in model.counts() {
+        cnts.extend_from_slice(&c.to_le_bytes());
+    }
+
+    let mut hist = Vec::with_capacity(model.len() * 220);
+    for h in model.indexed().histories() {
+        put_prefix(&mut hist, &h.prefix);
+        hist.extend_from_slice(&h.lambda.to_bits().to_le_bytes());
+        hist.extend_from_slice(&h.total.to_le_bytes());
+        for m in &h.hourly_shape {
+            hist.extend_from_slice(&m.to_bits().to_le_bytes());
+        }
+        hist.push(h.shape_estimated as u8);
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + indx.len() + cnts.len() + hist.len() + 48);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&c.fingerprint.to_le_bytes());
+    out.extend_from_slice(&model.window().start.secs().to_le_bytes());
+    out.extend_from_slice(&model.window().end.secs().to_le_bytes());
+    out.extend_from_slice(&SECTION_COUNT.to_le_bytes());
+    let hcrc = crc32(&out);
+    out.extend_from_slice(&hcrc.to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+
+    put_section(&mut out, b"INDX", &indx);
+    put_section(&mut out, b"CNTS", &cnts);
+    put_section(&mut out, b"HIST", &hist);
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked cursor over untrusted bytes. Every read either
+/// advances or returns [`StoreError::Truncated`]; nothing indexes past
+/// the end.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                context,
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u128(&mut self, context: &'static str) -> Result<u128, StoreError> {
+        Ok(u128::from_le_bytes(
+            self.take(16, context)?.try_into().unwrap(),
+        ))
+    }
+}
+
+fn get_prefix(c: &mut Cursor<'_>) -> Result<Prefix, StoreError> {
+    let family = c.u8("prefix family")?;
+    let len = c.u8("prefix length")?;
+    match family {
+        4 => {
+            if len > 32 {
+                return Err(StoreError::Malformed {
+                    context: "IPv4 prefix length > 32",
+                });
+            }
+            let addr = c.u32("IPv4 address")?;
+            let p = Prefix::v4_raw(addr, len);
+            // v4_raw masks host bits; a canonical file stores them zero.
+            match p {
+                Prefix::V4 { addr: a, .. } if a == addr => Ok(p),
+                _ => Err(StoreError::Malformed {
+                    context: "IPv4 prefix has host bits set",
+                }),
+            }
+        }
+        6 => {
+            if len > 128 {
+                return Err(StoreError::Malformed {
+                    context: "IPv6 prefix length > 128",
+                });
+            }
+            let addr = c.u128("IPv6 address")?;
+            let p = Prefix::v6_raw(addr, len);
+            match p {
+                Prefix::V6 { addr: a, .. } if a == addr => Ok(p),
+                _ => Err(StoreError::Malformed {
+                    context: "IPv6 prefix has host bits set",
+                }),
+            }
+        }
+        _ => Err(StoreError::Malformed {
+            context: "prefix family byte is neither 4 nor 6",
+        }),
+    }
+}
+
+/// Read one section's framing, verify its CRC, and return its payload.
+fn get_section<'a>(
+    c: &mut Cursor<'a>,
+    expect_tag: &'static [u8; 4],
+    region: &'static str,
+) -> Result<&'a [u8], StoreError> {
+    let tag = c.take(4, "section tag")?;
+    if tag != expect_tag {
+        return Err(StoreError::Malformed {
+            context: "unexpected section tag (sections are INDX, CNTS, HIST in order)",
+        });
+    }
+    let len = c.u64("section length")?;
+    let expected = c.u32("section checksum")?;
+    if len > c.remaining() as u64 {
+        return Err(StoreError::Truncated {
+            context: "section payload",
+            need: len as usize,
+            have: c.remaining(),
+        });
+    }
+    let payload = c.take(len as usize, "section payload")?;
+    let found = crc32(payload);
+    if found != expected {
+        return Err(StoreError::ChecksumMismatch {
+            region,
+            expected,
+            found,
+        });
+    }
+    Ok(payload)
+}
+
+/// Deserialize and fully validate a checkpoint. Total: every hostile
+/// input returns a typed error; no partial model ever escapes.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, StoreError> {
+    let mut c = Cursor::new(bytes);
+
+    // Header.
+    let magic = c.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: magic.try_into().unwrap(),
+        });
+    }
+    let version = c.u16("version")?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let reserved = c.u16("reserved")?;
+    if reserved != 0 {
+        return Err(StoreError::Malformed {
+            context: "reserved header field is not zero",
+        });
+    }
+    let fingerprint = c.u64("fingerprint")?;
+    let start = c.u64("window start")?;
+    let end = c.u64("window end")?;
+    let sections = c.u32("section count")?;
+    let expected = c.u32("header checksum")?;
+    let found = crc32(&bytes[..HEADER_LEN - 4]);
+    if found != expected {
+        return Err(StoreError::ChecksumMismatch {
+            region: "header",
+            expected,
+            found,
+        });
+    }
+    if sections != SECTION_COUNT {
+        return Err(StoreError::Malformed {
+            context: "version-1 checkpoints have exactly 3 sections",
+        });
+    }
+    if start > end {
+        return Err(StoreError::Malformed {
+            context: "history window ends before it starts",
+        });
+    }
+    let window = Interval {
+        start: UnixTime(start),
+        end: UnixTime(end),
+    };
+
+    // INDX: the block index, ids in stored order.
+    let indx = get_section(&mut c, b"INDX", "INDX")?;
+    let mut ic = Cursor::new(indx);
+    let blocks = ic.u32("block count")? as usize;
+    // Each entry is at least 6 bytes; an impossible count fails fast
+    // instead of looping over a huge bound.
+    if blocks > indx.len() / 6 {
+        return Err(StoreError::Malformed {
+            context: "block count exceeds what the INDX payload could hold",
+        });
+    }
+    let mut index = BlockIndex::with_capacity(blocks);
+    for _ in 0..blocks {
+        let p = get_prefix(&mut ic)?;
+        let before = index.len();
+        index.intern(p);
+        if index.len() == before {
+            return Err(StoreError::Malformed {
+                context: "duplicate prefix in block index",
+            });
+        }
+    }
+    if ic.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            context: "trailing bytes after block index entries",
+        });
+    }
+
+    // CNTS: the hour-count arena.
+    let cnts = get_section(&mut c, b"CNTS", "CNTS")?;
+    let mut cc = Cursor::new(cnts);
+    let hours = cc.u32("hour-row length")? as usize;
+    if hours == 0 {
+        return Err(StoreError::Malformed {
+            context: "hour-row length is zero",
+        });
+    }
+    let expect_counts = blocks.checked_mul(hours).ok_or(StoreError::Malformed {
+        context: "blocks x hours overflows",
+    })?;
+    if cc.remaining() != expect_counts * 8 {
+        return Err(StoreError::Malformed {
+            context: "count arena length is not blocks x hours",
+        });
+    }
+    let mut counts = Vec::with_capacity(expect_counts);
+    for _ in 0..expect_counts {
+        counts.push(cc.u64("arrival count")?);
+    }
+
+    // HIST: the derived histories, verified against a rebuild below.
+    let hist = get_section(&mut c, b"HIST", "HIST")?;
+    let mut hc = Cursor::new(hist);
+    let mut histories = Vec::with_capacity(blocks.min(hist.len() / 210 + 1));
+    for _ in 0..blocks {
+        let prefix = get_prefix(&mut hc)?;
+        let lambda = f64::from_bits(hc.u64("lambda")?);
+        let total = hc.u64("total")?;
+        let mut hourly_shape = [0.0f64; 24];
+        for m in &mut hourly_shape {
+            *m = f64::from_bits(hc.u64("hourly shape")?);
+        }
+        let shape_estimated = match hc.u8("shape flag")? {
+            0 => false,
+            1 => true,
+            _ => {
+                return Err(StoreError::Malformed {
+                    context: "shape-estimated flag is neither 0 nor 1",
+                })
+            }
+        };
+        histories.push(BlockHistory {
+            prefix,
+            lambda,
+            total,
+            hourly_shape,
+            shape_estimated,
+        });
+    }
+    if hc.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            context: "trailing bytes after history entries",
+        });
+    }
+    if c.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            context: "trailing bytes after final section",
+        });
+    }
+
+    // Rebuild from the arena and demand bitwise agreement with HIST.
+    let model = LearnedModel::from_parts(window, index, counts)?;
+    if model.hours() != hours {
+        return Err(StoreError::Inconsistent {
+            context: "stored hour-row length disagrees with the window",
+        });
+    }
+    if model.indexed().histories() != histories.as_slice() {
+        return Err(StoreError::Inconsistent {
+            context: "stored histories differ from histories rebuilt from the count arena",
+        });
+    }
+
+    Ok(Checkpoint { fingerprint, model })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_types::{Observation, UnixTime};
+
+    fn sample_model() -> LearnedModel {
+        let v4: Prefix = "192.0.2.0/24".parse().unwrap();
+        let v6 = Prefix::v6_raw(0x2001_0db8_0000_0000_0000_0000_0000_0000, 48);
+        let window = Interval::from_secs(0, 86_400);
+        let obs: Vec<Observation> = (0..86_400u64)
+            .step_by(20)
+            .flat_map(|t| {
+                [
+                    Observation::new(UnixTime(t), v4),
+                    Observation::new(UnixTime(t + 3), v6),
+                ]
+            })
+            .collect();
+        LearnedModel::learn(obs, window)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_every_bit() {
+        let model = sample_model();
+        let c = Checkpoint {
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            model,
+        };
+        let bytes = encode_checkpoint(&c);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back.fingerprint, c.fingerprint);
+        assert_eq!(back.model.window(), c.model.window());
+        assert_eq!(back.model.counts(), c.model.counts());
+        assert_eq!(
+            back.model.indexed().histories(),
+            c.model.indexed().histories()
+        );
+        assert_eq!(
+            back.model.index().prefixes(),
+            c.model.index().prefixes(),
+            "id order must survive the round trip"
+        );
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let model = LearnedModel::learn(std::iter::empty(), Interval::from_secs(0, 3_600));
+        let bytes = encode_checkpoint(&Checkpoint {
+            fingerprint: 7,
+            model,
+        });
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert!(back.model.is_empty());
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let mut bytes = encode_checkpoint(&Checkpoint {
+            fingerprint: 1,
+            model: sample_model(),
+        });
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let mut bytes = encode_checkpoint(&Checkpoint {
+            fingerprint: 1,
+            model: sample_model(),
+        });
+        bytes[4] = 99;
+        // Header CRC now disagrees too, but version is checked first so
+        // the operator sees the *reason* rather than "corrupt".
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_truncated_not_panic() {
+        assert!(matches!(
+            decode_checkpoint(&[]),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+}

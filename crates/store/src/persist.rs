@@ -1,0 +1,201 @@
+//! File-level checkpoint I/O and the detector warm-start extension.
+//!
+//! The free functions are the CLI's `model` subcommand surface (no
+//! detector, no metrics); [`ModelPersistence`] is the pipeline surface —
+//! it stamps checkpoints with the detector's own config fingerprint,
+//! refuses to warm-start across a config change, and reports traffic
+//! through the [`StoreMetrics`] counters in the detector's registry.
+
+use crate::atomic::atomic_write;
+use crate::error::StoreError;
+use crate::format::{decode_checkpoint, encode_checkpoint, Checkpoint};
+use outage_core::{LearnedModel, PassiveDetector};
+use outage_obs::StoreMetrics;
+use std::path::Path;
+
+/// Write a checkpoint, atomically. Returns the byte count published.
+pub fn write_checkpoint(path: &Path, c: &Checkpoint) -> Result<u64, StoreError> {
+    let bytes = encode_checkpoint(c);
+    atomic_write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Read and fully validate a checkpoint. Returns it with the byte count
+/// read; any corruption is a typed [`StoreError`], never a partial load.
+pub fn read_checkpoint(path: &Path) -> Result<(Checkpoint, u64), StoreError> {
+    let bytes = std::fs::read(path)?;
+    let c = decode_checkpoint(&bytes)?;
+    Ok((c, bytes.len() as u64))
+}
+
+/// Save/load learned models through a [`PassiveDetector`]: fingerprint
+/// stamping and validation, plus store metrics in the detector's
+/// registry.
+pub trait ModelPersistence {
+    /// Persist `model` to `path`, stamped with this detector's config
+    /// fingerprint. Returns the bytes published.
+    fn save_model(&self, model: &LearnedModel, path: &Path) -> Result<u64, StoreError>;
+
+    /// Load a checkpoint for warm-start. Fails with
+    /// [`StoreError::FingerprintMismatch`] if the checkpoint was learned
+    /// under a different configuration — a model learned with different
+    /// thresholds or bin widths must not silently skew detection.
+    fn load_model(&self, path: &Path) -> Result<LearnedModel, StoreError>;
+}
+
+impl ModelPersistence for PassiveDetector {
+    fn save_model(&self, model: &LearnedModel, path: &Path) -> Result<u64, StoreError> {
+        let metrics = StoreMetrics::register(&self.obs().registry);
+        let written = write_checkpoint(
+            path,
+            &Checkpoint {
+                fingerprint: self.config().fingerprint(),
+                model: model.clone(),
+            },
+        )?;
+        metrics.bytes_written.add(written);
+        Ok(written)
+    }
+
+    fn load_model(&self, path: &Path) -> Result<LearnedModel, StoreError> {
+        let metrics = StoreMetrics::register(&self.obs().registry);
+        let (checkpoint, read) = match read_checkpoint(path) {
+            Ok(ok) => ok,
+            Err(e) => {
+                if matches!(
+                    e,
+                    StoreError::ChecksumMismatch { .. } | StoreError::Inconsistent { .. }
+                ) {
+                    metrics.checksum_failures.inc();
+                }
+                return Err(e);
+            }
+        };
+        metrics.bytes_read.add(read);
+        let expected = self.config().fingerprint();
+        if checkpoint.fingerprint != expected {
+            return Err(StoreError::FingerprintMismatch {
+                expected,
+                found: checkpoint.fingerprint,
+            });
+        }
+        metrics.warm_start_hits.inc();
+        Ok(checkpoint.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_core::DetectorConfig;
+    use outage_types::{Interval, Observation, Prefix, UnixTime};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("outage-store-persist-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn learn_sample(detector: &PassiveDetector) -> LearnedModel {
+        let block: Prefix = "192.0.2.0/24".parse().unwrap();
+        let obs: Vec<Observation> = (0..86_400u64)
+            .step_by(15)
+            .map(|t| Observation::new(UnixTime(t), block))
+            .collect();
+        detector.learn_model(&obs, Interval::from_secs(0, 86_400), 1)
+    }
+
+    #[test]
+    fn save_then_load_roundtrips_and_counts() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("model.poms");
+        let detector = PassiveDetector::new(DetectorConfig::default());
+        let model = learn_sample(&detector);
+        let written = detector.save_model(&model, &path).unwrap();
+        assert!(written > 0);
+        let loaded = detector.load_model(&path).unwrap();
+        assert_eq!(loaded.counts(), model.counts());
+        assert_eq!(loaded.indexed().histories(), model.indexed().histories());
+
+        let registry = &detector.obs().registry;
+        assert_eq!(
+            registry.value("po_store_bytes_written_total", &[]),
+            Some(written as f64)
+        );
+        assert_eq!(
+            registry.value("po_store_bytes_read_total", &[]),
+            Some(written as f64)
+        );
+        assert_eq!(
+            registry.value("po_store_warm_start_hits_total", &[]),
+            Some(1.0)
+        );
+        assert_eq!(
+            registry.value("po_store_checksum_failures_total", &[]),
+            Some(0.0)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_change_refuses_warm_start() {
+        let dir = tmpdir("fingerprint");
+        let path = dir.join("model.poms");
+        let detector = PassiveDetector::new(DetectorConfig::default());
+        let model = learn_sample(&detector);
+        detector.save_model(&model, &path).unwrap();
+
+        let mut other_cfg = DetectorConfig::default();
+        other_cfg.down_threshold += 0.01;
+        let other = PassiveDetector::new(other_cfg);
+        assert!(matches!(
+            other.load_model(&path),
+            Err(StoreError::FingerprintMismatch { .. })
+        ));
+        // A refused warm start is not a hit.
+        assert_eq!(
+            other
+                .obs()
+                .registry
+                .value("po_store_warm_start_hits_total", &[]),
+            Some(0.0)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_file_counts_a_checksum_failure() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("model.poms");
+        let detector = PassiveDetector::new(DetectorConfig::default());
+        let model = learn_sample(&detector);
+        detector.save_model(&model, &path).unwrap();
+
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        assert!(detector.load_model(&path).is_err());
+        assert_eq!(
+            detector
+                .obs()
+                .registry
+                .value("po_store_checksum_failures_total", &[]),
+            Some(1.0)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let detector = PassiveDetector::new(DetectorConfig::default());
+        assert!(matches!(
+            detector.load_model(Path::new("/no/such/model.poms")),
+            Err(StoreError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! A checkpoint is loaded from disk, so the decoder faces crash-cut
+//! files and bit rot. These tests are exhaustive where the corruption
+//! class allows it — *every* truncation offset, *every* single-bit flip
+//! — and property-based for arbitrary mutations: the decoder must return
+//! a typed [`StoreError`], never panic, and never yield a model that
+//! disagrees with the bytes.
+
+use outage_core::{DetectorConfig, LearnedModel, PassiveDetector};
+use outage_store::{decode_checkpoint, encode_checkpoint, Checkpoint, StoreError};
+use outage_types::{Interval, Observation, Prefix, UnixTime};
+use proptest::prelude::*;
+
+/// A small but structurally complete checkpoint: both address
+/// families, a diurnal block, a sparse block.
+fn sample_bytes() -> Vec<u8> {
+    let v4a: Prefix = "192.0.2.0/24".parse().unwrap();
+    let v4b: Prefix = "198.51.100.0/24".parse().unwrap();
+    let v6 = Prefix::v6_raw(0x2001_0db8_0000_0000_0000_0000_0000_0000, 48);
+    let window = Interval::from_secs(0, 86_400);
+    let mut obs: Vec<Observation> = Vec::new();
+    for t in (0..86_400u64).step_by(60) {
+        obs.push(Observation::new(UnixTime(t), v4a));
+        obs.push(Observation::new(UnixTime(t + 7), v6));
+    }
+    for t in (0..86_400u64).step_by(7_200) {
+        obs.push(Observation::new(UnixTime(t), v4b));
+    }
+    let detector = PassiveDetector::new(DetectorConfig::default());
+    let model = detector.learn_model(&obs, window, 1);
+    encode_checkpoint(&Checkpoint {
+        fingerprint: DetectorConfig::default().fingerprint(),
+        model,
+    })
+}
+
+#[test]
+fn truncation_at_every_byte_offset_is_rejected() {
+    let bytes = sample_bytes();
+    for cut in 0..bytes.len() {
+        match decode_checkpoint(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!(
+                "truncation to {cut}/{} bytes decoded successfully",
+                bytes.len()
+            ),
+        }
+    }
+    // Sanity: the untruncated file does decode.
+    assert!(decode_checkpoint(&bytes).is_ok());
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    // CRC32 detects all single-bit errors within a guarded region, and
+    // every byte of the format is either CRC-guarded or structural
+    // framing whose damage is its own error — so this holds for *every*
+    // bit of the file, exhaustively.
+    let bytes = sample_bytes();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[byte] ^= 1 << bit;
+            match decode_checkpoint(&mutated) {
+                Err(_) => {}
+                Ok(_) => panic!("bit flip at {byte}:{bit} went undetected"),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_then_extended_garbage_is_rejected() {
+    // A crash mid-write followed by reuse of a dirty block: valid prefix
+    // of the file, garbage tail of the right total length.
+    let bytes = sample_bytes();
+    for cut in [10, 40, 60, bytes.len() / 2, bytes.len() - 3] {
+        let mut mutated = bytes[..cut].to_vec();
+        mutated.resize(bytes.len(), 0xAA);
+        assert!(
+            decode_checkpoint(&mutated).is_err(),
+            "garbage tail from {cut} went undetected"
+        );
+    }
+}
+
+#[test]
+fn error_variants_are_the_documented_ones() {
+    let bytes = sample_bytes();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[1] ^= 0xFF;
+    assert!(matches!(
+        decode_checkpoint(&bad_magic),
+        Err(StoreError::BadMagic { .. })
+    ));
+
+    let mut bad_version = bytes.clone();
+    bad_version[4] = 0xFE;
+    assert!(matches!(
+        decode_checkpoint(&bad_version),
+        Err(StoreError::UnsupportedVersion { .. })
+    ));
+
+    // Flip a bit deep in a section payload: the section CRC reports it.
+    let mut bad_body = bytes.clone();
+    let n = bad_body.len();
+    bad_body[n - 2] ^= 0x10;
+    assert!(matches!(
+        decode_checkpoint(&bad_body),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+
+    assert!(matches!(
+        decode_checkpoint(&bytes[..17]),
+        Err(StoreError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn decoded_model_is_all_or_nothing() {
+    // No partial loads: whatever prefix of the sections survives, an
+    // error means *no* model. (The API makes partial loads impossible by
+    // construction — this documents the contract.)
+    let bytes = sample_bytes();
+    let whole = decode_checkpoint(&bytes).unwrap();
+    assert!(whole.model.len() >= 3);
+    let res: Result<Checkpoint, StoreError> = decode_checkpoint(&bytes[..bytes.len() - 1]);
+    assert!(res.is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(garbage in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // Total decoder: random input is Ok or Err, never a panic.
+        let _ = decode_checkpoint(&garbage);
+    }
+
+    #[test]
+    fn random_multi_byte_corruption_never_yields_a_wrong_model(
+        offsets in proptest::collection::vec(0usize..8192, 1..8),
+        masks in proptest::collection::vec(1u8..=255, 1..8),
+    ) {
+        let bytes = sample_bytes();
+        let mut mutated = bytes.clone();
+        for (o, m) in offsets.iter().zip(masks.iter()) {
+            let idx = o % mutated.len();
+            mutated[idx] ^= m;
+        }
+        match decode_checkpoint(&mutated) {
+            Err(_) => {}
+            Ok(c) => {
+                // Only acceptable if the flips cancelled out exactly.
+                prop_assert_eq!(&mutated, &bytes, "corrupted bytes decoded");
+                let orig = decode_checkpoint(&bytes).unwrap();
+                prop_assert_eq!(c.model.counts(), orig.model.counts());
+            }
+        }
+    }
+
+    #[test]
+    fn random_truncation_of_valid_file_is_rejected(frac in 0.0f64..1.0) {
+        let bytes = sample_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_checkpoint(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+/// The merge path must also be total over decoded-but-hostile inputs:
+/// a checkpoint pair with incompatible windows errors, never panics.
+#[test]
+fn merge_of_incompatible_checkpoints_is_typed() {
+    let a = LearnedModel::learn(std::iter::empty(), Interval::from_secs(0, 3_600));
+    let b = LearnedModel::learn(std::iter::empty(), Interval::from_secs(7_200, 10_800));
+    assert!(LearnedModel::merge(&a, &b).is_err());
+}

@@ -11,6 +11,7 @@
 //! * [`dnswire`] — DNS codec + the passive telescope
 //! * [`netsim`] — the simulated Internet (topology, traffic, truth)
 //! * [`detector`] — the paper's passive Bayesian detector
+//! * [`store`] — versioned on-disk model checkpoints and warm start
 //! * [`trinocular`] — active-probing baseline
 //! * [`chocolatine`] — AS-level passive baseline
 //! * [`ripe`] — Atlas-style ground-truth probe mesh
@@ -29,14 +30,16 @@ pub use outage_eval as eval;
 pub use outage_netsim as netsim;
 pub use outage_obs as obs;
 pub use outage_ripe as ripe;
+pub use outage_store as store;
 pub use outage_trinocular as trinocular;
 pub use outage_types as types;
 
 /// Convenience prelude: the names almost every user needs.
 pub mod prelude {
-    pub use outage_core::{DetectionReport, DetectorConfig, PassiveDetector};
+    pub use outage_core::{DetectionReport, DetectorConfig, LearnedModel, PassiveDetector};
     pub use outage_eval::{DurationMatrix, EventMatrix};
     pub use outage_netsim::{Scenario, ScenarioConfig};
+    pub use outage_store::ModelPersistence;
     pub use outage_types::{
         durations, AddrFamily, Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline,
         UnixTime,
