@@ -54,7 +54,7 @@ fn usage() -> String {
      \x20           [--num-as N] [--seed S] --out FILE [--truth FILE]\n\
      \x20 detect    --obs FILE [--window SECS] --out FILE\n\
      \x20           [--fault-plan FILE] [--sentinel] [--sentinel-bucket SECS]\n\
-     \x20           [--quarantine-out FILE] [--workers N]\n\
+     \x20           [--quarantine-out FILE] [--workers N | --streaming]\n\
      \x20           [--metrics-out FILE] [--trace-out FILE]\n\
      \x20           [--model FILE | --model-out FILE]\n\
      \x20 learn     --obs FILE --model-out FILE [--window SECS] [--workers N]\n\
@@ -75,7 +75,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // boolean flags
-        if name == "events" || name == "sentinel" {
+        if name == "events" || name == "sentinel" || name == "streaming" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -182,6 +182,7 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         fault_plan,
         sentinel,
         workers,
+        streaming: flags.contains_key("streaming"),
         trace: flags.contains_key("trace-out"),
         model,
         model_out: flags.contains_key("model-out"),

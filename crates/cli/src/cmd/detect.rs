@@ -1,0 +1,343 @@
+//! `detect`: run the passive detector over an observation document, in
+//! any of the three execution modes (batch/parallel is the default;
+//! `--streaming` replays through the [`StreamingMonitor`] adapter).
+//! All modes run the same [`outage_core::DetectionEngine`] kernel, so
+//! verdicts are identical; only the driving differs.
+
+use super::{detection_window, resolve_workers, CommandError};
+use crate::format;
+use outage_core::{
+    detect_parallel, detect_parallel_with_sentinel, DetectorConfig, LearnedModel, PassiveDetector,
+    SentinelConfig, StreamingMonitor,
+};
+use outage_eval::summarize;
+use outage_netsim::FaultPlan;
+use outage_obs::{Obs, StoreMetrics};
+use outage_store::{decode_checkpoint, encode_checkpoint, Checkpoint, StoreError};
+use outage_types::{Interval, Observation};
+
+/// Output of `detect`.
+#[derive(Debug)]
+pub struct DetectOutput {
+    /// Detected event document.
+    pub events: String,
+    /// Quarantined-interval document (empty set unless a sentinel ran
+    /// and tripped).
+    pub quarantine: String,
+    /// Prometheus-text metrics snapshot of the run.
+    pub metrics: String,
+    /// Span trace as JSON lines (only when tracing was requested).
+    pub trace: Option<String>,
+    /// Encoded model checkpoint of the learned histories (only when
+    /// [`DetectOptions::model_out`] was set).
+    pub model: Option<Vec<u8>>,
+    /// Human summary.
+    pub summary: String,
+}
+
+/// Knobs for [`detect_with`] beyond the observation document itself.
+#[derive(Debug, Clone, Default)]
+pub struct DetectOptions {
+    /// Explicit window end (seconds); defaults to the last observation
+    /// rounded up to a whole day.
+    pub window_secs: Option<u64>,
+    /// Sensor faults to inject into the feed before detection.
+    pub fault_plan: Option<FaultPlan>,
+    /// Guard detection with a feed sentinel under this configuration.
+    pub sentinel: Option<SentinelConfig>,
+    /// Worker threads for the sharded history pass and the parallel
+    /// detection driver; `None` means available parallelism. Mutually
+    /// exclusive with `streaming`.
+    pub workers: Option<usize>,
+    /// Run the window through the streaming adapter instead of the
+    /// parallel driver: same engine, same verdicts, exercised through
+    /// the online code path.
+    pub streaming: bool,
+    /// Record structured spans (for `--trace-out`). Metrics are always
+    /// collected; only span tracing is opt-in.
+    pub trace: bool,
+    /// An encoded model checkpoint (`learn --model-out`): warm-start by
+    /// skipping the history pass entirely. The checkpoint's config
+    /// fingerprint and history window must match this run's.
+    pub model: Option<Vec<u8>>,
+    /// Encode the learned model into [`DetectOutput::model`] so the
+    /// caller can persist it (`detect --model-out`). Meaningless — and
+    /// rejected — together with `model`: a warm-started run has nothing
+    /// newly learned to save.
+    pub model_out: bool,
+}
+
+/// `detect`: run the passive detector over an observation document.
+pub fn detect(
+    observations_doc: &str,
+    window_secs: Option<u64>,
+) -> Result<DetectOutput, CommandError> {
+    detect_with(
+        observations_doc,
+        &DetectOptions {
+            window_secs,
+            ..DetectOptions::default()
+        },
+    )
+}
+
+/// Decode a warm-start checkpoint and validate it against this run's
+/// configuration and window, recording store traffic as it goes.
+fn load_checkpoint(
+    bytes: &[u8],
+    detector: &PassiveDetector,
+    window: Interval,
+    obs: &Obs,
+) -> Result<LearnedModel, CommandError> {
+    let metrics = StoreMetrics::register(&obs.registry);
+    let checkpoint = match decode_checkpoint(bytes) {
+        Ok(c) => c,
+        Err(e) => {
+            if matches!(
+                e,
+                StoreError::ChecksumMismatch { .. } | StoreError::Inconsistent { .. }
+            ) {
+                metrics.checksum_failures.inc();
+            }
+            return Err(e.into());
+        }
+    };
+    metrics.bytes_read.add(bytes.len() as u64);
+    let expected = detector.config().fingerprint();
+    if checkpoint.fingerprint != expected {
+        return Err(StoreError::FingerprintMismatch {
+            expected,
+            found: checkpoint.fingerprint,
+        }
+        .into());
+    }
+    if checkpoint.model.window() != window {
+        return Err(CommandError(format!(
+            "checkpoint history window {} does not match the detection window {} \
+             (pass --window {} to align them)",
+            checkpoint.model.window(),
+            window,
+            checkpoint.model.window().end.secs()
+        )));
+    }
+    metrics.warm_start_hits.inc();
+    Ok(checkpoint.model)
+}
+
+/// `detect` with fault injection, a feed sentinel, warm start, and/or
+/// an alternate execution mode.
+pub fn detect_with(
+    observations_doc: &str,
+    opts: &DetectOptions,
+) -> Result<DetectOutput, CommandError> {
+    let mut observations = format::parse_observations(observations_doc)?;
+    if observations.is_empty() {
+        return Err(CommandError("no observations in input".into()));
+    }
+    let mut fault_note = String::new();
+    if let Some(plan) = &opts.fault_plan {
+        let before = observations.len();
+        observations = plan.apply_to_vec(&observations);
+        // The batch detector wants time order; delivery-order effects
+        // (reordering) only matter to the streaming path.
+        observations.sort_unstable();
+        if observations.is_empty() {
+            return Err(CommandError("fault plan silenced every observation".into()));
+        }
+        fault_note = format!(
+            " [faults: {} -> {} observations, {} s marked faulted]",
+            before,
+            observations.len(),
+            plan.faulted().total()
+        );
+    }
+    if opts.model.is_some() && opts.model_out {
+        return Err(CommandError(
+            "--model and --model-out are mutually exclusive: a warm-started run \
+             skips learning, so there is no newly learned model to save"
+                .into(),
+        ));
+    }
+    if opts.streaming && opts.workers.is_some() {
+        return Err(CommandError(
+            "--streaming and --workers are mutually exclusive: the streaming \
+             adapter is single-threaded by design"
+                .into(),
+        ));
+    }
+    let window = detection_window(&observations, opts.window_secs)?;
+    let workers = resolve_workers(opts.workers)?;
+
+    let obs = if opts.trace {
+        Obs::with_tracing()
+    } else {
+        Obs::new()
+    };
+    let detector = PassiveDetector::try_new(DetectorConfig::default())?.with_obs(obs.clone());
+
+    if opts.streaming {
+        return detect_streaming(&observations, window, opts, &obs, &detector, &fault_note);
+    }
+
+    // Both passes go through the parallel path by default: sharded
+    // history learning, then the router/worker detection driver (both
+    // produce results identical to the sequential pipeline). A supplied
+    // checkpoint replaces the learning pass entirely (warm start).
+    let mut warm_note = String::new();
+    let mut model_bytes = None;
+    let histories = match &opts.model {
+        Some(bytes) => {
+            let model = load_checkpoint(bytes, &detector, window, &obs)?;
+            warm_note = " [warm start from checkpoint]".to_string();
+            model.into_indexed()
+        }
+        None if opts.model_out => {
+            let model = detector.learn_model(&observations, window, workers);
+            let encoded = encode_checkpoint(&Checkpoint {
+                fingerprint: detector.config().fingerprint(),
+                model: model.clone(),
+            });
+            StoreMetrics::register(&obs.registry)
+                .bytes_written
+                .add(encoded.len() as u64);
+            model_bytes = Some(encoded);
+            model.into_indexed()
+        }
+        None => detector.learn_histories_parallel(&observations, window, workers),
+    };
+    let report = match &opts.sentinel {
+        None => detect_parallel(
+            &detector,
+            &histories,
+            observations.iter().copied(),
+            window,
+            workers,
+        ),
+        Some(cfg) => detect_parallel_with_sentinel(
+            &detector,
+            &histories,
+            observations.iter().copied(),
+            window,
+            workers,
+            cfg,
+        )?,
+    };
+    // Deterministic by construction: DetectionReport::events sorts at
+    // assembly time.
+    let events = report.events();
+
+    let quarantine_note = if opts.sentinel.is_some() {
+        format!(
+            ", {} quarantined spans totalling {} s",
+            report.quarantined_spans(),
+            report.quarantined_secs()
+        )
+    } else {
+        String::new()
+    };
+    let d = report.diagnostics();
+    let summary = format!(
+        "window {}: {} observations{}{}, {} blocks covered ({} uncovered), {} outage events \
+         ({} via bins, {} via exact-timestamp gaps){}, {} workers\n{}",
+        window,
+        observations.len(),
+        fault_note,
+        warm_note,
+        report.covered_blocks(),
+        report.uncovered.len(),
+        events.len(),
+        d.bin_detections,
+        d.gap_detections,
+        quarantine_note,
+        workers,
+        summarize(&events, 5),
+    );
+    Ok(DetectOutput {
+        events: format::render_events(&events),
+        quarantine: format::render_intervals(&report.quarantined),
+        metrics: obs.registry.render_prometheus(),
+        trace: obs.tracer.as_ref().map(|t| t.to_jsonl()),
+        model: model_bytes,
+        summary,
+    })
+}
+
+/// The streaming execution mode: warm-start a [`StreamingMonitor`]
+/// whose single epoch is the whole detection window (so it is live from
+/// the first observation, with units planned from the same model the
+/// batch path would use) and replay the slice through it.
+fn detect_streaming(
+    observations: &[Observation],
+    window: Interval,
+    opts: &DetectOptions,
+    obs: &Obs,
+    detector: &PassiveDetector,
+    fault_note: &str,
+) -> Result<DetectOutput, CommandError> {
+    let mut warm_note = String::new();
+    let mut model_bytes = None;
+    let model = match &opts.model {
+        Some(bytes) => {
+            let model = load_checkpoint(bytes, detector, window, obs)?;
+            warm_note = " [warm start from checkpoint]".to_string();
+            model
+        }
+        None => {
+            let workers = resolve_workers(None)?;
+            let model = detector.learn_model(observations, window, workers);
+            if opts.model_out {
+                let encoded = encode_checkpoint(&Checkpoint {
+                    fingerprint: detector.config().fingerprint(),
+                    model: model.clone(),
+                });
+                StoreMetrics::register(&obs.registry)
+                    .bytes_written
+                    .add(encoded.len() as u64);
+                model_bytes = Some(encoded);
+            }
+            model
+        }
+    };
+    let mut monitor = StreamingMonitor::from_model(
+        detector.config().clone(),
+        &model,
+        window.start,
+        window.duration(),
+    )?;
+    if let Some(cfg) = &opts.sentinel {
+        monitor = monitor.with_sentinel(*cfg)?;
+    }
+    let mut monitor = monitor.with_obs(obs.clone());
+    monitor.observe_all(observations.iter().copied());
+    let covered = monitor.covered_blocks();
+    let (events, quarantined) = monitor.finish_with_quarantine(window.end);
+
+    let quarantine_note = if opts.sentinel.is_some() {
+        format!(
+            ", {} quarantined spans totalling {} s",
+            quarantined.intervals().len(),
+            quarantined.total()
+        )
+    } else {
+        String::new()
+    };
+    let summary = format!(
+        "window {}: {} observations{}{}, {} blocks covered, {} outage events{}, streaming\n{}",
+        window,
+        observations.len(),
+        fault_note,
+        warm_note,
+        covered,
+        events.len(),
+        quarantine_note,
+        summarize(&events, 5),
+    );
+    Ok(DetectOutput {
+        events: format::render_events(&events),
+        quarantine: format::render_intervals(&quarantined),
+        metrics: obs.registry.render_prometheus(),
+        trace: obs.tracer.as_ref().map(|t| t.to_jsonl()),
+        model: model_bytes,
+        summary,
+    })
+}

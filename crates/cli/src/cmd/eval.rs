@@ -1,0 +1,85 @@
+//! `eval`: score an observed event document against ground truth.
+
+use super::CommandError;
+use crate::format;
+use outage_eval::{duration_table, event_table, DurationMatrix, EventMatrix};
+use outage_types::{Interval, IntervalSet, OutageEvent, Prefix, Timeline, UnixTime};
+use std::collections::HashMap;
+
+/// Fold an event document into per-prefix timelines over a window.
+fn timelines_from_events(events: &[OutageEvent], window: Interval) -> HashMap<Prefix, Timeline> {
+    let mut downs: HashMap<Prefix, IntervalSet> = HashMap::new();
+    for ev in events {
+        downs.entry(ev.prefix).or_default().insert(ev.interval);
+    }
+    downs
+        .into_iter()
+        .map(|(p, set)| (p, Timeline::from_down(window, set)))
+        .collect()
+}
+
+/// `eval`: compare two event documents (observation vs truth) over the
+/// prefixes present in either, within an explicit window. Spans in
+/// `excluded` (e.g. sentinel quarantine) are scored for neither side.
+pub fn eval(
+    observed_doc: &str,
+    truth_doc: &str,
+    window_secs: u64,
+    min_secs: u64,
+    event_mode: bool,
+    tolerance: u64,
+    excluded: &IntervalSet,
+) -> Result<String, CommandError> {
+    let observed = format::parse_events(observed_doc)?;
+    let truth = format::parse_events(truth_doc)?;
+    let window = Interval::new(UnixTime::EPOCH, UnixTime(window_secs));
+    let obs_tl = timelines_from_events(&observed, window);
+    let tru_tl = timelines_from_events(&truth, window);
+
+    // Population: union of prefixes (a prefix absent from a document is
+    // all-up there).
+    let mut prefixes: Vec<Prefix> = obs_tl.keys().chain(tru_tl.keys()).copied().collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    let all_up = Timeline::all_up(window);
+    let exclusion_note = if excluded.is_empty() {
+        String::new()
+    } else {
+        format!(", {} s excluded", excluded.total())
+    };
+
+    if event_mode {
+        let mut m = EventMatrix::default();
+        for p in &prefixes {
+            let o = obs_tl.get(p).unwrap_or(&all_up);
+            let t = tru_tl.get(p).unwrap_or(&all_up);
+            m += EventMatrix::of_excluding(o, t, min_secs, tolerance, excluded);
+        }
+        Ok(event_table(
+            &format!(
+                "event-matched comparison ({} prefixes, ≥{} s, ±{} s{})",
+                prefixes.len(),
+                min_secs,
+                tolerance,
+                exclusion_note
+            ),
+            &m,
+        ))
+    } else {
+        let mut m = DurationMatrix::default();
+        for p in &prefixes {
+            let o = obs_tl.get(p).unwrap_or(&all_up);
+            let t = tru_tl.get(p).unwrap_or(&all_up);
+            m += DurationMatrix::of_excluding(o, t, min_secs, excluded);
+        }
+        Ok(duration_table(
+            &format!(
+                "duration-weighted comparison ({} prefixes, ≥{} s{})",
+                prefixes.len(),
+                min_secs,
+                exclusion_note
+            ),
+            &m,
+        ))
+    }
+}

@@ -1,0 +1,49 @@
+//! `learn`: the history pass alone, producing a model checkpoint.
+
+use super::{detection_window, resolve_workers, CommandError};
+use crate::format;
+use outage_core::{DetectorConfig, PassiveDetector};
+use outage_store::{encode_checkpoint, Checkpoint};
+
+/// Output of `learn`.
+#[derive(Debug)]
+pub struct LearnOutput {
+    /// The encoded model checkpoint (for `--model-out`).
+    pub model: Vec<u8>,
+    /// Human summary.
+    pub summary: String,
+}
+
+/// `learn`: run only the history pass over an observation document and
+/// produce a model checkpoint for later warm-start detection or
+/// incremental merging.
+pub fn learn(
+    observations_doc: &str,
+    window_secs: Option<u64>,
+    workers: Option<usize>,
+) -> Result<LearnOutput, CommandError> {
+    let observations = format::parse_observations(observations_doc)?;
+    if observations.is_empty() {
+        return Err(CommandError("no observations in input".into()));
+    }
+    let window = detection_window(&observations, window_secs)?;
+    let workers = resolve_workers(workers)?;
+    let detector = PassiveDetector::try_new(DetectorConfig::default())?;
+    let model = detector.learn_model(&observations, window, workers);
+    let summary = format!(
+        "learned {} block histories from {} observations over {} ({} workers, fingerprint {:#018x})",
+        model.len(),
+        observations.len(),
+        window,
+        workers,
+        detector.config().fingerprint(),
+    );
+    let encoded = encode_checkpoint(&Checkpoint {
+        fingerprint: detector.config().fingerprint(),
+        model,
+    });
+    Ok(LearnOutput {
+        model: encoded,
+        summary,
+    })
+}

@@ -1,0 +1,85 @@
+//! `model`: inspect, verify, and merge checkpoint files.
+
+use super::CommandError;
+use outage_core::LearnedModel;
+use outage_store::{decode_checkpoint, encode_checkpoint, Checkpoint};
+use outage_types::AddrFamily;
+
+/// `model inspect`: human-readable view of a checkpoint's header and
+/// shape (fully validates the file along the way).
+pub fn model_inspect(bytes: &[u8]) -> Result<String, CommandError> {
+    let checkpoint = decode_checkpoint(bytes)?;
+    let model = &checkpoint.model;
+    let v4 = model
+        .index()
+        .prefixes()
+        .iter()
+        .filter(|p| p.family() == AddrFamily::V4)
+        .count();
+    let v6 = model.len() - v4;
+    let total_events: u64 = model.indexed().histories().iter().map(|h| h.total).sum();
+    let shaped = model
+        .indexed()
+        .histories()
+        .iter()
+        .filter(|h| h.shape_estimated)
+        .count();
+    Ok(format!(
+        "model checkpoint ({} bytes, format v{})\n\
+         \x20 fingerprint   {:#018x}\n\
+         \x20 window        {} ({} hour rows)\n\
+         \x20 blocks        {} ({v4} IPv4, {v6} IPv6; {shaped} with estimated diurnal shape)\n\
+         \x20 arrivals      {total_events}\n",
+        bytes.len(),
+        outage_store::VERSION,
+        checkpoint.fingerprint,
+        model.window(),
+        model.hours(),
+        model.len(),
+    ))
+}
+
+/// `model verify`: full structural validation (CRCs, section
+/// consistency, arena/history agreement). Returns a one-line bill of
+/// health; any corruption surfaces as the typed store error.
+pub fn model_verify(bytes: &[u8]) -> Result<String, CommandError> {
+    let checkpoint = decode_checkpoint(bytes)?;
+    Ok(format!(
+        "ok: {} bytes, {} blocks over {}, fingerprint {:#018x}",
+        bytes.len(),
+        checkpoint.model.len(),
+        checkpoint.model.window(),
+        checkpoint.fingerprint,
+    ))
+}
+
+/// `model merge`: combine two checkpoints over identical or adjacent
+/// history windows into one. Both must carry the same config
+/// fingerprint — models learned under different configurations do not
+/// mix.
+pub fn model_merge(a_bytes: &[u8], b_bytes: &[u8]) -> Result<(Vec<u8>, String), CommandError> {
+    let a = decode_checkpoint(a_bytes)?;
+    let b = decode_checkpoint(b_bytes)?;
+    if a.fingerprint != b.fingerprint {
+        return Err(CommandError(format!(
+            "checkpoints were learned under different configurations \
+             ({:#018x} vs {:#018x}) and cannot be merged",
+            a.fingerprint, b.fingerprint
+        )));
+    }
+    let merged = LearnedModel::merge(&a.model, &b.model)?;
+    let summary = format!(
+        "merged {} + {} blocks over {} + {} into {} blocks over {}",
+        a.model.len(),
+        b.model.len(),
+        a.model.window(),
+        b.model.window(),
+        merged.len(),
+        merged.window(),
+    );
+    let encoded = encode_checkpoint(&Checkpoint {
+        fingerprint: a.fingerprint,
+        model: merged,
+    });
+    Ok((encoded, summary))
+}

@@ -1,0 +1,176 @@
+//! `status`: a human health summary from a metrics snapshot.
+
+use super::CommandError;
+use outage_obs::{parse_prometheus, Snapshot};
+
+/// Label value of `key` on a sample, if present.
+fn label<'a>(s: &'a outage_obs::Sample, key: &str) -> Option<&'a str> {
+    s.labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// `status`: render a human health summary from a `--metrics-out`
+/// Prometheus snapshot.
+pub fn status(snapshot_text: &str) -> Result<String, CommandError> {
+    let snap = parse_prometheus(snapshot_text)
+        .map_err(|e| CommandError(format!("metrics snapshot: {e}")))?;
+    let mut out = String::new();
+
+    status_sentinel(&snap, &mut out);
+    status_quarantine(&snap, &mut out);
+    status_detection(&snap, &mut out);
+    status_stages(&snap, &mut out);
+    status_router(&snap, &mut out);
+
+    if out.is_empty() {
+        return Err(CommandError(
+            "snapshot holds no passive-outage (po_*) metrics".into(),
+        ));
+    }
+    Ok(out)
+}
+
+fn status_sentinel(snap: &Snapshot, out: &mut String) {
+    let Some(health) = snap.value("po_sentinel_health", &[]) else {
+        return;
+    };
+    let state = match health as i64 {
+        0 => "healthy",
+        1 => "degraded",
+        2 => "dark",
+        _ => "unknown",
+    };
+    out.push_str("feed sentinel\n");
+    out.push_str(&format!("  final state     {state}\n"));
+    if let Some(buckets) = snap.value("po_sentinel_buckets_total", &[]) {
+        let unhealthy = snap
+            .value("po_sentinel_unhealthy_buckets_total", &[])
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "  judged buckets  {buckets:.0} ({unhealthy:.0} unhealthy)\n"
+        ));
+    }
+    let transitions: Vec<String> = snap
+        .matching("po_sentinel_transitions_total")
+        .into_iter()
+        .filter(|s| s.value > 0.0)
+        .filter_map(|s| {
+            Some(format!(
+                "{}->{} {:.0}",
+                label(s, "from")?,
+                label(s, "to")?,
+                s.value
+            ))
+        })
+        .collect();
+    out.push_str(&format!(
+        "  transitions     {}\n",
+        if transitions.is_empty() {
+            "none".to_string()
+        } else {
+            transitions.join(", ")
+        }
+    ));
+    let dwell: Vec<String> = snap
+        .matching("po_sentinel_time_in_state_seconds_total")
+        .into_iter()
+        .filter(|s| s.value > 0.0)
+        .filter_map(|s| Some(format!("{} {:.0} s", label(s, "state")?, s.value)))
+        .collect();
+    if !dwell.is_empty() {
+        out.push_str(&format!("  time in state   {}\n", dwell.join(", ")));
+    }
+}
+
+fn status_quarantine(snap: &Snapshot, out: &mut String) {
+    let spans = snap.value("po_quarantine_intervals_total", &[]);
+    let secs = snap.value("po_quarantine_seconds_total", &[]);
+    if spans.is_none() && secs.is_none() {
+        return;
+    }
+    out.push_str("quarantine\n");
+    out.push_str(&format!(
+        "  spans           {:.0} totalling {:.0} s\n",
+        spans.unwrap_or(0.0),
+        secs.unwrap_or(0.0)
+    ));
+}
+
+fn status_detection(snap: &Snapshot, out: &mut String) {
+    let Some(arrivals) = snap.value("po_detect_arrivals_total", &[]) else {
+        return;
+    };
+    out.push_str("detection\n");
+    let units = snap.value("po_detect_units", &[]).unwrap_or(0.0);
+    let covered = snap.value("po_detect_covered_blocks", &[]).unwrap_or(0.0);
+    let strays = snap.value("po_detect_strays_total", &[]).unwrap_or(0.0);
+    out.push_str(&format!(
+        "  arrivals        {arrivals:.0} over {units:.0} units ({covered:.0} blocks covered, {strays:.0} strays)\n"
+    ));
+    let bins = snap
+        .value("po_detect_verdicts_total", &[("path", "bin")])
+        .unwrap_or(0.0);
+    let gaps = snap
+        .value("po_detect_verdicts_total", &[("path", "gap")])
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "  verdicts        {:.0} ({bins:.0} via bins, {gaps:.0} via gaps)\n",
+        bins + gaps
+    ));
+}
+
+fn status_stages(snap: &Snapshot, out: &mut String) {
+    let sums = snap.matching("po_stage_seconds_sum");
+    if sums.is_empty() {
+        return;
+    }
+    out.push_str("stages\n");
+    for s in sums {
+        let Some(stage) = label(s, "stage") else {
+            continue;
+        };
+        let count = snap
+            .value("po_stage_seconds_count", &[("stage", stage)])
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {stage:<15} {:.3} s over {count:.0} run(s)\n",
+            s.value
+        ));
+    }
+}
+
+fn status_router(snap: &Snapshot, out: &mut String) {
+    let batches = snap.value("po_router_batches_total", &[]);
+    let busy = snap.matching("po_worker_busy_seconds_total");
+    if batches.is_none() && busy.is_empty() {
+        return;
+    }
+    out.push_str("parallel driver\n");
+    if let Some(b) = batches {
+        let routed = snap
+            .value("po_router_observations_total", &[])
+            .unwrap_or(0.0);
+        let skips = snap.value("po_router_skipto_total", &[]).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  router          {b:.0} batches, {routed:.0} observations, {skips:.0} skip-to broadcasts\n"
+        ));
+    }
+    let mut workers: Vec<(String, f64, f64)> = busy
+        .into_iter()
+        .filter_map(|s| {
+            let w = label(s, "worker")?.to_string();
+            let idle = snap
+                .value("po_worker_idle_seconds_total", &[("worker", &w)])
+                .unwrap_or(0.0);
+            Some((w, s.value, idle))
+        })
+        .collect();
+    workers.sort_by_key(|(w, _, _)| w.parse::<u64>().unwrap_or(u64::MAX));
+    for (w, busy_s, idle_s) in workers {
+        out.push_str(&format!(
+            "  worker {w:<8} busy {busy_s:.3} s, idle {idle_s:.3} s\n"
+        ));
+    }
+}

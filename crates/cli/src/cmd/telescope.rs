@@ -1,0 +1,41 @@
+//! `telescope`: wire-format intake breakdown for a scenario's feed.
+
+use super::{build_preset, CommandError};
+use outage_dnswire::Telescope;
+use outage_netsim::{FaultPlan, PacketFeed};
+
+/// `telescope`: render a scenario's feed as wire-format DNS packets,
+/// optionally corrupt some payloads, and report the intake breakdown the
+/// parsing telescope saw.
+pub fn telescope(
+    preset: &str,
+    num_as: u32,
+    seed: u64,
+    corrupt_prob: f64,
+) -> Result<String, CommandError> {
+    if !(0.0..=1.0).contains(&corrupt_prob) {
+        return Err(CommandError(format!(
+            "--corrupt {corrupt_prob} outside [0, 1]"
+        )));
+    }
+    let scenario = build_preset(preset, num_as, seed)?;
+    let observations = scenario.collect_observations();
+    let mut feed = PacketFeed::new(seed);
+    let packets: Vec<_> = feed.render_all(observations.iter().copied()).collect();
+    let plan = FaultPlan::new(seed).corrupt(corrupt_prob);
+    let registry = outage_obs::Registry::new();
+    let mut tel = Telescope::new().with_metrics(&registry);
+    let accepted = tel.observe_all(plan.corrupt_packets(packets)).count();
+    let stats = tel.stats();
+    debug_assert_eq!(accepted as u64, stats.accepted);
+    debug_assert_eq!(
+        registry
+            .value("po_telescope_packets_total", &[("result", "accepted")])
+            .unwrap_or(0.0) as u64,
+        stats.accepted
+    );
+    Ok(format!(
+        "preset {} ({} ASes, seed {}, corrupt {:.3}): {}",
+        preset, num_as, seed, corrupt_prob, stats
+    ))
+}

@@ -1,1263 +1,11 @@
-//! Command implementations, kept I/O-free for testability: each command
-//! takes parsed inputs and returns the text it would print / write.
+//! Compatibility facade over the per-command modules in [`crate::cmd`].
+//!
+//! Command logic used to live in this one file; it now lives in one
+//! module per command family. Existing `outage_cli::commands::*` paths
+//! keep working through these re-exports.
 
-use crate::format;
-use outage_core::LearnedModel;
-use outage_core::{
-    coverage_by_width, detect_parallel, detect_parallel_with_sentinel, ConfigError, DetectorConfig,
-    PassiveDetector, SentinelConfig,
+pub use crate::cmd::{
+    build_preset, coverage, detect, detect_with, eval, learn, model_inspect, model_merge,
+    model_verify, simulate, status, telescope, CommandError, DetectOptions, DetectOutput,
+    LearnOutput, SimulateOutput,
 };
-use outage_dnswire::Telescope;
-use outage_eval::{duration_table, event_table, summarize, DurationMatrix, EventMatrix};
-use outage_netsim::{FaultPlan, PacketFeed, Scenario};
-use outage_obs::{parse_prometheus, Obs, Snapshot, StoreMetrics};
-use outage_store::{decode_checkpoint, encode_checkpoint, Checkpoint, StoreError};
-use outage_types::{
-    durations, AddrFamily, DetectorId, Interval, IntervalSet, Observation, OutageEvent, Prefix,
-    Timeline, UnixTime,
-};
-use std::collections::HashMap;
-
-/// Command error (bad arguments or bad input data).
-#[derive(Debug)]
-pub struct CommandError(pub String);
-
-impl std::fmt::Display for CommandError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for CommandError {}
-
-impl From<format::ParseError> for CommandError {
-    fn from(e: format::ParseError) -> Self {
-        CommandError(e.to_string())
-    }
-}
-
-impl From<ConfigError> for CommandError {
-    fn from(e: ConfigError) -> Self {
-        CommandError(format!("invalid detector configuration: {e}"))
-    }
-}
-
-impl From<StoreError> for CommandError {
-    fn from(e: StoreError) -> Self {
-        CommandError(format!("model checkpoint: {e}"))
-    }
-}
-
-impl From<outage_core::ModelError> for CommandError {
-    fn from(e: outage_core::ModelError) -> Self {
-        CommandError(format!("model merge: {e}"))
-    }
-}
-
-/// The window a document is detected (and learned) over: explicit
-/// seconds, or the last observation rounded up to a whole day.
-fn detection_window(
-    observations: &[Observation],
-    window_secs: Option<u64>,
-) -> Result<Interval, CommandError> {
-    let max_t = observations
-        .iter()
-        .map(|o| o.time.secs())
-        .max()
-        .expect("non-empty");
-    let window_end = window_secs.unwrap_or_else(|| max_t.div_ceil(durations::DAY) * durations::DAY);
-    if window_end <= max_t && window_secs.is_some() {
-        return Err(CommandError(format!(
-            "--window {window_end} does not cover the last observation at {max_t}"
-        )));
-    }
-    Ok(Interval::new(UnixTime::EPOCH, UnixTime(window_end)))
-}
-
-/// Worker-count resolution shared by `learn` and `detect`.
-fn resolve_workers(workers: Option<usize>) -> Result<usize, CommandError> {
-    let workers = workers.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
-    if workers == 0 {
-        return Err(CommandError("--workers must be at least 1".into()));
-    }
-    Ok(workers)
-}
-
-/// Scenario presets nameable from the command line.
-pub fn build_preset(name: &str, num_as: u32, seed: u64) -> Result<Scenario, CommandError> {
-    Ok(match name {
-        "quick" => Scenario::quick(seed),
-        "table1" => Scenario::table1(num_as, seed),
-        "table3" => Scenario::table3(num_as, seed),
-        "tradeoff" => Scenario::tradeoff(num_as, seed),
-        "ipv6-day" => Scenario::ipv6_day(num_as, seed),
-        other => {
-            return Err(CommandError(format!(
-                "unknown preset {other:?} (try quick, table1, table3, tradeoff, ipv6-day)"
-            )))
-        }
-    })
-}
-
-/// Output of `simulate`.
-pub struct SimulateOutput {
-    /// Observation document.
-    pub observations: String,
-    /// Ground-truth event document.
-    pub truth: String,
-    /// Human summary for stderr.
-    pub summary: String,
-}
-
-/// `simulate`: generate a scenario's passive feed and its ground truth.
-pub fn simulate(preset: &str, num_as: u32, seed: u64) -> Result<SimulateOutput, CommandError> {
-    let scenario = build_preset(preset, num_as, seed)?;
-    let observations = scenario.collect_observations();
-    let truth_events: Vec<OutageEvent> = {
-        let mut evs: Vec<OutageEvent> = scenario
-            .schedule
-            .blocks_with_outages()
-            .flat_map(|(p, set)| {
-                set.iter().map(|iv| OutageEvent {
-                    prefix: *p,
-                    interval: *iv,
-                    confidence: 1.0,
-                    detector: DetectorId::GroundTruth,
-                })
-            })
-            .collect();
-        evs.sort_by_key(|e| (e.interval.start, e.prefix));
-        evs
-    };
-    let summary = format!(
-        "preset {} ({} ASes, seed {}): {} observations from {} blocks, {} ground-truth outages over {}",
-        preset,
-        num_as,
-        seed,
-        observations.len(),
-        scenario.internet.blocks().len(),
-        truth_events.len(),
-        scenario.window(),
-    );
-    Ok(SimulateOutput {
-        observations: format::render_observations(&observations),
-        truth: format::render_events(&truth_events),
-        summary,
-    })
-}
-
-/// Output of `detect`.
-#[derive(Debug)]
-pub struct DetectOutput {
-    /// Detected event document.
-    pub events: String,
-    /// Quarantined-interval document (empty set unless a sentinel ran
-    /// and tripped).
-    pub quarantine: String,
-    /// Prometheus-text metrics snapshot of the run.
-    pub metrics: String,
-    /// Span trace as JSON lines (only when tracing was requested).
-    pub trace: Option<String>,
-    /// Encoded model checkpoint of the learned histories (only when
-    /// [`DetectOptions::model_out`] was set).
-    pub model: Option<Vec<u8>>,
-    /// Human summary.
-    pub summary: String,
-}
-
-/// Knobs for [`detect_with`] beyond the observation document itself.
-#[derive(Debug, Clone, Default)]
-pub struct DetectOptions {
-    /// Explicit window end (seconds); defaults to the last observation
-    /// rounded up to a whole day.
-    pub window_secs: Option<u64>,
-    /// Sensor faults to inject into the feed before detection.
-    pub fault_plan: Option<FaultPlan>,
-    /// Guard detection with a feed sentinel under this configuration.
-    pub sentinel: Option<SentinelConfig>,
-    /// Worker threads for the sharded history pass and the parallel
-    /// detection driver; `None` means available parallelism.
-    pub workers: Option<usize>,
-    /// Record structured spans (for `--trace-out`). Metrics are always
-    /// collected; only span tracing is opt-in.
-    pub trace: bool,
-    /// An encoded model checkpoint (`learn --model-out`): warm-start by
-    /// skipping the history pass entirely. The checkpoint's config
-    /// fingerprint and history window must match this run's.
-    pub model: Option<Vec<u8>>,
-    /// Encode the learned model into [`DetectOutput::model`] so the
-    /// caller can persist it (`detect --model-out`). Meaningless — and
-    /// rejected — together with `model`: a warm-started run has nothing
-    /// newly learned to save.
-    pub model_out: bool,
-}
-
-/// `detect`: run the passive detector over an observation document.
-pub fn detect(
-    observations_doc: &str,
-    window_secs: Option<u64>,
-) -> Result<DetectOutput, CommandError> {
-    detect_with(
-        observations_doc,
-        &DetectOptions {
-            window_secs,
-            ..DetectOptions::default()
-        },
-    )
-}
-
-/// `detect` with fault injection and/or a feed sentinel.
-pub fn detect_with(
-    observations_doc: &str,
-    opts: &DetectOptions,
-) -> Result<DetectOutput, CommandError> {
-    let mut observations = format::parse_observations(observations_doc)?;
-    if observations.is_empty() {
-        return Err(CommandError("no observations in input".into()));
-    }
-    let mut fault_note = String::new();
-    if let Some(plan) = &opts.fault_plan {
-        let before = observations.len();
-        observations = plan.apply_to_vec(&observations);
-        // The batch detector wants time order; delivery-order effects
-        // (reordering) only matter to the streaming path.
-        observations.sort_unstable();
-        if observations.is_empty() {
-            return Err(CommandError("fault plan silenced every observation".into()));
-        }
-        fault_note = format!(
-            " [faults: {} -> {} observations, {} s marked faulted]",
-            before,
-            observations.len(),
-            plan.faulted().total()
-        );
-    }
-    let window = detection_window(&observations, opts.window_secs)?;
-    let workers = resolve_workers(opts.workers)?;
-
-    let obs = if opts.trace {
-        Obs::with_tracing()
-    } else {
-        Obs::new()
-    };
-    let detector = PassiveDetector::try_new(DetectorConfig::default())?.with_obs(obs.clone());
-    if opts.model.is_some() && opts.model_out {
-        return Err(CommandError(
-            "--model and --model-out are mutually exclusive: a warm-started run \
-             skips learning, so there is no newly learned model to save"
-                .into(),
-        ));
-    }
-    // Both passes go through the parallel path by default: sharded
-    // history learning, then the router/worker detection driver (both
-    // produce results identical to the sequential pipeline). A supplied
-    // checkpoint replaces the learning pass entirely (warm start).
-    let mut warm_note = String::new();
-    let mut model_bytes = None;
-    let histories = match &opts.model {
-        Some(bytes) => {
-            let metrics = StoreMetrics::register(&obs.registry);
-            let checkpoint = match decode_checkpoint(bytes) {
-                Ok(c) => c,
-                Err(e) => {
-                    if matches!(
-                        e,
-                        StoreError::ChecksumMismatch { .. } | StoreError::Inconsistent { .. }
-                    ) {
-                        metrics.checksum_failures.inc();
-                    }
-                    return Err(e.into());
-                }
-            };
-            metrics.bytes_read.add(bytes.len() as u64);
-            let expected = detector.config().fingerprint();
-            if checkpoint.fingerprint != expected {
-                return Err(StoreError::FingerprintMismatch {
-                    expected,
-                    found: checkpoint.fingerprint,
-                }
-                .into());
-            }
-            if checkpoint.model.window() != window {
-                return Err(CommandError(format!(
-                    "checkpoint history window {} does not match the detection window {} \
-                     (pass --window {} to align them)",
-                    checkpoint.model.window(),
-                    window,
-                    checkpoint.model.window().end.secs()
-                )));
-            }
-            metrics.warm_start_hits.inc();
-            warm_note = " [warm start from checkpoint]".to_string();
-            checkpoint.model.into_indexed()
-        }
-        None if opts.model_out => {
-            let model = detector.learn_model(&observations, window, workers);
-            let encoded = encode_checkpoint(&Checkpoint {
-                fingerprint: detector.config().fingerprint(),
-                model: model.clone(),
-            });
-            StoreMetrics::register(&obs.registry)
-                .bytes_written
-                .add(encoded.len() as u64);
-            model_bytes = Some(encoded);
-            model.into_indexed()
-        }
-        None => detector.learn_histories_parallel(&observations, window, workers),
-    };
-    let report = match &opts.sentinel {
-        None => detect_parallel(
-            &detector,
-            &histories,
-            observations.iter().copied(),
-            window,
-            workers,
-        ),
-        Some(cfg) => detect_parallel_with_sentinel(
-            &detector,
-            &histories,
-            observations.iter().copied(),
-            window,
-            workers,
-            cfg,
-        )?,
-    };
-    let mut events = report.events();
-    events.sort_by_key(|e| (e.interval.start, e.prefix));
-
-    let quarantine_note = if opts.sentinel.is_some() {
-        format!(
-            ", {} quarantined spans totalling {} s",
-            report.quarantined_spans(),
-            report.quarantined_secs()
-        )
-    } else {
-        String::new()
-    };
-    let d = report.diagnostics();
-    let summary = format!(
-        "window {}: {} observations{}{}, {} blocks covered ({} uncovered), {} outage events \
-         ({} via bins, {} via exact-timestamp gaps){}, {} workers\n{}",
-        window,
-        observations.len(),
-        fault_note,
-        warm_note,
-        report.covered_blocks(),
-        report.uncovered.len(),
-        events.len(),
-        d.bin_detections,
-        d.gap_detections,
-        quarantine_note,
-        workers,
-        summarize(&events, 5),
-    );
-    Ok(DetectOutput {
-        events: format::render_events(&events),
-        quarantine: format::render_intervals(&report.quarantined),
-        metrics: obs.registry.render_prometheus(),
-        trace: obs.tracer.as_ref().map(|t| t.to_jsonl()),
-        model: model_bytes,
-        summary,
-    })
-}
-
-/// Output of `learn`.
-#[derive(Debug)]
-pub struct LearnOutput {
-    /// The encoded model checkpoint (for `--model-out`).
-    pub model: Vec<u8>,
-    /// Human summary.
-    pub summary: String,
-}
-
-/// `learn`: run only the history pass over an observation document and
-/// produce a model checkpoint for later warm-start detection or
-/// incremental merging.
-pub fn learn(
-    observations_doc: &str,
-    window_secs: Option<u64>,
-    workers: Option<usize>,
-) -> Result<LearnOutput, CommandError> {
-    let observations = format::parse_observations(observations_doc)?;
-    if observations.is_empty() {
-        return Err(CommandError("no observations in input".into()));
-    }
-    let window = detection_window(&observations, window_secs)?;
-    let workers = resolve_workers(workers)?;
-    let detector = PassiveDetector::try_new(DetectorConfig::default())?;
-    let model = detector.learn_model(&observations, window, workers);
-    let summary = format!(
-        "learned {} block histories from {} observations over {} ({} workers, fingerprint {:#018x})",
-        model.len(),
-        observations.len(),
-        window,
-        workers,
-        detector.config().fingerprint(),
-    );
-    let encoded = encode_checkpoint(&Checkpoint {
-        fingerprint: detector.config().fingerprint(),
-        model,
-    });
-    Ok(LearnOutput {
-        model: encoded,
-        summary,
-    })
-}
-
-/// `model inspect`: human-readable view of a checkpoint's header and
-/// shape (fully validates the file along the way).
-pub fn model_inspect(bytes: &[u8]) -> Result<String, CommandError> {
-    let checkpoint = decode_checkpoint(bytes)?;
-    let model = &checkpoint.model;
-    let v4 = model
-        .index()
-        .prefixes()
-        .iter()
-        .filter(|p| p.family() == AddrFamily::V4)
-        .count();
-    let v6 = model.len() - v4;
-    let total_events: u64 = model.indexed().histories().iter().map(|h| h.total).sum();
-    let shaped = model
-        .indexed()
-        .histories()
-        .iter()
-        .filter(|h| h.shape_estimated)
-        .count();
-    Ok(format!(
-        "model checkpoint ({} bytes, format v{})\n\
-         \x20 fingerprint   {:#018x}\n\
-         \x20 window        {} ({} hour rows)\n\
-         \x20 blocks        {} ({v4} IPv4, {v6} IPv6; {shaped} with estimated diurnal shape)\n\
-         \x20 arrivals      {total_events}\n",
-        bytes.len(),
-        outage_store::VERSION,
-        checkpoint.fingerprint,
-        model.window(),
-        model.hours(),
-        model.len(),
-    ))
-}
-
-/// `model verify`: full structural validation (CRCs, section
-/// consistency, arena/history agreement). Returns a one-line bill of
-/// health; any corruption surfaces as the typed store error.
-pub fn model_verify(bytes: &[u8]) -> Result<String, CommandError> {
-    let checkpoint = decode_checkpoint(bytes)?;
-    Ok(format!(
-        "ok: {} bytes, {} blocks over {}, fingerprint {:#018x}",
-        bytes.len(),
-        checkpoint.model.len(),
-        checkpoint.model.window(),
-        checkpoint.fingerprint,
-    ))
-}
-
-/// `model merge`: combine two checkpoints over identical or adjacent
-/// history windows into one. Both must carry the same config
-/// fingerprint — models learned under different configurations do not
-/// mix.
-pub fn model_merge(a_bytes: &[u8], b_bytes: &[u8]) -> Result<(Vec<u8>, String), CommandError> {
-    let a = decode_checkpoint(a_bytes)?;
-    let b = decode_checkpoint(b_bytes)?;
-    if a.fingerprint != b.fingerprint {
-        return Err(CommandError(format!(
-            "checkpoints were learned under different configurations \
-             ({:#018x} vs {:#018x}) and cannot be merged",
-            a.fingerprint, b.fingerprint
-        )));
-    }
-    let merged = LearnedModel::merge(&a.model, &b.model)?;
-    let summary = format!(
-        "merged {} + {} blocks over {} + {} into {} blocks over {}",
-        a.model.len(),
-        b.model.len(),
-        a.model.window(),
-        b.model.window(),
-        merged.len(),
-        merged.window(),
-    );
-    let encoded = encode_checkpoint(&Checkpoint {
-        fingerprint: a.fingerprint,
-        model: merged,
-    });
-    Ok((encoded, summary))
-}
-
-/// `coverage`: the Figure-1 curve for an observation document.
-pub fn coverage(observations_doc: &str) -> Result<String, CommandError> {
-    let observations = format::parse_observations(observations_doc)?;
-    if observations.is_empty() {
-        return Err(CommandError("no observations in input".into()));
-    }
-    let max_t = observations.iter().map(|o| o.time.secs()).max().unwrap();
-    let window = Interval::new(
-        UnixTime::EPOCH,
-        UnixTime(max_t.div_ceil(durations::DAY) * durations::DAY),
-    );
-    let detector = PassiveDetector::new(DetectorConfig::default());
-    let histories = detector.learn_histories(observations.iter().copied(), window);
-    let mut out = String::from("bin-width-secs measurable total fraction\n");
-    for p in coverage_by_width(&histories, detector.config(), None) {
-        out.push_str(&format!(
-            "{:>14} {:>10} {:>5} {:>8.3}\n",
-            p.width,
-            p.measurable,
-            p.total,
-            p.fraction()
-        ));
-    }
-    Ok(out)
-}
-
-/// Fold an event document into per-prefix timelines over a window.
-fn timelines_from_events(events: &[OutageEvent], window: Interval) -> HashMap<Prefix, Timeline> {
-    let mut downs: HashMap<Prefix, IntervalSet> = HashMap::new();
-    for ev in events {
-        downs.entry(ev.prefix).or_default().insert(ev.interval);
-    }
-    downs
-        .into_iter()
-        .map(|(p, set)| (p, Timeline::from_down(window, set)))
-        .collect()
-}
-
-/// `eval`: compare two event documents (observation vs truth) over the
-/// prefixes present in either, within an explicit window. Spans in
-/// `excluded` (e.g. sentinel quarantine) are scored for neither side.
-pub fn eval(
-    observed_doc: &str,
-    truth_doc: &str,
-    window_secs: u64,
-    min_secs: u64,
-    event_mode: bool,
-    tolerance: u64,
-    excluded: &IntervalSet,
-) -> Result<String, CommandError> {
-    let observed = format::parse_events(observed_doc)?;
-    let truth = format::parse_events(truth_doc)?;
-    let window = Interval::new(UnixTime::EPOCH, UnixTime(window_secs));
-    let obs_tl = timelines_from_events(&observed, window);
-    let tru_tl = timelines_from_events(&truth, window);
-
-    // Population: union of prefixes (a prefix absent from a document is
-    // all-up there).
-    let mut prefixes: Vec<Prefix> = obs_tl.keys().chain(tru_tl.keys()).copied().collect();
-    prefixes.sort_unstable();
-    prefixes.dedup();
-    let all_up = Timeline::all_up(window);
-    let exclusion_note = if excluded.is_empty() {
-        String::new()
-    } else {
-        format!(", {} s excluded", excluded.total())
-    };
-
-    if event_mode {
-        let mut m = EventMatrix::default();
-        for p in &prefixes {
-            let o = obs_tl.get(p).unwrap_or(&all_up);
-            let t = tru_tl.get(p).unwrap_or(&all_up);
-            m += EventMatrix::of_excluding(o, t, min_secs, tolerance, excluded);
-        }
-        Ok(event_table(
-            &format!(
-                "event-matched comparison ({} prefixes, ≥{} s, ±{} s{})",
-                prefixes.len(),
-                min_secs,
-                tolerance,
-                exclusion_note
-            ),
-            &m,
-        ))
-    } else {
-        let mut m = DurationMatrix::default();
-        for p in &prefixes {
-            let o = obs_tl.get(p).unwrap_or(&all_up);
-            let t = tru_tl.get(p).unwrap_or(&all_up);
-            m += DurationMatrix::of_excluding(o, t, min_secs, excluded);
-        }
-        Ok(duration_table(
-            &format!(
-                "duration-weighted comparison ({} prefixes, ≥{} s{})",
-                prefixes.len(),
-                min_secs,
-                exclusion_note
-            ),
-            &m,
-        ))
-    }
-}
-
-/// Label value of `key` on a sample, if present.
-fn label<'a>(s: &'a outage_obs::Sample, key: &str) -> Option<&'a str> {
-    s.labels
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v.as_str())
-}
-
-/// `status`: render a human health summary from a `--metrics-out`
-/// Prometheus snapshot.
-pub fn status(snapshot_text: &str) -> Result<String, CommandError> {
-    let snap = parse_prometheus(snapshot_text)
-        .map_err(|e| CommandError(format!("metrics snapshot: {e}")))?;
-    let mut out = String::new();
-
-    status_sentinel(&snap, &mut out);
-    status_quarantine(&snap, &mut out);
-    status_detection(&snap, &mut out);
-    status_stages(&snap, &mut out);
-    status_router(&snap, &mut out);
-
-    if out.is_empty() {
-        return Err(CommandError(
-            "snapshot holds no passive-outage (po_*) metrics".into(),
-        ));
-    }
-    Ok(out)
-}
-
-fn status_sentinel(snap: &Snapshot, out: &mut String) {
-    let Some(health) = snap.value("po_sentinel_health", &[]) else {
-        return;
-    };
-    let state = match health as i64 {
-        0 => "healthy",
-        1 => "degraded",
-        2 => "dark",
-        _ => "unknown",
-    };
-    out.push_str("feed sentinel\n");
-    out.push_str(&format!("  final state     {state}\n"));
-    if let Some(buckets) = snap.value("po_sentinel_buckets_total", &[]) {
-        let unhealthy = snap
-            .value("po_sentinel_unhealthy_buckets_total", &[])
-            .unwrap_or(0.0);
-        out.push_str(&format!(
-            "  judged buckets  {buckets:.0} ({unhealthy:.0} unhealthy)\n"
-        ));
-    }
-    let transitions: Vec<String> = snap
-        .matching("po_sentinel_transitions_total")
-        .into_iter()
-        .filter(|s| s.value > 0.0)
-        .filter_map(|s| {
-            Some(format!(
-                "{}->{} {:.0}",
-                label(s, "from")?,
-                label(s, "to")?,
-                s.value
-            ))
-        })
-        .collect();
-    out.push_str(&format!(
-        "  transitions     {}\n",
-        if transitions.is_empty() {
-            "none".to_string()
-        } else {
-            transitions.join(", ")
-        }
-    ));
-    let dwell: Vec<String> = snap
-        .matching("po_sentinel_time_in_state_seconds_total")
-        .into_iter()
-        .filter(|s| s.value > 0.0)
-        .filter_map(|s| Some(format!("{} {:.0} s", label(s, "state")?, s.value)))
-        .collect();
-    if !dwell.is_empty() {
-        out.push_str(&format!("  time in state   {}\n", dwell.join(", ")));
-    }
-}
-
-fn status_quarantine(snap: &Snapshot, out: &mut String) {
-    let spans = snap.value("po_quarantine_intervals_total", &[]);
-    let secs = snap.value("po_quarantine_seconds_total", &[]);
-    if spans.is_none() && secs.is_none() {
-        return;
-    }
-    out.push_str("quarantine\n");
-    out.push_str(&format!(
-        "  spans           {:.0} totalling {:.0} s\n",
-        spans.unwrap_or(0.0),
-        secs.unwrap_or(0.0)
-    ));
-}
-
-fn status_detection(snap: &Snapshot, out: &mut String) {
-    let Some(arrivals) = snap.value("po_detect_arrivals_total", &[]) else {
-        return;
-    };
-    out.push_str("detection\n");
-    let units = snap.value("po_detect_units", &[]).unwrap_or(0.0);
-    let covered = snap.value("po_detect_covered_blocks", &[]).unwrap_or(0.0);
-    let strays = snap.value("po_detect_strays_total", &[]).unwrap_or(0.0);
-    out.push_str(&format!(
-        "  arrivals        {arrivals:.0} over {units:.0} units ({covered:.0} blocks covered, {strays:.0} strays)\n"
-    ));
-    let bins = snap
-        .value("po_detect_verdicts_total", &[("path", "bin")])
-        .unwrap_or(0.0);
-    let gaps = snap
-        .value("po_detect_verdicts_total", &[("path", "gap")])
-        .unwrap_or(0.0);
-    out.push_str(&format!(
-        "  verdicts        {:.0} ({bins:.0} via bins, {gaps:.0} via gaps)\n",
-        bins + gaps
-    ));
-}
-
-fn status_stages(snap: &Snapshot, out: &mut String) {
-    let sums = snap.matching("po_stage_seconds_sum");
-    if sums.is_empty() {
-        return;
-    }
-    out.push_str("stages\n");
-    for s in sums {
-        let Some(stage) = label(s, "stage") else {
-            continue;
-        };
-        let count = snap
-            .value("po_stage_seconds_count", &[("stage", stage)])
-            .unwrap_or(0.0);
-        out.push_str(&format!(
-            "  {stage:<15} {:.3} s over {count:.0} run(s)\n",
-            s.value
-        ));
-    }
-}
-
-fn status_router(snap: &Snapshot, out: &mut String) {
-    let batches = snap.value("po_router_batches_total", &[]);
-    let busy = snap.matching("po_worker_busy_seconds_total");
-    if batches.is_none() && busy.is_empty() {
-        return;
-    }
-    out.push_str("parallel driver\n");
-    if let Some(b) = batches {
-        let routed = snap
-            .value("po_router_observations_total", &[])
-            .unwrap_or(0.0);
-        let skips = snap.value("po_router_skipto_total", &[]).unwrap_or(0.0);
-        out.push_str(&format!(
-            "  router          {b:.0} batches, {routed:.0} observations, {skips:.0} skip-to broadcasts\n"
-        ));
-    }
-    let mut workers: Vec<(String, f64, f64)> = busy
-        .into_iter()
-        .filter_map(|s| {
-            let w = label(s, "worker")?.to_string();
-            let idle = snap
-                .value("po_worker_idle_seconds_total", &[("worker", &w)])
-                .unwrap_or(0.0);
-            Some((w, s.value, idle))
-        })
-        .collect();
-    workers.sort_by_key(|(w, _, _)| w.parse::<u64>().unwrap_or(u64::MAX));
-    for (w, busy_s, idle_s) in workers {
-        out.push_str(&format!(
-            "  worker {w:<8} busy {busy_s:.3} s, idle {idle_s:.3} s\n"
-        ));
-    }
-}
-
-/// `telescope`: render a scenario's feed as wire-format DNS packets,
-/// optionally corrupt some payloads, and report the intake breakdown the
-/// parsing telescope saw.
-pub fn telescope(
-    preset: &str,
-    num_as: u32,
-    seed: u64,
-    corrupt_prob: f64,
-) -> Result<String, CommandError> {
-    if !(0.0..=1.0).contains(&corrupt_prob) {
-        return Err(CommandError(format!(
-            "--corrupt {corrupt_prob} outside [0, 1]"
-        )));
-    }
-    let scenario = build_preset(preset, num_as, seed)?;
-    let observations = scenario.collect_observations();
-    let mut feed = PacketFeed::new(seed);
-    let packets: Vec<_> = feed.render_all(observations.iter().copied()).collect();
-    let plan = FaultPlan::new(seed).corrupt(corrupt_prob);
-    let registry = outage_obs::Registry::new();
-    let mut tel = Telescope::new().with_metrics(&registry);
-    let accepted = tel.observe_all(plan.corrupt_packets(packets)).count();
-    let stats = tel.stats();
-    debug_assert_eq!(accepted as u64, stats.accepted);
-    debug_assert_eq!(
-        registry
-            .value("po_telescope_packets_total", &[("result", "accepted")])
-            .unwrap_or(0.0) as u64,
-        stats.accepted
-    );
-    Ok(format!(
-        "preset {} ({} ASes, seed {}, corrupt {:.3}): {}",
-        preset, num_as, seed, corrupt_prob, stats
-    ))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn simulate_then_detect_then_eval_pipeline() {
-        let sim = simulate("quick", 40, 5).unwrap();
-        assert!(sim.summary.contains("observations"));
-        let det = detect(&sim.observations, Some(86_400)).unwrap();
-        assert!(det.summary.contains("blocks covered"));
-        // Duration-mode eval against ground truth: precision should be
-        // very high end to end through the text formats.
-        let table = eval(
-            &det.events,
-            &sim.truth,
-            86_400,
-            0,
-            false,
-            0,
-            &IntervalSet::new(),
-        )
-        .unwrap();
-        assert!(table.contains("Precision"), "{table}");
-        // extract precision value from the rendering
-        let line = table
-            .lines()
-            .find(|l| l.contains("Precision"))
-            .unwrap()
-            .to_string();
-        let value: f64 = line
-            .split("Precision")
-            .nth(1)
-            .unwrap()
-            .trim()
-            .trim_end_matches(['|', ' '])
-            .trim()
-            .parse()
-            .unwrap();
-        assert!(value > 0.98, "precision {value} via CLI pipeline");
-    }
-
-    #[test]
-    fn detect_window_validation() {
-        let sim = simulate("quick", 40, 6).unwrap();
-        assert!(detect(&sim.observations, Some(10)).is_err());
-        assert!(detect("# empty\n", None).is_err());
-    }
-
-    #[test]
-    fn unknown_preset_rejected() {
-        assert!(build_preset("nope", 10, 1).is_err());
-        assert!(simulate("nope", 10, 1).is_err());
-    }
-
-    #[test]
-    fn coverage_prints_monotone_curve() {
-        let sim = simulate("quick", 40, 7).unwrap();
-        let table = coverage(&sim.observations).unwrap();
-        let fractions: Vec<f64> = table
-            .lines()
-            .skip(1)
-            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
-            .collect();
-        assert!(fractions.len() >= 3);
-        for w in fractions.windows(2) {
-            assert!(w[0] <= w[1] + 1e-9);
-        }
-    }
-
-    #[test]
-    fn eval_event_mode_runs() {
-        let sim = simulate("table3", 30, 8).unwrap();
-        let det = detect(&sim.observations, Some(86_400)).unwrap();
-        let table = eval(
-            &det.events,
-            &sim.truth,
-            86_400,
-            300,
-            true,
-            180,
-            &IntervalSet::new(),
-        )
-        .unwrap();
-        assert!(table.contains("event"), "{table}");
-        assert!(table.contains("TNR"));
-    }
-
-    /// A steady synthetic feed: four /24s, one query each every 10 s,
-    /// for two days. Aggregate rate is far above the sentinel floor.
-    fn steady_feed_doc() -> String {
-        let mut doc = String::from("# synthetic\n");
-        for t in (0..2 * 86_400).step_by(10) {
-            for b in 0..4 {
-                doc.push_str(&format!("{t} 10.0.{b}.0/24\n"));
-            }
-        }
-        doc
-    }
-
-    #[test]
-    fn fault_plan_and_sentinel_flow_through_detect() {
-        let doc = steady_feed_doc();
-        let blackout = Interval::from_secs(120_000, 121_800);
-        let plan = FaultPlan::new(7).blackout(blackout);
-
-        // Sentinel off: the blackout reads as a mass outage.
-        let off = detect_with(
-            &doc,
-            &DetectOptions {
-                fault_plan: Some(plan.clone()),
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap();
-        let off_events = format::parse_events(&off.events).unwrap();
-        assert!(
-            off_events.iter().any(|e| e.interval.overlaps(&blackout)),
-            "expected false outages without the sentinel"
-        );
-
-        // Sentinel on: the span is quarantined instead.
-        let on = detect_with(
-            &doc,
-            &DetectOptions {
-                fault_plan: Some(plan),
-                sentinel: Some(SentinelConfig::default()),
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap();
-        assert!(on.summary.contains("quarantined"), "{}", on.summary);
-        let on_events = format::parse_events(&on.events).unwrap();
-        assert!(
-            !on_events.iter().any(|e| e.interval.overlaps(&blackout)),
-            "sentinel should suppress verdicts inside the blackout"
-        );
-        let quarantined = format::parse_intervals(&on.quarantine).unwrap();
-        assert!(quarantined.total() >= blackout.duration());
-        assert!(quarantined.iter().any(|iv| iv.overlaps(&blackout)));
-
-        // The quarantine document round-trips into eval's exclusion.
-        let truth = "# none\n";
-        let table = eval(&on.events, truth, 2 * 86_400, 0, false, 0, &quarantined).unwrap();
-        assert!(table.contains("excluded"), "{table}");
-    }
-
-    #[test]
-    fn worker_count_does_not_change_the_verdicts() {
-        let doc = steady_feed_doc();
-        let blackout = Interval::from_secs(120_000, 121_800);
-        let run = |workers| {
-            detect_with(
-                &doc,
-                &DetectOptions {
-                    fault_plan: Some(FaultPlan::new(7).blackout(blackout)),
-                    sentinel: Some(SentinelConfig::default()),
-                    workers: Some(workers),
-                    ..DetectOptions::default()
-                },
-            )
-            .unwrap()
-        };
-        let one = run(1);
-        assert!(one.summary.contains("1 workers"), "{}", one.summary);
-        for workers in [2, 4] {
-            let n = run(workers);
-            assert_eq!(n.events, one.events, "{workers} workers");
-            assert_eq!(n.quarantine, one.quarantine, "{workers} workers");
-        }
-        assert!(detect_with(
-            &doc,
-            &DetectOptions {
-                workers: Some(0),
-                ..DetectOptions::default()
-            },
-        )
-        .is_err());
-    }
-
-    #[test]
-    fn detect_emits_metrics_and_trace_and_status_renders_them() {
-        let doc = steady_feed_doc();
-        let blackout = Interval::from_secs(120_000, 121_800);
-        let out = detect_with(
-            &doc,
-            &DetectOptions {
-                fault_plan: Some(FaultPlan::new(7).blackout(blackout)),
-                sentinel: Some(SentinelConfig::default()),
-                workers: Some(2),
-                trace: true,
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap();
-
-        // The snapshot parses and carries the headline instrument families.
-        let snap = parse_prometheus(&out.metrics).unwrap();
-        assert!(
-            snap.sum("po_detect_arrivals_total") > 0.0,
-            "{}",
-            out.metrics
-        );
-        assert!(
-            snap.sum("po_sentinel_transitions_total") > 0.0,
-            "a blackout must drive at least one state transition"
-        );
-        assert!(
-            snap.value("po_quarantine_intervals_total", &[]).unwrap() >= 1.0,
-            "{}",
-            out.metrics
-        );
-        assert!(
-            snap.value("po_quarantine_seconds_total", &[]).unwrap() >= blackout.duration() as f64
-        );
-        assert_eq!(
-            snap.type_of("po_quarantine_duration_seconds"),
-            Some("histogram")
-        );
-        assert!(snap.sum("po_worker_busy_seconds_total") > 0.0);
-        assert!(
-            snap.value("po_stage_seconds_count", &[("stage", "learn")])
-                .unwrap()
-                >= 1.0
-        );
-
-        // Trace was requested: spans for every pipeline stage.
-        let trace = out.trace.unwrap();
-        for name in [
-            "\"learn\"",
-            "\"learn.shard\"",
-            "\"plan\"",
-            "\"detect.parallel\"",
-        ] {
-            assert!(trace.contains(name), "missing span {name} in:\n{trace}");
-        }
-
-        // And the status command renders a summary off the same snapshot.
-        let rendered = status(&out.metrics).unwrap();
-        assert!(rendered.contains("feed sentinel"), "{rendered}");
-        assert!(rendered.contains("quarantine"), "{rendered}");
-        assert!(rendered.contains("detection"), "{rendered}");
-        assert!(rendered.contains("worker 0"), "{rendered}");
-        assert!(rendered.contains("dark"), "{rendered}");
-    }
-
-    #[test]
-    fn status_rejects_garbage_and_empty_snapshots() {
-        assert!(status("not prometheus {{{").is_err());
-        let err = status("other_metric 1\n").unwrap_err();
-        assert!(err.to_string().contains("no passive-outage"), "{err}");
-    }
-
-    #[test]
-    fn invalid_sentinel_config_is_a_command_error() {
-        let doc = steady_feed_doc();
-        let bad = SentinelConfig {
-            bucket_secs: 0,
-            ..SentinelConfig::default()
-        };
-        let err = detect_with(
-            &doc,
-            &DetectOptions {
-                sentinel: Some(bad),
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap_err();
-        assert!(
-            err.to_string().contains("invalid detector configuration"),
-            "{err}"
-        );
-    }
-
-    #[test]
-    fn telescope_reports_intake_breakdown() {
-        let clean = telescope("quick", 20, 3, 0.0).unwrap();
-        assert!(clean.contains("dropped 0"), "{clean}");
-        let dirty = telescope("quick", 20, 3, 0.4).unwrap();
-        assert!(dirty.contains("malformed"), "{dirty}");
-        let malformed: u64 = dirty
-            .split("malformed ")
-            .nth(1)
-            .unwrap()
-            .trim_start()
-            .split([',', ')'])
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
-        assert!(
-            malformed > 0,
-            "corruption should damage some payloads: {dirty}"
-        );
-        assert!(telescope("quick", 20, 3, 1.5).is_err());
-        assert!(telescope("nope", 20, 3, 0.0).is_err());
-    }
-
-    #[test]
-    fn eval_handles_one_sided_prefixes() {
-        // truth has an outage on a prefix the observer never mentions
-        let truth = "# ev\n10.0.0.0/24 100 800 1.000 ground-truth\n";
-        let observed = "# ev\n10.0.1.0/24 100 800 0.900 passive-bayes\n";
-        let table = eval(observed, truth, 86_400, 0, false, 0, &IntervalSet::new()).unwrap();
-        // the missed outage is false availability, the invented one false
-        // outage; both prefixes accounted for the full window
-        assert!(table.contains("fa = 700"), "{table}");
-        assert!(table.contains("fo = 700"), "{table}");
-    }
-
-    #[test]
-    fn learn_then_warm_detect_matches_cold_detect() {
-        let sim = simulate("quick", 40, 21).unwrap();
-        let cold = detect(&sim.observations, Some(86_400)).unwrap();
-
-        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
-        assert!(
-            learned.summary.contains("fingerprint"),
-            "{}",
-            learned.summary
-        );
-
-        let warm = detect_with(
-            &sim.observations,
-            &DetectOptions {
-                window_secs: Some(86_400),
-                model: Some(learned.model.clone()),
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(warm.events, cold.events, "warm start changed the verdicts");
-        assert_eq!(warm.quarantine, cold.quarantine);
-        assert!(warm.summary.contains("warm start"), "{}", warm.summary);
-        assert!(!cold.summary.contains("warm start"));
-        // The warm run's snapshot must record the store traffic.
-        let snap = parse_prometheus(&warm.metrics).unwrap();
-        assert_eq!(
-            snap.value("po_store_warm_start_hits_total", &[]).unwrap(),
-            1.0
-        );
-        assert_eq!(
-            snap.value("po_store_bytes_read_total", &[]).unwrap(),
-            learned.model.len() as f64
-        );
-    }
-
-    #[test]
-    fn detect_model_out_emits_a_loadable_checkpoint() {
-        let sim = simulate("quick", 40, 22).unwrap();
-        let out = detect_with(
-            &sim.observations,
-            &DetectOptions {
-                window_secs: Some(86_400),
-                model_out: true,
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap();
-        let bytes = out.model.expect("model_out must populate the checkpoint");
-        assert!(model_verify(&bytes).unwrap().starts_with("ok: "));
-        // It matches what `learn` would have produced byte for byte.
-        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
-        assert_eq!(bytes, learned.model);
-        let snap = parse_prometheus(&out.metrics).unwrap();
-        assert_eq!(
-            snap.value("po_store_bytes_written_total", &[]).unwrap(),
-            bytes.len() as f64
-        );
-    }
-
-    #[test]
-    fn model_and_model_out_are_mutually_exclusive() {
-        let sim = simulate("quick", 40, 23).unwrap();
-        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
-        let err = detect_with(
-            &sim.observations,
-            &DetectOptions {
-                window_secs: Some(86_400),
-                model: Some(learned.model),
-                model_out: true,
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap_err();
-        assert!(err.to_string().contains("mutually exclusive"), "{err}");
-    }
-
-    #[test]
-    fn warm_detect_rejects_mismatched_window_with_a_hint() {
-        let sim = simulate("quick", 40, 24).unwrap();
-        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
-        let err = detect_with(
-            &sim.observations,
-            &DetectOptions {
-                window_secs: Some(2 * 86_400),
-                model: Some(learned.model),
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap_err();
-        assert!(err.to_string().contains("--window"), "{err}");
-    }
-
-    #[test]
-    fn model_inspect_and_corrupt_checkpoints() {
-        let sim = simulate("quick", 40, 25).unwrap();
-        let learned = learn(&sim.observations, Some(86_400), Some(1)).unwrap();
-        let report = model_inspect(&learned.model).unwrap();
-        assert!(report.contains("fingerprint"), "{report}");
-        assert!(report.contains("IPv4"), "{report}");
-
-        // A flipped byte must surface as a typed checkpoint error, for
-        // inspect, verify, and warm-start detect alike.
-        let mut bad = learned.model.clone();
-        let mid = bad.len() / 2;
-        bad[mid] ^= 0x40;
-        assert!(model_inspect(&bad).is_err());
-        let err = model_verify(&bad).unwrap_err();
-        assert!(err.to_string().contains("model checkpoint"), "{err}");
-        let err = detect_with(
-            &sim.observations,
-            &DetectOptions {
-                window_secs: Some(86_400),
-                model: Some(bad),
-                ..DetectOptions::default()
-            },
-        )
-        .unwrap_err();
-        assert!(err.to_string().contains("model checkpoint"), "{err}");
-    }
-
-    #[test]
-    fn model_merge_of_split_feeds_matches_whole_feed_learning() {
-        // CLI windows always start at the epoch, so the CLI-reachable
-        // merge case is identical windows: two halves of one feed, each
-        // learned over the full window, merge by count addition into
-        // exactly the checkpoint one-pass learning would produce.
-        let doc = steady_feed_doc(); // two days of steady traffic
-        let split = |keep: fn(u64) -> bool| -> String {
-            doc.lines()
-                .filter(|l| {
-                    l.starts_with('#')
-                        || l.split_once(' ')
-                            .is_some_and(|(t, _)| keep(t.parse::<u64>().unwrap()))
-                })
-                .map(|l| format!("{l}\n"))
-                .collect()
-        };
-        let day1 = split(|t| t < 86_400);
-        let day2 = split(|t| t >= 86_400);
-        let window = Some(2 * 86_400);
-
-        let a = learn(&day1, window, Some(1)).unwrap();
-        let b = learn(&day2, window, Some(1)).unwrap();
-        let (merged, summary) = model_merge(&a.model, &b.model).unwrap();
-        assert!(summary.contains("merged"), "{summary}");
-        assert!(model_verify(&merged).unwrap().starts_with("ok: "));
-
-        let whole = learn(&doc, window, Some(1)).unwrap();
-        assert_eq!(merged, whole.model, "merge must equal one-pass learning");
-    }
-}

@@ -11,12 +11,15 @@
 //! ```
 //!
 //! Data flows through trivially greppable line formats (see [`format`]);
-//! command logic lives in [`commands`] as pure functions so the whole
-//! pipeline is unit-tested without touching the filesystem.
+//! command logic lives in [`cmd`] (one module per command family) as
+//! pure functions so the whole pipeline is unit-tested without touching
+//! the filesystem; [`commands`] re-exports the same surface for
+//! compatibility.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cmd;
 pub mod commands;
 pub mod format;
 

@@ -56,6 +56,7 @@ pub mod config;
 pub mod correlate;
 pub mod coverage;
 pub mod detector;
+pub mod engine;
 pub mod history;
 pub mod index;
 pub mod model;
@@ -71,10 +72,11 @@ pub use config::{AggregationConfig, ConfigError, DetectorConfig};
 pub use correlate::{fuse_beliefs, fuse_timelines};
 pub use coverage::{coverage_by_width, spatial_coverage, CoveragePoint, SpatialCoverage};
 pub use detector::{UnitDetector, UnitDiagnostics, UnitReport};
+pub use engine::{DetectionEngine, EngineInput, EngineOutput, QuarantineGate};
 pub use history::{f64_bits_eq, BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 pub use index::BlockIndex;
 pub use model::{LearnedModel, ModelError};
-pub use parallel::{detect_parallel, detect_parallel_with_sentinel};
+pub use parallel::{detect_parallel, detect_parallel_from_model, detect_parallel_with_sentinel};
 pub use pipeline::{DetectionReport, PassiveDetector};
 pub use sentinel::{FeedHealth, FeedSentinel, SentinelAccounting, SentinelConfig};
 pub use streaming::StreamingMonitor;

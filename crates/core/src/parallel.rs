@@ -3,21 +3,23 @@
 //! A day of root-server traffic is millions of arrivals across hundreds
 //! of thousands of independent per-unit detectors — embarrassingly
 //! shardable. This driver partitions units across worker threads and
-//! streams observation batches to them over bounded channels; each worker
-//! advances only its own detectors, so no per-unit state is ever shared.
-//! Results are identical to the sequential [`PassiveDetector::detect`]
-//! because each unit still sees its own arrivals in order.
+//! streams observation batches to them over bounded channels; each
+//! worker holds a unit-only [`DetectionEngine`] shard and advances only
+//! its own detectors, so no per-unit state is ever shared. Results are
+//! identical to the sequential [`PassiveDetector::detect`] because each
+//! unit still sees its own arrivals in order.
 //!
 //! ## Sentinel broadcast protocol
 //!
 //! The feed sentinel is inherently sequential — it watches the *global*
-//! arrival order — so the router thread runs it, exactly as the
-//! sequential pass does. Quarantine control flows to the workers
-//! **in-band** on the same channels as the observation batches:
+//! arrival order — so the router thread runs the engine's
+//! [`QuarantineGate`], exactly as the sequential pass does. Quarantine
+//! control flows to the workers **in-band** on the same channels as the
+//! observation batches:
 //!
 //! * While the feed is healthy, the router sends [`Msg::Batch`]es of
 //!   `(local unit, arrival time)` pairs.
-//! * When the sentinel opens a quarantine, the router simply stops
+//! * When the gate opens a quarantine, the router simply stops
 //!   routing (faulted arrivals are not evidence, same as sequential).
 //! * When it closes one — on recovery at time `t`, or at the window end
 //!   — the router flushes every worker's pending batch and then
@@ -30,9 +32,11 @@
 //! reported quarantined set are identical, for any worker count.
 
 use crate::config::{ConfigError, DetectorConfig};
-use crate::detector::{UnitDetector, UnitReport};
+use crate::detector::UnitReport;
+use crate::engine::{DetectionEngine, QuarantineGate};
 use crate::history::HistorySource;
-use crate::pipeline::{build_routing, unit_expectation_shape, DetectionReport, PassiveDetector};
+use crate::model::LearnedModel;
+use crate::pipeline::{build_routing, DetectionReport, PassiveDetector};
 use crate::sentinel::{FeedSentinel, SentinelConfig};
 use outage_obs::span;
 use outage_types::{Interval, IntervalSet, Observation, Prefix, UnixTime};
@@ -73,8 +77,25 @@ where
     detect_parallel_inner(detector, histories, observations, window, workers, None)
 }
 
+/// [`detect_parallel`] warm-started from a checkpointed model: units are
+/// planned from the model's stored histories, so the result is identical
+/// to the sequential [`PassiveDetector::detect`] over the same model —
+/// one learning pass serves any worker count.
+pub fn detect_parallel_from_model<I>(
+    detector: &PassiveDetector,
+    model: &LearnedModel,
+    observations: I,
+    window: Interval,
+    workers: usize,
+) -> DetectionReport
+where
+    I: IntoIterator<Item = Observation>,
+{
+    detect_parallel_inner(detector, model, observations, window, workers, None)
+}
+
 /// [`detect_parallel`] guarded by a feed sentinel: the router thread
-/// runs the sentinel over the global arrival order and broadcasts
+/// runs the quarantine gate over the global arrival order and broadcasts
 /// quarantine boundaries in-band (see the module docs), so the result —
 /// including [`DetectionReport::quarantined`] — is identical to the
 /// sequential [`PassiveDetector::detect_with_sentinel`].
@@ -137,24 +158,16 @@ where
         }
     }
 
-    // Build each worker's detectors up front (on the main thread: cheap).
-    let mut worker_detectors: Vec<Vec<UnitDetector>> = per_worker_units
+    // Build each worker's engine shard up front (on the main thread:
+    // cheap). A shard has no routing table and no gate — the router
+    // owns both.
+    let mut shards: Vec<DetectionEngine> = per_worker_units
         .iter()
-        .map(|unit_ids| {
-            unit_ids
-                .iter()
-                .map(|&g| {
-                    let u = &plan.units[g];
-                    let shape = unit_expectation_shape(&u.members, histories, config);
-                    UnitDetector::new(u.prefix, u.params, shape, config, window)
-                })
-                .collect()
-        })
+        .map(|unit_ids| DetectionEngine::for_units(config, &plan, unit_ids, histories, window))
         .collect();
 
     let reports: Mutex<Vec<Option<UnitReport>>> = Mutex::new((0..n_units).map(|_| None).collect());
     let mut strays = 0u64;
-    let mut quarantined = IntervalSet::new();
 
     // Router instruments: all pre-resolved, so the hot loop pays one
     // atomic op per event at most.
@@ -167,11 +180,12 @@ where
     let skipto_total = registry.counter("po_router_skipto_total", &[]);
     let queue_depth = registry.gauge("po_router_queue_depth", &[]);
 
-    let mut sentinel = sentinel_cfg.map(|cfg| FeedSentinel::new(*cfg, window.start));
+    let mut gate = sentinel_cfg
+        .map(|cfg| QuarantineGate::from_sentinel(FeedSentinel::new(*cfg, window.start)));
 
     std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(workers);
-        for (w, detectors) in worker_detectors.drain(..).enumerate() {
+        for (w, shard) in shards.drain(..).enumerate() {
             let (tx, rx) = crossbeam::channel::bounded::<Msg>(CHANNEL_DEPTH);
             senders.push(tx);
             let unit_ids = per_worker_units[w].clone();
@@ -183,7 +197,7 @@ where
                 registry.float_counter("po_worker_idle_seconds_total", &[("worker", &w_label)]);
             let depth = queue_depth.clone();
             scope.spawn(move || {
-                let mut detectors = detectors;
+                let mut shard = shard;
                 loop {
                     let wait = Instant::now();
                     let Ok(msg) = rx.recv() else {
@@ -196,21 +210,17 @@ where
                     match msg {
                         Msg::Batch(batch) => {
                             for (local, t) in batch {
-                                detectors[local as usize].observe(t);
+                                shard.observe_unit(local, t);
                             }
                         }
-                        Msg::SkipTo(t) => {
-                            for d in &mut detectors {
-                                d.skip_to(t);
-                            }
-                        }
+                        Msg::SkipTo(t) => shard.skip_to(t),
                     }
                     busy.add(work.elapsed().as_secs_f64());
                 }
                 let work = Instant::now();
                 let mut guard = reports.lock();
-                for (local, det) in detectors.into_iter().enumerate() {
-                    guard[unit_ids[local]] = Some(det.finish());
+                for (local, report) in shard.finish_shard().into_iter().enumerate() {
+                    guard[unit_ids[local]] = Some(report);
                 }
                 busy.add(work.elapsed().as_secs_f64());
             });
@@ -238,26 +248,20 @@ where
             skipto_total.inc();
         };
 
-        let mut quarantine_open: Option<UnixTime> = None;
-
         // Route observations.
         for obs in observations {
             if !window.contains(obs.time) {
                 continue;
             }
-            if let Some(s) = &mut sentinel {
-                s.observe(obs.time);
-                if quarantine_open.is_none() && s.is_quarantined() {
-                    quarantine_open = Some(s.unhealthy_since().unwrap_or(obs.time));
-                } else if quarantine_open.is_some() && !s.is_quarantined() {
-                    let start = quarantine_open.take().unwrap();
-                    flush_and_skip(&mut buffers, &senders, obs.time);
-                    if obs.time > start {
-                        quarantined.insert(Interval::new(start, obs.time));
-                    }
+            if let Some(g) = &mut gate {
+                g.observe(obs.time);
+                g.open_if_flagged(obs.time);
+                if let Some(to) = g.close_if_recovered(obs.time) {
+                    flush_and_skip(&mut buffers, &senders, to);
                 }
-                if quarantine_open.is_some() {
-                    continue; // sensor-fault arrivals are not evidence
+                if g.is_open() {
+                    g.swallow(); // sensor-fault arrivals are not evidence
+                    continue;
                 }
             }
             match route.get(&obs.block) {
@@ -281,17 +285,16 @@ where
         }
 
         // Stream end: the feed may die faulted, or the fault may only
-        // become visible once trailing silence closes sentinel buckets.
-        if let Some(s) = &mut sentinel {
-            s.advance_to(window.end);
-            if quarantine_open.is_none() && s.is_quarantined() {
-                quarantine_open = Some(s.unhealthy_since().unwrap_or(window.end));
+        // become visible once trailing silence closes sentinel buckets —
+        // the same gate settlement the sequential engine performs.
+        if let Some(g) = &mut gate {
+            g.advance_to(window.end);
+            g.open_if_flagged(window.end);
+            if let Some(to) = g.close_if_recovered(window.end) {
+                flush_and_skip(&mut buffers, &senders, to);
             }
-            if let Some(start) = quarantine_open.take() {
-                flush_and_skip(&mut buffers, &senders, window.end);
-                if window.end > start {
-                    quarantined.insert(Interval::new(start, window.end));
-                }
+            if let Some(to) = g.force_close(window.end) {
+                flush_and_skip(&mut buffers, &senders, to);
             }
         }
         for (w, buf) in buffers.into_iter().enumerate() {
@@ -312,6 +315,13 @@ where
         .map(|r| r.expect("every unit reports"))
         .collect();
 
+    let (sentinel, quarantined) = match gate {
+        Some(g) => {
+            let (s, q) = g.into_parts();
+            (Some(s), q)
+        }
+        None => (None, IntervalSet::new()),
+    };
     let report = DetectionReport::assemble(
         window,
         units,
@@ -420,6 +430,27 @@ mod tests {
         let victim = Prefix::v4_raw(0x0A00_0000 + (3 << 8), 24);
         let tl = par.timeline_for(&victim).unwrap();
         assert!(tl.down_secs() > 8_000, "down {} s", tl.down_secs());
+    }
+
+    #[test]
+    fn parallel_from_model_matches_sequential_model_run() {
+        let (obs, window) = make_observations();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let model = LearnedModel::learn(obs.iter().copied(), window);
+        let seq = det.detect(&model, obs.iter().copied(), window);
+        for workers in [1, 4] {
+            let par =
+                detect_parallel_from_model(&det, &model, obs.iter().copied(), window, workers);
+            assert_eq!(par.covered_blocks(), seq.covered_blocks());
+            for i in 0..12u32 {
+                let b = Prefix::v4_raw(0x0A00_0000 + (i << 8), 24);
+                assert_eq!(
+                    par.timeline_for(&b),
+                    seq.timeline_for(&b),
+                    "block {b} differs at {workers} workers"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,13 +17,14 @@
 
 use crate::aggregate::{plan, AggregationPlan};
 use crate::config::{ConfigError, DetectorConfig};
-use crate::detector::{UnitDetector, UnitDiagnostics, UnitReport};
+use crate::detector::{UnitDiagnostics, UnitReport};
+use crate::engine::{DetectionEngine, EngineOutput, QuarantineGate};
 use crate::history::{BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 use crate::index::BlockIndex;
 use crate::model::LearnedModel;
 use crate::sentinel::{FeedSentinel, SentinelConfig};
 use outage_obs::{span, Obs, Registry, DURATION_BUCKETS, LATENCY_BUCKETS};
-use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline, UnixTime};
+use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -95,9 +96,13 @@ impl DetectionReport {
         self.block_to_unit.len()
     }
 
-    /// All outage events across units.
+    /// All outage events across units, in deterministic order: stable
+    /// sort by `(start, prefix)`, independent of which execution path
+    /// (batch, streaming, parallel) assembled the report.
     pub fn events(&self) -> Vec<OutageEvent> {
-        self.units.iter().flat_map(|u| u.events()).collect()
+        let mut events: Vec<OutageEvent> = self.units.iter().flat_map(|u| u.events()).collect();
+        events.sort_by_key(|e| (e.interval.start, e.prefix));
+        events
     }
 
     /// Summed per-unit diagnostics.
@@ -425,88 +430,15 @@ impl PassiveDetector {
         let plan = self.plan_units(histories);
         let mut sp = span!(self.obs, "detect", units = plan.units.len());
         let t0 = Instant::now();
-        let mut detectors: Vec<UnitDetector> = plan
-            .units
-            .iter()
-            .map(|u| {
-                let shape = unit_expectation_shape(&u.members, histories, &self.config);
-                UnitDetector::new(u.prefix, u.params, shape, &self.config, window)
-            })
-            .collect();
-
-        // Per-packet routing table: member block → dense id → unit.
-        let (route, unit_of_id) = build_routing(&plan);
-        let mut block_to_unit = HashMap::new();
-        for (i, u) in plan.units.iter().enumerate() {
-            for m in &u.members {
-                block_to_unit.insert(*m, i);
-            }
-        }
-
-        let mut sentinel = sentinel_cfg.map(|cfg| FeedSentinel::new(*cfg, window.start));
-        let mut quarantine_open: Option<UnixTime> = None;
-        let mut quarantined = IntervalSet::new();
-
-        let mut strays = 0u64;
+        // Batch is the thinnest adapter over the shared kernel: replay
+        // the slice through one engine and assemble its report.
+        let gate = sentinel_cfg
+            .map(|cfg| QuarantineGate::from_sentinel(FeedSentinel::new(*cfg, window.start)));
+        let mut engine = DetectionEngine::from_plan(&self.config, plan, histories, window, gate);
         for obs in observations {
-            if !window.contains(obs.time) {
-                continue;
-            }
-            if let Some(s) = &mut sentinel {
-                s.observe(obs.time);
-                if quarantine_open.is_none() && s.is_quarantined() {
-                    // The feed went unhealthy; the sentinel back-dates
-                    // the start to the first unhealthy bucket.
-                    quarantine_open = Some(s.unhealthy_since().unwrap_or(obs.time));
-                } else if quarantine_open.is_some() && !s.is_quarantined() {
-                    // Recovered: jump every unit past the faulted span
-                    // so none of it is judged.
-                    let start = quarantine_open.take().unwrap();
-                    for d in &mut detectors {
-                        d.skip_to(obs.time);
-                    }
-                    if obs.time > start {
-                        quarantined.insert(Interval::new(start, obs.time));
-                    }
-                }
-                if quarantine_open.is_some() {
-                    continue; // sensor-fault arrivals are not evidence
-                }
-            }
-            match route.get(&obs.block) {
-                Some(id) => detectors[unit_of_id[id as usize] as usize].observe(obs.time),
-                None => strays += 1,
-            }
+            engine.observe(obs);
         }
-
-        // The stream may end faulted (or the fault may only become
-        // visible once the trailing silence closes sentinel buckets):
-        // swallow the tail rather than judge it.
-        if let Some(s) = &mut sentinel {
-            s.advance_to(window.end);
-            if quarantine_open.is_none() && s.is_quarantined() {
-                quarantine_open = Some(s.unhealthy_since().unwrap_or(window.end));
-            }
-            if let Some(start) = quarantine_open.take() {
-                for d in &mut detectors {
-                    d.skip_to(window.end);
-                }
-                if window.end > start {
-                    quarantined.insert(Interval::new(start, window.end));
-                }
-            }
-        }
-
-        let units: Vec<UnitReport> = detectors.into_iter().map(UnitDetector::finish).collect();
-        let report = DetectionReport::assemble(
-            window,
-            units,
-            plan.units.into_iter().map(|u| u.members).collect(),
-            plan.uncovered,
-            strays,
-            quarantined,
-            block_to_unit,
-        );
+        let EngineOutput { report, sentinel } = engine.finish();
         sp.field("strays", report.strays);
         self.observe_stage("detect", t0);
         self.export_run_metrics(&report, sentinel.as_ref());

@@ -13,11 +13,16 @@
 //!   as in the paper's deployment at B-root.
 //! * The first epoch is a **warm-up**: only history is collected, no
 //!   verdicts are produced (a detector with no model has no business
-//!   declaring outages).
+//!   declaring outages). A monitor warm-started from a checkpointed
+//!   model ([`StreamingMonitor::from_model`]) skips the warm-up and is
+//!   live from its first instant.
 //! * Completed outages are emitted as [`OutageEvent`]s; the current
 //!   belief of any block can be queried at any time.
 //!
-//! Two fault-tolerance layers guard the ingest path:
+//! Detection semantics — unit advancement, sentinel transitions,
+//! quarantine bookkeeping, skip-to re-seeding — live in the embedded
+//! [`DetectionEngine`], shared bit-for-bit with the batch and parallel
+//! paths. The monitor adds only what streaming genuinely needs:
 //!
 //! * A bounded **reorder buffer** ([`StreamingMonitor::with_reorder`]):
 //!   real capture pipelines deliver modestly out-of-order packets, and
@@ -25,37 +30,34 @@
 //!   are held until a watermark (`max time seen − max_skew`) passes
 //!   them, then released in time order; anything arriving behind the
 //!   watermark is counted and dropped rather than corrupting bin state.
-//! * A **feed sentinel** ([`StreamingMonitor::with_sentinel`]): when the
-//!   telescope feed itself stalls, every block goes silent at once and a
-//!   naive monitor reports a planet-wide outage. The sentinel watches
-//!   the aggregate arrival rate; while it judges the feed unhealthy the
-//!   monitor is **quarantined** — unit beliefs freeze, no verdicts open
-//!   or close, and on recovery each unit's bin clock is re-seeded past
-//!   the faulted span. Quarantined intervals are recorded so evaluation
-//!   can exclude them.
+//! * The **epoch clock**: at each boundary the engine's unit set is
+//!   rotated out (finished into events and timelines) and a fresh set
+//!   is planned from the epoch's accumulated history. The engine's
+//!   quarantine gate persists across rotations, so a feed fault
+//!   spanning an epoch boundary stays one fault.
+//! * The **drain API**: completed events and closed per-block
+//!   timelines, queryable without stopping the monitor.
 
 use crate::config::{ConfigError, DetectorConfig};
-use crate::detector::{UnitDetector, UnitReport};
+use crate::engine::{DetectionEngine, GateHandles, QuarantineGate};
 use crate::history::HistoryBuilder;
+use crate::model::LearnedModel;
 use crate::pipeline::PassiveDetector;
 use crate::sentinel::{FeedHealth, FeedSentinel, SentinelConfig};
-use outage_obs::{Counter, Gauge, Histogram, Obs, DURATION_BUCKETS};
+use outage_obs::{Counter, Gauge, Obs};
 use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, Timeline, UnixTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Pre-resolved metric handles for the streaming hot path (one atomic
-/// op per update; no registry lookups while ingesting).
+/// op per update; no registry lookups while ingesting). Quarantine
+/// lifecycle handles live on the engine's gate, not here.
 #[derive(Debug)]
 struct StreamHandles {
     reorder_occupancy: Gauge,
     watermark_lag: Gauge,
     late_drops: Counter,
     epochs: Counter,
-    quarantine_opened: Counter,
-    quarantine_closed: Counter,
-    quarantine_duration: Histogram,
-    swallowed: Counter,
 }
 
 impl StreamHandles {
@@ -66,14 +68,6 @@ impl StreamHandles {
             watermark_lag: r.gauge("po_reorder_watermark_lag_seconds", &[]),
             late_drops: r.counter("po_reorder_late_drops_total", &[]),
             epochs: r.counter("po_stream_epochs_total", &[]),
-            quarantine_opened: r.counter("po_stream_quarantine_opened_total", &[]),
-            quarantine_closed: r.counter("po_stream_quarantine_closed_total", &[]),
-            quarantine_duration: r.histogram(
-                "po_quarantine_duration_seconds",
-                &[],
-                DURATION_BUCKETS,
-            ),
-            swallowed: r.counter("po_stream_quarantine_swallowed_total", &[]),
         }
     }
 }
@@ -149,29 +143,24 @@ pub struct StreamingMonitor {
     /// Start of the epoch whose history is accumulating.
     history_epoch_start: UnixTime,
     history: HistoryBuilder,
-    /// Active per-unit detectors for the current epoch.
-    units: Vec<UnitDetector>,
-    block_to_unit: HashMap<Prefix, usize>,
+    /// The shared detection kernel: per-unit state, routing, and the
+    /// quarantine gate. Its unit set is rotated at epoch boundaries;
+    /// the gate and stray count persist across rotations.
+    engine: DetectionEngine,
     /// Events from epochs already closed.
     completed: Vec<OutageEvent>,
     /// Per-block judged timelines from closed epochs.
     timelines: HashMap<Prefix, Vec<Timeline>>,
-    strays: u64,
     started: bool,
     reorder: Option<ReorderBuffer>,
-    sentinel: Option<FeedSentinel>,
-    /// Start of the quarantine currently in force, if any.
-    quarantine_open: Option<UnixTime>,
-    /// Closed quarantine intervals (feed-fault spans, not outages).
-    quarantined: IntervalSet,
-    /// Observations swallowed while quarantined.
-    quarantine_swallowed: u64,
     /// Observability bundle (default: unscraped) and its pre-resolved
     /// handles, present only once [`Self::with_obs`] attaches a bundle.
     obs: Obs,
     handles: Option<StreamHandles>,
     /// Late drops already mirrored into the registry.
     late_drops_reported: u64,
+    /// Stable empty set for [`Self::quarantined`] without a sentinel.
+    no_quarantine: IntervalSet,
 }
 
 impl StreamingMonitor {
@@ -185,27 +174,23 @@ impl StreamingMonitor {
         if epoch_secs < 3_600 {
             return Err(ConfigError::EpochTooShort { epoch_secs });
         }
+        let first_window = Interval::new(start, start + epoch_secs);
         Ok(StreamingMonitor {
             detector: PassiveDetector::try_new(config)?,
             epoch_secs,
             start,
             current_epoch: None,
             history_epoch_start: start,
-            history: HistoryBuilder::new(Interval::new(start, start + epoch_secs)),
-            units: Vec::new(),
-            block_to_unit: HashMap::new(),
+            history: HistoryBuilder::new(first_window),
+            engine: DetectionEngine::idle(first_window, None),
             completed: Vec::new(),
             timelines: HashMap::new(),
-            strays: 0,
             started: false,
             reorder: None,
-            sentinel: None,
-            quarantine_open: None,
-            quarantined: IntervalSet::new(),
-            quarantine_swallowed: 0,
             obs: Obs::default(),
             handles: None,
             late_drops_reported: 0,
+            no_quarantine: IntervalSet::new(),
         })
     }
 
@@ -214,11 +199,34 @@ impl StreamingMonitor {
         StreamingMonitor::new(config, start, 86_400)
     }
 
+    /// Warm start: a monitor whose first epoch is already live, with
+    /// units planned from a checkpointed [`LearnedModel`] instead of a
+    /// warm-up pass. History for the *next* epoch accumulates from the
+    /// live traffic as usual, so recalibration proceeds normally after
+    /// the first boundary.
+    pub fn from_model(
+        config: DetectorConfig,
+        model: &LearnedModel,
+        start: UnixTime,
+        epoch_secs: u64,
+    ) -> Result<StreamingMonitor, ConfigError> {
+        let mut monitor = StreamingMonitor::new(config, start, epoch_secs)?;
+        let first_window = Interval::new(start, start + epoch_secs);
+        monitor.engine =
+            DetectionEngine::from_model(&monitor.detector, model, first_window, None);
+        monitor.current_epoch = Some(start);
+        Ok(monitor)
+    }
+
     /// Attach a feed-health sentinel: while it judges the feed unhealthy
     /// the monitor quarantines instead of reporting mass outages.
     pub fn with_sentinel(mut self, cfg: SentinelConfig) -> Result<StreamingMonitor, ConfigError> {
         cfg.validate()?;
-        self.sentinel = Some(FeedSentinel::new(cfg, self.start));
+        let mut gate = QuarantineGate::from_sentinel(FeedSentinel::new(cfg, self.start));
+        if self.handles.is_some() {
+            gate.set_handles(GateHandles::new(&self.obs));
+        }
+        self.engine.set_gate(gate);
         Ok(self)
     }
 
@@ -236,6 +244,9 @@ impl StreamingMonitor {
     /// registry, and the detector's learn/plan stages inherit it.
     pub fn with_obs(mut self, obs: Obs) -> StreamingMonitor {
         self.handles = Some(StreamHandles::new(&obs));
+        if let Some(gate) = self.engine.gate_mut() {
+            gate.set_handles(GateHandles::new(&obs));
+        }
         self.detector = std::mem::take(&mut self.detector).with_obs(obs.clone());
         self.obs = obs;
         self
@@ -248,7 +259,7 @@ impl StreamingMonitor {
 
     /// Observations that arrived for blocks with no unit this epoch.
     pub fn strays(&self) -> u64 {
-        self.strays
+        self.engine.strays()
     }
 
     /// Observations dropped for arriving behind the reorder watermark.
@@ -259,34 +270,33 @@ impl StreamingMonitor {
     /// Observations swallowed (not judged) while the feed was
     /// quarantined.
     pub fn quarantine_swallowed(&self) -> u64 {
-        self.quarantine_swallowed
+        self.engine.gate().map_or(0, QuarantineGate::swallowed)
     }
 
     /// The sentinel's current feed judgement, if a sentinel is attached.
     pub fn feed_health(&self) -> Option<FeedHealth> {
-        self.sentinel.as_ref().map(FeedSentinel::health)
+        self.engine.gate().map(QuarantineGate::health)
     }
 
     /// Whether verdicts are currently suspended by the sentinel.
     pub fn is_quarantined(&self) -> bool {
-        self.quarantine_open.is_some()
+        self.engine.is_quarantined()
     }
 
     /// Closed quarantine intervals so far (feed faults, not outages).
     pub fn quarantined(&self) -> &IntervalSet {
-        &self.quarantined
+        self.engine
+            .gate()
+            .map(QuarantineGate::quarantined)
+            .unwrap_or(&self.no_quarantine)
     }
 
     /// All quarantined time through `end`, including a quarantine still
     /// open at `end`.
     pub fn quarantined_through(&self, end: UnixTime) -> IntervalSet {
-        let mut q = self.quarantined.clone();
-        if let Some(from) = self.quarantine_open {
-            if end > from {
-                q.insert(Interval::new(from, end));
-            }
-        }
-        q
+        self.engine
+            .gate()
+            .map_or_else(IntervalSet::new, |g| g.quarantined_through(end))
     }
 
     /// Feed one observation. With a reorder buffer, observations may be
@@ -328,20 +338,17 @@ impl StreamingMonitor {
         }
     }
 
-    /// In-order ingest behind the reorder stage.
+    /// In-order ingest behind the reorder stage. The gate's open check
+    /// runs *before* rolling so a dark epoch tail is skipped, not
+    /// judged; the close check runs *after* rolling so recovery
+    /// re-seeds the units that actually exist now.
     fn ingest(&mut self, obs: Observation) {
         self.started = true;
-        if let Some(s) = &mut self.sentinel {
-            s.observe(obs.time);
-        }
-        // Open *before* rolling so a dark epoch tail is skipped, not
-        // judged; close *after* rolling so recovery re-seeds the units
-        // that actually exist now.
-        self.open_quarantine_if_flagged(obs.time);
+        self.engine.gate_observe(obs.time);
         while obs.time >= self.history_epoch_start + self.epoch_secs {
             self.roll_epoch();
         }
-        self.close_quarantine_if_recovered(obs.time);
+        self.engine.gate_close_if_recovered(obs.time);
 
         // History accumulates regardless of quarantine: brownout arrivals
         // are real traffic, and the next epoch needs whatever model it
@@ -349,17 +356,7 @@ impl StreamingMonitor {
         // toward conservatism, the right direction after a fault.)
         self.history.record(&obs);
         if self.current_epoch.is_some() {
-            if self.quarantine_open.is_some() {
-                self.quarantine_swallowed += 1;
-                if let Some(h) = &self.handles {
-                    h.swallowed.inc();
-                }
-            } else {
-                match self.block_to_unit.get(&obs.block) {
-                    Some(&i) => self.units[i].observe(obs.time),
-                    None => self.strays += 1,
-                }
-            }
+            self.engine.ingest(obs);
         }
     }
 
@@ -377,73 +374,22 @@ impl StreamingMonitor {
             }
             self.sync_reorder_metrics();
         }
-        if let Some(s) = &mut self.sentinel {
-            s.advance_to(now);
-        }
-        self.open_quarantine_if_flagged(now);
+        self.engine.gate_advance(now);
         while self.started && now >= self.history_epoch_start + self.epoch_secs {
             self.roll_epoch();
         }
-        self.close_quarantine_if_recovered(now);
-        if self.quarantine_open.is_none() {
-            for unit in &mut self.units {
-                unit.advance_to(now);
-            }
-        }
-    }
-
-    /// If the sentinel has turned unhealthy, open a quarantine reaching
-    /// back to when it says the trouble started.
-    fn open_quarantine_if_flagged(&mut self, now: UnixTime) {
-        if self.quarantine_open.is_some() {
-            return;
-        }
-        if let Some(s) = &self.sentinel {
-            if s.is_quarantined() {
-                self.quarantine_open = Some(s.unhealthy_since().unwrap_or(now));
-                if let Some(h) = &self.handles {
-                    h.quarantine_opened.inc();
-                }
-            }
-        }
-    }
-
-    /// If the sentinel has recovered, skip every unit's bin clock past
-    /// the faulted span and record the quarantine interval.
-    fn close_quarantine_if_recovered(&mut self, now: UnixTime) {
-        let Some(start) = self.quarantine_open else {
-            return;
-        };
-        let recovered = self.sentinel.as_ref().is_some_and(|s| !s.is_quarantined());
-        if !recovered {
-            return;
-        }
-        for unit in &mut self.units {
-            unit.skip_to(now);
-        }
-        if now > start {
-            self.quarantined.insert(Interval::new(start, now));
-        }
-        if let Some(h) = &self.handles {
-            h.quarantine_closed.inc();
-            if now > start {
-                h.quarantine_duration
-                    .observe(now.secs().saturating_sub(start.secs()) as f64);
-            }
-        }
-        self.quarantine_open = None;
+        self.engine.gate_close_if_recovered(now);
+        self.engine.advance_units(now);
     }
 
     /// Current belief that `block` is up, if it is covered this epoch.
     pub fn belief(&self, block: &Prefix) -> Option<f64> {
-        self.block_to_unit
-            .get(block)
-            .map(|&i| self.units[i].belief())
+        self.engine.belief(block)
     }
 
     /// Blocks covered in the current epoch.
     pub fn covered_blocks(&self) -> usize {
-        self.block_to_unit.len()
+        self.engine.covered_blocks()
     }
 
     /// Drain outage events completed so far (closed epochs only).
@@ -462,22 +408,13 @@ impl StreamingMonitor {
         if let Some(h) = &self.handles {
             h.epochs.inc();
         }
-        // 1. Close the running detection epoch.
+        let epoch_end = self.history_epoch_start + self.epoch_secs;
+        // 1. Close the running detection epoch: the engine skips a
+        //    still-quarantined tail, finishes its units, and keeps its
+        //    gate for the next epoch.
         if self.current_epoch.is_some() {
-            let mut units = std::mem::take(&mut self.units);
-            let block_to_unit = std::mem::take(&mut self.block_to_unit);
-            if self.quarantine_open.is_some() {
-                // The epoch ends mid-fault: its unjudged tail is sensor
-                // silence, not network silence. Skip it rather than let
-                // `finish` read it as a mass outage.
-                let epoch_end = self.history_epoch_start + self.epoch_secs;
-                for unit in &mut units {
-                    unit.skip_to(epoch_end);
-                }
-            }
-            let mut reports: Vec<UnitReport> =
-                units.into_iter().map(UnitDetector::finish).collect();
-            for r in &mut reports {
+            let (reports, block_to_unit) = self.engine.rotate_out(epoch_end);
+            for r in &reports {
                 self.completed.extend(r.events());
             }
             // Record per-block timelines.
@@ -498,44 +435,23 @@ impl StreamingMonitor {
         }
 
         // 2. Promote history → next epoch's detectors.
-        let next_epoch_start = self.history_epoch_start + self.epoch_secs;
+        let next_epoch_start = epoch_end;
         let next_window = Interval::new(next_epoch_start, next_epoch_start + self.epoch_secs);
         let finished_history =
             std::mem::replace(&mut self.history, HistoryBuilder::new(next_window));
         let histories = finished_history.build();
         let plan = self.detector.plan_units(&histories);
-
-        self.block_to_unit.clear();
-        self.units = plan
-            .units
-            .iter()
-            .enumerate()
-            .map(|(i, u)| {
-                for m in &u.members {
-                    self.block_to_unit.insert(*m, i);
-                }
-                let shape = crate::pipeline::unit_expectation_shape(
-                    &u.members,
-                    &histories,
-                    self.detector.config(),
-                );
-                UnitDetector::new(
-                    u.prefix,
-                    u.params,
-                    shape,
-                    self.detector.config(),
-                    next_window,
-                )
-            })
-            .collect();
+        self.engine
+            .install_units(self.detector.config(), plan, &histories, next_window);
 
         self.current_epoch = Some(next_epoch_start);
         self.history_epoch_start = next_epoch_start;
     }
 
     /// Finish at `end`: close the in-flight epoch and return all
-    /// remaining events, plus every quarantined interval (a quarantine
-    /// still open at `end` is closed at `end`).
+    /// remaining events (sorted by start, then prefix), plus every
+    /// quarantined interval (a quarantine still open at `end` is closed
+    /// at `end`).
     ///
     /// Detectors judge their *full* epoch window, so finishing mid-epoch
     /// treats the remainder of the epoch as observed silence — a block
@@ -550,46 +466,24 @@ impl StreamingMonitor {
                 self.ingest(released);
             }
         }
-        if let Some(s) = &mut self.sentinel {
-            s.advance_to(end);
-        }
-        self.open_quarantine_if_flagged(end);
-        self.close_quarantine_if_recovered(end);
-        // A quarantine still open swallows the tail: the feed never came
-        // back, and we cannot tell sensor silence from network silence.
-        if let Some(start) = self.quarantine_open.take() {
-            for unit in &mut self.units {
-                unit.skip_to(end);
-            }
-            if end > start {
-                self.quarantined.insert(Interval::new(start, end));
-                if let Some(h) = &self.handles {
-                    h.quarantine_closed.inc();
-                    h.quarantine_duration
-                        .observe(end.secs().saturating_sub(start.secs()) as f64);
-                }
-            }
-        }
+        // The engine settles the gate (a quarantine still open swallows
+        // the tail: the feed never came back, and we cannot tell sensor
+        // silence from network silence), advances in-flight detectors to
+        // `end` without opening a new epoch, and closes them.
+        let (reports, parts) = self.engine.finish_units(end);
         // Final export: the sentinel's transition matrix and dwell
         // times land in the registry exactly once, at shutdown.
         if self.handles.is_some() {
-            if let Some(s) = &self.sentinel {
+            if let Some(s) = &parts.sentinel {
                 s.export_metrics(&self.obs.registry);
             }
         }
-        // Advance in-flight detectors to `end` (without opening a new
-        // epoch), then close them.
-        for unit in &mut self.units {
-            unit.advance_to(end);
+        for r in &reports {
+            self.completed.extend(r.events());
         }
-        if self.current_epoch.is_some() {
-            let units = std::mem::take(&mut self.units);
-            for unit in units {
-                let report = unit.finish();
-                self.completed.extend(report.events());
-            }
-        }
-        (self.completed, self.quarantined)
+        let mut events = self.completed;
+        events.sort_by_key(|e| (e.interval.start, e.prefix));
+        (events, parts.quarantined)
     }
 
     /// [`Self::finish_with_quarantine`], discarding the quarantine set.
@@ -752,6 +646,34 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_from_model_is_live_immediately() {
+        // Learn day 1 into a model, then warm-start a monitor on day 2:
+        // it must be live from the first observation, with the same
+        // coverage a warmed-up monitor would have.
+        let b = block();
+        let day1: Vec<Observation> = (0..86_400)
+            .step_by(10)
+            .map(|t| Observation::new(UnixTime(t), b))
+            .collect();
+        let model = LearnedModel::learn(day1, Interval::from_secs(0, 86_400));
+        let m = StreamingMonitor::from_model(cfg(), &model, UnixTime(86_400), 86_400)
+            .expect("valid config");
+        assert!(m.is_live(), "warm start skips the warm-up epoch");
+        assert_eq!(m.covered_blocks(), 1);
+
+        // An outage on the warm-started epoch is detected.
+        let mut m = m;
+        for t in (86_400..2 * 86_400).step_by(10) {
+            if !(120_000..126_000).contains(&t) {
+                m.observe(Observation::new(UnixTime(t), b));
+            }
+        }
+        let events = m.finish(UnixTime(2 * 86_400));
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert!((119_900..120_100).contains(&events[0].interval.start.secs()));
+    }
+
+    #[test]
     fn reorder_buffer_absorbs_bounded_skew() {
         // Interleave each pair of 10 s arrivals out of order; with a
         // 60 s reorder stage the monitor sees them sorted and judges the
@@ -883,6 +805,24 @@ mod tests {
             )
             .unwrap_or(0.0);
         assert!(trips >= 1.0, "blackout must record a healthy->dark entry");
+    }
+
+    #[test]
+    fn obs_then_sentinel_builder_order_still_records_lifecycle() {
+        // The builder chain must not care whether the bundle or the
+        // sentinel is attached first: the gate's lifecycle handles are
+        // installed either way.
+        let blackout = (2 * 86_400 + 43_200)..(2 * 86_400 + 45_000);
+        let obs = Obs::new();
+        let mut m = daily(0)
+            .with_obs(obs.clone())
+            .with_sentinel(SentinelConfig::default())
+            .expect("valid sentinel config");
+        feed_with_blackout(&mut m, 2 * 86_400 + 50_000, blackout);
+        let _ = m.finish_with_quarantine(UnixTime(2 * 86_400 + 50_000));
+        let value = |name: &str| obs.registry.value(name, &[]).unwrap_or(0.0);
+        assert_eq!(value("po_stream_quarantine_opened_total"), 1.0);
+        assert_eq!(value("po_stream_quarantine_closed_total"), 1.0);
     }
 
     #[test]

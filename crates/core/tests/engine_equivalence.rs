@@ -1,0 +1,337 @@
+//! Property tests: all three execution paths are the *same detector*.
+//!
+//! Batch (`PassiveDetector::detect*`), streaming replay
+//! (`StreamingMonitor::from_model` with one window-sized epoch), and the
+//! parallel driver (`detect_parallel*` at any worker count) are thin
+//! adapters over one [`DetectionEngine`] — so on the same scenario,
+//! driven from the same learned model, they must produce identical
+//! `OutageEvent` lists, identical quarantined sets, and (for the paths
+//! that export them) identical detection-semantic metrics. With and
+//! without fault injection, with and without a warm-started model.
+//!
+//! Also pinned here: `DetectionReport::events()` ordering is
+//! deterministic (sorted by start time, then prefix) on every path, and
+//! the engine's typed `SkipTo` input reproduces the old streaming
+//! re-seed protocol exactly.
+
+use outage_core::{
+    detect_parallel, detect_parallel_with_sentinel, DetectionEngine, DetectorConfig, EngineInput,
+    FeedSentinel, LearnedModel, PassiveDetector, QuarantineGate, SentinelConfig, StreamingMonitor,
+};
+use outage_netsim::FaultPlan;
+use outage_obs::Obs;
+use outage_types::{Interval, IntervalSet, Observation, OutageEvent, Prefix, UnixTime};
+use proptest::prelude::*;
+
+const DAY: u64 = 86_400;
+
+fn block(i: u32) -> Prefix {
+    Prefix::v4_raw(0x0A00_0000 + (i << 8), 24)
+}
+
+/// A dense multi-block day: per-block periods of 8–15 s keep the
+/// aggregate rate far above the sentinel's `min_baseline`, so blackouts
+/// are sentinel-visible. One block also gets a genuine outage so the
+/// events being compared are non-trivial.
+fn fleet(periods: &[u64], outage: std::ops::Range<u64>) -> Vec<Observation> {
+    let mut obs = Vec::new();
+    for (i, &period) in periods.iter().enumerate() {
+        let b = block(i as u32);
+        for t in ((i as u64)..DAY).step_by(period as usize) {
+            if i == 0 && outage.contains(&t) {
+                continue;
+            }
+            obs.push(Observation::new(UnixTime(t), b));
+        }
+    }
+    obs.sort();
+    obs
+}
+
+/// Events must come out sorted by (start, prefix) from every path.
+fn assert_sorted(events: &[OutageEvent]) {
+    for w in events.windows(2) {
+        assert!(
+            (w[0].interval.start, w[0].prefix) <= (w[1].interval.start, w[1].prefix),
+            "events() ordering is not deterministic: {:?} after {:?}",
+            w[1],
+            w[0]
+        );
+    }
+}
+
+/// Replay a finished slice through the streaming adapter: one epoch
+/// spanning the whole window, warm-started from `model` so the monitor
+/// is live (and planned identically to batch) from the first arrival.
+fn streaming_replay(
+    model: &LearnedModel,
+    obs: &[Observation],
+    window: Interval,
+    sentinel: Option<&SentinelConfig>,
+) -> (Vec<OutageEvent>, IntervalSet) {
+    let mut monitor = StreamingMonitor::from_model(
+        DetectorConfig::default(),
+        model,
+        window.start,
+        window.duration(),
+    )
+    .expect("window-sized epoch is valid");
+    if let Some(cfg) = sentinel {
+        monitor = monitor.with_sentinel(*cfg).expect("valid sentinel config");
+    }
+    monitor.observe_all(obs.iter().copied());
+    monitor.finish_with_quarantine(window.end)
+}
+
+/// The detection-semantic metric families: everything here is a pure
+/// function of the verdicts, so batch and parallel runs must export
+/// identical values. Timing families (`po_stage_seconds`, worker
+/// busy/idle, router counters) are excluded by construction.
+const SEMANTIC_PREFIXES: &[&str] = &["po_detect_", "po_quarantine_", "po_sentinel_"];
+
+/// Semantic samples of a registry as sorted `(name{labels}, value)`
+/// pairs, ready for exact comparison.
+fn semantic_samples(obs: &Obs) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = obs
+        .registry
+        .samples()
+        .into_iter()
+        .filter(|s| SEMANTIC_PREFIXES.iter().any(|p| s.name.starts_with(p)))
+        .map(|s| {
+            let labels: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            (
+                format!("{}{{{}}}", s.name, labels.join(",")),
+                format!("{}", s.value),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole property: batch ≡ streaming-replay ≡ parallel at
+    /// 1/2/4/8 workers on fault-injected streams under a sentinel —
+    /// identical event lists (in deterministic order) and identical
+    /// quarantined sets, all warm-started from one learned model.
+    #[test]
+    fn three_way_equivalence_with_faults(
+        periods in proptest::collection::vec(8u64..16, 3..7),
+        blackout_start in 15_000u64..55_000,
+        blackout_len in 1_500u64..6_000,
+        outage_start in 60_000u64..75_000,
+        seed in 0u64..1_000,
+    ) {
+        let clean = fleet(&periods, outage_start..outage_start + 5_000);
+        let plan = FaultPlan::new(seed)
+            .blackout(Interval::from_secs(blackout_start, blackout_start + blackout_len));
+        let mut obs = plan.apply_to_vec(&clean);
+        obs.sort_unstable();
+        let window = Interval::from_secs(0, DAY);
+        let cfg = SentinelConfig::default();
+
+        // One model drives all three paths (and exercises warm start on
+        // each: batch and parallel take it as their history source, the
+        // streaming monitor warm-starts its first epoch from it).
+        let model = LearnedModel::learn(obs.iter().copied(), window);
+        let det = PassiveDetector::new(DetectorConfig::default());
+
+        let batch = det
+            .detect_with_sentinel(&model, obs.iter().copied(), window, &cfg)
+            .expect("valid sentinel config");
+        let batch_events = batch.events();
+        assert_sorted(&batch_events);
+
+        let (stream_events, stream_quarantine) =
+            streaming_replay(&model, &obs, window, Some(&cfg));
+        assert_sorted(&stream_events);
+        prop_assert_eq!(&stream_events, &batch_events, "streaming != batch events");
+        prop_assert_eq!(&stream_quarantine, &batch.quarantined, "streaming quarantine differs");
+
+        for workers in [1usize, 2, 4, 8] {
+            let par = detect_parallel_with_sentinel(
+                &det, &model, obs.iter().copied(), window, workers, &cfg,
+            )
+            .expect("valid sentinel config");
+            let par_events = par.events();
+            assert_sorted(&par_events);
+            prop_assert_eq!(
+                &par_events, &batch_events,
+                "parallel events differ at {} workers", workers
+            );
+            prop_assert_eq!(
+                &par.quarantined, &batch.quarantined,
+                "quarantined set differs at {} workers", workers
+            );
+            prop_assert_eq!(par.strays, batch.strays);
+            prop_assert_eq!(par.covered_blocks(), batch.covered_blocks());
+        }
+    }
+
+    /// Without a sentinel the three paths also agree exactly, and every
+    /// quarantined set stays empty.
+    #[test]
+    fn three_way_equivalence_without_faults(
+        periods in proptest::collection::vec(8u64..16, 3..7),
+        outage_start in 20_000u64..70_000,
+    ) {
+        let obs = fleet(&periods, outage_start..outage_start + 6_000);
+        let window = Interval::from_secs(0, DAY);
+        let model = LearnedModel::learn(obs.iter().copied(), window);
+        let det = PassiveDetector::new(DetectorConfig::default());
+
+        let batch = det.detect(&model, obs.iter().copied(), window);
+        let batch_events = batch.events();
+        assert_sorted(&batch_events);
+        prop_assert!(batch.quarantined.is_empty());
+
+        let (stream_events, stream_quarantine) = streaming_replay(&model, &obs, window, None);
+        prop_assert_eq!(&stream_events, &batch_events, "streaming != batch events");
+        prop_assert!(stream_quarantine.is_empty());
+
+        for workers in [1usize, 2, 4, 8] {
+            let par = detect_parallel(&det, &model, obs.iter().copied(), window, workers);
+            prop_assert!(par.quarantined.is_empty());
+            prop_assert_eq!(par.strays, batch.strays);
+            prop_assert_eq!(
+                &par.events(), &batch_events,
+                "parallel events differ at {} workers", workers
+            );
+        }
+    }
+
+    /// The detection-semantic metrics exported by a batch run and a
+    /// parallel run are identical, sample for sample — the observability
+    /// layer sees the same pipeline either way. (The streaming adapter
+    /// intentionally exports the online `po_stream_*` family instead of
+    /// the batch `po_detect_*` run summary, so it is compared on events
+    /// and quarantine above, not on these samples.)
+    #[test]
+    fn semantic_metrics_agree_between_batch_and_parallel(
+        periods in proptest::collection::vec(8u64..16, 3..6),
+        blackout_start in 15_000u64..55_000,
+        blackout_len in 1_500u64..6_000,
+        seed in 0u64..1_000,
+    ) {
+        let clean = fleet(&periods, 62_000..67_000);
+        let plan = FaultPlan::new(seed)
+            .blackout(Interval::from_secs(blackout_start, blackout_start + blackout_len));
+        let mut obs = plan.apply_to_vec(&clean);
+        obs.sort_unstable();
+        let window = Interval::from_secs(0, DAY);
+        let cfg = SentinelConfig::default();
+
+        // Fresh detector + registry per run: each exports exactly once.
+        let run_seq = || {
+            let o = Obs::new();
+            let det = PassiveDetector::new(DetectorConfig::default()).with_obs(o.clone());
+            let histories = det.learn_histories(obs.iter().copied(), window);
+            det.detect_with_sentinel(&histories, obs.iter().copied(), window, &cfg)
+                .expect("valid sentinel config");
+            semantic_samples(&o)
+        };
+        let run_par = |workers: usize| {
+            let o = Obs::new();
+            let det = PassiveDetector::new(DetectorConfig::default()).with_obs(o.clone());
+            let histories = det.learn_histories(obs.iter().copied(), window);
+            detect_parallel_with_sentinel(
+                &det, &histories, obs.iter().copied(), window, workers, &cfg,
+            )
+            .expect("valid sentinel config");
+            semantic_samples(&o)
+        };
+
+        let seq = run_seq();
+        prop_assert!(!seq.is_empty(), "batch run exported no semantic metrics");
+        for workers in [1usize, 2, 4] {
+            let par = run_par(workers);
+            prop_assert_eq!(
+                &par, &seq,
+                "semantic metrics diverge at {} workers", workers
+            );
+        }
+    }
+}
+
+/// Regression: the engine's typed `SkipTo` input is exactly the old
+/// streaming re-seed protocol. An engine guarded by its own gate must
+/// match an unguarded engine driven by an external sentinel loop that
+/// swallows faulted arrivals and issues `SkipTo` at recovery — the
+/// literal control flow `StreamingMonitor` used before the engine
+/// existed.
+#[test]
+fn engine_skip_to_mid_quarantine_matches_old_reseed_protocol() {
+    let periods = [9u64, 11, 13, 15];
+    let blackout = 40_000u64..44_000;
+    let clean = fleet(&periods, 65_000..70_000);
+    let plan = FaultPlan::new(3).blackout(Interval::from_secs(blackout.start, blackout.end));
+    let mut obs = plan.apply_to_vec(&clean);
+    obs.sort_unstable();
+    let window = Interval::from_secs(0, DAY);
+    let cfg = SentinelConfig::default();
+
+    let model = LearnedModel::learn(obs.iter().copied(), window);
+    let det = PassiveDetector::new(DetectorConfig::default());
+
+    // Path A: the engine owns the gate.
+    let gate = QuarantineGate::new(cfg, window.start).expect("valid sentinel config");
+    let mut guarded = DetectionEngine::from_histories(&det, &model, window, Some(gate));
+    for o in &obs {
+        guarded.apply(EngineInput::Observe(*o));
+    }
+    let guarded_out = guarded.finish();
+
+    // Path B: no gate — an external sentinel loop swallows faulted
+    // arrivals and re-seeds with SkipTo, as the old monitor did.
+    let mut bare = DetectionEngine::from_histories(&det, &model, window, None);
+    let mut sentinel = FeedSentinel::new(cfg, window.start);
+    let mut open: Option<UnixTime> = None;
+    let mut quarantined = IntervalSet::new();
+    for o in &obs {
+        sentinel.observe(o.time);
+        if open.is_none() && sentinel.is_quarantined() {
+            open = Some(sentinel.unhealthy_since().unwrap_or(o.time));
+        } else if let Some(start) = open {
+            if !sentinel.is_quarantined() {
+                open = None;
+                if o.time > start {
+                    quarantined.insert(Interval::new(start, o.time));
+                }
+                bare.apply(EngineInput::SkipTo(o.time));
+            }
+        }
+        if open.is_some() {
+            continue; // swallowed: faulted arrivals are not evidence
+        }
+        bare.apply(EngineInput::Observe(*o));
+    }
+    sentinel.advance_to(window.end);
+    if open.is_none() && sentinel.is_quarantined() {
+        open = Some(sentinel.unhealthy_since().unwrap_or(window.end));
+    }
+    if let Some(start) = open {
+        if window.end > start {
+            quarantined.insert(Interval::new(start, window.end));
+        }
+        bare.apply(EngineInput::SkipTo(window.end));
+    }
+    let bare_out = bare.finish();
+
+    // The fixture must actually exercise a mid-stream recovery.
+    assert!(
+        !guarded_out.report.quarantined.is_empty(),
+        "fixture must quarantine"
+    );
+    assert_eq!(guarded_out.report.quarantined, quarantined);
+    assert_eq!(guarded_out.report.events(), bare_out.report.events());
+    for i in 0..periods.len() as u32 {
+        let b = block(i);
+        assert_eq!(
+            guarded_out.report.timeline_for(&b),
+            bare_out.report.timeline_for(&b),
+            "block {b} timeline differs between gate and manual re-seed"
+        );
+    }
+}
