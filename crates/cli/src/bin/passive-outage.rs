@@ -1,10 +1,12 @@
 //! The `passive-outage` command-line tool. Run with `--help` for usage.
 
 use outage_cli::commands;
+use outage_core::service::{install_shutdown_handlers, shutdown_flag};
 use outage_core::SentinelConfig;
 use outage_netsim::FaultPlan;
 use outage_types::IntervalSet;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -34,6 +36,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "simulate" => cmd_simulate(&flags),
         "detect" => cmd_detect(&flags),
+        "serve" => cmd_serve(&flags),
         "learn" => cmd_learn(&flags),
         "eval" => cmd_eval(&flags),
         "coverage" => cmd_coverage(&flags),
@@ -57,6 +60,13 @@ fn usage() -> String {
      \x20           [--quarantine-out FILE] [--workers N | --streaming]\n\
      \x20           [--metrics-out FILE] [--trace-out FILE]\n\
      \x20           [--model FILE | --model-out FILE]\n\
+     \x20 serve     [--preset P | --obs FILE] [--num-as N] [--seed S]\n\
+     \x20           [--accel X] [--epoch SECS] [--listen ADDR] [--port-file FILE]\n\
+     \x20           [--checkpoint FILE] [--checkpoint-every-rolls N] [--resume]\n\
+     \x20           [--events-out FILE] [--metrics-out FILE] [--until SECS]\n\
+     \x20           [--sentinel] [--sentinel-bucket SECS] [--fault-plan FILE]\n\
+     \x20           [--webhook URL] [--webhook-rate R] [--webhook-burst N]\n\
+     \x20           [--queue-capacity N]\n\
      \x20 learn     --obs FILE --model-out FILE [--window SECS] [--workers N]\n\
      \x20 model     inspect FILE | verify FILE | merge A B --out FILE\n\
      \x20 status    METRICS-FILE   (a --metrics-out snapshot)\n\
@@ -75,7 +85,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // boolean flags
-        if name == "events" || name == "sentinel" || name == "streaming" {
+        if name == "events" || name == "sentinel" || name == "streaming" || name == "resume" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -92,6 +102,39 @@ fn get_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<
         None => Ok(default),
         Some(v) => v.parse().map_err(|e| format!("--{name} {v:?}: {e}")),
     }
+}
+
+fn get_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{name} {v:?}: {e}")),
+    }
+}
+
+/// `--sentinel` / `--sentinel-bucket` shared by `detect` and `serve`.
+/// `--sentinel-bucket` implies `--sentinel`; the value is validated by
+/// the detector's config machinery, not here, so a bad one surfaces as
+/// a proper configuration error.
+fn parse_sentinel(flags: &HashMap<String, String>) -> Result<Option<SentinelConfig>, String> {
+    if !flags.contains_key("sentinel") && !flags.contains_key("sentinel-bucket") {
+        return Ok(None);
+    }
+    let mut cfg = SentinelConfig::default();
+    if let Some(v) = flags.get("sentinel-bucket") {
+        cfg.bucket_secs = v.parse().map_err(|e| format!("--sentinel-bucket: {e}"))?;
+    }
+    Ok(Some(cfg))
+}
+
+/// `--fault-plan FILE`, shared by `detect` and `serve`.
+fn parse_fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, String> {
+    flags
+        .get("fault-plan")
+        .map(|path| {
+            let text = read(path)?;
+            FaultPlan::parse(&text).map_err(|e| format!("fault plan {path}: {e}"))
+        })
+        .transpose()
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
@@ -142,25 +185,8 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|v| v.parse::<u64>().map_err(|e| format!("--window: {e}")))
         .transpose()?;
     let out = required(flags, "out")?;
-    let fault_plan = flags
-        .get("fault-plan")
-        .map(|path| {
-            let text = read(path)?;
-            FaultPlan::parse(&text).map_err(|e| format!("fault plan {path}: {e}"))
-        })
-        .transpose()?;
-    // --sentinel-bucket implies --sentinel; the value is validated by the
-    // detector's config machinery, not here, so a bad one surfaces as a
-    // proper configuration error.
-    let sentinel = if flags.contains_key("sentinel") || flags.contains_key("sentinel-bucket") {
-        let mut cfg = SentinelConfig::default();
-        if let Some(v) = flags.get("sentinel-bucket") {
-            cfg.bucket_secs = v.parse().map_err(|e| format!("--sentinel-bucket: {e}"))?;
-        }
-        Some(cfg)
-    } else {
-        None
-    };
+    let fault_plan = parse_fault_plan(flags)?;
+    let sentinel = parse_sentinel(flags)?;
     // Default (no flag) is available parallelism, decided in detect_with.
     let workers = flags
         .get("workers")
@@ -177,15 +203,26 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     let model = flags.get("model").map(|p| read_bytes(p)).transpose()?;
+    let streaming = flags.contains_key("streaming");
+    // A streaming run interrupted by SIGINT/SIGTERM drains and still
+    // writes its partial outputs instead of dying with nothing.
+    if streaming {
+        install_shutdown_handlers();
+    }
     let opts = commands::DetectOptions {
         window_secs: window,
         fault_plan,
         sentinel,
         workers,
-        streaming: flags.contains_key("streaming"),
+        streaming,
         trace: flags.contains_key("trace-out"),
         model,
         model_out: flags.contains_key("model-out"),
+        cancel: if streaming {
+            Some(shutdown_flag())
+        } else {
+            None
+        },
     };
     let result = commands::detect_with(&obs, &opts).map_err(|e| e.to_string())?;
     write(out, &result.events)?;
@@ -202,6 +239,55 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         write_atomic(mpath, result.model.as_deref().unwrap_or(&[]))?;
     }
     eprintln!("{}", result.summary);
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    if flags.contains_key("preset") && flags.contains_key("obs") {
+        return Err("--preset and --obs are mutually exclusive feed sources".to_string());
+    }
+    let source = match flags.get("obs") {
+        Some(path) => commands::ServeSource::ObsDoc {
+            text: read(path)?,
+            label: path.clone(),
+        },
+        None => commands::ServeSource::Preset {
+            name: flags
+                .get("preset")
+                .cloned()
+                .unwrap_or_else(|| "quick".to_string()),
+            num_as: get_u64(flags, "num-as", 40)? as u32,
+            seed: get_u64(flags, "seed", 42)?,
+        },
+    };
+    let opts = commands::ServeOptions {
+        source,
+        accel: get_f64(flags, "accel", 3_600.0)?,
+        epoch_secs: get_u64(flags, "epoch", 86_400)?,
+        listen: flags
+            .get("listen")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        port_file: flags.get("port-file").map(PathBuf::from),
+        checkpoint: flags.get("checkpoint").map(PathBuf::from),
+        checkpoint_every_rolls: get_u64(flags, "checkpoint-every-rolls", 1)? as u32,
+        resume: flags.contains_key("resume"),
+        events_out: flags.get("events-out").map(PathBuf::from),
+        metrics_out: flags.get("metrics-out").map(PathBuf::from),
+        sentinel: parse_sentinel(flags)?,
+        fault_plan: parse_fault_plan(flags)?,
+        webhook: flags.get("webhook").cloned(),
+        webhook_rate: get_f64(flags, "webhook-rate", 1.0)?,
+        webhook_burst: get_u64(flags, "webhook-burst", 5)? as u32,
+        queue_capacity: get_u64(flags, "queue-capacity", 1_024)? as usize,
+        until: flags
+            .get("until")
+            .map(|v| v.parse::<u64>().map_err(|e| format!("--until {v:?}: {e}")))
+            .transpose()?,
+    };
+    install_shutdown_handlers();
+    let outcome = commands::serve(&opts, shutdown_flag()).map_err(|e| e.to_string())?;
+    eprintln!("{}", outcome.summary);
     Ok(())
 }
 

@@ -8,10 +8,9 @@ use outage_types::{durations, Interval, UnixTime};
 /// `coverage`: the Figure-1 curve for an observation document.
 pub fn coverage(observations_doc: &str) -> Result<String, CommandError> {
     let observations = format::parse_observations(observations_doc)?;
-    if observations.is_empty() {
+    let Some(max_t) = observations.iter().map(|o| o.time.secs()).max() else {
         return Err(CommandError("no observations in input".into()));
-    }
-    let max_t = observations.iter().map(|o| o.time.secs()).max().unwrap();
+    };
     let window = Interval::new(
         UnixTime::EPOCH,
         UnixTime(max_t.div_ceil(durations::DAY) * durations::DAY),

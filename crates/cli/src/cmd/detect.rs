@@ -65,6 +65,13 @@ pub struct DetectOptions {
     /// rejected — together with `model`: a warm-started run has nothing
     /// newly learned to save.
     pub model_out: bool,
+    /// Cooperative cancellation for the streaming path: when this flag
+    /// flips mid-replay (SIGINT/SIGTERM in the binary), the run stops
+    /// feeding, drains the monitor at the last replayed instant, and
+    /// returns the partial event document instead of dying with no
+    /// output. Ignored by the batch path, which has no incremental
+    /// state worth salvaging.
+    pub cancel: Option<&'static std::sync::atomic::AtomicBool>,
 }
 
 /// `detect`: run the passive detector over an observation document.
@@ -308,9 +315,32 @@ fn detect_streaming(
         monitor = monitor.with_sentinel(*cfg)?;
     }
     let mut monitor = monitor.with_obs(obs.clone());
-    monitor.observe_all(observations.iter().copied());
+    // Replay in slices so a cancellation flag (SIGINT in the binary)
+    // is noticed promptly; an interrupted run drains at the last
+    // replayed instant and still emits its partial document.
+    let mut replayed = 0usize;
+    let mut interrupted = false;
+    for chunk in observations.chunks(4_096) {
+        if let Some(flag) = opts.cancel {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                interrupted = true;
+                break;
+            }
+        }
+        monitor.observe_all(chunk.iter().copied());
+        replayed += chunk.len();
+    }
     let covered = monitor.covered_blocks();
-    let (events, quarantined) = monitor.finish_with_quarantine(window.end);
+    let drain_end = if interrupted {
+        replayed
+            .checked_sub(1)
+            .and_then(|i| observations.get(i))
+            .map(|o| o.time)
+            .unwrap_or(window.start)
+    } else {
+        window.end
+    };
+    let (events, quarantined) = monitor.finish_with_quarantine(drain_end);
 
     let quarantine_note = if opts.sentinel.is_some() {
         format!(
@@ -321,12 +351,22 @@ fn detect_streaming(
     } else {
         String::new()
     };
+    let interrupt_note = if interrupted {
+        format!(
+            " [interrupted: drained after {replayed} of {} observations, results partial to t={}]",
+            observations.len(),
+            drain_end.secs()
+        )
+    } else {
+        String::new()
+    };
     let summary = format!(
-        "window {}: {} observations{}{}, {} blocks covered, {} outage events{}, streaming\n{}",
+        "window {}: {} observations{}{}{}, {} blocks covered, {} outage events{}, streaming\n{}",
         window,
-        observations.len(),
+        replayed,
         fault_note,
         warm_note,
+        interrupt_note,
         covered,
         events.len(),
         quarantine_note,

@@ -1,0 +1,709 @@
+//! `serve`: run detection as a long-lived, crash-safe daemon.
+//!
+//! Glue between the pure service layer in `outage_core::service` and
+//! the operator's world: a paced replay source over a scenario or an
+//! observation file, a JSON view for the HTTP surface, a real TCP
+//! webhook transport, and the flag-driven wiring that assembles them.
+//!
+//! The daemon's failure model lives in the core layer; this module only
+//! decides *what* to run, never *whether to keep running*.
+
+use super::CommandError;
+use crate::format;
+use outage_core::service::{
+    run_supervised, AlertNotifier, AlertPolicy, ObservationSource, ServeShared, ServeStatus,
+    SourceFault, SourceItem, SupervisorConfig, WebhookTransport,
+};
+use outage_core::{
+    Daemon, DaemonConfig, DetectorConfig, HttpServer, SentinelConfig, ServeView, StreamingMonitor,
+};
+use outage_netsim::{FaultPlan, ReplayClock};
+use outage_obs::Obs;
+use outage_store::{read_serve_checkpoint, FileCheckpointSink};
+use outage_types::{Observation, OutageEvent, UnixTime};
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest batch a single pull releases; keeps the ingest queue
+/// responsive even at extreme acceleration.
+const BATCH_CAP: usize = 4_096;
+
+/// Everything `serve` needs, already parsed and validated by the
+/// binary's flag layer.
+#[derive(Debug)]
+pub struct ServeOptions {
+    /// The observation feed to re-live.
+    pub source: ServeSource,
+    /// Simulated seconds per wall second (clamped to ≥ 1 by the clock).
+    pub accel: f64,
+    /// Detection epoch length, seconds (validated by the monitor).
+    pub epoch_secs: u64,
+    /// HTTP listen address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Write the bound address here once listening (test/CI handshake).
+    pub port_file: Option<PathBuf>,
+    /// Checkpoint file; absent → no persistence.
+    pub checkpoint: Option<PathBuf>,
+    /// Publish an epoch-roll checkpoint every N rolls.
+    pub checkpoint_every_rolls: u32,
+    /// Warm-restart from the checkpoint file instead of starting cold.
+    pub resume: bool,
+    /// Write the final event document here on shutdown.
+    pub events_out: Option<PathBuf>,
+    /// Write a final Prometheus metrics snapshot here on shutdown.
+    pub metrics_out: Option<PathBuf>,
+    /// Attach a feed sentinel (quarantine instead of false outages).
+    pub sentinel: Option<SentinelConfig>,
+    /// Degrade the feed before replaying it (testing the failure model).
+    pub fault_plan: Option<FaultPlan>,
+    /// Webhook URL (`http://host:port/path`) for event alerts.
+    pub webhook: Option<String>,
+    /// Sustained webhook rate, alerts/second.
+    pub webhook_rate: f64,
+    /// Webhook burst capacity.
+    pub webhook_burst: u32,
+    /// Ingest queue depth before load shedding kicks in.
+    pub queue_capacity: usize,
+    /// Drop observations after this simulated time (bounded runs).
+    pub until: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            source: ServeSource::Preset {
+                name: "quick".to_string(),
+                num_as: 40,
+                seed: 42,
+            },
+            accel: 3_600.0,
+            epoch_secs: 86_400,
+            listen: "127.0.0.1:0".to_string(),
+            port_file: None,
+            checkpoint: None,
+            checkpoint_every_rolls: 1,
+            resume: false,
+            events_out: None,
+            metrics_out: None,
+            sentinel: None,
+            fault_plan: None,
+            webhook: None,
+            webhook_rate: 1.0,
+            webhook_burst: 5,
+            queue_capacity: 1_024,
+            until: None,
+        }
+    }
+}
+
+/// Where the daemon's observations come from.
+#[derive(Debug)]
+pub enum ServeSource {
+    /// Generate a netsim scenario in-process.
+    Preset {
+        /// Preset name (`quick`, `table1`, …).
+        name: String,
+        /// Autonomous-system count for sized presets.
+        num_as: u32,
+        /// Scenario seed.
+        seed: u64,
+    },
+    /// Replay an observation document (already read to a string).
+    ObsDoc {
+        /// The document text.
+        text: String,
+        /// Label for `/status` (usually the file path).
+        label: String,
+    },
+}
+
+/// What a finished daemon run looked like, for the operator's stderr.
+#[derive(Debug)]
+pub struct ServeOutcomeSummary {
+    /// One human line.
+    pub summary: String,
+}
+
+/// A paced replay of an in-memory, time-sorted observation vector:
+/// observations are released when their simulated instant arrives on
+/// the (accelerated) wall clock.
+struct ReplaySource {
+    observations: Vec<Observation>,
+    pos: usize,
+    clock: ReplayClock,
+    /// Never tick past the data: keeps the engine's high-water mark —
+    /// and therefore the finish time — identical across restarts.
+    last_time: UnixTime,
+    label: String,
+}
+
+impl ReplaySource {
+    /// A source over `observations[pos..]`, paced from the first
+    /// remaining observation's instant at `accel`×.
+    fn new(observations: Vec<Observation>, pos: usize, accel: f64, label: String) -> ReplaySource {
+        let last_time = observations
+            .last()
+            .map(|o| o.time)
+            .unwrap_or(UnixTime::EPOCH);
+        let sim_start = observations.get(pos).map(|o| o.time).unwrap_or(last_time);
+        ReplaySource {
+            observations,
+            pos,
+            clock: ReplayClock::new(sim_start, accel),
+            last_time,
+            label,
+        }
+    }
+}
+
+impl ObservationSource for ReplaySource {
+    fn pull(&mut self) -> Result<SourceItem, SourceFault> {
+        if self.pos >= self.observations.len() {
+            return Ok(SourceItem::Exhausted);
+        }
+        let now = self.clock.now();
+        let due = self.observations[self.pos..]
+            .iter()
+            .take_while(|o| o.time <= now)
+            .take(BATCH_CAP)
+            .count();
+        if due == 0 {
+            return Ok(SourceItem::Idle(now.min(self.last_time)));
+        }
+        let batch = self.observations[self.pos..self.pos + due].to_vec();
+        self.pos += due;
+        Ok(SourceItem::Batch(batch))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} ({} observations, {:.0}x)",
+            self.label,
+            self.observations.len(),
+            self.clock.accel()
+        )
+    }
+}
+
+/// The HTTP surface's window into the daemon.
+struct StatusView {
+    shared: ServeShared,
+}
+
+impl ServeView for StatusView {
+    fn metrics(&self) -> String {
+        self.shared.registry().render_prometheus()
+    }
+
+    fn status_json(&self) -> String {
+        status_json(&self.shared.status())
+    }
+
+    fn events_json(&self) -> String {
+        events_json(&self.shared.events())
+    }
+
+    fn healthz(&self) -> (bool, String) {
+        if self.shared.is_healthy() {
+            (true, "ok".to_string())
+        } else {
+            (false, "engine not running".to_string())
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn json_opt_str(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", json_escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+/// Render a [`ServeStatus`] as one stable JSON object.
+fn status_json(s: &ServeStatus) -> String {
+    format!(
+        concat!(
+            "{{\"source\":\"{}\",\"source_state\":\"{}\",\"live\":{},",
+            "\"epoch_secs\":{},\"start_unix\":{},\"high_water_unix\":{},",
+            "\"live_epoch_start_unix\":{},\"covered_blocks\":{},",
+            "\"down_units\":{},\"quarantined\":{},\"feed_health\":{},",
+            "\"events_total\":{},\"checkpoints_total\":{},",
+            "\"last_checkpoint_unix\":{},\"last_checkpoint_reason\":{},",
+            "\"queue_dropped\":{},\"source_faults\":{},",
+            "\"alerts\":{{\"sent\":{},\"dropped\":{},\"retries\":{},\"failed\":{}}},",
+            "\"shutting_down\":{}}}"
+        ),
+        json_escape(&s.source),
+        json_escape(&s.source_state),
+        s.live,
+        s.epoch_secs,
+        s.start_unix,
+        s.high_water_unix,
+        json_opt_u64(s.live_epoch_start_unix),
+        s.covered_blocks,
+        s.down_units,
+        s.quarantined,
+        json_opt_str(&s.feed_health),
+        s.events_total,
+        s.checkpoints_total,
+        json_opt_u64(s.last_checkpoint_unix),
+        json_opt_str(&s.last_checkpoint_reason),
+        s.queue_dropped,
+        s.source_faults,
+        s.alerts.sent,
+        s.alerts.dropped,
+        s.alerts.retries,
+        s.alerts.failed,
+        s.shutting_down,
+    )
+}
+
+/// Render the completed-event log as a JSON array.
+fn events_json(events: &[OutageEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"prefix\":\"{}\",\"start\":{},\"end\":{},\"confidence\":{:.6},\"detector\":\"{}\"}}",
+            e.prefix,
+            e.interval.start.secs(),
+            e.interval.end.secs(),
+            e.confidence,
+            e.detector
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// A minimal HTTP/1.1 POST over a plain socket — the only webhook
+/// transport the container can offer without external crates.
+struct TcpWebhook {
+    host: String,
+    port: u16,
+    path: String,
+}
+
+impl TcpWebhook {
+    /// Accepts `http://host:port/path` (port and path optional).
+    fn parse(url: &str) -> Result<TcpWebhook, CommandError> {
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| CommandError(format!("webhook URL must be http:// — got {url:?}")))?;
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], rest[i..].to_string()),
+            None => (rest, "/".to_string()),
+        };
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|e| CommandError(format!("webhook port {p:?}: {e}")))?;
+                (h.to_string(), port)
+            }
+            None => (authority.to_string(), 80),
+        };
+        if host.is_empty() {
+            return Err(CommandError(format!("webhook URL {url:?} has no host")));
+        }
+        Ok(TcpWebhook { host, port, path })
+    }
+}
+
+impl WebhookTransport for TcpWebhook {
+    fn deliver(&mut self, payload: &str) -> Result<(), String> {
+        let addr = (self.host.as_str(), self.port);
+        let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let request = format!(
+            "POST {} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.path,
+            self.host,
+            payload.len(),
+            payload
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        let mut head = [0u8; 512];
+        let n = stream.read(&mut head).map_err(|e| format!("read: {e}"))?;
+        let line = String::from_utf8_lossy(&head[..n]);
+        let status = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| format!("unparseable response: {line:?}"))?;
+        if (200..300).contains(&status) {
+            Ok(())
+        } else {
+            Err(format!("webhook returned HTTP {status}"))
+        }
+    }
+}
+
+/// Materialize, degrade, sort, and bound the feed.
+fn build_observations(opts: &ServeOptions) -> Result<(Vec<Observation>, String), CommandError> {
+    let (mut observations, label) = match &opts.source {
+        ServeSource::Preset { name, num_as, seed } => {
+            let scenario = super::build_preset(name, *num_as, *seed)?;
+            (
+                scenario.collect_observations(),
+                format!("preset {name} (seed {seed})"),
+            )
+        }
+        ServeSource::ObsDoc { text, label } => (format::parse_observations(text)?, label.clone()),
+    };
+    if let Some(plan) = &opts.fault_plan {
+        observations = plan.apply_to_vec(&observations);
+    }
+    observations.sort();
+    if let Some(until) = opts.until {
+        observations.retain(|o| o.time.secs() <= until);
+    }
+    if observations.is_empty() {
+        return Err(CommandError(
+            "no observations to serve (empty feed after faults/--until)".into(),
+        ));
+    }
+    Ok((observations, label))
+}
+
+/// Build the monitor: warm from a checkpoint on `--resume`, cold
+/// otherwise. Returns the monitor, any checkpointed events to pre-seed,
+/// and the replay cursor.
+fn build_monitor(
+    opts: &ServeOptions,
+    config: &DetectorConfig,
+    first_obs: UnixTime,
+) -> Result<(StreamingMonitor, Vec<OutageEvent>, Option<UnixTime>), CommandError> {
+    if opts.resume {
+        let path = opts.checkpoint.as_ref().ok_or_else(|| {
+            CommandError("--resume needs --checkpoint to know where to resume from".into())
+        })?;
+        let cp = read_serve_checkpoint(path)?;
+        cp.require_fingerprint(config.fingerprint())?;
+        if cp.epoch_secs != opts.epoch_secs {
+            return Err(CommandError(format!(
+                "checkpoint epoch is {} s but --epoch asked for {} s; pass --epoch {}",
+                cp.epoch_secs, opts.epoch_secs, cp.epoch_secs
+            )));
+        }
+        let monitor = match (&cp.model, cp.live) {
+            (Some(model), true) => {
+                StreamingMonitor::from_model(config.clone(), model, cp.cursor, cp.epoch_secs)?
+            }
+            _ => StreamingMonitor::new(config.clone(), cp.cursor, cp.epoch_secs)?,
+        };
+        Ok((monitor, cp.events, Some(cp.cursor)))
+    } else {
+        let aligned = UnixTime(first_obs.secs() / opts.epoch_secs.max(1) * opts.epoch_secs.max(1));
+        let monitor = StreamingMonitor::new(config.clone(), aligned, opts.epoch_secs)?;
+        Ok((monitor, Vec::new(), None))
+    }
+}
+
+/// Run the daemon to completion (source exhaustion or shutdown signal).
+///
+/// This call blocks for the daemon's whole life; the binary hands it
+/// the process-wide shutdown flag so SIGINT/SIGTERM drain gracefully.
+pub fn serve(
+    opts: &ServeOptions,
+    shutdown: &'static AtomicBool,
+) -> Result<ServeOutcomeSummary, CommandError> {
+    let (observations, label) = build_observations(opts)?;
+    let config = DetectorConfig::default();
+    let first_obs = observations[0].time;
+    let (mut monitor, prior_events, resume_cursor) = build_monitor(opts, &config, first_obs)?;
+    if let Some(s) = opts.sentinel {
+        monitor = monitor.with_sentinel(s)?;
+    }
+
+    let shared = ServeShared::new(Obs::new());
+    monitor = monitor.with_obs(shared.obs().clone());
+
+    // Replay resumes at the checkpoint cursor: everything before it is
+    // already folded into the warm model and the checkpointed events.
+    let pos = match resume_cursor {
+        Some(cursor) => observations.partition_point(|o| o.time < cursor),
+        None => 0,
+    };
+    let source = ReplaySource::new(observations, pos, opts.accel, label);
+    shared.set_source_description(&source.describe());
+
+    let (tx, rx) = sync_channel(opts.queue_capacity.max(1));
+    let sup_shared = shared.clone();
+    let sup_cfg = SupervisorConfig::default();
+    let ingest = std::thread::Builder::new()
+        .name("po-ingest".to_string())
+        .spawn(move || run_supervised(Box::new(source), tx, shutdown, &sup_cfg, &sup_shared))
+        .map_err(|e| CommandError(format!("spawning ingest thread: {e}")))?;
+
+    let view = Arc::new(StatusView {
+        shared: shared.clone(),
+    });
+    let http = HttpServer::bind(opts.listen.as_str(), view)
+        .map_err(|e| CommandError(format!("binding {}: {e}", opts.listen)))?;
+    let addr = http.local_addr();
+    if let Some(pf) = &opts.port_file {
+        outage_store::atomic_write(pf, format!("{addr}\n").as_bytes())
+            .map_err(|e| CommandError(format!("writing {}: {e}", pf.display())))?;
+    }
+    eprintln!("serve: listening on http://{addr} (metrics, status, events, healthz)");
+
+    let dcfg = DaemonConfig {
+        checkpoint_every_rolls: opts.checkpoint_every_rolls.max(1),
+        ..DaemonConfig::default()
+    };
+    let mut daemon = Daemon::new(monitor, rx, shared.clone(), dcfg);
+    if let Some(cp) = &opts.checkpoint {
+        daemon = daemon.with_sink(Box::new(FileCheckpointSink::new(cp.clone())));
+    }
+    if !prior_events.is_empty() {
+        daemon = daemon.with_prior_events(prior_events);
+    }
+    if let Some(url) = &opts.webhook {
+        let transport = Box::new(TcpWebhook::parse(url)?);
+        let policy = AlertPolicy {
+            rate_per_sec: opts.webhook_rate,
+            burst: opts.webhook_burst,
+            ..AlertPolicy::default()
+        };
+        daemon = daemon.with_notifier(AlertNotifier::new(transport, policy));
+    }
+
+    let outcome = daemon.run(shutdown);
+    let _ = ingest.join();
+
+    if let Some(path) = &opts.events_out {
+        let doc = format::render_events(&outcome.events);
+        outage_store::atomic_write(path, doc.as_bytes())
+            .map_err(|e| CommandError(format!("writing {}: {e}", path.display())))?;
+    }
+    if let Some(path) = &opts.metrics_out {
+        let doc = shared.registry().render_prometheus();
+        outage_store::atomic_write(path, doc.as_bytes())
+            .map_err(|e| CommandError(format!("writing {}: {e}", path.display())))?;
+    }
+    http.shutdown();
+
+    let status = shared.status();
+    let summary = format!(
+        "serve: {} events ({} checkpoints, {} quarantined s, {} shed, {} source faults), \
+         finished to t={}",
+        outcome.events.len(),
+        outcome.checkpoints_published,
+        outcome.quarantined.total(),
+        status.queue_dropped,
+        status.source_faults,
+        outcome.end.secs(),
+    );
+    Ok(ServeOutcomeSummary { summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_types::{Interval, Prefix};
+
+    /// Result-unwrapping helper that keeps the command modules free of
+    /// `unwrap`/`expect` call sites (a repo-wide invariant for `cmd/*`).
+    fn ok<T, E: std::fmt::Debug>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e:?}"),
+        }
+    }
+
+    fn p(s: &str) -> Prefix {
+        ok(s.parse())
+    }
+
+    #[test]
+    fn replay_source_releases_in_order_and_exhausts() {
+        let obs: Vec<Observation> = (0..100u64)
+            .map(|t| Observation::new(UnixTime(t), p("10.0.0.0/24")))
+            .collect();
+        // Enormous acceleration: everything is due immediately.
+        let mut src = ReplaySource::new(obs.clone(), 0, 1e12, "test".into());
+        let mut got = Vec::new();
+        loop {
+            match ok(src.pull()) {
+                SourceItem::Batch(b) => got.extend(b),
+                SourceItem::Idle(_) => std::thread::sleep(Duration::from_millis(1)),
+                SourceItem::Exhausted => break,
+            }
+        }
+        assert_eq!(got, obs);
+    }
+
+    #[test]
+    fn replay_source_resume_position_skips_history() {
+        let obs: Vec<Observation> = (0..100u64)
+            .map(|t| Observation::new(UnixTime(t), p("10.0.0.0/24")))
+            .collect();
+        let cursor = UnixTime(40);
+        let pos = obs.partition_point(|o| o.time < cursor);
+        let mut src = ReplaySource::new(obs, pos, 1e12, "test".into());
+        let first = loop {
+            match ok(src.pull()) {
+                SourceItem::Batch(b) => break b[0],
+                SourceItem::Idle(_) => std::thread::sleep(Duration::from_millis(1)),
+                SourceItem::Exhausted => panic!("exhausted before any batch"),
+            }
+        };
+        assert_eq!(first.time, cursor);
+    }
+
+    #[test]
+    fn replay_source_goes_idle_until_the_next_instant_is_due() {
+        // Real-time clock, next observation hours away: the source must
+        // report Idle (with a sane "now") instead of blocking or lying.
+        let obs = vec![
+            Observation::new(UnixTime(0), p("10.0.0.0/24")),
+            Observation::new(UnixTime(36_000), p("10.0.0.0/24")),
+        ];
+        let mut src = ReplaySource::new(obs, 0, 1.0, "test".into());
+        match ok(src.pull()) {
+            SourceItem::Batch(b) => assert_eq!(b[0].time, UnixTime(0)),
+            other => panic!("expected the first batch, got {other:?}"),
+        }
+        match ok(src.pull()) {
+            SourceItem::Idle(now) => assert!(now < UnixTime(36_000)),
+            other => panic!("expected Idle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn webhook_url_parsing_accepts_and_rejects() {
+        let w = ok(TcpWebhook::parse("http://127.0.0.1:8080/hook"));
+        assert_eq!(
+            (w.host.as_str(), w.port, w.path.as_str()),
+            ("127.0.0.1", 8080, "/hook")
+        );
+        let w = ok(TcpWebhook::parse("http://alerts.example.com"));
+        assert_eq!((w.port, w.path.as_str()), (80, "/"));
+        assert!(TcpWebhook::parse("https://secure.example.com/x").is_err());
+        assert!(TcpWebhook::parse("http://:99/x").is_err());
+        assert!(TcpWebhook::parse("http://h:notaport/x").is_err());
+    }
+
+    #[test]
+    fn status_json_is_well_formed() {
+        let mut s = ServeStatus {
+            source: "preset \"quick\"".to_string(),
+            source_state: "running".to_string(),
+            live: true,
+            epoch_secs: 3_600,
+            ..ServeStatus::default()
+        };
+        s.feed_health = Some("healthy".to_string());
+        let j = status_json(&s);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"source\":\"preset \\\"quick\\\"\""));
+        assert!(j.contains("\"live\":true"));
+        assert!(j.contains("\"feed_health\":\"healthy\""));
+        assert!(j.contains("\"live_epoch_start_unix\":null"));
+    }
+
+    #[test]
+    fn events_json_renders_an_array() {
+        let events = vec![OutageEvent {
+            prefix: p("192.0.2.0/24"),
+            interval: Interval::from_secs(100, 200),
+            confidence: 0.75,
+            detector: outage_types::DetectorId::PassiveBayes,
+        }];
+        let j = events_json(&events);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"prefix\":\"192.0.2.0/24\""));
+        assert!(j.contains("\"start\":100"));
+        assert_eq!(events_json(&[]), "[]");
+    }
+
+    #[test]
+    fn build_observations_applies_until_and_rejects_empty() {
+        let doc = "0 10.0.0.0/24\n100 10.0.0.0/24\n900 10.0.0.0/24\n";
+        let opts = ServeOptions {
+            source: ServeSource::ObsDoc {
+                text: doc.to_string(),
+                label: "doc".to_string(),
+            },
+            until: Some(500),
+            ..ServeOptions::default()
+        };
+        let (obs, _) = ok(build_observations(&opts));
+        assert_eq!(obs.len(), 2);
+
+        let opts = ServeOptions {
+            source: ServeSource::ObsDoc {
+                text: doc.to_string(),
+                label: "doc".to_string(),
+            },
+            until: Some(0),
+            ..ServeOptions::default()
+        };
+        // until=0 keeps the t=0 observation; an empty doc is the error.
+        assert_eq!(ok(build_observations(&opts)).0.len(), 1);
+        let opts = ServeOptions {
+            source: ServeSource::ObsDoc {
+                text: "# empty\n".to_string(),
+                label: "doc".to_string(),
+            },
+            ..ServeOptions::default()
+        };
+        assert!(build_observations(&opts).is_err());
+    }
+
+    #[test]
+    fn fault_plan_blackout_thins_the_feed() {
+        let doc: String = (0..1_000u64)
+            .map(|t| format!("{t} 10.0.0.0/24\n"))
+            .collect();
+        let plan = FaultPlan::new(7).blackout(Interval::from_secs(200, 800));
+        let opts = ServeOptions {
+            source: ServeSource::ObsDoc {
+                text: doc,
+                label: "doc".to_string(),
+            },
+            fault_plan: Some(plan),
+            ..ServeOptions::default()
+        };
+        let (obs, _) = ok(build_observations(&opts));
+        assert!(obs.len() < 1_000);
+        assert!(obs.iter().all(|o| !(200..800).contains(&o.time.secs())));
+    }
+}

@@ -23,6 +23,8 @@ pub fn status(snapshot_text: &str) -> Result<String, CommandError> {
     status_detection(&snap, &mut out);
     status_stages(&snap, &mut out);
     status_router(&snap, &mut out);
+    status_serve(&snap, &mut out);
+    status_alerts(&snap, &mut out);
 
     if out.is_empty() {
         return Err(CommandError(
@@ -139,6 +141,75 @@ fn status_stages(snap: &Snapshot, out: &mut String) {
             s.value
         ));
     }
+}
+
+fn status_serve(snap: &Snapshot, out: &mut String) {
+    let Some(observations) = snap.value("po_serve_observations_total", &[]) else {
+        return;
+    };
+    out.push_str("serve daemon\n");
+    let batches = snap.value("po_serve_batches_total", &[]).unwrap_or(0.0);
+    let shed = snap
+        .value("po_serve_queue_dropped_total", &[])
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "  ingest          {observations:.0} observations in {batches:.0} batches ({shed:.0} shed)\n"
+    ));
+    let faults: Vec<String> = snap
+        .matching("po_serve_source_faults_total")
+        .into_iter()
+        .filter(|s| s.value > 0.0)
+        .filter_map(|s| Some(format!("{} {:.0}", label(s, "kind")?, s.value)))
+        .collect();
+    out.push_str(&format!(
+        "  source faults   {}\n",
+        if faults.is_empty() {
+            "none".to_string()
+        } else {
+            faults.join(", ")
+        }
+    ));
+    let checkpoints: Vec<String> = snap
+        .matching("po_serve_checkpoints_total")
+        .into_iter()
+        .filter(|s| s.value > 0.0)
+        .filter_map(|s| Some(format!("{} {:.0}", label(s, "reason")?, s.value)))
+        .collect();
+    let errors = snap
+        .value("po_serve_checkpoint_errors_total", &[])
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "  checkpoints     {}{}\n",
+        if checkpoints.is_empty() {
+            "none".to_string()
+        } else {
+            checkpoints.join(", ")
+        },
+        if errors > 0.0 {
+            format!(" ({errors:.0} errors)")
+        } else {
+            String::new()
+        }
+    ));
+    if let Some(events) = snap.value("po_serve_events_total", &[]) {
+        out.push_str(&format!("  events          {events:.0}\n"));
+    }
+}
+
+fn status_alerts(snap: &Snapshot, out: &mut String) {
+    let sent = snap.value("po_alert_sent_total", &[]);
+    let dropped = snap.value("po_alert_dropped_total", &[]);
+    if sent.is_none() && dropped.is_none() {
+        return;
+    }
+    let retries = snap.value("po_alert_retries_total", &[]).unwrap_or(0.0);
+    let failed = snap.value("po_alert_failed_total", &[]).unwrap_or(0.0);
+    out.push_str("alerting\n");
+    out.push_str(&format!(
+        "  webhook         {:.0} sent, {:.0} dropped (rate limit), {retries:.0} retries, {failed:.0} failed\n",
+        sent.unwrap_or(0.0),
+        dropped.unwrap_or(0.0)
+    ));
 }
 
 fn status_router(snap: &Snapshot, out: &mut String) {

@@ -6,6 +6,6 @@
 
 pub use crate::cmd::{
     build_preset, coverage, detect, detect_with, eval, learn, model_inspect, model_merge,
-    model_verify, simulate, status, telescope, CommandError, DetectOptions, DetectOutput,
-    LearnOutput, SimulateOutput,
+    model_verify, serve, simulate, status, telescope, CommandError, DetectOptions, DetectOutput,
+    LearnOutput, ServeOptions, ServeOutcomeSummary, ServeSource, SimulateOutput,
 };

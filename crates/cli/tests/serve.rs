@@ -1,0 +1,414 @@
+//! Integration tests for `passive-outage serve`: the crash-safety and
+//! liveness contracts that only hold (or break) at the process level.
+//!
+//! Each test drives the real binary (`CARGO_BIN_EXE_passive-outage`)
+//! over a small deterministic feed: one /24 at one query per 20 s for a
+//! day, with two injected holes after the warm-up epoch. The detection
+//! epoch is one hour, so the daemon rolls (and checkpoints) 23 times in
+//! a run — plenty of kill windows.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_passive-outage");
+const EPOCH: &str = "3600";
+
+/// A throwaway directory per test, cleaned on drop.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> TestDir {
+        let dir = std::env::temp_dir().join(format!("po-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        TestDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One day of one block at 1 query / 20 s with two holes in live
+/// epochs: 30000–37200 and 60000–63600.
+fn write_feed(path: &Path) {
+    write_feed_period(path, 20);
+}
+
+fn write_feed_period(path: &Path, period_secs: usize) {
+    let mut doc = String::from("# <secs> <block>\n");
+    for t in (0..86_400u64).step_by(period_secs) {
+        if (30_000..37_200).contains(&t) || (60_000..63_600).contains(&t) {
+            continue;
+        }
+        doc.push_str(&format!("{t} 192.0.2.0/24\n"));
+    }
+    std::fs::write(path, doc).expect("write feed");
+}
+
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .expect("set timeout");
+                let req = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+                stream.write_all(req.as_bytes()).expect("send request");
+                let mut response = String::new();
+                let _ = stream.read_to_string(&mut response);
+                let status: u16 = response
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                let body = response
+                    .split_once("\r\n\r\n")
+                    .map(|(_, b)| b.to_string())
+                    .unwrap_or_default();
+                return (status, body);
+            }
+            Err(e) => {
+                if Instant::now() > deadline {
+                    panic!("could not connect to {addr}: {e}");
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Wait for the daemon to publish its bound address via `--port-file`.
+fn wait_for_addr(port_file: &Path, child: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(port_file) {
+            let addr = s.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("daemon exited before publishing its address: {status}");
+        }
+        if Instant::now() > deadline {
+            panic!("timed out waiting for {}", port_file.display());
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Extract `"checkpoints_total":N` from a `/status` JSON document.
+fn checkpoints_total(status_body: &str) -> u64 {
+    status_body
+        .split("\"checkpoints_total\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
+}
+
+fn run_to_completion(args: &[&str]) -> std::process::Output {
+    let out = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn passive-outage");
+    assert!(
+        out.status.success(),
+        "expected success: passive-outage {:?}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Kill -9 between checkpoints, restart with `--resume`, and the merged
+/// event timeline must be bit-identical to an uninterrupted run's.
+#[test]
+fn kill_and_resume_timeline_is_bit_identical() {
+    let dir = TestDir::new("resume");
+    let feed = dir.path("obs.txt");
+    write_feed(&feed);
+    let feed = feed.to_string_lossy().to_string();
+
+    // Reference: one uninterrupted run, flat out.
+    let events_a = dir.path("events-a.txt");
+    run_to_completion(&[
+        "serve",
+        "--obs",
+        &feed,
+        "--epoch",
+        EPOCH,
+        "--accel",
+        "5000000",
+        "--listen",
+        "127.0.0.1:0",
+        "--checkpoint",
+        &dir.path("cp-a.posv").to_string_lossy(),
+        "--events-out",
+        &events_a.to_string_lossy(),
+    ]);
+    let reference = std::fs::read(&events_a).expect("reference events written");
+
+    // Victim: paced so hourly rolls land ~0.5 s apart, killed -9 once a
+    // few roll checkpoints exist.
+    let checkpoint = dir.path("cp-b.posv").to_string_lossy().to_string();
+    let events_b = dir.path("events-b.txt");
+    let port_file = dir.path("port-b.txt");
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--obs",
+            &feed,
+            "--epoch",
+            EPOCH,
+            "--accel",
+            "7200",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--checkpoint",
+            &checkpoint,
+            "--events-out",
+            &events_b.to_string_lossy(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let addr = wait_for_addr(&port_file, &mut child);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = http_get(&addr, "/status");
+        assert_eq!(status, 200, "status endpoint must answer while running");
+        // Startup checkpoint + at least three epoch rolls: the kill
+        // lands mid-epoch with live state beyond the last publish.
+        if checkpoints_total(&body) >= 4 {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            panic!("daemon finished before it could be killed; lower --accel");
+        }
+        if Instant::now() > deadline {
+            panic!("never saw enough checkpoints; last /status: {body}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill -9");
+    let _ = child.wait();
+    assert!(
+        !events_b.exists(),
+        "a SIGKILLed daemon never reached its event flush"
+    );
+
+    // Resurrection: warm-restart from the survivor checkpoint.
+    run_to_completion(&[
+        "serve",
+        "--obs",
+        &feed,
+        "--epoch",
+        EPOCH,
+        "--accel",
+        "5000000",
+        "--listen",
+        "127.0.0.1:0",
+        "--resume",
+        "--checkpoint",
+        &checkpoint,
+        "--events-out",
+        &events_b.to_string_lossy(),
+    ]);
+    let resumed = std::fs::read(&events_b).expect("resumed events written");
+
+    assert_eq!(
+        String::from_utf8_lossy(&reference),
+        String::from_utf8_lossy(&resumed),
+        "kill -9 + --resume must reproduce the uninterrupted timeline bit for bit"
+    );
+    assert!(
+        reference.windows(12).any(|w| w == b"192.0.2.0/24"),
+        "the injected holes must appear as events, or this test proves nothing"
+    );
+}
+
+/// The HTTP surface answers while running, SIGTERM drains gracefully,
+/// and the terminal checkpoint + event flush land on disk.
+#[test]
+fn http_tour_and_graceful_shutdown() {
+    let dir = TestDir::new("tour");
+    let feed = dir.path("obs.txt");
+    write_feed(&feed);
+    let checkpoint = dir.path("cp.posv");
+    let events_out = dir.path("events.txt");
+    let port_file = dir.path("port.txt");
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--obs",
+            &feed.to_string_lossy(),
+            "--epoch",
+            EPOCH,
+            "--accel",
+            "4000",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--checkpoint",
+            &checkpoint.to_string_lossy(),
+            "--events-out",
+            &events_out.to_string_lossy(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let addr = wait_for_addr(&port_file, &mut child);
+
+    let (status, body) = http_get(&addr, "/healthz");
+    assert_eq!(status, 200, "healthz: {body}");
+
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("po_serve_observations_total"),
+        "metrics must carry the serve counters: {body}"
+    );
+
+    let (status, body) = http_get(&addr, "/status");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"source_state\":"), "status JSON: {body}");
+    assert!(body.contains("\"epoch_secs\":3600"), "status JSON: {body}");
+
+    let (status, body) = http_get(&addr, "/events");
+    assert_eq!(status, 200);
+    assert!(body.trim_start().starts_with('['), "events JSON: {body}");
+
+    let (status, _) = http_get(&addr, "/nope");
+    assert_eq!(status, 404);
+
+    // Graceful shutdown: SIGTERM → drain → final checkpoint → flush.
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = child.try_wait().expect("try_wait") {
+            break s;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("daemon did not exit within 30 s of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(
+        status.success(),
+        "graceful shutdown must exit zero: {status}"
+    );
+
+    let cp = outage_store::read_serve_checkpoint(&checkpoint).expect("final checkpoint readable");
+    assert!(!cp.live, "shutdown checkpoint records a finished run");
+    assert!(events_out.exists(), "events flushed on shutdown");
+}
+
+/// A total feed blackout (FaultPlan) must quarantine, not kill: the
+/// daemon exits zero at exhaustion and reports the quarantined span.
+#[test]
+fn blackout_is_quarantined_not_fatal() {
+    let dir = TestDir::new("blackout");
+    let feed = dir.path("obs.txt");
+    // Dense enough (15 arrivals per 60 s sentinel bucket) to clear the
+    // sentinel's min_baseline; the sparser default feed is deliberately
+    // below it ("too sparse to judge").
+    write_feed_period(&feed, 4);
+    let plan = dir.path("faults.txt");
+    std::fs::write(&plan, "seed 7\nblackout 50000 57200\n").expect("write fault plan");
+
+    let metrics_out = dir.path("metrics.txt");
+    let out = run_to_completion(&[
+        "serve",
+        "--obs",
+        &feed.to_string_lossy(),
+        "--epoch",
+        EPOCH,
+        "--accel",
+        "5000000",
+        "--listen",
+        "127.0.0.1:0",
+        "--sentinel",
+        "--fault-plan",
+        &plan.to_string_lossy(),
+        "--metrics-out",
+        &metrics_out.to_string_lossy(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let quarantined: u64 = stderr
+        .split(" quarantined s")
+        .next()
+        .and_then(|head| head.rsplit(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    assert!(
+        quarantined > 0,
+        "the blackout must surface as quarantine in the summary: {stderr}"
+    );
+    let metrics = std::fs::read_to_string(&metrics_out).expect("metrics snapshot written");
+    assert!(
+        metrics.contains("po_serve_observations_total"),
+        "serve counters exported: {metrics}"
+    );
+}
+
+/// `--resume` without `--checkpoint` is a usage error with a message,
+/// not a panic; a missing checkpoint file likewise.
+#[test]
+fn resume_misuse_fails_with_a_message() {
+    let dir = TestDir::new("misuse");
+    let feed = dir.path("obs.txt");
+    write_feed(&feed);
+    let out = Command::new(BIN)
+        .args(["serve", "--obs", &feed.to_string_lossy(), "--resume"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--checkpoint"), "helpful error: {stderr}");
+
+    let out = Command::new(BIN)
+        .args([
+            "serve",
+            "--obs",
+            &feed.to_string_lossy(),
+            "--resume",
+            "--checkpoint",
+            &dir.path("missing.posv").to_string_lossy(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "an unreadable checkpoint is an error, not a panic"
+    );
+}

@@ -113,7 +113,9 @@ impl QuarantineGate {
     /// invalid sentinel configurations.
     pub fn new(cfg: SentinelConfig, origin: UnixTime) -> Result<QuarantineGate, ConfigError> {
         cfg.validate()?;
-        Ok(QuarantineGate::from_sentinel(FeedSentinel::new(cfg, origin)))
+        Ok(QuarantineGate::from_sentinel(FeedSentinel::new(
+            cfg, origin,
+        )))
     }
 
     /// A gate over an already-validated sentinel.
@@ -436,6 +438,17 @@ impl DetectionEngine {
         self.block_to_unit
             .get(block)
             .map(|&i| self.units[i].belief())
+    }
+
+    /// Units currently believed down (belief < 0.5), as
+    /// `(unit prefix, belief)`, in unit order. The live "what is out
+    /// right now" view a service surfaces and alerts on.
+    pub fn down_units(&self) -> Vec<(Prefix, f64)> {
+        self.units
+            .iter()
+            .filter(|u| u.belief() < 0.5)
+            .map(|u| (u.prefix(), u.belief()))
+            .collect()
     }
 
     /// Apply one typed input step.

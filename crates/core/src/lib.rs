@@ -63,6 +63,7 @@ pub mod model;
 pub mod parallel;
 pub mod pipeline;
 pub mod sentinel;
+pub mod service;
 pub mod streaming;
 pub mod tuning;
 
@@ -79,5 +80,9 @@ pub use model::{LearnedModel, ModelError};
 pub use parallel::{detect_parallel, detect_parallel_from_model, detect_parallel_with_sentinel};
 pub use pipeline::{DetectionReport, PassiveDetector};
 pub use sentinel::{FeedHealth, FeedSentinel, SentinelAccounting, SentinelConfig};
+pub use service::{
+    CheckpointReason, CheckpointSink, Daemon, DaemonConfig, DaemonOutcome, HttpServer,
+    ObservationSource, ServeShared, ServeSnapshot, ServeStatus, ServeView, SourceFault, SourceItem,
+};
 pub use streaming::StreamingMonitor;
 pub use tuning::{finest_measurable_width, tune_block, tune_rate, Tuning, UnitParams};

@@ -1,0 +1,428 @@
+//! Webhook alerting with a token-bucket rate limiter and bounded
+//! retry-with-backoff.
+//!
+//! Every moving part is injected: the transport is a trait (mocked in
+//! tests, a raw `TcpStream` HTTP POST in the CLI), and the notifier's
+//! clock and sleep are closures — so the full policy (limit, retry
+//! ordering, drop accounting) is testable without wall-clock waits.
+
+use outage_types::{Prefix, UnixTime};
+use std::fmt;
+use std::time::Duration;
+
+/// What happened. Carried as the `kind` label on
+/// `po_alert_sent_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// A unit crossed into "down" (belief fell below ½).
+    EventOpen,
+    /// A completed outage event was finalized.
+    EventClose,
+    /// The feed sentinel entered quarantine — detection is suspended,
+    /// not reporting outages it can no longer distinguish from feed
+    /// failure.
+    QuarantineEnter,
+    /// The feed recovered; detection resumed.
+    QuarantineExit,
+}
+
+impl AlertKind {
+    /// Stable label for metrics and payloads.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::EventOpen => "event_open",
+            AlertKind::EventClose => "event_close",
+            AlertKind::QuarantineEnter => "quarantine_enter",
+            AlertKind::QuarantineExit => "quarantine_exit",
+        }
+    }
+}
+
+/// One notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// What happened.
+    pub kind: AlertKind,
+    /// The affected block, when the alert is about one.
+    pub prefix: Option<Prefix>,
+    /// Event time (simulation/feed time, not wall time).
+    pub at: UnixTime,
+    /// Free-form detail (duration, confidence, health state).
+    pub detail: String,
+}
+
+impl Alert {
+    /// The JSON payload POSTed to the webhook.
+    pub fn payload(&self) -> String {
+        let prefix = match &self.prefix {
+            Some(p) => format!("\"{p}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kind\":\"{}\",\"prefix\":{},\"at\":{},\"detail\":\"{}\"}}",
+            self.kind.as_str(),
+            prefix,
+            self.at.secs(),
+            self.detail.replace('\\', "\\\\").replace('"', "\\\""),
+        )
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] t={}", self.kind.as_str(), self.at.secs())?;
+        if let Some(p) = &self.prefix {
+            write!(f, " {p}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Classic token bucket over a millisecond clock: capacity `burst`,
+/// refilled at `rate_per_sec`. Pure — the caller supplies `now_ms`,
+/// so properties like "never more than burst + rate·t sends in any
+/// window t" are directly testable.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    rate_per_sec: f64,
+    last_ms: Option<u64>,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full. `rate_per_sec` ≤ 0 disables refill
+    /// (only the initial burst is ever available); `burst` is clamped
+    /// to at least 1.
+    pub fn new(rate_per_sec: f64, burst: u32) -> TokenBucket {
+        let capacity = f64::from(burst.max(1));
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            rate_per_sec: if rate_per_sec.is_finite() {
+                rate_per_sec.max(0.0)
+            } else {
+                0.0
+            },
+            last_ms: None,
+        }
+    }
+
+    fn refill(&mut self, now_ms: u64) {
+        if let Some(last) = self.last_ms {
+            if now_ms > last {
+                let dt = (now_ms - last) as f64 / 1_000.0;
+                self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.capacity);
+            }
+        }
+        self.last_ms = Some(self.last_ms.map_or(now_ms, |l| l.max(now_ms)));
+    }
+
+    /// Take one token if available. Monotone in `now_ms`; a clock that
+    /// steps backwards is treated as not advancing.
+    pub fn try_take(&mut self, now_ms: u64) -> bool {
+        self.refill(now_ms);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after the last refill).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// Delivers a rendered payload to wherever alerts go.
+pub trait WebhookTransport: Send {
+    /// Attempt one delivery. `Err` is retried by the notifier's
+    /// policy; the message is for logs only.
+    fn deliver(&mut self, payload: &str) -> Result<(), String>;
+}
+
+/// Retry and rate-limit policy for [`AlertNotifier`].
+#[derive(Debug, Clone)]
+pub struct AlertPolicy {
+    /// Sustained alert rate, alerts/second.
+    pub rate_per_sec: f64,
+    /// Burst capacity.
+    pub burst: u32,
+    /// Delivery attempts per alert (1 = no retry).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub retry_base: Duration,
+}
+
+impl Default for AlertPolicy {
+    fn default() -> AlertPolicy {
+        AlertPolicy {
+            rate_per_sec: 1.0,
+            burst: 5,
+            max_attempts: 3,
+            retry_base: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Counters the notifier reports back; the daemon folds them into the
+/// metrics registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlertStats {
+    /// Alerts delivered (possibly after retries).
+    pub sent: u64,
+    /// Alerts dropped by the rate limiter.
+    pub dropped: u64,
+    /// Retry attempts performed (excludes each alert's first attempt).
+    pub retries: u64,
+    /// Alerts abandoned after exhausting every attempt.
+    pub failed: u64,
+}
+
+/// Rate-limited, retrying alert dispatcher.
+///
+/// The clock (`now_ms`) and `sleep` are injected; production wires
+/// them to `Instant`-based time and `thread::sleep`, tests to a
+/// virtual clock that records the sleep schedule.
+pub struct AlertNotifier {
+    transport: Box<dyn WebhookTransport>,
+    bucket: TokenBucket,
+    policy: AlertPolicy,
+    now_ms: Box<dyn FnMut() -> u64 + Send>,
+    sleep: Box<dyn FnMut(Duration) + Send>,
+    stats: AlertStats,
+}
+
+impl fmt::Debug for AlertNotifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlertNotifier")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AlertNotifier {
+    /// A notifier over `transport` with the given policy, using real
+    /// wall-clock time and real sleeps.
+    pub fn new(transport: Box<dyn WebhookTransport>, policy: AlertPolicy) -> AlertNotifier {
+        let origin = std::time::Instant::now();
+        AlertNotifier::with_clock(
+            transport,
+            policy,
+            Box::new(move || origin.elapsed().as_millis() as u64),
+            Box::new(std::thread::sleep),
+        )
+    }
+
+    /// A notifier with an injected clock and sleep — the test
+    /// constructor, but also useful for simulated time.
+    pub fn with_clock(
+        transport: Box<dyn WebhookTransport>,
+        policy: AlertPolicy,
+        now_ms: Box<dyn FnMut() -> u64 + Send>,
+        sleep: Box<dyn FnMut(Duration) + Send>,
+    ) -> AlertNotifier {
+        let bucket = TokenBucket::new(policy.rate_per_sec, policy.burst);
+        AlertNotifier {
+            transport,
+            bucket,
+            policy,
+            now_ms,
+            sleep,
+            stats: AlertStats::default(),
+        }
+    }
+
+    /// Dispatch one alert: rate-limit first (a dropped alert costs no
+    /// delivery attempt), then try up to `max_attempts` deliveries
+    /// with exponential backoff between them. Returns whether the
+    /// alert was delivered.
+    pub fn notify(&mut self, alert: &Alert) -> bool {
+        let now = (self.now_ms)();
+        if !self.bucket.try_take(now) {
+            self.stats.dropped += 1;
+            return false;
+        }
+        let payload = alert.payload();
+        let mut delay = self.policy.retry_base;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                (self.sleep)(delay);
+                delay = delay.saturating_mul(2);
+            }
+            if self.transport.deliver(&payload).is_ok() {
+                self.stats.sent += 1;
+                return true;
+            }
+        }
+        self.stats.failed += 1;
+        false
+    }
+
+    /// Cumulative dispatch statistics.
+    pub fn stats(&self) -> AlertStats {
+        self.stats
+    }
+
+    /// Tokens currently available in the limiter.
+    pub fn tokens_available(&self) -> f64 {
+        self.bucket.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    struct ScriptedTransport {
+        /// Outcome per delivery attempt; exhausted → success.
+        fails_first: u32,
+        attempts: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl WebhookTransport for ScriptedTransport {
+        fn deliver(&mut self, payload: &str) -> Result<(), String> {
+            self.attempts.lock().unwrap().push(payload.to_string());
+            if self.fails_first > 0 {
+                self.fails_first -= 1;
+                Err("refused".into())
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    type NotifierParts = (
+        AlertNotifier,
+        Arc<Mutex<Vec<String>>>,
+        Arc<Mutex<Vec<Duration>>>,
+    );
+
+    fn test_notifier(fails_first: u32, policy: AlertPolicy) -> NotifierParts {
+        let attempts = Arc::new(Mutex::new(Vec::new()));
+        let sleeps = Arc::new(Mutex::new(Vec::new()));
+        let t = ScriptedTransport {
+            fails_first,
+            attempts: attempts.clone(),
+        };
+        let s = sleeps.clone();
+        let n = AlertNotifier::with_clock(
+            Box::new(t),
+            policy,
+            Box::new(|| 0),
+            Box::new(move |d| s.lock().unwrap().push(d)),
+        );
+        (n, attempts, sleeps)
+    }
+
+    fn alert() -> Alert {
+        Alert {
+            kind: AlertKind::EventOpen,
+            prefix: None,
+            at: UnixTime(100),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn bucket_allows_burst_then_refuses() {
+        let mut b = TokenBucket::new(1.0, 3);
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0));
+        // One second later exactly one token has refilled.
+        assert!(b.try_take(1_000));
+        assert!(!b.try_take(1_000));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let mut b = TokenBucket::new(10.0, 2);
+        assert!(b.try_take(0));
+        // A long quiet period refills to capacity, not beyond.
+        b.refill(1_000_000);
+        assert!(b.available() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn bucket_tolerates_backwards_clock() {
+        let mut b = TokenBucket::new(1.0, 1);
+        assert!(b.try_take(5_000));
+        assert!(!b.try_take(1_000)); // clock stepped back: no refill
+        assert!(b.try_take(6_000));
+    }
+
+    #[test]
+    fn retry_then_success_counts_one_send() {
+        let (mut n, attempts, sleeps) = test_notifier(2, AlertPolicy::default());
+        assert!(n.notify(&alert()));
+        assert_eq!(attempts.lock().unwrap().len(), 3);
+        let s = sleeps.lock().unwrap();
+        assert_eq!(
+            *s,
+            vec![Duration::from_millis(200), Duration::from_millis(400)],
+            "backoff must double between attempts"
+        );
+        assert_eq!(
+            n.stats(),
+            AlertStats {
+                sent: 1,
+                dropped: 0,
+                retries: 2,
+                failed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_count_failed() {
+        let (mut n, attempts, _) = test_notifier(99, AlertPolicy::default());
+        assert!(!n.notify(&alert()));
+        assert_eq!(attempts.lock().unwrap().len(), 3);
+        assert_eq!(n.stats().failed, 1);
+        assert_eq!(n.stats().sent, 0);
+    }
+
+    #[test]
+    fn rate_limited_alerts_are_dropped_without_delivery() {
+        let policy = AlertPolicy {
+            rate_per_sec: 0.0,
+            burst: 1,
+            ..AlertPolicy::default()
+        };
+        let (mut n, attempts, _) = test_notifier(0, policy);
+        assert!(n.notify(&alert()));
+        assert!(!n.notify(&alert()));
+        assert!(!n.notify(&alert()));
+        assert_eq!(
+            attempts.lock().unwrap().len(),
+            1,
+            "drops never hit the wire"
+        );
+        assert_eq!(n.stats().dropped, 2);
+    }
+
+    #[test]
+    fn payload_is_json_with_escapes() {
+        let a = Alert {
+            kind: AlertKind::EventClose,
+            prefix: Some("192.0.2.0/24".parse().unwrap()),
+            at: UnixTime(42),
+            detail: "say \"hi\"".into(),
+        };
+        let p = a.payload();
+        assert!(p.contains("\"kind\":\"event_close\""));
+        assert!(p.contains("\"prefix\":\"192.0.2.0/24\""));
+        assert!(p.contains("\"at\":42"));
+        assert!(p.contains("say \\\"hi\\\""));
+    }
+}

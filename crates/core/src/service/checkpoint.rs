@@ -1,0 +1,125 @@
+//! What the daemon persists, when, and through what.
+//!
+//! A serve checkpoint is an **epoch-boundary snapshot**: the learned
+//! model driving the live epoch, every event completed so far, the
+//! quarantine ledger, and a cursor marking where replay must resume.
+//! Because the streaming engine closes all units at each epoch roll,
+//! the pair (model, cursor) fully determines the continuation — a
+//! daemon restarted from a checkpoint and re-fed observations from the
+//! cursor onward reproduces the uninterrupted event timeline
+//! bit-for-bit.
+//!
+//! The sink trait lives in `outage-core` (not `outage-store`) so the
+//! dependency arrow keeps pointing store → core; the store crate
+//! provides the on-disk implementation with atomic publish.
+
+use crate::model::LearnedModel;
+use outage_types::{IntervalSet, OutageEvent, UnixTime};
+use std::io;
+
+/// Why a checkpoint is being written. Carried to the sink (and into
+/// metrics as `po_serve_checkpoints_total{reason=…}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointReason {
+    /// First checkpoint right after startup, before any epoch has
+    /// rolled. Proves the path is writable before hours of work
+    /// depend on it.
+    Startup,
+    /// A detection epoch just rolled; the snapshot captures the fresh
+    /// model and the events the closed epoch completed.
+    EpochRoll,
+    /// Graceful shutdown: the reorder buffer is drained, open events
+    /// are finalized, and this snapshot is the run's last word.
+    Shutdown,
+}
+
+impl CheckpointReason {
+    /// Stable label for metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckpointReason::Startup => "startup",
+            CheckpointReason::EpochRoll => "epoch_roll",
+            CheckpointReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A point-in-time image of the daemon's detection state.
+#[derive(Debug, Clone)]
+pub struct ServeSnapshot {
+    /// [`crate::DetectorConfig::fingerprint`] of the running config; a
+    /// resume under a different config is refused rather than silently
+    /// blended.
+    pub fingerprint: u64,
+    /// The monitor's epoch length, seconds.
+    pub epoch_secs: u64,
+    /// Where replay must resume: the start of the live epoch for
+    /// [`CheckpointReason::EpochRoll`] snapshots, the finish time for
+    /// shutdown snapshots.
+    pub cursor: UnixTime,
+    /// Whether detection was live (a model was installed) when the
+    /// snapshot was taken. False for startup (still warming up) and
+    /// shutdown (monitor consumed) snapshots.
+    pub live: bool,
+    /// The model driving the live epoch, when `live`.
+    pub model: Option<LearnedModel>,
+    /// Every completed event, in completion order.
+    pub events: Vec<OutageEvent>,
+    /// Feed-quarantine intervals accumulated so far.
+    pub quarantined: IntervalSet,
+}
+
+/// Where snapshots go. Implementations must make `publish` atomic —
+/// a crash mid-write must leave either the previous checkpoint or the
+/// new one, never a torn file.
+pub trait CheckpointSink: Send {
+    /// Persist a snapshot. Returns `Ok(true)` if written, `Ok(false)`
+    /// if the sink chose to skip (e.g. cadence says not yet) — the
+    /// daemon counts only true publishes.
+    fn publish(&mut self, snapshot: &ServeSnapshot, reason: CheckpointReason) -> io::Result<bool>;
+}
+
+/// A sink that remembers what it was asked to publish; for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Every published snapshot with its reason, in order.
+    pub published: Vec<(CheckpointReason, ServeSnapshot)>,
+}
+
+impl CheckpointSink for MemorySink {
+    fn publish(&mut self, snapshot: &ServeSnapshot, reason: CheckpointReason) -> io::Result<bool> {
+        self.published.push((reason, snapshot.clone()));
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_have_stable_labels() {
+        assert_eq!(CheckpointReason::Startup.as_str(), "startup");
+        assert_eq!(CheckpointReason::EpochRoll.as_str(), "epoch_roll");
+        assert_eq!(CheckpointReason::Shutdown.as_str(), "shutdown");
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let snap = ServeSnapshot {
+            fingerprint: 1,
+            epoch_secs: 3_600,
+            cursor: UnixTime(0),
+            live: false,
+            model: None,
+            events: Vec::new(),
+            quarantined: IntervalSet::new(),
+        };
+        let mut sink = MemorySink::default();
+        assert!(sink.publish(&snap, CheckpointReason::Startup).unwrap());
+        assert!(sink.publish(&snap, CheckpointReason::Shutdown).unwrap());
+        assert_eq!(sink.published.len(), 2);
+        assert_eq!(sink.published[0].0, CheckpointReason::Startup);
+        assert_eq!(sink.published[1].0, CheckpointReason::Shutdown);
+    }
+}

@@ -1,0 +1,734 @@
+//! The engine loop: feed the [`StreamingMonitor`], notice the moments
+//! that matter (completed events, epoch rolls, quarantine flips), and
+//! shut down by draining rather than dropping.
+
+use super::alert::{Alert, AlertKind, AlertNotifier, AlertStats};
+use super::checkpoint::{CheckpointReason, CheckpointSink, ServeSnapshot};
+use crate::streaming::StreamingMonitor;
+use outage_obs::{Obs, Registry};
+use outage_types::{IntervalSet, Observation, OutageEvent, Prefix, UnixTime};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What the ingest side sends the engine loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineMsg {
+    /// Observations in arrival order.
+    Batch(Vec<Observation>),
+    /// Advance engine time without data (bin closes, stall detection).
+    Tick(UnixTime),
+    /// The source is exhausted; drain and finish.
+    End,
+}
+
+/// A point-in-time public description of the daemon, rendered by
+/// `/status`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStatus {
+    /// Source description (from the source itself).
+    pub source: String,
+    /// Ingest state: `starting`, `running`, `backoff`, `parked`,
+    /// `exhausted`, or `stopped`.
+    pub source_state: String,
+    /// Whether detection is live (warm-up epoch completed or warm
+    /// start).
+    pub live: bool,
+    /// Epoch length, seconds.
+    pub epoch_secs: u64,
+    /// The monitor's start time, unix seconds.
+    pub start_unix: u64,
+    /// Highest observation/tick time processed, unix seconds.
+    pub high_water_unix: u64,
+    /// Start of the live epoch, when live.
+    pub live_epoch_start_unix: Option<u64>,
+    /// Blocks the live plan covers.
+    pub covered_blocks: usize,
+    /// Units currently believed down.
+    pub down_units: usize,
+    /// Whether the feed sentinel currently holds detection in
+    /// quarantine.
+    pub quarantined: bool,
+    /// Sentinel health label, when a sentinel is attached.
+    pub feed_health: Option<String>,
+    /// Completed outage events so far.
+    pub events_total: u64,
+    /// Checkpoints successfully published.
+    pub checkpoints_total: u64,
+    /// Unix seconds of the last published checkpoint's cursor.
+    pub last_checkpoint_unix: Option<u64>,
+    /// Reason label of the last published checkpoint.
+    pub last_checkpoint_reason: Option<String>,
+    /// Observations dropped by ingest load-shedding.
+    pub queue_dropped: u64,
+    /// Source faults of any kind since startup.
+    pub source_faults: u64,
+    /// Alert dispatch statistics.
+    pub alerts: AlertStats,
+    /// True once a shutdown has been requested.
+    pub shutting_down: bool,
+}
+
+struct SharedInner {
+    obs: Obs,
+    status: Mutex<ServeStatus>,
+    events: Mutex<Vec<OutageEvent>>,
+    healthy: AtomicBool,
+    queue_dropped: AtomicU64,
+    source_faults: AtomicU64,
+}
+
+/// State shared between the supervisor, the daemon, and the HTTP view:
+/// a metrics registry, the rolling status document, and the event log.
+/// Cheaply cloneable.
+#[derive(Clone)]
+pub struct ServeShared {
+    inner: Arc<SharedInner>,
+}
+
+impl std::fmt::Debug for ServeShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeShared")
+            .field("status", &self.status())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeShared {
+    /// Fresh shared state over an observability bundle.
+    pub fn new(obs: Obs) -> ServeShared {
+        ServeShared {
+            inner: Arc::new(SharedInner {
+                obs,
+                status: Mutex::new(ServeStatus {
+                    source_state: "starting".to_string(),
+                    ..ServeStatus::default()
+                }),
+                events: Mutex::new(Vec::new()),
+                healthy: AtomicBool::new(false),
+                queue_dropped: AtomicU64::new(0),
+                source_faults: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The metrics registry everything records into.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.obs.registry
+    }
+
+    /// The observability bundle (for attaching to the monitor).
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// Current status (with live drop/fault counters folded in).
+    pub fn status(&self) -> ServeStatus {
+        let mut s = self
+            .inner
+            .status
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        s.queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        s.source_faults = self.inner.source_faults.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Snapshot of every completed event so far, in completion order.
+    pub fn events(&self) -> Vec<OutageEvent> {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Whether the engine loop is up (drives `/healthz`).
+    pub fn is_healthy(&self) -> bool {
+        self.inner.healthy.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_healthy(&self, v: bool) {
+        self.inner.healthy.store(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_source_state(&self, state: &str) {
+        let mut s = self.inner.status.lock().unwrap_or_else(|e| e.into_inner());
+        s.source_state = state.to_string();
+    }
+
+    /// Record `n` observations shed at the ingest queue.
+    pub fn add_queue_dropped(&self, n: u64) {
+        self.inner.queue_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one source fault (any kind).
+    pub fn add_source_fault(&self) {
+        self.inner.source_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Set the source description shown in `/status`.
+    pub fn set_source_description(&self, d: &str) {
+        let mut s = self.inner.status.lock().unwrap_or_else(|e| e.into_inner());
+        s.source = d.to_string();
+    }
+
+    fn update_status(&self, f: impl FnOnce(&mut ServeStatus)) {
+        let mut s = self.inner.status.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut s);
+    }
+
+    fn push_events(&self, ev: &[OutageEvent]) {
+        let mut e = self.inner.events.lock().unwrap_or_else(|e| e.into_inner());
+        e.extend_from_slice(ev);
+    }
+}
+
+/// Daemon tuning.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Publish an epoch-roll checkpoint every N rolls (1 = every roll).
+    pub checkpoint_every_rolls: u32,
+    /// How long `recv` waits before re-checking the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            checkpoint_every_rolls: 1,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What a finished daemon run produced.
+#[derive(Debug, Clone)]
+pub struct DaemonOutcome {
+    /// Every completed event, in completion order (including those
+    /// finalized by the shutdown drain).
+    pub events: Vec<OutageEvent>,
+    /// Feed-quarantine intervals over the whole run.
+    pub quarantined: IntervalSet,
+    /// The time detection was finished to.
+    pub end: UnixTime,
+    /// Checkpoints successfully published.
+    pub checkpoints_published: u64,
+}
+
+/// The engine loop. Owns the monitor; everything else reaches it
+/// through [`ServeShared`].
+pub struct Daemon {
+    monitor: Option<StreamingMonitor>,
+    rx: Receiver<EngineMsg>,
+    shared: ServeShared,
+    cfg: DaemonConfig,
+    sink: Option<Box<dyn CheckpointSink>>,
+    notifier: Option<AlertNotifier>,
+    fingerprint: u64,
+    high_water: UnixTime,
+    events: Vec<OutageEvent>,
+    down: BTreeSet<Prefix>,
+    was_quarantined: bool,
+    last_epoch: Option<UnixTime>,
+    rolls_since_checkpoint: u32,
+    checkpoints_published: u64,
+    last_alert_stats: AlertStats,
+}
+
+impl Daemon {
+    /// A daemon over `monitor`, fed from `rx`.
+    pub fn new(
+        monitor: StreamingMonitor,
+        rx: Receiver<EngineMsg>,
+        shared: ServeShared,
+        cfg: DaemonConfig,
+    ) -> Daemon {
+        let fingerprint = monitor.config().fingerprint();
+        let start = monitor.start();
+        let last_epoch = monitor.live_epoch_start();
+        let epoch_secs = monitor.epoch_secs();
+        let live = monitor.is_live();
+        shared.update_status(|s| {
+            s.start_unix = start.secs();
+            s.epoch_secs = epoch_secs;
+            s.live = live;
+        });
+        Daemon {
+            monitor: Some(monitor),
+            rx,
+            shared,
+            cfg,
+            sink: None,
+            notifier: None,
+            fingerprint,
+            high_water: start,
+            events: Vec::new(),
+            down: BTreeSet::new(),
+            was_quarantined: false,
+            last_epoch,
+            rolls_since_checkpoint: 0,
+            checkpoints_published: 0,
+            last_alert_stats: AlertStats::default(),
+        }
+    }
+
+    /// Attach a checkpoint sink (no sink → no persistence, still runs).
+    pub fn with_sink(mut self, sink: Box<dyn CheckpointSink>) -> Daemon {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attach an alert notifier (no notifier → no alerts, still runs).
+    pub fn with_notifier(mut self, notifier: AlertNotifier) -> Daemon {
+        self.notifier = Some(notifier);
+        self
+    }
+
+    /// Pre-seed the completed-event log (used on `--resume` so the
+    /// checkpointed history flows into `/events` and later snapshots).
+    pub fn with_prior_events(mut self, events: Vec<OutageEvent>) -> Daemon {
+        self.shared.push_events(&events);
+        self.shared
+            .update_status(|s| s.events_total = events.len() as u64);
+        self.events = events;
+        self
+    }
+
+    /// Run until shutdown or source exhaustion, then drain and emit the
+    /// final snapshot. This function's failure model is total: source
+    /// faults never reach it (the supervisor absorbs them), checkpoint
+    /// IO errors are counted and surfaced in `/status` but do not stop
+    /// detection, and alert failures are bounded by the notifier.
+    pub fn run(mut self, shutdown: &AtomicBool) -> DaemonOutcome {
+        self.shared.set_healthy(true);
+        self.publish_checkpoint(CheckpointReason::Startup);
+        let mut source_done = false;
+        while !source_done && !shutdown.load(Ordering::Relaxed) {
+            match self.rx.recv_timeout(self.cfg.poll_interval) {
+                Ok(EngineMsg::Batch(batch)) => {
+                    if let Some(last) = batch.last() {
+                        if last.time > self.high_water {
+                            self.high_water = last.time;
+                        }
+                    }
+                    if let Some(m) = self.monitor.as_mut() {
+                        m.observe_all(batch);
+                        m.tick(self.high_water);
+                    }
+                }
+                Ok(EngineMsg::Tick(t)) => {
+                    if t > self.high_water {
+                        self.high_water = t;
+                        if let Some(m) = self.monitor.as_mut() {
+                            m.tick(t);
+                        }
+                    }
+                }
+                Ok(EngineMsg::End) => source_done = true,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => source_done = true,
+            }
+            self.post_step();
+        }
+        self.shared.update_status(|s| s.shutting_down = true);
+        self.finish()
+    }
+
+    /// One housekeeping pass after every message (or poll timeout):
+    /// harvest completed events, notice epoch rolls and quarantine
+    /// transitions, refresh `/status`.
+    fn post_step(&mut self) {
+        let completed = match self.monitor.as_mut() {
+            Some(m) => m.drain_events(),
+            None => return,
+        };
+        self.absorb_completed(completed);
+
+        // Down-set diff → open alerts. A unit leaving the set closes
+        // via a completed event above, so only entries alert here.
+        let down_now: BTreeSet<Prefix> = {
+            let m = self.monitor.as_ref().expect("monitor present in post_step");
+            m.down_units().into_iter().map(|(p, _)| p).collect()
+        };
+        let opened: Vec<Prefix> = down_now.difference(&self.down).cloned().collect();
+        for p in opened {
+            self.alert(Alert {
+                kind: AlertKind::EventOpen,
+                prefix: Some(p),
+                at: self.high_water,
+                detail: "belief fell below 0.5".to_string(),
+            });
+        }
+        self.down = down_now;
+
+        // Quarantine transitions.
+        let (q, health) = {
+            let m = self.monitor.as_ref().expect("monitor present in post_step");
+            (
+                m.is_quarantined(),
+                m.feed_health().map(|h| h.as_str().to_string()),
+            )
+        };
+        if q != self.was_quarantined {
+            let kind = if q {
+                AlertKind::QuarantineEnter
+            } else {
+                AlertKind::QuarantineExit
+            };
+            let detail = health.clone().unwrap_or_default();
+            self.alert(Alert {
+                kind,
+                prefix: None,
+                at: self.high_water,
+                detail,
+            });
+            self.was_quarantined = q;
+        }
+
+        // Epoch roll → checkpoint cadence.
+        let epoch = self
+            .monitor
+            .as_ref()
+            .and_then(StreamingMonitor::live_epoch_start);
+        if epoch != self.last_epoch {
+            let went_live_or_rolled = epoch.is_some();
+            self.last_epoch = epoch;
+            if went_live_or_rolled {
+                self.rolls_since_checkpoint += 1;
+                if self.rolls_since_checkpoint >= self.cfg.checkpoint_every_rolls.max(1) {
+                    self.rolls_since_checkpoint = 0;
+                    self.publish_checkpoint(CheckpointReason::EpochRoll);
+                }
+            }
+        }
+
+        self.refresh_status(health);
+    }
+
+    fn absorb_completed(&mut self, completed: Vec<OutageEvent>) {
+        if completed.is_empty() {
+            return;
+        }
+        self.shared.push_events(&completed);
+        for e in &completed {
+            self.alert(Alert {
+                kind: AlertKind::EventClose,
+                prefix: Some(e.prefix),
+                at: e.interval.end,
+                detail: format!("down {} s, confidence {:.2}", e.duration(), e.confidence),
+            });
+        }
+        self.shared
+            .registry()
+            .counter("po_serve_events_total", &[])
+            .add(completed.len() as u64);
+        self.events.extend(completed);
+    }
+
+    fn refresh_status(&mut self, health: Option<String>) {
+        let (live, covered, epoch_start) = match self.monitor.as_ref() {
+            Some(m) => (m.is_live(), m.covered_blocks(), m.live_epoch_start()),
+            None => (false, 0, None),
+        };
+        let alerts = self.fold_alert_metrics();
+        let events_total = self.events.len() as u64;
+        let down = self.down.len();
+        let q = self.was_quarantined;
+        let hw = self.high_water.secs();
+        let checkpoints = self.checkpoints_published;
+        self.shared.update_status(|s| {
+            s.live = live;
+            s.covered_blocks = covered;
+            s.live_epoch_start_unix = epoch_start.map(|t| t.secs());
+            s.down_units = down;
+            s.quarantined = q;
+            s.feed_health = health;
+            s.events_total = events_total;
+            s.checkpoints_total = checkpoints;
+            s.high_water_unix = hw;
+            s.alerts = alerts;
+        });
+    }
+
+    /// Mirror the notifier's cumulative stats into monotone counters.
+    fn fold_alert_metrics(&mut self) -> AlertStats {
+        let Some(n) = self.notifier.as_ref() else {
+            return AlertStats::default();
+        };
+        let now = n.stats();
+        let last = self.last_alert_stats;
+        let reg = self.shared.registry();
+        reg.counter("po_alert_sent_total", &[])
+            .add(now.sent - last.sent);
+        reg.counter("po_alert_dropped_total", &[])
+            .add(now.dropped - last.dropped);
+        reg.counter("po_alert_retries_total", &[])
+            .add(now.retries - last.retries);
+        reg.counter("po_alert_failed_total", &[])
+            .add(now.failed - last.failed);
+        self.last_alert_stats = now;
+        now
+    }
+
+    fn alert(&mut self, alert: Alert) {
+        if let Some(n) = self.notifier.as_mut() {
+            n.notify(&alert);
+        }
+    }
+
+    /// Build and publish a snapshot. Epoch-roll snapshots carry only
+    /// events wholly before the cursor — events completed inside the
+    /// live epoch are regenerated deterministically on replay, so
+    /// including them would double-count after a resume.
+    fn publish_checkpoint(&mut self, reason: CheckpointReason) {
+        if self.sink.is_none() {
+            return;
+        }
+        if let Some(snapshot) = self.live_snapshot() {
+            self.write_snapshot(snapshot, reason);
+        }
+    }
+
+    fn live_snapshot(&self) -> Option<ServeSnapshot> {
+        let m = self.monitor.as_ref()?;
+        let (cursor, live, model) = match m.live_epoch_start() {
+            Some(epoch_start) => (epoch_start, true, m.current_model().cloned()),
+            None => (m.start(), false, None),
+        };
+        let events: Vec<OutageEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.interval.end <= cursor)
+            .cloned()
+            .collect();
+        Some(ServeSnapshot {
+            fingerprint: self.fingerprint,
+            epoch_secs: m.epoch_secs(),
+            cursor,
+            live,
+            model,
+            events,
+            quarantined: m.quarantined().clone(),
+        })
+    }
+
+    fn write_snapshot(&mut self, snapshot: ServeSnapshot, reason: CheckpointReason) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        let reg = self.shared.registry();
+        match sink.publish(&snapshot, reason) {
+            Ok(true) => {
+                self.checkpoints_published += 1;
+                reg.counter("po_serve_checkpoints_total", &[("reason", reason.as_str())])
+                    .inc();
+                let cursor = snapshot.cursor.secs();
+                let n = self.checkpoints_published;
+                self.shared.update_status(|s| {
+                    s.checkpoints_total = n;
+                    s.last_checkpoint_unix = Some(cursor);
+                    s.last_checkpoint_reason = Some(reason.as_str().to_string());
+                });
+            }
+            Ok(false) => {}
+            Err(_) => {
+                reg.counter("po_serve_checkpoint_errors_total", &[]).inc();
+            }
+        }
+    }
+
+    /// Graceful shutdown: drain the reorder buffer, finalize open
+    /// events, publish the terminal snapshot, and hand everything back.
+    fn finish(mut self) -> DaemonOutcome {
+        self.post_step();
+        let monitor = self.monitor.take();
+        let end = match &monitor {
+            Some(m) => self.high_water.max(m.start()),
+            None => self.high_water,
+        };
+        let (final_events, quarantined) = match monitor {
+            Some(m) => m.finish_with_quarantine(end),
+            None => (Vec::new(), IntervalSet::new()),
+        };
+        self.absorb_completed(final_events);
+        let alerts = self.fold_alert_metrics();
+        let events_total = self.events.len() as u64;
+        self.shared.update_status(|s| {
+            s.events_total = events_total;
+            s.alerts = alerts;
+            s.live = false;
+        });
+
+        let snapshot = ServeSnapshot {
+            fingerprint: self.fingerprint,
+            epoch_secs: self.shared.status().epoch_secs,
+            cursor: end,
+            live: false,
+            model: None,
+            events: self.events.clone(),
+            quarantined: quarantined.clone(),
+        };
+        self.write_snapshot(snapshot, CheckpointReason::Shutdown);
+        self.shared.set_healthy(false);
+        DaemonOutcome {
+            events: self.events,
+            quarantined,
+            end,
+            checkpoints_published: self.checkpoints_published,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use crate::service::checkpoint::MemorySink;
+    use std::sync::mpsc::sync_channel;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Two days of one block at 1 query / 20 s, with a two-hour hole in
+    /// day 2 (the detection epoch — day 1 is warm-up).
+    fn two_day_obs() -> Vec<Observation> {
+        let block = p("192.0.2.0/24");
+        (0..172_800u64)
+            .step_by(20)
+            .filter(|t| !(120_000..127_200).contains(t))
+            .map(|t| Observation::new(UnixTime(t), block))
+            .collect()
+    }
+
+    fn run_daemon(
+        obs: Vec<Observation>,
+        cfg: DaemonConfig,
+    ) -> (DaemonOutcome, ServeShared, Arc<Mutex<MemorySink>>) {
+        let monitor = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0)).unwrap();
+        let shared = ServeShared::new(Obs::new());
+        let (tx, rx) = sync_channel(64);
+        let sink = Arc::new(Mutex::new(MemorySink::default()));
+        let daemon = Daemon::new(monitor, rx, shared.clone(), cfg)
+            .with_sink(Box::new(SharedSink(sink.clone())));
+        for chunk in obs.chunks(1_000) {
+            tx.send(EngineMsg::Batch(chunk.to_vec())).unwrap();
+        }
+        tx.send(EngineMsg::End).unwrap();
+        let shutdown = AtomicBool::new(false);
+        let outcome = daemon.run(&shutdown);
+        (outcome, shared, sink)
+    }
+
+    /// A sink handle tests can keep after the daemon consumes the box.
+    struct SharedSink(Arc<Mutex<MemorySink>>);
+
+    impl CheckpointSink for SharedSink {
+        fn publish(
+            &mut self,
+            snapshot: &ServeSnapshot,
+            reason: CheckpointReason,
+        ) -> std::io::Result<bool> {
+            self.0.lock().unwrap().publish(snapshot, reason)
+        }
+    }
+
+    #[test]
+    fn daemon_matches_plain_streaming_run() {
+        let obs = two_day_obs();
+        let (outcome, shared, _) = run_daemon(obs.clone(), DaemonConfig::default());
+
+        let mut reference =
+            StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0)).unwrap();
+        reference.observe_all(obs.clone());
+        let expected = reference.finish(obs.last().unwrap().time);
+
+        assert_eq!(outcome.events, expected, "daemon must be a thin wrapper");
+        assert!(
+            !outcome.events.is_empty(),
+            "the injected hole must be found"
+        );
+        assert_eq!(shared.events(), outcome.events);
+        assert_eq!(shared.status().events_total, outcome.events.len() as u64);
+    }
+
+    #[test]
+    fn checkpoints_bracket_the_run() {
+        let (outcome, shared, sink) = run_daemon(two_day_obs(), DaemonConfig::default());
+        let published = sink.lock().unwrap().published.clone();
+        assert!(published.len() >= 3, "startup + ≥1 roll + shutdown");
+        assert_eq!(published[0].0, CheckpointReason::Startup);
+        assert!(!published[0].1.live);
+        assert_eq!(published.last().unwrap().0, CheckpointReason::Shutdown);
+        let last = &published.last().unwrap().1;
+        assert!(!last.live);
+        assert_eq!(last.events, outcome.events, "terminal snapshot is total");
+        let rolls: Vec<_> = published
+            .iter()
+            .filter(|(r, _)| *r == CheckpointReason::EpochRoll)
+            .collect();
+        assert!(!rolls.is_empty());
+        for (_, s) in &rolls {
+            assert!(
+                s.live && s.model.is_some(),
+                "roll snapshots carry the model"
+            );
+            assert!(
+                s.events.iter().all(|e| e.interval.end <= s.cursor),
+                "roll snapshots only carry pre-cursor events"
+            );
+        }
+        assert_eq!(
+            shared.status().checkpoints_total,
+            outcome.checkpoints_published
+        );
+    }
+
+    #[test]
+    fn shutdown_flag_drains_and_finishes() {
+        let monitor = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0)).unwrap();
+        let shared = ServeShared::new(Obs::new());
+        let (tx, rx) = sync_channel(4);
+        let daemon = Daemon::new(monitor, rx, shared.clone(), DaemonConfig::default());
+        let block = p("192.0.2.0/24");
+        tx.send(EngineMsg::Batch(
+            (0..7_200)
+                .step_by(20)
+                .map(|t| Observation::new(UnixTime(t), block))
+                .collect(),
+        ))
+        .unwrap();
+        let shutdown = AtomicBool::new(true); // already requested
+        let outcome = daemon.run(&shutdown);
+        assert!(outcome.end >= UnixTime(0));
+        assert!(!shared.is_healthy(), "healthz goes red after the drain");
+        assert!(shared.status().shutting_down);
+    }
+
+    #[test]
+    fn checkpoint_cadence_skips_rolls() {
+        let block = p("192.0.2.0/24");
+        // Four quiet days → three rolls, cadence 2 → 1 roll checkpoint.
+        let obs: Vec<Observation> = (0..345_600u64)
+            .step_by(20)
+            .map(|t| Observation::new(UnixTime(t), block))
+            .collect();
+        let cfg = DaemonConfig {
+            checkpoint_every_rolls: 2,
+            ..DaemonConfig::default()
+        };
+        let (_, _, sink) = run_daemon(obs, cfg);
+        let rolls = sink
+            .lock()
+            .unwrap()
+            .published
+            .iter()
+            .filter(|(r, _)| *r == CheckpointReason::EpochRoll)
+            .count();
+        assert_eq!(rolls, 1, "every-2 cadence over 3 rolls publishes once");
+    }
+}

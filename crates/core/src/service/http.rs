@@ -1,0 +1,233 @@
+//! A dependency-free HTTP/1.1 observation surface.
+//!
+//! Four read-only routes — `/metrics` (Prometheus text), `/status`
+//! (JSON), `/events` (JSON), `/healthz` — served straight off
+//! `std::net::TcpListener`. One request per connection, bounded reads,
+//! short timeouts: the surface can be poked by curl or a scraper but
+//! can never wedge the daemon.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the HTTP surface renders. Implemented by the CLI over
+/// [`ServeShared`](super::daemon::ServeShared) so the core server stays
+/// agnostic of output formatting.
+pub trait ServeView: Send + Sync {
+    /// Prometheus text exposition for `/metrics`.
+    fn metrics(&self) -> String;
+    /// JSON document for `/status`.
+    fn status_json(&self) -> String;
+    /// JSON array for `/events`.
+    fn events_json(&self) -> String;
+    /// Health for `/healthz`: `(healthy, body)`. Unhealthy renders 503
+    /// so load balancers and the CI smoke test can gate on the code.
+    fn healthz(&self) -> (bool, String);
+}
+
+/// The running server; dropping or calling [`HttpServer::shutdown`]
+/// stops the accept loop.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving `view` on a background thread.
+    pub fn bind<A: ToSocketAddrs>(addr: A, view: Arc<dyn ServeView>) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("po-http".to_string())
+            .spawn(move || accept_loop(listener, view, &stop2))?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, view: Arc<dyn ServeView>, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Requests are tiny and the routes render from memory;
+                // serving inline keeps the thread count at one.
+                let _ = serve_connection(stream, view.as_ref());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Read the request head (bounded), route it, write one response.
+fn serve_connection(mut stream: TcpStream, view: &dyn ServeView) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(2_000)))?;
+    stream.set_nonblocking(false)?;
+
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8_192 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (code, reason, ctype, body) = if method != "GET" {
+        (
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET here\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (200, "OK", "text/plain; version=0.0.4", view.metrics()),
+            "/status" => (200, "OK", "application/json", view.status_json()),
+            "/events" => (200, "OK", "application/json", view.events_json()),
+            "/healthz" => {
+                let (healthy, body) = view.healthz();
+                if healthy {
+                    (200, "OK", "application/json", body)
+                } else {
+                    (503, "Service Unavailable", "application/json", body)
+                }
+            }
+            _ => (
+                404,
+                "Not Found",
+                "text/plain",
+                "unknown route\n".to_string(),
+            ),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeView {
+        healthy: bool,
+    }
+
+    impl ServeView for FakeView {
+        fn metrics(&self) -> String {
+            "po_up 1\n".to_string()
+        }
+        fn status_json(&self) -> String {
+            "{\"live\":true}".to_string()
+        }
+        fn events_json(&self) -> String {
+            "[]".to_string()
+        }
+        fn healthz(&self) -> (bool, String) {
+            (self.healthy, "{\"ok\":true}".to_string())
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        let code = out
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = out.split("\r\n\r\n").nth(1).unwrap_or_default().to_string();
+        (code, body)
+    }
+
+    #[test]
+    fn routes_render_their_views() {
+        let srv = HttpServer::bind("127.0.0.1:0", Arc::new(FakeView { healthy: true })).unwrap();
+        let addr = srv.local_addr();
+        assert_eq!(get(addr, "/metrics"), (200, "po_up 1\n".to_string()));
+        assert_eq!(get(addr, "/status"), (200, "{\"live\":true}".to_string()));
+        assert_eq!(get(addr, "/events"), (200, "[]".to_string()));
+        assert_eq!(get(addr, "/healthz").0, 200);
+        assert_eq!(get(addr, "/nope").0, 404);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn unhealthy_renders_503() {
+        let srv = HttpServer::bind("127.0.0.1:0", Arc::new(FakeView { healthy: false })).unwrap();
+        assert_eq!(get(srv.local_addr(), "/healthz").0, 503);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn non_get_is_405_and_query_strings_are_ignored() {
+        let srv = HttpServer::bind("127.0.0.1:0", Arc::new(FakeView { healthy: true })).unwrap();
+        let addr = srv.local_addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+        assert_eq!(get(addr, "/status?pretty=1").0, 200);
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,51 @@
+//! Long-running service mode: supervised ingest, crash-safe
+//! checkpointing, an HTTP observation surface, and rate-limited
+//! alerting around a [`StreamingMonitor`](crate::StreamingMonitor).
+//!
+//! The daemon is assembled from small, separately testable parts:
+//!
+//! * [`source`] — the [`ObservationSource`] trait the ingest loop pulls
+//!   from, with a typed fault vocabulary ([`SourceFault`]) so the
+//!   supervisor can tell "retry later" from "skip this record" from
+//!   "this feed is gone".
+//! * [`supervisor`] — the ingest loop itself: bounded exponential
+//!   backoff with deterministic jitter, load-shedding into a bounded
+//!   queue, and a *park* state for fatal faults — a dying source must
+//!   never take the daemon down with it.
+//! * [`daemon`] — the engine loop: feeds the monitor, drains completed
+//!   events, notices epoch rolls (checkpoint points) and quarantine
+//!   transitions (alert points), and performs the graceful-shutdown
+//!   drain.
+//! * [`checkpoint`] — the [`ServeSnapshot`] the daemon hands to a
+//!   [`CheckpointSink`] at every checkpoint point. The sink trait lives
+//!   here so `outage-store` can implement it without `outage-core`
+//!   depending on the store.
+//! * [`http`] — a dependency-free HTTP/1.1 surface over
+//!   `std::net::TcpListener` serving `/metrics`, `/status`, `/events`,
+//!   and `/healthz` from a [`ServeView`].
+//! * [`alert`] — webhook notifications with a token-bucket rate limiter
+//!   and bounded retry-with-backoff; time and sleep are injected so the
+//!   whole policy is testable without wall-clock waits.
+//! * [`signal`] — SIGINT/SIGTERM handlers that flip a process-wide
+//!   shutdown flag (no `libc` dependency; raw FFI to `signal(2)`).
+//!
+//! The failure model, in one sentence: **the only ways the daemon exits
+//! are an explicit shutdown signal or source exhaustion** — every fault
+//! below that (stalled feed, corrupt record, dead socket, unreachable
+//! webhook) degrades to a counted, observable state instead.
+
+pub mod alert;
+pub mod checkpoint;
+pub mod daemon;
+pub mod http;
+pub mod signal;
+pub mod source;
+pub mod supervisor;
+
+pub use alert::{Alert, AlertKind, AlertNotifier, AlertPolicy, TokenBucket, WebhookTransport};
+pub use checkpoint::{CheckpointReason, CheckpointSink, ServeSnapshot};
+pub use daemon::{Daemon, DaemonConfig, DaemonOutcome, EngineMsg, ServeShared, ServeStatus};
+pub use http::{HttpServer, ServeView};
+pub use signal::{install_shutdown_handlers, request_shutdown, shutdown_flag};
+pub use source::{ObservationSource, SourceFault, SourceItem};
+pub use supervisor::{run_supervised, Backoff, SupervisorConfig, SupervisorExit};

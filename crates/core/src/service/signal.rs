@@ -1,0 +1,57 @@
+//! SIGINT/SIGTERM → a process-wide shutdown flag.
+//!
+//! No `libc` dependency: `signal(2)` is declared directly. The handler
+//! does the only thing that is async-signal-safe here — a relaxed
+//! atomic store — and every loop in the service polls the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod ffi {
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// The process-wide shutdown flag. Loops poll it; tests and the signal
+/// handler set it.
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// Request shutdown programmatically (equivalent to receiving SIGINT).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Install SIGINT and SIGTERM handlers that flip the flag. Idempotent;
+/// a no-op on non-Unix targets.
+pub fn install_shutdown_handlers() {
+    #[cfg(unix)]
+    unsafe {
+        ffi::signal(ffi::SIGINT, on_signal as *const () as usize);
+        ffi::signal(ffi::SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_the_flag() {
+        // The flag is process-global, so another test may already have
+        // set it; only the set-after-request transition is asserted.
+        request_shutdown();
+        assert!(shutdown_flag().load(Ordering::Relaxed));
+    }
+}

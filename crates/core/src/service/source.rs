@@ -1,0 +1,101 @@
+//! The ingest-side contract: where observations come from, and the
+//! typed vocabulary of ways a source can fail.
+
+use outage_types::{Observation, UnixTime};
+use std::fmt;
+
+/// One pull from an [`ObservationSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceItem {
+    /// A batch of observations in arrival order. May be a single
+    /// observation; sources should cap batches (a few thousand) so the
+    /// queue stays responsive.
+    Batch(Vec<Observation>),
+    /// Nothing available right now; the payload is the source's current
+    /// notion of "now" so the engine can advance time (bin closes,
+    /// sentinel stall detection) while the feed is quiet.
+    Idle(UnixTime),
+    /// The source has ended cleanly and will never produce again.
+    Exhausted,
+}
+
+/// How a pull failed. The classification decides the supervisor's
+/// response; a source that cannot tell should err on the side of
+/// [`SourceFault::Transient`] — the backoff is bounded either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceFault {
+    /// Temporarily unavailable (socket hiccup, file busy, short read).
+    /// The supervisor backs off and retries; the source's
+    /// [`recover`](ObservationSource::recover) hook is called first.
+    Transient(String),
+    /// One record was unreadable. The supervisor counts it and pulls
+    /// again immediately — a corrupt record must not stall the feed.
+    Corrupt(String),
+    /// The source is permanently gone (file deleted, feed closed with
+    /// an error). The supervisor *parks*: the daemon stays up, keeps
+    /// serving HTTP and draining the engine, and reports the parked
+    /// state, but no further pulls happen.
+    Fatal(String),
+}
+
+impl SourceFault {
+    /// Stable label for metrics (`po_serve_source_faults_total{kind=…}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SourceFault::Transient(_) => "transient",
+            SourceFault::Corrupt(_) => "corrupt",
+            SourceFault::Fatal(_) => "fatal",
+        }
+    }
+}
+
+impl fmt::Display for SourceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceFault::Transient(m) => write!(f, "transient source fault: {m}"),
+            SourceFault::Corrupt(m) => write!(f, "corrupt record: {m}"),
+            SourceFault::Fatal(m) => write!(f, "fatal source fault: {m}"),
+        }
+    }
+}
+
+/// A pull-based observation feed. Implementations: the netsim replay
+/// adapter in the CLI, a dnswire file tailer, or a scripted source in
+/// tests.
+pub trait ObservationSource: Send {
+    /// Pull the next item. Must not block for long stretches — return
+    /// [`SourceItem::Idle`] instead so the supervisor stays responsive
+    /// to shutdown.
+    fn pull(&mut self) -> Result<SourceItem, SourceFault>;
+
+    /// Attempt to re-establish the feed after a transient fault (e.g.
+    /// reopen a socket). Called once per retry, after the backoff
+    /// delay. The default does nothing and reports success.
+    fn recover(&mut self) -> Result<(), SourceFault> {
+        Ok(())
+    }
+
+    /// Human-readable description for logs and `/status`.
+    fn describe(&self) -> String {
+        "observation source".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kinds_are_stable_labels() {
+        assert_eq!(SourceFault::Transient("x".into()).kind(), "transient");
+        assert_eq!(SourceFault::Corrupt("x".into()).kind(), "corrupt");
+        assert_eq!(SourceFault::Fatal("x".into()).kind(), "fatal");
+    }
+
+    #[test]
+    fn fault_display_carries_the_message() {
+        let f = SourceFault::Fatal("feed closed".into());
+        assert!(f.to_string().contains("feed closed"));
+        assert!(f.to_string().contains("fatal"));
+    }
+}

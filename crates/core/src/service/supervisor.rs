@@ -1,0 +1,299 @@
+//! The supervised ingest loop: pull from a source, classify faults,
+//! back off with bounded exponential delay + deterministic jitter, shed
+//! load into a bounded queue, and park (never exit) on fatal faults.
+
+use super::daemon::{EngineMsg, ServeShared};
+use super::source::{ObservationSource, SourceFault, SourceItem};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::time::Duration;
+
+/// Bounded exponential backoff with deterministic multiplicative
+/// jitter. `delay(n) = min(cap, base · 2ⁿ) · U[0.75, 1.25)` where the
+/// jitter stream is a seeded xorshift — reproducible in tests, yet
+/// de-synchronized across real restarts via the seed.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    jitter: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base_ms` and never exceeding `cap_ms`
+    /// (pre-jitter). A zero seed is nudged to a fixed odd constant so
+    /// the xorshift stream never collapses to zero.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Backoff {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            attempt: 0,
+            jitter: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    fn next_jitter(&mut self) -> f64 {
+        // xorshift64: full-period for nonzero state.
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        // Map to [0.75, 1.25).
+        0.75 + (x >> 11) as f64 * (0.5 / (1u64 << 53) as f64)
+    }
+
+    /// The delay to sleep before the next retry; advances the attempt
+    /// counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(20);
+        let raw = self.base_ms.saturating_mul(1u64 << shift).min(self.cap_ms);
+        self.attempt = self.attempt.saturating_add(1);
+        Duration::from_millis(((raw as f64) * self.next_jitter()).round() as u64)
+    }
+
+    /// Reset after a successful pull: the next fault starts from the
+    /// base delay again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Consecutive failed attempts since the last reset.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+}
+
+/// Tuning for the ingest loop.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// First retry delay after a transient fault, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Ceiling on the pre-jitter retry delay, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// How long to sleep when the source reports [`SourceItem::Idle`],
+    /// milliseconds.
+    pub idle_sleep_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            base_backoff_ms: 100,
+            max_backoff_ms: 30_000,
+            jitter_seed: 1,
+            idle_sleep_ms: 20,
+        }
+    }
+}
+
+/// Why the ingest loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorExit {
+    /// The source ended cleanly; [`EngineMsg::End`] was sent.
+    Exhausted,
+    /// A fatal fault parked the source; the loop waited out the rest of
+    /// the daemon's life and returned on shutdown.
+    Parked,
+    /// The shutdown flag was raised while ingesting.
+    Shutdown,
+    /// The engine side hung up (daemon already gone).
+    Disconnected,
+}
+
+/// Sleep `d` in small slices, returning early (false) if `shutdown`
+/// flips.
+fn interruptible_sleep(d: Duration, shutdown: &AtomicBool) -> bool {
+    let mut left = d;
+    while !left.is_zero() {
+        if shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        let slice = left.min(Duration::from_millis(25));
+        std::thread::sleep(slice);
+        left = left.saturating_sub(slice);
+    }
+    !shutdown.load(Ordering::Relaxed)
+}
+
+/// Run the ingest loop until shutdown, exhaustion, or a park.
+///
+/// Invariant: this function never panics on source behavior and never
+/// returns because of a fault alone — fatal faults degrade to
+/// [`SupervisorExit::Parked`], keeping the daemon (and its HTTP
+/// surface) alive.
+pub fn run_supervised(
+    mut source: Box<dyn ObservationSource>,
+    tx: SyncSender<EngineMsg>,
+    shutdown: &AtomicBool,
+    cfg: &SupervisorConfig,
+    shared: &ServeShared,
+) -> SupervisorExit {
+    let reg = shared.registry();
+    let transient = reg.counter("po_serve_source_faults_total", &[("kind", "transient")]);
+    let corrupt = reg.counter("po_serve_source_faults_total", &[("kind", "corrupt")]);
+    let fatal = reg.counter("po_serve_source_faults_total", &[("kind", "fatal")]);
+    let dropped = reg.counter("po_serve_queue_dropped_total", &[]);
+    let batches = reg.counter("po_serve_batches_total", &[]);
+    let pulled = reg.counter("po_serve_observations_total", &[]);
+
+    let mut backoff = Backoff::new(cfg.base_backoff_ms, cfg.max_backoff_ms, cfg.jitter_seed);
+    shared.set_source_state("running");
+
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            shared.set_source_state("stopped");
+            return SupervisorExit::Shutdown;
+        }
+        match source.pull() {
+            Ok(SourceItem::Batch(obs)) => {
+                backoff.reset();
+                shared.set_source_state("running");
+                if obs.is_empty() {
+                    continue;
+                }
+                batches.inc();
+                pulled.add(obs.len() as u64);
+                let n = obs.len() as u64;
+                match tx.try_send(EngineMsg::Batch(obs)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // Load shedding: the engine is behind; dropping
+                        // the batch (counted) beats unbounded memory.
+                        dropped.add(n);
+                        shared.add_queue_dropped(n);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        shared.set_source_state("stopped");
+                        return SupervisorExit::Disconnected;
+                    }
+                }
+            }
+            Ok(SourceItem::Idle(now)) => {
+                backoff.reset();
+                shared.set_source_state("running");
+                // Ticks are advisory; a full queue just means the
+                // engine has fresher times queued already.
+                match tx.try_send(EngineMsg::Tick(now)) {
+                    Ok(()) | Err(TrySendError::Full(_)) => {}
+                    Err(TrySendError::Disconnected(_)) => {
+                        shared.set_source_state("stopped");
+                        return SupervisorExit::Disconnected;
+                    }
+                }
+                if !interruptible_sleep(Duration::from_millis(cfg.idle_sleep_ms), shutdown) {
+                    shared.set_source_state("stopped");
+                    return SupervisorExit::Shutdown;
+                }
+            }
+            Ok(SourceItem::Exhausted) => {
+                shared.set_source_state("exhausted");
+                let _ = tx.send(EngineMsg::End);
+                return SupervisorExit::Exhausted;
+            }
+            Err(SourceFault::Corrupt(_)) => {
+                corrupt.inc();
+                shared.add_source_fault();
+                // Skip the record and keep pulling: a bad record must
+                // not stall the feed behind it.
+            }
+            Err(SourceFault::Transient(_)) => {
+                transient.inc();
+                shared.add_source_fault();
+                shared.set_source_state("backoff");
+                if !interruptible_sleep(backoff.next_delay(), shutdown) {
+                    shared.set_source_state("stopped");
+                    return SupervisorExit::Shutdown;
+                }
+                match source.recover() {
+                    Ok(()) => {}
+                    Err(SourceFault::Fatal(_)) => {
+                        fatal.inc();
+                        shared.add_source_fault();
+                        return park(shutdown, shared);
+                    }
+                    Err(_) => {} // still down; next pull re-classifies
+                }
+            }
+            Err(SourceFault::Fatal(_)) => {
+                fatal.inc();
+                shared.add_source_fault();
+                return park(shutdown, shared);
+            }
+        }
+    }
+}
+
+/// A fatal fault: stop pulling but keep the thread parked until
+/// shutdown so the daemon's lifetime is never tied to the source's.
+fn park(shutdown: &AtomicBool, shared: &ServeShared) -> SupervisorExit {
+    shared.set_source_state("parked");
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    shared.set_source_state("stopped");
+    SupervisorExit::Parked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let mut b = Backoff::new(100, 2_000, 7);
+        let mut last = Duration::ZERO;
+        let mut delays = Vec::new();
+        for _ in 0..8 {
+            let d = b.next_delay();
+            delays.push(d);
+            last = d;
+        }
+        // Pre-jitter sequence is 100, 200, 400, 800, 1600, 2000, 2000…
+        // so with ±25% jitter the 8th delay sits in [1500, 2500].
+        assert!(last >= Duration::from_millis(1_500), "{last:?}");
+        assert!(last <= Duration::from_millis(2_500), "{last:?}");
+        // Strictly more than the first delay's upper bound by the 5th.
+        assert!(delays[4] > Duration::from_millis(125 * 8), "{delays:?}");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed() {
+        let mut a = Backoff::new(100, 10_000, 42);
+        let mut b = Backoff::new(100, 10_000, 42);
+        for _ in 0..6 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+        let mut c = Backoff::new(100, 10_000, 43);
+        let diverged = (0..6).any(|_| a.next_delay() != c.next_delay());
+        assert!(diverged, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn backoff_reset_restarts_the_ladder() {
+        let mut b = Backoff::new(100, 10_000, 1);
+        for _ in 0..5 {
+            b.next_delay();
+        }
+        assert_eq!(b.attempt(), 5);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        // First delay after reset is back near the base.
+        assert!(b.next_delay() <= Duration::from_millis(125));
+    }
+
+    #[test]
+    fn zero_seed_does_not_collapse_jitter() {
+        let mut b = Backoff::new(100, 10_000, 0);
+        let d1 = b.next_delay();
+        let d2 = b.next_delay();
+        assert!(d1 > Duration::ZERO && d2 > Duration::ZERO);
+    }
+}

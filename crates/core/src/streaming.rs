@@ -153,6 +153,10 @@ pub struct StreamingMonitor {
     timelines: HashMap<Prefix, Vec<Timeline>>,
     started: bool,
     reorder: Option<ReorderBuffer>,
+    /// The model the *live* epoch's units were planned from (None during
+    /// warm-up). A service checkpoints this at each epoch roll so a
+    /// restarted process can warm-start bit-identically.
+    current_model: Option<LearnedModel>,
     /// Observability bundle (default: unscraped) and its pre-resolved
     /// handles, present only once [`Self::with_obs`] attaches a bundle.
     obs: Obs,
@@ -187,6 +191,7 @@ impl StreamingMonitor {
             timelines: HashMap::new(),
             started: false,
             reorder: None,
+            current_model: None,
             obs: Obs::default(),
             handles: None,
             late_drops_reported: 0,
@@ -212,9 +217,9 @@ impl StreamingMonitor {
     ) -> Result<StreamingMonitor, ConfigError> {
         let mut monitor = StreamingMonitor::new(config, start, epoch_secs)?;
         let first_window = Interval::new(start, start + epoch_secs);
-        monitor.engine =
-            DetectionEngine::from_model(&monitor.detector, model, first_window, None);
+        monitor.engine = DetectionEngine::from_model(&monitor.detector, model, first_window, None);
         monitor.current_epoch = Some(start);
+        monitor.current_model = Some(model.clone());
         Ok(monitor)
     }
 
@@ -255,6 +260,42 @@ impl StreamingMonitor {
     /// Whether the warm-up epoch has completed (verdicts are live).
     pub fn is_live(&self) -> bool {
         self.current_epoch.is_some()
+    }
+
+    /// Epoch length in seconds.
+    pub fn epoch_secs(&self) -> u64 {
+        self.epoch_secs
+    }
+
+    /// First instant the monitor covers.
+    pub fn start(&self) -> UnixTime {
+        self.start
+    }
+
+    /// Start of the epoch currently being detected (None during
+    /// warm-up).
+    pub fn live_epoch_start(&self) -> Option<UnixTime> {
+        self.current_epoch
+    }
+
+    /// The model the live epoch's units were planned from (None during
+    /// warm-up). Checkpoint this together with
+    /// [`Self::live_epoch_start`] and the events drained so far: a new
+    /// monitor built with [`Self::from_model`] at that instant, replayed
+    /// over the same source, reproduces the rest of the run exactly.
+    pub fn current_model(&self) -> Option<&LearnedModel> {
+        self.current_model.as_ref()
+    }
+
+    /// The detector configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        self.detector.config()
+    }
+
+    /// Units currently believed down (belief < 0.5), with beliefs;
+    /// empty during warm-up and frozen during quarantine.
+    pub fn down_units(&self) -> Vec<(Prefix, f64)> {
+        self.engine.down_units()
     }
 
     /// Observations that arrived for blocks with no unit this epoch.
@@ -439,10 +480,14 @@ impl StreamingMonitor {
         let next_window = Interval::new(next_epoch_start, next_epoch_start + self.epoch_secs);
         let finished_history =
             std::mem::replace(&mut self.history, HistoryBuilder::new(next_window));
-        let histories = finished_history.build();
-        let plan = self.detector.plan_units(&histories);
+        // Promote through a LearnedModel (not raw histories): planning is
+        // deterministic either way, and keeping the model means a service
+        // can checkpoint exactly what the live epoch runs on.
+        let model = finished_history.into_model();
+        let plan = self.detector.plan_units(&model);
         self.engine
-            .install_units(self.detector.config(), plan, &histories, next_window);
+            .install_units(self.detector.config(), plan, &model, next_window);
+        self.current_model = Some(model);
 
         self.current_epoch = Some(next_epoch_start);
         self.history_epoch_start = next_epoch_start;

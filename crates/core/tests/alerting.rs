@@ -1,0 +1,256 @@
+//! The alerting path under adversarial schedules: the token bucket must
+//! never exceed its configured rate, bursts must stay bounded, retries
+//! must follow the doubling-backoff schedule in order, and alerts the
+//! limiter drops must surface in `po_alert_dropped_total` — silence is
+//! the one failure mode an alerting pipeline is not allowed.
+
+use outage_core::service::{
+    Alert, AlertKind, AlertNotifier, AlertPolicy, Daemon, DaemonConfig, EngineMsg, ServeShared,
+    TokenBucket, WebhookTransport,
+};
+use outage_core::{DetectorConfig, StreamingMonitor};
+use outage_obs::Obs;
+use outage_types::{Observation, Prefix, UnixTime};
+use proptest::prelude::*;
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Over any monotone schedule of take attempts, the number granted
+    /// can never exceed the initial burst plus what the refill rate
+    /// earned over the elapsed time.
+    #[test]
+    fn token_bucket_never_exceeds_rate(
+        rate_tenths in 0u32..100,          // 0.0 ..= 9.9 alerts/s
+        burst in 1u32..20,
+        gaps_ms in proptest::collection::vec(0u64..5_000, 1..60),
+    ) {
+        let rate = f64::from(rate_tenths) / 10.0;
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut now_ms = 1_000u64;
+        let start_ms = now_ms;
+        let mut granted = 0u64;
+        for gap in &gaps_ms {
+            now_ms += gap;
+            if bucket.try_take(now_ms) {
+                granted += 1;
+            }
+        }
+        let elapsed_secs = (now_ms - start_ms) as f64 / 1_000.0;
+        let ceiling = f64::from(burst) + rate * elapsed_secs;
+        prop_assert!(
+            (granted as f64) <= ceiling + 1e-6,
+            "granted {granted} exceeds burst {burst} + rate {rate} x {elapsed_secs}s = {ceiling}"
+        );
+    }
+
+    /// At a single instant the bucket can only hand out its burst, no
+    /// matter how many takers show up.
+    #[test]
+    fn token_bucket_burst_is_bounded(
+        rate_tenths in 0u32..100,
+        burst in 1u32..20,
+        attempts in 1usize..100,
+    ) {
+        let rate = f64::from(rate_tenths) / 10.0;
+        let mut bucket = TokenBucket::new(rate, burst);
+        let granted = (0..attempts).filter(|_| bucket.try_take(5_000)).count();
+        prop_assert!(granted <= burst as usize);
+        prop_assert_eq!(granted, attempts.min(burst as usize));
+    }
+
+    /// A clock that jumps backwards must never mint tokens.
+    #[test]
+    fn token_bucket_ignores_backwards_clocks(
+        burst in 1u32..10,
+        jumps in proptest::collection::vec(0u64..10_000, 1..40),
+    ) {
+        let mut bucket = TokenBucket::new(0.0, burst);
+        let mut granted = 0usize;
+        for now_ms in &jumps {
+            // Arbitrary, non-monotone instants with zero refill: only
+            // the initial burst is ever available.
+            if bucket.try_take(*now_ms) {
+                granted += 1;
+            }
+        }
+        prop_assert!(granted <= burst as usize);
+    }
+}
+
+/// A webhook that scripts its verdicts and records delivery order.
+struct ScriptedWebhook {
+    /// `true` = deliver, `false` = fail; consumed per attempt, then
+    /// everything succeeds.
+    script: Vec<bool>,
+    attempts: Arc<Mutex<Vec<String>>>,
+}
+
+impl WebhookTransport for ScriptedWebhook {
+    fn deliver(&mut self, payload: &str) -> Result<(), String> {
+        self.attempts.lock().unwrap().push(payload.to_string());
+        if self.script.is_empty() || self.script.remove(0) {
+            Ok(())
+        } else {
+            Err("scripted failure".to_string())
+        }
+    }
+}
+
+type NotifierParts = (
+    AlertNotifier,
+    Arc<Mutex<Vec<String>>>,
+    Arc<Mutex<Vec<Duration>>>,
+);
+
+fn virtual_notifier(script: Vec<bool>, policy: AlertPolicy) -> NotifierParts {
+    let attempts = Arc::new(Mutex::new(Vec::new()));
+    let sleeps = Arc::new(Mutex::new(Vec::new()));
+    let transport = Box::new(ScriptedWebhook {
+        script,
+        attempts: attempts.clone(),
+    });
+    let sleeps_rec = sleeps.clone();
+    let clock = Arc::new(Mutex::new(0u64));
+    let notifier = AlertNotifier::with_clock(
+        transport,
+        policy,
+        Box::new(move || {
+            let mut t = clock.lock().unwrap();
+            *t += 10_000; // each alert arrives well-spaced: limiter stays open
+            *t
+        }),
+        Box::new(move |d| sleeps_rec.lock().unwrap().push(d)),
+    );
+    (notifier, attempts, sleeps)
+}
+
+fn alert(kind: AlertKind, at: u64) -> Alert {
+    Alert {
+        kind,
+        prefix: Some("192.0.2.0/24".parse::<Prefix>().unwrap()),
+        at: UnixTime(at),
+        detail: "test".to_string(),
+    }
+}
+
+#[test]
+fn retries_follow_doubling_backoff_in_order() {
+    let policy = AlertPolicy {
+        max_attempts: 4,
+        retry_base: Duration::from_millis(100),
+        ..AlertPolicy::default()
+    };
+    // Fail, fail, fail, then succeed: three retries for one alert.
+    let (mut notifier, attempts, sleeps) =
+        virtual_notifier(vec![false, false, false, true], policy);
+    assert!(notifier.notify(&alert(AlertKind::EventOpen, 10)));
+    assert_eq!(attempts.lock().unwrap().len(), 4, "1 try + 3 retries");
+    assert_eq!(
+        *sleeps.lock().unwrap(),
+        vec![
+            Duration::from_millis(100),
+            Duration::from_millis(200),
+            Duration::from_millis(400),
+        ],
+        "backoff doubles between attempts, in order"
+    );
+    let stats = notifier.stats();
+    assert_eq!((stats.sent, stats.retries, stats.failed), (1, 3, 0));
+}
+
+#[test]
+fn exhausted_attempts_count_failed_not_sent() {
+    let policy = AlertPolicy {
+        max_attempts: 2,
+        retry_base: Duration::from_millis(50),
+        ..AlertPolicy::default()
+    };
+    let (mut notifier, attempts, sleeps) = virtual_notifier(vec![false, false], policy);
+    assert!(!notifier.notify(&alert(AlertKind::EventClose, 20)));
+    assert_eq!(attempts.lock().unwrap().len(), 2);
+    assert_eq!(*sleeps.lock().unwrap(), vec![Duration::from_millis(50)]);
+    let stats = notifier.stats();
+    assert_eq!((stats.sent, stats.retries, stats.failed), (0, 1, 1));
+}
+
+#[test]
+fn rate_limited_alert_never_touches_the_transport() {
+    let policy = AlertPolicy {
+        rate_per_sec: 0.0,
+        burst: 1,
+        ..AlertPolicy::default()
+    };
+    let attempts = Arc::new(Mutex::new(Vec::new()));
+    let transport = Box::new(ScriptedWebhook {
+        script: Vec::new(),
+        attempts: attempts.clone(),
+    });
+    let mut notifier = AlertNotifier::new(transport, policy);
+    assert!(notifier.notify(&alert(AlertKind::EventOpen, 1)));
+    assert!(
+        !notifier.notify(&alert(AlertKind::EventOpen, 2)),
+        "burst spent"
+    );
+    assert!(!notifier.notify(&alert(AlertKind::EventClose, 3)));
+    assert_eq!(attempts.lock().unwrap().len(), 1, "drops cost no delivery");
+    let stats = notifier.stats();
+    assert_eq!((stats.sent, stats.dropped), (1, 2));
+}
+
+/// End to end through the daemon: with a zero-rate limiter, the alerts
+/// a real outage generates are dropped — and the drops land in the
+/// `po_alert_dropped_total` counter, not in silence.
+#[test]
+fn dropped_alerts_increment_po_alert_dropped_total() {
+    let block: Prefix = "192.0.2.0/24".parse().unwrap();
+    // Two days at 1 query / 20 s with two two-hour holes in day 2 →
+    // at least two event-close alerts in the live epoch, which is more
+    // than a burst of one.
+    let obs: Vec<Observation> = (0..172_800u64)
+        .step_by(20)
+        .filter(|t| !(100_000..107_200).contains(t) && !(140_000..147_200).contains(t))
+        .map(|t| Observation::new(UnixTime(t), block))
+        .collect();
+    let monitor = StreamingMonitor::daily(DetectorConfig::default(), UnixTime(0)).unwrap();
+    let shared = ServeShared::new(Obs::new());
+    let (tx, rx) = sync_channel(256);
+    let attempts = Arc::new(Mutex::new(Vec::new()));
+    let transport = Box::new(ScriptedWebhook {
+        script: Vec::new(),
+        attempts: attempts.clone(),
+    });
+    let policy = AlertPolicy {
+        rate_per_sec: 0.0,
+        burst: 1,
+        ..AlertPolicy::default()
+    };
+    let daemon = Daemon::new(monitor, rx, shared.clone(), DaemonConfig::default())
+        .with_notifier(AlertNotifier::new(transport, policy));
+    for chunk in obs.chunks(1_000) {
+        tx.send(EngineMsg::Batch(chunk.to_vec())).unwrap();
+    }
+    tx.send(EngineMsg::End).unwrap();
+    let outcome = daemon.run(&AtomicBool::new(false));
+
+    assert!(!outcome.events.is_empty(), "the hole must produce an event");
+    let dropped = shared
+        .registry()
+        .value("po_alert_dropped_total", &[])
+        .unwrap_or(0.0);
+    assert!(
+        dropped >= 1.0,
+        "burst 1, rate 0: everything after the first alert must be counted as dropped"
+    );
+    let sent = shared
+        .registry()
+        .value("po_alert_sent_total", &[])
+        .unwrap_or(0.0);
+    assert_eq!(sent, 1.0, "exactly the burst capacity is delivered");
+    assert_eq!(attempts.lock().unwrap().len(), 1);
+    assert_eq!(shared.status().alerts.dropped, dropped as u64);
+}

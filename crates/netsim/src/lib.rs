@@ -34,6 +34,7 @@ pub mod arrivals;
 pub mod faults;
 pub mod oracle;
 pub mod packets;
+pub mod replay;
 pub mod scenario;
 pub mod schedule;
 pub mod stats;
@@ -43,6 +44,7 @@ pub use arrivals::{diurnal_factor, is_weekend, BlockArrivals, MergedArrivals};
 pub use faults::{Brownout, FaultPlan, FaultedArrivals, JitterFault, ReorderFault};
 pub use oracle::{NetworkOracle, ProbeOutcome};
 pub use packets::PacketFeed;
+pub use replay::ReplayClock;
 pub use scenario::{Scenario, ScenarioConfig, ThinnedArrivals};
 pub use schedule::{OutageConfig, OutageSchedule};
 pub use topology::{AsId, AsProfile, BlockProfile, Internet, TopologyConfig};

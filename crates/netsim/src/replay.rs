@@ -1,0 +1,118 @@
+//! Real-time / accelerated replay pacing for live service mode.
+//!
+//! A finished scenario is a sorted list of observations with simulated
+//! timestamps. The `serve` daemon wants to *re-live* that feed: release
+//! each observation when its simulated instant arrives on the wall
+//! clock, optionally compressed by an acceleration factor (`accel = 60`
+//! replays an hour of simulated traffic in one wall-clock minute).
+//!
+//! [`ReplayClock`] is the mapping between the two time bases. It is
+//! deliberately tiny and free of I/O: callers ask "what simulated time
+//! is it now?" ([`ReplayClock::now`]) and "how long until simulated
+//! instant `t`?" ([`ReplayClock::wall_delay_until`]), and do their own
+//! sleeping — which keeps the pacing logic testable and lets a daemon
+//! interleave sleeps with shutdown checks.
+
+use outage_types::UnixTime;
+use std::time::{Duration, Instant};
+
+/// Maps wall-clock time onto an accelerated simulated-time axis.
+#[derive(Debug, Clone)]
+pub struct ReplayClock {
+    /// Simulated instant corresponding to `origin`.
+    sim_start: UnixTime,
+    /// Simulated seconds per wall-clock second (≥ 1 in practice; the
+    /// constructor clamps non-finite or non-positive values to 1).
+    accel: f64,
+    /// Wall-clock anchor.
+    origin: Instant,
+}
+
+impl ReplayClock {
+    /// A clock that starts *now*, with simulated time `sim_start`
+    /// advancing `accel` simulated seconds per wall second.
+    pub fn new(sim_start: UnixTime, accel: f64) -> ReplayClock {
+        let accel = if accel.is_finite() && accel > 0.0 {
+            accel
+        } else {
+            1.0
+        };
+        ReplayClock {
+            sim_start,
+            accel,
+            origin: Instant::now(),
+        }
+    }
+
+    /// The acceleration factor in force.
+    pub fn accel(&self) -> f64 {
+        self.accel
+    }
+
+    /// The simulated instant the replay began at.
+    pub fn sim_start(&self) -> UnixTime {
+        self.sim_start
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> UnixTime {
+        let elapsed = self.origin.elapsed().as_secs_f64();
+        let advanced = (elapsed * self.accel).floor() as u64;
+        UnixTime(self.sim_start.secs().saturating_add(advanced))
+    }
+
+    /// Wall-clock delay until simulated instant `t` arrives (zero if it
+    /// already has). Callers sleep in bounded slices of this so they can
+    /// keep polling a shutdown flag.
+    pub fn wall_delay_until(&self, t: UnixTime) -> Duration {
+        let ahead = t.secs().saturating_sub(self.now().secs());
+        if ahead == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(ahead as f64 / self.accel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_starts_at_sim_start() {
+        let clock = ReplayClock::new(UnixTime(1_000), 3_600.0);
+        let now = clock.now();
+        assert!(now.secs() >= 1_000);
+        // Even a slow test machine won't burn a wall second here.
+        assert!(now.secs() < 1_000 + 3_600);
+    }
+
+    #[test]
+    fn accelerated_time_advances_faster_than_wall() {
+        let clock = ReplayClock::new(UnixTime(0), 100_000.0);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(clock.now().secs() >= 1_000, "100k accel: 20ms ≥ 2000 sim-s");
+    }
+
+    #[test]
+    fn delay_for_past_instants_is_zero() {
+        let clock = ReplayClock::new(UnixTime(5_000), 60.0);
+        assert_eq!(clock.wall_delay_until(UnixTime(4_000)), Duration::ZERO);
+        assert_eq!(clock.wall_delay_until(UnixTime(5_000)), Duration::ZERO);
+    }
+
+    #[test]
+    fn delay_scales_with_accel() {
+        let clock = ReplayClock::new(UnixTime(0), 10.0);
+        let d = clock.wall_delay_until(UnixTime(100));
+        // 100 sim-seconds at 10× ≈ 10 wall seconds (minus test runtime).
+        assert!(d <= Duration::from_secs(10));
+        assert!(d >= Duration::from_secs(8));
+    }
+
+    #[test]
+    fn bogus_accel_is_clamped() {
+        assert_eq!(ReplayClock::new(UnixTime(0), 0.0).accel(), 1.0);
+        assert_eq!(ReplayClock::new(UnixTime(0), -3.0).accel(), 1.0);
+        assert_eq!(ReplayClock::new(UnixTime(0), f64::NAN).accel(), 1.0);
+    }
+}

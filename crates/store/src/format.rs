@@ -56,7 +56,7 @@ pub struct Checkpoint {
 
 // ---------------------------------------------------------------- encode
 
-fn put_prefix(out: &mut Vec<u8>, p: &Prefix) {
+pub(crate) fn put_prefix(out: &mut Vec<u8>, p: &Prefix) {
     match *p {
         Prefix::V4 { addr, len } => {
             out.push(4);
@@ -71,7 +71,7 @@ fn put_prefix(out: &mut Vec<u8>, p: &Prefix) {
     }
 }
 
-fn put_section(out: &mut Vec<u8>, tag: &[u8; 4], payload: &[u8]) {
+pub(crate) fn put_section(out: &mut Vec<u8>, tag: &[u8; 4], payload: &[u8]) {
     out.extend_from_slice(tag);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -129,21 +129,21 @@ pub fn encode_checkpoint(c: &Checkpoint) -> Vec<u8> {
 /// Bounds-checked cursor over untrusted bytes. Every read either
 /// advances or returns [`StoreError::Truncated`]; nothing indexes past
 /// the end.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Cursor<'a> {
         Cursor { bytes, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+    pub(crate) fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
         if self.remaining() < n {
             return Err(StoreError::Truncated {
                 context,
@@ -156,23 +156,23 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
         Ok(self.take(1, context)?[0])
     }
 
-    fn u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+    pub(crate) fn u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
         Ok(u16::from_le_bytes(
             self.take(2, context)?.try_into().unwrap(),
         ))
     }
 
-    fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
         Ok(u32::from_le_bytes(
             self.take(4, context)?.try_into().unwrap(),
         ))
     }
 
-    fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(
             self.take(8, context)?.try_into().unwrap(),
         ))
@@ -185,7 +185,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn get_prefix(c: &mut Cursor<'_>) -> Result<Prefix, StoreError> {
+pub(crate) fn get_prefix(c: &mut Cursor<'_>) -> Result<Prefix, StoreError> {
     let family = c.u8("prefix family")?;
     let len = c.u8("prefix length")?;
     match family {
@@ -227,7 +227,7 @@ fn get_prefix(c: &mut Cursor<'_>) -> Result<Prefix, StoreError> {
 }
 
 /// Read one section's framing, verify its CRC, and return its payload.
-fn get_section<'a>(
+pub(crate) fn get_section<'a>(
     c: &mut Cursor<'a>,
     expect_tag: &'static [u8; 4],
     region: &'static str,
@@ -235,7 +235,7 @@ fn get_section<'a>(
     let tag = c.take(4, "section tag")?;
     if tag != expect_tag {
         return Err(StoreError::Malformed {
-            context: "unexpected section tag (sections are INDX, CNTS, HIST in order)",
+            context: "unexpected section tag (sections have a fixed order)",
         });
     }
     let len = c.u64("section length")?;

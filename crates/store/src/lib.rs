@@ -59,9 +59,15 @@ pub mod crc32;
 pub mod error;
 pub mod format;
 pub mod persist;
+pub mod serve;
 
 pub use atomic::atomic_write;
 pub use crc32::crc32;
 pub use error::StoreError;
 pub use format::{decode_checkpoint, encode_checkpoint, Checkpoint, MAGIC, VERSION};
 pub use persist::{read_checkpoint, write_checkpoint, ModelPersistence};
+pub use serve::{
+    decode_serve_checkpoint, encode_serve_checkpoint, read_serve_checkpoint,
+    write_serve_checkpoint, CheckpointCadence, FileCheckpointSink, ServeCheckpoint, SERVE_MAGIC,
+    SERVE_VERSION,
+};

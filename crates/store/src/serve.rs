@@ -1,0 +1,611 @@
+//! The serve-mode checkpoint (`POSV`): everything a daemon needs to
+//! resume after a crash with a bit-identical event timeline.
+//!
+//! Layout, version 1, all integers little-endian:
+//!
+//! ```text
+//! offset size
+//!  0      4   magic  b"POSV"
+//!  4      2   format version (= 1)
+//!  6      2   flags: bit 0 = live, bit 1 = model present
+//!  8      8   DetectorConfig fingerprint (FNV-1a 64)
+//! 16      8   epoch length, seconds
+//! 24      8   resume cursor, unix seconds
+//! 32      4   section count (= 3)
+//! 36      4   CRC32 of bytes [0, 36)
+//! 40      —   sections, in fixed order: MODL, EVTS, QRTN
+//! ```
+//!
+//! Sections use the same `tag · len u64 · crc u32 · payload` framing as
+//! the `POMS` model format:
+//!
+//! * `MODL` — when the model-present flag is set, a complete embedded
+//!   `POMS` checkpoint (magic, CRCs and all — decoding revalidates it
+//!   wholesale); empty otherwise.
+//! * `EVTS` — `u32` event count, then per event: prefix (family byte,
+//!   length, address), start `u64`, end `u64`, confidence (f64 bits),
+//!   detector id byte.
+//! * `QRTN` — `u32` interval count, then `start u64 · end u64` per
+//!   quarantine interval, ascending and disjoint.
+//!
+//! The semantics that make the format crash-safe: a `POSV` file is
+//! written only at epoch boundaries (and at startup/shutdown), where the
+//! streaming engine's state is exactly (model, cursor). Replaying
+//! observations at or after the cursor into a warm-started monitor
+//! reproduces the remainder of the run bit-for-bit, so checkpointed
+//! events ++ replayed events == the uninterrupted timeline.
+
+use crate::atomic::atomic_write;
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::format::{
+    decode_checkpoint, encode_checkpoint, get_prefix, get_section, put_prefix, put_section,
+    Checkpoint, Cursor,
+};
+use outage_core::service::{CheckpointReason, CheckpointSink, ServeSnapshot};
+use outage_types::{DetectorId, Interval, IntervalSet, OutageEvent, UnixTime};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// First four bytes of every serve checkpoint: Passive Outage SerVe.
+pub const SERVE_MAGIC: [u8; 4] = *b"POSV";
+/// The serve-format version this binary writes and reads.
+pub const SERVE_VERSION: u16 = 1;
+
+const SECTION_COUNT: u32 = 3;
+const HEADER_LEN: usize = 40;
+const FLAG_LIVE: u16 = 1;
+const FLAG_MODEL: u16 = 2;
+
+/// A decoded serve checkpoint. Field-for-field the same information as
+/// [`ServeSnapshot`]; this type exists so the store can be used (and
+/// fuzzed) without constructing core service machinery.
+#[derive(Debug, Clone)]
+pub struct ServeCheckpoint {
+    /// Config fingerprint the daemon ran under.
+    pub fingerprint: u64,
+    /// Epoch length, seconds.
+    pub epoch_secs: u64,
+    /// Where replay resumes.
+    pub cursor: UnixTime,
+    /// Whether detection was live (a model drives the epoch at
+    /// `cursor`).
+    pub live: bool,
+    /// The live epoch's model, when `live` was checkpointed with one.
+    pub model: Option<outage_core::LearnedModel>,
+    /// Completed events, in completion order, all ending at or before
+    /// `cursor`.
+    pub events: Vec<OutageEvent>,
+    /// Feed-quarantine intervals accumulated before the cursor.
+    pub quarantined: IntervalSet,
+}
+
+impl ServeCheckpoint {
+    /// Borrowing view of a core snapshot, for encoding.
+    pub fn from_snapshot(s: &ServeSnapshot) -> ServeCheckpoint {
+        ServeCheckpoint {
+            fingerprint: s.fingerprint,
+            epoch_secs: s.epoch_secs,
+            cursor: s.cursor,
+            live: s.live,
+            model: s.model.clone(),
+            events: s.events.clone(),
+            quarantined: s.quarantined.clone(),
+        }
+    }
+
+    /// Refuse a checkpoint learned under a different configuration.
+    pub fn require_fingerprint(&self, expected: u64) -> Result<(), StoreError> {
+        if self.fingerprint == expected {
+            Ok(())
+        } else {
+            Err(StoreError::FingerprintMismatch {
+                expected,
+                found: self.fingerprint,
+            })
+        }
+    }
+}
+
+fn detector_byte(d: DetectorId) -> u8 {
+    match d {
+        DetectorId::PassiveBayes => 0,
+        DetectorId::Trinocular => 1,
+        DetectorId::Chocolatine => 2,
+        DetectorId::RipeAtlas => 3,
+        DetectorId::GroundTruth => 4,
+    }
+}
+
+fn detector_from_byte(b: u8) -> Result<DetectorId, StoreError> {
+    Ok(match b {
+        0 => DetectorId::PassiveBayes,
+        1 => DetectorId::Trinocular,
+        2 => DetectorId::Chocolatine,
+        3 => DetectorId::RipeAtlas,
+        4 => DetectorId::GroundTruth,
+        _ => {
+            return Err(StoreError::Malformed {
+                context: "unknown detector id byte",
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------- encode
+
+/// Serialize a serve checkpoint to bytes.
+pub fn encode_serve_checkpoint(c: &ServeCheckpoint) -> Vec<u8> {
+    let modl = match &c.model {
+        Some(model) => encode_checkpoint(&Checkpoint {
+            fingerprint: c.fingerprint,
+            model: model.clone(),
+        }),
+        None => Vec::new(),
+    };
+
+    let mut evts = Vec::with_capacity(4 + c.events.len() * 44);
+    evts.extend_from_slice(&(c.events.len() as u32).to_le_bytes());
+    for e in &c.events {
+        put_prefix(&mut evts, &e.prefix);
+        evts.extend_from_slice(&e.interval.start.secs().to_le_bytes());
+        evts.extend_from_slice(&e.interval.end.secs().to_le_bytes());
+        evts.extend_from_slice(&e.confidence.to_bits().to_le_bytes());
+        evts.push(detector_byte(e.detector));
+    }
+
+    let mut qrtn = Vec::with_capacity(4 + c.quarantined.len() * 16);
+    qrtn.extend_from_slice(&(c.quarantined.len() as u32).to_le_bytes());
+    for iv in c.quarantined.iter() {
+        qrtn.extend_from_slice(&iv.start.secs().to_le_bytes());
+        qrtn.extend_from_slice(&iv.end.secs().to_le_bytes());
+    }
+
+    let mut flags = 0u16;
+    if c.live {
+        flags |= FLAG_LIVE;
+    }
+    if c.model.is_some() {
+        flags |= FLAG_MODEL;
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + modl.len() + evts.len() + qrtn.len() + 48);
+    out.extend_from_slice(&SERVE_MAGIC);
+    out.extend_from_slice(&SERVE_VERSION.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&c.fingerprint.to_le_bytes());
+    out.extend_from_slice(&c.epoch_secs.to_le_bytes());
+    out.extend_from_slice(&c.cursor.secs().to_le_bytes());
+    out.extend_from_slice(&SECTION_COUNT.to_le_bytes());
+    let hcrc = crc32(&out);
+    out.extend_from_slice(&hcrc.to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+
+    put_section(&mut out, b"MODL", &modl);
+    put_section(&mut out, b"EVTS", &evts);
+    put_section(&mut out, b"QRTN", &qrtn);
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Deserialize and fully validate a serve checkpoint. Total: hostile
+/// bytes produce a typed [`StoreError`], never a panic or partial
+/// state.
+pub fn decode_serve_checkpoint(bytes: &[u8]) -> Result<ServeCheckpoint, StoreError> {
+    let mut c = Cursor::new(bytes);
+
+    let magic = c.take(4, "serve magic")?;
+    if magic != SERVE_MAGIC {
+        return Err(StoreError::BadMagic {
+            found: magic.try_into().unwrap_or([0; 4]),
+        });
+    }
+    let version = c.u16("serve version")?;
+    if version != SERVE_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let flags = c.u16("serve flags")?;
+    if flags & !(FLAG_LIVE | FLAG_MODEL) != 0 {
+        return Err(StoreError::Malformed {
+            context: "unknown serve flag bits set",
+        });
+    }
+    let fingerprint = c.u64("serve fingerprint")?;
+    let epoch_secs = c.u64("epoch length")?;
+    let cursor = c.u64("resume cursor")?;
+    let sections = c.u32("serve section count")?;
+    let expected = c.u32("serve header checksum")?;
+    let found = crc32(&bytes[..HEADER_LEN - 4]);
+    if found != expected {
+        return Err(StoreError::ChecksumMismatch {
+            region: "serve header",
+            expected,
+            found,
+        });
+    }
+    if sections != SECTION_COUNT {
+        return Err(StoreError::Malformed {
+            context: "version-1 serve checkpoints have exactly 3 sections",
+        });
+    }
+    if epoch_secs == 0 {
+        return Err(StoreError::Malformed {
+            context: "epoch length is zero",
+        });
+    }
+    let live = flags & FLAG_LIVE != 0;
+    let has_model = flags & FLAG_MODEL != 0;
+
+    // MODL: an embedded, fully self-validating POMS checkpoint.
+    let modl = get_section(&mut c, b"MODL", "MODL")?;
+    let model = if has_model {
+        let inner = decode_checkpoint(modl)?;
+        if inner.fingerprint != fingerprint {
+            return Err(StoreError::Inconsistent {
+                context: "embedded model fingerprint disagrees with the serve header",
+            });
+        }
+        Some(inner.model)
+    } else {
+        if !modl.is_empty() {
+            return Err(StoreError::Malformed {
+                context: "MODL payload present but model flag unset",
+            });
+        }
+        None
+    };
+    if has_model && !live {
+        return Err(StoreError::Malformed {
+            context: "a model without a live epoch is meaningless",
+        });
+    }
+
+    // EVTS: the completed-event log.
+    let evts = get_section(&mut c, b"EVTS", "EVTS")?;
+    let mut ec = Cursor::new(evts);
+    let n_events = ec.u32("event count")? as usize;
+    // Each event is at least 23 bytes (v4 prefix + times + conf + id).
+    if n_events > evts.len() / 23 {
+        return Err(StoreError::Malformed {
+            context: "event count exceeds what the EVTS payload could hold",
+        });
+    }
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let prefix = get_prefix(&mut ec)?;
+        let start = ec.u64("event start")?;
+        let end = ec.u64("event end")?;
+        if start > end {
+            return Err(StoreError::Malformed {
+                context: "event ends before it starts",
+            });
+        }
+        let confidence = f64::from_bits(ec.u64("event confidence")?);
+        if !confidence.is_finite() || !(0.0..=1.0).contains(&confidence) {
+            return Err(StoreError::Malformed {
+                context: "event confidence outside [0, 1]",
+            });
+        }
+        let detector = detector_from_byte(ec.u8("detector id")?)?;
+        events.push(OutageEvent {
+            prefix,
+            interval: Interval {
+                start: UnixTime(start),
+                end: UnixTime(end),
+            },
+            confidence,
+            detector,
+        });
+    }
+    if ec.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            context: "trailing bytes after event entries",
+        });
+    }
+
+    // QRTN: quarantine intervals, ascending and disjoint.
+    let qrtn = get_section(&mut c, b"QRTN", "QRTN")?;
+    let mut qc = Cursor::new(qrtn);
+    let n_ivs = qc.u32("quarantine interval count")? as usize;
+    if n_ivs > qrtn.len() / 16 {
+        return Err(StoreError::Malformed {
+            context: "interval count exceeds what the QRTN payload could hold",
+        });
+    }
+    let mut intervals = Vec::with_capacity(n_ivs);
+    let mut last_end = 0u64;
+    for i in 0..n_ivs {
+        let start = qc.u64("quarantine start")?;
+        let end = qc.u64("quarantine end")?;
+        if start >= end {
+            return Err(StoreError::Malformed {
+                context: "empty or inverted quarantine interval",
+            });
+        }
+        if i > 0 && start < last_end {
+            return Err(StoreError::Malformed {
+                context: "quarantine intervals overlap or are out of order",
+            });
+        }
+        last_end = end;
+        intervals.push(Interval {
+            start: UnixTime(start),
+            end: UnixTime(end),
+        });
+    }
+    if qc.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            context: "trailing bytes after quarantine intervals",
+        });
+    }
+    if c.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            context: "trailing bytes after final serve section",
+        });
+    }
+
+    Ok(ServeCheckpoint {
+        fingerprint,
+        epoch_secs,
+        cursor: UnixTime(cursor),
+        live,
+        model,
+        events,
+        quarantined: IntervalSet::from_intervals(intervals),
+    })
+}
+
+// ---------------------------------------------------------------- file IO
+
+/// Write a serve checkpoint to `path` atomically (temp + fsync +
+/// rename): a reader, or a daemon restarted after `kill -9`, sees
+/// either the previous complete checkpoint or this one — never a torn
+/// file.
+pub fn write_serve_checkpoint(path: &Path, c: &ServeCheckpoint) -> Result<(), StoreError> {
+    atomic_write(path, &encode_serve_checkpoint(c))?;
+    Ok(())
+}
+
+/// Read and fully validate a serve checkpoint from `path`.
+pub fn read_serve_checkpoint(path: &Path) -> Result<ServeCheckpoint, StoreError> {
+    let bytes = std::fs::read(path)?;
+    decode_serve_checkpoint(&bytes)
+}
+
+// ---------------------------------------------------------------- sink
+
+/// How often epoch-roll checkpoints actually hit the disk. Startup and
+/// shutdown snapshots always publish; this cadence only thins the
+/// periodic ones (useful when epochs are short and the model is large).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointCadence {
+    /// Publish every Nth epoch-roll snapshot (0 and 1 both mean every
+    /// roll).
+    pub every_rolls: u32,
+}
+
+impl Default for CheckpointCadence {
+    fn default() -> CheckpointCadence {
+        CheckpointCadence { every_rolls: 1 }
+    }
+}
+
+/// The on-disk implementation of the daemon's
+/// [`CheckpointSink`]: one file, atomically replaced per publish.
+#[derive(Debug)]
+pub struct FileCheckpointSink {
+    path: PathBuf,
+    cadence: CheckpointCadence,
+    rolls_seen: u32,
+}
+
+impl FileCheckpointSink {
+    /// A sink publishing to `path` on every checkpoint request.
+    pub fn new(path: impl Into<PathBuf>) -> FileCheckpointSink {
+        FileCheckpointSink {
+            path: path.into(),
+            cadence: CheckpointCadence::default(),
+            rolls_seen: 0,
+        }
+    }
+
+    /// Thin epoch-roll publishes to the given cadence.
+    pub fn with_cadence(mut self, cadence: CheckpointCadence) -> FileCheckpointSink {
+        self.cadence = cadence;
+        self
+    }
+
+    /// The path this sink publishes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl CheckpointSink for FileCheckpointSink {
+    fn publish(&mut self, snapshot: &ServeSnapshot, reason: CheckpointReason) -> io::Result<bool> {
+        if reason == CheckpointReason::EpochRoll {
+            self.rolls_seen += 1;
+            let every = self.cadence.every_rolls.max(1);
+            if !self.rolls_seen.is_multiple_of(every) {
+                return Ok(false);
+            }
+        }
+        let c = ServeCheckpoint::from_snapshot(snapshot);
+        write_serve_checkpoint(&self.path, &c).map_err(|e| match e {
+            StoreError::Io(io) => io,
+            other => io::Error::other(other.to_string()),
+        })?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_core::LearnedModel;
+    use outage_types::{Observation, Prefix};
+
+    fn sample_model() -> LearnedModel {
+        let v4: Prefix = "192.0.2.0/24".parse().unwrap();
+        let window = Interval::from_secs(0, 86_400);
+        let obs: Vec<Observation> = (0..86_400u64)
+            .step_by(30)
+            .map(|t| Observation::new(UnixTime(t), v4))
+            .collect();
+        LearnedModel::learn(obs, window)
+    }
+
+    fn sample_checkpoint(with_model: bool) -> ServeCheckpoint {
+        let events = vec![
+            OutageEvent {
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                interval: Interval::from_secs(1_000, 2_000),
+                confidence: 0.97,
+                detector: DetectorId::PassiveBayes,
+            },
+            OutageEvent {
+                prefix: Prefix::v6_raw(0x2001_0db8u128 << 96, 48),
+                interval: Interval::from_secs(3_000, 3_600),
+                confidence: 1.0,
+                detector: DetectorId::PassiveBayes,
+            },
+        ];
+        ServeCheckpoint {
+            fingerprint: 0xFEED_F00D,
+            epoch_secs: 86_400,
+            cursor: UnixTime(86_400),
+            live: with_model,
+            model: with_model.then(sample_model),
+            events,
+            quarantined: IntervalSet::from_intervals([Interval::from_secs(500, 900)]),
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_model_preserves_every_bit() {
+        let c = sample_checkpoint(true);
+        let bytes = encode_serve_checkpoint(&c);
+        let back = decode_serve_checkpoint(&bytes).unwrap();
+        assert_eq!(back.fingerprint, c.fingerprint);
+        assert_eq!(back.epoch_secs, c.epoch_secs);
+        assert_eq!(back.cursor, c.cursor);
+        assert_eq!(back.live, c.live);
+        assert_eq!(back.events, c.events);
+        assert_eq!(back.quarantined, c.quarantined);
+        let (bm, cm) = (back.model.unwrap(), c.model.unwrap());
+        assert_eq!(bm.counts(), cm.counts());
+        assert_eq!(bm.window(), cm.window());
+        assert_eq!(bm.indexed().histories(), cm.indexed().histories());
+    }
+
+    #[test]
+    fn roundtrip_without_model() {
+        let c = sample_checkpoint(false);
+        let back = decode_serve_checkpoint(&encode_serve_checkpoint(&c)).unwrap();
+        assert!(back.model.is_none());
+        assert!(!back.live);
+        assert_eq!(back.events, c.events);
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let mut bytes = encode_serve_checkpoint(&sample_checkpoint(false));
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_serve_checkpoint(&bytes),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_a_checksum_mismatch() {
+        let bytes = encode_serve_checkpoint(&sample_checkpoint(true));
+        // Flip one bit somewhere inside the EVTS/QRTN payload region
+        // (beyond header and MODL framing start).
+        let mut corrupt = bytes.clone();
+        let idx = bytes.len() - 10;
+        corrupt[idx] ^= 0x01;
+        assert!(
+            decode_serve_checkpoint(&corrupt).is_err(),
+            "a flipped bit must never decode cleanly"
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_not_panic() {
+        let bytes = encode_serve_checkpoint(&sample_checkpoint(true));
+        for cut in [0, 4, 39, 40, 60, bytes.len() - 1] {
+            assert!(
+                decode_serve_checkpoint(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_gate() {
+        let c = sample_checkpoint(false);
+        assert!(c.require_fingerprint(0xFEED_F00D).is_ok());
+        assert!(matches!(
+            c.require_fingerprint(1),
+            Err(StoreError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn embedded_model_fingerprint_must_agree() {
+        let c = sample_checkpoint(true);
+        let mut bytes = encode_serve_checkpoint(&c);
+        // Rewrite the serve-header fingerprint (offset 8..16) and fix
+        // the header CRC (offset 36..40); the embedded POMS fingerprint
+        // now disagrees.
+        bytes[8..16].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        let hcrc = crate::crc32::crc32(&bytes[..36]);
+        bytes[36..40].copy_from_slice(&hcrc.to_le_bytes());
+        assert!(matches!(
+            decode_serve_checkpoint(&bytes),
+            Err(StoreError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_and_atomic_replace() {
+        let dir = std::env::temp_dir().join(format!("posv-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.posv");
+        let a = sample_checkpoint(false);
+        write_serve_checkpoint(&path, &a).unwrap();
+        let b = sample_checkpoint(true);
+        write_serve_checkpoint(&path, &b).unwrap();
+        let back = read_serve_checkpoint(&path).unwrap();
+        assert!(back.model.is_some(), "second write replaced the first");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sink_cadence_thins_rolls_but_not_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("posv-cadence-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.posv");
+        let mut sink =
+            FileCheckpointSink::new(&path).with_cadence(CheckpointCadence { every_rolls: 3 });
+        let c = sample_checkpoint(false);
+        let snap = ServeSnapshot {
+            fingerprint: c.fingerprint,
+            epoch_secs: c.epoch_secs,
+            cursor: c.cursor,
+            live: false,
+            model: None,
+            events: c.events.clone(),
+            quarantined: c.quarantined.clone(),
+        };
+        assert!(sink.publish(&snap, CheckpointReason::Startup).unwrap());
+        let rolls: Vec<bool> = (0..6)
+            .map(|_| sink.publish(&snap, CheckpointReason::EpochRoll).unwrap())
+            .collect();
+        assert_eq!(rolls, [false, false, true, false, false, true]);
+        assert!(sink.publish(&snap, CheckpointReason::Shutdown).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
