@@ -9,13 +9,15 @@ use outage_bench::experiments::{
     ablate_fixed_bins, ablate_no_agg, ablate_no_diurnal, ablate_no_refine, compare_baselines,
     faults, fig1, fig2a, fig2b, stability, table1, table2, table3, week, Scale,
 };
-use outage_bench::throughput::throughput;
+use outage_bench::throughput::{throughput, throughput_document, BenchPreset};
 
 fn main() {
     let mut scale = Scale::default();
+    let mut num_as_explicit = false;
     let mut targets: Vec<String> = Vec::new();
     let mut smoke = false;
     let mut out_path: Option<String> = None;
+    let mut presets: Vec<BenchPreset> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,6 +26,7 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--num-as needs a number"));
+                num_as_explicit = true;
             }
             "--seed" => {
                 scale.seed = args
@@ -34,6 +37,17 @@ fn main() {
             "--smoke" => smoke = true,
             "--out" => {
                 out_path = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
+            }
+            "--preset" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| usage("--preset needs a name"));
+                let preset = BenchPreset::parse(&name).unwrap_or_else(|| {
+                    usage(&format!(
+                        "unknown throughput preset {name:?} (try table1, paper-scale)"
+                    ))
+                });
+                presets.push(preset);
             }
             "--help" | "-h" => usage(""),
             other => targets.push(other.to_string()),
@@ -59,7 +73,9 @@ fn main() {
             "week" => println!("{}\n", week(scale).rendered),
             "stability" => println!("{}\n", stability(scale, 5).rendered),
             "faults" => println!("{}\n", faults(scale).rendered),
-            "throughput" => run_throughput(scale, smoke, out_path.as_deref()),
+            "throughput" => {
+                run_throughput(scale, num_as_explicit, &presets, smoke, out_path.as_deref())
+            }
             "all" => {
                 run_table1(scale);
                 run_table2(scale);
@@ -117,25 +133,52 @@ fn run_fig2b(scale: Scale) {
 }
 
 /// `throughput`: observations/sec for both passes at 1/2/4/8 workers,
-/// written as JSON to `--out` (default `BENCH_throughput.json`). Smoke
-/// mode shrinks the scenario and times a single iteration so CI can
-/// record a number without slowing the test job.
-fn run_throughput(scale: Scale, smoke: bool, out_path: Option<&str>) {
-    let (scale, iterations) = if smoke {
-        (
-            Scale {
-                num_as: Scale::small().num_as,
-                ..scale
-            },
-            1,
-        )
+/// written as JSON to `--out` (default `BENCH_throughput.json`). With
+/// no `--preset` both sections run — `table1` (trend continuity) and
+/// `paper-scale` (the benchmark of record) — smallest first, so the
+/// process-wide peak-RSS reading belongs to the largest workload.
+/// Smoke mode shrinks each scenario and times a single iteration so CI
+/// can record a number without slowing the test job.
+fn run_throughput(
+    scale: Scale,
+    num_as_explicit: bool,
+    presets: &[BenchPreset],
+    smoke: bool,
+    out_path: Option<&str>,
+) {
+    let presets: Vec<BenchPreset> = if presets.is_empty() {
+        vec![BenchPreset::Table1, BenchPreset::PaperScale]
     } else {
-        (scale, 3)
+        presets.to_vec()
     };
-    let r = throughput(scale, &[1, 2, 4, 8], iterations);
-    println!("{}", r.rendered);
+    let iterations = if smoke { 1 } else { 3 };
+    let results: Vec<_> = presets
+        .iter()
+        .map(|&preset| {
+            // Each preset has its own default size; an explicit
+            // --num-as overrides every section.
+            let num_as = if num_as_explicit {
+                scale.num_as
+            } else if smoke {
+                preset.smoke_num_as()
+            } else {
+                preset.full_num_as()
+            };
+            // The paper-scale full run is ~30M observations; one timed
+            // iteration is already minutes of wall clock.
+            let iterations = if preset == BenchPreset::PaperScale {
+                1
+            } else {
+                iterations
+            };
+            let r = throughput(preset, Scale { num_as, ..scale }, &[1, 2, 4, 8], iterations);
+            println!("{}", r.rendered);
+            r
+        })
+        .collect();
+    let doc = throughput_document(&results);
     let path = out_path.unwrap_or("BENCH_throughput.json");
-    match std::fs::write(path, &r.json) {
+    match std::fs::write(path, &doc) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => {
             eprintln!("error: writing {path}: {e}");
@@ -149,12 +192,14 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--num-as N] [--seed S] [--smoke] [--out PATH] [TARGET...]\n\
+        "usage: repro [--num-as N] [--seed S] [--smoke] [--out PATH] \
+         [--preset table1|paper-scale] [TARGET...]\n\
          targets: table1 table2 table3 fig1 fig2a fig2b\n\
          \x20        ablate-fixed-bins ablate-no-refine ablate-no-agg\n\
          \x20        ablate-no-diurnal baselines week stability faults\n\
          \x20        throughput all\n\
-         --smoke and --out apply to the throughput target"
+         --smoke, --out and --preset apply to the throughput target\n\
+         (no --preset: both sections run, table1 then paper-scale)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

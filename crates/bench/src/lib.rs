@@ -20,4 +20,6 @@ pub use experiments::{
     table3, week, AblationResult, BaselineComparison, CoverageFigure, FaultsResult, Fig2aResult,
     Fig2bResult, Scale, TableResult,
 };
-pub use throughput::{throughput, ModelStoreTiming, PassTiming, ThroughputResult};
+pub use throughput::{
+    throughput, throughput_document, BenchPreset, ModelStoreTiming, PassTiming, ThroughputResult,
+};

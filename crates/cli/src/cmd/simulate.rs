@@ -13,9 +13,11 @@ pub fn build_preset(name: &str, num_as: u32, seed: u64) -> Result<Scenario, Comm
         "table3" => Scenario::table3(num_as, seed),
         "tradeoff" => Scenario::tradeoff(num_as, seed),
         "ipv6-day" => Scenario::ipv6_day(num_as, seed),
+        "paper-scale" => Scenario::paper_scale(num_as, seed),
         other => {
             return Err(CommandError(format!(
-                "unknown preset {other:?} (try quick, table1, table3, tradeoff, ipv6-day)"
+                "unknown preset {other:?} \
+                 (try quick, table1, table3, tradeoff, ipv6-day, paper-scale)"
             )))
         }
     })

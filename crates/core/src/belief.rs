@@ -26,12 +26,35 @@ pub fn from_log_odds(lo: f64) -> f64 {
     1.0 / (1.0 + (-lo).exp())
 }
 
-/// Clamped Bayesian belief state for one detection unit.
+/// The clamp bounds every unit shares, precomputed from the config.
+///
+/// Kept outside [`Belief`] so the per-unit state is a single `f64`:
+/// at paper scale (hundreds of thousands of units) the bounds would
+/// otherwise be duplicated into every unit's hot state.
+#[derive(Debug, Clone, Copy)]
+pub struct BeliefClamp {
+    /// Log-odds floor (belief can always recover).
+    pub floor_lo: f64,
+    /// Log-odds ceiling (belief can always fall).
+    pub ceiling_lo: f64,
+}
+
+impl BeliefClamp {
+    /// Clamp bounds from the config.
+    pub fn new(config: &DetectorConfig) -> BeliefClamp {
+        BeliefClamp {
+            floor_lo: log_odds(config.belief_floor),
+            ceiling_lo: log_odds(config.belief_ceiling),
+        }
+    }
+}
+
+/// Clamped Bayesian belief state for one detection unit: just the
+/// current log-odds. The shared [`BeliefClamp`] is passed into each
+/// update.
 #[derive(Debug, Clone, Copy)]
 pub struct Belief {
     lo: f64,
-    floor_lo: f64,
-    ceiling_lo: f64,
 }
 
 impl Belief {
@@ -39,8 +62,6 @@ impl Belief {
     pub fn new(config: &DetectorConfig) -> Belief {
         Belief {
             lo: log_odds(config.initial_belief),
-            floor_lo: log_odds(config.belief_floor),
-            ceiling_lo: log_odds(config.belief_ceiling),
         }
     }
 
@@ -62,9 +83,9 @@ impl Belief {
     }
 
     /// Update with one closed bin; returns the new belief.
-    pub fn update_bin(&mut self, n: u64, lambda_w: f64, leak_w: f64) -> f64 {
+    pub fn update_bin(&mut self, n: u64, lambda_w: f64, leak_w: f64, clamp: BeliefClamp) -> f64 {
         self.lo =
-            (self.lo + Self::bin_llr(n, lambda_w, leak_w)).clamp(self.floor_lo, self.ceiling_lo);
+            (self.lo + Self::bin_llr(n, lambda_w, leak_w)).clamp(clamp.floor_lo, clamp.ceiling_lo);
         self.value()
     }
 }
@@ -75,6 +96,10 @@ mod tests {
 
     fn cfg() -> DetectorConfig {
         DetectorConfig::default()
+    }
+
+    fn clamp() -> BeliefClamp {
+        BeliefClamp::new(&cfg())
     }
 
     #[test]
@@ -97,7 +122,7 @@ mod tests {
     fn empty_bins_drive_belief_down() {
         let mut b = Belief::new(&cfg());
         let (lw, ew) = (30.0, 0.3); // dense block, 300 s bin
-        let after_one = b.update_bin(0, lw, ew);
+        let after_one = b.update_bin(0, lw, ew, clamp());
         assert!(
             after_one < 0.1,
             "one silent dense bin should convince: {after_one}"
@@ -108,12 +133,12 @@ mod tests {
     fn sparse_bins_need_more_evidence() {
         let mut b = Belief::new(&cfg());
         let (lw, ew) = (4.0, 0.04); // k=4 boundary block
-        let after_one = b.update_bin(0, lw, ew);
+        let after_one = b.update_bin(0, lw, ew, clamp());
         assert!(
             after_one > 0.1,
             "one bin at k=4 must not convince: {after_one}"
         );
-        let after_two = b.update_bin(0, lw, ew);
+        let after_two = b.update_bin(0, lw, ew, clamp());
         assert!(after_two < 0.1, "two silent bins should: {after_two}");
     }
 
@@ -121,9 +146,9 @@ mod tests {
     fn arrivals_drive_belief_up_fast() {
         let mut b = Belief::new(&cfg());
         let (lw, ew) = (30.0, 0.3);
-        b.update_bin(0, lw, ew); // down
+        b.update_bin(0, lw, ew, clamp()); // down
         assert!(b.value() < 0.1);
-        let recovered = b.update_bin(30, lw, ew);
+        let recovered = b.update_bin(30, lw, ew, clamp());
         assert!(recovered > 0.9, "normal bin should recover: {recovered}");
     }
 
@@ -131,7 +156,7 @@ mod tests {
     fn belief_is_clamped() {
         let mut b = Belief::new(&cfg());
         for _ in 0..100 {
-            b.update_bin(0, 30.0, 0.3);
+            b.update_bin(0, 30.0, 0.3, clamp());
         }
         assert!(
             (b.value() - 0.01).abs() < 1e-9,
@@ -139,7 +164,7 @@ mod tests {
             b.value()
         );
         for _ in 0..100 {
-            b.update_bin(100, 30.0, 0.3);
+            b.update_bin(100, 30.0, 0.3, clamp());
         }
         assert!(
             (b.value() - 0.99).abs() < 1e-9,
@@ -152,8 +177,8 @@ mod tests {
     fn one_packet_during_outage_is_not_enough() {
         // A single leaked packet must not resurrect a dense block.
         let mut b = Belief::new(&cfg());
-        b.update_bin(0, 30.0, 0.3);
-        let v = b.update_bin(1, 30.0, 0.3);
+        b.update_bin(0, 30.0, 0.3, clamp());
+        let v = b.update_bin(1, 30.0, 0.3, clamp());
         assert!(v < 0.1, "single packet resurrected the block: {v}");
     }
 

@@ -19,8 +19,25 @@
 //! the start backs up to just after the last packet seen, the end snaps
 //! to the first packet of the recovery. Without refinement (ablation),
 //! edges stay on bin boundaries.
+//!
+//! ## Layout
+//!
+//! The algorithm is split struct-of-arrays style so an engine over
+//! hundreds of thousands of units stays cache-friendly:
+//!
+//! * [`UnitPolicy`] — the config-derived knobs every unit in an engine
+//!   shares (thresholds, margins, window). One copy per engine.
+//! * [`UnitState`] — the per-unit hot state (belief, bin clock, edge
+//!   bookkeeping). One entry per unit in a flat `Vec`; no hour shape,
+//!   no duplicated thresholds.
+//! * The 24-hour expectation shapes live in a flat
+//!   [`crate::history::ShapeTable`] arena owned by the engine.
+//!
+//! [`UnitDetector`] is the standalone single-unit view over the same
+//! algorithm: it owns one `UnitState`, one shape, and one policy, and
+//! is what tests and one-off callers construct directly.
 
-use crate::belief::{log_odds, Belief};
+use crate::belief::{log_odds, Belief, BeliefClamp};
 use crate::config::DetectorConfig;
 use crate::tuning::UnitParams;
 use outage_types::{DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline, UnixTime};
@@ -46,22 +63,51 @@ pub struct UnitDiagnostics {
     pub gap_detections: u64,
 }
 
-/// Streaming detector for one unit.
+/// The config-derived knobs shared by every unit in one engine: one
+/// copy per engine instead of one per unit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UnitPolicy {
+    pub(crate) window: Interval,
+    pub(crate) diurnal: bool,
+    pub(crate) use_gaps: bool,
+    pub(crate) refine: bool,
+    pub(crate) min_gap_secs: u64,
+    pub(crate) down_lo: f64,
+    pub(crate) up_lo: f64,
+    pub(crate) gap_margin: f64,
+    pub(crate) clamp: BeliefClamp,
+}
+
+impl UnitPolicy {
+    pub(crate) fn new(config: &DetectorConfig, window: Interval) -> UnitPolicy {
+        UnitPolicy {
+            window,
+            diurnal: config.diurnal_model,
+            use_gaps: config.use_exact_timestamps,
+            refine: config.use_exact_timestamps,
+            min_gap_secs: config.min_gap_outage_secs.max(2),
+            down_lo: log_odds(config.down_threshold),
+            up_lo: log_odds(config.up_threshold),
+            gap_margin: config.gap_margin_log_odds,
+            clamp: BeliefClamp::new(config),
+        }
+    }
+
+    /// A policy for an engine with no units yet (the streaming warm-up
+    /// epoch). Never consulted on the hot path — there is nothing to
+    /// route to — but must be structurally valid.
+    pub(crate) fn inert(window: Interval) -> UnitPolicy {
+        UnitPolicy::new(&DetectorConfig::default(), window)
+    }
+}
+
+/// The per-unit hot state: everything bin closing and edge refinement
+/// touch, and nothing an engine can share. Sized so paper-scale unit
+/// counts fit in cache-friendly flat storage.
 #[derive(Debug)]
-pub struct UnitDetector {
+pub(crate) struct UnitState {
     prefix: Prefix,
     params: UnitParams,
-    window: Interval,
-    /// Hour-of-day multipliers (all 1.0 when the diurnal model is off).
-    hourly_shape: [f64; 24],
-    diurnal: bool,
-    use_gaps: bool,
-    refine: bool,
-    min_gap_secs: u64,
-    down_lo: f64,
-    up_lo: f64,
-    gap_margin: f64,
-
     belief: Belief,
     state: State,
     /// Next bin index to close (bins are `[window.start + i*width, …)`).
@@ -82,27 +128,11 @@ pub struct UnitDetector {
     diag: UnitDiagnostics,
 }
 
-impl UnitDetector {
-    /// A detector for `prefix` with tuned `params` over `window`.
-    pub fn new(
-        prefix: Prefix,
-        params: UnitParams,
-        hourly_shape: [f64; 24],
-        config: &DetectorConfig,
-        window: Interval,
-    ) -> UnitDetector {
-        UnitDetector {
+impl UnitState {
+    pub(crate) fn new(prefix: Prefix, params: UnitParams, config: &DetectorConfig) -> UnitState {
+        UnitState {
             prefix,
             params,
-            window,
-            hourly_shape,
-            diurnal: config.diurnal_model,
-            use_gaps: config.use_exact_timestamps,
-            refine: config.use_exact_timestamps,
-            min_gap_secs: config.min_gap_outage_secs.max(2),
-            down_lo: log_odds(config.down_threshold),
-            up_lo: log_odds(config.up_threshold),
-            gap_margin: config.gap_margin_log_odds,
             belief: Belief::new(config),
             state: State::Up,
             next_bin: 0,
@@ -118,43 +148,36 @@ impl UnitDetector {
         }
     }
 
-    /// The unit's prefix.
-    pub fn prefix(&self) -> Prefix {
+    pub(crate) fn prefix(&self) -> Prefix {
         self.prefix
     }
 
-    /// The tuned parameters in force.
-    pub fn params(&self) -> UnitParams {
-        self.params
-    }
-
-    /// Current belief that the unit is up.
-    pub fn belief(&self) -> f64 {
+    pub(crate) fn belief(&self) -> f64 {
         self.belief.value()
     }
 
-    fn bin_start(&self, index: u64) -> UnixTime {
-        self.window.start + index * self.params.width
+    fn bin_start(&self, policy: &UnitPolicy, index: u64) -> UnixTime {
+        policy.window.start + index * self.params.width
     }
 
     /// Expected up-count for the bin starting at `start`.
-    fn expected_in_bin(&self, start: UnixTime) -> f64 {
+    fn expected_in_bin(&self, shape: &[f64; 24], policy: &UnitPolicy, start: UnixTime) -> f64 {
         let w = self.params.width as f64;
-        if self.diurnal {
+        if policy.diurnal {
             let mid = start + self.params.width / 2;
             let hour = ((mid.secs() % 86_400) / 3_600) as usize;
-            (self.params.lambda * self.hourly_shape[hour] * w).max(self.params.leak * w * 2.0)
+            (self.params.lambda * shape[hour] * w).max(self.params.leak * w * 2.0)
         } else {
             self.params.lambda * w
         }
     }
 
     /// Close one bin with `n` arrivals.
-    fn close_bin(&mut self, index: u64, n: u64) {
-        let start = self.bin_start(index);
-        let lambda_w = self.expected_in_bin(start);
+    fn close_bin(&mut self, shape: &[f64; 24], policy: &UnitPolicy, index: u64, n: u64) {
+        let start = self.bin_start(policy, index);
+        let lambda_w = self.expected_in_bin(shape, policy, start);
         let leak_w = self.params.leak * self.params.width as f64;
-        let b = self.belief.update_bin(n, lambda_w, leak_w);
+        let b = self.belief.update_bin(n, lambda_w, leak_w, policy.clamp);
         self.diag.bins += 1;
 
         if n == 0 {
@@ -167,19 +190,19 @@ impl UnitDetector {
 
         match self.state {
             State::Up => {
-                if b < from_lo_threshold(self.down_lo) {
+                if b < from_lo_threshold(policy.down_lo) {
                     self.state = State::Down;
                     self.diag.bin_detections += 1;
-                    self.down_start = Some(self.refined_start(start));
+                    self.down_start = Some(self.refined_start(policy, start));
                     self.first_arrival_down = None;
                     self.min_belief_down = b;
                 }
             }
             State::Down => {
                 self.min_belief_down = self.min_belief_down.min(b);
-                if b > from_lo_threshold(self.up_lo) {
-                    let end = self.refined_end(self.bin_start(index + 1));
-                    self.commit_outage(end);
+                if b > from_lo_threshold(policy.up_lo) {
+                    let end = self.refined_end(policy, self.bin_start(policy, index + 1));
+                    self.commit_outage(policy, end);
                     self.state = State::Up;
                 }
             }
@@ -188,11 +211,11 @@ impl UnitDetector {
 
     /// Refined start of an outage discovered at a bin ending before
     /// `fallback_bin_start`.
-    fn refined_start(&self, fallback_bin_start: UnixTime) -> UnixTime {
-        if self.refine {
+    fn refined_start(&self, policy: &UnitPolicy, fallback_bin_start: UnixTime) -> UnixTime {
+        if policy.refine {
             match self.last_arrival {
                 Some(t) => t + 1,
-                None => self.window.start,
+                None => policy.window.start,
             }
         } else {
             // Bin-edge semantics: the outage began with the empty run.
@@ -201,17 +224,17 @@ impl UnitDetector {
     }
 
     /// Refined end of the outage given recovery observed by `bin_end`.
-    fn refined_end(&self, bin_end: UnixTime) -> UnixTime {
-        if self.refine {
+    fn refined_end(&self, policy: &UnitPolicy, bin_end: UnixTime) -> UnixTime {
+        if policy.refine {
             self.first_arrival_down.unwrap_or(bin_end)
         } else {
             bin_end
         }
     }
 
-    fn commit_outage(&mut self, end: UnixTime) {
+    fn commit_outage(&mut self, policy: &UnitPolicy, end: UnixTime) {
         if let Some(start) = self.down_start.take() {
-            let iv = Interval::new(start, end).intersect(&self.window);
+            let iv = Interval::new(start, end).intersect(&policy.window);
             if !iv.is_empty() {
                 // Confidence: how far below the threshold the belief fell.
                 let confidence = 1.0 - self.min_belief_down.clamp(0.0, 1.0);
@@ -224,13 +247,19 @@ impl UnitDetector {
     }
 
     /// Record a gap-rule detection with its posterior-derived confidence.
-    fn record_gap_outage(&mut self, from: UnixTime, to: UnixTime) {
-        let iv = Interval::new(from, to).intersect(&self.window);
+    fn record_gap_outage(
+        &mut self,
+        shape: &[f64; 24],
+        policy: &UnitPolicy,
+        from: UnixTime,
+        to: UnixTime,
+    ) {
+        let iv = Interval::new(from, to).intersect(&policy.window);
         if iv.is_empty() {
             return;
         }
-        let evidence =
-            self.rate_integral(iv.start, iv.end) - self.params.leak * iv.duration() as f64;
+        let evidence = self.rate_integral(shape, policy, iv.start, iv.end)
+            - self.params.leak * iv.duration() as f64;
         let posterior_lo = self.belief.log_odds() - evidence;
         let confidence = 1.0 - crate::belief::from_log_odds(posterior_lo);
         self.raw_outages.push((iv, confidence));
@@ -238,21 +267,27 @@ impl UnitDetector {
     }
 
     /// Close all bins that end at or before `t`.
-    fn advance_bins_to(&mut self, t: UnixTime) {
-        let limit = t.min(self.window.end);
-        while self.bin_start(self.next_bin + 1) <= limit {
+    fn advance_bins_to(&mut self, shape: &[f64; 24], policy: &UnitPolicy, t: UnixTime) {
+        let limit = t.min(policy.window.end);
+        while self.bin_start(policy, self.next_bin + 1) <= limit {
             let idx = self.next_bin;
             let n = self.bin_count;
             self.bin_count = 0;
             self.next_bin += 1;
-            self.close_bin(idx, n);
+            self.close_bin(shape, policy, idx, n);
         }
     }
 
     /// Expected arrivals over `[from, to)` under the (possibly diurnal)
     /// rate model.
-    fn rate_integral(&self, from: UnixTime, to: UnixTime) -> f64 {
-        if !self.diurnal {
+    fn rate_integral(
+        &self,
+        shape: &[f64; 24],
+        policy: &UnitPolicy,
+        from: UnixTime,
+        to: UnixTime,
+    ) -> f64 {
+        if !policy.diurnal {
             return self.params.lambda * to.since(from) as f64;
         }
         let mut acc = 0.0;
@@ -261,7 +296,7 @@ impl UnitDetector {
             let hour_end = UnixTime((t.secs() / 3_600 + 1) * 3_600);
             let seg_end = to.min(hour_end);
             let h = ((t.secs() % 86_400) / 3_600) as usize;
-            acc += self.params.lambda * self.hourly_shape[h] * seg_end.since(t) as f64;
+            acc += self.params.lambda * shape[h] * seg_end.since(t) as f64;
             t = seg_end;
         }
         acc
@@ -271,9 +306,16 @@ impl UnitDetector {
     /// own, push the current belief below the down threshold with margin?
     /// The expectation honours the diurnal shape, so a quiet night is not
     /// mistaken for a stack of micro-outages.
-    fn gap_is_decisive(&self, from: UnixTime, to: UnixTime) -> bool {
-        let evidence = self.rate_integral(from, to) - self.params.leak * to.since(from) as f64;
-        evidence >= self.belief.log_odds() - self.down_lo + self.gap_margin
+    fn gap_is_decisive(
+        &self,
+        shape: &[f64; 24],
+        policy: &UnitPolicy,
+        from: UnixTime,
+        to: UnixTime,
+    ) -> bool {
+        let evidence =
+            self.rate_integral(shape, policy, from, to) - self.params.leak * to.since(from) as f64;
+        evidence >= self.belief.log_odds() - policy.down_lo + policy.gap_margin
     }
 
     /// Advance the bin clock to `t` without an arrival: closes any bins
@@ -281,8 +323,8 @@ impl UnitDetector {
     /// the silence had been observed at an arrival. Lets a live monitor
     /// notice outages on wall-clock time instead of waiting for the
     /// block's next packet.
-    pub fn advance_to(&mut self, t: UnixTime) {
-        self.advance_bins_to(t);
+    pub(crate) fn advance_to(&mut self, shape: &[f64; 24], policy: &UnitPolicy, t: UnixTime) {
+        self.advance_bins_to(shape, policy, t);
     }
 
     /// Jump the bin clock past a quarantined span ending at `t` without
@@ -299,9 +341,9 @@ impl UnitDetector {
     /// would make later edge refinement fall back to `window.start`,
     /// fabricating outage starts inside the quarantined span, and the gap
     /// rule must measure silence only from recovery onward.
-    pub fn skip_to(&mut self, t: UnixTime) {
-        let limit = t.min(self.window.end);
-        while self.bin_start(self.next_bin) < limit {
+    pub(crate) fn skip_to(&mut self, policy: &UnitPolicy, t: UnixTime) {
+        let limit = t.min(policy.window.end);
+        while self.bin_start(policy, self.next_bin) < limit {
             self.next_bin += 1;
         }
         self.bin_count = 0;
@@ -313,17 +355,19 @@ impl UnitDetector {
 
     /// Feed one arrival at `t` (must be inside the window and
     /// non-decreasing across calls).
-    pub fn observe(&mut self, t: UnixTime) {
-        debug_assert!(self.window.contains(t), "arrival outside window");
-        self.advance_bins_to(t);
+    pub(crate) fn observe(&mut self, shape: &[f64; 24], policy: &UnitPolicy, t: UnixTime) {
+        debug_assert!(policy.window.contains(t), "arrival outside window");
+        self.advance_bins_to(shape, policy, t);
         self.diag.arrivals += 1;
 
         if self.state == State::Up {
-            if self.use_gaps {
+            if policy.use_gaps {
                 if let Some(last) = self.last_arrival {
-                    if t.since(last) >= self.min_gap_secs && self.gap_is_decisive(last, t) {
+                    if t.since(last) >= policy.min_gap_secs
+                        && self.gap_is_decisive(shape, policy, last, t)
+                    {
                         self.diag.gap_detections += 1;
-                        self.record_gap_outage(last + 1, t);
+                        self.record_gap_outage(shape, policy, last + 1, t);
                     }
                 }
             }
@@ -337,26 +381,26 @@ impl UnitDetector {
 
     /// End of stream: close remaining bins, settle any open outage, and
     /// return the unit's verdict.
-    pub fn finish(mut self) -> UnitReport {
+    pub(crate) fn finish(mut self, shape: &[f64; 24], policy: &UnitPolicy) -> UnitReport {
         // Close every bin in the window.
-        self.advance_bins_to(self.window.end);
+        self.advance_bins_to(shape, policy, policy.window.end);
         // A final partial bin (window not a multiple of width) is judged
         // only if it is at least half a bin long, scaled accordingly.
-        let tail_start = self.bin_start(self.next_bin);
-        let tail_len = self.window.end.since(tail_start);
+        let tail_start = self.bin_start(policy, self.next_bin);
+        let tail_len = policy.window.end.since(tail_start);
         if tail_len * 2 >= self.params.width {
             let n = self.bin_count;
             let scale = tail_len as f64 / self.params.width as f64;
-            let lambda_w = self.expected_in_bin(tail_start) * scale;
+            let lambda_w = self.expected_in_bin(shape, policy, tail_start) * scale;
             let leak_w = self.params.leak * tail_len as f64;
             let b = self
                 .belief
-                .update_bin(n, lambda_w.max(leak_w * 2.0), leak_w);
+                .update_bin(n, lambda_w.max(leak_w * 2.0), leak_w, policy.clamp);
             self.diag.bins += 1;
-            if self.state == State::Up && b < from_lo_threshold(self.down_lo) {
+            if self.state == State::Up && b < from_lo_threshold(policy.down_lo) {
                 self.state = State::Down;
                 self.diag.bin_detections += 1;
-                self.down_start = Some(self.refined_start(tail_start));
+                self.down_start = Some(self.refined_start(policy, tail_start));
                 self.min_belief_down = b;
             }
         }
@@ -364,16 +408,18 @@ impl UnitDetector {
         match self.state {
             State::Down => {
                 // Censored outage: runs to the end of the window.
-                self.down_start.get_or_insert(self.window.start);
-                self.commit_outage(self.window.end);
+                self.down_start.get_or_insert(policy.window.start);
+                self.commit_outage(policy, policy.window.end);
             }
-            State::Up if self.use_gaps => {
+            State::Up if policy.use_gaps => {
                 // Trailing silence: the gap rule applied to the window end.
                 if let Some(last) = self.last_arrival {
-                    let end = self.window.end;
-                    if end.since(last) >= self.min_gap_secs && self.gap_is_decisive(last, end) {
+                    let end = policy.window.end;
+                    if end.since(last) >= policy.min_gap_secs
+                        && self.gap_is_decisive(shape, policy, last, end)
+                    {
                         self.diag.gap_detections += 1;
-                        self.record_gap_outage(last + 1, end);
+                        self.record_gap_outage(shape, policy, last + 1, end);
                     }
                 }
             }
@@ -398,10 +444,74 @@ impl UnitDetector {
         UnitReport {
             prefix: self.prefix,
             params: self.params,
-            timeline: Timeline::from_down(self.window, self.down),
+            timeline: Timeline::from_down(policy.window, self.down),
             detections,
             diagnostics: self.diag,
         }
+    }
+}
+
+/// Streaming detector for one unit: one [`UnitState`] bundled with its
+/// own shape and policy. Engines store the same three pieces in flat
+/// arenas instead; this standalone form serves tests and single-unit
+/// callers.
+#[derive(Debug)]
+pub struct UnitDetector {
+    state: UnitState,
+    /// Hour-of-day multipliers (all 1.0 when the diurnal model is off).
+    hourly_shape: [f64; 24],
+    policy: UnitPolicy,
+}
+
+impl UnitDetector {
+    /// A detector for `prefix` with tuned `params` over `window`.
+    pub fn new(
+        prefix: Prefix,
+        params: UnitParams,
+        hourly_shape: [f64; 24],
+        config: &DetectorConfig,
+        window: Interval,
+    ) -> UnitDetector {
+        UnitDetector {
+            state: UnitState::new(prefix, params, config),
+            hourly_shape,
+            policy: UnitPolicy::new(config, window),
+        }
+    }
+
+    /// The unit's prefix.
+    pub fn prefix(&self) -> Prefix {
+        self.state.prefix()
+    }
+
+    /// The tuned parameters in force.
+    pub fn params(&self) -> UnitParams {
+        self.state.params
+    }
+
+    /// Current belief that the unit is up.
+    pub fn belief(&self) -> f64 {
+        self.state.belief()
+    }
+
+    /// See [`UnitState::advance_to`].
+    pub fn advance_to(&mut self, t: UnixTime) {
+        self.state.advance_to(&self.hourly_shape, &self.policy, t);
+    }
+
+    /// See [`UnitState::skip_to`].
+    pub fn skip_to(&mut self, t: UnixTime) {
+        self.state.skip_to(&self.policy, t);
+    }
+
+    /// See [`UnitState::observe`].
+    pub fn observe(&mut self, t: UnixTime) {
+        self.state.observe(&self.hourly_shape, &self.policy, t);
+    }
+
+    /// See [`UnitState::finish`].
+    pub fn finish(self) -> UnitReport {
+        self.state.finish(&self.hourly_shape, &self.policy)
     }
 }
 

@@ -28,21 +28,21 @@
 //!   engines, broadcasting quarantine boundaries in-band.
 //!
 //! Because all three paths execute the same `observe`/`skip_to`/
-//! `advance_to`/`finish` call sequences on identical [`UnitDetector`]s,
-//! their outputs are bit-identical — enforced by the three-way
-//! equivalence suite in `crates/core/tests/engine_equivalence.rs`.
+//! `advance_to`/`finish` call sequences on identical per-unit state
+//! machines ([`UnitState`]), their outputs are bit-identical — enforced
+//! by the three-way equivalence suite in
+//! `crates/core/tests/engine_equivalence.rs`.
 
 use crate::aggregate::AggregationPlan;
 use crate::config::{ConfigError, DetectorConfig};
-use crate::detector::{UnitDetector, UnitReport};
-use crate::history::HistorySource;
+use crate::detector::{UnitPolicy, UnitReport, UnitState};
+use crate::history::{HistorySource, ShapeTable};
 use crate::index::BlockIndex;
 use crate::model::LearnedModel;
 use crate::pipeline::{build_routing, unit_expectation_shape, DetectionReport, PassiveDetector};
 use crate::sentinel::{FeedHealth, FeedSentinel, SentinelConfig};
 use outage_obs::{Counter, Histogram, Obs, DURATION_BUCKETS};
 use outage_types::{Interval, IntervalSet, Observation, Prefix, UnixTime};
-use std::collections::HashMap;
 
 /// One step of the typed input stream driving a [`DetectionEngine`].
 ///
@@ -257,18 +257,75 @@ pub struct EngineOutput {
     pub sentinel: Option<FeedSentinel>,
 }
 
+/// The per-unit detection state of one engine, struct-of-arrays style:
+/// one shared [`UnitPolicy`], a flat [`ShapeTable`] of hour shapes, and
+/// a flat `Vec` of hot [`UnitState`]s. At paper scale (hundreds of
+/// thousands of units) this keeps the inner loop walking contiguous
+/// memory instead of chasing per-unit copies of config-derived knobs.
+#[derive(Debug)]
+struct UnitArena {
+    policy: UnitPolicy,
+    shapes: ShapeTable,
+    states: Vec<UnitState>,
+}
+
+impl UnitArena {
+    fn empty(policy: UnitPolicy) -> UnitArena {
+        UnitArena {
+            policy,
+            shapes: ShapeTable::default(),
+            states: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    #[inline]
+    fn observe(&mut self, i: usize, t: UnixTime) {
+        self.states[i].observe(self.shapes.get(i), &self.policy, t);
+    }
+
+    fn advance_all(&mut self, t: UnixTime) {
+        for (i, s) in self.states.iter_mut().enumerate() {
+            s.advance_to(self.shapes.get(i), &self.policy, t);
+        }
+    }
+
+    fn skip_all(&mut self, t: UnixTime) {
+        for s in &mut self.states {
+            s.skip_to(&self.policy, t);
+        }
+    }
+
+    fn finish_all(self) -> Vec<UnitReport> {
+        let UnitArena {
+            policy,
+            shapes,
+            states,
+        } = self;
+        states
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.finish(shapes.get(i), &policy))
+            .collect()
+    }
+}
+
 /// The single-threaded incremental detection kernel (see module docs).
 ///
-/// Owns the per-unit [`UnitDetector`] state machines, the per-packet
-/// routing table, the optional [`QuarantineGate`], and stray
-/// accounting. Constructed from planned units ([`Self::from_plan`]),
-/// from learned histories ([`Self::from_histories`]), or warm-started
-/// from a checkpointed model ([`Self::from_model`]) — so every
-/// execution path gets warm start from the same constructor.
+/// Owns the per-unit [`UnitState`] state machines (in a flat
+/// [`UnitArena`]), the per-packet routing table, the optional
+/// [`QuarantineGate`], and stray accounting. Constructed from planned
+/// units ([`Self::from_plan`]), from learned histories
+/// ([`Self::from_histories`]), or warm-started from a checkpointed
+/// model ([`Self::from_model`]) — so every execution path gets warm
+/// start from the same constructor.
 #[derive(Debug)]
 pub struct DetectionEngine {
     window: Interval,
-    units: Vec<UnitDetector>,
+    units: UnitArena,
     /// Member block → dense id (one cheap hash probe per observation).
     route: BlockIndex,
     /// Dense id → unit index.
@@ -277,7 +334,6 @@ pub struct DetectionEngine {
     members: Vec<Vec<Prefix>>,
     /// Blocks observed but too sparse to cover at all.
     uncovered: Vec<Prefix>,
-    block_to_unit: HashMap<Prefix, usize>,
     gate: Option<QuarantineGate>,
     strays: u64,
 }
@@ -294,28 +350,24 @@ impl DetectionEngine {
         gate: Option<QuarantineGate>,
     ) -> DetectionEngine {
         let (route, unit_of_id) = build_routing(&plan);
-        let mut block_to_unit = HashMap::new();
-        for (i, u) in plan.units.iter().enumerate() {
-            for m in &u.members {
-                block_to_unit.insert(*m, i);
-            }
+        let policy = UnitPolicy::new(config, window);
+        let mut shapes = ShapeTable::with_capacity(plan.units.len());
+        let mut states = Vec::with_capacity(plan.units.len());
+        for u in &plan.units {
+            shapes.push(unit_expectation_shape(&u.members, histories, config));
+            states.push(UnitState::new(u.prefix, u.params, config));
         }
-        let units: Vec<UnitDetector> = plan
-            .units
-            .iter()
-            .map(|u| {
-                let shape = unit_expectation_shape(&u.members, histories, config);
-                UnitDetector::new(u.prefix, u.params, shape, config, window)
-            })
-            .collect();
         DetectionEngine {
             window,
-            units,
+            units: UnitArena {
+                policy,
+                shapes,
+                states,
+            },
             route,
             unit_of_id,
             members: plan.units.into_iter().map(|u| u.members).collect(),
             uncovered: plan.uncovered,
-            block_to_unit,
             gate,
             strays: 0,
         }
@@ -351,43 +403,44 @@ impl DetectionEngine {
     pub(crate) fn idle(window: Interval, gate: Option<QuarantineGate>) -> DetectionEngine {
         DetectionEngine {
             window,
-            units: Vec::new(),
+            units: UnitArena::empty(UnitPolicy::inert(window)),
             route: BlockIndex::new(),
             unit_of_id: Vec::new(),
             members: Vec::new(),
             uncovered: Vec::new(),
-            block_to_unit: HashMap::new(),
             gate,
             strays: 0,
         }
     }
 
-    /// A unit-only engine over a subset of a plan's units (a parallel
-    /// worker's shard): no routing table, no gate — the router owns
-    /// both and feeds pre-routed [`Self::observe_unit`] calls.
+    /// A unit-only engine over a contiguous range of a plan's units (a
+    /// parallel worker's shard): no routing table, no gate — the router
+    /// owns both and feeds pre-routed [`Self::observe_unit`] calls.
     pub(crate) fn for_units<H: HistorySource + ?Sized>(
         config: &DetectorConfig,
         plan: &AggregationPlan,
-        unit_ids: &[usize],
+        range: std::ops::Range<usize>,
         histories: &H,
         window: Interval,
     ) -> DetectionEngine {
-        let units = unit_ids
-            .iter()
-            .map(|&g| {
-                let u = &plan.units[g];
-                let shape = unit_expectation_shape(&u.members, histories, config);
-                UnitDetector::new(u.prefix, u.params, shape, config, window)
-            })
-            .collect();
+        let policy = UnitPolicy::new(config, window);
+        let mut shapes = ShapeTable::with_capacity(range.len());
+        let mut states = Vec::with_capacity(range.len());
+        for u in &plan.units[range] {
+            shapes.push(unit_expectation_shape(&u.members, histories, config));
+            states.push(UnitState::new(u.prefix, u.params, config));
+        }
         DetectionEngine {
             window,
-            units,
+            units: UnitArena {
+                policy,
+                shapes,
+                states,
+            },
             route: BlockIndex::new(),
             unit_of_id: Vec::new(),
             members: Vec::new(),
             uncovered: Vec::new(),
-            block_to_unit: HashMap::new(),
             gate: None,
             strays: 0,
         }
@@ -405,7 +458,7 @@ impl DetectionEngine {
 
     /// Blocks covered, at any spatial precision.
     pub fn covered_blocks(&self) -> usize {
-        self.block_to_unit.len()
+        self.unit_of_id.len()
     }
 
     /// Observations that matched no unit.
@@ -435,9 +488,9 @@ impl DetectionEngine {
 
     /// Current belief that `block` is up, if it is covered.
     pub fn belief(&self, block: &Prefix) -> Option<f64> {
-        self.block_to_unit
+        self.route
             .get(block)
-            .map(|&i| self.units[i].belief())
+            .map(|id| self.units.states[self.unit_of_id[id as usize] as usize].belief())
     }
 
     /// Units currently believed down (belief < 0.5), as
@@ -445,9 +498,10 @@ impl DetectionEngine {
     /// right now" view a service surfaces and alerts on.
     pub fn down_units(&self) -> Vec<(Prefix, f64)> {
         self.units
+            .states
             .iter()
-            .filter(|u| u.belief() < 0.5)
-            .map(|u| (u.prefix(), u.belief()))
+            .filter(|s| s.belief() < 0.5)
+            .map(|s| (s.prefix(), s.belief()))
             .collect()
     }
 
@@ -498,9 +552,7 @@ impl DetectionEngine {
     pub(crate) fn gate_close_if_recovered(&mut self, now: UnixTime) {
         if let Some(g) = &mut self.gate {
             if let Some(to) = g.close_if_recovered(now) {
-                for u in &mut self.units {
-                    u.skip_to(to);
-                }
+                self.units.skip_all(to);
             }
         }
     }
@@ -514,7 +566,9 @@ impl DetectionEngine {
             }
         }
         match self.route.get(&obs.block) {
-            Some(id) => self.units[self.unit_of_id[id as usize] as usize].observe(obs.time),
+            Some(id) => self
+                .units
+                .observe(self.unit_of_id[id as usize] as usize, obs.time),
             None => self.strays += 1,
         }
     }
@@ -522,7 +576,7 @@ impl DetectionEngine {
     /// Pre-routed arrival for a unit by local index (parallel workers:
     /// the router already resolved block → unit → worker).
     pub(crate) fn observe_unit(&mut self, local: u32, t: UnixTime) {
-        self.units[local as usize].observe(t);
+        self.units.observe(local as usize, t);
     }
 
     /// Wall-clock progress without an arrival: the gate's bucket clock
@@ -539,16 +593,12 @@ impl DetectionEngine {
         if self.is_quarantined() {
             return;
         }
-        for u in &mut self.units {
-            u.advance_to(now);
-        }
+        self.units.advance_all(now);
     }
 
     /// Jump every unit's bin clock past a span that must not be judged.
     pub fn skip_to(&mut self, t: UnixTime) {
-        for u in &mut self.units {
-            u.skip_to(t);
-        }
+        self.units.skip_all(t);
     }
 
     /// End-of-stream gate settlement: the feed may die faulted, or the
@@ -559,9 +609,7 @@ impl DetectionEngine {
         self.gate_close_if_recovered(end);
         if let Some(g) = &mut self.gate {
             if let Some(to) = g.force_close(end) {
-                for u in &mut self.units {
-                    u.skip_to(to);
-                }
+                self.units.skip_all(to);
             }
         }
     }
@@ -570,25 +618,22 @@ impl DetectionEngine {
     /// still-open quarantine skips the unjudged tail first — sensor
     /// silence, not network silence. The gate and stray count persist;
     /// the engine is left unit-less until [`Self::install_units`].
-    /// Returns the finished per-unit reports and the block → unit map
-    /// they were routed under.
+    /// Returns the finished per-unit reports and the routing (block
+    /// index + id → unit map) they were judged under.
     pub(crate) fn rotate_out(
         &mut self,
         epoch_end: UnixTime,
-    ) -> (Vec<UnitReport>, HashMap<Prefix, usize>) {
-        let mut units = std::mem::take(&mut self.units);
-        let block_to_unit = std::mem::take(&mut self.block_to_unit);
-        self.route = BlockIndex::new();
-        self.unit_of_id.clear();
+    ) -> (Vec<UnitReport>, BlockIndex, Vec<u32>) {
+        let policy = self.units.policy;
+        let mut units = std::mem::replace(&mut self.units, UnitArena::empty(policy));
+        let route = std::mem::take(&mut self.route);
+        let unit_of_id = std::mem::take(&mut self.unit_of_id);
         self.members.clear();
         self.uncovered.clear();
         if self.gate.as_ref().is_some_and(QuarantineGate::is_open) {
-            for u in &mut units {
-                u.skip_to(epoch_end);
-            }
+            units.skip_all(epoch_end);
         }
-        let reports = units.into_iter().map(UnitDetector::finish).collect();
-        (reports, block_to_unit)
+        (units.finish_all(), route, unit_of_id)
     }
 
     /// Install a fresh unit set for `window` (streaming epoch
@@ -612,10 +657,8 @@ impl DetectionEngine {
     /// batch uses [`Self::finish`] for a full report.
     pub(crate) fn finish_units(mut self, end: UnixTime) -> (Vec<UnitReport>, EngineParts) {
         self.settle_gate(end);
-        for u in &mut self.units {
-            u.advance_to(end);
-        }
-        let reports: Vec<UnitReport> = self.units.into_iter().map(UnitDetector::finish).collect();
+        self.units.advance_all(end);
+        let reports = self.units.finish_all();
         let (sentinel, quarantined) = match self.gate {
             Some(g) => {
                 let (s, q) = g.into_parts();
@@ -629,7 +672,8 @@ impl DetectionEngine {
                 window: self.window,
                 members: self.members,
                 uncovered: self.uncovered,
-                block_to_unit: self.block_to_unit,
+                route: self.route,
+                unit_of_id: self.unit_of_id,
                 strays: self.strays,
                 quarantined,
                 sentinel,
@@ -649,7 +693,8 @@ impl DetectionEngine {
             parts.uncovered,
             parts.strays,
             parts.quarantined,
-            parts.block_to_unit,
+            parts.route,
+            parts.unit_of_id,
         );
         EngineOutput {
             report,
@@ -660,7 +705,7 @@ impl DetectionEngine {
     /// Finish a unit-only worker shard: no gate to settle, no report to
     /// assemble — just the per-unit verdicts, in local-index order.
     pub(crate) fn finish_shard(self) -> Vec<UnitReport> {
-        self.units.into_iter().map(UnitDetector::finish).collect()
+        self.units.finish_all()
     }
 }
 
@@ -670,7 +715,8 @@ pub(crate) struct EngineParts {
     pub(crate) window: Interval,
     pub(crate) members: Vec<Vec<Prefix>>,
     pub(crate) uncovered: Vec<Prefix>,
-    pub(crate) block_to_unit: HashMap<Prefix, usize>,
+    pub(crate) route: BlockIndex,
+    pub(crate) unit_of_id: Vec<u32>,
     pub(crate) strays: u64,
     pub(crate) quarantined: IntervalSet,
     pub(crate) sentinel: Option<FeedSentinel>,

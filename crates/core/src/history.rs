@@ -294,6 +294,37 @@ impl IndexedHistories {
     }
 }
 
+/// Flat arena of per-unit hour-of-day expectation shapes: 24 contiguous
+/// `f64`s per unit instead of a `[f64; 24]` embedded in every detector.
+/// The engine's inner loop reads one unit's shape as a slice out of a
+/// single allocation, which keeps paper-scale unit counts cache-friendly
+/// and avoids per-unit overhead.
+#[derive(Debug, Default)]
+pub(crate) struct ShapeTable {
+    flat: Vec<f64>,
+}
+
+impl ShapeTable {
+    /// An empty table expecting `units` entries.
+    pub(crate) fn with_capacity(units: usize) -> ShapeTable {
+        ShapeTable {
+            flat: Vec::with_capacity(units * 24),
+        }
+    }
+
+    /// Append one unit's shape; units are indexed in push order.
+    pub(crate) fn push(&mut self, shape: [f64; 24]) {
+        self.flat.extend_from_slice(&shape);
+    }
+
+    /// The shape of unit `i`.
+    pub(crate) fn get(&self, i: usize) -> &[f64; 24] {
+        self.flat[i * 24..(i + 1) * 24]
+            .try_into()
+            .expect("24-element shape row")
+    }
+}
+
 /// Read access to learned per-block histories, however they are stored.
 ///
 /// The pipeline accepts either the classic `HashMap<Prefix,

@@ -68,7 +68,7 @@ pub mod streaming;
 pub mod tuning;
 
 pub use aggregate::{plan, AggregationPlan, PlannedUnit};
-pub use belief::Belief;
+pub use belief::{Belief, BeliefClamp};
 pub use config::{AggregationConfig, ConfigError, DetectorConfig};
 pub use correlate::{fuse_beliefs, fuse_timelines};
 pub use coverage::{coverage_by_width, spatial_coverage, CoveragePoint, SpatialCoverage};
@@ -77,7 +77,10 @@ pub use engine::{DetectionEngine, EngineInput, EngineOutput, QuarantineGate};
 pub use history::{f64_bits_eq, BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 pub use index::BlockIndex;
 pub use model::{LearnedModel, ModelError};
-pub use parallel::{detect_parallel, detect_parallel_from_model, detect_parallel_with_sentinel};
+pub use parallel::{
+    detect_parallel, detect_parallel_from_model, detect_parallel_with_sentinel,
+    try_detect_parallel, ShardPartition, WorkerPanic,
+};
 pub use pipeline::{DetectionReport, PassiveDetector};
 pub use sentinel::{FeedHealth, FeedSentinel, SentinelAccounting, SentinelConfig};
 pub use service::{

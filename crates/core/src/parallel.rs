@@ -9,6 +9,23 @@
 //! identical to the sequential [`PassiveDetector::detect`] because each
 //! unit still sees its own arrivals in order.
 //!
+//! ## Shard-affine routing
+//!
+//! Units are partitioned into *contiguous* ranges ([`ShardPartition`]):
+//! worker `w` owns units `range(w)`, and the router resolves a unit's
+//! worker and local index arithmetically — no per-unit lookup tables,
+//! which at paper scale (hundreds of thousands of units) would be
+//! megabytes of pointer-chasing on the hot path. Contiguity also means
+//! each worker's shard walks a contiguous slice of the plan, so its
+//! unit state is dense in memory.
+//!
+//! Batch sizes adapt to the universe: a toy universe keeps the small
+//! batches that bound latency, a paper-scale universe uses batches up
+//! to 16× larger to amortize channel overhead, with channel depth
+//! scaled down to bound in-flight memory. Drained batch buffers are
+//! recycled back to the router over a return channel instead of being
+//! reallocated per send.
+//!
 //! ## Sentinel broadcast protocol
 //!
 //! The feed sentinel is inherently sequential — it watches the *global*
@@ -30,6 +47,15 @@
 //! `observe`/`skip_to` call sequence it would in the sequential
 //! [`PassiveDetector::detect_with_sentinel`] — timelines and the
 //! reported quarantined set are identical, for any worker count.
+//!
+//! ## Worker failure
+//!
+//! A worker that panics mid-run is a *typed* failure, not a router
+//! panic: the router notices the closed channel (or the recorded panic
+//! at join), stops routing, drains the remaining workers, and
+//! [`try_detect_parallel`] returns [`WorkerPanic`] naming the dead
+//! worker. The panicking wrappers ([`detect_parallel`] and friends)
+//! propagate that same message.
 
 use crate::config::{ConfigError, DetectorConfig};
 use crate::detector::UnitReport;
@@ -39,16 +65,132 @@ use crate::model::LearnedModel;
 use crate::pipeline::{build_routing, DetectionReport, PassiveDetector};
 use crate::sentinel::{FeedSentinel, SentinelConfig};
 use outage_obs::span;
-use outage_types::{Interval, IntervalSet, Observation, Prefix, UnixTime};
+use outage_types::{Interval, IntervalSet, Observation, UnixTime};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::time::Instant;
 
-/// Observations per routed batch; bounds channel memory while amortizing
-/// send overhead.
-const BATCH: usize = 1_024;
-/// Maximum in-flight batches per worker.
-const CHANNEL_DEPTH: usize = 64;
+/// Smallest observation batch (toy universes; bounds latency).
+const MIN_BATCH: usize = 1_024;
+/// Largest observation batch (paper scale; amortizes send overhead).
+const MAX_BATCH: usize = 16_384;
+/// In-flight budget per worker channel, in batch-entry bytes: depth is
+/// derived from the batch size so bigger batches mean fewer in flight.
+const CHANNEL_BYTES: usize = 1 << 20;
+
+/// Observations per routed batch, adapted to the universe size: roughly
+/// a quarter of the unit count, clamped to `[MIN_BATCH, MAX_BATCH]`.
+fn batch_capacity(n_units: usize) -> usize {
+    (n_units / 4)
+        .next_power_of_two()
+        .clamp(MIN_BATCH, MAX_BATCH)
+}
+
+/// Maximum in-flight batches per worker for a given batch capacity.
+fn channel_depth(batch: usize) -> usize {
+    (CHANNEL_BYTES / (batch * size_of::<(u32, UnixTime)>())).clamp(4, 64)
+}
+
+/// Contiguous shard-affine assignment of `n_units` units to `workers`
+/// workers: worker `w` owns the closed range [`Self::range`]`(w)`, the
+/// first `n_units % workers` workers taking one extra unit. The owning
+/// worker and the unit's index within its shard are both closed-form —
+/// no lookup tables on the routing hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPartition {
+    workers: usize,
+    /// Units per shard, before remainder distribution.
+    base: usize,
+    /// Shards that take `base + 1` units.
+    rem: usize,
+    /// First unit owned by a `base`-sized shard.
+    cut: usize,
+}
+
+impl ShardPartition {
+    /// Partition `n_units` units across `workers` (≥ 1) workers.
+    pub fn new(n_units: usize, workers: usize) -> ShardPartition {
+        let workers = workers.max(1);
+        let base = n_units / workers;
+        let rem = n_units % workers;
+        ShardPartition {
+            workers,
+            base,
+            rem,
+            cut: rem * (base + 1),
+        }
+    }
+
+    /// Number of workers partitioned over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The contiguous unit range worker `w` owns (possibly empty).
+    pub fn range(&self, w: usize) -> std::ops::Range<usize> {
+        let start = if w < self.rem {
+            w * (self.base + 1)
+        } else {
+            self.cut + (w - self.rem) * self.base
+        };
+        let len = if w < self.rem {
+            self.base + 1
+        } else {
+            self.base
+        };
+        start..start + len
+    }
+
+    /// The worker owning global unit `g`.
+    #[inline]
+    pub fn worker_of(&self, g: usize) -> usize {
+        if g < self.cut {
+            g / (self.base + 1)
+        } else {
+            self.rem + (g - self.cut) / self.base
+        }
+    }
+
+    /// `(worker, local index within its shard)` for global unit `g`.
+    #[inline]
+    pub fn locate(&self, g: usize) -> (usize, u32) {
+        let w = self.worker_of(g);
+        (w, (g - self.range(w).start) as u32)
+    }
+}
+
+/// A detection worker thread died mid-run. Returned by the
+/// [`try_detect_parallel`] family after the remaining workers were
+/// drained and joined — the run does not hang and no other worker is
+/// left mid-batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the worker whose thread panicked.
+    pub worker: usize,
+    /// The panic payload, when it carried a message.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "detection worker {} panicked: {}",
+            self.worker, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// In-band message to a worker: data, or a quarantine-close marker.
 #[derive(Debug)]
@@ -63,6 +205,9 @@ enum Msg {
 /// planning stay sequential here (see
 /// [`PassiveDetector::learn_histories_parallel`] for the sharded history
 /// pass); only per-unit streaming detection is parallelized.
+///
+/// Panics if a worker thread panics; use [`try_detect_parallel`] to
+/// handle that as a typed error instead.
 pub fn detect_parallel<H, I>(
     detector: &PassiveDetector,
     histories: &H,
@@ -74,7 +219,34 @@ where
     H: HistorySource + ?Sized,
     I: IntoIterator<Item = Observation>,
 {
-    detect_parallel_inner(detector, histories, observations, window, workers, None)
+    match try_detect_parallel(detector, histories, observations, window, workers) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`detect_parallel`] returning a typed [`WorkerPanic`] instead of
+/// panicking when a worker thread dies.
+pub fn try_detect_parallel<H, I>(
+    detector: &PassiveDetector,
+    histories: &H,
+    observations: I,
+    window: Interval,
+    workers: usize,
+) -> Result<DetectionReport, WorkerPanic>
+where
+    H: HistorySource + ?Sized,
+    I: IntoIterator<Item = Observation>,
+{
+    detect_parallel_inner(
+        detector,
+        histories,
+        observations,
+        window,
+        workers,
+        None,
+        None,
+    )
 }
 
 /// [`detect_parallel`] warm-started from a checkpointed model: units are
@@ -91,7 +263,10 @@ pub fn detect_parallel_from_model<I>(
 where
     I: IntoIterator<Item = Observation>,
 {
-    detect_parallel_inner(detector, model, observations, window, workers, None)
+    match detect_parallel_inner(detector, model, observations, window, workers, None, None) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// [`detect_parallel`] guarded by a feed sentinel: the router thread
@@ -112,16 +287,21 @@ where
     I: IntoIterator<Item = Observation>,
 {
     sentinel.validate()?;
-    Ok(detect_parallel_inner(
+    match detect_parallel_inner(
         detector,
         histories,
         observations,
         window,
         workers,
         Some(sentinel),
-    ))
+        None,
+    ) {
+        Ok(report) => Ok(report),
+        Err(e) => panic!("{e}"),
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn detect_parallel_inner<H, I>(
     detector: &PassiveDetector,
     histories: &H,
@@ -129,7 +309,10 @@ fn detect_parallel_inner<H, I>(
     window: Interval,
     workers: usize,
     sentinel_cfg: Option<&SentinelConfig>,
-) -> DetectionReport
+    // Test hook: make this worker panic on its first message, to
+    // exercise the drain path end to end.
+    inject_fault: Option<usize>,
+) -> Result<DetectionReport, WorkerPanic>
 where
     H: HistorySource + ?Sized,
     I: IntoIterator<Item = Observation>,
@@ -138,35 +321,26 @@ where
     let plan = detector.plan_units(histories);
     let config: &DetectorConfig = detector.config();
 
-    // Assign units round-robin to workers; remember each unit's home.
+    // Shard-affine assignment: worker w owns the contiguous unit range
+    // partition.range(w); ownership and local index are closed-form.
     let n_units = plan.units.len();
-    let unit_worker: Vec<usize> = (0..n_units).map(|i| i % workers).collect();
-    let mut local_index = vec![0u32; n_units];
-    let mut per_worker_units: Vec<Vec<usize>> = vec![Vec::new(); workers];
-    for (global, &w) in unit_worker.iter().enumerate() {
-        local_index[global] = per_worker_units[w].len() as u32;
-        per_worker_units[w].push(global);
-    }
+    let partition = ShardPartition::new(n_units, workers);
+    let batch_cap = batch_capacity(n_units);
+    let depth = channel_depth(batch_cap);
 
     // Per-packet routing: member block → dense id → unit (one cheap
     // hash probe per observation, no SipHash).
     let (route, unit_of_id) = build_routing(&plan);
-    let mut block_to_unit: HashMap<Prefix, usize> = HashMap::new();
-    for (i, u) in plan.units.iter().enumerate() {
-        for m in &u.members {
-            block_to_unit.insert(*m, i);
-        }
-    }
 
     // Build each worker's engine shard up front (on the main thread:
     // cheap). A shard has no routing table and no gate — the router
     // owns both.
-    let mut shards: Vec<DetectionEngine> = per_worker_units
-        .iter()
-        .map(|unit_ids| DetectionEngine::for_units(config, &plan, unit_ids, histories, window))
+    let mut shards: Vec<DetectionEngine> = (0..workers)
+        .map(|w| DetectionEngine::for_units(config, &plan, partition.range(w), histories, window))
         .collect();
 
     let reports: Mutex<Vec<Option<UnitReport>>> = Mutex::new((0..n_units).map(|_| None).collect());
+    let failures: Mutex<Vec<WorkerPanic>> = Mutex::new(Vec::new());
     let mut strays = 0u64;
 
     // Router instruments: all pre-resolved, so the hot loop pays one
@@ -183,131 +357,195 @@ where
     let mut gate = sentinel_cfg
         .map(|cfg| QuarantineGate::from_sentinel(FeedSentinel::new(*cfg, window.start)));
 
+    // Drained batch buffers flow back to the router through this pool
+    // and are reused instead of reallocated per send. Total live
+    // buffers are bounded by what fits in the channels, so the pool
+    // never grows past workers × depth.
+    let recycle_pool: Mutex<Vec<Vec<(u32, UnixTime)>>> = Mutex::new(Vec::new());
+
     std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(workers);
         for (w, shard) in shards.drain(..).enumerate() {
-            let (tx, rx) = crossbeam::channel::bounded::<Msg>(CHANNEL_DEPTH);
+            let (tx, rx) = crossbeam::channel::bounded::<Msg>(depth);
             senders.push(tx);
-            let unit_ids = per_worker_units[w].clone();
+            let range = partition.range(w);
             let reports = &reports;
+            let failures = &failures;
+            let recycle = &recycle_pool;
             let w_label = w.to_string();
             let busy =
                 registry.float_counter("po_worker_busy_seconds_total", &[("worker", &w_label)]);
             let idle =
                 registry.float_counter("po_worker_idle_seconds_total", &[("worker", &w_label)]);
-            let depth = queue_depth.clone();
+            let depth_gauge = queue_depth.clone();
             scope.spawn(move || {
-                let mut shard = shard;
-                loop {
-                    let wait = Instant::now();
-                    let Ok(msg) = rx.recv() else {
+                // The whole worker body runs under catch_unwind: a panic
+                // drops `rx` (closing the channel so the router stops
+                // feeding this worker) and is recorded as a typed
+                // failure instead of tearing down the process.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut shard = shard;
+                    let mut first = true;
+                    loop {
+                        let wait = Instant::now();
+                        let Ok(msg) = rx.recv() else {
+                            idle.add(wait.elapsed().as_secs_f64());
+                            break;
+                        };
+                        depth_gauge.add(-1.0);
                         idle.add(wait.elapsed().as_secs_f64());
-                        break;
-                    };
-                    depth.add(-1.0);
-                    idle.add(wait.elapsed().as_secs_f64());
-                    let work = Instant::now();
-                    match msg {
-                        Msg::Batch(batch) => {
-                            for (local, t) in batch {
-                                shard.observe_unit(local, t);
-                            }
+                        if first && inject_fault == Some(w) {
+                            panic!("injected worker fault (test)");
                         }
-                        Msg::SkipTo(t) => shard.skip_to(t),
+                        first = false;
+                        let work = Instant::now();
+                        match msg {
+                            Msg::Batch(mut batch) => {
+                                for &(local, t) in &batch {
+                                    shard.observe_unit(local, t);
+                                }
+                                batch.clear();
+                                recycle.lock().push(batch);
+                            }
+                            Msg::SkipTo(t) => shard.skip_to(t),
+                        }
+                        busy.add(work.elapsed().as_secs_f64());
+                    }
+                    let work = Instant::now();
+                    let mut guard = reports.lock();
+                    for (local, report) in shard.finish_shard().into_iter().enumerate() {
+                        guard[range.start + local] = Some(report);
                     }
                     busy.add(work.elapsed().as_secs_f64());
+                }));
+                if let Err(payload) = outcome {
+                    failures.lock().push(WorkerPanic {
+                        worker: w,
+                        message: panic_message(payload),
+                    });
                 }
-                let work = Instant::now();
-                let mut guard = reports.lock();
-                for (local, report) in shard.finish_shard().into_iter().enumerate() {
-                    guard[unit_ids[local]] = Some(report);
-                }
-                busy.add(work.elapsed().as_secs_f64());
             });
         }
 
-        let mut buffers: Vec<Vec<(u32, UnixTime)>> =
-            (0..workers).map(|_| Vec::with_capacity(BATCH)).collect();
+        let mut buffers: Vec<Vec<(u32, UnixTime)>> = (0..workers)
+            .map(|_| Vec::with_capacity(batch_cap))
+            .collect();
+        let fresh_buffer = || {
+            recycle_pool
+                .lock()
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(batch_cap))
+        };
         // Flush pending batches, then broadcast a marker: in-band order
         // guarantees each detector sees its pre-quarantine arrivals
-        // before the skip, exactly as the sequential loop does.
+        // before the skip, exactly as the sequential loop does. Returns
+        // the index of a dead worker on channel failure.
         let flush_and_skip = |buffers: &mut Vec<Vec<(u32, UnixTime)>>,
                               senders: &[crossbeam::channel::Sender<Msg>],
-                              t: UnixTime| {
+                              t: UnixTime|
+         -> Result<(), usize> {
             for (w, buf) in buffers.iter_mut().enumerate() {
                 if !buf.is_empty() {
-                    let full = std::mem::replace(buf, Vec::with_capacity(BATCH));
+                    let full = std::mem::replace(buf, fresh_buffer());
                     batches_total.inc();
                     routed_total.add(full.len() as u64);
                     queue_depth.add(1.0);
-                    senders[w].send(Msg::Batch(full)).expect("worker alive");
+                    senders[w].send(Msg::Batch(full)).map_err(|_| w)?;
                 }
                 queue_depth.add(1.0);
-                senders[w].send(Msg::SkipTo(t)).expect("worker alive");
+                senders[w].send(Msg::SkipTo(t)).map_err(|_| w)?;
             }
             skipto_total.inc();
+            Ok(())
         };
 
-        // Route observations.
-        for obs in observations {
-            if !window.contains(obs.time) {
-                continue;
-            }
-            if let Some(g) = &mut gate {
-                g.observe(obs.time);
-                g.open_if_flagged(obs.time);
-                if let Some(to) = g.close_if_recovered(obs.time) {
-                    flush_and_skip(&mut buffers, &senders, to);
-                }
-                if g.is_open() {
-                    g.swallow(); // sensor-fault arrivals are not evidence
+        // Route observations. A send to a dead worker aborts routing;
+        // the remaining workers are drained below and the recorded
+        // panic surfaces as the run's error.
+        let routed: Result<(), usize> = 'route: {
+            for obs in observations {
+                if !window.contains(obs.time) {
                     continue;
                 }
-            }
-            match route.get(&obs.block) {
-                Some(id) => {
-                    let g = unit_of_id[id as usize] as usize;
-                    let w = unit_worker[g];
-                    buffers[w].push((local_index[g], obs.time));
-                    if buffers[w].len() >= BATCH {
-                        let full = std::mem::replace(&mut buffers[w], Vec::with_capacity(BATCH));
-                        batches_total.inc();
-                        routed_total.add(BATCH as u64);
-                        // Router adds before the send, workers subtract
-                        // after the recv, so the gauge is the number of
-                        // messages in flight across all channels.
-                        queue_depth.add(1.0);
-                        senders[w].send(Msg::Batch(full)).expect("worker alive");
+                if let Some(g) = &mut gate {
+                    g.observe(obs.time);
+                    g.open_if_flagged(obs.time);
+                    if let Some(to) = g.close_if_recovered(obs.time) {
+                        if let Err(w) = flush_and_skip(&mut buffers, &senders, to) {
+                            break 'route Err(w);
+                        }
+                    }
+                    if g.is_open() {
+                        g.swallow(); // sensor-fault arrivals are not evidence
+                        continue;
                     }
                 }
-                None => strays += 1,
+                match route.get(&obs.block) {
+                    Some(id) => {
+                        let g = unit_of_id[id as usize] as usize;
+                        let (w, local) = partition.locate(g);
+                        buffers[w].push((local, obs.time));
+                        if buffers[w].len() >= batch_cap {
+                            let full = std::mem::replace(&mut buffers[w], fresh_buffer());
+                            batches_total.inc();
+                            routed_total.add(full.len() as u64);
+                            // Router adds before the send, workers
+                            // subtract after the recv, so the gauge is
+                            // the number of messages in flight across
+                            // all channels.
+                            queue_depth.add(1.0);
+                            if senders[w].send(Msg::Batch(full)).is_err() {
+                                break 'route Err(w);
+                            }
+                        }
+                    }
+                    None => strays += 1,
+                }
             }
-        }
 
-        // Stream end: the feed may die faulted, or the fault may only
-        // become visible once trailing silence closes sentinel buckets —
-        // the same gate settlement the sequential engine performs.
-        if let Some(g) = &mut gate {
-            g.advance_to(window.end);
-            g.open_if_flagged(window.end);
-            if let Some(to) = g.close_if_recovered(window.end) {
-                flush_and_skip(&mut buffers, &senders, to);
+            // Stream end: the feed may die faulted, or the fault may
+            // only become visible once trailing silence closes sentinel
+            // buckets — the same gate settlement the sequential engine
+            // performs.
+            if let Some(g) = &mut gate {
+                g.advance_to(window.end);
+                g.open_if_flagged(window.end);
+                if let Some(to) = g.close_if_recovered(window.end) {
+                    if let Err(w) = flush_and_skip(&mut buffers, &senders, to) {
+                        break 'route Err(w);
+                    }
+                }
+                if let Some(to) = g.force_close(window.end) {
+                    if let Err(w) = flush_and_skip(&mut buffers, &senders, to) {
+                        break 'route Err(w);
+                    }
+                }
             }
-            if let Some(to) = g.force_close(window.end) {
-                flush_and_skip(&mut buffers, &senders, to);
+            for (w, buf) in buffers.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    let full = std::mem::take(buf);
+                    batches_total.inc();
+                    routed_total.add(full.len() as u64);
+                    queue_depth.add(1.0);
+                    if senders[w].send(Msg::Batch(full)).is_err() {
+                        break 'route Err(w);
+                    }
+                }
             }
-        }
-        for (w, buf) in buffers.into_iter().enumerate() {
-            if !buf.is_empty() {
-                batches_total.inc();
-                routed_total.add(buf.len() as u64);
-                queue_depth.add(1.0);
-                senders[w].send(Msg::Batch(buf)).expect("worker alive");
-            }
-        }
-        drop(senders); // close channels; workers finish and publish
+            Ok(())
+        };
+        let _ = routed; // the authoritative failure record is `failures`
+        drop(senders); // close channels; workers drain, finish, publish
     });
     queue_depth.set(0.0); // drained: nothing in flight after the join
+
+    // All workers are joined. Any recorded panic is the run's outcome —
+    // the other workers were drained, so nothing is left mid-batch.
+    let mut failed = std::mem::take(&mut *failures.lock());
+    if !failed.is_empty() {
+        failed.sort_by_key(|f| f.worker);
+        return Err(failed.swap_remove(0));
+    }
 
     let units: Vec<UnitReport> = reports
         .into_inner()
@@ -329,7 +567,8 @@ where
         plan.uncovered,
         strays,
         quarantined,
-        block_to_unit,
+        route,
+        unit_of_id,
     );
     detect_span.field("strays", report.strays);
     drop(detect_span);
@@ -341,13 +580,13 @@ where
         )
         .observe(t0.elapsed().as_secs_f64());
     detector.export_run_metrics(&report, sentinel.as_ref());
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use outage_types::UnixTime;
+    use outage_types::{Prefix, UnixTime};
 
     fn make_observations() -> (Vec<Observation>, Interval) {
         let window = Interval::from_secs(0, 86_400);
@@ -382,6 +621,38 @@ mod tests {
         }
         obs.sort();
         (obs, window)
+    }
+
+    #[test]
+    fn shard_partition_is_contiguous_and_balanced() {
+        for (n, w) in [(0, 4), (1, 4), (12, 5), (13, 4), (336, 8), (100_000, 7)] {
+            let p = ShardPartition::new(n, w);
+            let mut next = 0usize;
+            for worker in 0..w {
+                let r = p.range(worker);
+                assert_eq!(r.start, next, "ranges must tile [0, n)");
+                next = r.end;
+                for g in r.clone() {
+                    assert_eq!(p.worker_of(g), worker);
+                    assert_eq!(p.locate(g), (worker, (g - r.start) as u32));
+                }
+                let len = r.end - r.start;
+                assert!(len == n / w || len == n / w + 1, "balanced: {len}");
+            }
+            assert_eq!(next, n, "every unit owned exactly once");
+        }
+    }
+
+    #[test]
+    fn batch_capacity_scales_with_universe() {
+        assert_eq!(batch_capacity(12), MIN_BATCH);
+        assert_eq!(batch_capacity(336), MIN_BATCH);
+        assert_eq!(batch_capacity(1_000_000), MAX_BATCH);
+        let mid = batch_capacity(20_000);
+        assert!(mid > MIN_BATCH && mid <= MAX_BATCH);
+        // Depth shrinks as batches grow: bounded in-flight memory.
+        assert!(channel_depth(MAX_BATCH) < channel_depth(MIN_BATCH));
+        assert!(channel_depth(MAX_BATCH) >= 4);
     }
 
     #[test]
@@ -460,6 +731,42 @@ mod tests {
         let histories = det.learn_histories(obs.iter().copied(), window);
         let par = detect_parallel(&det, &histories, obs.iter().copied(), window, 64);
         assert_eq!(par.covered_blocks(), 12);
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error_that_names_the_worker() {
+        let (obs, window) = make_observations();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        // Inject a panic into worker 1 of 3; the router must drain the
+        // other two and return a typed error, not hang or panic.
+        let err = detect_parallel_inner(
+            &det,
+            &histories,
+            obs.iter().copied(),
+            window,
+            3,
+            None,
+            Some(1),
+        )
+        .unwrap_err();
+        assert_eq!(err.worker, 1);
+        assert!(
+            err.message.contains("injected worker fault"),
+            "payload surfaced: {}",
+            err.message
+        );
+        let shown = err.to_string();
+        assert!(shown.contains("worker 1"), "names the worker: {shown}");
+    }
+
+    #[test]
+    fn try_detect_parallel_succeeds_on_healthy_workers() {
+        let (obs, window) = make_observations();
+        let det = PassiveDetector::new(DetectorConfig::default());
+        let histories = det.learn_histories(obs.iter().copied(), window);
+        let report = try_detect_parallel(&det, &histories, obs.iter().copied(), window, 4).unwrap();
+        assert_eq!(report.covered_blocks(), 12);
     }
 
     #[test]

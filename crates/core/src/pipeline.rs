@@ -45,13 +45,18 @@ pub struct DetectionReport {
     /// faulted: no verdicts were formed there, and evaluation should
     /// exclude them. Empty unless the run used a sentinel.
     pub quarantined: IntervalSet,
-    block_to_unit: HashMap<Prefix, usize>,
+    /// Member block → dense id (the detection pass's routing table,
+    /// kept so per-block queries stay one cheap probe).
+    route: BlockIndex,
+    /// Dense id → unit index, parallel to `route`.
+    unit_of_id: Vec<u32>,
 }
 
 impl DetectionReport {
     /// Assemble a report from its parts (used by the parallel driver).
     /// `quarantined` carries the sentinel's verdict-free spans — empty
     /// for runs without a sentinel, never silently dropped.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         window: Interval,
         units: Vec<UnitReport>,
@@ -59,7 +64,8 @@ impl DetectionReport {
         uncovered: Vec<Prefix>,
         strays: u64,
         quarantined: IntervalSet,
-        block_to_unit: HashMap<Prefix, usize>,
+        route: BlockIndex,
+        unit_of_id: Vec<u32>,
     ) -> DetectionReport {
         DetectionReport {
             window,
@@ -68,13 +74,16 @@ impl DetectionReport {
             uncovered,
             strays,
             quarantined,
-            block_to_unit,
+            route,
+            unit_of_id,
         }
     }
 
     /// The unit index covering a block, if covered.
     pub fn unit_of(&self, block: &Prefix) -> Option<usize> {
-        self.block_to_unit.get(block).copied()
+        self.route
+            .get(block)
+            .map(|id| self.unit_of_id[id as usize] as usize)
     }
 
     /// The judged timeline that applies to a block (possibly at an
@@ -93,7 +102,7 @@ impl DetectionReport {
 
     /// Blocks covered, at any spatial precision.
     pub fn covered_blocks(&self) -> usize {
-        self.block_to_unit.len()
+        self.unit_of_id.len()
     }
 
     /// All outage events across units, in deterministic order: stable
@@ -172,18 +181,19 @@ impl DetectionReport {
     }
 
     /// Blocks whose unit judged at least one outage of `min_secs` or
-    /// longer.
+    /// longer, in dense-id (routing) order.
     pub fn blocks_with_outage(&self, min_secs: u64) -> Vec<Prefix> {
-        self.block_to_unit
+        self.unit_of_id
             .iter()
-            .filter(|(_, &i)| {
-                !self.units[i]
+            .enumerate()
+            .filter(|&(_, &u)| {
+                !self.units[u as usize]
                     .timeline
                     .down
                     .filter_min_duration(min_secs)
                     .is_empty()
             })
-            .map(|(p, _)| *p)
+            .map(|(id, _)| self.route.prefix(id as u32))
             .collect()
     }
 }

@@ -454,24 +454,17 @@ impl StreamingMonitor {
         //    still-quarantined tail, finishes its units, and keeps its
         //    gate for the next epoch.
         if self.current_epoch.is_some() {
-            let (reports, block_to_unit) = self.engine.rotate_out(epoch_end);
+            let (reports, route, unit_of_id) = self.engine.rotate_out(epoch_end);
             for r in &reports {
                 self.completed.extend(r.events());
             }
-            // Record per-block timelines.
-            let mut by_unit: HashMap<usize, Vec<Prefix>> = HashMap::new();
-            for (b, i) in &block_to_unit {
-                by_unit.entry(*i).or_default().push(*b);
-            }
-            for (i, report) in reports.iter().enumerate() {
-                if let Some(blocks) = by_unit.get(&i) {
-                    for b in blocks {
-                        self.timelines
-                            .entry(*b)
-                            .or_default()
-                            .push(report.timeline.clone());
-                    }
-                }
+            // Record per-block timelines: each interned block id maps to
+            // its owning unit's report.
+            for (id, &u) in unit_of_id.iter().enumerate() {
+                self.timelines
+                    .entry(route.prefix(id as u32))
+                    .or_default()
+                    .push(reports[u as usize].timeline.clone());
             }
         }
 

@@ -16,7 +16,8 @@
 
 use outage_core::{
     detect_parallel, detect_parallel_with_sentinel, DetectionEngine, DetectorConfig, EngineInput,
-    FeedSentinel, LearnedModel, PassiveDetector, QuarantineGate, SentinelConfig, StreamingMonitor,
+    FeedSentinel, LearnedModel, PassiveDetector, QuarantineGate, SentinelConfig, ShardPartition,
+    StreamingMonitor,
 };
 use outage_netsim::FaultPlan;
 use outage_obs::Obs;
@@ -251,6 +252,43 @@ proptest! {
                 &par, &seq,
                 "semantic metrics diverge at {} workers", workers
             );
+        }
+    }
+
+    /// The shard-affine partition underpinning the parallel router: the
+    /// per-worker ranges tile `[0, n)` contiguously in order, sizes are
+    /// balanced to within one unit, and the closed-form `worker_of` /
+    /// `locate` agree with the ranges for every unit. Equivalence of
+    /// the parallel adapter (above) rests on this: each unit routed to
+    /// exactly one worker, at the local index its shard was built with.
+    #[test]
+    fn shard_partition_tiles_and_locates(
+        n_units in 0usize..5_000,
+        workers in 1usize..64,
+    ) {
+        let p = ShardPartition::new(n_units, workers);
+        prop_assert_eq!(p.workers(), workers);
+        let mut next = 0usize;
+        for w in 0..workers {
+            let r = p.range(w);
+            prop_assert_eq!(r.start, next, "shard {} not contiguous", w);
+            let len = r.end - r.start;
+            prop_assert!(
+                len == n_units / workers || len == n_units / workers + 1,
+                "shard {} unbalanced: {} units", w, len
+            );
+            next = r.end;
+        }
+        prop_assert_eq!(next, n_units, "shards must tile the unit space");
+        // Spot-check the closed forms across the whole space (cheap:
+        // arithmetic only), including both sides of every boundary.
+        for g in 0..n_units {
+            let w = p.worker_of(g);
+            let r = p.range(w);
+            prop_assert!(r.contains(&g), "unit {} outside its shard", g);
+            let (lw, local) = p.locate(g);
+            prop_assert_eq!(lw, w);
+            prop_assert_eq!(local as usize, g - r.start);
         }
     }
 }

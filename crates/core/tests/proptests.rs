@@ -2,7 +2,7 @@
 //! for *any* traffic pattern, not just the scenarios we thought of.
 
 use outage_core::{
-    fuse_timelines, Belief, DetectorConfig, PassiveDetector, UnitDetector, UnitParams,
+    fuse_timelines, Belief, BeliefClamp, DetectorConfig, PassiveDetector, UnitDetector, UnitParams,
 };
 use outage_types::{Interval, IntervalSet, Observation, Prefix, Timeline, UnixTime};
 use proptest::prelude::*;
@@ -103,7 +103,7 @@ proptest! {
         let cfg = DetectorConfig::default();
         let mut b = Belief::new(&cfg);
         for n in counts {
-            let v = b.update_bin(n, 12.0, 0.12);
+            let v = b.update_bin(n, 12.0, 0.12, BeliefClamp::new(&cfg));
             prop_assert!(v >= cfg.belief_floor - 1e-12);
             prop_assert!(v <= cfg.belief_ceiling + 1e-12);
             prop_assert!((Belief::bin_llr(n, 12.0, 0.12)).is_finite());
