@@ -32,6 +32,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "model" {
         return cmd_model(&args[1..]);
     }
+    if cmd == "explain" {
+        return cmd_explain(&args[1..]);
+    }
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "simulate" => cmd_simulate(&flags),
@@ -60,13 +63,15 @@ fn usage() -> String {
      \x20           [--quarantine-out FILE] [--workers N | --streaming]\n\
      \x20           [--metrics-out FILE] [--trace-out FILE]\n\
      \x20           [--model FILE | --model-out FILE]\n\
+     \x20           [--evidence off|full|sampled:N] [--evidence-out FILE]\n\
+     \x20 explain   EVENT-ID (--evidence FILE | --url http://HOST:PORT) [--json]\n\
      \x20 serve     [--preset P | --obs FILE] [--num-as N] [--seed S]\n\
      \x20           [--accel X] [--epoch SECS] [--listen ADDR] [--port-file FILE]\n\
      \x20           [--checkpoint FILE] [--checkpoint-every-rolls N] [--resume]\n\
      \x20           [--events-out FILE] [--metrics-out FILE] [--until SECS]\n\
      \x20           [--sentinel] [--sentinel-bucket SECS] [--fault-plan FILE]\n\
      \x20           [--webhook URL] [--webhook-rate R] [--webhook-burst N]\n\
-     \x20           [--queue-capacity N]\n\
+     \x20           [--queue-capacity N] [--evidence off|full|sampled:N]\n\
      \x20 learn     --obs FILE --model-out FILE [--window SECS] [--workers N]\n\
      \x20 model     inspect FILE | verify FILE | merge A B --out FILE\n\
      \x20 status    METRICS-FILE   (a --metrics-out snapshot)\n\
@@ -85,7 +90,12 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // boolean flags
-        if name == "events" || name == "sentinel" || name == "streaming" || name == "resume" {
+        if name == "events"
+            || name == "sentinel"
+            || name == "streaming"
+            || name == "resume"
+            || name == "json"
+        {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -135,6 +145,16 @@ fn parse_fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>
             FaultPlan::parse(&text).map_err(|e| format!("fault plan {path}: {e}"))
         })
         .transpose()
+}
+
+/// `--evidence TIER` shared by `detect` and `serve`: `off` (default),
+/// `full`, or `sampled:N` (one unit in N, stable across worker counts).
+fn parse_evidence(flags: &HashMap<String, String>) -> Result<outage_core::EvidenceConfig, String> {
+    match flags.get("evidence") {
+        None => Ok(outage_core::EvidenceConfig::Off),
+        Some(v) => outage_core::EvidenceConfig::parse(v)
+            .ok_or_else(|| format!("--evidence {v:?}: expected off, full, or sampled:N")),
+    }
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
@@ -203,6 +223,13 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     let model = flags.get("model").map(|p| read_bytes(p)).transpose()?;
+    let evidence = parse_evidence(flags)?;
+    if evidence.is_off() && flags.contains_key("evidence-out") {
+        return Err(
+            "--evidence-out needs an evidence tier: pass --evidence full or --evidence sampled:N"
+                .to_string(),
+        );
+    }
     let streaming = flags.contains_key("streaming");
     // A streaming run interrupted by SIGINT/SIGTERM drains and still
     // writes its partial outputs instead of dying with nothing.
@@ -218,6 +245,7 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         trace: flags.contains_key("trace-out"),
         model,
         model_out: flags.contains_key("model-out"),
+        evidence,
         cancel: if streaming {
             Some(shutdown_flag())
         } else {
@@ -238,7 +266,36 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(mpath) = flags.get("model-out") {
         write_atomic(mpath, result.model.as_deref().unwrap_or(&[]))?;
     }
+    if let Some(epath) = flags.get("evidence-out") {
+        write_atomic(epath, result.evidence.as_deref().unwrap_or("").as_bytes())?;
+    }
     eprintln!("{}", result.summary);
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: passive-outage explain EVENT-ID \
+                         (--evidence FILE | --url http://HOST:PORT) [--json]";
+    let [id, rest @ ..] = args else {
+        return Err(USAGE.to_string());
+    };
+    if id.starts_with("--") {
+        return Err(format!("the event id comes first\n{USAGE}"));
+    }
+    let flags = parse_flags(rest)?;
+    let json = flags.contains_key("json");
+    let rendered = match (flags.get("evidence"), flags.get("url")) {
+        (Some(_), Some(_)) => {
+            return Err(format!(
+                "--evidence and --url are mutually exclusive sources\n{USAGE}"
+            ))
+        }
+        (Some(path), None) => commands::explain(&read(path)?, id, json),
+        (None, Some(url)) => commands::explain_live(url, id, json),
+        (None, None) => return Err(USAGE.to_string()),
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{rendered}");
     Ok(())
 }
 
@@ -280,6 +337,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         webhook_rate: get_f64(flags, "webhook-rate", 1.0)?,
         webhook_burst: get_u64(flags, "webhook-burst", 5)? as u32,
         queue_capacity: get_u64(flags, "queue-capacity", 1_024)? as usize,
+        evidence: parse_evidence(flags)?,
         until: flags
             .get("until")
             .map(|v| v.parse::<u64>().map_err(|e| format!("--until {v:?}: {e}")))

@@ -7,8 +7,8 @@
 use super::{detection_window, resolve_workers, CommandError};
 use crate::format;
 use outage_core::{
-    detect_parallel, detect_parallel_with_sentinel, DetectorConfig, LearnedModel, PassiveDetector,
-    SentinelConfig, StreamingMonitor,
+    detect_parallel, detect_parallel_with_sentinel, DetectorConfig, EventEvidence, EvidenceConfig,
+    LearnedModel, PassiveDetector, SentinelConfig, StreamingMonitor,
 };
 use outage_eval::summarize;
 use outage_netsim::FaultPlan;
@@ -31,6 +31,9 @@ pub struct DetectOutput {
     /// Encoded model checkpoint of the learned histories (only when
     /// [`DetectOptions::model_out`] was set).
     pub model: Option<Vec<u8>>,
+    /// Evidence document — one JSON record per line, `(start, prefix)`
+    /// order — when the evidence tier was on. What `explain` reads.
+    pub evidence: Option<String>,
     /// Human summary.
     pub summary: String,
 }
@@ -65,6 +68,10 @@ pub struct DetectOptions {
     /// rejected — together with `model`: a warm-started run has nothing
     /// newly learned to save.
     pub model_out: bool,
+    /// Evidence capture tier: `off` (default) keeps nothing,
+    /// `sampled:N` enrolls ~1/N of units by stable prefix hash, `full`
+    /// enrolls everything.
+    pub evidence: EvidenceConfig,
     /// Cooperative cancellation for the streaming path: when this flag
     /// flips mid-replay (SIGINT/SIGTERM in the binary), the run stops
     /// feeding, drains the monitor at the last replayed instant, and
@@ -180,7 +187,11 @@ pub fn detect_with(
     } else {
         Obs::new()
     };
-    let detector = PassiveDetector::try_new(DetectorConfig::default())?.with_obs(obs.clone());
+    let config = DetectorConfig {
+        evidence: opts.evidence,
+        ..DetectorConfig::default()
+    };
+    let detector = PassiveDetector::try_new(config)?.with_obs(obs.clone());
 
     if opts.streaming {
         return detect_streaming(&observations, window, opts, &obs, &detector, &fault_note);
@@ -232,6 +243,8 @@ pub fn detect_with(
     // Deterministic by construction: DetectionReport::events sorts at
     // assembly time.
     let events = report.events();
+    let evidence_doc = render_evidence(report.evidence().into_iter(), opts.evidence);
+    let evidence_note = evidence_note(&evidence_doc, report.evidence_enrolled(), opts.evidence);
 
     let quarantine_note = if opts.sentinel.is_some() {
         format!(
@@ -245,7 +258,7 @@ pub fn detect_with(
     let d = report.diagnostics();
     let summary = format!(
         "window {}: {} observations{}{}, {} blocks covered ({} uncovered), {} outage events \
-         ({} via bins, {} via exact-timestamp gaps){}, {} workers\n{}",
+         ({} via bins, {} via exact-timestamp gaps){}{}, {} workers\n{}",
         window,
         observations.len(),
         fault_note,
@@ -256,6 +269,7 @@ pub fn detect_with(
         d.bin_detections,
         d.gap_detections,
         quarantine_note,
+        evidence_note,
         workers,
         summarize(&events, 5),
     );
@@ -265,8 +279,34 @@ pub fn detect_with(
         metrics: obs.registry.render_prometheus(),
         trace: obs.tracer.as_ref().map(|t| t.to_jsonl()),
         model: model_bytes,
+        evidence: evidence_doc,
         summary,
     })
+}
+
+/// Render evidence records as a JSONL document, one record per line.
+/// `None` when the tier is off (distinguishing "tier off" from "tier on,
+/// zero events": the latter yields an empty document).
+fn render_evidence<'a, I>(records: I, tier: EvidenceConfig) -> Option<String>
+where
+    I: Iterator<Item = &'a EventEvidence>,
+{
+    if tier.is_off() {
+        return None;
+    }
+    Some(records.map(|e| format!("{}\n", e.to_json())).collect())
+}
+
+/// The summary's evidence clause: silent when the tier is off.
+fn evidence_note(doc: &Option<String>, enrolled: usize, tier: EvidenceConfig) -> String {
+    match doc {
+        None => String::new(),
+        Some(d) => format!(
+            ", evidence {tier}: {} units enrolled, {} records",
+            enrolled,
+            d.lines().count()
+        ),
+    }
 }
 
 /// The streaming execution mode: warm-start a [`StreamingMonitor`]
@@ -331,6 +371,7 @@ fn detect_streaming(
         replayed += chunk.len();
     }
     let covered = monitor.covered_blocks();
+    let enrolled = monitor.evidence_enrolled();
     let drain_end = if interrupted {
         replayed
             .checked_sub(1)
@@ -340,7 +381,9 @@ fn detect_streaming(
     } else {
         window.end
     };
-    let (events, quarantined) = monitor.finish_with_quarantine(drain_end);
+    let (events, quarantined, evidence) = monitor.finish_with_evidence(drain_end);
+    let evidence_doc = render_evidence(evidence.iter(), opts.evidence);
+    let ev_note = evidence_note(&evidence_doc, enrolled, opts.evidence);
 
     let quarantine_note = if opts.sentinel.is_some() {
         format!(
@@ -361,7 +404,7 @@ fn detect_streaming(
         String::new()
     };
     let summary = format!(
-        "window {}: {} observations{}{}{}, {} blocks covered, {} outage events{}, streaming\n{}",
+        "window {}: {} observations{}{}{}, {} blocks covered, {} outage events{}{}, streaming\n{}",
         window,
         replayed,
         fault_note,
@@ -370,6 +413,7 @@ fn detect_streaming(
         covered,
         events.len(),
         quarantine_note,
+        ev_note,
         summarize(&events, 5),
     );
     Ok(DetectOutput {
@@ -378,6 +422,7 @@ fn detect_streaming(
         metrics: obs.registry.render_prometheus(),
         trace: obs.tracer.as_ref().map(|t| t.to_jsonl()),
         model: model_bytes,
+        evidence: evidence_doc,
         summary,
     })
 }

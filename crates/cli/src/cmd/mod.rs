@@ -6,6 +6,7 @@
 mod coverage;
 mod detect;
 mod eval;
+mod explain;
 mod learn;
 mod model;
 mod serve;
@@ -16,6 +17,7 @@ mod telescope;
 pub use self::coverage::coverage;
 pub use self::detect::{detect, detect_with, DetectOptions, DetectOutput};
 pub use self::eval::eval;
+pub use self::explain::{explain, explain_live};
 pub use self::learn::{learn, LearnOutput};
 pub use self::model::{model_inspect, model_merge, model_verify};
 pub use self::serve::{serve, ServeOptions, ServeOutcomeSummary, ServeSource};

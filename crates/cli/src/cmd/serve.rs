@@ -15,7 +15,8 @@ use outage_core::service::{
     SourceFault, SourceItem, SupervisorConfig, WebhookTransport,
 };
 use outage_core::{
-    Daemon, DaemonConfig, DetectorConfig, HttpServer, SentinelConfig, ServeView, StreamingMonitor,
+    Daemon, DaemonConfig, DetectorConfig, EvidenceConfig, HttpServer, SentinelConfig, ServeView,
+    StreamingMonitor,
 };
 use outage_netsim::{FaultPlan, ReplayClock};
 use outage_obs::Obs;
@@ -72,6 +73,8 @@ pub struct ServeOptions {
     pub queue_capacity: usize,
     /// Drop observations after this simulated time (bounded runs).
     pub until: Option<u64>,
+    /// Evidence tier: per-event decision provenance for `/events/{id}/explain`.
+    pub evidence: EvidenceConfig,
 }
 
 impl Default for ServeOptions {
@@ -98,6 +101,7 @@ impl Default for ServeOptions {
             webhook_burst: 5,
             queue_capacity: 1_024,
             until: None,
+            evidence: EvidenceConfig::Off,
         }
     }
 }
@@ -215,6 +219,10 @@ impl ServeView for StatusView {
         } else {
             (false, "engine not running".to_string())
         }
+    }
+
+    fn explain_json(&self, id: &str) -> Option<String> {
+        self.shared.explain_json(id)
     }
 }
 
@@ -409,12 +417,27 @@ fn build_monitor(
     opts: &ServeOptions,
     config: &DetectorConfig,
     first_obs: UnixTime,
+    shared: &ServeShared,
 ) -> Result<(StreamingMonitor, Vec<OutageEvent>, Option<UnixTime>), CommandError> {
     if opts.resume {
         let path = opts.checkpoint.as_ref().ok_or_else(|| {
             CommandError("--resume needs --checkpoint to know where to resume from".into())
         })?;
+        // Mirror the save side: resume reads get a span and land in the
+        // same duration histogram, so a slow restore is visible in the
+        // final metrics snapshot rather than just as a late first epoch.
+        let mut sp = outage_obs::span!(shared.obs(), "checkpoint.load");
+        sp.field("path", path.display().to_string());
+        let t0 = std::time::Instant::now();
         let cp = read_serve_checkpoint(path)?;
+        shared
+            .registry()
+            .histogram(
+                "po_serve_checkpoint_seconds",
+                &[("op", "load")],
+                outage_obs::LATENCY_BUCKETS,
+            )
+            .observe(t0.elapsed().as_secs_f64());
         cp.require_fingerprint(config.fingerprint())?;
         if cp.epoch_secs != opts.epoch_secs {
             return Err(CommandError(format!(
@@ -445,14 +468,20 @@ pub fn serve(
     shutdown: &'static AtomicBool,
 ) -> Result<ServeOutcomeSummary, CommandError> {
     let (observations, label) = build_observations(opts)?;
-    let config = DetectorConfig::default();
+    // The evidence tier rides the config but stays out of its
+    // fingerprint, so `--resume` accepts checkpoints from any tier.
+    let config = DetectorConfig {
+        evidence: opts.evidence,
+        ..DetectorConfig::default()
+    };
     let first_obs = observations[0].time;
-    let (mut monitor, prior_events, resume_cursor) = build_monitor(opts, &config, first_obs)?;
+    let shared = ServeShared::new(Obs::new());
+    let (mut monitor, prior_events, resume_cursor) =
+        build_monitor(opts, &config, first_obs, &shared)?;
     if let Some(s) = opts.sentinel {
         monitor = monitor.with_sentinel(s)?;
     }
 
-    let shared = ServeShared::new(Obs::new());
     monitor = monitor.with_obs(shared.obs().clone());
 
     // Replay resumes at the checkpoint cursor: everything before it is

@@ -25,6 +25,8 @@ pub fn status(snapshot_text: &str) -> Result<String, CommandError> {
     status_router(&snap, &mut out);
     status_serve(&snap, &mut out);
     status_alerts(&snap, &mut out);
+    status_bench(&snap, &mut out);
+    status_evidence(&snap, &mut out);
 
     if out.is_empty() {
         return Err(CommandError(
@@ -210,6 +212,48 @@ fn status_alerts(snap: &Snapshot, out: &mut String) {
         sent.unwrap_or(0.0),
         dropped.unwrap_or(0.0)
     ));
+}
+
+fn status_bench(snap: &Snapshot, out: &mut String) {
+    let Some(excess) = snap.value("po_bench_oversubscribed", &[]) else {
+        return;
+    };
+    if excess <= 0.0 {
+        return;
+    }
+    out.push_str("bench\n");
+    out.push_str(&format!(
+        "  oversubscribed  peak worker count exceeded detected CPUs by {excess:.0}; \
+         treat throughput numbers with suspicion\n"
+    ));
+}
+
+/// Decision provenance. Tier-off runs export no `po_evidence_*`
+/// families at all, so their absence gets an explicit hint instead of a
+/// silently missing section — but only when the snapshot holds other
+/// `po_*` sections (an unrelated snapshot still errors out upstream).
+fn status_evidence(snap: &Snapshot, out: &mut String) {
+    let enrolled = snap.value("po_evidence_units_enrolled", &[]);
+    let Some(enrolled) = enrolled else {
+        if !out.is_empty() {
+            out.push_str("evidence\n");
+            out.push_str(
+                "  tier            off (no po_evidence_* families; rerun with \
+                 --evidence full or --evidence sampled:N to capture decision provenance)\n",
+            );
+        }
+        return;
+    };
+    let events = snap.value("po_evidence_events_total", &[]).unwrap_or(0.0);
+    let samples = snap.value("po_evidence_samples_total", &[]).unwrap_or(0.0);
+    out.push_str("evidence\n");
+    out.push_str(&format!("  units enrolled  {enrolled:.0}\n"));
+    out.push_str(&format!(
+        "  records         {events:.0} event(s), {samples:.0} trajectory samples\n"
+    ));
+    if let Some(explains) = snap.value("po_evidence_explains_total", &[]) {
+        out.push_str(&format!("  explains served {explains:.0}\n"));
+    }
 }
 
 fn status_router(snap: &Snapshot, out: &mut String) {

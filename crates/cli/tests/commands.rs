@@ -8,7 +8,7 @@
 use outage_cli::commands::*;
 use outage_cli::format;
 
-use outage_core::SentinelConfig;
+use outage_core::{EvidenceConfig, SentinelConfig};
 use outage_netsim::FaultPlan;
 use outage_obs::parse_prometheus;
 use outage_types::{Interval, IntervalSet};
@@ -296,6 +296,71 @@ fn status_rejects_garbage_and_empty_snapshots() {
     assert!(status("not prometheus {{{").is_err());
     let err = status("other_metric 1\n").unwrap_err();
     assert!(err.to_string().contains("no passive-outage"), "{err}");
+}
+
+#[test]
+fn status_renders_evidence_section_or_tier_off_hint() {
+    let doc = steady_feed_doc();
+
+    // Tier off (the default): the snapshot carries no po_evidence_*
+    // families, and status says so instead of a silently missing section.
+    let off = detect_with(&doc, &DetectOptions::default()).unwrap();
+    assert!(!off.metrics.contains("po_evidence_"), "{}", off.metrics);
+    let rendered = status(&off.metrics).unwrap();
+    assert!(rendered.contains("evidence"), "{rendered}");
+    assert!(rendered.contains("off (no po_evidence_*"), "{rendered}");
+
+    // Full tier: the families exist and the section is concrete.
+    let full = detect_with(
+        &doc,
+        &DetectOptions {
+            evidence: EvidenceConfig::Full,
+            ..DetectOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        full.metrics.contains("po_evidence_units_enrolled"),
+        "{}",
+        full.metrics
+    );
+    let rendered = status(&full.metrics).unwrap();
+    assert!(rendered.contains("units enrolled"), "{rendered}");
+    assert!(!rendered.contains("off (no po_evidence_*"), "{rendered}");
+
+    // The explain pipeline closes the loop end to end: a feed with a
+    // real outage hole yields an evidence record that is explainable by
+    // id, and --json round-trips the record line byte for byte.
+    let mut holed = String::from("# synthetic\n");
+    for t in (0..2 * 86_400).step_by(10) {
+        for b in 0..4 {
+            if b == 0 && (30_000..37_200).contains(&t) {
+                continue;
+            }
+            holed.push_str(&format!("{t} 10.0.{b}.0/24\n"));
+        }
+    }
+    let full = detect_with(
+        &holed,
+        &DetectOptions {
+            evidence: EvidenceConfig::Full,
+            ..DetectOptions::default()
+        },
+    )
+    .unwrap();
+    let evidence_doc = full.evidence.as_deref().unwrap();
+    let first_line = evidence_doc.lines().next().unwrap();
+    let id = outage_obs::Value::parse(first_line)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let pretty = explain(evidence_doc, &id, false).unwrap();
+    assert!(pretty.contains(&id), "{pretty}");
+    let json = explain(evidence_doc, &id, true).unwrap();
+    assert_eq!(json.trim_end(), first_line);
 }
 
 #[test]

@@ -49,6 +49,8 @@ pub enum ConfigError {
     SentinelBadAlpha,
     /// Sentinel needs at least one healthy bucket to exit quarantine.
     SentinelNoRecovery,
+    /// `EvidenceConfig::Sampled(0)` would enroll nothing; use `Off`.
+    EvidenceZeroSampleRate,
 }
 
 impl fmt::Display for ConfigError {
@@ -91,6 +93,9 @@ impl fmt::Display for ConfigError {
             ConfigError::SentinelNoRecovery => {
                 write!(f, "sentinel recovery_buckets must be at least 1")
             }
+            ConfigError::EvidenceZeroSampleRate => {
+                write!(f, "evidence sample rate must be at least 1 (or use `off`)")
+            }
         }
     }
 }
@@ -111,6 +116,68 @@ impl Default for AggregationConfig {
         AggregationConfig {
             v4_min_len: 20,
             v6_min_len: 44,
+        }
+    }
+}
+
+/// Decision-provenance capture tier.
+///
+/// Evidence rings cost ~0.5 KiB per enrolled unit plus a frozen record
+/// per event, so paper-scale runs pick how much provenance they pay
+/// for: `Off` captures nothing (the seed behaviour), `Sampled(n)`
+/// enrolls a deterministic 1-in-`n` subset of units (chosen by a
+/// stable prefix hash, so every execution mode — batch, streaming,
+/// parallel at any worker count — enrolls the *same* units), and
+/// `Full` enrolls everything.
+///
+/// Deliberately excluded from [`DetectorConfig::fingerprint`]: evidence
+/// capture observes decisions without shaping them, so a model or serve
+/// checkpoint stays valid across tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvidenceConfig {
+    /// No capture; zero overhead, empty evidence on every report.
+    #[default]
+    Off,
+    /// Capture for a deterministic 1-in-`n` sample of units.
+    Sampled(u32),
+    /// Capture for every unit.
+    Full,
+}
+
+impl EvidenceConfig {
+    /// Whether the unit with stable hash bucket `bucket` is enrolled.
+    pub fn enrolled(&self, bucket: u64) -> bool {
+        match self {
+            EvidenceConfig::Off => false,
+            EvidenceConfig::Sampled(n) => *n > 0 && bucket.is_multiple_of(*n as u64),
+            EvidenceConfig::Full => true,
+        }
+    }
+
+    /// Whether any unit at all can be enrolled.
+    pub fn is_off(&self) -> bool {
+        matches!(self, EvidenceConfig::Off)
+    }
+
+    /// Parse the CLI form: `off`, `full`, or `sampled:N`.
+    pub fn parse(s: &str) -> Option<EvidenceConfig> {
+        match s {
+            "off" => Some(EvidenceConfig::Off),
+            "full" => Some(EvidenceConfig::Full),
+            _ => {
+                let n = s.strip_prefix("sampled:")?.parse().ok()?;
+                Some(EvidenceConfig::Sampled(n))
+            }
+        }
+    }
+}
+
+impl fmt::Display for EvidenceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvidenceConfig::Off => write!(f, "off"),
+            EvidenceConfig::Sampled(n) => write!(f, "sampled:{n}"),
+            EvidenceConfig::Full => write!(f, "full"),
         }
     }
 }
@@ -166,6 +233,11 @@ pub struct DetectorConfig {
     /// Spatial aggregation fallback; `None` disables it (the
     /// `ablate-no-agg` configuration).
     pub aggregation: Option<AggregationConfig>,
+    /// Decision-provenance capture tier. Not part of the config
+    /// fingerprint — evidence observes verdicts without changing them,
+    /// so checkpoints remain loadable whatever tier wrote them.
+    #[serde(default)]
+    pub evidence: EvidenceConfig,
 }
 
 impl Default for DetectorConfig {
@@ -185,6 +257,7 @@ impl Default for DetectorConfig {
             min_gap_outage_secs: 60,
             diurnal_model: true,
             aggregation: Some(AggregationConfig::default()),
+            evidence: EvidenceConfig::Off,
         }
     }
 }
@@ -273,6 +346,9 @@ impl DetectorConfig {
         if !(0.0 < self.leak_fraction && self.leak_fraction < 1.0) {
             return Err(ConfigError::BadLeakFraction);
         }
+        if self.evidence == EvidenceConfig::Sampled(0) {
+            return Err(ConfigError::EvidenceZeroSampleRate);
+        }
         Ok(())
     }
 }
@@ -354,6 +430,51 @@ mod tests {
         let mut c = DetectorConfig::default();
         c.leak_fraction = 1.5;
         assert_eq!(c.validate(), Err(ConfigError::BadLeakFraction));
+    }
+
+    #[test]
+    fn evidence_tier_does_not_move_the_fingerprint() {
+        let base = DetectorConfig::default().fingerprint();
+        for evidence in [
+            EvidenceConfig::Off,
+            EvidenceConfig::Sampled(16),
+            EvidenceConfig::Full,
+        ] {
+            let c = DetectorConfig {
+                evidence,
+                ..DetectorConfig::default()
+            };
+            assert_eq!(c.fingerprint(), base, "tier {evidence} moved fingerprint");
+        }
+    }
+
+    #[test]
+    fn evidence_config_parses_and_round_trips() {
+        for s in ["off", "full", "sampled:16"] {
+            let e = EvidenceConfig::parse(s).unwrap();
+            assert_eq!(e.to_string(), s);
+        }
+        assert_eq!(EvidenceConfig::parse("sampled:"), None);
+        assert_eq!(EvidenceConfig::parse("some"), None);
+        assert_eq!(EvidenceConfig::parse("sampled:x"), None);
+    }
+
+    #[test]
+    fn evidence_enrollment_honours_the_tier() {
+        assert!(!EvidenceConfig::Off.enrolled(0));
+        assert!(EvidenceConfig::Full.enrolled(7));
+        let s = EvidenceConfig::Sampled(4);
+        assert!(s.enrolled(8));
+        assert!(!s.enrolled(9));
+    }
+
+    #[test]
+    fn sampled_zero_is_rejected() {
+        let c = DetectorConfig {
+            evidence: EvidenceConfig::Sampled(0),
+            ..DetectorConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::EvidenceZeroSampleRate));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 use crate::belief::{log_odds, Belief, BeliefClamp};
 use crate::config::DetectorConfig;
+use crate::evidence::{enrolls, EventEvidence, UnitEvidence};
 use crate::tuning::UnitParams;
 use outage_types::{DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline, UnixTime};
 use serde::{Deserialize, Serialize};
@@ -173,12 +174,22 @@ impl UnitState {
     }
 
     /// Close one bin with `n` arrivals.
-    fn close_bin(&mut self, shape: &[f64; 24], policy: &UnitPolicy, index: u64, n: u64) {
+    fn close_bin(
+        &mut self,
+        shape: &[f64; 24],
+        policy: &UnitPolicy,
+        index: u64,
+        n: u64,
+        mut ev: Option<&mut UnitEvidence>,
+    ) {
         let start = self.bin_start(policy, index);
         let lambda_w = self.expected_in_bin(shape, policy, start);
         let leak_w = self.params.leak * self.params.width as f64;
         let b = self.belief.update_bin(n, lambda_w, leak_w, policy.clamp);
         self.diag.bins += 1;
+        if let Some(e) = ev.as_deref_mut() {
+            e.record_bin(start, n, lambda_w, b);
+        }
 
         if n == 0 {
             if self.empty_run_start.is_none() {
@@ -196,13 +207,16 @@ impl UnitState {
                     self.down_start = Some(self.refined_start(policy, start));
                     self.first_arrival_down = None;
                     self.min_belief_down = b;
+                    if let Some(e) = ev.as_deref_mut() {
+                        e.open(b, self.last_arrival);
+                    }
                 }
             }
             State::Down => {
                 self.min_belief_down = self.min_belief_down.min(b);
                 if b > from_lo_threshold(policy.up_lo) {
                     let end = self.refined_end(policy, self.bin_start(policy, index + 1));
-                    self.commit_outage(policy, end);
+                    self.commit_outage(policy, shape, end, false, ev);
                     self.state = State::Up;
                 }
             }
@@ -232,7 +246,14 @@ impl UnitState {
         }
     }
 
-    fn commit_outage(&mut self, policy: &UnitPolicy, end: UnixTime) {
+    fn commit_outage(
+        &mut self,
+        policy: &UnitPolicy,
+        shape: &[f64; 24],
+        end: UnixTime,
+        censored: bool,
+        ev: Option<&mut UnitEvidence>,
+    ) {
         if let Some(start) = self.down_start.take() {
             let iv = Interval::new(start, end).intersect(&policy.window);
             if !iv.is_empty() {
@@ -240,6 +261,20 @@ impl UnitState {
                 let confidence = 1.0 - self.min_belief_down.clamp(0.0, 1.0);
                 self.raw_outages.push((iv, confidence));
                 self.down.insert(iv);
+                if let Some(e) = ev {
+                    e.close(
+                        self.prefix,
+                        iv,
+                        confidence,
+                        self.min_belief_down,
+                        self.first_arrival_down,
+                        censored,
+                        self.params.width,
+                        shape,
+                    );
+                }
+            } else if let Some(e) = ev {
+                e.drop_pending();
             }
         }
         self.first_arrival_down = None;
@@ -253,6 +288,7 @@ impl UnitState {
         policy: &UnitPolicy,
         from: UnixTime,
         to: UnixTime,
+        ev: Option<&mut UnitEvidence>,
     ) {
         let iv = Interval::new(from, to).intersect(&policy.window);
         if iv.is_empty() {
@@ -261,20 +297,38 @@ impl UnitState {
         let evidence = self.rate_integral(shape, policy, iv.start, iv.end)
             - self.params.leak * iv.duration() as f64;
         let posterior_lo = self.belief.log_odds() - evidence;
-        let confidence = 1.0 - crate::belief::from_log_odds(posterior_lo);
+        let posterior = crate::belief::from_log_odds(posterior_lo);
+        let confidence = 1.0 - posterior;
         self.raw_outages.push((iv, confidence));
         self.down.insert(iv);
+        if let Some(e) = ev {
+            e.record_gap(
+                self.prefix,
+                iv,
+                confidence,
+                posterior,
+                self.belief.value(),
+                self.params.width,
+                shape,
+            );
+        }
     }
 
     /// Close all bins that end at or before `t`.
-    fn advance_bins_to(&mut self, shape: &[f64; 24], policy: &UnitPolicy, t: UnixTime) {
+    fn advance_bins_to(
+        &mut self,
+        shape: &[f64; 24],
+        policy: &UnitPolicy,
+        t: UnixTime,
+        mut ev: Option<&mut UnitEvidence>,
+    ) {
         let limit = t.min(policy.window.end);
         while self.bin_start(policy, self.next_bin + 1) <= limit {
             let idx = self.next_bin;
             let n = self.bin_count;
             self.bin_count = 0;
             self.next_bin += 1;
-            self.close_bin(shape, policy, idx, n);
+            self.close_bin(shape, policy, idx, n, ev.as_deref_mut());
         }
     }
 
@@ -323,8 +377,14 @@ impl UnitState {
     /// the silence had been observed at an arrival. Lets a live monitor
     /// notice outages on wall-clock time instead of waiting for the
     /// block's next packet.
-    pub(crate) fn advance_to(&mut self, shape: &[f64; 24], policy: &UnitPolicy, t: UnixTime) {
-        self.advance_bins_to(shape, policy, t);
+    pub(crate) fn advance_to(
+        &mut self,
+        shape: &[f64; 24],
+        policy: &UnitPolicy,
+        t: UnixTime,
+        ev: Option<&mut UnitEvidence>,
+    ) {
+        self.advance_bins_to(shape, policy, t, ev);
     }
 
     /// Jump the bin clock past a quarantined span ending at `t` without
@@ -341,7 +401,12 @@ impl UnitState {
     /// would make later edge refinement fall back to `window.start`,
     /// fabricating outage starts inside the quarantined span, and the gap
     /// rule must measure silence only from recovery onward.
-    pub(crate) fn skip_to(&mut self, policy: &UnitPolicy, t: UnixTime) {
+    pub(crate) fn skip_to(
+        &mut self,
+        policy: &UnitPolicy,
+        t: UnixTime,
+        ev: Option<&mut UnitEvidence>,
+    ) {
         let limit = t.min(policy.window.end);
         while self.bin_start(policy, self.next_bin) < limit {
             self.next_bin += 1;
@@ -351,13 +416,24 @@ impl UnitState {
         if self.last_arrival.is_none_or(|last| last < limit) {
             self.last_arrival = Some(limit);
         }
+        if let Some(e) = ev {
+            // The ring spans the faulted feed: sensor artifacts, not
+            // evidence. Frozen pre-fault records stay.
+            e.reset();
+        }
     }
 
     /// Feed one arrival at `t` (must be inside the window and
     /// non-decreasing across calls).
-    pub(crate) fn observe(&mut self, shape: &[f64; 24], policy: &UnitPolicy, t: UnixTime) {
+    pub(crate) fn observe(
+        &mut self,
+        shape: &[f64; 24],
+        policy: &UnitPolicy,
+        t: UnixTime,
+        mut ev: Option<&mut UnitEvidence>,
+    ) {
         debug_assert!(policy.window.contains(t), "arrival outside window");
-        self.advance_bins_to(shape, policy, t);
+        self.advance_bins_to(shape, policy, t, ev.as_deref_mut());
         self.diag.arrivals += 1;
 
         if self.state == State::Up {
@@ -367,7 +443,7 @@ impl UnitState {
                         && self.gap_is_decisive(shape, policy, last, t)
                     {
                         self.diag.gap_detections += 1;
-                        self.record_gap_outage(shape, policy, last + 1, t);
+                        self.record_gap_outage(shape, policy, last + 1, t, ev);
                     }
                 }
             }
@@ -381,9 +457,14 @@ impl UnitState {
 
     /// End of stream: close remaining bins, settle any open outage, and
     /// return the unit's verdict.
-    pub(crate) fn finish(mut self, shape: &[f64; 24], policy: &UnitPolicy) -> UnitReport {
+    pub(crate) fn finish(
+        mut self,
+        shape: &[f64; 24],
+        policy: &UnitPolicy,
+        mut ev: Option<&mut UnitEvidence>,
+    ) -> UnitReport {
         // Close every bin in the window.
-        self.advance_bins_to(shape, policy, policy.window.end);
+        self.advance_bins_to(shape, policy, policy.window.end, ev.as_deref_mut());
         // A final partial bin (window not a multiple of width) is judged
         // only if it is at least half a bin long, scaled accordingly.
         let tail_start = self.bin_start(policy, self.next_bin);
@@ -397,11 +478,17 @@ impl UnitState {
                 .belief
                 .update_bin(n, lambda_w.max(leak_w * 2.0), leak_w, policy.clamp);
             self.diag.bins += 1;
+            if let Some(e) = ev.as_deref_mut() {
+                e.record_bin(tail_start, n, lambda_w.max(leak_w * 2.0), b);
+            }
             if self.state == State::Up && b < from_lo_threshold(policy.down_lo) {
                 self.state = State::Down;
                 self.diag.bin_detections += 1;
                 self.down_start = Some(self.refined_start(policy, tail_start));
                 self.min_belief_down = b;
+                if let Some(e) = ev.as_deref_mut() {
+                    e.open(b, self.last_arrival);
+                }
             }
         }
 
@@ -409,7 +496,7 @@ impl UnitState {
             State::Down => {
                 // Censored outage: runs to the end of the window.
                 self.down_start.get_or_insert(policy.window.start);
-                self.commit_outage(policy, policy.window.end);
+                self.commit_outage(policy, shape, policy.window.end, true, ev.as_deref_mut());
             }
             State::Up if policy.use_gaps => {
                 // Trailing silence: the gap rule applied to the window end.
@@ -419,7 +506,7 @@ impl UnitState {
                         && self.gap_is_decisive(shape, policy, last, end)
                     {
                         self.diag.gap_detections += 1;
-                        self.record_gap_outage(shape, policy, last + 1, end);
+                        self.record_gap_outage(shape, policy, last + 1, end, ev.as_deref_mut());
                     }
                 }
             }
@@ -441,11 +528,21 @@ impl UnitState {
             }
         }
 
+        // Frozen evidence merges by the same sort+touches rule, so
+        // record i aligns with detections[i].
+        let evidence_enrolled = ev.is_some();
+        let evidence = match ev {
+            Some(e) => e.finalize(),
+            None => Vec::new(),
+        };
+
         UnitReport {
             prefix: self.prefix,
             params: self.params,
             timeline: Timeline::from_down(policy.window, self.down),
             detections,
+            evidence,
+            evidence_enrolled,
             diagnostics: self.diag,
         }
     }
@@ -461,6 +558,8 @@ pub struct UnitDetector {
     /// Hour-of-day multipliers (all 1.0 when the diurnal model is off).
     hourly_shape: [f64; 24],
     policy: UnitPolicy,
+    /// Evidence capture when the config's tier enrolls this prefix.
+    evidence: Option<Box<UnitEvidence>>,
 }
 
 impl UnitDetector {
@@ -472,10 +571,12 @@ impl UnitDetector {
         config: &DetectorConfig,
         window: Interval,
     ) -> UnitDetector {
+        let evidence = enrolls(config.evidence, &prefix).then(|| Box::new(UnitEvidence::new()));
         UnitDetector {
             state: UnitState::new(prefix, params, config),
             hourly_shape,
             policy: UnitPolicy::new(config, window),
+            evidence,
         }
     }
 
@@ -496,22 +597,35 @@ impl UnitDetector {
 
     /// See [`UnitState::advance_to`].
     pub fn advance_to(&mut self, t: UnixTime) {
-        self.state.advance_to(&self.hourly_shape, &self.policy, t);
+        self.state.advance_to(
+            &self.hourly_shape,
+            &self.policy,
+            t,
+            self.evidence.as_deref_mut(),
+        );
     }
 
     /// See [`UnitState::skip_to`].
     pub fn skip_to(&mut self, t: UnixTime) {
-        self.state.skip_to(&self.policy, t);
+        self.state
+            .skip_to(&self.policy, t, self.evidence.as_deref_mut());
     }
 
     /// See [`UnitState::observe`].
     pub fn observe(&mut self, t: UnixTime) {
-        self.state.observe(&self.hourly_shape, &self.policy, t);
+        self.state.observe(
+            &self.hourly_shape,
+            &self.policy,
+            t,
+            self.evidence.as_deref_mut(),
+        );
     }
 
     /// See [`UnitState::finish`].
     pub fn finish(self) -> UnitReport {
-        self.state.finish(&self.hourly_shape, &self.policy)
+        let mut ev = self.evidence;
+        self.state
+            .finish(&self.hourly_shape, &self.policy, ev.as_deref_mut())
     }
 }
 
@@ -531,6 +645,13 @@ pub struct UnitReport {
     pub timeline: Timeline,
     /// Discrete detections with confidences (merged, sorted by start).
     pub detections: Vec<(Interval, f64)>,
+    /// Per-event provenance records, aligned 1:1 with `detections` when
+    /// the unit is enrolled for evidence capture; empty otherwise.
+    pub evidence: Vec<EventEvidence>,
+    /// Whether this unit carried an evidence ring (a unit can be
+    /// enrolled yet have no events; distinguishes "no outage" from
+    /// "tier off").
+    pub evidence_enrolled: bool,
     /// Detector counters.
     pub diagnostics: UnitDiagnostics,
 }
@@ -777,6 +898,53 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].prefix, block());
         assert_eq!(evs[0].detector, DetectorId::PassiveBayes);
+    }
+
+    #[test]
+    fn evidence_records_align_with_detections() {
+        use crate::config::EvidenceConfig;
+        use crate::evidence::EvidenceTrigger;
+        let cfg = DetectorConfig {
+            evidence: EvidenceConfig::Full,
+            ..DetectorConfig::default()
+        };
+        let mut d = UnitDetector::new(block(), dense_params(), [1.0; 24], &cfg, window());
+        for t in (0..86_400).step_by(10) {
+            if !(30_000..37_200).contains(&t) && !(60_130..60_430).contains(&t) {
+                d.observe(UnixTime(t));
+            }
+        }
+        let r = d.finish();
+        assert!(!r.detections.is_empty());
+        assert_eq!(r.evidence.len(), r.detections.len());
+        for (rec, &(iv, conf)) in r.evidence.iter().zip(&r.detections) {
+            assert_eq!(rec.interval, iv);
+            assert_eq!(rec.confidence, conf);
+            assert_eq!(rec.prefix, block());
+            assert_eq!(rec.bin_width, 300);
+            assert!(!rec.censored);
+        }
+        // The long bin-path outage carries the trajectory that opened
+        // it: its last sample is the empty bin that crossed the
+        // threshold, judged against a non-trivial expectation.
+        let long = r
+            .evidence
+            .iter()
+            .find(|e| e.trigger == EvidenceTrigger::Bin)
+            .expect("bin-path event");
+        let last = long.trajectory.last().expect("non-empty trajectory");
+        assert_eq!(last.belief, long.belief_at_open);
+        assert_eq!(last.arrivals, 0);
+        assert!(last.expected > 1.0);
+        // And the short misaligned one came from the gap rule.
+        assert!(r.evidence.iter().any(|e| e.trigger == EvidenceTrigger::Gap));
+    }
+
+    #[test]
+    fn evidence_off_captures_nothing() {
+        let r = run_with_gap(dense_params(), 10, 30_000..37_200);
+        assert!(!r.detections.is_empty());
+        assert!(r.evidence.is_empty());
     }
 
     #[test]

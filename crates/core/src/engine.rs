@@ -36,6 +36,7 @@
 use crate::aggregate::AggregationPlan;
 use crate::config::{ConfigError, DetectorConfig};
 use crate::detector::{UnitPolicy, UnitReport, UnitState};
+use crate::evidence::{enrolls, UnitEvidence};
 use crate::history::{HistorySource, ShapeTable};
 use crate::index::BlockIndex;
 use crate::model::LearnedModel;
@@ -267,6 +268,27 @@ struct UnitArena {
     policy: UnitPolicy,
     shapes: ShapeTable,
     states: Vec<UnitState>,
+    /// Per-unit slot into `rings`, `NO_EVIDENCE` when unenrolled.
+    /// Empty (no per-unit cost at all) when the evidence tier is off.
+    ev_index: Vec<u32>,
+    /// Dense evidence rings for enrolled units only — one allocation,
+    /// no per-unit boxes, nothing at all on the off tier.
+    rings: Vec<UnitEvidence>,
+}
+
+const NO_EVIDENCE: u32 = u32::MAX;
+
+/// Split-borrow helper: the evidence ring of unit `i`, if enrolled.
+#[inline]
+fn ev_of<'a>(
+    ev_index: &[u32],
+    rings: &'a mut [UnitEvidence],
+    i: usize,
+) -> Option<&'a mut UnitEvidence> {
+    match ev_index.get(i) {
+        Some(&slot) if slot != NO_EVIDENCE => Some(&mut rings[slot as usize]),
+        _ => None,
+    }
 }
 
 impl UnitArena {
@@ -275,6 +297,22 @@ impl UnitArena {
             policy,
             shapes: ShapeTable::default(),
             states: Vec::new(),
+            ev_index: Vec::new(),
+            rings: Vec::new(),
+        }
+    }
+
+    /// Enroll the unit just pushed (call once per `states.push`, in
+    /// order). No-op bookkeeping on the off tier.
+    fn enroll_last(&mut self, config: &DetectorConfig, prefix: &Prefix) {
+        if config.evidence.is_off() {
+            return;
+        }
+        if enrolls(config.evidence, prefix) {
+            self.ev_index.push(self.rings.len() as u32);
+            self.rings.push(UnitEvidence::new());
+        } else {
+            self.ev_index.push(NO_EVIDENCE);
         }
     }
 
@@ -282,20 +320,28 @@ impl UnitArena {
         self.states.len()
     }
 
+    /// Units enrolled for evidence capture.
+    fn enrolled(&self) -> usize {
+        self.rings.len()
+    }
+
     #[inline]
     fn observe(&mut self, i: usize, t: UnixTime) {
-        self.states[i].observe(self.shapes.get(i), &self.policy, t);
+        let ev = ev_of(&self.ev_index, &mut self.rings, i);
+        self.states[i].observe(self.shapes.get(i), &self.policy, t, ev);
     }
 
     fn advance_all(&mut self, t: UnixTime) {
         for (i, s) in self.states.iter_mut().enumerate() {
-            s.advance_to(self.shapes.get(i), &self.policy, t);
+            let ev = ev_of(&self.ev_index, &mut self.rings, i);
+            s.advance_to(self.shapes.get(i), &self.policy, t, ev);
         }
     }
 
     fn skip_all(&mut self, t: UnixTime) {
-        for s in &mut self.states {
-            s.skip_to(&self.policy, t);
+        for (i, s) in self.states.iter_mut().enumerate() {
+            let ev = ev_of(&self.ev_index, &mut self.rings, i);
+            s.skip_to(&self.policy, t, ev);
         }
     }
 
@@ -304,11 +350,16 @@ impl UnitArena {
             policy,
             shapes,
             states,
+            ev_index,
+            mut rings,
         } = self;
         states
             .into_iter()
             .enumerate()
-            .map(|(i, s)| s.finish(shapes.get(i), &policy))
+            .map(|(i, s)| {
+                let ev = ev_of(&ev_index, &mut rings, i);
+                s.finish(shapes.get(i), &policy, ev)
+            })
             .collect()
     }
 }
@@ -351,19 +402,21 @@ impl DetectionEngine {
     ) -> DetectionEngine {
         let (route, unit_of_id) = build_routing(&plan);
         let policy = UnitPolicy::new(config, window);
-        let mut shapes = ShapeTable::with_capacity(plan.units.len());
-        let mut states = Vec::with_capacity(plan.units.len());
+        let mut units = UnitArena::empty(policy);
+        units.shapes = ShapeTable::with_capacity(plan.units.len());
+        units.states = Vec::with_capacity(plan.units.len());
         for u in &plan.units {
-            shapes.push(unit_expectation_shape(&u.members, histories, config));
-            states.push(UnitState::new(u.prefix, u.params, config));
+            units
+                .shapes
+                .push(unit_expectation_shape(&u.members, histories, config));
+            units
+                .states
+                .push(UnitState::new(u.prefix, u.params, config));
+            units.enroll_last(config, &u.prefix);
         }
         DetectionEngine {
             window,
-            units: UnitArena {
-                policy,
-                shapes,
-                states,
-            },
+            units,
             route,
             unit_of_id,
             members: plan.units.into_iter().map(|u| u.members).collect(),
@@ -424,19 +477,24 @@ impl DetectionEngine {
         window: Interval,
     ) -> DetectionEngine {
         let policy = UnitPolicy::new(config, window);
-        let mut shapes = ShapeTable::with_capacity(range.len());
-        let mut states = Vec::with_capacity(range.len());
+        let mut units = UnitArena::empty(policy);
+        units.shapes = ShapeTable::with_capacity(range.len());
+        units.states = Vec::with_capacity(range.len());
         for u in &plan.units[range] {
-            shapes.push(unit_expectation_shape(&u.members, histories, config));
-            states.push(UnitState::new(u.prefix, u.params, config));
+            units
+                .shapes
+                .push(unit_expectation_shape(&u.members, histories, config));
+            units
+                .states
+                .push(UnitState::new(u.prefix, u.params, config));
+            // Enrollment hashes the prefix, never the index, so a
+            // shard enrolls exactly the units the sequential engine
+            // would — evidence stays shard-affine and bit-identical.
+            units.enroll_last(config, &u.prefix);
         }
         DetectionEngine {
             window,
-            units: UnitArena {
-                policy,
-                shapes,
-                states,
-            },
+            units,
             route: BlockIndex::new(),
             unit_of_id: Vec::new(),
             members: Vec::new(),
@@ -454,6 +512,11 @@ impl DetectionEngine {
     /// Number of live detection units.
     pub fn unit_count(&self) -> usize {
         self.units.len()
+    }
+
+    /// Units enrolled for evidence capture under the configured tier.
+    pub fn evidence_enrolled(&self) -> usize {
+        self.units.enrolled()
     }
 
     /// Blocks covered, at any spatial precision.
@@ -633,7 +696,11 @@ impl DetectionEngine {
         if self.gate.as_ref().is_some_and(QuarantineGate::is_open) {
             units.skip_all(epoch_end);
         }
-        (units.finish_all(), route, unit_of_id)
+        let mut reports = units.finish_all();
+        if let Some(g) = &self.gate {
+            fill_evidence_quarantine(&mut reports, &g.quarantined_through(epoch_end));
+        }
+        (reports, route, unit_of_id)
     }
 
     /// Install a fresh unit set for `window` (streaming epoch
@@ -658,7 +725,7 @@ impl DetectionEngine {
     pub(crate) fn finish_units(mut self, end: UnixTime) -> (Vec<UnitReport>, EngineParts) {
         self.settle_gate(end);
         self.units.advance_all(end);
-        let reports = self.units.finish_all();
+        let mut reports = self.units.finish_all();
         let (sentinel, quarantined) = match self.gate {
             Some(g) => {
                 let (s, q) = g.into_parts();
@@ -666,6 +733,7 @@ impl DetectionEngine {
             }
             None => (None, IntervalSet::new()),
         };
+        fill_evidence_quarantine(&mut reports, &quarantined);
         (
             reports,
             EngineParts {
@@ -706,6 +774,21 @@ impl DetectionEngine {
     /// assemble — just the per-unit verdicts, in local-index order.
     pub(crate) fn finish_shard(self) -> Vec<UnitReport> {
         self.units.finish_all()
+    }
+}
+
+/// Stamp each frozen evidence record with how much of its interval the
+/// sentinel quarantined. Idempotent (the field is *set*, not added), so
+/// records that pass through more than one harvest point — e.g. shard
+/// finish then report assembly — come out the same.
+pub(crate) fn fill_evidence_quarantine(reports: &mut [UnitReport], quarantined: &IntervalSet) {
+    if quarantined.is_empty() {
+        return;
+    }
+    for r in reports {
+        for e in &mut r.evidence {
+            e.fill_quarantine(quarantined);
+        }
     }
 }
 

@@ -57,6 +57,7 @@ pub mod correlate;
 pub mod coverage;
 pub mod detector;
 pub mod engine;
+pub mod evidence;
 pub mod history;
 pub mod index;
 pub mod model;
@@ -69,11 +70,12 @@ pub mod tuning;
 
 pub use aggregate::{plan, AggregationPlan, PlannedUnit};
 pub use belief::{Belief, BeliefClamp};
-pub use config::{AggregationConfig, ConfigError, DetectorConfig};
+pub use config::{AggregationConfig, ConfigError, DetectorConfig, EvidenceConfig};
 pub use correlate::{fuse_beliefs, fuse_timelines};
 pub use coverage::{coverage_by_width, spatial_coverage, CoveragePoint, SpatialCoverage};
 pub use detector::{UnitDetector, UnitDiagnostics, UnitReport};
 pub use engine::{DetectionEngine, EngineInput, EngineOutput, QuarantineGate};
+pub use evidence::{event_id, EventEvidence, EvidenceSample, EvidenceTrigger};
 pub use history::{f64_bits_eq, BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 pub use index::BlockIndex;
 pub use model::{LearnedModel, ModelError};

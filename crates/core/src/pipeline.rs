@@ -18,7 +18,8 @@
 use crate::aggregate::{plan, AggregationPlan};
 use crate::config::{ConfigError, DetectorConfig};
 use crate::detector::{UnitDiagnostics, UnitReport};
-use crate::engine::{DetectionEngine, EngineOutput, QuarantineGate};
+use crate::engine::{fill_evidence_quarantine, DetectionEngine, EngineOutput, QuarantineGate};
+use crate::evidence::EventEvidence;
 use crate::history::{BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 use crate::index::BlockIndex;
 use crate::model::LearnedModel;
@@ -59,7 +60,7 @@ impl DetectionReport {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         window: Interval,
-        units: Vec<UnitReport>,
+        mut units: Vec<UnitReport>,
         members: Vec<Vec<Prefix>>,
         uncovered: Vec<Prefix>,
         strays: u64,
@@ -67,6 +68,10 @@ impl DetectionReport {
         route: BlockIndex,
         unit_of_id: Vec<u32>,
     ) -> DetectionReport {
+        // Parallel shards finish without a gate, so their evidence
+        // records reach assembly with quarantined_secs unset; stamping
+        // here is idempotent for paths that already filled it.
+        fill_evidence_quarantine(&mut units, &quarantined);
         DetectionReport {
             window,
             units,
@@ -112,6 +117,31 @@ impl DetectionReport {
         let mut events: Vec<OutageEvent> = self.units.iter().flat_map(|u| u.events()).collect();
         events.sort_by_key(|e| (e.interval.start, e.prefix));
         events
+    }
+
+    /// All frozen evidence records across units, in the same
+    /// deterministic `(start, prefix)` order as [`Self::events`] — when
+    /// every unit is enrolled, `evidence()[i]` explains `events()[i]`.
+    pub fn evidence(&self) -> Vec<&EventEvidence> {
+        let mut evidence: Vec<&EventEvidence> =
+            self.units.iter().flat_map(|u| u.evidence.iter()).collect();
+        evidence.sort_by_key(|e| (e.interval.start, e.prefix));
+        evidence
+    }
+
+    /// Look up one event's provenance by its id (`{prefix}@{start}` as
+    /// produced by [`EventEvidence::id`]). `None` when the event does
+    /// not exist or its unit was not enrolled for evidence.
+    pub fn explain(&self, id: &str) -> Option<&EventEvidence> {
+        self.units
+            .iter()
+            .flat_map(|u| u.evidence.iter())
+            .find(|e| e.id() == id)
+    }
+
+    /// Units that carried an evidence ring this run.
+    pub fn evidence_enrolled(&self) -> usize {
+        self.units.iter().filter(|u| u.evidence_enrolled).count()
     }
 
     /// Summed per-unit diagnostics.
@@ -177,6 +207,25 @@ impl DetectionReport {
         let durations = registry.histogram("po_quarantine_duration_seconds", &[], DURATION_BUCKETS);
         for iv in self.quarantined.intervals() {
             durations.observe(iv.duration() as f64);
+        }
+        // Evidence-tier accounting: families appear only when at least
+        // one unit is enrolled, so an `off` run's snapshot stays free of
+        // po_evidence_* and `status` can render the tier-off hint.
+        let enrolled = self.evidence_enrolled();
+        if enrolled > 0 {
+            registry
+                .gauge("po_evidence_units_enrolled", &[])
+                .set(enrolled as f64);
+            registry
+                .counter("po_evidence_events_total", &[])
+                .add(self.units.iter().map(|u| u.evidence.len() as u64).sum());
+            registry.counter("po_evidence_samples_total", &[]).add(
+                self.units
+                    .iter()
+                    .flat_map(|u| u.evidence.iter())
+                    .map(|e| e.trajectory.len() as u64)
+                    .sum(),
+            );
         }
     }
 

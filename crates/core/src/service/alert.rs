@@ -49,21 +49,31 @@ pub struct Alert {
     pub at: UnixTime,
     /// Free-form detail (duration, confidence, health state).
     pub detail: String,
+    /// Pre-rendered evidence record (the same JSON `explain` serves),
+    /// when the evidence tier kept one for this alert's event.
+    pub evidence_json: Option<String>,
 }
 
 impl Alert {
-    /// The JSON payload POSTed to the webhook.
+    /// The JSON payload POSTed to the webhook. When provenance is
+    /// attached it rides along under `"evidence"` — byte-identical to
+    /// the `GET /events/{id}/explain` body for the same event.
     pub fn payload(&self) -> String {
         let prefix = match &self.prefix {
             Some(p) => format!("\"{p}\""),
             None => "null".to_string(),
         };
+        let evidence = match &self.evidence_json {
+            Some(e) => format!(",\"evidence\":{e}"),
+            None => String::new(),
+        };
         format!(
-            "{{\"kind\":\"{}\",\"prefix\":{},\"at\":{},\"detail\":\"{}\"}}",
+            "{{\"kind\":\"{}\",\"prefix\":{},\"at\":{},\"detail\":\"{}\"{}}}",
             self.kind.as_str(),
             prefix,
             self.at.secs(),
             self.detail.replace('\\', "\\\\").replace('"', "\\\""),
+            evidence,
         )
     }
 }
@@ -329,6 +339,7 @@ mod tests {
             prefix: None,
             at: UnixTime(100),
             detail: String::new(),
+            evidence_json: None,
         }
     }
 
@@ -418,11 +429,29 @@ mod tests {
             prefix: Some("192.0.2.0/24".parse().unwrap()),
             at: UnixTime(42),
             detail: "say \"hi\"".into(),
+            evidence_json: None,
         };
         let p = a.payload();
         assert!(p.contains("\"kind\":\"event_close\""));
         assert!(p.contains("\"prefix\":\"192.0.2.0/24\""));
         assert!(p.contains("\"at\":42"));
         assert!(p.contains("say \\\"hi\\\""));
+        assert!(!p.contains("\"evidence\""));
+    }
+
+    #[test]
+    fn payload_carries_evidence_verbatim() {
+        let a = Alert {
+            kind: AlertKind::EventClose,
+            prefix: Some("192.0.2.0/24".parse().unwrap()),
+            at: UnixTime(42),
+            detail: String::new(),
+            evidence_json: Some("{\"id\":\"192.0.2.0/24@40\",\"trigger\":\"bin\"}".into()),
+        };
+        let p = a.payload();
+        assert!(
+            p.contains(",\"evidence\":{\"id\":\"192.0.2.0/24@40\",\"trigger\":\"bin\"}}"),
+            "{p}"
+        );
     }
 }

@@ -4,8 +4,9 @@
 
 use super::alert::{Alert, AlertKind, AlertNotifier, AlertStats};
 use super::checkpoint::{CheckpointReason, CheckpointSink, ServeSnapshot};
+use crate::evidence::EventEvidence;
 use crate::streaming::StreamingMonitor;
-use outage_obs::{Obs, Registry};
+use outage_obs::{EvidenceMetrics, Obs, Registry};
 use outage_types::{IntervalSet, Observation, OutageEvent, Prefix, UnixTime};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -75,6 +76,7 @@ struct SharedInner {
     obs: Obs,
     status: Mutex<ServeStatus>,
     events: Mutex<Vec<OutageEvent>>,
+    evidence: Mutex<Vec<EventEvidence>>,
     healthy: AtomicBool,
     queue_dropped: AtomicU64,
     source_faults: AtomicU64,
@@ -107,6 +109,7 @@ impl ServeShared {
                     ..ServeStatus::default()
                 }),
                 events: Mutex::new(Vec::new()),
+                evidence: Mutex::new(Vec::new()),
                 healthy: AtomicBool::new(false),
                 queue_dropped: AtomicU64::new(0),
                 source_faults: AtomicU64::new(0),
@@ -144,6 +147,36 @@ impl ServeShared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// Snapshot of every frozen evidence record so far, in completion
+    /// order (empty with the evidence tier off).
+    pub fn evidence(&self) -> Vec<EventEvidence> {
+        self.inner
+            .evidence
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The rendered evidence record for an event id, serving
+    /// `GET /events/{id}/explain`. Counts the lookup in
+    /// `po_evidence_explains_total` when it hits.
+    pub fn explain_json(&self, id: &str) -> Option<String> {
+        let body = {
+            let ev = self
+                .inner
+                .evidence
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            ev.iter()
+                .find(|e| e.id() == id)
+                .map(|e| e.to_json().to_string())
+        }?;
+        EvidenceMetrics::register(self.registry())
+            .explains_total
+            .inc();
+        Some(body)
     }
 
     /// Whether the engine loop is up (drives `/healthz`).
@@ -184,6 +217,15 @@ impl ServeShared {
     fn push_events(&self, ev: &[OutageEvent]) {
         let mut e = self.inner.events.lock().unwrap_or_else(|e| e.into_inner());
         e.extend_from_slice(ev);
+    }
+
+    fn push_evidence(&self, records: Vec<EventEvidence>) {
+        let mut e = self
+            .inner
+            .evidence
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        e.extend(records);
     }
 }
 
@@ -342,11 +384,11 @@ impl Daemon {
     /// harvest completed events, notice epoch rolls and quarantine
     /// transitions, refresh `/status`.
     fn post_step(&mut self) {
-        let completed = match self.monitor.as_mut() {
-            Some(m) => m.drain_events(),
+        let (completed, evidence) = match self.monitor.as_mut() {
+            Some(m) => (m.drain_events(), m.drain_evidence()),
             None => return,
         };
-        self.absorb_completed(completed);
+        self.absorb_completed(completed, evidence);
 
         // Down-set diff → open alerts. A unit leaving the set closes
         // via a completed event above, so only entries alert here.
@@ -361,6 +403,7 @@ impl Daemon {
                 prefix: Some(p),
                 at: self.high_water,
                 detail: "belief fell below 0.5".to_string(),
+                evidence_json: None,
             });
         }
         self.down = down_now;
@@ -385,6 +428,7 @@ impl Daemon {
                 prefix: None,
                 at: self.high_water,
                 detail,
+                evidence_json: None,
             });
             self.was_quarantined = q;
         }
@@ -409,19 +453,36 @@ impl Daemon {
         self.refresh_status(health);
     }
 
-    fn absorb_completed(&mut self, completed: Vec<OutageEvent>) {
+    fn absorb_completed(&mut self, completed: Vec<OutageEvent>, evidence: Vec<EventEvidence>) {
+        if !evidence.is_empty() {
+            let m = EvidenceMetrics::register(self.shared.registry());
+            m.events_total.add(evidence.len() as u64);
+            m.samples_total
+                .add(evidence.iter().map(|e| e.trajectory.len() as u64).sum());
+        }
         if completed.is_empty() {
+            self.shared.push_evidence(evidence);
             return;
         }
         self.shared.push_events(&completed);
         for e in &completed {
+            // Close alerts carry the event's provenance when the tier
+            // kept one — the webhook consumer sees the same record
+            // `/events/{id}/explain` serves.
+            let id = crate::evidence::event_id(&e.prefix, e.interval.start);
+            let evidence_json = evidence
+                .iter()
+                .find(|r| r.id() == id)
+                .map(|r| r.to_json().to_string());
             self.alert(Alert {
                 kind: AlertKind::EventClose,
                 prefix: Some(e.prefix),
                 at: e.interval.end,
                 detail: format!("down {} s, confidence {:.2}", e.duration(), e.confidence),
+                evidence_json,
             });
         }
+        self.shared.push_evidence(evidence);
         self.shared
             .registry()
             .counter("po_serve_events_total", &[])
@@ -434,6 +495,15 @@ impl Daemon {
             Some(m) => (m.is_live(), m.covered_blocks(), m.live_epoch_start()),
             None => (false, 0, None),
         };
+        let enrolled = self
+            .monitor
+            .as_ref()
+            .map_or(0, StreamingMonitor::evidence_enrolled);
+        if enrolled > 0 {
+            EvidenceMetrics::register(self.shared.registry())
+                .units_enrolled
+                .set(enrolled as f64);
+        }
         let alerts = self.fold_alert_metrics();
         let events_total = self.events.len() as u64;
         let down = self.down.len();
@@ -521,7 +591,20 @@ impl Daemon {
             return;
         };
         let reg = self.shared.registry();
-        match sink.publish(&snapshot, reason) {
+        // Checkpoint publication was the one untraced I/O stage: give it
+        // a span and a duration histogram so a slow disk shows up next
+        // to the stage latencies instead of as unexplained engine lag.
+        let mut sp = outage_obs::span!(self.shared.obs(), "checkpoint.save");
+        sp.field("reason", reason.as_str());
+        let t0 = std::time::Instant::now();
+        let published = sink.publish(&snapshot, reason);
+        reg.histogram(
+            "po_serve_checkpoint_seconds",
+            &[("op", "save")],
+            outage_obs::LATENCY_BUCKETS,
+        )
+        .observe(t0.elapsed().as_secs_f64());
+        match published {
             Ok(true) => {
                 self.checkpoints_published += 1;
                 reg.counter("po_serve_checkpoints_total", &[("reason", reason.as_str())])
@@ -550,11 +633,11 @@ impl Daemon {
             Some(m) => self.high_water.max(m.start()),
             None => self.high_water,
         };
-        let (final_events, quarantined) = match monitor {
-            Some(m) => m.finish_with_quarantine(end),
-            None => (Vec::new(), IntervalSet::new()),
+        let (final_events, quarantined, final_evidence) = match monitor {
+            Some(m) => m.finish_with_evidence(end),
+            None => (Vec::new(), IntervalSet::new(), Vec::new()),
         };
-        self.absorb_completed(final_events);
+        self.absorb_completed(final_events, final_evidence);
         let alerts = self.fold_alert_metrics();
         let events_total = self.events.len() as u64;
         self.shared.update_status(|s| {
@@ -707,6 +790,38 @@ mod tests {
         assert!(outcome.end >= UnixTime(0));
         assert!(!shared.is_healthy(), "healthz goes red after the drain");
         assert!(shared.status().shutting_down);
+    }
+
+    #[test]
+    fn evidence_flows_to_shared_and_explain() {
+        let cfg = DetectorConfig {
+            evidence: crate::config::EvidenceConfig::Full,
+            ..DetectorConfig::default()
+        };
+        let monitor = StreamingMonitor::daily(cfg, UnixTime(0)).unwrap();
+        let shared = ServeShared::new(Obs::new());
+        let (tx, rx) = sync_channel(256);
+        let daemon = Daemon::new(monitor, rx, shared.clone(), DaemonConfig::default());
+        for chunk in two_day_obs().chunks(1_000) {
+            tx.send(EngineMsg::Batch(chunk.to_vec())).unwrap();
+        }
+        tx.send(EngineMsg::End).unwrap();
+        let outcome = daemon.run(&AtomicBool::new(false));
+
+        assert!(!outcome.events.is_empty());
+        let evidence = shared.evidence();
+        assert_eq!(
+            evidence.len(),
+            outcome.events.len(),
+            "full tier keeps one record per event"
+        );
+        let id = evidence[0].id();
+        let body = shared.explain_json(&id).expect("known id explains");
+        assert_eq!(body, evidence[0].to_json().to_string());
+        assert!(shared.explain_json("203.0.113.0/24@1").is_none());
+        let text = shared.registry().render_prometheus();
+        assert!(text.contains("po_evidence_events_total"), "{text}");
+        assert!(text.contains("po_evidence_explains_total 1"), "{text}");
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub trait ServeView: Send + Sync {
     /// Health for `/healthz`: `(healthy, body)`. Unhealthy renders 503
     /// so load balancers and the CI smoke test can gate on the code.
     fn healthz(&self) -> (bool, String);
+    /// JSON evidence record for `GET /events/{id}/explain`; `None`
+    /// (rendered 404) when the id is unknown or the evidence tier kept
+    /// no record for it. Default: no evidence surface.
+    fn explain_json(&self, _id: &str) -> Option<String> {
+        None
+    }
 }
 
 /// The running server; dropping or calling [`HttpServer::shutdown`]
@@ -96,6 +102,46 @@ fn accept_loop(listener: TcpListener, view: Arc<dyn ServeView>, stop: &AtomicBoo
     }
 }
 
+/// Extract the event id from a `/events/{id}/explain` path. The id
+/// itself contains a slash (`192.0.2.0/24@START`), so this matches the
+/// fixed prefix and suffix and takes everything between, after
+/// percent-decoding (curl-encoded `%2F` works too).
+fn explain_id(path: &str) -> Option<String> {
+    let id = path.strip_prefix("/events/")?.strip_suffix("/explain")?;
+    if id.is_empty() {
+        return None;
+    }
+    Some(percent_decode(id))
+}
+
+/// Minimal percent-decoding: `%XX` hex pairs become bytes; anything
+/// malformed passes through untouched.
+fn percent_decode(s: &str) -> String {
+    fn hex(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push(hi << 4 | lo);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
 /// Read the request head (bounded), route it, write one response.
 fn serve_connection(mut stream: TcpStream, view: &dyn ServeView) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
@@ -145,12 +191,24 @@ fn serve_connection(mut stream: TcpStream, view: &dyn ServeView) -> io::Result<(
                     (503, "Service Unavailable", "application/json", body)
                 }
             }
-            _ => (
-                404,
-                "Not Found",
-                "text/plain",
-                "unknown route\n".to_string(),
-            ),
+            _ => match explain_id(path) {
+                Some(id) => match view.explain_json(&id) {
+                    Some(body) => (200, "OK", "application/json", body),
+                    None => (
+                        404,
+                        "Not Found",
+                        "text/plain",
+                        "no evidence for that event (unknown id, or evidence tier off)\n"
+                            .to_string(),
+                    ),
+                },
+                None => (
+                    404,
+                    "Not Found",
+                    "text/plain",
+                    "unknown route\n".to_string(),
+                ),
+            },
         }
     };
 
@@ -183,6 +241,9 @@ mod tests {
         fn healthz(&self) -> (bool, String) {
             (self.healthy, "{\"ok\":true}".to_string())
         }
+        fn explain_json(&self, id: &str) -> Option<String> {
+            (id == "192.0.2.0/24@30010").then(|| format!("{{\"id\":\"{id}\"}}"))
+        }
     }
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -208,6 +269,19 @@ mod tests {
         assert_eq!(get(addr, "/events"), (200, "[]".to_string()));
         assert_eq!(get(addr, "/healthz").0, 200);
         assert_eq!(get(addr, "/nope").0, 404);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn explain_route_matches_ids_with_slashes() {
+        let srv = HttpServer::bind("127.0.0.1:0", Arc::new(FakeView { healthy: true })).unwrap();
+        let addr = srv.local_addr();
+        let want = (200, "{\"id\":\"192.0.2.0/24@30010\"}".to_string());
+        assert_eq!(get(addr, "/events/192.0.2.0/24@30010/explain"), want);
+        // percent-encoded form resolves to the same record
+        assert_eq!(get(addr, "/events/192.0.2.0%2F24%4030010/explain"), want);
+        assert_eq!(get(addr, "/events/10.0.0.0/8@99/explain").0, 404);
+        assert_eq!(get(addr, "/events//explain").0, 404);
         srv.shutdown();
     }
 

@@ -40,6 +40,7 @@
 
 use crate::config::{ConfigError, DetectorConfig};
 use crate::engine::{DetectionEngine, GateHandles, QuarantineGate};
+use crate::evidence::EventEvidence;
 use crate::history::HistoryBuilder;
 use crate::model::LearnedModel;
 use crate::pipeline::PassiveDetector;
@@ -149,6 +150,9 @@ pub struct StreamingMonitor {
     engine: DetectionEngine,
     /// Events from epochs already closed.
     completed: Vec<OutageEvent>,
+    /// Frozen evidence records from closed epochs (empty with the
+    /// evidence tier off).
+    completed_evidence: Vec<EventEvidence>,
     /// Per-block judged timelines from closed epochs.
     timelines: HashMap<Prefix, Vec<Timeline>>,
     started: bool,
@@ -188,6 +192,7 @@ impl StreamingMonitor {
             history: HistoryBuilder::new(first_window),
             engine: DetectionEngine::idle(first_window, None),
             completed: Vec::new(),
+            completed_evidence: Vec::new(),
             timelines: HashMap::new(),
             started: false,
             reorder: None,
@@ -433,9 +438,21 @@ impl StreamingMonitor {
         self.engine.covered_blocks()
     }
 
+    /// Units in the live epoch carrying an evidence ring (0 with the
+    /// tier off, or during warm-up).
+    pub fn evidence_enrolled(&self) -> usize {
+        self.engine.evidence_enrolled()
+    }
+
     /// Drain outage events completed so far (closed epochs only).
     pub fn drain_events(&mut self) -> Vec<OutageEvent> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// Drain frozen evidence records completed so far (closed epochs
+    /// only). Empty unless the config's evidence tier enrolled units.
+    pub fn drain_evidence(&mut self) -> Vec<EventEvidence> {
+        std::mem::take(&mut self.completed_evidence)
     }
 
     /// Judged timelines of all closed epochs for a block.
@@ -454,7 +471,7 @@ impl StreamingMonitor {
         //    still-quarantined tail, finishes its units, and keeps its
         //    gate for the next epoch.
         if self.current_epoch.is_some() {
-            let (reports, route, unit_of_id) = self.engine.rotate_out(epoch_end);
+            let (mut reports, route, unit_of_id) = self.engine.rotate_out(epoch_end);
             for r in &reports {
                 self.completed.extend(r.events());
             }
@@ -465,6 +482,9 @@ impl StreamingMonitor {
                     .entry(route.prefix(id as u32))
                     .or_default()
                     .push(reports[u as usize].timeline.clone());
+            }
+            for r in &mut reports {
+                self.completed_evidence.append(&mut r.evidence);
             }
         }
 
@@ -496,7 +516,20 @@ impl StreamingMonitor {
     /// quiet since before `end` may be reported down through the epoch's
     /// end. Prefer finishing at an epoch boundary; a monitor that runs
     /// continuously (the intended deployment) never calls this at all.
-    pub fn finish_with_quarantine(mut self, end: UnixTime) -> (Vec<OutageEvent>, IntervalSet) {
+    pub fn finish_with_quarantine(self, end: UnixTime) -> (Vec<OutageEvent>, IntervalSet) {
+        let (events, quarantined, _) = self.finish_with_evidence(end);
+        (events, quarantined)
+    }
+
+    /// [`Self::finish_with_quarantine`] also returning every frozen
+    /// evidence record, sorted `(start, prefix)` like the events — the
+    /// streaming counterpart of [`DetectionReport::evidence`].
+    ///
+    /// [`DetectionReport::evidence`]: crate::pipeline::DetectionReport::evidence
+    pub fn finish_with_evidence(
+        mut self,
+        end: UnixTime,
+    ) -> (Vec<OutageEvent>, IntervalSet, Vec<EventEvidence>) {
         // Flush the reorder stage: at end of stream everything held is
         // safe to release.
         if let Some(mut buf) = self.reorder.take() {
@@ -508,7 +541,7 @@ impl StreamingMonitor {
         // the tail: the feed never came back, and we cannot tell sensor
         // silence from network silence), advances in-flight detectors to
         // `end` without opening a new epoch, and closes them.
-        let (reports, parts) = self.engine.finish_units(end);
+        let (mut reports, parts) = self.engine.finish_units(end);
         // Final export: the sentinel's transition matrix and dwell
         // times land in the registry exactly once, at shutdown.
         if self.handles.is_some() {
@@ -516,12 +549,15 @@ impl StreamingMonitor {
                 s.export_metrics(&self.obs.registry);
             }
         }
-        for r in &reports {
+        for r in &mut reports {
             self.completed.extend(r.events());
+            self.completed_evidence.append(&mut r.evidence);
         }
         let mut events = self.completed;
         events.sort_by_key(|e| (e.interval.start, e.prefix));
-        (events, parts.quarantined)
+        let mut evidence = self.completed_evidence;
+        evidence.sort_by_key(|e| (e.interval.start, e.prefix));
+        (events, parts.quarantined, evidence)
     }
 
     /// [`Self::finish_with_quarantine`], discarding the quarantine set.

@@ -135,6 +135,7 @@ fn alert(kind: AlertKind, at: u64) -> Alert {
         prefix: Some("192.0.2.0/24".parse::<Prefix>().unwrap()),
         at: UnixTime(at),
         detail: "test".to_string(),
+        evidence_json: None,
     }
 }
 

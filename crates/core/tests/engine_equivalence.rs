@@ -16,8 +16,8 @@
 
 use outage_core::{
     detect_parallel, detect_parallel_with_sentinel, DetectionEngine, DetectorConfig, EngineInput,
-    FeedSentinel, LearnedModel, PassiveDetector, QuarantineGate, SentinelConfig, ShardPartition,
-    StreamingMonitor,
+    EventEvidence, EvidenceConfig, FeedSentinel, LearnedModel, PassiveDetector, QuarantineGate,
+    SentinelConfig, ShardPartition, StreamingMonitor,
 };
 use outage_netsim::FaultPlan;
 use outage_obs::Obs;
@@ -82,6 +82,17 @@ fn streaming_replay(
     }
     monitor.observe_all(obs.iter().copied());
     monitor.finish_with_quarantine(window.end)
+}
+
+/// Evidence records rendered exactly as every surface ships them —
+/// `EventEvidence::to_json()`, one line per record — so "equal" below
+/// means byte-identical provenance, not merely equal-ish numbers.
+fn evidence_doc(records: &[&EventEvidence]) -> String {
+    records
+        .iter()
+        .map(|e| e.to_json().to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// The detection-semantic metric families: everything here is a pure
@@ -251,6 +262,71 @@ proptest! {
             prop_assert_eq!(
                 &par, &seq,
                 "semantic metrics diverge at {} workers", workers
+            );
+        }
+    }
+
+    /// Decision provenance is part of the equivalence contract: with
+    /// the Full evidence tier on, the per-event records — belief
+    /// trajectory, expectation shape, gap context, quarantine overlap —
+    /// are byte-identical JSON across batch, streaming replay, and the
+    /// parallel driver at 1/2/4/8 workers, with and without blackouts.
+    #[test]
+    fn evidence_is_bit_identical_across_paths(
+        periods in proptest::collection::vec(8u64..16, 3..6),
+        blackout_start in 15_000u64..55_000,
+        blackout_len in 1_500u64..6_000,
+        outage_start in 60_000u64..75_000,
+        seed in 0u64..1_000,
+        faulted in any::<bool>(),
+    ) {
+        let clean = fleet(&periods, outage_start..outage_start + 5_000);
+        let mut obs = if faulted {
+            FaultPlan::new(seed)
+                .blackout(Interval::from_secs(blackout_start, blackout_start + blackout_len))
+                .apply_to_vec(&clean)
+        } else {
+            clean
+        };
+        obs.sort_unstable();
+        let window = Interval::from_secs(0, DAY);
+        let cfg = SentinelConfig::default();
+        let config = DetectorConfig {
+            evidence: EvidenceConfig::Full,
+            ..DetectorConfig::default()
+        };
+
+        let model = LearnedModel::learn(obs.iter().copied(), window);
+        let det = PassiveDetector::new(config.clone());
+
+        let batch = det
+            .detect_with_sentinel(&model, obs.iter().copied(), window, &cfg)
+            .expect("valid sentinel config");
+        let batch_doc = evidence_doc(&batch.evidence());
+        // Full tier: every completed event carries exactly one record.
+        prop_assert_eq!(
+            batch.evidence().len(), batch.events().len(),
+            "full tier must cover every event"
+        );
+
+        let mut monitor = StreamingMonitor::from_model(
+            config.clone(), &model, window.start, window.duration(),
+        )
+        .expect("window-sized epoch is valid");
+        monitor = monitor.with_sentinel(cfg).expect("valid sentinel config");
+        monitor.observe_all(obs.iter().copied());
+        let (_, _, stream_records) = monitor.finish_with_evidence(window.end);
+        let stream_doc = evidence_doc(&stream_records.iter().collect::<Vec<_>>());
+        prop_assert_eq!(&stream_doc, &batch_doc, "streaming evidence != batch evidence");
+
+        for workers in [1usize, 2, 4, 8] {
+            let par = detect_parallel_with_sentinel(
+                &det, &model, obs.iter().copied(), window, workers, &cfg,
+            )
+            .expect("valid sentinel config");
+            prop_assert_eq!(
+                evidence_doc(&par.evidence()), batch_doc.clone(),
+                "evidence diverges at {} workers", workers
             );
         }
     }

@@ -1,0 +1,61 @@
+//! Instrument bundle for the decision-provenance (evidence) tier.
+//!
+//! These families exist in a scrape only when the evidence tier is on:
+//! the pipeline exports them per run, and the serve daemon keeps live
+//! handles through this bundle. Their absence is itself a signal —
+//! `passive-outage status` renders a "tier off" hint when a snapshot
+//! contains no `po_evidence_*` family.
+
+use crate::registry::{Counter, Gauge, Registry};
+
+/// Resolved handles for the evidence-tier instruments.
+#[derive(Debug, Clone)]
+pub struct EvidenceMetrics {
+    /// `po_evidence_units_enrolled` — units carrying an evidence ring.
+    pub units_enrolled: Gauge,
+    /// `po_evidence_events_total` — frozen evidence records produced.
+    pub events_total: Counter,
+    /// `po_evidence_samples_total` — trajectory samples across frozen
+    /// records (bounds the memory the tier retained).
+    pub samples_total: Counter,
+    /// `po_evidence_explains_total` — explain lookups served (CLI doc
+    /// reads are not counted; HTTP `/events/{id}/explain` hits are).
+    pub explains_total: Counter,
+}
+
+impl EvidenceMetrics {
+    /// Register (or re-resolve) the evidence instruments in `registry`.
+    pub fn register(registry: &Registry) -> EvidenceMetrics {
+        EvidenceMetrics {
+            units_enrolled: registry.gauge("po_evidence_units_enrolled", &[]),
+            events_total: registry.counter("po_evidence_events_total", &[]),
+            samples_total: registry.counter("po_evidence_samples_total", &[]),
+            explains_total: registry.counter("po_evidence_explains_total", &[]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evidence_instruments_appear_in_prometheus_snapshot() {
+        let registry = Registry::new();
+        let m = EvidenceMetrics::register(&registry);
+        m.units_enrolled.set(12.0);
+        m.events_total.add(3);
+        m.explains_total.inc();
+        let text = registry.render_prometheus();
+        assert!(text.contains("po_evidence_units_enrolled 12"), "{text}");
+        assert!(text.contains("po_evidence_events_total 3"), "{text}");
+        assert!(text.contains("po_evidence_samples_total 0"), "{text}");
+        assert!(text.contains("po_evidence_explains_total 1"), "{text}");
+    }
+
+    #[test]
+    fn unregistered_registry_has_no_evidence_families() {
+        let registry = Registry::new();
+        assert!(!registry.render_prometheus().contains("po_evidence_"));
+    }
+}

@@ -1,0 +1,484 @@
+//! A minimal JSON document model, dependency-free.
+//!
+//! The evidence surfaces (the `explain` CLI command, the serve daemon's
+//! `GET /events/{id}/explain` route, and webhook payload enrichment)
+//! all emit the same record; building them on one [`Value`] tree keeps
+//! the three byte-identical. Objects preserve insertion order, so a
+//! given tree always renders the same text — the property the
+//! equivalence tests lean on.
+//!
+//! [`Value::parse`] is the matching reader: a strict recursive-descent
+//! parser used by the CLI to consume evidence documents and live
+//! `/events` responses. It accepts exactly the JSON this module (or any
+//! standard writer) produces; it is not lenient about trailing commas
+//! or comments.
+
+use std::fmt;
+
+/// A JSON value. Objects keep their keys in insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish int from float).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object, ready for [`Value::set`].
+    pub fn object() -> Value {
+        Value::Obj(Vec::new())
+    }
+
+    /// Insert (or replace) a key in an object. Panics on non-objects —
+    /// builder misuse, not data errors.
+    pub fn set(&mut self, key: &str, value: Value) -> &mut Value {
+        let Value::Obj(entries) = self else {
+            panic!("Value::set on a non-object");
+        };
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => entries.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Member lookup on an object; `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON text into a value tree.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data after document"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact rendering: no insignificant whitespace, object keys in
+    /// insertion order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write_num(f, *n),
+            Value::Str(s) => write_escaped(f, s),
+            Value::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Obj(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Integers render without a fraction part; NaN/∞ (unrepresentable in
+/// JSON) degrade to `null` rather than emitting an invalid document.
+fn write_num(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        return f.write_str("null");
+    }
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        write!(f, "{}", n as i64)
+    } else {
+        write!(f, "{n}")
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// A parse failure: what was wrong and the byte offset it was found at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What the parser expected or rejected.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("unrecognized literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// After `\u`: four hex digits, combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"));
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("bad unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("bad unicode escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad unicode escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_and_ordered() {
+        let mut v = Value::object();
+        v.set("b", Value::Num(2.0));
+        v.set("a", Value::Str("x\"y".into()));
+        v.set("list", Value::Arr(vec![Value::Bool(true), Value::Null]));
+        assert_eq!(v.to_string(), r#"{"b":2,"a":"x\"y","list":[true,null]}"#);
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Value::Num(86_400.0).to_string(), "86400");
+        assert_eq!(Value::Num(0.25).to_string(), "0.25");
+        assert_eq!(Value::Num(-3.0).to_string(), "-3");
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn round_trips_through_parse() {
+        let text = r#"{"prefix":"192.0.2.0/24","belief":0.125,"n":42,
+                       "arr":[1,2.5,-3e2],"s":"a\nbé","ok":true,"gone":null}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.get("prefix").unwrap().as_str(), Some("192.0.2.0/24"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            v.get("arr").unwrap().as_arr().unwrap()[2],
+            Value::Num(-300.0)
+        );
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\nb\u{e9}"));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("gone"), Some(&Value::Null));
+        // render → parse → render is a fixed point
+        let rendered = v.to_string();
+        assert_eq!(Value::parse(&rendered).unwrap().to_string(), rendered);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Value::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let v = Value::parse(r#"{"a":{"b":[{"c":1}]}}"#).unwrap();
+        let c = v.get("a").unwrap().get("b").unwrap().as_arr().unwrap()[0]
+            .get("c")
+            .unwrap()
+            .as_u64();
+        assert_eq!(c, Some(1));
+    }
+}

@@ -55,11 +55,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod evidence;
+pub mod json;
 pub mod prometheus;
 pub mod registry;
 pub mod store;
 pub mod trace;
 
+pub use evidence::EvidenceMetrics;
+pub use json::{JsonError, Value};
 pub use prometheus::{parse_prometheus, PromParseError, Snapshot};
 pub use registry::{Counter, FloatCounter, Gauge, Histogram, Registry, Sample};
 pub use store::StoreMetrics;
