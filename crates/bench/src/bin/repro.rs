@@ -10,7 +10,7 @@ use outage_bench::experiments::{
     faults, fig1, fig2a, fig2b, stability, table1, table2, table3, week, Scale,
 };
 use outage_bench::throughput::{
-    evidence_overhead, throughput, throughput_document_with, BenchPreset,
+    evidence_overhead, federation_bench, throughput, throughput_document_with, BenchPreset,
 };
 
 fn main() {
@@ -196,7 +196,22 @@ fn run_throughput(
         3,
     );
     println!("{}", ev.rendered);
-    let doc = throughput_document_with(&results, Some(&ev));
+    // Multi-vantage scale-out vs the single engine on the table1
+    // scenario (the paper-scale stream would double the run for a
+    // number whose shape is the same): 3 vantages, union fusion, and
+    // the equivalence diff recorded alongside the throughput figures.
+    let fed_preset = BenchPreset::Table1;
+    let fed = federation_bench(
+        fed_preset,
+        Scale {
+            num_as: section_num_as(fed_preset),
+            ..scale
+        },
+        3,
+        iterations,
+    );
+    println!("{}", fed.rendered);
+    let doc = throughput_document_with(&results, Some(&ev), Some(&fed));
     let path = out_path.unwrap_or("BENCH_throughput.json");
     match std::fs::write(path, &doc) {
         Ok(()) => eprintln!("wrote {path}"),

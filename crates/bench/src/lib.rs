@@ -21,5 +21,6 @@ pub use experiments::{
     Fig2bResult, Scale, TableResult,
 };
 pub use throughput::{
-    throughput, throughput_document, BenchPreset, ModelStoreTiming, PassTiming, ThroughputResult,
+    federation_bench, throughput, throughput_document, BenchPreset, FederationBenchResult,
+    ModelStoreTiming, PassTiming, ThroughputResult,
 };

@@ -39,6 +39,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "simulate" => cmd_simulate(&flags),
         "detect" => cmd_detect(&flags),
+        "federate" => cmd_federate(&flags),
         "serve" => cmd_serve(&flags),
         "learn" => cmd_learn(&flags),
         "eval" => cmd_eval(&flags),
@@ -64,6 +65,11 @@ fn usage() -> String {
      \x20           [--metrics-out FILE] [--trace-out FILE]\n\
      \x20           [--model FILE | --model-out FILE]\n\
      \x20           [--evidence off|full|sampled:N] [--evidence-out FILE]\n\
+     \x20 federate  --obs FILE --out FILE [--window SECS]\n\
+     \x20           [--vantages N] [--overlap FRAC] [--fusion union|quorum:K]\n\
+     \x20           [--sentinel] [--sentinel-bucket SECS]\n\
+     \x20           [--fault-plan FILE [--fault-vantage V]]\n\
+     \x20           [--attribution-out FILE] [--metrics-out FILE] [--model-out FILE]\n\
      \x20 explain   EVENT-ID (--evidence FILE | --url http://HOST:PORT) [--json]\n\
      \x20 serve     [--preset P | --obs FILE] [--num-as N] [--seed S]\n\
      \x20           [--accel X] [--epoch SECS] [--listen ADDR] [--port-file FILE]\n\
@@ -72,6 +78,7 @@ fn usage() -> String {
      \x20           [--sentinel] [--sentinel-bucket SECS] [--fault-plan FILE]\n\
      \x20           [--webhook URL] [--webhook-rate R] [--webhook-burst N]\n\
      \x20           [--queue-capacity N] [--evidence off|full|sampled:N]\n\
+     \x20           [--vantages N]   (federated: one engine per vantage)\n\
      \x20 learn     --obs FILE --model-out FILE [--window SECS] [--workers N]\n\
      \x20 model     inspect FILE | verify FILE | merge A B --out FILE\n\
      \x20 status    METRICS-FILE   (a --metrics-out snapshot)\n\
@@ -273,6 +280,50 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_federate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let obs = read(required(flags, "obs")?)?;
+    let out = required(flags, "out")?;
+    let window = flags
+        .get("window")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--window: {e}")))
+        .transpose()?;
+    let vantages = get_u64(flags, "vantages", 3)? as usize;
+    let fusion = match flags.get("fusion") {
+        None => outage_core::FusionPolicy::Union,
+        Some(v) => outage_core::FusionPolicy::parse(v).map_err(|e| e.to_string())?,
+    };
+    let fault_vantage = flags
+        .get("fault-vantage")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|e| format!("--fault-vantage {v:?}: {e}"))
+        })
+        .transpose()?;
+    let opts = commands::FederateOptions {
+        window_secs: window,
+        vantages,
+        overlap: get_f64(flags, "overlap", 0.0)?,
+        fusion,
+        sentinel: parse_sentinel(flags)?,
+        fault_plan: parse_fault_plan(flags)?,
+        fault_vantage,
+        model_out: flags.contains_key("model-out"),
+    };
+    let result = commands::federate(&obs, &opts).map_err(|e| e.to_string())?;
+    write(out, &result.events)?;
+    if let Some(apath) = flags.get("attribution-out") {
+        write(apath, &result.attribution)?;
+    }
+    if let Some(mpath) = flags.get("metrics-out") {
+        write_atomic(mpath, result.metrics.as_bytes())?;
+    }
+    if let Some(mpath) = flags.get("model-out") {
+        write_atomic(mpath, result.model.as_deref().unwrap_or(&[]))?;
+    }
+    eprintln!("{}", result.summary);
+    Ok(())
+}
+
 fn cmd_explain(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: passive-outage explain EVENT-ID \
                          (--evidence FILE | --url http://HOST:PORT) [--json]";
@@ -342,6 +393,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .get("until")
             .map(|v| v.parse::<u64>().map_err(|e| format!("--until {v:?}: {e}")))
             .transpose()?,
+        vantages: get_u64(flags, "vantages", 1)? as usize,
     };
     install_shutdown_handlers();
     let outcome = commands::serve(&opts, shutdown_flag()).map_err(|e| e.to_string())?;

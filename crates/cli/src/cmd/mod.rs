@@ -7,6 +7,7 @@ mod coverage;
 mod detect;
 mod eval;
 mod explain;
+mod federate;
 mod learn;
 mod model;
 mod serve;
@@ -18,6 +19,7 @@ pub use self::coverage::coverage;
 pub use self::detect::{detect, detect_with, DetectOptions, DetectOutput};
 pub use self::eval::eval;
 pub use self::explain::{explain, explain_live};
+pub use self::federate::{federate, FederateOptions, FederateOutput};
 pub use self::learn::{learn, LearnOutput};
 pub use self::model::{model_inspect, model_merge, model_verify};
 pub use self::serve::{serve, ServeOptions, ServeOutcomeSummary, ServeSource};
@@ -63,6 +65,12 @@ impl From<StoreError> for CommandError {
 impl From<outage_core::ModelError> for CommandError {
     fn from(e: outage_core::ModelError) -> Self {
         CommandError(format!("model merge: {e}"))
+    }
+}
+
+impl From<outage_core::FederationError> for CommandError {
+    fn from(e: outage_core::FederationError) -> Self {
+        CommandError(format!("federation: {e}"))
     }
 }
 

@@ -16,7 +16,7 @@ use outage_core::service::{
 };
 use outage_core::{
     Daemon, DaemonConfig, DetectorConfig, EvidenceConfig, HttpServer, SentinelConfig, ServeView,
-    StreamingMonitor,
+    StreamingMonitor, VantagePlan,
 };
 use outage_netsim::{FaultPlan, ReplayClock};
 use outage_obs::Obs;
@@ -75,6 +75,9 @@ pub struct ServeOptions {
     pub until: Option<u64>,
     /// Evidence tier: per-event decision provenance for `/events/{id}/explain`.
     pub evidence: EvidenceConfig,
+    /// Run this many per-vantage engines behind one HTTP surface
+    /// (1 = the classic single-engine daemon).
+    pub vantages: usize,
 }
 
 impl Default for ServeOptions {
@@ -102,6 +105,7 @@ impl Default for ServeOptions {
             queue_capacity: 1_024,
             until: None,
             evidence: EvidenceConfig::Off,
+            vantages: 1,
         }
     }
 }
@@ -223,6 +227,137 @@ impl ServeView for StatusView {
 
     fn explain_json(&self, id: &str) -> Option<String> {
         self.shared.explain_json(id)
+    }
+}
+
+/// The HTTP surface's window into a federated daemon: one entry per
+/// vantage, aggregated on demand.
+struct FederationView {
+    vantages: Vec<ServeShared>,
+}
+
+impl FederationView {
+    /// Build the `po_federation_*` snapshot from the live per-vantage
+    /// daemons (same families [`outage_core::FederatedReport`] exports
+    /// for batch runs, so `status` renders both).
+    fn federation_registry(&self) -> outage_obs::Registry {
+        let registry = outage_obs::Registry::new();
+        let statuses: Vec<ServeStatus> = self.vantages.iter().map(ServeShared::status).collect();
+        let max_high_water = statuses
+            .iter()
+            .map(|s| s.high_water_unix)
+            .max()
+            .unwrap_or(0);
+        registry
+            .gauge("po_federation_vantages", &[])
+            .set(self.vantages.len() as f64);
+        registry
+            .counter("po_federation_fused_events_total", &[])
+            .add(statuses.iter().map(|s| s.events_total).sum());
+        // The serve partition is disjoint: no unit is covered twice.
+        registry.gauge("po_federation_fused_units", &[]).set(0.0);
+        for (v, (shared, s)) in self.vantages.iter().zip(&statuses).enumerate() {
+            let id = v.to_string();
+            let labels: &[(&str, &str)] = &[("vantage", id.as_str())];
+            let health = match s.feed_health.as_deref() {
+                Some("healthy") => Some(0.0),
+                Some("degraded") => Some(1.0),
+                Some("dark") => Some(2.0),
+                _ => None,
+            };
+            if let Some(h) = health {
+                registry
+                    .gauge("po_federation_vantage_health", labels)
+                    .set(h);
+            }
+            registry
+                .gauge("po_federation_covered_blocks", labels)
+                .set(s.covered_blocks as f64);
+            registry
+                .counter("po_federation_events_total", labels)
+                .add(s.events_total);
+            let value = |name: &str| shared.registry().value(name, &[]).unwrap_or(0.0);
+            registry
+                .counter("po_federation_quarantine_intervals_total", labels)
+                .add(value("po_stream_quarantine_closed_total") as u64);
+            registry
+                .counter("po_federation_quarantine_seconds_total", labels)
+                .add(value("po_quarantine_duration_seconds_sum") as u64);
+            registry
+                .gauge("po_federation_watermark_lag_seconds", labels)
+                .set(max_high_water.saturating_sub(s.high_water_unix) as f64);
+        }
+        registry
+    }
+}
+
+impl ServeView for FederationView {
+    fn metrics(&self) -> String {
+        self.federation_registry().render_prometheus()
+    }
+
+    fn status_json(&self) -> String {
+        let per_vantage: Vec<String> = self
+            .vantages
+            .iter()
+            .map(|s| status_json(&s.status()))
+            .collect();
+        let events_total: u64 = self.vantages.iter().map(|s| s.status().events_total).sum();
+        format!(
+            "{{\"federation\":true,\"vantages\":{},\"events_total\":{},\"vantage_status\":[{}]}}",
+            self.vantages.len(),
+            events_total,
+            per_vantage.join(",")
+        )
+    }
+
+    fn events_json(&self) -> String {
+        let mut tagged: Vec<(usize, OutageEvent)> = Vec::new();
+        for (v, shared) in self.vantages.iter().enumerate() {
+            tagged.extend(shared.events().into_iter().map(|e| (v, e)));
+        }
+        tagged.sort_by_key(|(_, e)| (e.interval.start, e.prefix));
+        let mut out = String::from("[");
+        for (i, (v, e)) in tagged.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"prefix\":\"{}\",\"start\":{},\"end\":{},\"confidence\":{:.6},\
+                 \"detector\":\"{}\",\"vantage\":{}}}",
+                e.prefix,
+                e.interval.start.secs(),
+                e.interval.end.secs(),
+                e.confidence,
+                e.detector,
+                v
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    fn healthz(&self) -> (bool, String) {
+        let dead = self
+            .vantages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_healthy())
+            .map(|(v, _)| v.to_string())
+            .collect::<Vec<_>>();
+        if dead.is_empty() {
+            (true, "ok".to_string())
+        } else {
+            (
+                false,
+                format!("vantage engines not running: {}", dead.join(",")),
+            )
+        }
+    }
+
+    fn explain_json(&self, id: &str) -> Option<String> {
+        self.vantages.iter().find_map(|s| s.explain_json(id))
     }
 }
 
@@ -467,6 +602,9 @@ pub fn serve(
     opts: &ServeOptions,
     shutdown: &'static AtomicBool,
 ) -> Result<ServeOutcomeSummary, CommandError> {
+    if opts.vantages > 1 {
+        return serve_federated(opts, shutdown);
+    }
     let (observations, label) = build_observations(opts)?;
     // The evidence tier rides the config but stays out of its
     // fingerprint, so `--resume` accepts checkpoints from any tier.
@@ -559,6 +697,132 @@ pub fn serve(
         status.queue_dropped,
         status.source_faults,
         outcome.end.secs(),
+    );
+    Ok(ServeOutcomeSummary { summary })
+}
+
+/// Federated serve: one engine, ingest thread, sentinel, and obs scope
+/// per vantage, all behind a single HTTP surface. The feed is split by
+/// the same [`VantagePlan`] the batch `federate` command uses, so a
+/// feed fault injected at one vantage stays confined to its shard.
+fn serve_federated(
+    opts: &ServeOptions,
+    shutdown: &'static AtomicBool,
+) -> Result<ServeOutcomeSummary, CommandError> {
+    if opts.checkpoint.is_some() || opts.resume {
+        return Err(CommandError(
+            "--checkpoint/--resume are single-vantage features; \
+             a federated serve has one engine per vantage and no shared cursor"
+                .into(),
+        ));
+    }
+    let (observations, label) = build_observations(opts)?;
+    let config = DetectorConfig {
+        evidence: opts.evidence,
+        ..DetectorConfig::default()
+    };
+    let plan =
+        VantagePlan::new(opts.vantages).map_err(|e| CommandError(format!("federation: {e}")))?;
+    let shards = plan.split(&observations);
+
+    let mut shareds: Vec<ServeShared> = Vec::with_capacity(opts.vantages);
+    let mut ingests = Vec::new();
+    let mut daemons = Vec::new();
+    for (v, shard) in shards.into_iter().enumerate() {
+        let shared = ServeShared::new(Obs::new());
+        let first_obs = shard.first().map(|o| o.time).unwrap_or(UnixTime::EPOCH);
+        let epoch = opts.epoch_secs.max(1);
+        let aligned = UnixTime(first_obs.secs() / epoch * epoch);
+        let mut monitor = StreamingMonitor::new(config.clone(), aligned, opts.epoch_secs)?;
+        if let Some(s) = opts.sentinel {
+            monitor = monitor.with_sentinel(s)?;
+        }
+        monitor = monitor.with_obs(shared.obs().clone());
+
+        let source = ReplaySource::new(shard, 0, opts.accel, format!("vantage {v}: {label}"));
+        shared.set_source_description(&source.describe());
+        let (tx, rx) = sync_channel(opts.queue_capacity.max(1));
+        let sup_shared = shared.clone();
+        let sup_cfg = SupervisorConfig::default();
+        let ingest = std::thread::Builder::new()
+            .name(format!("po-ingest-{v}"))
+            .spawn(move || run_supervised(Box::new(source), tx, shutdown, &sup_cfg, &sup_shared))
+            .map_err(|e| CommandError(format!("spawning ingest thread {v}: {e}")))?;
+        ingests.push(ingest);
+
+        let mut daemon = Daemon::new(monitor, rx, shared.clone(), DaemonConfig::default());
+        if let Some(url) = &opts.webhook {
+            let transport = Box::new(TcpWebhook::parse(url)?);
+            let policy = AlertPolicy {
+                rate_per_sec: opts.webhook_rate,
+                burst: opts.webhook_burst,
+                ..AlertPolicy::default()
+            };
+            daemon = daemon.with_notifier(AlertNotifier::new(transport, policy));
+        }
+        let engine = std::thread::Builder::new()
+            .name(format!("po-engine-{v}"))
+            .spawn(move || daemon.run(shutdown))
+            .map_err(|e| CommandError(format!("spawning engine thread {v}: {e}")))?;
+        daemons.push(engine);
+        shareds.push(shared);
+    }
+
+    let view = Arc::new(FederationView {
+        vantages: shareds.clone(),
+    });
+    let http = HttpServer::bind(opts.listen.as_str(), view.clone())
+        .map_err(|e| CommandError(format!("binding {}: {e}", opts.listen)))?;
+    let addr = http.local_addr();
+    if let Some(pf) = &opts.port_file {
+        outage_store::atomic_write(pf, format!("{addr}\n").as_bytes())
+            .map_err(|e| CommandError(format!("writing {}: {e}", pf.display())))?;
+    }
+    eprintln!(
+        "serve: listening on http://{addr} ({} vantage engines; metrics, status, events, healthz)",
+        shareds.len()
+    );
+
+    let mut outcomes = Vec::new();
+    for (v, engine) in daemons.into_iter().enumerate() {
+        let outcome = engine
+            .join()
+            .map_err(|_| CommandError(format!("vantage {v} engine panicked")))?;
+        outcomes.push(outcome);
+    }
+    for ingest in ingests {
+        let _ = ingest.join();
+    }
+
+    if let Some(path) = &opts.events_out {
+        // The shards are disjoint, so the fused (union) global timeline
+        // is the sorted concatenation of the per-vantage event logs.
+        let mut events: Vec<OutageEvent> = outcomes.iter().flat_map(|o| o.events.clone()).collect();
+        events.sort_by_key(|e| (e.interval.start, e.prefix));
+        let doc = format::render_events(&events);
+        outage_store::atomic_write(path, doc.as_bytes())
+            .map_err(|e| CommandError(format!("writing {}: {e}", path.display())))?;
+    }
+    if let Some(path) = &opts.metrics_out {
+        let doc = view.federation_registry().render_prometheus();
+        outage_store::atomic_write(path, doc.as_bytes())
+            .map_err(|e| CommandError(format!("writing {}: {e}", path.display())))?;
+    }
+    http.shutdown();
+
+    let events_total: usize = outcomes.iter().map(|o| o.events.len()).sum();
+    let quarantined_total: u64 = outcomes.iter().map(|o| o.quarantined.total()).sum();
+    let end = outcomes
+        .iter()
+        .map(|o| o.end)
+        .max()
+        .unwrap_or(UnixTime::EPOCH);
+    let summary = format!(
+        "serve: federated {} vantages, {} events ({} quarantined s), finished to t={}",
+        outcomes.len(),
+        events_total,
+        quarantined_total,
+        end.secs(),
     );
     Ok(ServeOutcomeSummary { summary })
 }

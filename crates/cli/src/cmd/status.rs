@@ -24,6 +24,7 @@ pub fn status(snapshot_text: &str) -> Result<String, CommandError> {
     status_stages(&snap, &mut out);
     status_router(&snap, &mut out);
     status_serve(&snap, &mut out);
+    status_federation(&snap, &mut out);
     status_alerts(&snap, &mut out);
     status_bench(&snap, &mut out);
     status_evidence(&snap, &mut out);
@@ -195,6 +196,74 @@ fn status_serve(snap: &Snapshot, out: &mut String) {
     ));
     if let Some(events) = snap.value("po_serve_events_total", &[]) {
         out.push_str(&format!("  events          {events:.0}\n"));
+    }
+}
+
+/// Multi-vantage federation: one health row per vantage. Single-vantage
+/// runs export no `po_federation_*` families at all, so their absence
+/// gets an explicit hint instead of a silently missing section — but
+/// only when the snapshot holds other `po_*` sections (an unrelated
+/// snapshot still errors out upstream).
+fn status_federation(snap: &Snapshot, out: &mut String) {
+    let Some(vantages) = snap.value("po_federation_vantages", &[]) else {
+        if !out.is_empty() {
+            out.push_str("federation\n");
+            out.push_str(
+                "  vantages        single (no po_federation_* families; run federate or \
+                 serve --vantages N for a multi-vantage view)\n",
+            );
+        }
+        return;
+    };
+    let fused_events = snap
+        .value("po_federation_fused_events_total", &[])
+        .unwrap_or(0.0);
+    let fused_units = snap.value("po_federation_fused_units", &[]).unwrap_or(0.0);
+    out.push_str("federation\n");
+    out.push_str(&format!(
+        "  vantages        {vantages:.0} ({fused_events:.0} fused events, \
+         {fused_units:.0} multi-vantage units)\n"
+    ));
+    let mut ids: Vec<u64> = snap
+        .matching("po_federation_covered_blocks")
+        .into_iter()
+        .filter_map(|s| label(s, "vantage")?.parse().ok())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.is_empty() {
+        return;
+    }
+    out.push_str("  vantage  health    blocks  events  quarantine     watermark lag\n");
+    for id in ids {
+        let v = id.to_string();
+        let labels: &[(&str, &str)] = &[("vantage", v.as_str())];
+        let health = match snap.value("po_federation_vantage_health", labels) {
+            Some(h) if h as i64 == 0 => "healthy",
+            Some(h) if h as i64 == 1 => "degraded",
+            Some(h) if h as i64 == 2 => "dark",
+            Some(_) => "unknown",
+            None => "n/a",
+        };
+        let blocks = snap
+            .value("po_federation_covered_blocks", labels)
+            .unwrap_or(0.0);
+        let events = snap
+            .value("po_federation_events_total", labels)
+            .unwrap_or(0.0);
+        let spans = snap
+            .value("po_federation_quarantine_intervals_total", labels)
+            .unwrap_or(0.0);
+        let secs = snap
+            .value("po_federation_quarantine_seconds_total", labels)
+            .unwrap_or(0.0);
+        let lag = snap
+            .value("po_federation_watermark_lag_seconds", labels)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {id:>7}  {health:<8}  {blocks:>6.0}  {events:>6.0}  \
+             {spans:>3.0} span / {secs:>5.0} s  {lag:>6.0} s\n"
+        ));
     }
 }
 

@@ -5,7 +5,8 @@
 //! keep working through these re-exports.
 
 pub use crate::cmd::{
-    build_preset, coverage, detect, detect_with, eval, explain, explain_live, learn, model_inspect,
-    model_merge, model_verify, serve, simulate, status, telescope, CommandError, DetectOptions,
-    DetectOutput, LearnOutput, ServeOptions, ServeOutcomeSummary, ServeSource, SimulateOutput,
+    build_preset, coverage, detect, detect_with, eval, explain, explain_live, federate, learn,
+    model_inspect, model_merge, model_verify, serve, simulate, status, telescope, CommandError,
+    DetectOptions, DetectOutput, FederateOptions, FederateOutput, LearnOutput, ServeOptions,
+    ServeOutcomeSummary, ServeSource, SimulateOutput,
 };

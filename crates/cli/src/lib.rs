@@ -24,6 +24,6 @@ pub mod commands;
 pub mod format;
 
 pub use commands::{
-    build_preset, coverage, detect, detect_with, eval, serve, simulate, telescope, CommandError,
-    DetectOptions, ServeOptions, ServeSource,
+    build_preset, coverage, detect, detect_with, eval, federate, serve, simulate, telescope,
+    CommandError, DetectOptions, FederateOptions, ServeOptions, ServeSource,
 };

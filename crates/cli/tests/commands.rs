@@ -607,3 +607,164 @@ fn model_merge_of_split_feeds_matches_whole_feed_learning() {
     let whole = learn(&doc, window, Some(1)).unwrap();
     assert_eq!(merged, whole.model, "merge must equal one-pass learning");
 }
+
+#[test]
+fn federate_union_matches_single_vantage_detect() {
+    let sim = simulate("quick", 40, 31).unwrap();
+    let solo = detect(&sim.observations, Some(86_400)).unwrap();
+    let fed = federate(
+        &sim.observations,
+        &FederateOptions {
+            window_secs: Some(86_400),
+            vantages: 3,
+            ..FederateOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        !fed.events.trim().is_empty(),
+        "scenario must produce events"
+    );
+    assert_eq!(
+        fed.events, solo.events,
+        "3-vantage union federation must emit the single-vantage event document"
+    );
+    // One attribution line per fused event, each naming its vantage.
+    let event_lines = fed.events.lines().filter(|l| !l.starts_with('#')).count();
+    let attr_lines = fed.attribution.lines().count();
+    assert_eq!(event_lines, attr_lines, "{}", fed.attribution);
+    assert!(fed.attribution.lines().all(|l| l.contains("vantages")));
+    // The federation metric families are exported.
+    let snap = parse_prometheus(&fed.metrics).unwrap();
+    assert_eq!(snap.value("po_federation_vantages", &[]).unwrap(), 3.0);
+    for v in ["0", "1", "2"] {
+        let covered = snap
+            .value("po_federation_covered_blocks", &[("vantage", v)])
+            .unwrap();
+        assert!(covered > 0.0, "vantage {v} covered nothing");
+    }
+    assert!(fed.summary.contains("fusion union"), "{}", fed.summary);
+    assert!(fed.summary.contains("vantage 2:"), "{}", fed.summary);
+}
+
+#[test]
+fn federate_scopes_faults_to_one_vantage() {
+    let sim = simulate("quick", 40, 32).unwrap();
+    let fault = FaultPlan::new(9).blackout(Interval::from_secs(30_000, 37_200));
+    let fed = federate(
+        &sim.observations,
+        &FederateOptions {
+            window_secs: Some(86_400),
+            vantages: 3,
+            sentinel: Some(SentinelConfig::default()),
+            fault_plan: Some(fault.clone()),
+            fault_vantage: Some(1),
+            ..FederateOptions::default()
+        },
+    )
+    .unwrap();
+    let snap = parse_prometheus(&fed.metrics).unwrap();
+    let quarantined = |v: &str| {
+        snap.value("po_federation_quarantine_seconds_total", &[("vantage", v)])
+            .unwrap_or(0.0)
+    };
+    assert!(
+        quarantined("1") > 0.0,
+        "the faulted vantage must quarantine:\n{}",
+        fed.metrics
+    );
+    assert_eq!(quarantined("0"), 0.0, "fault leaked to vantage 0");
+    assert_eq!(quarantined("2"), 0.0, "fault leaked to vantage 2");
+    assert!(
+        fed.summary.contains("faults on vantage 1"),
+        "{}",
+        fed.summary
+    );
+
+    // Scoping flags are validated.
+    let err = federate(
+        &sim.observations,
+        &FederateOptions {
+            window_secs: Some(86_400),
+            vantages: 3,
+            fault_vantage: Some(1),
+            ..FederateOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("--fault-plan"), "{err}");
+    let err = federate(
+        &sim.observations,
+        &FederateOptions {
+            window_secs: Some(86_400),
+            vantages: 3,
+            fault_plan: Some(fault),
+            fault_vantage: Some(7),
+            ..FederateOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn federate_model_out_warm_starts_detect() {
+    let sim = simulate("quick", 40, 33).unwrap();
+    let fed = federate(
+        &sim.observations,
+        &FederateOptions {
+            window_secs: Some(86_400),
+            vantages: 3,
+            model_out: true,
+            ..FederateOptions::default()
+        },
+    )
+    .unwrap();
+    let bytes = fed.model.expect("model_out must populate the checkpoint");
+    assert!(model_verify(&bytes).unwrap().starts_with("ok: "));
+    // The fused global model warm-starts a single-vantage detect and
+    // reproduces the cold run: fusion loses nothing.
+    let cold = detect(&sim.observations, Some(86_400)).unwrap();
+    let warm = detect_with(
+        &sim.observations,
+        &DetectOptions {
+            window_secs: Some(86_400),
+            model: Some(bytes),
+            ..DetectOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(warm.events, cold.events);
+}
+
+#[test]
+fn status_renders_federation_table_or_single_vantage_hint() {
+    let sim = simulate("quick", 40, 34).unwrap();
+    let fed = federate(
+        &sim.observations,
+        &FederateOptions {
+            window_secs: Some(86_400),
+            vantages: 3,
+            sentinel: Some(SentinelConfig::default()),
+            ..FederateOptions::default()
+        },
+    )
+    .unwrap();
+    let rendered = status(&fed.metrics).unwrap();
+    assert!(rendered.contains("federation\n"), "{rendered}");
+    assert!(rendered.contains("vantage  health"), "{rendered}");
+    for v in ["0", "1", "2"] {
+        assert!(
+            rendered.lines().any(|l| l.trim_start().starts_with(v)),
+            "missing row for vantage {v}:\n{rendered}"
+        );
+    }
+
+    // A single-vantage snapshot gets the explicit hint, not silence.
+    let solo = detect(&sim.observations, Some(86_400)).unwrap();
+    let rendered = status(&solo.metrics).unwrap();
+    assert!(
+        rendered.contains("no po_federation_* families"),
+        "{rendered}"
+    );
+}

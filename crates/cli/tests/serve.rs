@@ -412,3 +412,131 @@ fn resume_misuse_fails_with_a_message() {
         "an unreadable checkpoint is an error, not a panic"
     );
 }
+
+/// Federated serve: N per-vantage engines behind one HTTP surface. The
+/// surface must expose the vantage dimension on /status and /events and
+/// the po_federation_* families on /metrics, flush fused outputs on
+/// shutdown, and `status` must render the snapshot with a health table.
+#[test]
+fn federated_serve_exposes_vantage_dimensions() {
+    let dir = TestDir::new("federated");
+    let events_out = dir.path("events.txt");
+    let metrics_out = dir.path("metrics.prom");
+    let port_file = dir.path("port.txt");
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--preset",
+            "quick",
+            "--num-as",
+            "40",
+            "--seed",
+            "42",
+            "--vantages",
+            "3",
+            "--epoch",
+            "86400",
+            "--accel",
+            "4000",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--events-out",
+            &events_out.to_string_lossy(),
+            "--metrics-out",
+            &metrics_out.to_string_lossy(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn federated daemon");
+    let addr = wait_for_addr(&port_file, &mut child);
+
+    let (status, body) = http_get(&addr, "/healthz");
+    assert_eq!(status, 200, "healthz: {body}");
+
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("po_federation_vantages 3"),
+        "metrics must carry the federation families: {body}"
+    );
+    assert!(
+        body.contains("po_federation_covered_blocks{vantage=\"0\"}"),
+        "per-vantage samples must be labelled: {body}"
+    );
+
+    let (status, body) = http_get(&addr, "/status");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"federation\":true"), "status JSON: {body}");
+    assert!(body.contains("\"vantages\":3"), "status JSON: {body}");
+    assert!(body.contains("\"vantage_status\":["), "status JSON: {body}");
+    assert_eq!(
+        body.matches("\"source_state\":").count(),
+        3,
+        "one status per vantage: {body}"
+    );
+
+    let (status, body) = http_get(&addr, "/events");
+    assert_eq!(status, 200);
+    assert!(body.trim_start().starts_with('['), "events JSON: {body}");
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = child.try_wait().expect("try_wait") {
+            break s;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("federated daemon did not exit within 30 s of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(
+        status.success(),
+        "graceful shutdown must exit zero: {status}"
+    );
+    assert!(events_out.exists(), "fused events flushed on shutdown");
+
+    let metrics = std::fs::read_to_string(&metrics_out).expect("metrics snapshot written");
+    assert!(metrics.contains("po_federation_vantages"), "{metrics}");
+
+    // `status` renders a per-vantage health table from the snapshot.
+    let out = run_to_completion(&["status", &metrics_out.to_string_lossy()]);
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert!(rendered.contains("federation"), "{rendered}");
+    assert!(
+        rendered.contains("vantage  health"),
+        "health table header: {rendered}"
+    );
+}
+
+/// Checkpointing is a single-vantage feature: a federated serve with
+/// --checkpoint or --resume must fail fast with a clear message.
+#[test]
+fn federated_serve_rejects_checkpointing() {
+    let dir = TestDir::new("fed-misuse");
+    let feed = dir.path("obs.txt");
+    write_feed(&feed);
+    let out = Command::new(BIN)
+        .args([
+            "serve",
+            "--obs",
+            &feed.to_string_lossy(),
+            "--vantages",
+            "2",
+            "--checkpoint",
+            &dir.path("cp.posv").to_string_lossy(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("single-vantage"), "helpful error: {stderr}");
+}

@@ -1,0 +1,81 @@
+//! Cross-vantage model fusion.
+
+use super::FederationError;
+use crate::model::LearnedModel;
+
+/// Fuse per-vantage [`LearnedModel`] shards into one global model.
+///
+/// Pairwise [`LearnedModel::merge`] sums hour counts exactly (identical
+/// windows add element-wise; hour-aligned overlapping or adjacent
+/// windows land on a shared combined arena), but it interns prefixes in
+/// first-then-second appearance order — a fold over shards would leak
+/// the fold order into the arena layout. Fusion therefore finishes with
+/// [`LearnedModel::canonical`], re-interning the index in sorted prefix
+/// order. The result is bit-for-bit identical for any permutation or
+/// association of the same shards: counts are order-free sums, and the
+/// layout is order-free by canonicalization (property-tested in
+/// `model_fusion.rs`).
+pub fn fuse_models(models: &[LearnedModel]) -> Result<LearnedModel, FederationError> {
+    let (first, rest) = models.split_first().ok_or(FederationError::NoReports)?;
+    let mut acc = first.clone();
+    for m in rest {
+        acc = LearnedModel::merge(&acc, m)?;
+    }
+    Ok(acc.canonical())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outage_types::{Interval, Observation, Prefix, UnixTime};
+
+    fn obs_for(blocks: &[u32], step: u64) -> Vec<Observation> {
+        (0..86_400u64)
+            .step_by(step as usize)
+            .flat_map(|t| {
+                blocks
+                    .iter()
+                    .map(move |&b| Observation::new(UnixTime(t), Prefix::v4_raw(b << 8, 24)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_model_equals_union_stream_learning() {
+        let window = Interval::from_secs(0, 86_400);
+        let a = obs_for(&[1, 2], 30);
+        let b = obs_for(&[3], 45);
+        let c = obs_for(&[4, 5], 60);
+        let shards: Vec<LearnedModel> = [&a, &b, &c]
+            .iter()
+            .map(|o| LearnedModel::learn(o.iter().copied(), window))
+            .collect();
+        let fused = fuse_models(&shards).unwrap();
+
+        let mut union: Vec<Observation> = a.into_iter().chain(b).chain(c).collect();
+        union.sort_by_key(|o| (o.time, o.block));
+        let direct = LearnedModel::learn(union.iter().copied(), window).canonical();
+        assert_eq!(fused.index().prefixes(), direct.index().prefixes());
+        assert_eq!(fused.counts(), direct.counts());
+    }
+
+    #[test]
+    fn fusion_is_order_independent() {
+        let window = Interval::from_secs(0, 86_400);
+        let shards: Vec<LearnedModel> =
+            [obs_for(&[7, 9], 30), obs_for(&[8], 40), obs_for(&[6], 50)]
+                .iter()
+                .map(|o| LearnedModel::learn(o.iter().copied(), window))
+                .collect();
+        let forward = fuse_models(&shards).unwrap();
+        let reversed: Vec<LearnedModel> = shards.iter().rev().cloned().collect();
+        let backward = fuse_models(&reversed).unwrap();
+        assert_eq!(forward.index().prefixes(), backward.index().prefixes());
+        assert_eq!(forward.counts(), backward.counts());
+    }
+
+    #[test]
+    fn empty_shard_list_is_an_error() {
+        assert_eq!(fuse_models(&[]).unwrap_err(), FederationError::NoReports);
+    }
+}

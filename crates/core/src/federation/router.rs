@@ -1,0 +1,315 @@
+//! Global assembly: per-vantage reports → one fused event timeline.
+
+use super::{FederationError, VantageReport};
+use crate::correlate::fuse_timelines;
+use crate::sentinel::FeedHealth;
+use outage_obs::Registry;
+use outage_types::{DetectorId, Interval, IntervalSet, OutageEvent, Prefix, Timeline};
+use std::collections::BTreeMap;
+
+/// How verdicts from vantages that share a unit are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionPolicy {
+    /// A unit is down when *any* covering vantage judges it down.
+    Union,
+    /// A unit is down when at least `K` covering vantages agree (capped
+    /// at the number of vantages that actually cover the unit, so
+    /// single-coverage units still pass through).
+    Quorum(usize),
+}
+
+impl FusionPolicy {
+    /// Parse `union` or `quorum:K`.
+    pub fn parse(s: &str) -> Result<FusionPolicy, FederationError> {
+        if s == "union" {
+            return Ok(FusionPolicy::Union);
+        }
+        if let Some(k) = s.strip_prefix("quorum:") {
+            if let Ok(k) = k.parse::<usize>() {
+                if k >= 1 {
+                    return Ok(FusionPolicy::Quorum(k));
+                }
+            }
+        }
+        Err(FederationError::PolicyParse(s.to_string()))
+    }
+
+    /// The effective quorum over `sources` covering vantages.
+    pub fn quorum(&self, sources: usize) -> usize {
+        match self {
+            FusionPolicy::Union => 1,
+            FusionPolicy::Quorum(k) => (*k).min(sources).max(1),
+        }
+    }
+}
+
+impl std::fmt::Display for FusionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionPolicy::Union => f.write_str("union"),
+            FusionPolicy::Quorum(k) => write!(f, "quorum:{k}"),
+        }
+    }
+}
+
+/// One event on the global timeline, with vantage attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalEvent {
+    /// The fused outage event.
+    pub event: OutageEvent,
+    /// Vantages whose own timeline judged (part of) this interval down,
+    /// in ascending id order.
+    pub vantages: Vec<usize>,
+    /// How many vantages covered the unit at all (attribution out of
+    /// this many possible corroborators).
+    pub sources: usize,
+}
+
+/// One vantage's health line in a [`FederatedReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VantageSummary {
+    /// The vantage id.
+    pub vantage: usize,
+    /// Units the vantage planned.
+    pub units: usize,
+    /// Blocks the vantage covered.
+    pub covered_blocks: usize,
+    /// Events on the vantage's own timeline.
+    pub events: usize,
+    /// Observations that matched no unit.
+    pub strays: u64,
+    /// Closed sentinel-quarantine spans.
+    pub quarantined_spans: usize,
+    /// Total quarantined seconds.
+    pub quarantined_secs: u64,
+    /// The vantage sentinel's final state (`None` without a sentinel).
+    pub feed_health: Option<FeedHealth>,
+    /// Seconds between the vantage's watermark and the window end.
+    pub watermark_lag_secs: u64,
+}
+
+/// The assembled global view across all vantages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedReport {
+    /// The shared observation window.
+    pub window: Interval,
+    /// The fusion policy that assembled the report.
+    pub policy: FusionPolicy,
+    /// The global event timeline, sorted by `(start, prefix)`.
+    pub events: Vec<GlobalEvent>,
+    /// Per-vantage summaries, in ascending vantage order.
+    pub vantages: Vec<VantageSummary>,
+    /// Units covered by more than one vantage (fused rather than passed
+    /// through).
+    pub fused_units: usize,
+}
+
+impl FederatedReport {
+    /// The global timeline as plain [`OutageEvent`]s (attribution
+    /// dropped), for rendering through the existing event formats.
+    pub fn outage_events(&self) -> Vec<OutageEvent> {
+        self.events.iter().map(|g| g.event.clone()).collect()
+    }
+
+    /// Export the `po_federation_*` families: the global shape plus one
+    /// labelled sample set per vantage. Call once per assembled report.
+    pub fn export_metrics(&self, registry: &Registry) {
+        registry
+            .gauge("po_federation_vantages", &[])
+            .set(self.vantages.len() as f64);
+        registry
+            .counter("po_federation_fused_events_total", &[])
+            .add(self.events.len() as u64);
+        registry
+            .gauge("po_federation_fused_units", &[])
+            .set(self.fused_units as f64);
+        for v in &self.vantages {
+            let id = v.vantage.to_string();
+            let labels: &[(&str, &str)] = &[("vantage", id.as_str())];
+            if let Some(h) = v.feed_health {
+                registry
+                    .gauge("po_federation_vantage_health", labels)
+                    .set(h.index() as f64);
+            }
+            registry
+                .gauge("po_federation_covered_blocks", labels)
+                .set(v.covered_blocks as f64);
+            registry
+                .counter("po_federation_events_total", labels)
+                .add(v.events as u64);
+            registry
+                .counter("po_federation_quarantine_intervals_total", labels)
+                .add(v.quarantined_spans as u64);
+            registry
+                .counter("po_federation_quarantine_seconds_total", labels)
+                .add(v.quarantined_secs);
+            registry
+                .gauge("po_federation_watermark_lag_seconds", labels)
+                .set(v.watermark_lag_secs as f64);
+        }
+    }
+}
+
+/// Assembles per-vantage [`VantageReport`]s into a [`FederatedReport`].
+///
+/// Units covered by exactly one vantage pass through verbatim —
+/// attribution is that vantage, and event confidence/ordering are
+/// untouched, which is what makes a zero-overlap union federation
+/// bit-identical to the single-vantage run. Units covered by several
+/// vantages are fused with [`fuse_timelines`] under the policy's
+/// quorum, with per-interval attribution to the agreeing vantages.
+#[derive(Debug, Clone)]
+pub struct FederationRouter {
+    policy: FusionPolicy,
+}
+
+impl FederationRouter {
+    /// A router fusing under `policy`.
+    pub fn new(policy: FusionPolicy) -> FederationRouter {
+        FederationRouter { policy }
+    }
+
+    /// The router's fusion policy.
+    pub fn policy(&self) -> FusionPolicy {
+        self.policy
+    }
+
+    /// Assemble per-vantage reports into the global view.
+    pub fn assemble(&self, reports: &[VantageReport]) -> Result<FederatedReport, FederationError> {
+        let first = reports.first().ok_or(FederationError::NoReports)?;
+        let window = first.report.window;
+        let mut seen = std::collections::BTreeSet::new();
+        for r in reports {
+            if !seen.insert(r.vantage) {
+                return Err(FederationError::DuplicateVantage(r.vantage));
+            }
+            if r.report.window != window {
+                return Err(FederationError::WindowMismatch {
+                    expected: window,
+                    got: r.report.window,
+                    vantage: r.vantage,
+                });
+            }
+        }
+
+        // Group unit verdicts by unit prefix across vantages. Vantage
+        // order inside a group is ascending because we iterate reports
+        // in sorted-vantage order.
+        let mut order: Vec<&VantageReport> = reports.iter().collect();
+        order.sort_by_key(|r| r.vantage);
+        let mut by_unit: BTreeMap<Prefix, Vec<(usize, usize)>> = BTreeMap::new();
+        for (ri, r) in order.iter().enumerate() {
+            for (ui, u) in r.report.units.iter().enumerate() {
+                by_unit.entry(u.prefix).or_default().push((ri, ui));
+            }
+        }
+
+        let mut events: Vec<GlobalEvent> = Vec::new();
+        let mut fused_units = 0usize;
+        for (prefix, sources) in &by_unit {
+            if let [(ri, ui)] = sources[..] {
+                let r = order[ri];
+                for event in r.report.units[ui].events() {
+                    events.push(GlobalEvent {
+                        event,
+                        vantages: vec![r.vantage],
+                        sources: 1,
+                    });
+                }
+                continue;
+            }
+            fused_units += 1;
+            let timelines: Vec<Timeline> = sources
+                .iter()
+                .map(|&(ri, ui)| order[ri].report.units[ui].timeline.clone())
+                .collect();
+            let quorum = self.policy.quorum(sources.len());
+            let fused = fuse_timelines(&timelines, quorum);
+            for iv in fused.down.iter() {
+                let span = IntervalSet::singleton(*iv);
+                let mut vantages = Vec::new();
+                let mut confidence = 0.0f64;
+                for (&(ri, ui), t) in sources.iter().zip(&timelines) {
+                    if t.down.overlap_secs(&span) == 0 {
+                        continue;
+                    }
+                    vantages.push(order[ri].vantage);
+                    for (d, conf) in &order[ri].report.units[ui].detections {
+                        if d.overlaps(iv) {
+                            confidence = confidence.max(*conf);
+                        }
+                    }
+                }
+                events.push(GlobalEvent {
+                    event: OutageEvent {
+                        prefix: *prefix,
+                        interval: *iv,
+                        confidence,
+                        detector: DetectorId::PassiveBayes,
+                    },
+                    vantages,
+                    sources: sources.len(),
+                });
+            }
+        }
+        events.sort_by_key(|g| (g.event.interval.start, g.event.prefix));
+
+        let vantages = order
+            .iter()
+            .map(|r| VantageSummary {
+                vantage: r.vantage,
+                units: r.report.units.len(),
+                covered_blocks: r.report.covered_blocks(),
+                events: r.report.events().len(),
+                strays: r.report.strays,
+                quarantined_spans: r.report.quarantined_spans(),
+                quarantined_secs: r.report.quarantined_secs(),
+                feed_health: r.feed_health,
+                watermark_lag_secs: window.end.secs().saturating_sub(r.watermark.secs()),
+            })
+            .collect();
+
+        Ok(FederatedReport {
+            window,
+            policy: self.policy,
+            events,
+            vantages,
+            fused_units,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_and_renders() {
+        assert_eq!(FusionPolicy::parse("union").unwrap(), FusionPolicy::Union);
+        assert_eq!(
+            FusionPolicy::parse("quorum:2").unwrap(),
+            FusionPolicy::Quorum(2)
+        );
+        assert!(FusionPolicy::parse("quorum:0").is_err());
+        assert!(FusionPolicy::parse("majority").is_err());
+        assert_eq!(FusionPolicy::Quorum(3).to_string(), "quorum:3");
+        assert_eq!(FusionPolicy::Union.to_string(), "union");
+    }
+
+    #[test]
+    fn quorum_caps_at_available_sources() {
+        assert_eq!(FusionPolicy::Union.quorum(5), 1);
+        assert_eq!(FusionPolicy::Quorum(2).quorum(1), 1);
+        assert_eq!(FusionPolicy::Quorum(2).quorum(3), 2);
+        assert_eq!(FusionPolicy::Quorum(9).quorum(3), 3);
+    }
+
+    #[test]
+    fn assemble_rejects_empty_and_duplicate_and_mismatched() {
+        let router = FederationRouter::new(FusionPolicy::Union);
+        assert_eq!(
+            router.assemble(&[]).unwrap_err(),
+            FederationError::NoReports
+        );
+    }
+}

@@ -17,6 +17,8 @@
 //!   trading spatial precision for coverage ([`aggregate`]),
 //! * corroborates multiple passive sources when available
 //!   ([`correlate`]),
+//! * federates N vantage engines — partitioned universe, isolated
+//!   failure domains, fused global timeline ([`federation`]),
 //! * and accounts for who is measurable at which precision
 //!   ([`coverage`]).
 //!
@@ -58,6 +60,7 @@ pub mod coverage;
 pub mod detector;
 pub mod engine;
 pub mod evidence;
+pub mod federation;
 pub mod history;
 pub mod index;
 pub mod model;
@@ -76,6 +79,10 @@ pub use coverage::{coverage_by_width, spatial_coverage, CoveragePoint, SpatialCo
 pub use detector::{UnitDetector, UnitDiagnostics, UnitReport};
 pub use engine::{DetectionEngine, EngineInput, EngineOutput, QuarantineGate};
 pub use evidence::{event_id, EventEvidence, EvidenceSample, EvidenceTrigger};
+pub use federation::{
+    fuse_models, FederatedReport, FederationError, FederationRouter, FusionPolicy, GlobalEvent,
+    VantagePlan, VantageReport, VantageRunner, VantageSummary,
+};
 pub use history::{f64_bits_eq, BlockHistory, HistoryBuilder, HistorySource, IndexedHistories};
 pub use index::BlockIndex;
 pub use model::{LearnedModel, ModelError};

@@ -21,7 +21,15 @@
 //!   learning the full window from raw traffic. Otherwise `b`'s hours
 //!   straddle combined hour boundaries; each row is floor-assigned
 //!   whole, skewing `b`'s counts by strictly less than one hour.
-//! * Anything else (gap, overlap) is a typed [`ModelError`].
+//! * **Overlapping windows with hour-aligned starts** (the federation
+//!   case: vantages learn over windows that share hour boundaries) —
+//!   the combined window is `[min start, max end)` and each operand's
+//!   hour `h` lands at the absolute combined hour
+//!   `(start − combined.start)/3600 + h`, counts summed on the shared
+//!   arena. Summation is commutative, so the merged arena is
+//!   deterministic regardless of merge order.
+//! * Anything else (gap, or an overlap whose starts differ by a
+//!   fraction of an hour) is a typed [`ModelError`].
 
 use crate::history::{build_history, BlockHistory, HistorySource, IndexedHistories};
 use crate::index::BlockIndex;
@@ -39,8 +47,9 @@ pub enum ModelError {
         /// Actual arena length found.
         len: usize,
     },
-    /// Merge arguments cover windows that are neither identical nor
-    /// adjacent (they overlap, or leave a gap).
+    /// Merge arguments cover windows that are neither identical,
+    /// adjacent, nor hour-aligned overlapping (they leave a gap, or
+    /// overlap at a mid-hour offset).
     WindowMismatch {
         /// First checkpoint's window.
         a: Interval,
@@ -58,7 +67,9 @@ impl std::fmt::Display for ModelError {
             ),
             ModelError::WindowMismatch { a, b } => write!(
                 f,
-                "windows [{}, {}) and [{}, {}) are neither identical nor adjacent",
+                "cannot merge: first operand covers [{}, {}), second operand covers \
+                 [{}, {}); windows must be identical, adjacent, or overlapping with \
+                 hour-aligned starts",
                 a.start.secs(),
                 a.end.secs(),
                 b.start.secs(),
@@ -175,25 +186,43 @@ impl LearnedModel {
 
     /// Merge two checkpoints into one covering their combined window.
     ///
-    /// Windows must be identical (counts add) or adjacent (rows
-    /// concatenate; see the module docs for the exactness rule). The
-    /// result's histories are rebuilt from the merged arena.
+    /// Windows must be identical (counts add), adjacent (rows
+    /// concatenate; see the module docs for the exactness rule), or
+    /// overlapping with hour-aligned starts (counts sum on the shared
+    /// arena). The result's histories are rebuilt from the merged
+    /// arena.
     pub fn merge(a: &LearnedModel, b: &LearnedModel) -> Result<LearnedModel, ModelError> {
         if a.window == b.window {
             return LearnedModel::merge_identical(a, b);
         }
         // Normalize argument order so `first` precedes `second`.
-        let (first, second) = if a.window.end == b.window.start {
-            (a, b)
-        } else if b.window.end == a.window.start {
-            (b, a)
-        } else {
-            return Err(ModelError::WindowMismatch {
-                a: a.window,
-                b: b.window,
-            });
-        };
-        LearnedModel::merge_adjacent(first, second)
+        if a.window.end == b.window.start {
+            return LearnedModel::merge_adjacent(a, b);
+        }
+        if b.window.end == a.window.start {
+            return LearnedModel::merge_adjacent(b, a);
+        }
+        // Overlapping windows merge only when their starts share hour
+        // boundaries — otherwise the shared hours straddle bin edges
+        // and counts could not be summed exactly.
+        let overlaps = a.window.start < b.window.end && b.window.start < a.window.end;
+        let offset = a.window.start.secs().abs_diff(b.window.start.secs());
+        if overlaps && offset.is_multiple_of(3_600) {
+            // Normalize by (start, end) so the interned-index order —
+            // and therefore the arena layout — does not depend on
+            // argument order.
+            let (first, second) =
+                if (a.window.start, a.window.end) <= (b.window.start, b.window.end) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+            return LearnedModel::merge_overlapping(first, second);
+        }
+        Err(ModelError::WindowMismatch {
+            a: a.window,
+            b: b.window,
+        })
     }
 
     /// Same-window merge: element-wise addition, ids unioned in
@@ -256,6 +285,63 @@ impl LearnedModel {
             }
         }
         LearnedModel::from_parts(window, index, counts)
+    }
+
+    /// Overlapping-window merge (hour-aligned starts, `first` starting
+    /// no later than `second`): the combined window is
+    /// `[first.start, max end)` and each operand's hour `h` lands at
+    /// absolute combined hour `(start − combined.start)/3600 + h`,
+    /// counts summed. Exact: every source hour row maps onto exactly
+    /// one combined hour row.
+    fn merge_overlapping(
+        first: &LearnedModel,
+        second: &LearnedModel,
+    ) -> Result<LearnedModel, ModelError> {
+        let window = Interval {
+            start: first.window.start,
+            end: first.window.end.max(second.window.end),
+        };
+        let hours = window_hours(window);
+
+        let mut index = first.index().clone();
+        for p in second.index().prefixes() {
+            index.intern(*p);
+        }
+        let mut counts = vec![0u64; index.len() * hours];
+
+        for m in [first, second] {
+            let shift = ((m.window.start.secs() - window.start.secs()) / 3_600) as usize;
+            for (oid, p) in m.index().prefixes().iter().enumerate() {
+                let id = index.get(p).expect("interned above") as usize;
+                let src = &m.counts[oid * hours_of(m)..(oid + 1) * hours_of(m)];
+                for (h, &c) in src.iter().enumerate() {
+                    counts[id * hours + (shift + h).min(hours - 1)] += c;
+                }
+            }
+        }
+        LearnedModel::from_parts(window, index, counts)
+    }
+
+    /// The same model with its block index re-interned in sorted prefix
+    /// order (count rows permuted to match).
+    ///
+    /// `merge` unions indices in first-then-second appearance order, so
+    /// a fold over shards leaks the fold order into the arena layout.
+    /// Canonicalizing after the fold makes multi-shard fusion
+    /// bit-for-bit identical regardless of merge order — the federation
+    /// determinism guarantee (see [`crate::federation::fuse_models`]).
+    pub fn canonical(&self) -> LearnedModel {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let prefixes = self.index().prefixes();
+        order.sort_by_key(|&id| prefixes[id]);
+        let mut index = BlockIndex::new();
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for &id in &order {
+            index.intern(prefixes[id]);
+            counts.extend_from_slice(&self.counts[id * self.hours..(id + 1) * self.hours]);
+        }
+        LearnedModel::from_parts(self.window, index, counts)
+            .expect("permuting rows preserves the arena invariant")
     }
 
     /// Learn a model in one sequential pass (the cold path [`crate::
@@ -375,6 +461,52 @@ mod tests {
         assert_eq!(hm.total, hf.total, "no event may be lost to re-binning");
         let rel = (hm.lambda - hf.lambda).abs() / hf.lambda;
         assert!(rel < 0.1, "lambda off by {rel} after unaligned merge");
+    }
+
+    #[test]
+    fn hour_aligned_overlap_merge_sums_shared_hours() {
+        // a covers [0, 2h) and b covers [1h, 3h); the shared hour is
+        // absolute hour 1. Disjoint streams so sums are easy to check.
+        let a_obs = stream(0, 7_200, 60, &[p4(0)]);
+        let b_obs = stream(3_600, 10_800, 90, &[p4(0)]);
+        let a = LearnedModel::learn(a_obs.iter().copied(), Interval::from_secs(0, 7_200));
+        let b = LearnedModel::learn(b_obs.iter().copied(), Interval::from_secs(3_600, 10_800));
+        let merged = LearnedModel::merge(&a, &b).unwrap();
+        assert_eq!(merged.window(), Interval::from_secs(0, 10_800));
+        assert_eq!(merged.hours(), 3);
+        let rows = merged.counts();
+        assert_eq!(rows[0], a.counts()[0]);
+        assert_eq!(rows[1], a.counts()[1] + b.counts()[0]);
+        assert_eq!(rows[2], b.counts()[1]);
+    }
+
+    #[test]
+    fn overlap_merge_is_order_independent() {
+        let a_obs = stream(0, 7_200, 30, &[p4(0), p4(1)]);
+        let b_obs = stream(3_600, 10_800, 50, &[p4(2), p4(0)]);
+        let a = LearnedModel::learn(a_obs.iter().copied(), Interval::from_secs(0, 7_200));
+        let b = LearnedModel::learn(b_obs.iter().copied(), Interval::from_secs(3_600, 10_800));
+        let ab = LearnedModel::merge(&a, &b).unwrap();
+        let ba = LearnedModel::merge(&b, &a).unwrap();
+        assert_eq!(ab.window(), ba.window());
+        assert_eq!(ab.index().prefixes(), ba.index().prefixes());
+        assert_eq!(ab.counts(), ba.counts());
+    }
+
+    #[test]
+    fn canonical_sorts_the_index_and_permutes_rows() {
+        let obs: Vec<Observation> = stream(0, 3_600, 60, &[p4(3), p4(1), p4(2)]);
+        let model = LearnedModel::learn(obs.iter().copied(), Interval::from_secs(0, 3_600));
+        let canon = model.canonical();
+        let mut sorted = model.index().prefixes().to_vec();
+        sorted.sort();
+        assert_eq!(canon.index().prefixes(), &sorted[..]);
+        for p in &sorted {
+            assert_eq!(
+                canon.indexed().get(p).unwrap(),
+                model.indexed().get(p).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Cross-vantage model fusion properties: merging 2–4 vantage shards is
+//! associative and commutative, bit-for-bit, once canonicalized through
+//! [`fuse_models`] — plus the typed-error contract on non-mergeable
+//! windows.
+
+use outage_core::{fuse_models, LearnedModel, ModelError};
+use outage_types::{Interval, Observation, Prefix, UnixTime};
+use proptest::prelude::*;
+
+/// A synthetic per-shard stream: each shard owns disjoint-ish blocks
+/// (overlap allowed — identical-window merge sums shared blocks) with
+/// arbitrary arrival steps.
+fn shard_strategy() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    // (block id, arrival step seconds) pairs, 1..6 blocks per shard.
+    proptest::collection::vec((0u32..24, 40u64..4_000), 1..6)
+}
+
+fn learn_shard(blocks: &[(u32, u64)], window: Interval) -> LearnedModel {
+    let mut obs: Vec<Observation> = Vec::new();
+    for &(block, step) in blocks {
+        let prefix = Prefix::v4_raw(0xC600_0000 + (block << 8), 24);
+        let mut t = window.start.secs();
+        while t < window.end.secs() {
+            obs.push(Observation::new(UnixTime(t), prefix));
+            t += step;
+        }
+    }
+    obs.sort_by_key(|o| (o.time, o.block));
+    LearnedModel::learn(obs.iter().copied(), window)
+}
+
+fn assert_bit_identical(a: &LearnedModel, b: &LearnedModel) {
+    assert_eq!(a.window(), b.window());
+    assert_eq!(a.index().prefixes(), b.index().prefixes());
+    assert_eq!(a.counts(), b.counts());
+    assert_eq!(a.indexed().histories(), b.indexed().histories());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fusing 2–4 same-window vantage shards is commutative: every
+    /// permutation of the shard list fuses to the bit-identical model.
+    #[test]
+    fn fusion_is_commutative_across_shards(
+        shards in proptest::collection::vec(shard_strategy(), 2..=4),
+        perm_seed in 0usize..24,
+    ) {
+        let window = Interval::from_secs(0, 86_400);
+        let models: Vec<LearnedModel> =
+            shards.iter().map(|s| learn_shard(s, window)).collect();
+        let baseline = fuse_models(&models).unwrap();
+
+        // A deterministic permutation drawn from the seed.
+        let mut permuted: Vec<LearnedModel> = models.clone();
+        let n = permuted.len();
+        let mut k = perm_seed;
+        for i in (1..n).rev() {
+            permuted.swap(i, k % (i + 1));
+            k /= i + 1;
+        }
+        let fused = fuse_models(&permuted).unwrap();
+        assert_bit_identical(&baseline, &fused);
+    }
+
+    /// Fusion is associative: folding left, folding right, and fusing
+    /// pre-fused halves all land on the bit-identical model.
+    #[test]
+    fn fusion_is_associative_across_shards(
+        shards in proptest::collection::vec(shard_strategy(), 3..=4),
+    ) {
+        let window = Interval::from_secs(0, 86_400);
+        let models: Vec<LearnedModel> =
+            shards.iter().map(|s| learn_shard(s, window)).collect();
+
+        let flat = fuse_models(&models).unwrap();
+
+        // ((a ⊔ b) ⊔ c ...) — left fold through pairwise fuse.
+        let mut left = models[0].clone();
+        for m in &models[1..] {
+            left = fuse_models(&[left, m.clone()]).unwrap();
+        }
+
+        // (a ⊔ (b ⊔ (c ...))) — right fold.
+        let mut right = models[models.len() - 1].clone();
+        for m in models[..models.len() - 1].iter().rev() {
+            right = fuse_models(&[m.clone(), right]).unwrap();
+        }
+
+        assert_bit_identical(&flat, &left);
+        assert_bit_identical(&flat, &right);
+    }
+
+    /// Fusing shards equals learning the union stream: the federated
+    /// model is not an approximation.
+    #[test]
+    fn fused_shards_equal_union_learning(
+        shards in proptest::collection::vec(shard_strategy(), 2..=4),
+    ) {
+        let window = Interval::from_secs(0, 86_400);
+        let models: Vec<LearnedModel> =
+            shards.iter().map(|s| learn_shard(s, window)).collect();
+        let fused = fuse_models(&models).unwrap();
+
+        let all: Vec<(u32, u64)> = shards.concat();
+        // Union learning double-counts blocks shared between shards the
+        // same way identical-window merge does, as long as we replay
+        // every shard's stream.
+        let mut union_obs: Vec<Observation> = Vec::new();
+        for &(block, step) in &all {
+            let prefix = Prefix::v4_raw(0xC600_0000 + (block << 8), 24);
+            let mut t = window.start.secs();
+            while t < window.end.secs() {
+                union_obs.push(Observation::new(UnixTime(t), prefix));
+                t += step;
+            }
+        }
+        let direct = LearnedModel::learn(union_obs.iter().copied(), window).canonical();
+        assert_eq!(fused.index().prefixes(), direct.index().prefixes());
+        assert_eq!(fused.counts(), direct.counts());
+    }
+}
+
+/// The typed merge error names which operand had which window.
+#[test]
+fn window_mismatch_error_names_both_operands() {
+    let a = LearnedModel::learn(
+        [Observation::new(
+            UnixTime(10),
+            Prefix::v4_raw(0x0A00_0000, 24),
+        )],
+        Interval::from_secs(0, 3_600),
+    );
+    let b = LearnedModel::learn(
+        [Observation::new(
+            UnixTime(7_300),
+            Prefix::v4_raw(0x0A00_0000, 24),
+        )],
+        Interval::from_secs(7_200, 10_800),
+    );
+    let err = LearnedModel::merge(&a, &b).unwrap_err();
+    assert_eq!(
+        err,
+        ModelError::WindowMismatch {
+            a: Interval::from_secs(0, 3_600),
+            b: Interval::from_secs(7_200, 10_800),
+        }
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("first operand covers [0, 3600)"),
+        "message must pin the first operand's window: {msg}"
+    );
+    assert!(
+        msg.contains("second operand covers [7200, 10800)"),
+        "message must pin the second operand's window: {msg}"
+    );
+    // Swapping the arguments swaps the attribution.
+    let swapped = LearnedModel::merge(&b, &a).unwrap_err().to_string();
+    assert!(
+        swapped.contains("first operand covers [7200, 10800)"),
+        "{swapped}"
+    );
+}

@@ -10,7 +10,7 @@ use crate::arrivals::{BlockArrivals, MergedArrivals};
 use crate::oracle::NetworkOracle;
 use crate::schedule::{OutageConfig, OutageSchedule};
 use crate::topology::{Internet, TopologyConfig};
-use outage_types::{durations, Interval, Observation, UnixTime};
+use outage_types::{durations, Interval, Observation, Prefix, UnixTime};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +30,27 @@ impl Iterator for ThinnedArrivals<'_> {
         loop {
             let obs = self.inner.next()?;
             if self.rng.gen::<f64>() < self.keep {
+                return Some(obs);
+            }
+        }
+    }
+}
+
+/// A block-predicate-filtered view of the merged observation stream —
+/// the shard one federated vantage ingests. Produced by
+/// [`Scenario::observations_where`].
+pub struct PartitionedArrivals<'a, F> {
+    inner: MergedArrivals<'a>,
+    keep: F,
+}
+
+impl<F: FnMut(&Prefix) -> bool> Iterator for PartitionedArrivals<'_, F> {
+    type Item = Observation;
+
+    fn next(&mut self) -> Option<Observation> {
+        loop {
+            let obs = self.inner.next()?;
+            if (self.keep)(&obs.block) {
                 return Some(obs);
             }
         }
@@ -128,6 +149,24 @@ impl Scenario {
         ThinnedArrivals {
             inner: self.observations(),
             rng: rand::rngs::SmallRng::seed_from_u64(service_seed),
+            keep,
+        }
+    }
+
+    /// The observation stream restricted to blocks a predicate accepts —
+    /// the vantage-split generalization of
+    /// [`Scenario::observations_for_service`]. Where service thinning
+    /// drops individual *packets* probabilistically, a vantage split
+    /// routes whole *blocks* deterministically: the caller supplies the
+    /// block predicate (e.g. a federation plan's per-vantage `sees`).
+    /// Each stream stays time-ordered, and the streams of a complete
+    /// partition union back to exactly [`Scenario::observations`].
+    pub fn observations_where<F>(&self, keep: F) -> PartitionedArrivals<'_, F>
+    where
+        F: FnMut(&Prefix) -> bool,
+    {
+        PartitionedArrivals {
+            inner: self.observations(),
             keep,
         }
     }
@@ -442,6 +481,31 @@ mod tests {
             let ob: Vec<_> = b.observations().take(2_000).collect();
             proptest::prop_assert_eq!(oa, ob);
         }
+    }
+
+    #[test]
+    fn partitioned_streams_tile_the_full_stream() {
+        let s = Scenario::quick(6);
+        let full: Vec<_> = s.collect_observations();
+        // Deterministic 3-way partition by a block hash.
+        let shard_of = |p: &Prefix| match p {
+            Prefix::V4 { addr, .. } => (addr >> 8) % 3,
+            Prefix::V6 { addr, .. } => ((addr >> 80) % 3) as u32,
+        };
+        let shards: Vec<Vec<_>> = (0..3u32)
+            .map(|v| s.observations_where(|p| shard_of(p) == v).collect())
+            .collect();
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), full.len());
+        // Each shard is time-ordered, and the merge-sorted union is the
+        // full stream exactly.
+        for shard in &shards {
+            assert!(shard.windows(2).all(|w| w[0].time <= w[1].time));
+        }
+        let mut union: Vec<_> = shards.concat();
+        union.sort_by_key(|o| (o.time, o.block));
+        let mut sorted_full = full.clone();
+        sorted_full.sort_by_key(|o| (o.time, o.block));
+        assert_eq!(union, sorted_full);
     }
 
     #[test]

@@ -1,108 +1,141 @@
-//! Correlating multiple passive sources.
+//! Federating multiple passive vantages.
 //!
 //! The paper: "when possible, we correlate multiple signals from the same
 //! region to corroborate results" and "we expect to add additional
-//! passive sources to increase coverage". This example splits the world's
-//! traffic between two services — each sees an independent thinning of
-//! every block's queries — and shows both effects:
+//! passive sources to increase coverage". This example runs the
+//! federation subsystem end to end — a [`VantagePlan`] shards the block
+//! universe across three vantages, each [`VantageRunner`] detects on its
+//! own shard in isolation, and a [`FederationRouter`] assembles the
+//! per-vantage reports into one global event timeline — showing the
+//! subsystem's two headline behaviours:
 //!
-//! * **Coverage**: blocks too sparse at either single vantage become
-//!   measurable when the vantages' verdicts are combined.
-//! * **Corroboration**: quorum fusion keeps outages both vantages agree
-//!   on (precision) while union fusion maximizes what is seen (recall).
+//! * **Union equivalence**: with a disjoint partition, the fused global
+//!   timeline is bit-identical to a single engine over the union stream.
+//! * **Corroboration**: with overlap, quorum fusion keeps only outages
+//!   the covering vantages agree on, while union fusion keeps everything
+//!   any vantage saw — and every fused event says which vantages voted.
+//!
+//! The claims printed here are asserted for real in
+//! `crates/core/tests/federation.rs`.
 //!
 //! ```text
 //! cargo run --release --example multi_vantage
 //! ```
 
-use passive_outage::detector::fuse_timelines;
+use passive_outage::detector::{
+    fuse_models, FederationRouter, FusionPolicy, VantagePlan, VantageReport, VantageRunner,
+};
 use passive_outage::prelude::*;
+
+/// Run one isolated engine per vantage over its shard of the stream.
+fn run_vantages(
+    plan: &VantagePlan,
+    observations: &[Observation],
+    window: Interval,
+) -> Vec<VantageReport> {
+    plan.split(observations)
+        .iter()
+        .enumerate()
+        .map(|(v, shard)| {
+            let runner = VantageRunner::new(v, DetectorConfig::default()).expect("valid config");
+            runner.run(shard, window).expect("valid config")
+        })
+        .collect()
+}
 
 fn main() {
     let scenario = Scenario::quick(314);
     let window = scenario.window();
+    let observations: Vec<Observation> = scenario.collect_observations();
 
-    // Two services, each seeing 40 % of every block's queries
-    // (independent thinnings: together they see most, but not all).
-    let a_obs: Vec<Observation> = scenario.observations_for_service("b-root", 0.4).collect();
-    let b_obs: Vec<Observation> = scenario.observations_for_service("big-cdn", 0.4).collect();
-    println!(
-        "service A sees {} observations, service B sees {}\n",
-        a_obs.len(),
-        b_obs.len()
-    );
-
-    let detector = PassiveDetector::new(DetectorConfig::default());
-    let report_a = detector.run_slice(&a_obs, window);
-    let report_b = detector.run_slice(&b_obs, window);
-
-    // Coverage: union of covered blocks.
-    let covered_a: std::collections::HashSet<Prefix> = scenario
-        .internet
-        .blocks()
-        .iter()
-        .map(|b| b.prefix)
-        .filter(|p| report_a.timeline_for(p).is_some())
-        .collect();
-    let covered_b: std::collections::HashSet<Prefix> = scenario
-        .internet
-        .blocks()
-        .iter()
-        .map(|b| b.prefix)
-        .filter(|p| report_b.timeline_for(p).is_some())
-        .collect();
-    let both = covered_a.union(&covered_b).count();
-    println!(
-        "coverage: A alone {}, B alone {}, combined {}",
-        covered_a.len(),
-        covered_b.len(),
-        both
-    );
-    assert!(both >= covered_a.len().max(covered_b.len()));
-
-    // Accuracy of fused verdicts on blocks both services cover.
-    let mut solo = DurationMatrix::default();
-    let mut corroborated = DurationMatrix::default();
-    let mut any_source = DurationMatrix::default();
-    let mut shared = 0;
-    for blk in scenario.internet.blocks() {
-        let (Some(tl_a), Some(tl_b)) = (
-            report_a.timeline_for(&blk.prefix),
-            report_b.timeline_for(&blk.prefix),
-        ) else {
-            continue;
-        };
-        shared += 1;
-        let truth = scenario.schedule.truth(&blk.prefix);
-        solo += DurationMatrix::of(tl_a, &truth);
-        corroborated +=
-            DurationMatrix::of(&fuse_timelines(&[tl_a.clone(), tl_b.clone()], 2), &truth);
-        any_source += DurationMatrix::of(&fuse_timelines(&[tl_a.clone(), tl_b.clone()], 1), &truth);
+    // --- Union equivalence: disjoint 3-vantage split -----------------
+    let plan = VantagePlan::new(3).expect("three vantages");
+    println!("plan: {plan}");
+    for v in 0..plan.vantages() {
+        let shard: Vec<Observation> = scenario.observations_where(|p| plan.sees(v, p)).collect();
+        println!("  vantage {v} ingests {} observations", shard.len());
     }
-    println!("\nover {shared} dual-covered blocks (vs ground truth):");
-    println!(
-        "  service A alone    : precision {:.4}, TNR {:.3}",
-        solo.precision(),
-        solo.tnr()
+
+    let reports = run_vantages(&plan, &observations, window);
+    let fused = FederationRouter::new(FusionPolicy::Union)
+        .assemble(&reports)
+        .expect("assemble");
+    let single = PassiveDetector::new(DetectorConfig::default()).run_slice(&observations, window);
+    assert_eq!(
+        fused.outage_events(),
+        single.events(),
+        "disjoint union federation must match the single-vantage run"
     );
     println!(
-        "  quorum-2 (agree)   : precision {:.4}, TNR {:.3}  — fewer false outages",
-        corroborated.precision(),
-        corroborated.tnr()
-    );
-    println!(
-        "  union (either)     : precision {:.4}, TNR {:.3}  — most outage time caught",
-        any_source.precision(),
-        any_source.tnr()
+        "\nunion equivalence: {} fused events == {} single-vantage events",
+        fused.events.len(),
+        single.events().len()
     );
 
-    assert!(
-        corroborated.fo <= solo.fo,
-        "corroboration must not add false outage time"
+    // --- Corroboration: overlapping coverage, quorum vs union --------
+    let plan = VantagePlan::new(3)
+        .expect("three vantages")
+        .with_overlap(0.5)
+        .expect("valid overlap");
+    let reports = run_vantages(&plan, &observations, window);
+    let union = FederationRouter::new(FusionPolicy::Union)
+        .assemble(&reports)
+        .expect("assemble");
+    let quorum = FederationRouter::new(FusionPolicy::Quorum(2))
+        .assemble(&reports)
+        .expect("assemble");
+    println!(
+        "\nwith {:.0}% overlap ({} units covered twice):",
+        100.0 * plan.overlap(),
+        union.fused_units
+    );
+    println!(
+        "  union    : {} events — everything any vantage saw",
+        union.events.len()
+    );
+    println!(
+        "  quorum:2 : {} events — only corroborated intervals",
+        quorum.events.len()
     );
     assert!(
-        any_source.tnr() >= solo.tnr() - 1e-9,
-        "union must not lose outage time"
+        quorum.events.len() <= union.events.len(),
+        "quorum can only tighten the union timeline"
+    );
+    for g in union.events.iter().filter(|g| g.sources > 1).take(3) {
+        println!(
+            "  {:?} [{}, {}) seen by vantages {:?} of {} covering",
+            g.event.prefix,
+            g.event.interval.start.secs(),
+            g.event.interval.end.secs(),
+            g.vantages,
+            g.sources
+        );
+    }
+
+    // --- Cross-vantage model fusion ----------------------------------
+    let models: Vec<LearnedModel> = plan
+        .split(&observations)
+        .iter()
+        .enumerate()
+        .map(|(v, shard)| {
+            VantageRunner::new(v, DetectorConfig::default())
+                .expect("valid config")
+                .learn(shard, window, 1)
+        })
+        .collect();
+    let forward = fuse_models(&models).expect("fuse");
+    let mut reversed = models.clone();
+    reversed.reverse();
+    let backward = fuse_models(&reversed).expect("fuse");
+    assert_eq!(
+        forward.counts(),
+        backward.counts(),
+        "fusion must not depend on merge order"
+    );
+    println!(
+        "\nfused model: {} blocks over {} hours, identical under reversed merge order",
+        forward.len(),
+        forward.hours()
     );
     println!("\nmulti_vantage OK");
 }
